@@ -1,0 +1,358 @@
+//! The Event Editor (paper §2, Configurator module 3).
+//!
+//! "It allows users to define mobility event patterns, and designate each
+//! defined pattern the corresponding positioning sequence segments on the
+//! map view. The designated data segments will be used to train a
+//! learning-based model for identifying the user-defined event patterns."
+//!
+//! [`EventEditor`] is that workflow as an API: `define_pattern` registers a
+//! pattern, `designate_segment` attaches a labelled record segment, and
+//! `build_training_set` extracts features ready for [`crate::model`].
+
+use crate::features::FeatureVector;
+use crate::model::{DecisionTree, EventModel, KNearest, RandomForest, TreeParams};
+use trips_data::RawRecord;
+
+/// A user-defined mobility event pattern ("a generic movement pattern of
+/// some particular interest", paper §1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventPattern {
+    pub name: String,
+    pub description: String,
+}
+
+/// Errors raised by the editor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditorError {
+    DuplicatePattern(String),
+    UnknownPattern(String),
+    EmptySegment,
+    /// Training requires at least one designation for ≥ 2 patterns.
+    NotEnoughTrainingData,
+}
+
+impl std::fmt::Display for EditorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EditorError::DuplicatePattern(n) => write!(f, "pattern '{n}' already defined"),
+            EditorError::UnknownPattern(n) => write!(f, "pattern '{n}' not defined"),
+            EditorError::EmptySegment => write!(f, "designated segment has no records"),
+            EditorError::NotEnoughTrainingData => {
+                write!(f, "need designations for at least two patterns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditorError {}
+
+/// Labelled training data extracted from designations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSet {
+    /// Feature vectors.
+    pub xs: Vec<Vec<f64>>,
+    /// Label indices into `label_names`.
+    pub ys: Vec<usize>,
+    /// Pattern names by label index.
+    pub label_names: Vec<String>,
+}
+
+impl TrainingSet {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the set has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// Deterministic train/test split: every `k`-th example goes to test.
+    pub fn split_every_kth(&self, k: usize) -> (TrainingSet, TrainingSet) {
+        assert!(k >= 2, "k must be >= 2");
+        let mut train = TrainingSet {
+            xs: Vec::new(),
+            ys: Vec::new(),
+            label_names: self.label_names.clone(),
+        };
+        let mut test = train.clone();
+        for (i, (x, y)) in self.xs.iter().zip(&self.ys).enumerate() {
+            let target = if i % k == 0 { &mut test } else { &mut train };
+            target.xs.push(x.clone());
+            target.ys.push(*y);
+        }
+        (train, test)
+    }
+
+    /// The first `n` examples (training-size sweeps, experiment F3b).
+    pub fn truncated(&self, n: usize) -> TrainingSet {
+        TrainingSet {
+            xs: self.xs.iter().take(n).cloned().collect(),
+            ys: self.ys.iter().take(n).copied().collect(),
+            label_names: self.label_names.clone(),
+        }
+    }
+}
+
+/// The Event Editor: pattern definitions plus labelled designations.
+#[derive(Debug, Clone, Default)]
+pub struct EventEditor {
+    patterns: Vec<EventPattern>,
+    examples: Vec<(Vec<f64>, usize)>,
+}
+
+impl EventEditor {
+    /// Creates an empty editor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An editor pre-seeded with the paper's two example patterns.
+    pub fn with_default_patterns() -> Self {
+        let mut e = Self::new();
+        e.define_pattern("stay", "somebody stays in one or multiple shops")
+            .expect("fresh editor");
+        e.define_pattern("pass-by", "somebody passes through a semantic region")
+            .expect("fresh editor");
+        e
+    }
+
+    /// Registers a new event pattern.
+    pub fn define_pattern(&mut self, name: &str, description: &str) -> Result<(), EditorError> {
+        if self.patterns.iter().any(|p| p.name == name) {
+            return Err(EditorError::DuplicatePattern(name.to_string()));
+        }
+        self.patterns.push(EventPattern {
+            name: name.to_string(),
+            description: description.to_string(),
+        });
+        Ok(())
+    }
+
+    /// The defined patterns in definition order.
+    pub fn patterns(&self) -> &[EventPattern] {
+        &self.patterns
+    }
+
+    /// Designates a record segment as an example of `pattern` ("designate
+    /// her defined pass-by pattern a set of corresponding positioning
+    /// sequence segments", paper §4).
+    pub fn designate_segment(
+        &mut self,
+        pattern: &str,
+        records: &[RawRecord],
+    ) -> Result<(), EditorError> {
+        let label = self
+            .patterns
+            .iter()
+            .position(|p| p.name == pattern)
+            .ok_or_else(|| EditorError::UnknownPattern(pattern.to_string()))?;
+        if records.is_empty() {
+            return Err(EditorError::EmptySegment);
+        }
+        let features = FeatureVector::extract(records);
+        self.examples.push((features.values().to_vec(), label));
+        Ok(())
+    }
+
+    /// Number of designated examples.
+    pub fn example_count(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Extracts the training set.
+    pub fn build_training_set(&self) -> Result<TrainingSet, EditorError> {
+        let mut used = std::collections::BTreeSet::new();
+        for (_, y) in &self.examples {
+            used.insert(*y);
+        }
+        if used.len() < 2 {
+            return Err(EditorError::NotEnoughTrainingData);
+        }
+        Ok(TrainingSet {
+            xs: self.examples.iter().map(|(x, _)| x.clone()).collect(),
+            ys: self.examples.iter().map(|(_, y)| *y).collect(),
+            label_names: self.patterns.iter().map(|p| p.name.clone()).collect(),
+        })
+    }
+
+    /// Trains the default event model (decision tree) on the designations.
+    pub fn train_default_model(&self) -> Result<(EventModel, Vec<String>), EditorError> {
+        let ts = self.build_training_set()?;
+        let tree = DecisionTree::train(&ts.xs, &ts.ys, ts.n_classes(), &TreeParams::default());
+        Ok((EventModel::Tree(tree), ts.label_names))
+    }
+
+    /// Trains a random forest on the designations.
+    pub fn train_forest(&self, n_trees: usize, seed: u64) -> Result<(EventModel, Vec<String>), EditorError> {
+        let ts = self.build_training_set()?;
+        let f = RandomForest::train(&ts.xs, &ts.ys, ts.n_classes(), n_trees, seed);
+        Ok((EventModel::Forest(f), ts.label_names))
+    }
+
+    /// Trains a k-NN model on the designations.
+    pub fn train_knn(&self, k: usize) -> Result<(EventModel, Vec<String>), EditorError> {
+        let ts = self.build_training_set()?;
+        let m = KNearest::train(&ts.xs, &ts.ys, ts.n_classes(), k);
+        Ok((EventModel::Knn(m), ts.label_names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Classifier;
+    use trips_data::{DeviceId, Timestamp};
+
+    fn stay_segment(n: usize) -> Vec<RawRecord> {
+        (0..n)
+            .map(|i| {
+                RawRecord::new(
+                    DeviceId::new("d"),
+                    5.0 + 0.05 * (i % 2) as f64,
+                    5.0,
+                    0,
+                    Timestamp::from_millis(i as i64 * 7000),
+                )
+            })
+            .collect()
+    }
+
+    fn walk_segment(n: usize) -> Vec<RawRecord> {
+        (0..n)
+            .map(|i| {
+                RawRecord::new(
+                    DeviceId::new("d"),
+                    1.4 * i as f64,
+                    0.0,
+                    0,
+                    Timestamp::from_millis(i as i64 * 1000),
+                )
+            })
+            .collect()
+    }
+
+    fn trained_editor() -> EventEditor {
+        let mut e = EventEditor::with_default_patterns();
+        for k in 0..10 {
+            e.designate_segment("stay", &stay_segment(10 + k)).unwrap();
+            e.designate_segment("pass-by", &walk_segment(5 + k)).unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn pattern_definition_rules() {
+        let mut e = EventEditor::new();
+        e.define_pattern("stay", "x").unwrap();
+        assert_eq!(
+            e.define_pattern("stay", "y"),
+            Err(EditorError::DuplicatePattern("stay".into()))
+        );
+        assert_eq!(e.patterns().len(), 1);
+    }
+
+    #[test]
+    fn designation_validation() {
+        let mut e = EventEditor::with_default_patterns();
+        assert_eq!(
+            e.designate_segment("loiter", &stay_segment(5)),
+            Err(EditorError::UnknownPattern("loiter".into()))
+        );
+        assert_eq!(
+            e.designate_segment("stay", &[]),
+            Err(EditorError::EmptySegment)
+        );
+        e.designate_segment("stay", &stay_segment(5)).unwrap();
+        assert_eq!(e.example_count(), 1);
+    }
+
+    #[test]
+    fn training_set_requires_two_classes() {
+        let mut e = EventEditor::with_default_patterns();
+        e.designate_segment("stay", &stay_segment(5)).unwrap();
+        assert_eq!(
+            e.build_training_set().unwrap_err(),
+            EditorError::NotEnoughTrainingData
+        );
+        e.designate_segment("pass-by", &walk_segment(5)).unwrap();
+        let ts = e.build_training_set().unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.n_classes(), 2);
+        assert_eq!(ts.label_names, vec!["stay", "pass-by"]);
+    }
+
+    #[test]
+    fn trained_model_identifies_patterns() {
+        let e = trained_editor();
+        let (model, labels) = e.train_default_model().unwrap();
+        let stay_f = FeatureVector::extract(&stay_segment(12));
+        let walk_f = FeatureVector::extract(&walk_segment(8));
+        assert_eq!(labels[model.predict(stay_f.values())], "stay");
+        assert_eq!(labels[model.predict(walk_f.values())], "pass-by");
+    }
+
+    #[test]
+    fn all_three_model_kinds_train() {
+        let e = trained_editor();
+        let stay_f = FeatureVector::extract(&stay_segment(12));
+        for (model, labels) in [
+            e.train_default_model().unwrap(),
+            e.train_forest(7, 3).unwrap(),
+            e.train_knn(3).unwrap(),
+        ] {
+            assert_eq!(labels[model.predict(stay_f.values())], "stay", "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn split_every_kth() {
+        let e = trained_editor();
+        let ts = e.build_training_set().unwrap();
+        let (train, test) = ts.split_every_kth(4);
+        assert_eq!(train.len() + test.len(), ts.len());
+        assert_eq!(test.len(), ts.len().div_ceil(4));
+        assert_eq!(train.label_names, ts.label_names);
+    }
+
+    #[test]
+    fn truncation() {
+        let e = trained_editor();
+        let ts = e.build_training_set().unwrap();
+        let t = ts.truncated(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(ts.truncated(10_000).len(), ts.len());
+    }
+
+    #[test]
+    fn custom_third_pattern() {
+        let mut e = EventEditor::with_default_patterns();
+        e.define_pattern("sprint", "running through the mall").unwrap();
+        // Sprint: very fast walk.
+        let sprint: Vec<RawRecord> = (0..10)
+            .map(|i| {
+                RawRecord::new(
+                    DeviceId::new("d"),
+                    6.0 * i as f64,
+                    0.0,
+                    0,
+                    Timestamp::from_millis(i as i64 * 1000),
+                )
+            })
+            .collect();
+        for k in 0..8 {
+            e.designate_segment("stay", &stay_segment(10 + k)).unwrap();
+            e.designate_segment("pass-by", &walk_segment(6 + k)).unwrap();
+            e.designate_segment("sprint", &sprint).unwrap();
+        }
+        let (model, labels) = e.train_default_model().unwrap();
+        let f = FeatureVector::extract(&sprint);
+        assert_eq!(labels[model.predict(f.values())], "sprint");
+    }
+}

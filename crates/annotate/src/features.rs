@@ -1,0 +1,189 @@
+//! Feature extraction for event identification.
+//!
+//! The paper (§3): "The feature extraction considers the information of
+//! positioning location variance, traveling distance and speed, covering
+//! range, number of turns, etc." — this module computes exactly that
+//! vector from a record slice.
+
+use trips_data::RawRecord;
+use trips_geom::{algorithms, BoundingBox, Point, Polyline};
+
+/// Names of the extracted features, aligned with [`FeatureVector::values`].
+pub const FEATURE_NAMES: [&str; 9] = [
+    "location_variance",
+    "traveling_distance",
+    "mean_speed",
+    "max_leg_speed",
+    "covering_range",
+    "turn_count",
+    "duration_secs",
+    "record_count",
+    "floor_changes",
+];
+
+/// Number of features.
+pub const FEATURE_DIM: usize = FEATURE_NAMES.len();
+
+/// Minimum direction change that counts as a turn (radians ≈ 30°).
+const TURN_ANGLE: f64 = 0.52;
+
+/// The extracted feature vector of one snippet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    values: [f64; FEATURE_DIM],
+}
+
+impl FeatureVector {
+    /// Extracts features from a record slice.
+    ///
+    /// Returns a zero vector for an empty slice (degenerate snippets are the
+    /// caller's responsibility to filter).
+    pub fn extract(records: &[RawRecord]) -> FeatureVector {
+        let mut v = [0.0f64; FEATURE_DIM];
+        if records.is_empty() {
+            return FeatureVector { values: v };
+        }
+        let points: Vec<Point> = records.iter().map(|r| r.location.xy).collect();
+        let duration = (records[records.len() - 1].ts - records[0].ts).as_secs_f64();
+
+        // Location variance.
+        v[0] = algorithms::location_variance(&points);
+        // Traveling distance.
+        let dist = algorithms::path_length(&points);
+        v[1] = dist;
+        // Mean speed.
+        v[2] = if duration > 0.0 { dist / duration } else { 0.0 };
+        // Max leg speed.
+        v[3] = records
+            .windows(2)
+            .filter_map(|w| w[1].planar_speed_from(&w[0]))
+            .fold(0.0, f64::max);
+        // Covering range: bbox diagonal (hull diameter collapses for
+        // near-collinear transits; the diagonal is stable).
+        v[4] = BoundingBox::from_points(points.iter().copied()).diagonal();
+        // Turns.
+        v[5] = if points.len() >= 3 {
+            Polyline::new(points.clone()).count_turns(TURN_ANGLE) as f64
+        } else {
+            0.0
+        };
+        // Duration.
+        v[6] = duration;
+        // Record count.
+        v[7] = records.len() as f64;
+        // Floor changes.
+        v[8] = records
+            .windows(2)
+            .filter(|w| w[0].location.floor != w[1].location.floor)
+            .count() as f64;
+
+        FeatureVector { values: v }
+    }
+
+    /// The raw feature values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Feature by name (test/diagnostic convenience).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        FEATURE_NAMES
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| self.values[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_data::{DeviceId, Timestamp};
+
+    fn rec(x: f64, y: f64, floor: i16, secs: i64) -> RawRecord {
+        RawRecord::new(
+            DeviceId::new("d"),
+            x,
+            y,
+            floor,
+            Timestamp::from_millis(secs * 1000),
+        )
+    }
+
+    #[test]
+    fn stay_features_are_small() {
+        // Tight dwell: low variance, short distance, low speed.
+        let recs: Vec<RawRecord> = (0..20)
+            .map(|i| rec(5.0 + 0.05 * (i % 3) as f64, 5.0, 0, i * 7))
+            .collect();
+        let f = FeatureVector::extract(&recs);
+        assert!(f.get("location_variance").unwrap() < 0.1);
+        assert!(f.get("mean_speed").unwrap() < 0.1);
+        assert!(f.get("covering_range").unwrap() < 0.5);
+        assert_eq!(f.get("floor_changes").unwrap(), 0.0);
+        assert_eq!(f.get("record_count").unwrap(), 20.0);
+    }
+
+    #[test]
+    fn walk_features_are_large() {
+        let recs: Vec<RawRecord> = (0..20).map(|i| rec(1.3 * i as f64, 0.0, 0, i)).collect();
+        let f = FeatureVector::extract(&recs);
+        assert!(f.get("traveling_distance").unwrap() > 20.0);
+        assert!((f.get("mean_speed").unwrap() - 1.3).abs() < 0.01);
+        assert!(f.get("covering_range").unwrap() > 20.0);
+    }
+
+    #[test]
+    fn turn_counting_in_zigzag() {
+        let recs = vec![
+            rec(0.0, 0.0, 0, 0),
+            rec(5.0, 0.0, 0, 5),
+            rec(5.0, 5.0, 0, 10),
+            rec(10.0, 5.0, 0, 15),
+        ];
+        let f = FeatureVector::extract(&recs);
+        assert_eq!(f.get("turn_count").unwrap(), 2.0);
+    }
+
+    #[test]
+    fn floor_changes_counted() {
+        let recs = vec![
+            rec(0.0, 0.0, 0, 0),
+            rec(0.0, 0.0, 1, 30),
+            rec(0.0, 0.0, 1, 60),
+            rec(0.0, 0.0, 2, 90),
+        ];
+        let f = FeatureVector::extract(&recs);
+        assert_eq!(f.get("floor_changes").unwrap(), 2.0);
+    }
+
+    #[test]
+    fn max_leg_speed_exceeds_mean() {
+        // Slow-slow-fast pattern.
+        let recs = vec![
+            rec(0.0, 0.0, 0, 0),
+            rec(1.0, 0.0, 0, 10),
+            rec(20.0, 0.0, 0, 12),
+        ];
+        let f = FeatureVector::extract(&recs);
+        assert!(f.get("max_leg_speed").unwrap() > f.get("mean_speed").unwrap());
+        assert!((f.get("max_leg_speed").unwrap() - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = FeatureVector::extract(&[]);
+        assert!(empty.values().iter().all(|&x| x == 0.0));
+        let single = FeatureVector::extract(&[rec(3.0, 3.0, 0, 0)]);
+        assert_eq!(single.get("record_count").unwrap(), 1.0);
+        assert_eq!(single.get("traveling_distance").unwrap(), 0.0);
+        assert_eq!(single.get("mean_speed").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn names_align_with_dim() {
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_DIM);
+        let f = FeatureVector::extract(&[rec(0.0, 0.0, 0, 0)]);
+        assert_eq!(f.values().len(), FEATURE_DIM);
+        assert!(f.get("not_a_feature").is_none());
+    }
+}

@@ -1,0 +1,663 @@
+//! Learning-based event identification models, from scratch.
+//!
+//! The paper trains "a learning-based model for identifying the user-defined
+//! event patterns" on snippets designated in the Event Editor. The concrete
+//! classifier is unspecified; we provide three standard supervised models on
+//! the paper's feature set — a CART decision tree (default), a bagged random
+//! forest, and a z-scored k-NN — behind one [`Classifier`] trait, so the
+//! evaluation can compare them (experiment F3b).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A trained event classifier: feature vector in, class index out.
+pub trait Classifier {
+    /// Predicts the class of one feature vector.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Model display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// Features considered per split; `None` = all (single trees), `Some(k)`
+    /// = a random subset of k (forest mode).
+    pub feature_subset: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 8,
+            min_samples_split: 4,
+            feature_subset: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART decision tree with Gini impurity splits.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn majority(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+impl DecisionTree {
+    /// Trains a tree on `(xs[i], ys[i])` pairs.
+    ///
+    /// # Panics
+    /// Panics when the training set is empty, shapes disagree, or a label is
+    /// out of range.
+    pub fn train(xs: &[Vec<f64>], ys: &[usize], n_classes: usize, params: &TreeParams) -> Self {
+        Self::train_seeded(xs, ys, n_classes, params, 0)
+    }
+
+    /// Trains with an explicit seed for the feature-subset sampling (used by
+    /// the forest; deterministic everywhere).
+    pub fn train_seeded(
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        n_classes: usize,
+        params: &TreeParams,
+        seed: u64,
+    ) -> Self {
+        assert!(!xs.is_empty(), "empty training set");
+        assert_eq!(xs.len(), ys.len(), "feature/label length mismatch");
+        assert!(
+            ys.iter().all(|&y| y < n_classes),
+            "label out of range 0..{n_classes}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes,
+        };
+        tree.build(xs, ys, &indices, params, 0, &mut rng);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        indices: &[usize],
+        params: &TreeParams,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let mut counts = vec![0usize; self.n_classes];
+        for &i in indices {
+            counts[ys[i]] += 1;
+        }
+        let node_gini = gini(&counts, indices.len());
+
+        // Stopping conditions.
+        if depth >= params.max_depth
+            || indices.len() < params.min_samples_split
+            || node_gini == 0.0
+        {
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf {
+                class: majority(&counts),
+            });
+            return id;
+        }
+
+        // Candidate features.
+        let dim = xs[0].len();
+        let features: Vec<usize> = match params.feature_subset {
+            Some(k) if k < dim => {
+                let mut fs: Vec<usize> = (0..dim).collect();
+                // Partial Fisher–Yates: take k random features.
+                for i in 0..k {
+                    let j = rng.gen_range(i..dim);
+                    fs.swap(i, j);
+                }
+                fs.truncate(k);
+                fs
+            }
+            _ => (0..dim).collect(),
+        };
+
+        // Best split search.
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
+        for &f in &features {
+            let mut vals: Vec<(f64, usize)> = indices.iter().map(|&i| (xs[i][f], ys[i])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            let total = vals.len();
+            let mut left_counts = vec![0usize; self.n_classes];
+            let mut right_counts = counts.clone();
+            for k in 0..total - 1 {
+                left_counts[vals[k].1] += 1;
+                right_counts[vals[k].1] -= 1;
+                if vals[k].0 == vals[k + 1].0 {
+                    continue; // cannot split between equal values
+                }
+                let threshold = (vals[k].0 + vals[k + 1].0) / 2.0;
+                let nl = k + 1;
+                let nr = total - nl;
+                let w = (nl as f64 * gini(&left_counts, nl)
+                    + nr as f64 * gini(&right_counts, nr))
+                    / total as f64;
+                if best.map_or(true, |(_, _, bw)| w < bw) {
+                    best = Some((f, threshold, w));
+                }
+            }
+        }
+
+        let Some((feature, threshold, w)) = best else {
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf {
+                class: majority(&counts),
+            });
+            return id;
+        };
+        if w >= node_gini - 1e-12 {
+            // No impurity reduction.
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf {
+                class: majority(&counts),
+            });
+            return id;
+        }
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| xs[i][feature] <= threshold);
+
+        // Reserve this node's slot, then build children.
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: 0 }); // placeholder
+        let left = self.build(xs, ys, &left_idx, params, depth + 1, rng);
+        let right = self.build(xs, ys, &right_idx, params, depth + 1, rng);
+        self.nodes[id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        id
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, x: &[f64]) -> usize {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+}
+
+/// A bagged random forest of CART trees with feature subsampling.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Trains `n_trees` trees on bootstrap samples, each considering
+    /// `sqrt(dim)` features per split.
+    pub fn train(
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        n_classes: usize,
+        n_trees: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!xs.is_empty(), "empty training set");
+        assert!(n_trees >= 1, "need at least one tree");
+        let dim = xs[0].len();
+        let subset = (dim as f64).sqrt().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trees = Vec::with_capacity(n_trees);
+        for t in 0..n_trees {
+            // Bootstrap resample.
+            let mut bx = Vec::with_capacity(xs.len());
+            let mut by = Vec::with_capacity(ys.len());
+            for _ in 0..xs.len() {
+                let i = rng.gen_range(0..xs.len());
+                bx.push(xs[i].clone());
+                by.push(ys[i]);
+            }
+            let params = TreeParams {
+                feature_subset: Some(subset),
+                ..TreeParams::default()
+            };
+            trees.push(DecisionTree::train_seeded(
+                &bx,
+                &by,
+                n_classes,
+                &params,
+                seed.wrapping_add(t as u64 + 1),
+            ));
+        }
+        RandomForest { trees, n_classes }
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Always `false` (construction requires ≥ 1 tree).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict(&self, x: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(x)] += 1;
+        }
+        majority(&votes)
+    }
+
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+}
+
+/// k-nearest-neighbour classifier on z-scored features.
+#[derive(Debug, Clone)]
+pub struct KNearest {
+    data: Vec<(Vec<f64>, usize)>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    k: usize,
+    n_classes: usize,
+}
+
+impl KNearest {
+    /// Stores the (normalised) training data.
+    pub fn train(xs: &[Vec<f64>], ys: &[usize], n_classes: usize, k: usize) -> Self {
+        assert!(!xs.is_empty(), "empty training set");
+        assert!(k >= 1, "k must be >= 1");
+        let dim = xs[0].len();
+        let n = xs.len() as f64;
+        let mut means = vec![0.0; dim];
+        for x in xs {
+            for (m, v) in means.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for x in xs {
+            for ((s, v), m) in stds.iter_mut().zip(x).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt().max(1e-9);
+        }
+        let data = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, &y)| {
+                let z: Vec<f64> = x
+                    .iter()
+                    .zip(&means)
+                    .zip(&stds)
+                    .map(|((v, m), s)| (v - m) / s)
+                    .collect();
+                (z, y)
+            })
+            .collect();
+        KNearest {
+            data,
+            means,
+            stds,
+            k,
+            n_classes,
+        }
+    }
+}
+
+impl Classifier for KNearest {
+    fn predict(&self, x: &[f64]) -> usize {
+        let z: Vec<f64> = x
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect();
+        let mut dists: Vec<(f64, usize)> = self
+            .data
+            .iter()
+            .map(|(d, y)| {
+                let dist: f64 = d.iter().zip(&z).map(|(a, b)| (a - b) * (a - b)).sum();
+                (dist, *y)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let mut votes = vec![0usize; self.n_classes];
+        for (_, y) in dists.iter().take(self.k) {
+            votes[*y] += 1;
+        }
+        majority(&votes)
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+/// The event identification model the Annotator carries — one of the three
+/// classifiers behind a single enum (object-safe without boxing).
+#[derive(Debug, Clone)]
+pub enum EventModel {
+    Tree(DecisionTree),
+    Forest(RandomForest),
+    Knn(KNearest),
+}
+
+impl Classifier for EventModel {
+    fn predict(&self, x: &[f64]) -> usize {
+        match self {
+            EventModel::Tree(m) => m.predict(x),
+            EventModel::Forest(m) => m.predict(x),
+            EventModel::Knn(m) => m.predict(x),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            EventModel::Tree(m) => m.name(),
+            EventModel::Forest(m) => m.name(),
+            EventModel::Knn(m) => m.name(),
+        }
+    }
+}
+
+/// Classification quality metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalMetrics {
+    pub accuracy: f64,
+    /// Macro-averaged F1 over classes present in the reference labels.
+    pub macro_f1: f64,
+    /// `confusion[truth][predicted]`.
+    pub confusion: Vec<Vec<usize>>,
+}
+
+/// Evaluates a classifier on labelled data.
+pub fn evaluate<C: Classifier + ?Sized>(
+    model: &C,
+    xs: &[Vec<f64>],
+    ys: &[usize],
+    n_classes: usize,
+) -> EvalMetrics {
+    assert_eq!(xs.len(), ys.len());
+    let mut confusion = vec![vec![0usize; n_classes]; n_classes];
+    let mut correct = 0usize;
+    for (x, &y) in xs.iter().zip(ys) {
+        let p = model.predict(x);
+        confusion[y][p] += 1;
+        if p == y {
+            correct += 1;
+        }
+    }
+    let accuracy = if xs.is_empty() {
+        0.0
+    } else {
+        correct as f64 / xs.len() as f64
+    };
+    let mut f1s = Vec::new();
+    for c in 0..n_classes {
+        let tp = confusion[c][c];
+        let fn_: usize = (0..n_classes).filter(|&j| j != c).map(|j| confusion[c][j]).sum();
+        let fp: usize = (0..n_classes).filter(|&i| i != c).map(|i| confusion[i][c]).sum();
+        if tp + fn_ == 0 {
+            continue; // class absent from reference
+        }
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = tp as f64 / (tp + fn_) as f64;
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        f1s.push(f1);
+    }
+    let macro_f1 = if f1s.is_empty() {
+        0.0
+    } else {
+        f1s.iter().sum::<f64>() / f1s.len() as f64
+    };
+    EvalMetrics {
+        accuracy,
+        macro_f1,
+        confusion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A linearly separable 2-class problem: class 0 near the origin,
+    /// class 1 far away, with a noise dimension.
+    fn toy_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let class = rng.gen_range(0..2usize);
+            let base = if class == 0 { 0.0 } else { 10.0 };
+            xs.push(vec![
+                base + rng.gen::<f64>(),
+                base * 0.5 + rng.gen::<f64>(),
+                rng.gen::<f64>(), // noise
+            ]);
+            ys.push(class);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn tree_learns_separable_data() {
+        let (xs, ys) = toy_data(200, 1);
+        let tree = DecisionTree::train(&xs, &ys, 2, &TreeParams::default());
+        let (tx, ty) = toy_data(100, 2);
+        let m = evaluate(&tree, &tx, &ty, 2);
+        assert!(m.accuracy > 0.95, "accuracy {}", m.accuracy);
+        assert!(m.macro_f1 > 0.95);
+    }
+
+    #[test]
+    fn tree_handles_pure_node_immediately() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![1, 1, 1];
+        let tree = DecisionTree::train(&xs, &ys, 2, &TreeParams::default());
+        assert_eq!(tree.node_count(), 1, "pure data needs a single leaf");
+        assert_eq!(tree.predict(&[9.0]), 1);
+    }
+
+    #[test]
+    fn tree_respects_max_depth() {
+        let (xs, ys) = toy_data(200, 3);
+        let stump = DecisionTree::train(
+            &xs,
+            &ys,
+            2,
+            &TreeParams {
+                max_depth: 1,
+                ..TreeParams::default()
+            },
+        );
+        assert!(stump.node_count() <= 3, "depth-1 tree has ≤ 3 nodes");
+        let m = evaluate(&stump, &xs, &ys, 2);
+        assert!(m.accuracy > 0.9, "one split separates this data");
+    }
+
+    #[test]
+    fn tree_constant_features_yield_leaf() {
+        let xs = vec![vec![5.0], vec![5.0], vec![5.0], vec![5.0]];
+        let ys = vec![0, 1, 0, 1];
+        let tree = DecisionTree::train(&xs, &ys, 2, &TreeParams::default());
+        assert_eq!(tree.node_count(), 1, "unsplittable data → leaf");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn tree_rejects_empty() {
+        DecisionTree::train(&[], &[], 2, &TreeParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn tree_rejects_bad_labels() {
+        DecisionTree::train(&[vec![1.0]], &[5], 2, &TreeParams::default());
+    }
+
+    #[test]
+    fn forest_at_least_matches_single_tree_on_noisy_data() {
+        let (xs, ys) = toy_data(300, 4);
+        let forest = RandomForest::train(&xs, &ys, 2, 15, 7);
+        assert_eq!(forest.len(), 15);
+        let (tx, ty) = toy_data(150, 5);
+        let m = evaluate(&forest, &tx, &ty, 2);
+        assert!(m.accuracy > 0.95, "forest accuracy {}", m.accuracy);
+    }
+
+    #[test]
+    fn forest_is_deterministic_per_seed() {
+        let (xs, ys) = toy_data(100, 6);
+        let a = RandomForest::train(&xs, &ys, 2, 5, 42);
+        let b = RandomForest::train(&xs, &ys, 2, 5, 42);
+        let (tx, _) = toy_data(50, 7);
+        for x in &tx {
+            assert_eq!(a.predict(x), b.predict(x));
+        }
+    }
+
+    #[test]
+    fn knn_learns_separable_data() {
+        let (xs, ys) = toy_data(200, 8);
+        let knn = KNearest::train(&xs, &ys, 2, 5);
+        let (tx, ty) = toy_data(100, 9);
+        let m = evaluate(&knn, &tx, &ty, 2);
+        assert!(m.accuracy > 0.95, "knn accuracy {}", m.accuracy);
+    }
+
+    #[test]
+    fn knn_normalisation_handles_scale_imbalance() {
+        // Feature 0 discriminates but is tiny; feature 1 is huge noise.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        for i in 0..200 {
+            let c = i % 2;
+            xs.push(vec![c as f64 * 0.001, rng.gen::<f64>() * 1000.0]);
+            ys.push(c);
+        }
+        let knn = KNearest::train(&xs, &ys, 2, 3);
+        let correct = (0..2)
+            .map(|c| usize::from(knn.predict(&[c as f64 * 0.001, 500.0]) == c))
+            .sum::<usize>();
+        assert_eq!(correct, 2, "z-scoring must rescue the small feature");
+    }
+
+    #[test]
+    fn event_model_enum_dispatches() {
+        let (xs, ys) = toy_data(100, 11);
+        let m1 = EventModel::Tree(DecisionTree::train(&xs, &ys, 2, &TreeParams::default()));
+        let m2 = EventModel::Forest(RandomForest::train(&xs, &ys, 2, 3, 1));
+        let m3 = EventModel::Knn(KNearest::train(&xs, &ys, 2, 3));
+        assert_eq!(m1.name(), "decision-tree");
+        assert_eq!(m2.name(), "random-forest");
+        assert_eq!(m3.name(), "knn");
+        for m in [&m1, &m2, &m3] {
+            assert_eq!(m.predict(&[0.2, 0.1, 0.5]), 0);
+            assert_eq!(m.predict(&[10.5, 5.2, 0.5]), 1);
+        }
+    }
+
+    #[test]
+    fn metrics_confusion_shape_and_perfect_score() {
+        let (xs, ys) = toy_data(100, 12);
+        let tree = DecisionTree::train(&xs, &ys, 2, &TreeParams::default());
+        let m = evaluate(&tree, &xs, &ys, 2);
+        assert_eq!(m.confusion.len(), 2);
+        assert_eq!(m.confusion[0].len(), 2);
+        assert!(m.accuracy >= 0.99, "training accuracy on separable data");
+        let total: usize = m.confusion.iter().flatten().sum();
+        assert_eq!(total, xs.len());
+    }
+
+    #[test]
+    fn metrics_empty_input() {
+        let tree = DecisionTree::train(&[vec![0.0]], &[0], 1, &TreeParams::default());
+        let m = evaluate(&tree, &[], &[], 1);
+        assert_eq!(m.accuracy, 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Density-based splitting: cluster positioning records "with respect to
+//! their spatio-temporal attributes" into snippets (paper §3, Annotation).
+//!
+//! A record is *dense* when enough other records fall within a planar radius
+//! **and** a time window around it — the ST-DBSCAN core-point condition
+//! specialised to a single time-ordered sequence. Maximal runs of dense
+//! records become [`SnippetKind::Dense`] snippets (stay candidates); the
+//! stretches between them become [`SnippetKind::Transit`] snippets.
+
+use trips_data::{Duration, PositioningSequence, RawRecord};
+
+/// Splitting parameters.
+#[derive(Debug, Clone)]
+pub struct SplitConfig {
+    /// Planar neighbourhood radius, metres.
+    pub radius: f64,
+    /// Temporal neighbourhood half-window.
+    pub window: Duration,
+    /// Minimum neighbours (incl. self) for a record to be dense.
+    pub min_pts: usize,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            radius: 4.0,
+            window: Duration::from_secs(45),
+            min_pts: 4,
+        }
+    }
+}
+
+/// Snippet classification by density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnippetKind {
+    /// Spatio-temporally dense — the device lingered.
+    Dense,
+    /// Sparse — the device was moving through.
+    Transit,
+}
+
+/// A contiguous stretch of records from one sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snippet {
+    pub kind: SnippetKind,
+    /// Index range `[first, last]` into the source sequence's records.
+    pub first: usize,
+    pub last: usize,
+}
+
+impl Snippet {
+    /// Number of records covered.
+    pub fn len(&self) -> usize {
+        self.last - self.first + 1
+    }
+
+    /// Always `false` (snippets cover at least one record).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The records of this snippet, borrowed from the source sequence.
+    pub fn records<'a>(&self, seq: &'a PositioningSequence) -> &'a [RawRecord] {
+        &seq.records()[self.first..=self.last]
+    }
+}
+
+/// Splits a sequence into snippets. The output snippets partition
+/// `0..seq.len()` exactly: concatenating their ranges reproduces the
+/// sequence with no overlap and no gap.
+pub fn split(seq: &PositioningSequence, config: &SplitConfig) -> Vec<Snippet> {
+    let records = seq.records();
+    let n = records.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Density pass: two-pointer window over time, planar distance check.
+    let mut dense = vec![false; n];
+    let radius_sq = config.radius * config.radius;
+    let mut lo = 0usize;
+    for i in 0..n {
+        while records[i].ts - records[lo].ts > config.window {
+            lo += 1;
+        }
+        let mut count = 0usize;
+        let mut hi = lo;
+        while hi < n && records[hi].ts - records[i].ts <= config.window {
+            if records[hi].location.floor == records[i].location.floor
+                && records[hi]
+                    .location
+                    .xy
+                    .distance_sq(records[i].location.xy)
+                    <= radius_sq
+            {
+                count += 1;
+                if count >= config.min_pts {
+                    break;
+                }
+            }
+            hi += 1;
+        }
+        dense[i] = count >= config.min_pts;
+    }
+
+    // Run-length pass.
+    let mut snippets = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=n {
+        if i == n || dense[i] != dense[start] {
+            snippets.push(Snippet {
+                kind: if dense[start] {
+                    SnippetKind::Dense
+                } else {
+                    SnippetKind::Transit
+                },
+                first: start,
+                last: i - 1,
+            });
+            start = i;
+        }
+    }
+    snippets
+}
+
+/// Fixed-window splitting (ablation A2): cut the sequence into equal time
+/// windows regardless of density.
+pub fn split_fixed_window(seq: &PositioningSequence, window: Duration) -> Vec<Snippet> {
+    let records = seq.records();
+    let n = records.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(window.as_millis() > 0, "window must be positive");
+    let mut snippets = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=n {
+        if i == n || records[i].ts - records[start].ts > window {
+            snippets.push(Snippet {
+                kind: SnippetKind::Dense, // kind decided downstream by model
+                first: start,
+                last: i - 1,
+            });
+            start = i;
+        }
+    }
+    snippets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_data::{DeviceId, Timestamp};
+
+    fn seq(recs: Vec<(f64, f64, i64)>) -> PositioningSequence {
+        PositioningSequence::from_records(
+            DeviceId::new("d"),
+            recs.into_iter()
+                .map(|(x, y, s)| {
+                    RawRecord::new(DeviceId::new("d"), x, y, 0, Timestamp::from_millis(s * 1000))
+                })
+                .collect(),
+        )
+    }
+
+    /// Dwell at (0,0) for 10 records, walk away fast, dwell at (100,0).
+    fn stay_walk_stay() -> PositioningSequence {
+        let mut recs = Vec::new();
+        for i in 0..10 {
+            recs.push((0.1 * i as f64, 0.0, i * 7));
+        }
+        for i in 0..8 {
+            recs.push((10.0 + 11.0 * i as f64, 0.0, 70 + i * 7));
+        }
+        for i in 0..10 {
+            recs.push((100.0, 0.1 * i as f64, 126 + i * 7));
+        }
+        seq(recs)
+    }
+
+    #[test]
+    fn partitions_exactly() {
+        let s = stay_walk_stay();
+        let snippets = split(&s, &SplitConfig::default());
+        assert!(!snippets.is_empty());
+        assert_eq!(snippets[0].first, 0);
+        assert_eq!(snippets.last().unwrap().last, s.len() - 1);
+        for w in snippets.windows(2) {
+            assert_eq!(w[0].last + 1, w[1].first, "no gap, no overlap");
+        }
+        let total: usize = snippets.iter().map(|sn| sn.len()).sum();
+        assert_eq!(total, s.len());
+    }
+
+    #[test]
+    fn detects_stay_walk_stay_structure() {
+        let s = stay_walk_stay();
+        let snippets = split(&s, &SplitConfig::default());
+        let kinds: Vec<SnippetKind> = snippets.iter().map(|sn| sn.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SnippetKind::Dense, SnippetKind::Transit, SnippetKind::Dense],
+            "snippets: {snippets:?}"
+        );
+    }
+
+    #[test]
+    fn alternating_kinds() {
+        let s = stay_walk_stay();
+        for w in split(&s, &SplitConfig::default()).windows(2) {
+            assert_ne!(w[0].kind, w[1].kind, "adjacent snippets must alternate");
+        }
+    }
+
+    #[test]
+    fn all_dense_when_stationary() {
+        let recs: Vec<(f64, f64, i64)> = (0..30).map(|i| (5.0, 5.0, i * 7)).collect();
+        let snippets = split(&seq(recs), &SplitConfig::default());
+        assert_eq!(snippets.len(), 1);
+        assert_eq!(snippets[0].kind, SnippetKind::Dense);
+    }
+
+    #[test]
+    fn all_transit_when_sprinting() {
+        let recs: Vec<(f64, f64, i64)> = (0..30).map(|i| (20.0 * i as f64, 0.0, i * 7)).collect();
+        let snippets = split(&seq(recs), &SplitConfig::default());
+        assert_eq!(snippets.len(), 1);
+        assert_eq!(snippets[0].kind, SnippetKind::Transit);
+    }
+
+    #[test]
+    fn floor_change_breaks_density() {
+        // Stationary planar position but floor alternates: planar neighbours
+        // are on other floors, so no record is dense.
+        let recs: Vec<RawRecord> = (0..20)
+            .map(|i| {
+                RawRecord::new(
+                    DeviceId::new("d"),
+                    5.0,
+                    5.0,
+                    (i % 2) as i16,
+                    Timestamp::from_millis(i * 7000),
+                )
+            })
+            .collect();
+        let s = PositioningSequence::from_records(DeviceId::new("d"), recs);
+        // Within the ±45 s window a record sees at most 7 same-floor
+        // neighbours (itself + i±2, ±4, ±6); min_pts 8 is unreachable.
+        let snippets = split(
+            &s,
+            &SplitConfig {
+                min_pts: 8,
+                ..SplitConfig::default()
+            },
+        );
+        assert!(snippets.iter().all(|sn| sn.kind == SnippetKind::Transit));
+    }
+
+    #[test]
+    fn empty_and_tiny_sequences() {
+        assert!(split(&seq(vec![]), &SplitConfig::default()).is_empty());
+        let one = split(&seq(vec![(0.0, 0.0, 0)]), &SplitConfig::default());
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].kind, SnippetKind::Transit, "single record is sparse");
+    }
+
+    #[test]
+    fn snippet_record_access() {
+        let s = stay_walk_stay();
+        let snippets = split(&s, &SplitConfig::default());
+        let first = &snippets[0];
+        assert_eq!(first.records(&s).len(), first.len());
+        assert_eq!(first.records(&s)[0], s.records()[first.first]);
+    }
+
+    #[test]
+    fn fixed_window_split_partitions() {
+        let s = stay_walk_stay();
+        let snippets = split_fixed_window(&s, Duration::from_secs(30));
+        assert_eq!(snippets[0].first, 0);
+        assert_eq!(snippets.last().unwrap().last, s.len() - 1);
+        let total: usize = snippets.iter().map(|sn| sn.len()).sum();
+        assert_eq!(total, s.len());
+        // Each window spans ≤ 30 s.
+        for sn in &snippets {
+            let span = s.records()[sn.last].ts - s.records()[sn.first].ts;
+            assert!(span <= Duration::from_secs(30));
+        }
+    }
+
+    #[test]
+    fn tighter_parameters_find_fewer_dense_records() {
+        let s = stay_walk_stay();
+        let loose = split(&s, &SplitConfig::default());
+        let strict = split(
+            &s,
+            &SplitConfig {
+                radius: 0.05,
+                min_pts: 8,
+                ..SplitConfig::default()
+            },
+        );
+        let dense_count = |sns: &[Snippet]| {
+            sns.iter()
+                .filter(|sn| sn.kind == SnippetKind::Dense)
+                .map(|sn| sn.len())
+                .sum::<usize>()
+        };
+        assert!(dense_count(&strict) <= dense_count(&loose));
+    }
+}

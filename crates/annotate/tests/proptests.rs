@@ -1,0 +1,161 @@
+//! Property-based tests for the Annotation layer: splitting partitions,
+//! feature invariances, and classifier sanity on arbitrary data.
+
+use proptest::prelude::*;
+use trips_annotate::features::FeatureVector;
+use trips_annotate::model::{Classifier, DecisionTree, KNearest, TreeParams};
+use trips_annotate::{split, SplitConfig};
+use trips_data::{DeviceId, Duration, PositioningSequence, RawRecord, Timestamp};
+
+fn arb_records() -> impl Strategy<Value = Vec<RawRecord>> {
+    prop::collection::vec(
+        (-50.0f64..50.0, -50.0f64..50.0, 0i16..3, 1i64..20),
+        1..80,
+    )
+    .prop_map(|steps| {
+        let d = DeviceId::new("p");
+        let mut t = 0i64;
+        steps
+            .into_iter()
+            .map(|(x, y, f, dt)| {
+                t += dt * 1000;
+                RawRecord::new(d.clone(), x, y, f, Timestamp::from_millis(t))
+            })
+            .collect()
+    })
+}
+
+fn arb_split_config() -> impl Strategy<Value = SplitConfig> {
+    (0.5f64..10.0, 5i64..120, 2usize..10).prop_map(|(radius, win, min_pts)| SplitConfig {
+        radius,
+        window: Duration::from_secs(win),
+        min_pts,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_partitions_exactly(records in arb_records(), config in arb_split_config()) {
+        let seq = PositioningSequence::from_records(DeviceId::new("p"), records);
+        let snippets = split::split(&seq, &config);
+        if seq.is_empty() {
+            prop_assert!(snippets.is_empty());
+        } else {
+            prop_assert_eq!(snippets[0].first, 0);
+            prop_assert_eq!(snippets.last().unwrap().last, seq.len() - 1);
+            for w in snippets.windows(2) {
+                prop_assert_eq!(w[0].last + 1, w[1].first);
+                prop_assert_ne!(w[0].kind, w[1].kind, "adjacent snippets alternate");
+            }
+            let covered: usize = snippets.iter().map(|s| s.len()).sum();
+            prop_assert_eq!(covered, seq.len());
+        }
+    }
+
+    #[test]
+    fn fixed_window_respects_bound(records in arb_records(), win_s in 5i64..300) {
+        let seq = PositioningSequence::from_records(DeviceId::new("p"), records);
+        let snippets = split::split_fixed_window(&seq, Duration::from_secs(win_s));
+        for s in &snippets {
+            let span = seq.records()[s.last].ts - seq.records()[s.first].ts;
+            prop_assert!(span <= Duration::from_secs(win_s));
+        }
+        let covered: usize = snippets.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(covered, seq.len());
+    }
+
+    #[test]
+    fn features_are_finite_and_nonnegative(records in arb_records()) {
+        let f = FeatureVector::extract(&records);
+        for (i, v) in f.values().iter().enumerate() {
+            prop_assert!(v.is_finite(), "feature {i} not finite");
+            prop_assert!(*v >= 0.0, "feature {i} negative: {v}");
+        }
+    }
+
+    #[test]
+    fn features_invariant_to_time_translation(records in arb_records(), shift_s in 0i64..100000) {
+        let f1 = FeatureVector::extract(&records);
+        let shifted: Vec<RawRecord> = records
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.ts = r.ts + Duration::from_secs(shift_s);
+                r
+            })
+            .collect();
+        let f2 = FeatureVector::extract(&shifted);
+        for (a, b) in f1.values().iter().zip(f2.values()) {
+            prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn features_variance_invariant_to_space_translation(records in arb_records(),
+                                                        dx in -100.0f64..100.0,
+                                                        dy in -100.0f64..100.0) {
+        let f1 = FeatureVector::extract(&records);
+        let moved: Vec<RawRecord> = records
+            .iter()
+            .map(|r| {
+                RawRecord::new(
+                    r.device.clone(),
+                    r.location.xy.x + dx,
+                    r.location.xy.y + dy,
+                    r.location.floor,
+                    r.ts,
+                )
+            })
+            .collect();
+        let f2 = FeatureVector::extract(&moved);
+        // Variance, distance, speeds, range, turns are translation-invariant.
+        for name in ["location_variance", "traveling_distance", "mean_speed", "covering_range", "turn_count"] {
+            let a = f1.get(name).unwrap();
+            let b = f2.get(name).unwrap();
+            prop_assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "{name}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tree_training_always_terminates_and_predicts_valid_class(
+        data in prop::collection::vec((prop::collection::vec(-10.0f64..10.0, 4), 0usize..3), 4..60)
+    ) {
+        let xs: Vec<Vec<f64>> = data.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<usize> = data.iter().map(|(_, y)| *y).collect();
+        let tree = DecisionTree::train(&xs, &ys, 3, &TreeParams::default());
+        for x in &xs {
+            prop_assert!(tree.predict(x) < 3);
+        }
+    }
+
+    #[test]
+    fn tree_perfectly_fits_separable_data(n in 4usize..40) {
+        // One feature perfectly separates the classes.
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..n).map(|i| usize::from(i >= n / 2)).collect();
+        let tree = DecisionTree::train(&xs, &ys, 2, &TreeParams { max_depth: 16, min_samples_split: 2, feature_subset: None });
+        for (x, &y) in xs.iter().zip(&ys) {
+            prop_assert_eq!(tree.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn knn_predicts_training_label_for_k1(
+        data in prop::collection::vec((prop::collection::vec(-10.0f64..10.0, 3), 0usize..2), 2..40)
+    ) {
+        // Deduplicate identical feature vectors with conflicting labels.
+        let mut seen = std::collections::BTreeMap::new();
+        for (x, y) in &data {
+            let key: Vec<i64> = x.iter().map(|v| (v * 1000.0) as i64).collect();
+            seen.entry(key).or_insert((x.clone(), *y));
+        }
+        let xs: Vec<Vec<f64>> = seen.values().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<usize> = seen.values().map(|(_, y)| *y).collect();
+        let knn = KNearest::train(&xs, &ys, 2, 1);
+        for (x, &y) in xs.iter().zip(&ys) {
+            prop_assert_eq!(knn.predict(x), y, "1-NN must memorise training data");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Criterion bench for the ablations: cleaning repair variants (A1),
+//! splitting strategies (A2), and knowledge priors (A3) as timed operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trips_annotate::{split, SplitConfig};
+use trips_bench::{editor_from_truth, make_dataset};
+use trips_clean::{Cleaner, CleanerConfig};
+use trips_complement::MobilityKnowledge;
+use trips_core::{Translator, TranslatorConfig};
+use trips_data::Duration;
+use trips_sim::ErrorModel;
+
+fn bench(c: &mut Criterion) {
+    let ds = make_dataset(2, 4, 8, 1, 0xBEFAB1, ErrorModel::default().scaled(2.0));
+
+    let mut g = c.benchmark_group("ablation_cleaning");
+    for (name, floor_fix, interp) in [
+        ("drop_only", false, false),
+        ("floor_only", true, false),
+        ("interp_only", false, true),
+        ("both", true, true),
+    ] {
+        let cleaner = Cleaner::new(
+            &ds.dsm,
+            CleanerConfig {
+                floor_correction: floor_fix,
+                interpolation: interp,
+                ..CleanerConfig::default()
+            },
+        )
+        .expect("frozen");
+        g.bench_with_input(BenchmarkId::new("variant", name), &ds, |b, ds| {
+            b.iter(|| {
+                ds.traces
+                    .iter()
+                    .map(|t| cleaner.clean(&t.raw).sequence.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+
+    let cleaner = Cleaner::with_defaults(&ds.dsm).expect("frozen");
+    let cleaned: Vec<_> = ds.traces.iter().map(|t| cleaner.clean(&t.raw)).collect();
+    let mut g = c.benchmark_group("ablation_splitting");
+    g.bench_function("density_based", |b| {
+        b.iter(|| {
+            cleaned
+                .iter()
+                .map(|cs| split::split(&cs.sequence, &SplitConfig::default()).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("fixed_window_60s", |b| {
+        b.iter(|| {
+            cleaned
+                .iter()
+                .map(|cs| split::split_fixed_window(&cs.sequence, Duration::from_secs(60)).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+
+    // Knowledge priors.
+    let editor = editor_from_truth(&ds, 8);
+    let translator =
+        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let result = translator.translate(&ds.sequences());
+    let all_sems: Vec<Vec<_>> = result
+        .devices
+        .iter()
+        .map(|d| d.original_semantics.clone())
+        .collect();
+    let mut g = c.benchmark_group("ablation_knowledge");
+    g.bench_function("uniform_prior", |b| {
+        b.iter(|| MobilityKnowledge::uniform(&ds.dsm))
+    });
+    g.bench_function("distance_decay_prior", |b| {
+        b.iter(|| MobilityKnowledge::distance_decay(&ds.dsm))
+    });
+    g.bench_function("learned", |b| {
+        b.iter(|| MobilityKnowledge::build(&ds.dsm, &all_sems, 0.5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

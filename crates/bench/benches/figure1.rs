@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 1: end-to-end pipeline throughput across the
+//! whole architecture (selection → cleaning → annotation → complementing).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use trips_bench::{editor_from_truth, make_dataset};
+use trips_core::{Translator, TranslatorConfig};
+use trips_sim::ErrorModel;
+
+fn bench(c: &mut Criterion) {
+    let ds = make_dataset(2, 4, 12, 1, 0xBEF161, ErrorModel::default());
+    let editor = editor_from_truth(&ds, 12);
+    let translator =
+        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let seqs = ds.sequences();
+    let records: usize = seqs.iter().map(|s| s.len()).sum();
+
+    let mut g = c.benchmark_group("figure1_pipeline");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Elements(records as u64));
+    g.bench_function("end_to_end_12_devices", |b| {
+        b.iter_batched(
+            || seqs.clone(),
+            |s| translator.translate(&s),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench for Figure 2: DSM creation — drawing-tool ops, builder
+//! construction, topology computation, JSON round-trip.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use trips_dsm::builder::MallBuilder;
+use trips_dsm::canvas::FloorplanCanvas;
+use trips_dsm::entity::EntityKind;
+use trips_dsm::json as dsm_json;
+use trips_geom::Point;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2_dsm");
+
+    // Drawing ops: one shop trace (polygon + door + tag) with snapping.
+    g.bench_function("canvas_draw_shop", |b| {
+        b.iter_batched(
+            || {
+                let mut canvas = FloorplanCanvas::new(0);
+                canvas.draw_polygon(
+                    EntityKind::Room,
+                    "seed",
+                    vec![
+                        Point::new(0.0, 0.0),
+                        Point::new(10.0, 0.0),
+                        Point::new(10.0, 8.0),
+                        Point::new(0.0, 8.0),
+                    ],
+                );
+                canvas
+            },
+            |mut canvas| {
+                let id = canvas.draw_polygon(
+                    EntityKind::Room,
+                    "shop",
+                    vec![
+                        Point::new(10.02, 0.01),
+                        Point::new(20.0, 0.0),
+                        Point::new(20.0, 8.0),
+                        Point::new(9.98, 8.01),
+                    ],
+                );
+                canvas.draw_door("door", Point::new(15.0, 8.0), 1.5);
+                canvas
+                    .assign_tag(id, trips_dsm::SemanticTag::new("shop", "shop"))
+                    .expect("tag");
+                canvas
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Builder + freeze at growing floor counts.
+    for floors in [1u16, 4, 7] {
+        g.bench_with_input(
+            BenchmarkId::new("build_and_freeze", floors),
+            &floors,
+            |b, &floors| {
+                b.iter(|| MallBuilder::new().floors(floors).shops_per_row(8).build())
+            },
+        );
+    }
+
+    // JSON round-trip of the 7-floor mall.
+    let dsm = MallBuilder::new().floors(7).shops_per_row(8).build();
+    let json = dsm_json::to_json(&dsm).expect("json");
+    g.bench_function("json_serialize_7floor", |b| {
+        b.iter(|| dsm_json::to_json(&dsm).expect("json"))
+    });
+    g.bench_function("json_parse_7floor", |b| {
+        b.iter(|| dsm_json::from_json(&json).expect("parse"))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for Figure 3 (Cleaning layer): speed-constraint checking
+//! and the full cleaning pass at two error intensities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trips_bench::make_dataset;
+use trips_clean::{Cleaner, SpeedChecker};
+use trips_sim::ErrorModel;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure3a_cleaning");
+
+    for scale in [1.0f64, 3.0] {
+        let ds = make_dataset(3, 4, 6, 1, 0xBEF3A1, ErrorModel::default().scaled(scale));
+        let cleaner = Cleaner::with_defaults(&ds.dsm).expect("frozen");
+        let records: usize = ds.traces.iter().map(|t| t.raw.len()).sum();
+        g.throughput(criterion::Throughput::Elements(records as u64));
+        g.bench_with_input(
+            BenchmarkId::new("clean_6_devices_err", scale),
+            &ds,
+            |b, ds| {
+                b.iter(|| {
+                    ds.traces
+                        .iter()
+                        .map(|t| cleaner.clean(&t.raw).report.repair_rate())
+                        .sum::<f64>()
+                })
+            },
+        );
+    }
+
+    // Raw speed-constraint scan (detection only).
+    let ds = make_dataset(3, 4, 6, 1, 0xBEF3A2, ErrorModel::default());
+    let checker = SpeedChecker::new(&ds.dsm, 3.0).expect("frozen");
+    g.bench_function("speed_scan_6_devices", |b| {
+        b.iter(|| {
+            ds.traces
+                .iter()
+                .map(|t| checker.scan(t.raw.records()).len())
+                .sum::<usize>()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for Figure 3 (Annotation layer): density splitting,
+//! feature extraction, model training and prediction, full annotation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trips_annotate::features::FeatureVector;
+use trips_annotate::model::{DecisionTree, RandomForest, TreeParams};
+use trips_annotate::{split, Annotator, AnnotatorConfig, SplitConfig};
+use trips_bench::{editor_from_truth, labelled_snippets, make_dataset};
+use trips_clean::Cleaner;
+use trips_sim::ErrorModel;
+
+fn bench(c: &mut Criterion) {
+    let ds = make_dataset(2, 4, 10, 1, 0xBEF3B1, ErrorModel::default());
+    let cleaner = Cleaner::with_defaults(&ds.dsm).expect("frozen");
+    let cleaned: Vec<_> = ds.traces.iter().map(|t| cleaner.clean(&t.raw)).collect();
+    let (xs, ys) = labelled_snippets(&ds);
+
+    let mut g = c.benchmark_group("figure3b_annotation");
+
+    g.bench_function("density_split_10_devices", |b| {
+        b.iter(|| {
+            cleaned
+                .iter()
+                .map(|cs| split::split(&cs.sequence, &SplitConfig::default()).len())
+                .sum::<usize>()
+        })
+    });
+
+    let sample = ds.traces[0].raw.records();
+    g.bench_function("feature_extraction", |b| {
+        b.iter(|| FeatureVector::extract(sample))
+    });
+
+    g.bench_function("train_decision_tree", |b| {
+        b.iter(|| DecisionTree::train(&xs, &ys, 2, &TreeParams::default()))
+    });
+
+    g.bench_function("train_random_forest_15", |b| {
+        b.iter(|| RandomForest::train(&xs, &ys, 2, 15, 42))
+    });
+
+    let tree = DecisionTree::train(&xs, &ys, 2, &TreeParams::default());
+    g.bench_function("tree_predict", |b| {
+        use trips_annotate::model::Classifier;
+        b.iter(|| tree.predict(&xs[0]))
+    });
+
+    // Full annotation of all cleaned sequences.
+    let editor = editor_from_truth(&ds, 10);
+    let (model, labels) = editor.train_default_model().expect("train");
+    let annotator = Annotator::new(&ds.dsm, model, labels, AnnotatorConfig::standard());
+    g.bench_function("annotate_10_devices", |b| {
+        b.iter(|| {
+            cleaned
+                .iter()
+                .map(|cs| annotator.annotate(&cs.sequence).len())
+                .sum::<usize>()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

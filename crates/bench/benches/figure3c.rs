@@ -1,0 +1,53 @@
+//! Criterion bench for Figure 3 (Complementing layer): knowledge
+//! construction, MAP path inference, and full gap complementing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trips_bench::{editor_from_truth, make_dataset};
+use trips_complement::{infer, Complementor, ComplementorConfig, MobilityKnowledge};
+use trips_core::{Translator, TranslatorConfig};
+use trips_sim::ErrorModel;
+
+fn bench(c: &mut Criterion) {
+    let em = ErrorModel {
+        burst_drop_rate: 0.04,
+        burst_len: 40,
+        ..ErrorModel::default()
+    };
+    let ds = make_dataset(2, 4, 15, 1, 0xBEF3C1, em);
+    let editor = editor_from_truth(&ds, 15);
+    let translator =
+        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let result = translator.translate(&ds.sequences());
+    let all_sems: Vec<Vec<_>> = result
+        .devices
+        .iter()
+        .map(|d| d.original_semantics.clone())
+        .collect();
+
+    let mut g = c.benchmark_group("figure3c_complementing");
+
+    g.bench_function("knowledge_build_15_devices", |b| {
+        b.iter(|| MobilityKnowledge::build(&ds.dsm, &all_sems, 0.5))
+    });
+
+    let knowledge = MobilityKnowledge::build(&ds.dsm, &all_sems, 0.5);
+    let regions: Vec<_> = ds.dsm.regions().map(|r| r.id).collect();
+    g.bench_function("map_path_inference", |b| {
+        b.iter(|| infer::map_path(&knowledge, regions[0], regions[regions.len() - 1], 4))
+    });
+
+    let complementor = Complementor::new(&ds.dsm, knowledge.clone(), ComplementorConfig::default());
+    g.bench_function("complement_15_devices", |b| {
+        b.iter(|| {
+            all_sems
+                .iter()
+                .map(|s| complementor.complement(s).len())
+                .sum::<usize>()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

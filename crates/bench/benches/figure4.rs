@@ -1,0 +1,71 @@
+//! Criterion bench for Figure 4: the Viewer — entry abstraction, timeline
+//! construction/queries, SVG and ASCII rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trips_bench::{editor_from_truth, make_dataset};
+use trips_core::{Translator, TranslatorConfig};
+use trips_data::Timestamp;
+use trips_sim::ErrorModel;
+use trips_viewer::{ascii, Entry, MapView, SourceKind, SvgRenderer, Timeline, VisibilityControl};
+
+fn bench(c: &mut Criterion) {
+    let ds = make_dataset(2, 4, 15, 1, 0xBEF401, ErrorModel::default());
+    let editor = editor_from_truth(&ds, 15);
+    let translator =
+        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let result = translator.translate(&ds.sequences());
+
+    let build_entries = || {
+        let mut entries: Vec<Entry> = Vec::new();
+        for d in &result.devices {
+            for r in d.raw.records() {
+                entries.push(Entry::from_record(r, SourceKind::Raw));
+            }
+            for s in &d.semantics {
+                entries.push(Entry::from_semantics(s, &ds.dsm));
+            }
+        }
+        entries
+    };
+
+    let mut g = c.benchmark_group("figure4_viewer");
+
+    g.bench_function("abstraction", |b| b.iter(build_entries));
+
+    let entries = build_entries();
+    g.bench_function("timeline_build", |b| {
+        b.iter(|| Timeline::new(entries.clone()))
+    });
+
+    let timeline = Timeline::new(entries);
+    g.bench_function("navigator_click", |b| {
+        b.iter(|| timeline.click_navigator(0).map(|v| v.len()))
+    });
+
+    let (start, end) = timeline.span().expect("non-empty");
+    let mid = Timestamp((start.as_millis() + end.as_millis()) / 2);
+    g.bench_function("instant_query", |b| b.iter(|| timeline.at(mid).len()));
+
+    let renderer = SvgRenderer::new(MapView::fit_to_floor(&ds.dsm, 0, 1000.0, 700.0));
+    g.bench_function("svg_render", |b| {
+        b.iter(|| renderer.render(&ds.dsm, timeline.entries(), &VisibilityControl::all_visible()))
+    });
+
+    g.bench_function("ascii_render", |b| {
+        b.iter(|| {
+            ascii::render(
+                &ds.dsm,
+                0,
+                timeline.entries(),
+                &VisibilityControl::all_visible(),
+                80,
+                24,
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

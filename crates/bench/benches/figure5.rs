@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 5: the complete five-step workflow as one
+//! operation (configuration reuse from the store included).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use trips_bench::{editor_from_truth, make_dataset};
+use trips_core::{export, Configurator, Trips};
+use trips_data::{Duration, SelectionRule, Selector};
+use trips_sim::ErrorModel;
+
+fn bench(c: &mut Criterion) {
+    let ds = make_dataset(3, 4, 10, 1, 0xBEF501, ErrorModel::default());
+    let editor = editor_from_truth(&ds, 10);
+
+    let mut g = c.benchmark_group("figure5_walkthrough");
+    g.sample_size(15);
+    g.bench_function("five_step_workflow", |b| {
+        b.iter_batched(
+            || (ds.sequences(), editor.clone()),
+            |(seqs, editor)| {
+                let selector = Selector::new(SelectionRule::MinDuration(Duration::from_mins(5)));
+                let mut system = Trips::new(
+                    Configurator::new(ds.dsm.clone())
+                        .with_selector(selector)
+                        .with_event_editor(editor),
+                );
+                system.run(seqs).expect("translate");
+                let device = system.result().unwrap().devices[0].raw.device().clone();
+                let svg = system.render_svg(&device, 0).expect("svg");
+                let text = export::to_text(system.result().unwrap());
+                (svg.len(), text.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

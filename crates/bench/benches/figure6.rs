@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 6: demo-scale translation and the parallel
+//! backend (serial vs multi-threaded on the same workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trips_bench::{editor_from_truth, make_dataset};
+use trips_core::{Translator, TranslatorConfig};
+use trips_sim::ErrorModel;
+
+fn bench(c: &mut Criterion) {
+    let ds = make_dataset(7, 6, 30, 1, 0xBEF601, ErrorModel::default());
+    let editor = editor_from_truth(&ds, 15);
+    let seqs = ds.sequences();
+    let records: usize = seqs.iter().map(|s| s.len()).sum();
+
+    let mut g = c.benchmark_group("figure6_demo_scale");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(records as u64));
+
+    for threads in [1usize, 4] {
+        let translator = Translator::from_editor(
+            &ds.dsm,
+            &editor,
+            TranslatorConfig::parallel(threads),
+        )
+        .expect("translator");
+        g.bench_with_input(
+            BenchmarkId::new("translate_30_devices_threads", threads),
+            &seqs,
+            |b, seqs| b.iter(|| translator.translate(seqs)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

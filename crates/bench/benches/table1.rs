@@ -1,0 +1,29 @@
+//! Criterion bench for Table 1: translating a single device's sequence into
+//! mobility semantics (the core translation operation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use trips_bench::{editor_from_truth, make_dataset};
+use trips_core::{Translator, TranslatorConfig};
+use trips_sim::ErrorModel;
+
+fn bench(c: &mut Criterion) {
+    let ds = make_dataset(2, 4, 4, 1, 0xBE7AB1, ErrorModel::default());
+    let editor = editor_from_truth(&ds, 4);
+    let translator =
+        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let one = vec![ds.traces[0].raw.clone()];
+
+    let mut g = c.benchmark_group("table1_translation");
+    g.throughput(criterion::Throughput::Elements(one[0].len() as u64));
+    g.bench_function("single_device", |b| {
+        b.iter_batched(
+            || one.clone(),
+            |seqs| translator.translate(&seqs),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! **Figure 1** — system architecture dataflow.
+//!
+//! Pushes one day of mall traffic through every component of the
+//! architecture in order (Data Selector → Raw Data Cleaner → Annotator →
+//! Complementor → Viewer abstraction) and reports per-component throughput,
+//! demonstrating the dataflow of the paper's architecture diagram.
+//!
+//! Run: `cargo run -p trips-bench --bin figure1 --release`
+
+use trips_annotate::{Annotator, AnnotatorConfig, MobilitySemantics};
+use trips_bench::{editor_from_truth, f1, make_dataset, time_ms, Table};
+use trips_clean::Cleaner;
+use trips_complement::{Complementor, ComplementorConfig, MobilityKnowledge};
+use trips_data::{Duration, SelectionRule, Selector};
+use trips_sim::ErrorModel;
+use trips_viewer::{Entry, SourceKind};
+
+fn main() {
+    let ds = make_dataset(3, 6, 60, 1, 0xF16001, ErrorModel::default());
+    let total_records = ds.record_count();
+    println!("== Figure 1: architecture dataflow ({total_records} records, {} devices) ==\n", ds.traces.len());
+
+    let mut t = Table::new(&["component", "input", "output", "ms", "krecords/s"]);
+
+    // Data Selector.
+    let sequences = ds.sequences();
+    let selector = Selector::new(SelectionRule::MinDuration(Duration::from_mins(5)));
+    let (selected, sel_ms) = time_ms(|| selector.select(sequences));
+    let sel_records: usize = selected.iter().map(|s| s.len()).sum();
+    t.row(&[
+        "Data Selector".into(),
+        format!("{total_records} rec"),
+        format!("{sel_records} rec"),
+        f1(sel_ms),
+        f1(total_records as f64 / sel_ms),
+    ]);
+
+    // Raw Data Cleaner.
+    let cleaner = Cleaner::with_defaults(&ds.dsm).expect("frozen");
+    let (cleaned, clean_ms) = time_ms(|| {
+        selected
+            .iter()
+            .map(|s| cleaner.clean(s))
+            .collect::<Vec<_>>()
+    });
+    let cleaned_records: usize = cleaned.iter().map(|c| c.sequence.len()).sum();
+    t.row(&[
+        "Raw Data Cleaner".into(),
+        format!("{sel_records} rec"),
+        format!("{cleaned_records} rec"),
+        f1(clean_ms),
+        f1(sel_records as f64 / clean_ms),
+    ]);
+
+    // Mobility Semantics Annotator.
+    let editor = editor_from_truth(&ds, 20);
+    let (model, labels) = editor.train_default_model().expect("train");
+    let annotator = Annotator::new(&ds.dsm, model, labels, AnnotatorConfig::standard());
+    let (annotated, ann_ms) = time_ms(|| {
+        cleaned
+            .iter()
+            .map(|c| annotator.annotate(&c.sequence))
+            .collect::<Vec<Vec<MobilitySemantics>>>()
+    });
+    let sem_count: usize = annotated.iter().map(|a| a.len()).sum();
+    t.row(&[
+        "Annotator".into(),
+        format!("{cleaned_records} rec"),
+        format!("{sem_count} sem"),
+        f1(ann_ms),
+        f1(cleaned_records as f64 / ann_ms),
+    ]);
+
+    // Mobility Semantics Complementor.
+    let (knowledge, know_ms) = time_ms(|| MobilityKnowledge::build(&ds.dsm, &annotated, 0.5));
+    let complementor = Complementor::new(&ds.dsm, knowledge, ComplementorConfig::default());
+    let (complemented, comp_ms) = time_ms(|| {
+        annotated
+            .iter()
+            .map(|a| complementor.complement(a))
+            .collect::<Vec<_>>()
+    });
+    let total_sem: usize = complemented.iter().map(|c| c.len()).sum();
+    t.row(&[
+        "Complementor".into(),
+        format!("{sem_count} sem"),
+        format!("{total_sem} sem"),
+        f1(know_ms + comp_ms),
+        f1(sem_count as f64 / (know_ms + comp_ms)),
+    ]);
+
+    // Viewer abstraction.
+    let (entries, view_ms) = time_ms(|| {
+        let mut entries: Vec<Entry> = Vec::new();
+        for (seq, sems) in selected.iter().zip(&complemented) {
+            for r in seq.records() {
+                entries.push(Entry::from_record(r, SourceKind::Raw));
+            }
+            for s in sems {
+                entries.push(Entry::from_semantics(s, &ds.dsm));
+            }
+        }
+        entries
+    });
+    t.row(&[
+        "Viewer abstraction".into(),
+        format!("{} rec+sem", sel_records + total_sem),
+        format!("{} entries", entries.len()),
+        f1(view_ms),
+        f1((sel_records + total_sem) as f64 / view_ms),
+    ]);
+
+    t.print();
+    println!(
+        "\nend-to-end: {} raw records -> {} semantics ({:.1} rec/sem) in {:.0} ms",
+        total_records,
+        total_sem,
+        sel_records as f64 / total_sem.max(1) as f64,
+        sel_ms + clean_ms + ann_ms + know_ms + comp_ms + view_ms
+    );
+}

@@ -1,0 +1,106 @@
+//! **Figure 2** — the Space Modeler's drawing tool / DSM creation.
+//!
+//! Measures the three-step DSM creation at growing floorplan complexity:
+//! drawing-operation throughput (with snapping and undo/redo), topology
+//! computation time, walking-graph size, and DSM JSON size.
+//!
+//! Run: `cargo run -p trips-bench --bin figure2 --release`
+
+use trips_bench::{f1, time_ms, Table};
+use trips_dsm::builder::MallBuilder;
+use trips_dsm::canvas::FloorplanCanvas;
+use trips_dsm::entity::EntityKind;
+use trips_dsm::{json as dsm_json, DigitalSpaceModel, SemanticTag};
+use trips_geom::Point;
+
+/// Traces one floor of `n` shops through the canvas, exactly as an analyst
+/// would: polygons with snapped corners, a door each, a tag each.
+fn draw_floor(n: usize) -> (FloorplanCanvas, f64) {
+    let mut canvas = FloorplanCanvas::new(0);
+    canvas.import_image("floorplan.png");
+    let (_, ms) = time_ms(|| {
+        for i in 0..n {
+            let x = (i as f64) * 10.0;
+            let id = canvas.draw_polygon(
+                EntityKind::Room,
+                &format!("Shop-{i}"),
+                vec![
+                    Point::new(x + 0.05, 0.02), // snaps onto the neighbour
+                    Point::new(x + 10.0, 0.0),
+                    Point::new(x + 10.0, 8.0),
+                    Point::new(x + 0.02, 7.98),
+                ],
+            );
+            canvas.draw_door(&format!("door-{i}"), Point::new(x + 5.0, 8.0), 1.5);
+            canvas
+                .assign_tag(id, SemanticTag::new("shop", "shop"))
+                .expect("tag");
+            // Editing pass: every 8th shop is adjusted then the adjustment
+            // reconsidered (undo/redo traffic).
+            if i % 8 == 0 {
+                canvas.move_element(id, 0.0, 0.1).expect("move");
+                canvas.undo().expect("undo");
+            }
+        }
+        canvas.draw_polygon(
+            EntityKind::Hallway,
+            "Hall",
+            vec![
+                Point::new(0.0, 8.0),
+                Point::new(n as f64 * 10.0, 8.0),
+                Point::new(n as f64 * 10.0, 14.0),
+                Point::new(0.0, 14.0),
+            ],
+        );
+    });
+    (canvas, ms)
+}
+
+fn main() {
+    println!("== Figure 2: DSM creation via the drawing tool ==\n");
+
+    let mut t = Table::new(&[
+        "shops",
+        "draw ms",
+        "ops/s",
+        "export ms",
+        "freeze ms",
+        "graph nodes",
+        "json KiB",
+    ]);
+    for shops in [8usize, 16, 32, 64, 128] {
+        let (canvas, draw_ms) = draw_floor(shops);
+        let ops = shops * 3 + shops / 8 * 2 + 1;
+        let mut dsm = DigitalSpaceModel::new("figure2");
+        let (_, export_ms) = time_ms(|| canvas.export_to_dsm(&mut dsm).expect("export"));
+        let (_, freeze_ms) = time_ms(|| dsm.freeze());
+        let nodes = dsm.topology().expect("frozen").nodes.len();
+        let json = dsm_json::to_json(&dsm).expect("json");
+        t.row(&[
+            shops.to_string(),
+            f1(draw_ms),
+            f1(ops as f64 / (draw_ms / 1000.0)),
+            f1(export_ms),
+            f1(freeze_ms),
+            nodes.to_string(),
+            (json.len() / 1024).to_string(),
+        ]);
+    }
+    t.print();
+
+    // Multi-floor scaling with the parametric builder (the evaluation mall).
+    println!("\nmulti-floor builder (8 shops/row):");
+    let mut t2 = Table::new(&["floors", "entities", "regions", "build+freeze ms", "json KiB"]);
+    for floors in [1u16, 2, 4, 7] {
+        let (dsm, ms) = time_ms(|| MallBuilder::new().floors(floors).shops_per_row(8).build());
+        let json = dsm_json::to_json(&dsm).expect("json");
+        t2.row(&[
+            floors.to_string(),
+            dsm.entity_count().to_string(),
+            dsm.region_count().to_string(),
+            f1(ms),
+            (json.len() / 1024).to_string(),
+        ]);
+    }
+    t2.print();
+}

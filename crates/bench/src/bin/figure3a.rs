@@ -1,0 +1,97 @@
+//! **Figure 3 (Cleaning layer)** — error detection and repair quality vs
+//! injected error intensity.
+//!
+//! Sweeps the Wi-Fi error model from mild to severe and reports, for raw vs
+//! cleaned data: position RMSE against ground truth, floor error rate, and
+//! the repair-action mix (floor corrections / interpolations / drops).
+//!
+//! Run: `cargo run -p trips-bench --bin figure3a --release`
+
+use trips_bench::{f1, f3, make_dataset, Table};
+use trips_clean::Cleaner;
+use trips_data::Timestamp;
+use trips_geom::IndoorPoint;
+use trips_sim::ErrorModel;
+
+struct Fidelity {
+    rmse: f64,
+    floor_err: f64,
+}
+
+fn fidelity(
+    records: &[trips_data::RawRecord],
+    truth: &[(Timestamp, IndoorPoint)],
+) -> Fidelity {
+    let mut err = 0.0;
+    let mut floor_bad = 0usize;
+    let mut n = 0usize;
+    for r in records {
+        let idx = truth.partition_point(|(t, _)| *t <= r.ts);
+        if idx == 0 {
+            continue;
+        }
+        let t = truth[idx - 1].1;
+        err += t.xy.distance(r.location.xy).powi(2);
+        floor_bad += usize::from(t.floor != r.location.floor);
+        n += 1;
+    }
+    Fidelity {
+        rmse: if n > 0 { (err / n as f64).sqrt() } else { 0.0 },
+        floor_err: if n > 0 { floor_bad as f64 / n as f64 } else { 0.0 },
+    }
+}
+
+fn main() {
+    println!("== Figure 3a: Cleaning layer vs error intensity ==\n");
+    let mut t = Table::new(&[
+        "err scale",
+        "raw RMSE m",
+        "clean RMSE m",
+        "raw floor%",
+        "clean floor%",
+        "floor-fix",
+        "interp",
+        "drop",
+    ]);
+
+    for scale in [0.5, 1.0, 2.0, 3.0, 4.0] {
+        let em = ErrorModel::default().scaled(scale);
+        let ds = make_dataset(3, 4, 20, 1, 0xF16003, em);
+        let cleaner = Cleaner::with_defaults(&ds.dsm).expect("frozen");
+
+        let mut raw_rmse = 0.0;
+        let mut clean_rmse = 0.0;
+        let mut raw_floor = 0.0;
+        let mut clean_floor = 0.0;
+        let mut fixes = 0usize;
+        let mut interps = 0usize;
+        let mut drops = 0usize;
+        let n = ds.traces.len() as f64;
+
+        for trace in &ds.traces {
+            let raw_fid = fidelity(trace.raw.records(), &trace.truth_samples);
+            let out = cleaner.clean(&trace.raw);
+            let clean_fid = fidelity(out.sequence.records(), &trace.truth_samples);
+            raw_rmse += raw_fid.rmse / n;
+            clean_rmse += clean_fid.rmse / n;
+            raw_floor += raw_fid.floor_err / n;
+            clean_floor += clean_fid.floor_err / n;
+            fixes += out.report.floor_corrected;
+            interps += out.report.interpolated;
+            drops += out.report.dropped;
+        }
+
+        t.row(&[
+            f1(scale),
+            f3(raw_rmse),
+            f3(clean_rmse),
+            f3(raw_floor * 100.0),
+            f3(clean_floor * 100.0),
+            fixes.to_string(),
+            interps.to_string(),
+            drops.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\n(cleaned RMSE and floor%: lower is better; expectation: cleaned < raw at every scale)");
+}

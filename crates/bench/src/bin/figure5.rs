@@ -1,0 +1,122 @@
+//! **Figure 5** — the five-step workflow in the shopping-mall scenario.
+//!
+//! Scripts the paper's walkthrough and reports each step's inputs, outputs
+//! and wall time, ending with the Viewer-side assessment numbers.
+//!
+//! Run: `cargo run -p trips-bench --bin figure5 --release`
+
+use trips_bench::{assess_result, editor_from_truth, f1, f3, make_dataset, time_ms, Table};
+use trips_core::{export, Configurator, Trips};
+use trips_data::selector::Quantifier;
+use trips_data::{Duration, SelectionRule, Selector};
+use trips_sim::ErrorModel;
+
+fn main() {
+    println!("== Figure 5: the five-step TRIPS workflow ==\n");
+    let ds = make_dataset(7, 6, 40, 7, 0xF16005, ErrorModel::default());
+    println!("dataset: {} ({} records)\n", ds.config_summary, ds.record_count());
+
+    let mut t = Table::new(&["step", "what", "output", "ms"]);
+
+    // Step 1: Data Selector.
+    let selector = Selector::new(
+        SelectionRule::TimeOfDayWindow {
+            from: Duration::from_hours(10),
+            to: Duration::from_hours(22),
+            quantifier: Quantifier::All,
+        }
+        .and(SelectionRule::MinRecords(20)),
+    );
+    let (selected_count, sel_ms) =
+        time_ms(|| selector.select_refs(&ds.sequences()).len());
+    t.row(&[
+        "(1)".into(),
+        "Data Selector: operating hours ∧ ≥20 records".into(),
+        format!("{selected_count}/{} sequences", ds.traces.len()),
+        f1(sel_ms),
+    ]);
+
+    // Step 2: Space Modeler (DSM serialisation stands for the save).
+    let (json, dsm_ms) = time_ms(|| trips_dsm::json::to_json(&ds.dsm).expect("json"));
+    t.row(&[
+        "(2)".into(),
+        "Space Modeler: save DSM".into(),
+        format!(
+            "{} entities, {} regions, {} KiB",
+            ds.dsm.entity_count(),
+            ds.dsm.region_count(),
+            json.len() / 1024
+        ),
+        f1(dsm_ms),
+    ]);
+
+    // Step 3: Event Editor.
+    let (editor, editor_ms) = time_ms(|| editor_from_truth(&ds, 15));
+    t.row(&[
+        "(3)".into(),
+        "Event Editor: designate training segments".into(),
+        format!(
+            "{} patterns, {} segments",
+            editor.patterns().len(),
+            editor.example_count()
+        ),
+        f1(editor_ms),
+    ]);
+
+    // Step 4: Translator.
+    let mut system = Trips::new(
+        Configurator::new(ds.dsm.clone())
+            .with_selector(selector)
+            .with_event_editor(editor),
+    );
+    let sequences = ds.sequences();
+    let (_, translate_ms) = time_ms(|| {
+        system.run(sequences).expect("translate");
+    });
+    let result = system.result().expect("ran");
+    t.row(&[
+        "(4)".into(),
+        "Translator: clean + annotate + complement".into(),
+        format!(
+            "{} records -> {} semantics",
+            result.total_records(),
+            result.total_semantics()
+        ),
+        f1(translate_ms),
+    ]);
+
+    // Step 5: Viewer.
+    let Some(first) = result.devices.first() else {
+        t.print();
+        println!("\n(no sequences passed selection — nothing to view)");
+        return;
+    };
+    let device = first.raw.device().clone();
+    let (artifacts, view_ms) = time_ms(|| {
+        let timeline = system.timeline_for(&device).expect("timeline");
+        let svg = system.render_svg(&device, 0).expect("svg");
+        (timeline.len(), svg.len())
+    });
+    t.row(&[
+        "(5)".into(),
+        format!("Viewer: timeline + map for {}", device.anonymized()),
+        format!("{} entries, {} KiB svg", artifacts.0, artifacts.1 / 1024),
+        f1(view_ms),
+    ]);
+
+    t.print();
+
+    // Exported result file sample (Figure 5(4)).
+    let text = export::to_text(result);
+    println!("\ntranslation result file (first 12 lines):");
+    for line in text.lines().take(12) {
+        println!("  {line}");
+    }
+
+    // Assessment.
+    let report = assess_result(&ds, result);
+    println!("\nassessment vs ground truth:");
+    println!("  region-time accuracy  {}", f3(report.region_time_accuracy));
+    println!("  coverage              {}", f3(report.coverage));
+    println!("  event accuracy        {}", f3(report.event_accuracy));
+}

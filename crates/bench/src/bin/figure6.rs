@@ -1,0 +1,64 @@
+//! **Figure 6** — demo-scale deployment.
+//!
+//! The paper deploys the backend on a Xeon server and serves a 7-floor,
+//! 7-day mall dataset. This binary measures translation at growing device
+//! counts and the parallel backend's speedup over threads.
+//!
+//! Run: `cargo run -p trips-bench --bin figure6 --release`
+//! (set `TRIPS_FIGURE6_FULL=1` for the full-scale sweep)
+
+use trips_bench::{editor_from_truth, f1, make_dataset, time_ms, Table};
+use trips_core::{Translator, TranslatorConfig};
+use trips_sim::ErrorModel;
+
+fn main() {
+    println!("== Figure 6: demo-scale translation throughput ==\n");
+    let full = std::env::var("TRIPS_FIGURE6_FULL").is_ok();
+    let device_counts: &[usize] = if full { &[100, 500, 1000] } else { &[25, 50, 100] };
+    let days = if full { 7 } else { 2 };
+
+    let mut t = Table::new(&["devices", "records", "wall ms", "krecords/s"]);
+    for &devices in device_counts {
+        let ds = make_dataset(7, 6, devices, days, 0xF16006, ErrorModel::default());
+        let editor = editor_from_truth(&ds, 15);
+        let translator = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::parallel(4))
+            .expect("translator");
+        let seqs = ds.sequences();
+        let records = ds.record_count();
+        let (_, ms) = time_ms(|| translator.translate(&seqs));
+        t.row(&[
+            devices.to_string(),
+            records.to_string(),
+            f1(ms),
+            f1(records as f64 / ms),
+        ]);
+    }
+    t.print();
+
+    // Parallel speedup at a fixed workload.
+    println!("\nparallel backend speedup (fixed workload):");
+    let ds = make_dataset(7, 6, if full { 200 } else { 50 }, days, 0xF16007, ErrorModel::default());
+    let editor = editor_from_truth(&ds, 15);
+    let seqs = ds.sequences();
+    let mut t2 = Table::new(&["threads", "wall ms", "speedup"]);
+    let mut base_ms = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let translator = Translator::from_editor(
+            &ds.dsm,
+            &editor,
+            TranslatorConfig::parallel(threads),
+        )
+        .expect("translator");
+        let (_, ms) = time_ms(|| translator.translate(&seqs));
+        if threads == 1 {
+            base_ms = ms;
+        }
+        t2.row(&[
+            threads.to_string(),
+            f1(ms),
+            format!("{:.2}x", base_ms / ms),
+        ]);
+    }
+    t2.print();
+    println!("\n(knowledge construction is the serial fraction; speedup is sub-linear by Amdahl)");
+}

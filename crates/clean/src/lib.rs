@@ -1,0 +1,24 @@
+//! The Cleaning layer of the three-layer translation framework (paper §3).
+//!
+//! Raw indoor positioning data carries characteristic errors: planar noise,
+//! outlier jumps, floor misreads, and gaps. The Cleaning layer "identifies
+//! and repairs the distinct raw data errors" by checking the *indoor speed
+//! constraint* — people cannot move faster than a walking-speed bound along
+//! the **minimum indoor walking distance** between consecutive records
+//! (Yang et al., paper ref \[13\]). An invalid record is repaired in two
+//! steps:
+//!
+//! 1. **floor value correction** — fix an erroneous floor attribute;
+//! 2. **location interpolation** — if the violation persists, re-derive the
+//!    location from the walking path between the surrounding valid records
+//!    using the DSM's geometry and topology.
+//!
+//! The entry point is [`Cleaner`]; its [`Cleaner::clean`] returns both the
+//! cleaned sequence and a per-record audit trail ([`RepairKind`]) that the
+//! Viewer uses to display raw vs cleaned data side by side.
+
+mod cleaner;
+mod speed;
+
+pub use cleaner::{CleanedSequence, Cleaner, CleanerConfig, CleaningReport, RepairKind};
+pub use speed::{SpeedChecker, SpeedViolation};

@@ -1,0 +1,229 @@
+//! Maximum-a-posteriori path inference over the region graph.
+//!
+//! Given two observed semantics endpoints `a` (left of the gap) and `b`
+//! (right of the gap), find the region path `a → r₁ → … → rₘ → b` that
+//! maximises the product of transition probabilities under the mobility
+//! knowledge — a Viterbi pass over bounded path lengths.
+
+use crate::knowledge::MobilityKnowledge;
+use trips_dsm::RegionId;
+
+/// The most likely intermediate region path between `a` and `b` (both
+/// exclusive), allowing at most `max_hops` transitions overall.
+///
+/// Returns `None` when no positive-probability path of length ≥ 2 exists —
+/// including the case where `a → b` directly is the most likely explanation
+/// (no intermediate regions to infer).
+///
+/// Ties on probability break toward fewer hops: the gap should be filled by
+/// the *simplest* likely explanation.
+pub fn map_path(
+    knowledge: &MobilityKnowledge,
+    a: RegionId,
+    b: RegionId,
+    max_hops: usize,
+) -> Option<Vec<RegionId>> {
+    let ia = knowledge.index_of(a)?;
+    let ib = knowledge.index_of(b)?;
+    let n = knowledge.regions().len();
+    if max_hops < 2 {
+        return None;
+    }
+
+    // viterbi[k][r] = best log-prob of reaching r from a in exactly k hops.
+    // Use log to avoid underflow on long paths.
+    let neg_inf = f64::NEG_INFINITY;
+    let mut prev_layer = vec![neg_inf; n];
+    prev_layer[ia] = 0.0;
+    let mut back: Vec<Vec<Option<usize>>> = Vec::with_capacity(max_hops);
+    let mut layers: Vec<Vec<f64>> = Vec::with_capacity(max_hops);
+
+    for _k in 1..=max_hops {
+        let mut layer = vec![neg_inf; n];
+        let mut back_k = vec![None; n];
+        for u in 0..n {
+            if prev_layer[u] == neg_inf {
+                continue;
+            }
+            let row = knowledge.row(u);
+            for (v, &p) in row.iter().enumerate() {
+                if p <= 0.0 {
+                    continue;
+                }
+                let cand = prev_layer[u] + p.ln();
+                if cand > layer[v] {
+                    layer[v] = cand;
+                    back_k[v] = Some(u);
+                }
+            }
+        }
+        layers.push(layer.clone());
+        back.push(back_k);
+        prev_layer = layer;
+    }
+
+    // The direct a→b probability (1 hop) is the null hypothesis: infer
+    // intermediates only when some k ≥ 2 path beats it.
+    let direct = layers[0][ib];
+
+    let mut best: Option<(usize, f64)> = None; // (k, log-prob) with k >= 2
+    for (k_idx, layer) in layers.iter().enumerate().skip(1) {
+        let lp = layer[ib];
+        if lp == neg_inf {
+            continue;
+        }
+        if best.map_or(true, |(_, b_lp)| lp > b_lp + 1e-12) {
+            best = Some((k_idx, lp));
+        }
+    }
+    let (k_idx, lp) = best?;
+    if direct != neg_inf && direct >= lp {
+        return None; // walking straight through is at least as likely
+    }
+
+    // Backtrack: path has k_idx+1 hops, i.e. k_idx intermediate regions.
+    let mut path_idx = vec![ib];
+    let mut cur = ib;
+    for k in (0..=k_idx).rev() {
+        let Some(p) = back[k][cur] else { return None };
+        path_idx.push(p);
+        cur = p;
+    }
+    path_idx.reverse();
+    debug_assert_eq!(path_idx[0], ia);
+    debug_assert_eq!(*path_idx.last().expect("non-empty"), ib);
+
+    let regions = knowledge.regions();
+    Some(
+        path_idx[1..path_idx.len() - 1]
+            .iter()
+            .map(|&i| regions[i])
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_annotate::MobilitySemantics;
+    use trips_data::{DeviceId, Timestamp};
+    use trips_dsm::builder::MallBuilder;
+    use trips_dsm::DigitalSpaceModel;
+
+    fn mall() -> DigitalSpaceModel {
+        MallBuilder::new().shops_per_row(3).with_cashiers(false).build()
+    }
+
+    fn sem(region: RegionId, start_s: i64, end_s: i64) -> MobilitySemantics {
+        MobilitySemantics {
+            device: DeviceId::new("d"),
+            event: "stay".into(),
+            region,
+            region_name: String::new(),
+            start: Timestamp::from_millis(start_s * 1000),
+            end: Timestamp::from_millis(end_s * 1000),
+            inferred: false,
+            display_point: None,
+        }
+    }
+
+    /// In the mall, two shops are never adjacent: the only route between
+    /// them runs through the hall. MAP inference must recover the hall.
+    #[test]
+    fn shop_to_shop_infers_hall() {
+        let dsm = mall();
+        let k = MobilityKnowledge::uniform(&dsm);
+        let shops: Vec<RegionId> = dsm
+            .regions()
+            .filter(|r| r.tag.category == "shop")
+            .map(|r| r.id)
+            .collect();
+        let hall = dsm
+            .regions()
+            .find(|r| r.name.starts_with("Center Hall"))
+            .unwrap()
+            .id;
+        let path = map_path(&k, shops[0], shops[1], 4).expect("path exists");
+        assert_eq!(path, vec![hall]);
+    }
+
+    #[test]
+    fn adjacent_regions_need_no_inference() {
+        let dsm = mall();
+        let k = MobilityKnowledge::uniform(&dsm);
+        let hall = dsm
+            .regions()
+            .find(|r| r.name.starts_with("Center Hall"))
+            .unwrap()
+            .id;
+        let shop = dsm.regions().find(|r| r.tag.category == "shop").unwrap().id;
+        // hall → shop is direct and maximally likely: nothing to infer.
+        assert_eq!(map_path(&k, hall, shop, 4), None);
+    }
+
+    #[test]
+    fn data_biases_the_chosen_path() {
+        let dsm = mall();
+        let regions: Vec<RegionId> = dsm
+            .regions()
+            .filter(|r| r.tag.category == "shop")
+            .map(|r| r.id)
+            .collect();
+        let hall = dsm
+            .regions()
+            .find(|r| r.name.starts_with("Center Hall"))
+            .unwrap()
+            .id;
+        let (s0, s1, s2) = (regions[0], regions[1], regions[2]);
+        // Observed habit: s0 → s2 → s1 ... but s0→s2 requires the hall in
+        // between (not adjacent). Construct instead: s0 → hall → s2 → hall →
+        // s1 as separate observed transitions so that from s0 the hall is
+        // overwhelmingly likely, and from the hall, s2 beats s1.
+        let mut seqs = Vec::new();
+        for i in 0..50i64 {
+            seqs.push(vec![
+                sem(s0, i * 1000, i * 1000 + 10),
+                sem(hall, i * 1000 + 20, i * 1000 + 30),
+                sem(s2, i * 1000 + 40, i * 1000 + 50),
+            ]);
+        }
+        let k = MobilityKnowledge::build(&dsm, &seqs, 0.1);
+        // Gap s0 → s1: best 2-hop path is s0 → hall → s1 (only route), so
+        // hall is inferred regardless; but check 3-hop isn't preferred.
+        let path = map_path(&k, s0, s1, 5).expect("path");
+        assert!(path.contains(&hall), "path {path:?} must include the hall");
+    }
+
+    #[test]
+    fn unknown_regions_yield_none() {
+        let dsm = mall();
+        let k = MobilityKnowledge::uniform(&dsm);
+        let r = dsm.regions().next().unwrap().id;
+        assert_eq!(map_path(&k, RegionId(999), r, 4), None);
+        assert_eq!(map_path(&k, r, RegionId(999), 4), None);
+    }
+
+    #[test]
+    fn hop_budget_respected() {
+        let dsm = mall();
+        let k = MobilityKnowledge::uniform(&dsm);
+        let shops: Vec<RegionId> = dsm
+            .regions()
+            .filter(|r| r.tag.category == "shop")
+            .map(|r| r.id)
+            .collect();
+        // Shop→shop needs 2 hops; max_hops 1 can't express it.
+        assert_eq!(map_path(&k, shops[0], shops[1], 1), None);
+        assert!(map_path(&k, shops[0], shops[1], 2).is_some());
+    }
+
+    #[test]
+    fn same_region_endpoints() {
+        let dsm = mall();
+        let k = MobilityKnowledge::uniform(&dsm);
+        let shop = dsm.regions().find(|r| r.tag.category == "shop").unwrap().id;
+        // Leaving and returning: the 2-hop path shop → hall → shop exists.
+        let path = map_path(&k, shop, shop, 4).expect("round trip");
+        assert_eq!(path.len(), 1, "one intermediate (the hall): {path:?}");
+    }
+}

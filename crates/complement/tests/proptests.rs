@@ -1,0 +1,126 @@
+//! Property-based tests for the Complementing layer: knowledge matrices are
+//! stochastic, complementing preserves observed semantics and never creates
+//! overlaps.
+
+use proptest::prelude::*;
+use trips_annotate::MobilitySemantics;
+use trips_complement::{Complementor, ComplementorConfig, MobilityKnowledge};
+use trips_data::{DeviceId, Duration, Timestamp};
+use trips_dsm::builder::MallBuilder;
+use trips_dsm::{DigitalSpaceModel, RegionId};
+
+fn mall() -> DigitalSpaceModel {
+    MallBuilder::new().floors(2).shops_per_row(3).build()
+}
+
+/// Arbitrary non-overlapping semantics sequences over the mall's regions.
+fn arb_semantics(dsm: &DigitalSpaceModel) -> impl Strategy<Value = Vec<MobilitySemantics>> {
+    let regions: Vec<(RegionId, String)> = dsm
+        .regions()
+        .map(|r| (r.id, r.name.clone()))
+        .collect();
+    prop::collection::vec((0usize..regions.len(), 10i64..600, 0i64..900), 0..15).prop_map(
+        move |items| {
+            let mut out = Vec::new();
+            let mut cursor = 0i64;
+            for (ri, dur, gap) in items {
+                let (region, name) = regions[ri].clone();
+                let start = cursor + gap;
+                let end = start + dur;
+                cursor = end;
+                out.push(MobilitySemantics {
+                    device: DeviceId::new("p"),
+                    event: if dur >= 90 { "stay" } else { "pass-by" }.to_string(),
+                    region,
+                    region_name: name,
+                    start: Timestamp::from_millis(start * 1000),
+                    end: Timestamp::from_millis(end * 1000),
+                    inferred: false,
+                    display_point: None,
+                });
+            }
+            out
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn knowledge_rows_are_stochastic_or_zero(seqs in prop::collection::vec(arb_semantics(&mall()), 0..6),
+                                             smoothing in 0.0f64..2.0) {
+        let dsm = mall();
+        let k = MobilityKnowledge::build(&dsm, &seqs, smoothing);
+        for &a in k.regions() {
+            let total: f64 = k.regions().iter().map(|&b| k.transition_prob(a, b)).sum();
+            prop_assert!(
+                (total - 1.0).abs() < 1e-9 || total.abs() < 1e-12,
+                "row for {a} sums to {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn complement_preserves_observed(sems in arb_semantics(&mall())) {
+        let dsm = mall();
+        let c = Complementor::new(&dsm, MobilityKnowledge::uniform(&dsm), ComplementorConfig::default());
+        let out = c.complement(&sems);
+        let observed: Vec<&MobilitySemantics> = out.iter().filter(|s| !s.inferred).collect();
+        prop_assert_eq!(observed.len(), sems.len());
+        for (a, b) in observed.iter().zip(&sems) {
+            prop_assert_eq!(*a, b, "observed entry mutated");
+        }
+    }
+
+    #[test]
+    fn complement_output_sorted_non_overlapping(sems in arb_semantics(&mall())) {
+        let dsm = mall();
+        let c = Complementor::new(&dsm, MobilityKnowledge::uniform(&dsm), ComplementorConfig::default());
+        let out = c.complement(&sems);
+        for w in out.windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+            prop_assert!(w[0].end <= w[1].start + Duration(1),
+                "overlap: {} vs {}", w[0].end, w[1].start);
+        }
+        for s in &out {
+            prop_assert!(s.start <= s.end);
+        }
+    }
+
+    #[test]
+    fn inferred_entries_fill_only_qualifying_gaps(sems in arb_semantics(&mall())) {
+        let dsm = mall();
+        let config = ComplementorConfig::default();
+        let (min_gap, max_gap) = (config.min_gap, config.max_gap);
+        let c = Complementor::new(&dsm, MobilityKnowledge::uniform(&dsm), config);
+        let out = c.complement(&sems);
+        // Every inferred entry lies inside some original qualifying gap.
+        for inf in out.iter().filter(|s| s.inferred) {
+            let inside_gap = sems.windows(2).any(|w| {
+                let gap = w[1].start - w[0].end;
+                gap >= min_gap
+                    && gap <= max_gap
+                    && inf.start >= w[0].end
+                    && inf.end <= w[1].start
+            });
+            prop_assert!(inside_gap, "inferred entry outside any gap: {inf}");
+        }
+    }
+
+    #[test]
+    fn count_gaps_matches_windows(sems in arb_semantics(&mall())) {
+        let dsm = mall();
+        let config = ComplementorConfig::default();
+        let (min_gap, max_gap) = (config.min_gap, config.max_gap);
+        let c = Complementor::new(&dsm, MobilityKnowledge::uniform(&dsm), config);
+        let expected = sems
+            .windows(2)
+            .filter(|w| {
+                let gap = w[1].start - w[0].end;
+                gap >= min_gap && gap <= max_gap
+            })
+            .count();
+        prop_assert_eq!(c.count_gaps(&sems), expected);
+    }
+}

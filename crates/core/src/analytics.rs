@@ -1,0 +1,285 @@
+//! Downstream analytics over translated mobility semantics.
+//!
+//! The paper motivates translation with the applications it "enables, e.g.,
+//! indoor behavior prediction, popular indoor location discovery and
+//! in-store marketing" (§1, refs \[6\]\[8\]\[2\]). This module implements the
+//! analytics a mall analyst runs *after* translation — all of them consume
+//! only semantics, never raw records, demonstrating the representation's
+//! value.
+
+use crate::translator::TranslationResult;
+use std::collections::BTreeMap;
+use trips_data::Duration;
+use trips_dsm::RegionId;
+
+/// Popularity of one semantic region across all translated devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionPopularity {
+    pub region: RegionId,
+    pub region_name: String,
+    /// Number of `stay` semantics in the region.
+    pub stays: usize,
+    /// Number of `pass-by` semantics in the region.
+    pub pass_bys: usize,
+    /// Distinct devices that stayed at least once.
+    pub unique_stayers: usize,
+    /// Total stay dwell time.
+    pub total_dwell: Duration,
+}
+
+impl RegionPopularity {
+    /// Conversion rate: stays per (stays + pass-bys) — how often walking
+    /// past turns into a visit (the in-store-marketing question).
+    pub fn conversion_rate(&self) -> f64 {
+        let total = self.stays + self.pass_bys;
+        if total == 0 {
+            0.0
+        } else {
+            self.stays as f64 / total as f64
+        }
+    }
+}
+
+/// Ranks regions by stay count (popular indoor location discovery, ref \[8\]).
+pub fn popular_regions(result: &TranslationResult) -> Vec<RegionPopularity> {
+    let mut map: BTreeMap<RegionId, RegionPopularity> = BTreeMap::new();
+    let mut stayers: BTreeMap<RegionId, std::collections::BTreeSet<&str>> = BTreeMap::new();
+    for d in &result.devices {
+        for s in &d.semantics {
+            let e = map.entry(s.region).or_insert_with(|| RegionPopularity {
+                region: s.region,
+                region_name: s.region_name.clone(),
+                stays: 0,
+                pass_bys: 0,
+                unique_stayers: 0,
+                total_dwell: Duration::ZERO,
+            });
+            if s.event == "stay" {
+                e.stays += 1;
+                e.total_dwell = e.total_dwell + s.duration();
+                stayers
+                    .entry(s.region)
+                    .or_default()
+                    .insert(d.raw.device().as_str());
+            } else {
+                e.pass_bys += 1;
+            }
+        }
+    }
+    let mut out: Vec<RegionPopularity> = map
+        .into_values()
+        .map(|mut p| {
+            p.unique_stayers = stayers.get(&p.region).map_or(0, |s| s.len());
+            p
+        })
+        .collect();
+    out.sort_by(|a, b| b.stays.cmp(&a.stays).then(b.total_dwell.cmp(&a.total_dwell)));
+    out
+}
+
+/// One directed flow between two regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    pub from: RegionId,
+    pub from_name: String,
+    pub to: RegionId,
+    pub to_name: String,
+    pub count: usize,
+}
+
+/// Ranks region-to-region transitions by frequency (the mobility patterns
+/// behind indoor behavior prediction, ref \[6\]).
+pub fn top_flows(result: &TranslationResult, limit: usize) -> Vec<Flow> {
+    let mut counts: BTreeMap<(RegionId, RegionId), (String, String, usize)> = BTreeMap::new();
+    for d in &result.devices {
+        for w in d.semantics.windows(2) {
+            if w[0].region == w[1].region {
+                continue;
+            }
+            let e = counts
+                .entry((w[0].region, w[1].region))
+                .or_insert_with(|| (w[0].region_name.clone(), w[1].region_name.clone(), 0));
+            e.2 += 1;
+        }
+    }
+    let mut flows: Vec<Flow> = counts
+        .into_iter()
+        .map(|((from, to), (from_name, to_name, count))| Flow {
+            from,
+            from_name,
+            to,
+            to_name,
+            count,
+        })
+        .collect();
+    flows.sort_by(|a, b| b.count.cmp(&a.count));
+    flows.truncate(limit);
+    flows
+}
+
+/// Histogram of stay dwell times with the given bucket width.
+pub fn dwell_histogram(result: &TranslationResult, bucket: Duration) -> Vec<(Duration, usize)> {
+    assert!(bucket.as_millis() > 0, "bucket must be positive");
+    let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+    for d in &result.devices {
+        for s in d.semantics.iter().filter(|s| s.event == "stay") {
+            let b = s.duration().as_millis() / bucket.as_millis();
+            *counts.entry(b).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(b, n)| (Duration(b * bucket.as_millis()), n))
+        .collect()
+}
+
+/// Per-device visit summary: how many regions were visited and total time
+/// accounted for (dashboard row for the analyst).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceSummary {
+    pub device: String,
+    pub regions_visited: usize,
+    pub stays: usize,
+    pub accounted: Duration,
+}
+
+/// Summarises each translated device.
+pub fn device_summaries(result: &TranslationResult) -> Vec<DeviceSummary> {
+    result
+        .devices
+        .iter()
+        .map(|d| {
+            let regions: std::collections::BTreeSet<RegionId> =
+                d.semantics.iter().map(|s| s.region).collect();
+            DeviceSummary {
+                device: d.raw.device().anonymized(),
+                regions_visited: regions.len(),
+                stays: d.semantics.iter().filter(|s| s.event == "stay").count(),
+                accounted: Duration(
+                    d.semantics.iter().map(|s| s.duration().as_millis()).sum(),
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translator::DeviceTranslation;
+    use trips_annotate::MobilitySemantics;
+    use trips_clean::{CleanedSequence, CleaningReport};
+    use trips_data::{DeviceId, PositioningSequence, Timestamp};
+
+    fn sem(device: &str, region: u32, name: &str, event: &str, start_s: i64, end_s: i64) -> MobilitySemantics {
+        MobilitySemantics {
+            device: DeviceId::new(device),
+            event: event.into(),
+            region: RegionId(region),
+            region_name: name.into(),
+            start: Timestamp::from_millis(start_s * 1000),
+            end: Timestamp::from_millis(end_s * 1000),
+            inferred: false,
+            display_point: None,
+        }
+    }
+
+    fn device(name: &str, sems: Vec<MobilitySemantics>) -> DeviceTranslation {
+        let d = DeviceId::new(name);
+        let raw = PositioningSequence::new(d);
+        DeviceTranslation {
+            cleaned: CleanedSequence {
+                sequence: raw.clone(),
+                repairs: Vec::new(),
+                report: CleaningReport::default(),
+            },
+            raw,
+            original_semantics: sems.clone(),
+            semantics: sems,
+        }
+    }
+
+    fn sample() -> TranslationResult {
+        TranslationResult {
+            devices: vec![
+                device(
+                    "a.b.c.1",
+                    vec![
+                        sem("a.b.c.1", 1, "Nike", "stay", 0, 600),
+                        sem("a.b.c.1", 2, "Hall", "pass-by", 600, 630),
+                        sem("a.b.c.1", 3, "Adidas", "stay", 630, 900),
+                    ],
+                ),
+                device(
+                    "a.b.c.2",
+                    vec![
+                        sem("a.b.c.2", 2, "Hall", "pass-by", 0, 60),
+                        sem("a.b.c.2", 1, "Nike", "stay", 60, 360),
+                        sem("a.b.c.2", 2, "Hall", "pass-by", 360, 400),
+                        sem("a.b.c.2", 1, "Nike", "stay", 400, 500),
+                    ],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn popularity_ranks_by_stays() {
+        let pops = popular_regions(&sample());
+        assert_eq!(pops[0].region_name, "Nike");
+        assert_eq!(pops[0].stays, 3);
+        assert_eq!(pops[0].unique_stayers, 2);
+        assert_eq!(pops[0].total_dwell, Duration::from_secs(1000));
+        let hall = pops.iter().find(|p| p.region_name == "Hall").unwrap();
+        assert_eq!(hall.stays, 0);
+        assert_eq!(hall.pass_bys, 3);
+        assert_eq!(hall.conversion_rate(), 0.0);
+        let nike = &pops[0];
+        assert!((nike.conversion_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flows_count_directed_transitions() {
+        let flows = top_flows(&sample(), 10);
+        let nike_to_hall = flows
+            .iter()
+            .find(|f| f.from_name == "Nike" && f.to_name == "Hall")
+            .unwrap();
+        assert_eq!(nike_to_hall.count, 2);
+        let hall_to_nike = flows
+            .iter()
+            .find(|f| f.from_name == "Hall" && f.to_name == "Nike")
+            .unwrap();
+        assert_eq!(hall_to_nike.count, 2);
+        // Limit respected.
+        assert_eq!(top_flows(&sample(), 1).len(), 1);
+    }
+
+    #[test]
+    fn dwell_histogram_buckets() {
+        let h = dwell_histogram(&sample(), Duration::from_mins(5));
+        // Stays: 600 s (bucket 2), 270 s (bucket 0), 300 s (bucket 1), 100 s (bucket 0).
+        let total: usize = h.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 4);
+        assert_eq!(h[0].1, 2, "two stays under 5 min: {h:?}");
+    }
+
+    #[test]
+    fn device_summaries_aggregate() {
+        let s = device_summaries(&sample());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].device, "a.*.1");
+        assert_eq!(s[0].regions_visited, 3);
+        assert_eq!(s[0].stays, 2);
+        assert_eq!(s[0].accounted, Duration::from_secs(900));
+    }
+
+    #[test]
+    fn empty_result_analytics() {
+        let r = TranslationResult::default();
+        assert!(popular_regions(&r).is_empty());
+        assert!(top_flows(&r, 5).is_empty());
+        assert!(dwell_histogram(&r, Duration::from_mins(1)).is_empty());
+        assert!(device_summaries(&r).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! The Configurator: one bundle of the three configured inputs (paper §2) —
+//! the positioning-data selection, the indoor space information (DSM), and
+//! the relevant contexts (semantic regions live in the DSM; mobility-event
+//! training data lives in the Event Editor).
+
+use trips_annotate::EventEditor;
+use trips_data::{PositioningSequence, Selector};
+use trips_dsm::DigitalSpaceModel;
+
+/// The configuration of one translation task.
+#[derive(Clone)]
+pub struct Configurator {
+    /// Data Selector rules choosing the sequences of interest.
+    pub selector: Selector,
+    /// The digital space model (geometry + topology + semantic regions).
+    pub dsm: DigitalSpaceModel,
+    /// Event patterns and their designated training segments.
+    pub event_editor: EventEditor,
+}
+
+impl Configurator {
+    /// Creates a configurator around a frozen DSM with match-all selection
+    /// and the default stay/pass-by patterns.
+    pub fn new(dsm: DigitalSpaceModel) -> Self {
+        assert!(dsm.is_frozen(), "DSM must be frozen (topology computed)");
+        Configurator {
+            selector: Selector::all(),
+            dsm,
+            event_editor: EventEditor::with_default_patterns(),
+        }
+    }
+
+    /// Replaces the selection rules.
+    pub fn with_selector(mut self, selector: Selector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Replaces the event editor.
+    pub fn with_event_editor(mut self, editor: EventEditor) -> Self {
+        self.event_editor = editor;
+        self
+    }
+
+    /// Step (1) of the workflow: apply the Data Selector to ingested
+    /// sequences.
+    pub fn select(&self, sequences: Vec<PositioningSequence>) -> Vec<PositioningSequence> {
+        self.selector.select(sequences)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_data::{DeviceId, RawRecord, SelectionRule, Timestamp};
+    use trips_dsm::builder::MallBuilder;
+
+    fn seq(device: &str, n: usize) -> PositioningSequence {
+        PositioningSequence::from_records(
+            DeviceId::new(device),
+            (0..n)
+                .map(|i| {
+                    RawRecord::new(
+                        DeviceId::new(device),
+                        5.0,
+                        5.0,
+                        0,
+                        Timestamp::from_millis(i as i64 * 7000),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn default_configuration_selects_everything() {
+        let c = Configurator::new(MallBuilder::new().shops_per_row(2).build());
+        let seqs = vec![seq("a", 5), seq("b", 3)];
+        assert_eq!(c.select(seqs).len(), 2);
+        assert_eq!(c.event_editor.patterns().len(), 2);
+    }
+
+    #[test]
+    fn selector_applies() {
+        let c = Configurator::new(MallBuilder::new().shops_per_row(2).build())
+            .with_selector(Selector::new(SelectionRule::MinRecords(4)));
+        let picked = c.select(vec![seq("a", 5), seq("b", 3)]);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].device().as_str(), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be frozen")]
+    fn rejects_unfrozen_dsm() {
+        Configurator::new(DigitalSpaceModel::new("raw"));
+    }
+}

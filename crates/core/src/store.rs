@@ -1,0 +1,232 @@
+//! Backend storage: "The data configurated in steps (2)-(3) will be stored
+//! in the backend for the reuse in other translation tasks in the same
+//! indoor space" (paper §4).
+//!
+//! The store persists DSMs and Event Editor training sets to a directory,
+//! keyed by name, behind a thread-safe in-memory cache.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use trips_annotate::{EventEditor, TrainingSet};
+use trips_dsm::{json as dsm_json, DigitalSpaceModel};
+
+/// Errors raised by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    Io(std::io::Error),
+    Dsm(trips_dsm::DsmError),
+    Serde(String),
+    NotFound(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Dsm(e) => write!(f, "store DSM error: {e}"),
+            StoreError::Serde(e) => write!(f, "store serialization error: {e}"),
+            StoreError::NotFound(k) => write!(f, "'{k}' not in store"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<trips_dsm::DsmError> for StoreError {
+    fn from(e: trips_dsm::DsmError) -> Self {
+        StoreError::Dsm(e)
+    }
+}
+
+/// Serializable form of an event editor's training data.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct StoredTraining {
+    patterns: Vec<(String, String)>,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<usize>,
+}
+
+/// Directory-backed configuration store with an in-memory cache.
+pub struct Store {
+    dir: PathBuf,
+    dsm_cache: RwLock<BTreeMap<String, DigitalSpaceModel>>,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Store {
+            dir,
+            dsm_cache: RwLock::new(BTreeMap::new()),
+        })
+    }
+
+    fn dsm_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("dsm-{name}.json"))
+    }
+
+    fn training_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("events-{name}.json"))
+    }
+
+    /// Persists a DSM under `name`.
+    pub fn save_dsm(&self, name: &str, dsm: &DigitalSpaceModel) -> Result<(), StoreError> {
+        dsm_json::save(dsm, self.dsm_path(name))?;
+        self.dsm_cache.write().insert(name.to_string(), dsm.clone());
+        Ok(())
+    }
+
+    /// Loads a DSM by name (cache first, then disk; topology recomputed on
+    /// cold loads).
+    pub fn load_dsm(&self, name: &str) -> Result<DigitalSpaceModel, StoreError> {
+        if let Some(dsm) = self.dsm_cache.read().get(name) {
+            return Ok(dsm.clone());
+        }
+        let path = self.dsm_path(name);
+        if !path.exists() {
+            return Err(StoreError::NotFound(name.to_string()));
+        }
+        let dsm = dsm_json::load(path)?;
+        self.dsm_cache.write().insert(name.to_string(), dsm.clone());
+        Ok(dsm)
+    }
+
+    /// Lists stored DSM names.
+    pub fn list_dsms(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name().to_string_lossy().to_string();
+            if let Some(stripped) = name.strip_prefix("dsm-").and_then(|n| n.strip_suffix(".json"))
+            {
+                names.push(stripped.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Persists an event editor's patterns and designations under `name`.
+    pub fn save_training(&self, name: &str, editor: &EventEditor) -> Result<(), StoreError> {
+        let ts = editor
+            .build_training_set()
+            .map_err(|e| StoreError::Serde(e.to_string()))?;
+        let stored = StoredTraining {
+            patterns: editor
+                .patterns()
+                .iter()
+                .map(|p| (p.name.clone(), p.description.clone()))
+                .collect(),
+            xs: ts.xs,
+            ys: ts.ys,
+        };
+        let json =
+            serde_json::to_string_pretty(&stored).map_err(|e| StoreError::Serde(e.to_string()))?;
+        fs::write(self.training_path(name), json)?;
+        Ok(())
+    }
+
+    /// Loads a stored training set by name.
+    pub fn load_training(&self, name: &str) -> Result<TrainingSet, StoreError> {
+        let path = self.training_path(name);
+        if !path.exists() {
+            return Err(StoreError::NotFound(name.to_string()));
+        }
+        let json = fs::read_to_string(path)?;
+        let stored: StoredTraining =
+            serde_json::from_str(&json).map_err(|e| StoreError::Serde(e.to_string()))?;
+        Ok(TrainingSet {
+            xs: stored.xs,
+            ys: stored.ys,
+            label_names: stored.patterns.into_iter().map(|(n, _)| n).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_data::{DeviceId, RawRecord, Timestamp};
+    use trips_dsm::builder::MallBuilder;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("trips-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    fn editor_with_data() -> EventEditor {
+        let mut e = EventEditor::with_default_patterns();
+        let stay: Vec<RawRecord> = (0..10)
+            .map(|i| RawRecord::new(DeviceId::new("d"), 5.0, 5.0, 0, Timestamp::from_millis(i * 7000)))
+            .collect();
+        let walk: Vec<RawRecord> = (0..10)
+            .map(|i| {
+                RawRecord::new(DeviceId::new("d"), 2.0 * i as f64, 0.0, 0, Timestamp::from_millis(i * 1000))
+            })
+            .collect();
+        e.designate_segment("stay", &stay).unwrap();
+        e.designate_segment("pass-by", &walk).unwrap();
+        e
+    }
+
+    #[test]
+    fn dsm_roundtrip_with_cache() {
+        let store = temp_store("dsm");
+        let dsm = MallBuilder::new().shops_per_row(2).build();
+        store.save_dsm("mall", &dsm).unwrap();
+        let back = store.load_dsm("mall").unwrap();
+        assert_eq!(back.entity_count(), dsm.entity_count());
+        assert!(back.is_frozen());
+        assert_eq!(store.list_dsms().unwrap(), vec!["mall"]);
+    }
+
+    #[test]
+    fn cold_load_from_disk() {
+        let dir = std::env::temp_dir().join(format!("trips-store-cold-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = Store::open(&dir).unwrap();
+            store
+                .save_dsm("mall", &MallBuilder::new().shops_per_row(2).build())
+                .unwrap();
+        }
+        // New store instance: cache is empty, must read the file.
+        let store2 = Store::open(&dir).unwrap();
+        let dsm = store2.load_dsm("mall").unwrap();
+        assert!(dsm.is_frozen(), "topology recomputed on load");
+    }
+
+    #[test]
+    fn missing_keys() {
+        let store = temp_store("missing");
+        assert!(matches!(
+            store.load_dsm("ghost"),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(matches!(
+            store.load_training("ghost"),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn training_roundtrip() {
+        let store = temp_store("training");
+        let editor = editor_with_data();
+        store.save_training("mall-events", &editor).unwrap();
+        let ts = store.load_training("mall-events").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.label_names, vec!["stay", "pass-by"]);
+        assert_eq!(ts.xs[0].len(), trips_annotate::features::FEATURE_DIM);
+    }
+}

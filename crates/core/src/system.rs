@@ -1,0 +1,157 @@
+//! The [`Trips`] facade: the five-step workflow of the paper's §4 behind one
+//! object.
+//!
+//! 1. set up the indoor positioning data (Data Selector);
+//! 2. import or create the DSM (Space Modeler);
+//! 3. define event patterns and collect training data (Event Editor);
+//! 4. submit the translation task (Translator);
+//! 5. browse the translation result (Viewer).
+
+use crate::config::Configurator;
+use crate::translator::{TranslationResult, Translator, TranslatorConfig};
+use trips_data::{DeviceId, PositioningSequence};
+use trips_viewer::{Entry, SourceKind, Timeline};
+
+/// The assembled TRIPS system.
+pub struct Trips {
+    pub configurator: Configurator,
+    pub translator_config: TranslatorConfig,
+    result: Option<TranslationResult>,
+}
+
+impl Trips {
+    /// Builds the system around a configuration (steps 1–3 done).
+    pub fn new(configurator: Configurator) -> Self {
+        Trips {
+            configurator,
+            translator_config: TranslatorConfig::standard(),
+            result: None,
+        }
+    }
+
+    /// Overrides the translator configuration.
+    pub fn with_translator_config(mut self, config: TranslatorConfig) -> Self {
+        self.translator_config = config;
+        self
+    }
+
+    /// Step 4: select and translate. Stores and returns the result.
+    pub fn run(
+        &mut self,
+        sequences: Vec<PositioningSequence>,
+    ) -> Result<&TranslationResult, Box<dyn std::error::Error>> {
+        let selected = self.configurator.select(sequences);
+        let translator = Translator::from_editor(
+            &self.configurator.dsm,
+            &self.configurator.event_editor,
+            self.translator_config.clone(),
+        )?;
+        self.result = Some(translator.translate(&selected));
+        Ok(self.result.as_ref().expect("just stored"))
+    }
+
+    /// The last translation result, if `run` has been called.
+    pub fn result(&self) -> Option<&TranslationResult> {
+        self.result.as_ref()
+    }
+
+    /// Step 5: build the Viewer timeline for one translated device,
+    /// combining raw records, cleaned records and semantics entries.
+    pub fn timeline_for(&self, device: &DeviceId) -> Option<Timeline> {
+        let result = self.result.as_ref()?;
+        let d = result.device(device)?;
+        let mut entries: Vec<Entry> = Vec::with_capacity(d.raw.len() * 2 + d.semantics.len());
+        for r in d.raw.records() {
+            entries.push(Entry::from_record(r, SourceKind::Raw));
+        }
+        for r in d.cleaned.sequence.records() {
+            entries.push(Entry::from_record(r, SourceKind::Cleaned));
+        }
+        for s in &d.semantics {
+            entries.push(Entry::from_semantics(s, &self.configurator.dsm));
+        }
+        Some(Timeline::new(entries))
+    }
+
+    /// Step 5 (map view): render one device's data on one floor as SVG.
+    pub fn render_svg(&self, device: &DeviceId, floor: trips_geom::FloorId) -> Option<String> {
+        let timeline = self.timeline_for(device)?;
+        let view =
+            trips_viewer::MapView::fit_to_floor(&self.configurator.dsm, floor, 1000.0, 700.0);
+        let renderer = trips_viewer::SvgRenderer::new(view);
+        Some(renderer.render(
+            &self.configurator.dsm,
+            timeline.entries(),
+            &trips_viewer::VisibilityControl::all_visible(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_sim::ScenarioConfig;
+
+    fn system_with_data() -> (Trips, Vec<PositioningSequence>, DeviceId) {
+        let ds = trips_sim::scenario::generate(
+            2,
+            3,
+            &ScenarioConfig {
+                devices: 3,
+                days: 1,
+                seed: 77,
+                ..ScenarioConfig::default()
+            },
+        );
+        let mut editor = trips_annotate::EventEditor::with_default_patterns();
+        for trace in &ds.traces {
+            for visit in &trace.truth_visits {
+                let segment: Vec<trips_data::RawRecord> = trace
+                    .raw
+                    .records()
+                    .iter()
+                    .filter(|r| r.ts >= visit.start && r.ts <= visit.end)
+                    .cloned()
+                    .collect();
+                if segment.len() >= 2 {
+                    let _ = editor.designate_segment(visit.kind.name(), &segment);
+                }
+            }
+        }
+        let device = ds.traces[0].device.clone();
+        let seqs = ds.sequences();
+        let config = Configurator::new(ds.dsm).with_event_editor(editor);
+        (Trips::new(config), seqs, device)
+    }
+
+    #[test]
+    fn five_step_workflow() {
+        let (mut trips, seqs, device) = system_with_data();
+        assert!(trips.result().is_none());
+        let result = trips.run(seqs).unwrap();
+        assert_eq!(result.devices.len(), 3);
+        assert!(result.total_semantics() > 0);
+
+        // Step 5: viewer artifacts.
+        let timeline = trips.timeline_for(&device).unwrap();
+        assert!(timeline.navigator_len() > 0, "semantics entries present");
+        assert!(timeline.len() > timeline.navigator_len(), "raw+cleaned too");
+
+        let svg = trips.render_svg(&device, 0).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("entry-"), "data overlays rendered");
+    }
+
+    #[test]
+    fn timeline_for_unknown_device() {
+        let (mut trips, seqs, _) = system_with_data();
+        trips.run(seqs).unwrap();
+        assert!(trips.timeline_for(&DeviceId::new("ghost")).is_none());
+    }
+
+    #[test]
+    fn timeline_before_run_is_none() {
+        let (trips, _, device) = system_with_data();
+        assert!(trips.timeline_for(&device).is_none());
+    }
+}

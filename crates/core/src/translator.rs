@@ -1,0 +1,411 @@
+//! The Translator: Cleaning → Annotation → Complementing over each selected
+//! positioning sequence (paper §2/§3), "without manual interventions".
+
+use trips_annotate::{Annotator, AnnotatorConfig, EventModel, MobilitySemantics};
+use trips_clean::{CleanedSequence, Cleaner, CleanerConfig};
+use trips_complement::{Complementor, ComplementorConfig, MobilityKnowledge};
+use trips_data::PositioningSequence;
+use trips_dsm::{DigitalSpaceModel, DsmError};
+
+/// Which classifier the Annotator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelChoice {
+    /// CART decision tree (default).
+    #[default]
+    DecisionTree,
+    /// Bagged random forest with this many trees.
+    RandomForest(usize),
+    /// k-nearest neighbours.
+    Knn(usize),
+}
+
+/// Translator configuration.
+#[derive(Debug, Clone, Default)]
+pub struct TranslatorConfig {
+    pub cleaner: CleanerConfig,
+    pub annotator: AnnotatorConfig,
+    pub complementor: ComplementorConfig,
+    pub model: ModelChoice,
+    /// Worker threads for the parallel backend (0 or 1 = serial).
+    pub threads: usize,
+}
+
+impl TranslatorConfig {
+    /// Standard configuration (merge gap enabled, serial execution).
+    pub fn standard() -> Self {
+        TranslatorConfig {
+            cleaner: CleanerConfig::default(),
+            annotator: AnnotatorConfig::standard(),
+            complementor: ComplementorConfig::default(),
+            model: ModelChoice::DecisionTree,
+            threads: 0,
+        }
+    }
+
+    /// Standard configuration with `n` worker threads.
+    pub fn parallel(n: usize) -> Self {
+        TranslatorConfig {
+            threads: n,
+            ..Self::standard()
+        }
+    }
+}
+
+/// Everything the Translator produced for one device.
+#[derive(Debug, Clone)]
+pub struct DeviceTranslation {
+    pub raw: PositioningSequence,
+    pub cleaned: CleanedSequence,
+    /// The Annotator's output before complementing ("original mobility
+    /// semantics sequence").
+    pub original_semantics: Vec<MobilitySemantics>,
+    /// The complete sequence after the Complementing layer.
+    pub semantics: Vec<MobilitySemantics>,
+}
+
+impl DeviceTranslation {
+    /// Conciseness: raw records per output semantics entry (Table 1's point
+    /// that semantics "use a more condensed form").
+    pub fn conciseness_ratio(&self) -> f64 {
+        if self.semantics.is_empty() {
+            return 0.0;
+        }
+        self.raw.len() as f64 / self.semantics.len() as f64
+    }
+
+    /// Number of inferred (complemented) entries.
+    pub fn inferred_count(&self) -> usize {
+        self.semantics.iter().filter(|s| s.inferred).count()
+    }
+}
+
+/// The result of one translation task over many devices.
+#[derive(Debug, Clone, Default)]
+pub struct TranslationResult {
+    pub devices: Vec<DeviceTranslation>,
+}
+
+impl TranslationResult {
+    /// Total raw records translated.
+    pub fn total_records(&self) -> usize {
+        self.devices.iter().map(|d| d.raw.len()).sum()
+    }
+
+    /// Total output semantics entries.
+    pub fn total_semantics(&self) -> usize {
+        self.devices.iter().map(|d| d.semantics.len()).sum()
+    }
+
+    /// The translation of a specific device, if present.
+    pub fn device(&self, id: &trips_data::DeviceId) -> Option<&DeviceTranslation> {
+        self.devices.iter().find(|d| d.raw.device() == id)
+    }
+}
+
+/// The Translator.
+pub struct Translator<'a> {
+    dsm: &'a DigitalSpaceModel,
+    model: EventModel,
+    labels: Vec<String>,
+    config: TranslatorConfig,
+}
+
+impl<'a> Translator<'a> {
+    /// Creates a translator with a pre-trained event model.
+    pub fn new(
+        dsm: &'a DigitalSpaceModel,
+        model: EventModel,
+        labels: Vec<String>,
+        config: TranslatorConfig,
+    ) -> Result<Self, DsmError> {
+        dsm.topology()?; // must be frozen
+        assert!(!labels.is_empty(), "label vocabulary must not be empty");
+        Ok(Translator {
+            dsm,
+            model,
+            labels,
+            config,
+        })
+    }
+
+    /// Trains the model from an event editor and builds the translator
+    /// (the paper's step (3) → step (4) hand-off).
+    pub fn from_editor(
+        dsm: &'a DigitalSpaceModel,
+        editor: &trips_annotate::EventEditor,
+        config: TranslatorConfig,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let (model, labels) = match config.model {
+            ModelChoice::DecisionTree => editor.train_default_model()?,
+            ModelChoice::RandomForest(n) => editor.train_forest(n, 0xBEEF)?,
+            ModelChoice::Knn(k) => editor.train_knn(k)?,
+        };
+        Ok(Translator::new(dsm, model, labels, config)?)
+    }
+
+    /// Translates the selected sequences into mobility semantics.
+    ///
+    /// Pipeline: clean and annotate every sequence (parallelisable), build
+    /// the mobility knowledge over *all* original semantics (the
+    /// Complementor "refer\[s\] to other generated mobility semantics
+    /// sequences"), then complement each sequence.
+    pub fn translate(&self, sequences: &[PositioningSequence]) -> TranslationResult {
+        let per_device: Vec<(PositioningSequence, CleanedSequence, Vec<MobilitySemantics>)> =
+            if self.config.threads > 1 && sequences.len() > 1 {
+                self.clean_annotate_parallel(sequences)
+            } else {
+                sequences
+                    .iter()
+                    .map(|s| self.clean_annotate_one(s))
+                    .collect()
+            };
+
+        // Knowledge construction over all original sequences.
+        let all_sems: Vec<Vec<MobilitySemantics>> = per_device
+            .iter()
+            .map(|(_, _, sems)| sems.clone())
+            .collect();
+        let knowledge = MobilityKnowledge::build(self.dsm, &all_sems, 0.5);
+        let complementor =
+            Complementor::new(self.dsm, knowledge, self.config.complementor.clone());
+
+        let complemented: Vec<Vec<MobilitySemantics>> =
+            if self.config.threads > 1 && per_device.len() > 1 {
+                let originals: Vec<&Vec<MobilitySemantics>> =
+                    per_device.iter().map(|(_, _, sems)| sems).collect();
+                let n_threads = self.config.threads.min(originals.len());
+                let mut slots: Vec<Option<Vec<MobilitySemantics>>> =
+                    (0..originals.len()).map(|_| None).collect();
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                let slot_refs = parking_lot::Mutex::new(&mut slots);
+                crossbeam::thread::scope(|scope| {
+                    for _ in 0..n_threads {
+                        scope.spawn(|_| loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= originals.len() {
+                                break;
+                            }
+                            let out = complementor.complement(originals[i]);
+                            slot_refs.lock()[i] = Some(out);
+                        });
+                    }
+                })
+                .expect("worker panicked");
+                slots.into_iter().map(|s| s.expect("filled")).collect()
+            } else {
+                per_device
+                    .iter()
+                    .map(|(_, _, original)| complementor.complement(original))
+                    .collect()
+            };
+
+        let devices = per_device
+            .into_iter()
+            .zip(complemented)
+            .map(|((raw, cleaned, original), semantics)| DeviceTranslation {
+                raw,
+                cleaned,
+                original_semantics: original,
+                semantics,
+            })
+            .collect();
+        TranslationResult { devices }
+    }
+
+    fn clean_annotate_one(
+        &self,
+        seq: &PositioningSequence,
+    ) -> (PositioningSequence, CleanedSequence, Vec<MobilitySemantics>) {
+        let cleaner = Cleaner::new(self.dsm, self.config.cleaner.clone()).expect("frozen DSM");
+        let annotator = Annotator::new(
+            self.dsm,
+            self.model.clone(),
+            self.labels.clone(),
+            self.config.annotator.clone(),
+        );
+        let cleaned = cleaner.clean(seq);
+        let sems = annotator.annotate(&cleaned.sequence);
+        (seq.clone(), cleaned, sems)
+    }
+
+    /// Fan-out over crossbeam scoped threads; results are re-assembled in
+    /// input order so parallel output is bit-identical to serial.
+    fn clean_annotate_parallel(
+        &self,
+        sequences: &[PositioningSequence],
+    ) -> Vec<(PositioningSequence, CleanedSequence, Vec<MobilitySemantics>)> {
+        let n_threads = self.config.threads.min(sequences.len());
+        let mut slots: Vec<Option<(PositioningSequence, CleanedSequence, Vec<MobilitySemantics>)>> =
+            (0..sequences.len()).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slot_refs = parking_lot::Mutex::new(&mut slots);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= sequences.len() {
+                        break;
+                    }
+                    let out = self.clean_annotate_one(&sequences[i]);
+                    slot_refs.lock()[i] = Some(out);
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect()
+    }
+
+    /// The label vocabulary in use.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_sim::{ScenarioConfig, SimulatedDataset};
+
+    fn dataset() -> SimulatedDataset {
+        trips_sim::scenario::generate(
+            2,
+            3,
+            &ScenarioConfig {
+                devices: 4,
+                days: 1,
+                seed: 2024,
+                ..ScenarioConfig::default()
+            },
+        )
+    }
+
+    /// Editor trained from the simulated ground truth: designate segments of
+    /// true visits with their true kinds.
+    fn editor_from_truth(ds: &SimulatedDataset) -> trips_annotate::EventEditor {
+        let mut editor = trips_annotate::EventEditor::with_default_patterns();
+        for trace in &ds.traces {
+            for visit in &trace.truth_visits {
+                let segment: Vec<trips_data::RawRecord> = trace
+                    .raw
+                    .records()
+                    .iter()
+                    .filter(|r| r.ts >= visit.start && r.ts <= visit.end)
+                    .cloned()
+                    .collect();
+                if segment.len() < 2 {
+                    continue;
+                }
+                let pattern = visit.kind.name();
+                let _ = editor.designate_segment(pattern, &segment);
+            }
+        }
+        editor
+    }
+
+    #[test]
+    fn end_to_end_translation_produces_semantics() {
+        let ds = dataset();
+        let editor = editor_from_truth(&ds);
+        let translator =
+            Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).unwrap();
+        let result = translator.translate(&ds.sequences());
+        assert_eq!(result.devices.len(), 4);
+        assert!(result.total_semantics() > 0);
+        assert!(result.total_records() > result.total_semantics(), "condensed");
+        for d in &result.devices {
+            // Semantics chronological and well-formed.
+            for w in d.semantics.windows(2) {
+                assert!(w[0].start <= w[1].start);
+            }
+            for s in &d.semantics {
+                assert!(s.start <= s.end);
+                assert!(!s.region_name.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let ds = dataset();
+        let editor = editor_from_truth(&ds);
+        let serial =
+            Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).unwrap();
+        let parallel =
+            Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::parallel(4)).unwrap();
+        let seqs = ds.sequences();
+        let a = serial.translate(&seqs);
+        let b = parallel.translate(&seqs);
+        assert_eq!(a.devices.len(), b.devices.len());
+        for (da, db) in a.devices.iter().zip(&b.devices) {
+            assert_eq!(da.raw.device(), db.raw.device());
+            assert_eq!(da.semantics, db.semantics, "parallel must be bit-identical");
+            assert_eq!(da.cleaned.report, db.cleaned.report);
+        }
+    }
+
+    #[test]
+    fn complementing_adds_only_inferred_entries() {
+        let ds = dataset();
+        let editor = editor_from_truth(&ds);
+        let translator =
+            Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).unwrap();
+        let result = translator.translate(&ds.sequences());
+        for d in &result.devices {
+            let observed: Vec<_> = d.semantics.iter().filter(|s| !s.inferred).collect();
+            assert_eq!(
+                observed.len(),
+                d.original_semantics.len(),
+                "complementing must not drop observed semantics"
+            );
+            assert_eq!(
+                d.semantics.len() - observed.len(),
+                d.inferred_count()
+            );
+        }
+    }
+
+    #[test]
+    fn model_choices_all_run() {
+        let ds = dataset();
+        let editor = editor_from_truth(&ds);
+        for model in [
+            ModelChoice::DecisionTree,
+            ModelChoice::RandomForest(5),
+            ModelChoice::Knn(3),
+        ] {
+            let cfg = TranslatorConfig {
+                model,
+                ..TranslatorConfig::standard()
+            };
+            let t = Translator::from_editor(&ds.dsm, &editor, cfg).unwrap();
+            let r = t.translate(&ds.sequences()[..1]);
+            assert_eq!(r.devices.len(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let ds = dataset();
+        let editor = editor_from_truth(&ds);
+        let t = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).unwrap();
+        let r = t.translate(&[]);
+        assert!(r.devices.is_empty());
+        assert_eq!(r.total_records(), 0);
+    }
+
+    #[test]
+    fn device_lookup() {
+        let ds = dataset();
+        let editor = editor_from_truth(&ds);
+        let t = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).unwrap();
+        let r = t.translate(&ds.sequences());
+        let id = ds.traces[0].device.clone();
+        assert!(r.device(&id).is_some());
+        assert!(r.device(&trips_data::DeviceId::new("ghost")).is_none());
+    }
+}

@@ -1,0 +1,311 @@
+//! Multi-source ingestion and export.
+//!
+//! The Data Selector "accepts the indoor positioning data from multi-sources
+//! (e.g., text files, database tables, and streams APIs)" (paper §2). This
+//! module provides the three source kinds behind one trait:
+//!
+//! * [`CsvSource`] — delimiter-separated text files;
+//! * [`TableSource`] — an in-memory row table (the shape a DB driver yields);
+//! * [`StreamSource`] — an iterator-backed API for live feeds.
+
+use crate::record::{DeviceId, RawRecord};
+use crate::sequence::{group_by_device, PositioningSequence};
+use crate::timestamp::Timestamp;
+use std::fmt;
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Errors raised by ingestion.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying file error.
+    File(std::io::Error),
+    /// A line/row could not be parsed: (line number, message).
+    Parse(usize, String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::File(e) => write!(f, "file error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "parse error on line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::File(e)
+    }
+}
+
+/// Anything that yields raw positioning records.
+pub trait RecordSource {
+    /// Drains the source into a record vector.
+    fn read_all(&mut self) -> Result<Vec<RawRecord>, IoError>;
+
+    /// Convenience: read and group into per-device sequences.
+    fn read_sequences(&mut self) -> Result<Vec<PositioningSequence>, IoError> {
+        Ok(group_by_device(self.read_all()?))
+    }
+}
+
+/// Parses one CSV line `device,x,y,floor,ts_millis`.
+fn parse_line(line: &str, lineno: usize) -> Result<Option<RawRecord>, IoError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split(',').map(str::trim);
+    let err = |msg: &str| IoError::Parse(lineno, msg.to_string());
+    let device = parts.next().ok_or_else(|| err("missing device"))?;
+    let x: f64 = parts
+        .next()
+        .ok_or_else(|| err("missing x"))?
+        .parse()
+        .map_err(|_| err("bad x"))?;
+    let y: f64 = parts
+        .next()
+        .ok_or_else(|| err("missing y"))?
+        .parse()
+        .map_err(|_| err("bad y"))?;
+    let floor: i16 = parts
+        .next()
+        .ok_or_else(|| err("missing floor"))?
+        .parse()
+        .map_err(|_| err("bad floor"))?;
+    let ts: i64 = parts
+        .next()
+        .ok_or_else(|| err("missing ts"))?
+        .parse()
+        .map_err(|_| err("bad ts"))?;
+    if parts.next().is_some() {
+        return Err(err("too many fields"));
+    }
+    Ok(Some(RawRecord::new(
+        DeviceId::new(device),
+        x,
+        y,
+        floor,
+        Timestamp::from_millis(ts),
+    )))
+}
+
+/// Formats a record as a CSV line (inverse of [`parse_line`]).
+fn format_line(r: &RawRecord) -> String {
+    format!(
+        "{},{},{},{},{}",
+        r.device,
+        r.location.xy.x,
+        r.location.xy.y,
+        r.location.floor,
+        r.ts.as_millis()
+    )
+}
+
+/// Text-file source: one `device,x,y,floor,ts_millis` record per line;
+/// `#`-prefixed lines and blank lines are skipped.
+pub struct CsvSource {
+    content: String,
+}
+
+impl CsvSource {
+    /// Reads from a file on disk.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, IoError> {
+        Ok(CsvSource {
+            content: fs::read_to_string(path)?,
+        })
+    }
+
+    /// Wraps an in-memory CSV document (tests, demos).
+    pub fn from_string(content: &str) -> Self {
+        CsvSource {
+            content: content.to_string(),
+        }
+    }
+}
+
+impl RecordSource for CsvSource {
+    fn read_all(&mut self) -> Result<Vec<RawRecord>, IoError> {
+        let mut out = Vec::new();
+        for (i, line) in self.content.lines().enumerate() {
+            if let Some(r) = parse_line(line, i + 1)? {
+                out.push(r);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Database-table source: rows already materialised as tuples.
+pub struct TableSource {
+    rows: Vec<(String, f64, f64, i16, i64)>,
+}
+
+impl TableSource {
+    /// Wraps rows of `(device, x, y, floor, ts_millis)`.
+    pub fn new(rows: Vec<(String, f64, f64, i16, i64)>) -> Self {
+        TableSource { rows }
+    }
+}
+
+impl RecordSource for TableSource {
+    fn read_all(&mut self) -> Result<Vec<RawRecord>, IoError> {
+        Ok(self
+            .rows
+            .drain(..)
+            .map(|(d, x, y, f, t)| {
+                RawRecord::new(DeviceId::new(&d), x, y, f, Timestamp::from_millis(t))
+            })
+            .collect())
+    }
+}
+
+/// Stream-API source: any record iterator (a live positioning feed adapter).
+pub struct StreamSource<I: Iterator<Item = RawRecord>> {
+    inner: Option<I>,
+}
+
+impl<I: Iterator<Item = RawRecord>> StreamSource<I> {
+    /// Wraps an iterator.
+    pub fn new(iter: I) -> Self {
+        StreamSource { inner: Some(iter) }
+    }
+}
+
+impl<I: Iterator<Item = RawRecord>> RecordSource for StreamSource<I> {
+    fn read_all(&mut self) -> Result<Vec<RawRecord>, IoError> {
+        Ok(self.inner.take().map(|i| i.collect()).unwrap_or_default())
+    }
+}
+
+/// Writes records to a CSV file (the export counterpart, used to persist
+/// simulated datasets and cleaned sequences).
+pub fn write_csv(records: &[RawRecord], path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# device,x,y,floor,ts_millis")?;
+    for r in records {
+        writeln!(w, "{}", format_line(r))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes records to an in-memory CSV document.
+pub fn to_csv_string(records: &[RawRecord]) -> String {
+    let mut s = String::with_capacity(records.len() * 32);
+    s.push_str("# device,x,y,floor,ts_millis\n");
+    for r in records {
+        s.push_str(&format_line(r));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# device,x,y,floor,ts_millis
+3a.7f.99.14,5.1,12.7,3,100
+3a.7f.99.14,6.5,11.8,3,7100
+
+other.device,1.0,2.0,0,50
+";
+
+    #[test]
+    fn csv_parses_records_and_skips_comments() {
+        let mut src = CsvSource::from_string(SAMPLE);
+        let records = src.read_all().unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].device.as_str(), "3a.7f.99.14");
+        assert_eq!(records[0].location.floor, 3);
+        assert_eq!(records[2].ts, Timestamp::from_millis(50));
+    }
+
+    #[test]
+    fn csv_reports_parse_errors_with_line_numbers() {
+        let mut src = CsvSource::from_string("dev,notanumber,2.0,0,100\n");
+        match src.read_all() {
+            Err(IoError::Parse(1, msg)) => assert!(msg.contains("bad x")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let mut src = CsvSource::from_string("dev,1.0,2.0,0,100,extra\n");
+        assert!(matches!(src.read_all(), Err(IoError::Parse(1, _))));
+        let mut src = CsvSource::from_string("dev,1.0\n");
+        assert!(matches!(src.read_all(), Err(IoError::Parse(1, _))));
+    }
+
+    #[test]
+    fn sequences_grouped_per_device() {
+        let mut src = CsvSource::from_string(SAMPLE);
+        let seqs = src.read_sequences().unwrap();
+        assert_eq!(seqs.len(), 2);
+        let big = seqs.iter().find(|s| s.len() == 2).unwrap();
+        assert_eq!(big.device().as_str(), "3a.7f.99.14");
+    }
+
+    #[test]
+    fn table_source() {
+        let mut src = TableSource::new(vec![
+            ("a".into(), 1.0, 2.0, 0, 10),
+            ("b".into(), 3.0, 4.0, 1, 20),
+        ]);
+        let records = src.read_all().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].location.floor, 1);
+        // Drained: second read is empty.
+        assert!(src.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn stream_source() {
+        let records = vec![
+            RawRecord::new(DeviceId::new("s"), 0.0, 0.0, 0, Timestamp(0)),
+            RawRecord::new(DeviceId::new("s"), 1.0, 0.0, 0, Timestamp(1)),
+        ];
+        let mut src = StreamSource::new(records.clone().into_iter());
+        assert_eq!(src.read_all().unwrap(), records);
+        assert!(src.read_all().unwrap().is_empty(), "stream consumed");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut src = CsvSource::from_string(SAMPLE);
+        let records = src.read_all().unwrap();
+        let csv = to_csv_string(&records);
+        let mut back = CsvSource::from_string(&csv);
+        assert_eq!(back.read_all().unwrap(), records);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("trips-data-io-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.csv");
+        let records = vec![RawRecord::new(
+            DeviceId::new("f"),
+            1.5,
+            -2.5,
+            2,
+            Timestamp(42),
+        )];
+        write_csv(&records, &path).unwrap();
+        let mut src = CsvSource::open(&path).unwrap();
+        assert_eq!(src.read_all().unwrap(), records);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            CsvSource::open("/no/such/file.csv"),
+            Err(IoError::File(_))
+        ));
+    }
+}

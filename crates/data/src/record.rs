@@ -1,0 +1,146 @@
+//! Raw positioning records and device identities.
+
+use crate::timestamp::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+use trips_geom::{FloorId, IndoorPoint};
+
+/// Identity of a positioned object (a device MAC in Wi-Fi systems).
+///
+/// The paper's dataset anonymizes MACs for privacy; [`DeviceId::anonymized`]
+/// reproduces the `3a.*.14`-style masking seen in Figure 5(4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(Arc<str>);
+
+impl DeviceId {
+    /// Creates a device id from its raw string form.
+    pub fn new(id: &str) -> Self {
+        DeviceId(Arc::from(id))
+    }
+
+    /// The raw identifier.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Privacy mask: keep the first and last dot-separated groups, replace
+    /// the middle with `*` (e.g. `3a.7f.99.14` → `3a.*.14`). Ids without
+    /// separators are masked to their first two and last two characters.
+    pub fn anonymized(&self) -> String {
+        let parts: Vec<&str> = self.0.split('.').collect();
+        if parts.len() >= 3 {
+            format!("{}.*.{}", parts[0], parts[parts.len() - 1])
+        } else if self.0.len() > 4 {
+            format!("{}*{}", &self.0[..2], &self.0[self.0.len() - 2..])
+        } else {
+            self.0.to_string()
+        }
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One raw positioning record: *what* (device), *where* (point + floor),
+/// *when* (timestamp) — the left side of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawRecord {
+    pub device: DeviceId,
+    pub location: IndoorPoint,
+    pub ts: Timestamp,
+}
+
+impl RawRecord {
+    /// Creates a record.
+    pub fn new(device: DeviceId, x: f64, y: f64, floor: FloorId, ts: Timestamp) -> Self {
+        RawRecord {
+            device,
+            location: IndoorPoint::new(x, y, floor),
+            ts,
+        }
+    }
+
+    /// Whether the record's coordinates are finite (corrupt-input guard).
+    pub fn is_well_formed(&self) -> bool {
+        self.location.xy.is_finite()
+    }
+
+    /// Implied average speed (m/s, planar) from `prev` to `self`; `None` if
+    /// timestamps coincide or regress.
+    pub fn planar_speed_from(&self, prev: &RawRecord) -> Option<f64> {
+        let dt = (self.ts - prev.ts).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
+        }
+        Some(self.location.planar_distance(&prev.location) / dt)
+    }
+}
+
+impl fmt::Display for RawRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, {}, {}", self.device, self.location, self.ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymization_mac_style() {
+        assert_eq!(DeviceId::new("3a.7f.99.14").anonymized(), "3a.*.14");
+        assert_eq!(DeviceId::new("ab.cd.ef").anonymized(), "ab.*.ef");
+    }
+
+    #[test]
+    fn anonymization_plain_ids() {
+        assert_eq!(DeviceId::new("device001").anonymized(), "de*01");
+        assert_eq!(DeviceId::new("x1").anonymized(), "x1");
+    }
+
+    #[test]
+    fn device_id_cheap_clone_equality() {
+        let a = DeviceId::new("3a.7f.99.14");
+        let b = a.clone();
+        let c = DeviceId::new("3a.7f.99.14");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(a, DeviceId::new("other"));
+    }
+
+    #[test]
+    fn record_display_matches_paper_shape() {
+        let r = RawRecord::new(
+            DeviceId::new("oi"),
+            5.1,
+            12.7,
+            3,
+            Timestamp::from_dhms(0, 13, 2, 5),
+        );
+        assert_eq!(r.to_string(), "oi, (5.10, 12.70, 3F), d0 13:02:05");
+    }
+
+    #[test]
+    fn speed_between_records() {
+        let d = DeviceId::new("d");
+        let a = RawRecord::new(d.clone(), 0.0, 0.0, 0, Timestamp::from_millis(0));
+        let b = RawRecord::new(d.clone(), 3.0, 4.0, 0, Timestamp::from_millis(1000));
+        assert!((b.planar_speed_from(&a).unwrap() - 5.0).abs() < 1e-12);
+        // Zero or negative dt → None.
+        let c = RawRecord::new(d, 1.0, 1.0, 0, Timestamp::from_millis(1000));
+        assert!(c.planar_speed_from(&b).is_none());
+        assert!(a.planar_speed_from(&b).is_none());
+    }
+
+    #[test]
+    fn well_formedness() {
+        let good = RawRecord::new(DeviceId::new("d"), 1.0, 2.0, 0, Timestamp(0));
+        assert!(good.is_well_formed());
+        let bad = RawRecord::new(DeviceId::new("d"), f64::NAN, 2.0, 0, Timestamp(0));
+        assert!(!bad.is_well_formed());
+    }
+}

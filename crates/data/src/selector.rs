@@ -1,0 +1,534 @@
+//! The Data Selector's rule engine.
+//!
+//! The paper (§2): "offers users a set of configurable and combinable rules
+//! to select the (device) positioning sequences of particular interest.
+//! Typical rules include device ID pattern, spatial range, temporal range,
+//! positioning frequency, and periodic pattern." Rules combine with
+//! AND/OR/NOT into a [`RuleExpr`] evaluated per sequence.
+//!
+//! # Example
+//!
+//! Select sequences that last over an hour *and* appear on the ground floor:
+//!
+//! ```
+//! use trips_data::{Duration, SelectionRule, Selector};
+//!
+//! let selector = Selector::new(
+//!     SelectionRule::MinDuration(Duration::from_hours(1)).and(
+//!         SelectionRule::FloorVisited(0),
+//!     ),
+//! );
+//! # let _ = selector;
+//! ```
+
+use crate::sequence::PositioningSequence;
+use crate::timestamp::{Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+use trips_geom::{BoundingBox, FloorId};
+
+/// Whether a range rule requires *any* record inside the range or *all* of
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quantifier {
+    Any,
+    All,
+}
+
+/// One atomic selection rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectionRule {
+    /// Device id matches a glob pattern (`*` any run, `?` one char).
+    DevicePattern(String),
+    /// Records fall inside a planar bounding box (optionally on a floor).
+    SpatialRange {
+        bbox: BoundingBox,
+        floor: Option<FloorId>,
+        quantifier: Quantifier,
+    },
+    /// Records fall inside `[from, to]`.
+    TemporalRange {
+        from: Timestamp,
+        to: Timestamp,
+        quantifier: Quantifier,
+    },
+    /// Records fall inside a time-of-day window on every day (operating
+    /// hours, e.g. 10:00–22:00 in the walkthrough).
+    TimeOfDayWindow {
+        from: Duration,
+        to: Duration,
+        quantifier: Quantifier,
+    },
+    /// The sequence spans at least this duration.
+    MinDuration(Duration),
+    /// Mean positioning frequency in records/minute lies in `[min, max]`.
+    FrequencyPerMin { min: f64, max: f64 },
+    /// The sequence has at least this many records.
+    MinRecords(usize),
+    /// The device appears on the given floor at least once.
+    FloorVisited(FloorId),
+    /// The device recurs periodically: it appears in at least `min_repeats`
+    /// distinct periods, always around the same offset (within `tolerance`)
+    /// — e.g. a shop employee arriving every morning.
+    PeriodicPattern {
+        period: Duration,
+        min_repeats: usize,
+        tolerance: Duration,
+    },
+}
+
+impl SelectionRule {
+    /// Evaluates the rule against one sequence.
+    pub fn matches(&self, seq: &PositioningSequence) -> bool {
+        match self {
+            SelectionRule::DevicePattern(pat) => glob_match(pat, seq.device().as_str()),
+            SelectionRule::SpatialRange {
+                bbox,
+                floor,
+                quantifier,
+            } => {
+                let pred = |r: &crate::record::RawRecord| {
+                    bbox.contains(r.location.xy)
+                        && floor.map_or(true, |f| r.location.floor == f)
+                };
+                quantify(seq, *quantifier, pred)
+            }
+            SelectionRule::TemporalRange {
+                from,
+                to,
+                quantifier,
+            } => quantify(seq, *quantifier, |r| r.ts >= *from && r.ts <= *to),
+            SelectionRule::TimeOfDayWindow {
+                from,
+                to,
+                quantifier,
+            } => quantify(seq, *quantifier, |r| {
+                let tod = r.ts.time_of_day();
+                tod >= *from && tod <= *to
+            }),
+            SelectionRule::MinDuration(d) => seq.duration() >= *d,
+            SelectionRule::FrequencyPerMin { min, max } => seq
+                .stats()
+                .is_some_and(|s| s.frequency_per_min >= *min && s.frequency_per_min <= *max),
+            SelectionRule::MinRecords(n) => seq.len() >= *n,
+            SelectionRule::FloorVisited(f) => {
+                seq.records().iter().any(|r| r.location.floor == *f)
+            }
+            SelectionRule::PeriodicPattern {
+                period,
+                min_repeats,
+                tolerance,
+            } => periodic_match(seq, *period, *min_repeats, *tolerance),
+        }
+    }
+
+    /// Combines with another rule/expression by AND.
+    pub fn and(self, other: impl Into<RuleExpr>) -> RuleExpr {
+        RuleExpr::from(self).and(other)
+    }
+
+    /// Combines with another rule/expression by OR.
+    pub fn or(self, other: impl Into<RuleExpr>) -> RuleExpr {
+        RuleExpr::from(self).or(other)
+    }
+
+    /// Negates the rule.
+    pub fn negate(self) -> RuleExpr {
+        RuleExpr::from(self).negate()
+    }
+}
+
+fn quantify(
+    seq: &PositioningSequence,
+    q: Quantifier,
+    pred: impl Fn(&crate::record::RawRecord) -> bool,
+) -> bool {
+    match q {
+        Quantifier::Any => seq.records().iter().any(pred),
+        Quantifier::All => !seq.is_empty() && seq.records().iter().all(pred),
+    }
+}
+
+/// Glob matching with `*` and `?`, non-recursive two-pointer algorithm.
+fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_ti) = (None::<usize>, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if let Some(s) = star {
+            pi = s + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn periodic_match(
+    seq: &PositioningSequence,
+    period: Duration,
+    min_repeats: usize,
+    tolerance: Duration,
+) -> bool {
+    if period.as_millis() <= 0 || seq.is_empty() {
+        return false;
+    }
+    // Mean offset within each period bucket.
+    let mut buckets: std::collections::BTreeMap<i64, (i64, i64)> = std::collections::BTreeMap::new();
+    for r in seq.records() {
+        let idx = r.ts.period_index(period);
+        let off = r.ts.offset_in_period(period).as_millis();
+        let e = buckets.entry(idx).or_insert((0, 0));
+        e.0 += off;
+        e.1 += 1;
+    }
+    if buckets.len() < min_repeats {
+        return false;
+    }
+    let means: Vec<f64> = buckets
+        .values()
+        .map(|(sum, n)| *sum as f64 / *n as f64)
+        .collect();
+    let grand = means.iter().sum::<f64>() / means.len() as f64;
+    means
+        .iter()
+        .all(|m| (m - grand).abs() <= tolerance.as_millis() as f64)
+}
+
+/// A boolean combination of rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RuleExpr {
+    Rule(SelectionRule),
+    And(Vec<RuleExpr>),
+    Or(Vec<RuleExpr>),
+    Not(Box<RuleExpr>),
+}
+
+impl From<SelectionRule> for RuleExpr {
+    fn from(r: SelectionRule) -> Self {
+        RuleExpr::Rule(r)
+    }
+}
+
+impl RuleExpr {
+    /// Evaluates the expression against one sequence.
+    pub fn matches(&self, seq: &PositioningSequence) -> bool {
+        match self {
+            RuleExpr::Rule(r) => r.matches(seq),
+            RuleExpr::And(xs) => xs.iter().all(|x| x.matches(seq)),
+            RuleExpr::Or(xs) => xs.iter().any(|x| x.matches(seq)),
+            RuleExpr::Not(x) => !x.matches(seq),
+        }
+    }
+
+    /// AND-combines, flattening nested ANDs.
+    pub fn and(self, other: impl Into<RuleExpr>) -> RuleExpr {
+        match self {
+            RuleExpr::And(mut xs) => {
+                xs.push(other.into());
+                RuleExpr::And(xs)
+            }
+            x => RuleExpr::And(vec![x, other.into()]),
+        }
+    }
+
+    /// OR-combines, flattening nested ORs.
+    pub fn or(self, other: impl Into<RuleExpr>) -> RuleExpr {
+        match self {
+            RuleExpr::Or(mut xs) => {
+                xs.push(other.into());
+                RuleExpr::Or(xs)
+            }
+            x => RuleExpr::Or(vec![x, other.into()]),
+        }
+    }
+
+    /// Negates (double negation collapses).
+    pub fn negate(self) -> RuleExpr {
+        match self {
+            RuleExpr::Not(inner) => *inner,
+            x => RuleExpr::Not(Box::new(x)),
+        }
+    }
+}
+
+/// The Data Selector: applies a rule expression to a sequence collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selector {
+    pub expr: RuleExpr,
+}
+
+impl Selector {
+    /// Creates a selector from a rule or expression.
+    pub fn new(expr: impl Into<RuleExpr>) -> Self {
+        Selector { expr: expr.into() }
+    }
+
+    /// A selector matching everything (empty AND).
+    pub fn all() -> Self {
+        Selector {
+            expr: RuleExpr::And(Vec::new()),
+        }
+    }
+
+    /// Whether one sequence matches.
+    pub fn matches(&self, seq: &PositioningSequence) -> bool {
+        self.expr.matches(seq)
+    }
+
+    /// Filters a collection, preserving order.
+    pub fn select(&self, seqs: Vec<PositioningSequence>) -> Vec<PositioningSequence> {
+        seqs.into_iter().filter(|s| self.matches(s)).collect()
+    }
+
+    /// Filters by reference.
+    pub fn select_refs<'a>(
+        &self,
+        seqs: &'a [PositioningSequence],
+    ) -> Vec<&'a PositioningSequence> {
+        seqs.iter().filter(|s| self.matches(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DeviceId, RawRecord};
+    use trips_geom::Point;
+
+    fn seq(device: &str, recs: &[(f64, f64, i16, i64)]) -> PositioningSequence {
+        PositioningSequence::from_records(
+            DeviceId::new(device),
+            recs.iter()
+                .map(|&(x, y, f, s)| {
+                    RawRecord::new(DeviceId::new(device), x, y, f, Timestamp::from_millis(s * 1000))
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn glob_patterns() {
+        assert!(glob_match("3a.*", "3a.7f.99.14"));
+        assert!(glob_match("*.14", "3a.7f.99.14"));
+        assert!(glob_match("3a.*.14", "3a.7f.99.14"));
+        assert!(glob_match("??.7f.*", "3a.7f.99.14"));
+        assert!(!glob_match("3b.*", "3a.7f.99.14"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(!glob_match("a*b*c", "aXXbYY"));
+    }
+
+    #[test]
+    fn device_pattern_rule() {
+        let s = seq("3a.7f.99.14", &[(0.0, 0.0, 0, 0)]);
+        assert!(SelectionRule::DevicePattern("3a.*".into()).matches(&s));
+        assert!(!SelectionRule::DevicePattern("ff.*".into()).matches(&s));
+    }
+
+    #[test]
+    fn spatial_range_any_vs_all() {
+        let s = seq("d", &[(1.0, 1.0, 0, 0), (100.0, 100.0, 0, 10)]);
+        let bbox = BoundingBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let any = SelectionRule::SpatialRange {
+            bbox,
+            floor: None,
+            quantifier: Quantifier::Any,
+        };
+        let all = SelectionRule::SpatialRange {
+            bbox,
+            floor: None,
+            quantifier: Quantifier::All,
+        };
+        assert!(any.matches(&s));
+        assert!(!all.matches(&s));
+    }
+
+    #[test]
+    fn spatial_range_floor_filter() {
+        let s = seq("d", &[(1.0, 1.0, 3, 0)]);
+        let bbox = BoundingBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let on3 = SelectionRule::SpatialRange {
+            bbox,
+            floor: Some(3),
+            quantifier: Quantifier::Any,
+        };
+        let on0 = SelectionRule::SpatialRange {
+            bbox,
+            floor: Some(0),
+            quantifier: Quantifier::Any,
+        };
+        assert!(on3.matches(&s));
+        assert!(!on0.matches(&s));
+    }
+
+    #[test]
+    fn temporal_rules() {
+        let s = seq("d", &[(0.0, 0.0, 0, 0), (0.0, 0.0, 0, 3600), (0.0, 0.0, 0, 7200)]);
+        assert!(SelectionRule::MinDuration(Duration::from_hours(2)).matches(&s));
+        assert!(!SelectionRule::MinDuration(Duration::from_hours(3)).matches(&s));
+        let range = SelectionRule::TemporalRange {
+            from: Timestamp::from_millis(0),
+            to: Timestamp::from_millis(3_600_000),
+            quantifier: Quantifier::All,
+        };
+        assert!(!range.matches(&s), "record at 7200 s is outside");
+    }
+
+    #[test]
+    fn time_of_day_window() {
+        // Records at 09:00 and 11:00 on day 2.
+        let s = PositioningSequence::from_records(
+            DeviceId::new("d"),
+            vec![
+                RawRecord::new(DeviceId::new("d"), 0.0, 0.0, 0, Timestamp::from_dhms(2, 9, 0, 0)),
+                RawRecord::new(DeviceId::new("d"), 0.0, 0.0, 0, Timestamp::from_dhms(2, 11, 0, 0)),
+            ],
+        );
+        let operating = SelectionRule::TimeOfDayWindow {
+            from: Duration::from_hours(10),
+            to: Duration::from_hours(22),
+            quantifier: Quantifier::All,
+        };
+        assert!(!operating.matches(&s), "9 AM record violates All");
+        let any = SelectionRule::TimeOfDayWindow {
+            from: Duration::from_hours(10),
+            to: Duration::from_hours(22),
+            quantifier: Quantifier::Any,
+        };
+        assert!(any.matches(&s));
+    }
+
+    #[test]
+    fn frequency_rule() {
+        // 3 records over 2 minutes → 1.5/min.
+        let s = seq("d", &[(0.0, 0.0, 0, 0), (0.0, 0.0, 0, 60), (0.0, 0.0, 0, 120)]);
+        assert!(SelectionRule::FrequencyPerMin { min: 1.0, max: 2.0 }.matches(&s));
+        assert!(!SelectionRule::FrequencyPerMin { min: 2.0, max: 9.0 }.matches(&s));
+        assert!(!SelectionRule::FrequencyPerMin { min: 0.0, max: 1.0 }.matches(&s));
+    }
+
+    #[test]
+    fn floor_and_count_rules() {
+        let s = seq("d", &[(0.0, 0.0, 0, 0), (0.0, 0.0, 2, 10)]);
+        assert!(SelectionRule::FloorVisited(2).matches(&s));
+        assert!(!SelectionRule::FloorVisited(5).matches(&s));
+        assert!(SelectionRule::MinRecords(2).matches(&s));
+        assert!(!SelectionRule::MinRecords(3).matches(&s));
+    }
+
+    #[test]
+    fn periodic_pattern_detects_daily_visitor() {
+        // Same 9:30 AM appearance on 4 days.
+        let daily: Vec<(f64, f64, i16, i64)> = (0..4)
+            .map(|d| (0.0, 0.0, 0, d * 86_400 + 9 * 3600 + 30 * 60))
+            .collect();
+        let s = seq("worker", &daily);
+        let rule = SelectionRule::PeriodicPattern {
+            period: Duration::from_days(1),
+            min_repeats: 3,
+            tolerance: Duration::from_mins(30),
+        };
+        assert!(rule.matches(&s));
+
+        // A one-off visitor fails min_repeats.
+        let s2 = seq("visitor", &[(0.0, 0.0, 0, 9 * 3600)]);
+        assert!(!rule.matches(&s2));
+
+        // Erratic times fail the tolerance.
+        let erratic: Vec<(f64, f64, i16, i64)> = vec![
+            (0.0, 0.0, 0, 9 * 3600),
+            (0.0, 0.0, 0, 86_400 + 15 * 3600),
+            (0.0, 0.0, 0, 2 * 86_400 + 20 * 3600),
+        ];
+        assert!(!rule.matches(&seq("erratic", &erratic)));
+    }
+
+    #[test]
+    fn combinators() {
+        let s = seq("3a.1", &[(0.0, 0.0, 0, 0), (0.0, 0.0, 0, 7200)]);
+        let expr = SelectionRule::DevicePattern("3a.*".into())
+            .and(SelectionRule::MinDuration(Duration::from_hours(1)));
+        assert!(expr.matches(&s));
+        let expr2 = SelectionRule::DevicePattern("ff.*".into())
+            .or(SelectionRule::MinRecords(1));
+        assert!(expr2.matches(&s));
+        let expr3 = SelectionRule::MinRecords(10).negate();
+        assert!(expr3.matches(&s));
+    }
+
+    #[test]
+    fn de_morgan_equivalence() {
+        let seqs = vec![
+            seq("a", &[(0.0, 0.0, 0, 0)]),
+            seq("b", &[(0.0, 0.0, 1, 0), (0.0, 0.0, 1, 7200)]),
+            seq("c", &[(5.0, 5.0, 0, 0), (5.0, 5.0, 0, 100)]),
+        ];
+        let p = SelectionRule::FloorVisited(0);
+        let q = SelectionRule::MinRecords(2);
+        // ¬(p ∧ q) == ¬p ∨ ¬q
+        let lhs = p.clone().and(q.clone()).negate();
+        let rhs = p.clone().negate().or(q.clone().negate());
+        for s in &seqs {
+            assert_eq!(lhs.matches(s), rhs.matches(s));
+        }
+        // ¬(p ∨ q) == ¬p ∧ ¬q
+        let lhs = p.clone().or(q.clone()).negate();
+        let rhs = p.negate().and(q.negate());
+        for s in &seqs {
+            assert_eq!(lhs.matches(s), rhs.matches(s));
+        }
+    }
+
+    #[test]
+    fn selector_filters_collections() {
+        let seqs = vec![
+            seq("3a.1", &[(0.0, 0.0, 0, 0), (0.0, 0.0, 0, 4000)]),
+            seq("3a.2", &[(0.0, 0.0, 0, 0)]),
+            seq("zz.9", &[(0.0, 0.0, 0, 0), (0.0, 0.0, 0, 9000)]),
+        ];
+        let selector = Selector::new(
+            SelectionRule::DevicePattern("3a.*".into())
+                .and(SelectionRule::MinDuration(Duration::from_hours(1))),
+        );
+        let picked = selector.select_refs(&seqs);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].device().as_str(), "3a.1");
+        assert_eq!(selector.select(seqs).len(), 1);
+    }
+
+    #[test]
+    fn select_all_and_empty() {
+        let seqs = vec![seq("a", &[(0.0, 0.0, 0, 0)])];
+        assert_eq!(Selector::all().select_refs(&seqs).len(), 1);
+        // An empty sequence never matches `All` quantified or frequency rules.
+        let empty = PositioningSequence::new(DeviceId::new("e"));
+        assert!(!SelectionRule::SpatialRange {
+            bbox: BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            floor: None,
+            quantifier: Quantifier::All
+        }
+        .matches(&empty));
+        assert!(!SelectionRule::FrequencyPerMin { min: 0.0, max: 100.0 }.matches(&empty));
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let e = RuleExpr::from(SelectionRule::MinRecords(1)).negate().negate();
+        assert!(matches!(e, RuleExpr::Rule(_)));
+    }
+}

@@ -1,0 +1,214 @@
+//! Millisecond-resolution timestamps.
+//!
+//! Positioning systems emit wall-clock timestamps; TRIPS only ever needs
+//! ordering, differences, and day/time-of-day arithmetic (operating-hours
+//! selection, periodic patterns), so a thin integer newtype beats a calendar
+//! dependency.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A span of time in milliseconds (may be negative as a difference).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub i64);
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    /// From whole seconds.
+    pub const fn from_secs(s: i64) -> Self {
+        Duration(s * 1000)
+    }
+
+    /// From whole minutes.
+    pub const fn from_mins(m: i64) -> Self {
+        Duration(m * 60_000)
+    }
+
+    /// From whole hours.
+    pub const fn from_hours(h: i64) -> Self {
+        Duration(h * 3_600_000)
+    }
+
+    /// From whole days.
+    pub const fn from_days(d: i64) -> Self {
+        Duration(d * 86_400_000)
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Whole milliseconds.
+    pub const fn as_millis(&self) -> i64 {
+        self.0
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Duration {
+        Duration(self.0.abs())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_s = self.0 / 1000;
+        let (h, m, s) = (total_s / 3600, (total_s % 3600) / 60, total_s % 60);
+        write!(f, "{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+/// A point in time: milliseconds since the dataset epoch (day 0, 00:00:00).
+///
+/// The paper's demo dataset spans 2017-01-01 .. 2017-01-07; we address it as
+/// days 0..7 relative to the dataset start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Dataset epoch.
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from day number and time of day.
+    pub const fn from_dhms(day: i64, hour: i64, min: i64, sec: i64) -> Self {
+        Timestamp(((day * 24 + hour) * 60 + min) * 60_000 + sec * 1000)
+    }
+
+    /// From raw milliseconds since epoch.
+    pub const fn from_millis(ms: i64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Milliseconds since epoch.
+    pub const fn as_millis(&self) -> i64 {
+        self.0
+    }
+
+    /// The day number (0-based) this instant falls in.
+    pub const fn day(&self) -> i64 {
+        self.0.div_euclid(86_400_000)
+    }
+
+    /// Time of day as a duration since that day's midnight.
+    pub const fn time_of_day(&self) -> Duration {
+        Duration(self.0.rem_euclid(86_400_000))
+    }
+
+    /// Offset of this instant within a repeating period (for the periodic
+    /// pattern selector rule).
+    pub const fn offset_in_period(&self, period: Duration) -> Duration {
+        Duration(self.0.rem_euclid(period.0))
+    }
+
+    /// Bucket index of this instant for a repeating period.
+    pub const fn period_index(&self, period: Duration) -> i64 {
+        self.0.div_euclid(period.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tod = self.time_of_day();
+        write!(f, "d{} {}", self.day(), tod)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Timestamp::from_dhms(2, 13, 2, 5);
+        assert_eq!(t.day(), 2);
+        assert_eq!(t.time_of_day(), Duration::from_hours(13) + Duration::from_mins(2) + Duration::from_secs(5));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Timestamp::from_dhms(0, 10, 0, 0);
+        let b = Timestamp::from_dhms(0, 10, 0, 7);
+        assert_eq!(b - a, Duration::from_secs(7));
+        assert_eq!(a + Duration::from_secs(7), b);
+        assert_eq!(b - Duration::from_secs(7), a);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(Duration::from_mins(2).as_millis(), 120_000);
+        assert_eq!(Duration::from_days(1), Duration::from_hours(24));
+        assert!((Duration(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(Duration(-500).abs(), Duration(500));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = Timestamp::from_dhms(3, 13, 2, 5);
+        assert_eq!(t.to_string(), "d3 13:02:05");
+        assert_eq!(Duration::from_secs(3661).to_string(), "01:01:01");
+    }
+
+    #[test]
+    fn periodic_helpers() {
+        let day = Duration::from_days(1);
+        let t1 = Timestamp::from_dhms(0, 9, 30, 0);
+        let t2 = Timestamp::from_dhms(4, 9, 30, 0);
+        assert_eq!(t1.offset_in_period(day), t2.offset_in_period(day));
+        assert_eq!(t1.period_index(day), 0);
+        assert_eq!(t2.period_index(day), 4);
+    }
+
+    #[test]
+    fn negative_time_is_well_defined() {
+        let t = Timestamp(-1);
+        assert_eq!(t.day(), -1);
+        assert_eq!(t.time_of_day(), Duration(86_400_000 - 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Timestamp::from_dhms(0, 1, 0, 0) < Timestamp::from_dhms(0, 2, 0, 0));
+        assert!(Timestamp::from_dhms(1, 0, 0, 0) > Timestamp::from_dhms(0, 23, 59, 59));
+    }
+}

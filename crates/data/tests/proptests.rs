@@ -1,0 +1,142 @@
+//! Property-based tests for the data layer: sequence ordering invariants,
+//! CSV round-trips, and boolean-algebra laws of the selector.
+
+use proptest::prelude::*;
+use trips_data::io::{CsvSource, RecordSource};
+use trips_data::selector::Quantifier;
+use trips_data::{
+    DeviceId, Duration, PositioningSequence, RawRecord, RuleExpr, SelectionRule, Selector,
+    Timestamp,
+};
+use trips_geom::BoundingBox;
+use trips_geom::Point;
+
+fn arb_record() -> impl Strategy<Value = RawRecord> {
+    (
+        0usize..4,
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0i16..7,
+        0i64..1_000_000,
+    )
+        .prop_map(|(d, x, y, f, ts)| {
+            RawRecord::new(
+                DeviceId::new(&format!("3a.7f.{d:02}.01")),
+                x,
+                y,
+                f,
+                Timestamp::from_millis(ts),
+            )
+        })
+}
+
+fn arb_sequence() -> impl Strategy<Value = PositioningSequence> {
+    prop::collection::vec(arb_record(), 0..60).prop_map(|records| {
+        let device = DeviceId::new("3a.7f.00.01");
+        let records = records
+            .into_iter()
+            .map(|mut r| {
+                r.device = device.clone();
+                r
+            })
+            .collect();
+        PositioningSequence::from_records(device, records)
+    })
+}
+
+fn arb_rule() -> impl Strategy<Value = SelectionRule> {
+    prop_oneof![
+        Just(SelectionRule::MinRecords(10)),
+        Just(SelectionRule::MinDuration(Duration::from_secs(300))),
+        Just(SelectionRule::FloorVisited(3)),
+        Just(SelectionRule::DevicePattern("3a.*".into())),
+        Just(SelectionRule::SpatialRange {
+            bbox: BoundingBox::new(Point::new(-50.0, -50.0), Point::new(50.0, 50.0)),
+            floor: None,
+            quantifier: Quantifier::Any,
+        }),
+        Just(SelectionRule::FrequencyPerMin {
+            min: 0.1,
+            max: 1000.0
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn sequences_always_time_sorted(seq in arb_sequence()) {
+        for w in seq.records().windows(2) {
+            prop_assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn push_maintains_order(seq in arb_sequence(), extra in arb_record()) {
+        let mut seq = seq;
+        let mut r = extra;
+        r.device = seq.device().clone();
+        seq.push(r);
+        for w in seq.records().windows(2) {
+            prop_assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn gap_splitting_partitions(seq in arb_sequence(), gap_s in 1i64..600) {
+        let parts = seq.split_on_gaps(Duration::from_secs(gap_s));
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, seq.len());
+        for p in &parts {
+            prop_assert!(!p.is_empty());
+            // Within a part, no gap exceeds the threshold.
+            for w in p.records().windows(2) {
+                prop_assert!(w[1].ts - w[0].ts <= Duration::from_secs(gap_s));
+            }
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip(records in prop::collection::vec(arb_record(), 0..40)) {
+        let csv = trips_data::io::to_csv_string(&records);
+        let mut src = CsvSource::from_string(&csv);
+        let back = src.read_all().unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn selector_negation_is_complement(seq in arb_sequence(), rule in arb_rule()) {
+        let pos = rule.clone().matches(&seq);
+        let neg = RuleExpr::from(rule).negate().matches(&seq);
+        prop_assert_eq!(pos, !neg);
+    }
+
+    #[test]
+    fn selector_de_morgan(seq in arb_sequence(), p in arb_rule(), q in arb_rule()) {
+        let lhs = p.clone().and(q.clone()).negate().matches(&seq);
+        let rhs = p.clone().negate().or(q.clone().negate()).matches(&seq);
+        prop_assert_eq!(lhs, rhs);
+        let lhs = p.clone().or(q.clone()).negate().matches(&seq);
+        let rhs = p.negate().and(q.negate()).matches(&seq);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn selector_and_is_intersection(seqs in prop::collection::vec(arb_sequence(), 0..8),
+                                    p in arb_rule(), q in arb_rule()) {
+        let both = Selector::new(p.clone().and(q.clone()));
+        let sp = Selector::new(RuleExpr::from(p));
+        let sq = Selector::new(RuleExpr::from(q));
+        for s in &seqs {
+            prop_assert_eq!(both.matches(s), sp.matches(s) && sq.matches(s));
+        }
+    }
+
+    #[test]
+    fn anonymization_never_reveals_middle_octets(d in 0usize..200) {
+        let id = DeviceId::new(&format!("3a.{d:02x}.be.14"));
+        let masked = id.anonymized();
+        prop_assert!(masked.starts_with("3a."));
+        prop_assert!(masked.ends_with(".14"));
+        prop_assert!(!masked.contains("be"), "middle octet leaked: {masked}");
+    }
+}

@@ -1,0 +1,364 @@
+//! Parametric generator for multi-floor shopping-mall DSMs.
+//!
+//! The paper's demonstration uses "a 7-floor shopping mall in Hangzhou"; the
+//! real floorplans are proprietary, so [`MallBuilder`] synthesises a mall of
+//! the same structure — per floor, two rows of shops opening onto a central
+//! hallway, with staircases connecting all floors at both ends (see
+//! DESIGN.md, substitutions table).
+//!
+//! Layout of one floor (not to scale):
+//!
+//! ```text
+//! +------+------+------+------+   north shop row
+//! | shop | shop | shop | shop |
+//! +--d---+--d---+--d---+--d---+   doors on the hallway edge
+//! | [st]      hallway     [st]|   staircases at both ends
+//! +--d---+--d---+--d---+--d---+
+//! | shop | shop | shop | shop |
+//! +------+------+------+------+   south shop row
+//! ```
+
+use crate::entity::{Entity, EntityKind};
+use crate::model::DigitalSpaceModel;
+use crate::semantic::{SemanticRegion, SemanticTag};
+use trips_geom::{FloorId, Point, Polygon};
+
+/// Brand pool used to name shops; cycled with a floor suffix so every region
+/// name is unique. The first few echo the paper's walkthrough (Nike, Adidas,
+/// Cashier, Center Hall).
+const BRANDS: &[&str] = &[
+    "Nike", "Adidas", "Uniqlo", "Zara", "Starbucks", "Sephora", "Muji", "Lego",
+    "Apple", "Swatch", "Levis", "Puma", "Gap", "Fila", "Casio", "Bose",
+];
+
+/// Shop categories cycled across the brand pool.
+const CATEGORIES: &[&str] = &[
+    "sportswear", "sportswear", "apparel", "apparel", "food", "beauty", "home",
+    "toys", "electronics", "accessories", "apparel", "sportswear", "apparel",
+    "sportswear", "accessories", "electronics",
+];
+
+/// Builder for synthetic mall DSMs.
+#[derive(Debug, Clone)]
+pub struct MallBuilder {
+    floors: u16,
+    shops_per_row: usize,
+    shop_w: f64,
+    shop_d: f64,
+    corridor_w: f64,
+    with_cashiers: bool,
+}
+
+impl Default for MallBuilder {
+    fn default() -> Self {
+        MallBuilder {
+            floors: 1,
+            shops_per_row: 8,
+            shop_w: 10.0,
+            shop_d: 8.0,
+            corridor_w: 6.0,
+            with_cashiers: true,
+        }
+    }
+}
+
+impl MallBuilder {
+    /// Starts a builder with default dimensions (one floor, 16 shops).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The configuration matching the paper's demo environment: a 7-floor
+    /// mall.
+    pub fn paper_mall() -> Self {
+        MallBuilder::new().floors(7)
+    }
+
+    /// Number of floors (1–100).
+    pub fn floors(mut self, n: u16) -> Self {
+        assert!((1..=100).contains(&n), "floors must be in 1..=100");
+        self.floors = n;
+        self
+    }
+
+    /// Shops per row per floor (≥ 1); total shops per floor is twice this.
+    pub fn shops_per_row(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one shop per row");
+        self.shops_per_row = n;
+        self
+    }
+
+    /// Shop width along the hallway, metres.
+    pub fn shop_width(mut self, w: f64) -> Self {
+        assert!(w > 2.0, "shop width must exceed 2 m");
+        self.shop_w = w;
+        self
+    }
+
+    /// Shop depth away from the hallway, metres.
+    pub fn shop_depth(mut self, d: f64) -> Self {
+        assert!(d > 2.0, "shop depth must exceed 2 m");
+        self.shop_d = d;
+        self
+    }
+
+    /// Hallway width, metres.
+    pub fn corridor_width(mut self, w: f64) -> Self {
+        assert!(w > 3.0, "corridor must exceed 3 m for staircases");
+        self.corridor_w = w;
+        self
+    }
+
+    /// Whether every 4th shop gets an interior "Cashier" sub-region.
+    pub fn with_cashiers(mut self, yes: bool) -> Self {
+        self.with_cashiers = yes;
+        self
+    }
+
+    /// Total mall width, metres.
+    pub fn mall_width(&self) -> f64 {
+        self.shops_per_row as f64 * self.shop_w
+    }
+
+    /// Total floor depth, metres.
+    pub fn mall_depth(&self) -> f64 {
+        2.0 * self.shop_d + self.corridor_w
+    }
+
+    /// Builds and freezes the DSM.
+    pub fn build(&self) -> DigitalSpaceModel {
+        let mut dsm = DigitalSpaceModel::new("synthetic-mall");
+        let w = self.mall_width();
+
+        for f in 0..self.floors {
+            let floor = f as FloorId;
+            dsm.add_floor(floor, &format!("{floor}F"));
+            self.build_floor(&mut dsm, floor);
+        }
+
+        // Staircases: spanning all floors, at the west and east ends of the
+        // hallway. One entity each, footprint inside the hallway.
+        let all_floors: Vec<FloorId> = (0..self.floors as FloorId).collect();
+        let y0 = self.shop_d + 1.0;
+        let stair_h = (self.corridor_w - 2.0).max(1.0);
+        for (name, x0) in [("West Stairs", 1.0), ("East Stairs", w - 3.0)] {
+            let id = dsm.next_entity_id();
+            dsm.add_entity(Entity::staircase(
+                id,
+                name,
+                Polygon::rectangle(Point::new(x0, y0), Point::new(x0 + 2.0, y0 + stair_h)),
+                &all_floors,
+            ))
+            .expect("fresh id");
+        }
+
+        dsm.freeze();
+        dsm
+    }
+
+    fn build_floor(&self, dsm: &mut DigitalSpaceModel, floor: FloorId) {
+        let w = self.mall_width();
+        let d = self.shop_d;
+        let cw = self.corridor_w;
+
+        // Hallway.
+        let hall_id = dsm.next_entity_id();
+        let hall_poly = Polygon::rectangle(Point::new(0.0, d), Point::new(w, d + cw));
+        dsm.add_entity(Entity::area(
+            hall_id,
+            EntityKind::Hallway,
+            floor,
+            &format!("Center Hall ({floor}F)"),
+            hall_poly.clone(),
+        ))
+        .expect("fresh id");
+        let hall_region = dsm.next_region_id();
+        dsm.add_region(SemanticRegion::new(
+            hall_region,
+            &format!("Center Hall ({floor}F)"),
+            SemanticTag::new("atrium", "circulation"),
+            floor,
+            hall_poly,
+            hall_id,
+        ))
+        .expect("fresh id");
+
+        // Shop rows: south (row 0, below hallway) and north (row 1, above).
+        for row in 0..2usize {
+            for i in 0..self.shops_per_row {
+                let idx = row * self.shops_per_row + i;
+                let brand = BRANDS[idx % BRANDS.len()];
+                let category = CATEGORIES[idx % CATEGORIES.len()];
+                let name = format!("{brand} ({floor}F-{idx})");
+
+                let x0 = i as f64 * self.shop_w;
+                let (y0, y1, door_y) = if row == 0 {
+                    (0.0, d, d) // south row: door on the top edge
+                } else {
+                    (d + cw, d + cw + d, d + cw) // north row: door on the bottom edge
+                };
+
+                let shop_id = dsm.next_entity_id();
+                let shop_poly =
+                    Polygon::rectangle(Point::new(x0, y0), Point::new(x0 + self.shop_w, y1));
+                dsm.add_entity(Entity::area(
+                    shop_id,
+                    EntityKind::Room,
+                    floor,
+                    &name,
+                    shop_poly.clone(),
+                ))
+                .expect("fresh id");
+
+                let door_id = dsm.next_entity_id();
+                dsm.add_entity(Entity::door(
+                    door_id,
+                    floor,
+                    &format!("door:{name}"),
+                    Point::new(x0 + self.shop_w / 2.0, door_y),
+                    1.5,
+                ))
+                .expect("fresh id");
+
+                let region_id = dsm.next_region_id();
+                dsm.add_region(SemanticRegion::new(
+                    region_id,
+                    &name,
+                    SemanticTag::new(category, "shop"),
+                    floor,
+                    shop_poly,
+                    shop_id,
+                ))
+                .expect("fresh id");
+
+                // Interior cashier sub-region in every 4th shop.
+                if self.with_cashiers && idx % 4 == 3 {
+                    let cx0 = x0 + 0.5;
+                    let cy0 = if row == 0 { y0 + 0.5 } else { y1 - 2.5 };
+                    let cashier_poly = Polygon::rectangle(
+                        Point::new(cx0, cy0),
+                        Point::new(cx0 + 3.0, cy0 + 2.0),
+                    );
+                    let cid = dsm.next_region_id();
+                    dsm.add_region(SemanticRegion::new(
+                        cid,
+                        &format!("Cashier of {name}"),
+                        SemanticTag::new("cashier", "service"),
+                        floor,
+                        cashier_poly,
+                        shop_id,
+                    ))
+                    .expect("fresh id");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::PathQuery;
+    use trips_geom::IndoorPoint;
+
+    #[test]
+    fn single_floor_counts() {
+        let dsm = MallBuilder::new().shops_per_row(4).build();
+        // 8 shops + 8 doors + 1 hallway + 2 staircases = 19 entities.
+        assert_eq!(dsm.entity_count(), 19);
+        // 8 shop regions + 1 hall + cashiers (idx 3 and 7 → 2).
+        assert_eq!(dsm.region_count(), 11);
+        assert_eq!(dsm.floor_count(), 1);
+        assert!(dsm.is_frozen());
+    }
+
+    #[test]
+    fn paper_mall_is_seven_floors() {
+        let dsm = MallBuilder::paper_mall().shops_per_row(2).build();
+        assert_eq!(dsm.floor_count(), 7);
+        // Per floor: 4 shops + 4 doors + 1 hall = 9; plus 2 staircases.
+        assert_eq!(dsm.entity_count(), 7 * 9 + 2);
+    }
+
+    #[test]
+    fn every_shop_region_reachable_from_hall() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let topo = dsm.topology().unwrap();
+        let hall = dsm
+            .regions()
+            .find(|r| r.name.starts_with("Center Hall"))
+            .unwrap();
+        let neigh = topo.neighbours(hall.id);
+        // Every shop region is adjacent to the hall; cashier sub-regions are
+        // adjacent too (they back onto the shop entities behind the doors).
+        for shop in dsm.regions().filter(|r| r.tag.category == "shop") {
+            assert!(neigh.contains(&shop.id), "hall must touch {}", shop.name);
+        }
+        let non_hall_regions = dsm.region_count() - 1;
+        assert_eq!(neigh.len(), non_hall_regions, "hall touches every region");
+    }
+
+    #[test]
+    fn cross_floor_walk_exists() {
+        let dsm = MallBuilder::new().floors(3).shops_per_row(2).build();
+        let q = PathQuery::new(&dsm).unwrap();
+        let a = IndoorPoint::new(5.0, 4.0, 0); // shop on floor 0
+        let b = IndoorPoint::new(5.0, 4.0, 2); // same spot, floor 2
+        let path = q.path(&a, &b).expect("floors connected by staircases");
+        assert!(path.distance >= 2.0 * dsm.floor_height * 3.0);
+    }
+
+    #[test]
+    fn locate_respects_layout() {
+        let b = MallBuilder::new().shops_per_row(4);
+        let dsm = b.build();
+        // Center of the hallway.
+        let hall_pt = IndoorPoint::new(b.mall_width() / 2.0, b.shop_d + b.corridor_w / 2.0, 0);
+        assert!(dsm.locate(&hall_pt).unwrap().name.starts_with("Center Hall"));
+        // Center of the first south shop.
+        let shop_pt = IndoorPoint::new(b.shop_w / 2.0, b.shop_d / 2.0, 0);
+        assert_eq!(dsm.locate(&shop_pt).unwrap().kind, EntityKind::Room);
+    }
+
+    #[test]
+    fn cashier_region_nested_in_shop() {
+        let dsm = MallBuilder::new().shops_per_row(4).build();
+        let cashier = dsm
+            .regions()
+            .find(|r| r.tag.name == "cashier")
+            .expect("cashier regions exist");
+        // The cashier anchor must also be inside its parent shop region, and
+        // region_at must prefer the smaller cashier region.
+        let anchor = cashier.anchor();
+        let found = dsm
+            .region_at(&IndoorPoint {
+                xy: anchor,
+                floor: cashier.floor,
+            })
+            .unwrap();
+        assert_eq!(found.id, cashier.id, "smallest region wins");
+    }
+
+    #[test]
+    fn region_names_unique() {
+        let dsm = MallBuilder::paper_mall().shops_per_row(8).build();
+        let mut names: Vec<&str> = dsm.regions().map(|r| r.name.as_str()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate region names");
+    }
+
+    #[test]
+    #[should_panic(expected = "floors must be in")]
+    fn rejects_zero_floors() {
+        MallBuilder::new().floors(0);
+    }
+
+    #[test]
+    fn dimension_accessors() {
+        let b = MallBuilder::new().shops_per_row(5).shop_width(12.0);
+        assert_eq!(b.mall_width(), 60.0);
+        assert_eq!(b.mall_depth(), 2.0 * 8.0 + 6.0);
+    }
+}

@@ -1,0 +1,626 @@
+//! The Space Modeler's drawing tool (paper §3, Figure 2), as a library.
+//!
+//! The paper's analysts trace a floorplan image in three steps: (1) import
+//! the image, (2) draw and combine geometric elements (polygons, polylines,
+//! circles) to form indoor entities with edit features — keyboard shortcuts,
+//! redo/undo, auto-adjust hints, free transformation/resizing/moving, and
+//! layer/group control — and (3) attach semantic tags to the drawn shapes.
+//!
+//! [`FloorplanCanvas`] is the faithful programmatic equivalent: the same
+//! operation vocabulary, driven by code instead of a mouse. `export_to_dsm`
+//! converts the finished trace into DSM entities and semantic regions.
+
+use crate::entity::{Entity, EntityKind};
+use crate::model::{DigitalSpaceModel, DsmError};
+use crate::semantic::{SemanticRegion, SemanticTag};
+use serde::{Deserialize, Serialize};
+use trips_geom::{Circle, FloorId, Point, Polygon, Polyline};
+
+/// Identifier of a drawn element on the canvas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ElementId(pub u32);
+
+/// A geometric element as drawn (before discretisation into DSM footprints).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    Polygon(Polygon),
+    Polyline(Polyline),
+    Circle(Circle),
+    /// A door marker: anchor point plus opening width.
+    DoorMarker { anchor: Point, width: f64 },
+}
+
+impl Shape {
+    /// All vertices of the shape (snapping candidates).
+    pub fn vertices(&self) -> Vec<Point> {
+        match self {
+            Shape::Polygon(p) => p.vertices().to_vec(),
+            Shape::Polyline(l) => l.points().to_vec(),
+            Shape::Circle(c) => vec![c.center],
+            Shape::DoorMarker { anchor, .. } => vec![*anchor],
+        }
+    }
+
+    fn translated(&self, dx: f64, dy: f64) -> Shape {
+        match self {
+            Shape::Polygon(p) => Shape::Polygon(p.translated(dx, dy)),
+            Shape::Polyline(l) => Shape::Polyline(Polyline::new(
+                l.points().iter().map(|p| Point::new(p.x + dx, p.y + dy)).collect(),
+            )),
+            Shape::Circle(c) => Shape::Circle(Circle::new(
+                Point::new(c.center.x + dx, c.center.y + dy),
+                c.radius,
+            )),
+            Shape::DoorMarker { anchor, width } => Shape::DoorMarker {
+                anchor: Point::new(anchor.x + dx, anchor.y + dy),
+                width: *width,
+            },
+        }
+    }
+
+    fn scaled(&self, center: Point, factor: f64) -> Shape {
+        match self {
+            Shape::Polygon(p) => Shape::Polygon(p.scaled(center, factor)),
+            Shape::Polyline(l) => Shape::Polyline(Polyline::new(
+                l.points()
+                    .iter()
+                    .map(|p| center + (*p - center) * factor)
+                    .collect(),
+            )),
+            Shape::Circle(c) => Shape::Circle(Circle::new(
+                center + (c.center - center) * factor,
+                c.radius * factor,
+            )),
+            Shape::DoorMarker { anchor, width } => Shape::DoorMarker {
+                anchor: center + (*anchor - center) * factor,
+                width: width * factor,
+            },
+        }
+    }
+
+    fn rotated(&self, center: Point, angle: f64) -> Shape {
+        match self {
+            Shape::Polygon(p) => Shape::Polygon(p.rotated(center, angle)),
+            Shape::Polyline(l) => Shape::Polyline(Polyline::new(
+                l.points()
+                    .iter()
+                    .map(|p| p.rotated_around(center, angle))
+                    .collect(),
+            )),
+            Shape::Circle(c) => Shape::Circle(Circle::new(
+                c.center.rotated_around(center, angle),
+                c.radius,
+            )),
+            Shape::DoorMarker { anchor, width } => Shape::DoorMarker {
+                anchor: anchor.rotated_around(center, angle),
+                width: *width,
+            },
+        }
+    }
+}
+
+/// A drawn element: a shape plus its editorial state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CanvasElement {
+    pub id: ElementId,
+    pub shape: Shape,
+    /// Entity kind this element will become on export.
+    pub kind: EntityKind,
+    /// Element name (export becomes the entity name).
+    pub name: String,
+    /// Drawing layer (layer control of Figure 2).
+    pub layer: u32,
+    /// Group id (group control); 0 = ungrouped.
+    pub group: u32,
+    /// Attached semantic tag, if any (step 3 of DSM creation).
+    pub tag: Option<SemanticTag>,
+}
+
+/// One undoable canvas operation.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Add(CanvasElement),
+    Remove(CanvasElement),
+    Replace { before: CanvasElement, after: CanvasElement },
+}
+
+impl Op {
+    fn inverse(&self) -> Op {
+        match self {
+            Op::Add(e) => Op::Remove(e.clone()),
+            Op::Remove(e) => Op::Add(e.clone()),
+            Op::Replace { before, after } => Op::Replace {
+                before: after.clone(),
+                after: before.clone(),
+            },
+        }
+    }
+}
+
+/// Errors raised by canvas operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanvasError {
+    UnknownElement(ElementId),
+    NothingToUndo,
+    NothingToRedo,
+}
+
+impl std::fmt::Display for CanvasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanvasError::UnknownElement(id) => write!(f, "unknown canvas element {}", id.0),
+            CanvasError::NothingToUndo => write!(f, "nothing to undo"),
+            CanvasError::NothingToRedo => write!(f, "nothing to redo"),
+        }
+    }
+}
+
+impl std::error::Error for CanvasError {}
+
+/// A per-floor drawing canvas with undo/redo, snapping, layers and groups.
+#[derive(Debug, Clone)]
+pub struct FloorplanCanvas {
+    pub floor: FloorId,
+    /// Reference floorplan image name (step 1: "import the floorplan image").
+    pub background_image: Option<String>,
+    elements: Vec<CanvasElement>,
+    next_id: u32,
+    undo_stack: Vec<Op>,
+    redo_stack: Vec<Op>,
+    /// Snap radius for the auto-adjust hint, metres.
+    pub snap_radius: f64,
+    /// Number of sides used when discretising circles on export.
+    pub circle_sides: usize,
+}
+
+impl FloorplanCanvas {
+    /// Creates an empty canvas for `floor`.
+    pub fn new(floor: FloorId) -> Self {
+        FloorplanCanvas {
+            floor,
+            background_image: None,
+            elements: Vec::new(),
+            next_id: 0,
+            undo_stack: Vec::new(),
+            redo_stack: Vec::new(),
+            snap_radius: 0.3,
+            circle_sides: 24,
+        }
+    }
+
+    /// Step 1: import the floorplan image (kept as a reference string; the
+    /// image itself is background-only and never parsed).
+    pub fn import_image(&mut self, name: &str) {
+        self.background_image = Some(name.to_string());
+    }
+
+    /// Number of elements currently drawn.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the canvas has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// All elements.
+    pub fn elements(&self) -> &[CanvasElement] {
+        &self.elements
+    }
+
+    /// Looks up an element.
+    pub fn element(&self, id: ElementId) -> Result<&CanvasElement, CanvasError> {
+        self.elements
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or(CanvasError::UnknownElement(id))
+    }
+
+    fn apply(&mut self, op: Op) {
+        match &op {
+            Op::Add(e) => self.elements.push(e.clone()),
+            Op::Remove(e) => self.elements.retain(|x| x.id != e.id),
+            Op::Replace { before, after } => {
+                if let Some(slot) = self.elements.iter_mut().find(|x| x.id == before.id) {
+                    *slot = after.clone();
+                }
+            }
+        }
+        self.undo_stack.push(op);
+        self.redo_stack.clear();
+    }
+
+    /// Auto-adjust hint: snaps `p` to the nearest existing vertex within
+    /// [`snap_radius`](Self::snap_radius); returns `p` unchanged otherwise.
+    pub fn snap(&self, p: Point) -> Point {
+        let mut best = p;
+        let mut best_d = self.snap_radius;
+        for e in &self.elements {
+            for v in e.shape.vertices() {
+                let d = v.distance(p);
+                if d <= best_d {
+                    best_d = d;
+                    best = v;
+                }
+            }
+        }
+        best
+    }
+
+    /// Draws a polygon element (with vertex snapping applied).
+    pub fn draw_polygon(&mut self, kind: EntityKind, name: &str, vertices: Vec<Point>) -> ElementId {
+        let snapped: Vec<Point> = vertices.into_iter().map(|v| self.snap(v)).collect();
+        self.add_element(Shape::Polygon(Polygon::new(snapped)), kind, name)
+    }
+
+    /// Draws a polyline element (walls).
+    pub fn draw_polyline(&mut self, kind: EntityKind, name: &str, points: Vec<Point>) -> ElementId {
+        let snapped: Vec<Point> = points.into_iter().map(|v| self.snap(v)).collect();
+        self.add_element(Shape::Polyline(Polyline::new(snapped)), kind, name)
+    }
+
+    /// Draws a circle element.
+    pub fn draw_circle(&mut self, kind: EntityKind, name: &str, center: Point, radius: f64) -> ElementId {
+        self.add_element(Shape::Circle(Circle::new(self.snap(center), radius)), kind, name)
+    }
+
+    /// Places a door marker.
+    pub fn draw_door(&mut self, name: &str, anchor: Point, width: f64) -> ElementId {
+        self.add_element(
+            Shape::DoorMarker {
+                anchor: self.snap(anchor),
+                width,
+            },
+            EntityKind::Door,
+            name,
+        )
+    }
+
+    fn add_element(&mut self, shape: Shape, kind: EntityKind, name: &str) -> ElementId {
+        let id = ElementId(self.next_id);
+        self.next_id += 1;
+        let e = CanvasElement {
+            id,
+            shape,
+            kind,
+            name: name.to_string(),
+            layer: 0,
+            group: 0,
+            tag: None,
+        };
+        self.apply(Op::Add(e));
+        id
+    }
+
+    /// Deletes an element.
+    pub fn delete(&mut self, id: ElementId) -> Result<(), CanvasError> {
+        let e = self.element(id)?.clone();
+        self.apply(Op::Remove(e));
+        Ok(())
+    }
+
+    fn replace_shape(
+        &mut self,
+        id: ElementId,
+        f: impl FnOnce(&Shape) -> Shape,
+    ) -> Result<(), CanvasError> {
+        let before = self.element(id)?.clone();
+        let mut after = before.clone();
+        after.shape = f(&before.shape);
+        self.apply(Op::Replace { before, after });
+        Ok(())
+    }
+
+    /// Edit mode: move (free transformation).
+    pub fn move_element(&mut self, id: ElementId, dx: f64, dy: f64) -> Result<(), CanvasError> {
+        self.replace_shape(id, |s| s.translated(dx, dy))
+    }
+
+    /// Edit mode: resize around a center.
+    pub fn resize_element(&mut self, id: ElementId, center: Point, factor: f64) -> Result<(), CanvasError> {
+        self.replace_shape(id, |s| s.scaled(center, factor))
+    }
+
+    /// Edit mode: rotate around a center.
+    pub fn rotate_element(&mut self, id: ElementId, center: Point, angle: f64) -> Result<(), CanvasError> {
+        self.replace_shape(id, |s| s.rotated(center, angle))
+    }
+
+    /// Step 3: attach a semantic tag to a drawn element.
+    pub fn assign_tag(&mut self, id: ElementId, tag: SemanticTag) -> Result<(), CanvasError> {
+        let before = self.element(id)?.clone();
+        let mut after = before.clone();
+        after.tag = Some(tag);
+        self.apply(Op::Replace { before, after });
+        Ok(())
+    }
+
+    /// Renames an element.
+    pub fn rename(&mut self, id: ElementId, name: &str) -> Result<(), CanvasError> {
+        let before = self.element(id)?.clone();
+        let mut after = before.clone();
+        after.name = name.to_string();
+        self.apply(Op::Replace { before, after });
+        Ok(())
+    }
+
+    /// Layer control.
+    pub fn set_layer(&mut self, id: ElementId, layer: u32) -> Result<(), CanvasError> {
+        let before = self.element(id)?.clone();
+        let mut after = before.clone();
+        after.layer = layer;
+        self.apply(Op::Replace { before, after });
+        Ok(())
+    }
+
+    /// Group control: put several elements in one group (they then move
+    /// together via [`move_group`](Self::move_group)).
+    pub fn set_group(&mut self, ids: &[ElementId], group: u32) -> Result<(), CanvasError> {
+        for &id in ids {
+            let before = self.element(id)?.clone();
+            let mut after = before.clone();
+            after.group = group;
+            self.apply(Op::Replace { before, after });
+        }
+        Ok(())
+    }
+
+    /// Moves all elements of a group.
+    pub fn move_group(&mut self, group: u32, dx: f64, dy: f64) -> Result<(), CanvasError> {
+        let ids: Vec<ElementId> = self
+            .elements
+            .iter()
+            .filter(|e| e.group == group && group != 0)
+            .map(|e| e.id)
+            .collect();
+        for id in ids {
+            self.move_element(id, dx, dy)?;
+        }
+        Ok(())
+    }
+
+    /// Undo the last operation.
+    pub fn undo(&mut self) -> Result<(), CanvasError> {
+        let op = self.undo_stack.pop().ok_or(CanvasError::NothingToUndo)?;
+        let inv = op.inverse();
+        match &inv {
+            Op::Add(e) => self.elements.push(e.clone()),
+            Op::Remove(e) => self.elements.retain(|x| x.id != e.id),
+            Op::Replace { before, after } => {
+                if let Some(slot) = self.elements.iter_mut().find(|x| x.id == before.id) {
+                    *slot = after.clone();
+                }
+            }
+        }
+        self.redo_stack.push(op);
+        Ok(())
+    }
+
+    /// Redo the last undone operation.
+    pub fn redo(&mut self) -> Result<(), CanvasError> {
+        let op = self.redo_stack.pop().ok_or(CanvasError::NothingToRedo)?;
+        match &op {
+            Op::Add(e) => self.elements.push(e.clone()),
+            Op::Remove(e) => self.elements.retain(|x| x.id != e.id),
+            Op::Replace { before, after } => {
+                if let Some(slot) = self.elements.iter_mut().find(|x| x.id == before.id) {
+                    *slot = after.clone();
+                }
+            }
+        }
+        self.undo_stack.push(op);
+        Ok(())
+    }
+
+    /// Exports the drawn elements into `dsm` as entities; tagged area
+    /// elements additionally become semantic regions mapped to their entity
+    /// ("the system reads the drawn indoor entities' geometric properties
+    /// and semantic tags", paper §3).
+    pub fn export_to_dsm(&self, dsm: &mut DigitalSpaceModel) -> Result<ExportReport, DsmError> {
+        let mut report = ExportReport::default();
+        for el in &self.elements {
+            let eid = dsm.next_entity_id();
+            let entity = match (&el.shape, el.kind) {
+                (Shape::DoorMarker { anchor, width }, _) => {
+                    Entity::door(eid, self.floor, &el.name, *anchor, *width)
+                }
+                (Shape::Polygon(p), kind) => {
+                    Entity::area(eid, kind, self.floor, &el.name, p.clone())
+                }
+                (Shape::Circle(c), kind) => Entity::area(
+                    eid,
+                    kind,
+                    self.floor,
+                    &el.name,
+                    c.to_polygon(self.circle_sides),
+                ),
+                (Shape::Polyline(l), _) => Entity::wall(eid, self.floor, &el.name, l.clone()),
+            };
+            let footprint = entity.footprint.clone();
+            dsm.add_entity(entity)?;
+            report.entities += 1;
+
+            if let (Some(tag), Some(poly)) = (&el.tag, footprint.as_area()) {
+                let rid = dsm.next_region_id();
+                dsm.add_region(SemanticRegion::new(
+                    rid,
+                    &el.name,
+                    tag.clone(),
+                    self.floor,
+                    poly.clone(),
+                    eid,
+                ))?;
+                report.regions += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Summary of a canvas export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExportReport {
+    pub entities: usize,
+    pub regions: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq_pts(x: f64, y: f64, w: f64) -> Vec<Point> {
+        vec![
+            Point::new(x, y),
+            Point::new(x + w, y),
+            Point::new(x + w, y + w),
+            Point::new(x, y + w),
+        ]
+    }
+
+    #[test]
+    fn draw_and_query() {
+        let mut c = FloorplanCanvas::new(0);
+        c.import_image("floor0.png");
+        let id = c.draw_polygon(EntityKind::Room, "Nike", sq_pts(0.0, 0.0, 10.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.element(id).unwrap().name, "Nike");
+        assert_eq!(c.background_image.as_deref(), Some("floor0.png"));
+    }
+
+    #[test]
+    fn snapping_attracts_nearby_vertices() {
+        let mut c = FloorplanCanvas::new(0);
+        c.draw_polygon(EntityKind::Room, "A", sq_pts(0.0, 0.0, 10.0));
+        // Vertex drawn 0.2 m off the existing corner snaps onto it.
+        let id = c.draw_polygon(
+            EntityKind::Room,
+            "B",
+            vec![
+                Point::new(10.1, 0.15),
+                Point::new(20.0, 0.0),
+                Point::new(20.0, 10.0),
+                Point::new(10.05, 9.9),
+            ],
+        );
+        let Shape::Polygon(p) = &c.element(id).unwrap().shape else {
+            panic!("expected polygon");
+        };
+        assert_eq!(p.vertices()[0], Point::new(10.0, 0.0));
+        assert_eq!(p.vertices()[3], Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn snap_leaves_distant_points_alone() {
+        let mut c = FloorplanCanvas::new(0);
+        c.draw_polygon(EntityKind::Room, "A", sq_pts(0.0, 0.0, 10.0));
+        assert_eq!(c.snap(Point::new(5.0, 5.0)), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn undo_redo_roundtrip() {
+        let mut c = FloorplanCanvas::new(0);
+        let id = c.draw_polygon(EntityKind::Room, "A", sq_pts(0.0, 0.0, 10.0));
+        c.move_element(id, 5.0, 0.0).unwrap();
+        let moved = c.element(id).unwrap().shape.vertices()[0];
+        assert_eq!(moved, Point::new(5.0, 0.0));
+        c.undo().unwrap();
+        assert_eq!(c.element(id).unwrap().shape.vertices()[0], Point::new(0.0, 0.0));
+        c.redo().unwrap();
+        assert_eq!(c.element(id).unwrap().shape.vertices()[0], Point::new(5.0, 0.0));
+        // Undo twice removes the element entirely.
+        c.undo().unwrap();
+        c.undo().unwrap();
+        assert!(c.is_empty());
+        c.redo().unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn undo_empty_stack_errors() {
+        let mut c = FloorplanCanvas::new(0);
+        assert_eq!(c.undo(), Err(CanvasError::NothingToUndo));
+        assert_eq!(c.redo(), Err(CanvasError::NothingToRedo));
+    }
+
+    #[test]
+    fn new_draw_clears_redo() {
+        let mut c = FloorplanCanvas::new(0);
+        c.draw_circle(EntityKind::Obstacle, "pillar", Point::new(3.0, 3.0), 0.5);
+        c.undo().unwrap();
+        c.draw_circle(EntityKind::Obstacle, "pillar2", Point::new(4.0, 4.0), 0.5);
+        assert_eq!(c.redo(), Err(CanvasError::NothingToRedo));
+    }
+
+    #[test]
+    fn transforms() {
+        let mut c = FloorplanCanvas::new(0);
+        let id = c.draw_polygon(EntityKind::Room, "A", sq_pts(0.0, 0.0, 10.0));
+        c.resize_element(id, Point::origin(), 2.0).unwrap();
+        let Shape::Polygon(p) = &c.element(id).unwrap().shape else {
+            panic!()
+        };
+        assert!((p.area() - 400.0).abs() < 1e-9);
+        c.rotate_element(id, Point::origin(), std::f64::consts::FRAC_PI_2)
+            .unwrap();
+        let Shape::Polygon(p) = &c.element(id).unwrap().shape else {
+            panic!()
+        };
+        assert!((p.area() - 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn groups_move_together() {
+        let mut c = FloorplanCanvas::new(0);
+        let a = c.draw_polygon(EntityKind::Room, "A", sq_pts(0.0, 0.0, 5.0));
+        let b = c.draw_polygon(EntityKind::Room, "B", sq_pts(10.0, 0.0, 5.0));
+        let lone = c.draw_polygon(EntityKind::Room, "C", sq_pts(20.0, 0.0, 5.0));
+        c.set_group(&[a, b], 1).unwrap();
+        c.move_group(1, 0.0, 100.0).unwrap();
+        assert_eq!(c.element(a).unwrap().shape.vertices()[0].y, 100.0);
+        assert_eq!(c.element(b).unwrap().shape.vertices()[0].y, 100.0);
+        assert_eq!(c.element(lone).unwrap().shape.vertices()[0].y, 0.0);
+    }
+
+    #[test]
+    fn delete_and_unknown() {
+        let mut c = FloorplanCanvas::new(0);
+        let id = c.draw_polygon(EntityKind::Room, "A", sq_pts(0.0, 0.0, 5.0));
+        c.delete(id).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.delete(id), Err(CanvasError::UnknownElement(id)));
+        c.undo().unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn export_creates_entities_and_regions() {
+        let mut c = FloorplanCanvas::new(2);
+        let shop = c.draw_polygon(EntityKind::Room, "Adidas", sq_pts(0.0, 0.0, 8.0));
+        c.assign_tag(shop, SemanticTag::new("sportswear", "shop"))
+            .unwrap();
+        c.draw_door("adidas-door", Point::new(8.0, 4.0), 1.2);
+        c.draw_polyline(
+            EntityKind::Wall,
+            "north-wall",
+            vec![Point::new(0.0, 20.0), Point::new(50.0, 20.0)],
+        );
+        let pillar = c.draw_circle(EntityKind::Obstacle, "pillar", Point::new(4.0, 4.0), 0.4);
+        let _ = pillar;
+
+        let mut dsm = DigitalSpaceModel::new("mall");
+        let report = c.export_to_dsm(&mut dsm).unwrap();
+        assert_eq!(report.entities, 4);
+        assert_eq!(report.regions, 1);
+        assert_eq!(dsm.entity_count(), 4);
+        let region = dsm.regions().next().unwrap();
+        assert_eq!(region.name, "Adidas");
+        assert_eq!(region.floor, 2);
+        // Circle exported as polygon area.
+        let pillar_entity = dsm
+            .entities()
+            .find(|e| e.kind == EntityKind::Obstacle)
+            .unwrap();
+        assert!(pillar_entity.footprint.as_area().is_some());
+    }
+}

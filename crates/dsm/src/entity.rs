@@ -1,0 +1,247 @@
+//! Indoor entities: the physical building blocks extracted from a floorplan.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trips_geom::{FloorId, Point, Polygon, Polyline};
+
+/// Unique identifier of an indoor entity within a DSM.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct EntityId(pub u32);
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The distinct kinds of indoor entities the paper's Space Modeler produces.
+///
+/// The topology computation treats each kind differently: rooms and hallways
+/// are walkable areas, doors connect walkable areas, walls obstruct movement,
+/// staircases connect floors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// An enclosed walkable area (a shop, an office, a storage room).
+    Room,
+    /// An open walkable circulation area (corridor, atrium, center hall).
+    Hallway,
+    /// A connection point between two walkable areas on the same floor.
+    Door,
+    /// An impassable boundary (only geometry; rooms own their own rings).
+    Wall,
+    /// A vertical connector between floors (stairs, escalator, elevator).
+    Staircase,
+    /// A non-walkable obstacle inside a walkable area (pillar, kiosk block).
+    Obstacle,
+}
+
+impl EntityKind {
+    /// Whether positioning records may legitimately fall inside this entity.
+    pub fn is_walkable(self) -> bool {
+        matches!(self, EntityKind::Room | EntityKind::Hallway | EntityKind::Staircase)
+    }
+
+    /// Stable lowercase name used in JSON and in semantic-tag defaults.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntityKind::Room => "room",
+            EntityKind::Hallway => "hallway",
+            EntityKind::Door => "door",
+            EntityKind::Wall => "wall",
+            EntityKind::Staircase => "staircase",
+            EntityKind::Obstacle => "obstacle",
+        }
+    }
+}
+
+/// Geometric footprint of an entity.
+///
+/// Every area entity stores a polygon; doors store an anchor point plus a
+/// width (they are modelled as wall openings); walls store their centreline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Footprint {
+    /// Area footprint (rooms, hallways, staircells, obstacles).
+    Area(Polygon),
+    /// Door: anchor point on the shared wall plus the opening width (m).
+    Opening { anchor: Point, width: f64 },
+    /// Wall centreline.
+    Line(Polyline),
+}
+
+impl Footprint {
+    /// A representative point of the footprint: interior point for areas,
+    /// anchor for openings, midpoint for lines.
+    pub fn representative_point(&self) -> Point {
+        match self {
+            Footprint::Area(p) => p.interior_point(),
+            Footprint::Opening { anchor, .. } => *anchor,
+            Footprint::Line(l) => l.point_at_fraction(0.5),
+        }
+    }
+
+    /// The area polygon, if this is an area footprint.
+    pub fn as_area(&self) -> Option<&Polygon> {
+        match self {
+            Footprint::Area(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// An indoor entity: a typed, named geometric object on one floor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Entity {
+    pub id: EntityId,
+    pub kind: EntityKind,
+    pub floor: FloorId,
+    /// Human-readable name from the floorplan trace (e.g. `"Nike Store"`).
+    pub name: String,
+    pub footprint: Footprint,
+    /// Extra floors this entity spans (staircases only; empty otherwise).
+    pub extra_floors: Vec<FloorId>,
+}
+
+impl Entity {
+    /// Creates an area entity (room / hallway / obstacle / staircase cell).
+    pub fn area(id: EntityId, kind: EntityKind, floor: FloorId, name: &str, poly: Polygon) -> Self {
+        Entity {
+            id,
+            kind,
+            floor,
+            name: name.to_string(),
+            footprint: Footprint::Area(poly),
+            extra_floors: Vec::new(),
+        }
+    }
+
+    /// Creates a door entity at `anchor` with the given opening width.
+    pub fn door(id: EntityId, floor: FloorId, name: &str, anchor: Point, width: f64) -> Self {
+        Entity {
+            id,
+            kind: EntityKind::Door,
+            floor,
+            name: name.to_string(),
+            footprint: Footprint::Opening { anchor, width },
+            extra_floors: Vec::new(),
+        }
+    }
+
+    /// Creates a wall entity along `line`.
+    pub fn wall(id: EntityId, floor: FloorId, name: &str, line: Polyline) -> Self {
+        Entity {
+            id,
+            kind: EntityKind::Wall,
+            floor,
+            name: name.to_string(),
+            footprint: Footprint::Line(line),
+            extra_floors: Vec::new(),
+        }
+    }
+
+    /// Creates a staircase spanning `floors` (at identical planar footprint).
+    ///
+    /// # Panics
+    /// Panics if `floors` is empty.
+    pub fn staircase(id: EntityId, name: &str, poly: Polygon, floors: &[FloorId]) -> Self {
+        assert!(!floors.is_empty(), "staircase must span at least one floor");
+        Entity {
+            id,
+            kind: EntityKind::Staircase,
+            floor: floors[0],
+            name: name.to_string(),
+            footprint: Footprint::Area(poly),
+            extra_floors: floors[1..].to_vec(),
+        }
+    }
+
+    /// All floors this entity touches.
+    pub fn floors(&self) -> impl Iterator<Item = FloorId> + '_ {
+        std::iter::once(self.floor).chain(self.extra_floors.iter().copied())
+    }
+
+    /// Returns `true` if the entity touches `floor`.
+    pub fn on_floor(&self, floor: FloorId) -> bool {
+        self.floor == floor || self.extra_floors.contains(&floor)
+    }
+
+    /// Closed containment test against the entity's area footprint.
+    /// Non-area entities contain nothing.
+    pub fn contains(&self, p: Point) -> bool {
+        self.footprint.as_area().is_some_and(|poly| poly.contains(p))
+    }
+
+    /// Representative anchor of the entity (used as a graph node and as the
+    /// label position in the Viewer).
+    pub fn anchor(&self) -> Point {
+        self.footprint.representative_point()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_geom::Point;
+
+    fn square(x: f64, y: f64, w: f64) -> Polygon {
+        Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + w))
+    }
+
+    #[test]
+    fn walkability() {
+        assert!(EntityKind::Room.is_walkable());
+        assert!(EntityKind::Hallway.is_walkable());
+        assert!(EntityKind::Staircase.is_walkable());
+        assert!(!EntityKind::Door.is_walkable());
+        assert!(!EntityKind::Wall.is_walkable());
+        assert!(!EntityKind::Obstacle.is_walkable());
+    }
+
+    #[test]
+    fn room_contains_points() {
+        let r = Entity::area(EntityId(1), EntityKind::Room, 0, "Nike", square(0.0, 0.0, 10.0));
+        assert!(r.contains(Point::new(5.0, 5.0)));
+        assert!(!r.contains(Point::new(15.0, 5.0)));
+        assert!(r.on_floor(0));
+        assert!(!r.on_floor(1));
+    }
+
+    #[test]
+    fn door_anchor() {
+        let d = Entity::door(EntityId(2), 0, "Nike-entrance", Point::new(5.0, 0.0), 1.2);
+        assert_eq!(d.anchor(), Point::new(5.0, 0.0));
+        assert!(!d.contains(Point::new(5.0, 0.0)), "doors are not areas");
+    }
+
+    #[test]
+    fn staircase_spans_floors() {
+        let s = Entity::staircase(EntityId(3), "esc-1", square(0.0, 0.0, 4.0), &[0, 1, 2]);
+        assert!(s.on_floor(0) && s.on_floor(1) && s.on_floor(2));
+        assert!(!s.on_floor(3));
+        assert_eq!(s.floors().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one floor")]
+    fn staircase_requires_floor() {
+        Entity::staircase(EntityId(4), "bad", square(0.0, 0.0, 1.0), &[]);
+    }
+
+    #[test]
+    fn wall_representative_point_is_midpoint() {
+        let w = Entity::wall(
+            EntityId(5),
+            0,
+            "w",
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]),
+        );
+        assert_eq!(w.anchor(), Point::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EntityKind::Room.name(), "room");
+        assert_eq!(EntityKind::Staircase.name(), "staircase");
+    }
+}

@@ -1,0 +1,118 @@
+//! DSM (de)serialization.
+//!
+//! The paper stores the DSM "in JSON format, which is flexible to parse and
+//! manipulate" (§3). The JSON document carries the geometric attributes,
+//! the semantic regions and the entity↔region mapping; topology is always
+//! recomputed on load (it is derived data).
+
+use crate::model::{DigitalSpaceModel, DsmError};
+use std::fs;
+use std::path::Path;
+
+/// Serializes the DSM to a pretty-printed JSON string.
+pub fn to_json(dsm: &DigitalSpaceModel) -> Result<String, DsmError> {
+    serde_json::to_string_pretty(dsm).map_err(|e| DsmError::Serde(e.to_string()))
+}
+
+/// Deserializes a DSM from JSON and recomputes its topology.
+pub fn from_json(json: &str) -> Result<DigitalSpaceModel, DsmError> {
+    let mut dsm: DigitalSpaceModel =
+        serde_json::from_str(json).map_err(|e| DsmError::Serde(e.to_string()))?;
+    dsm.freeze();
+    Ok(dsm)
+}
+
+/// Saves the DSM as a JSON file.
+pub fn save(dsm: &DigitalSpaceModel, path: impl AsRef<Path>) -> Result<(), DsmError> {
+    let json = to_json(dsm)?;
+    fs::write(path, json).map_err(|e| DsmError::Serde(e.to_string()))
+}
+
+/// Loads a DSM from a JSON file (topology recomputed).
+pub fn load(path: impl AsRef<Path>) -> Result<DigitalSpaceModel, DsmError> {
+    let json = fs::read_to_string(path).map_err(|e| DsmError::Serde(e.to_string()))?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{Entity, EntityKind};
+    use crate::semantic::{SemanticRegion, SemanticTag};
+    use trips_geom::{Point, Polygon};
+
+    fn sample() -> DigitalSpaceModel {
+        let mut dsm = DigitalSpaceModel::new("json-test");
+        let a = dsm.next_entity_id();
+        dsm.add_entity(Entity::area(
+            a,
+            EntityKind::Room,
+            0,
+            "A",
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+        ))
+        .unwrap();
+        let d = dsm.next_entity_id();
+        dsm.add_entity(Entity::door(d, 0, "door", Point::new(10.0, 5.0), 1.0))
+            .unwrap();
+        let r = dsm.next_region_id();
+        dsm.add_region(SemanticRegion::new(
+            r,
+            "Shop A",
+            SemanticTag::new("shop-a", "shop"),
+            0,
+            Polygon::rectangle(Point::new(0.0, 0.0), Point::new(10.0, 10.0)),
+            a,
+        ))
+        .unwrap();
+        dsm.freeze();
+        dsm
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let dsm = sample();
+        let json = to_json(&dsm).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.name, dsm.name);
+        assert_eq!(back.entity_count(), dsm.entity_count());
+        assert_eq!(back.region_count(), dsm.region_count());
+        assert!(back.is_frozen(), "topology recomputed on load");
+        // Region query still works identically.
+        assert_eq!(
+            back.region_at_xy(5.0, 5.0, 0).unwrap().name,
+            dsm.region_at_xy(5.0, 5.0, 0).unwrap().name
+        );
+    }
+
+    #[test]
+    fn json_contains_expected_fields() {
+        let json = to_json(&sample()).unwrap();
+        assert!(json.contains("\"name\": \"json-test\""));
+        assert!(json.contains("Shop A"));
+        assert!(json.contains("floor_height"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(matches!(from_json("{ not json"), Err(DsmError::Serde(_))));
+        assert!(matches!(from_json("{}"), Err(DsmError::Serde(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("trips-dsm-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let dsm = sample();
+        save(&dsm, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.entity_count(), dsm.entity_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load("/definitely/not/a/real/path.json").is_err());
+    }
+}

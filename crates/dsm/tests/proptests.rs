@@ -1,0 +1,115 @@
+//! Property-based tests for the DSM: the minimum indoor walking distance
+//! must behave like a metric over the mall, and location queries must be
+//! consistent.
+
+use proptest::prelude::*;
+use trips_dsm::builder::MallBuilder;
+use trips_dsm::{DigitalSpaceModel, PathQuery};
+use trips_geom::IndoorPoint;
+
+fn mall() -> DigitalSpaceModel {
+    MallBuilder::new().floors(2).shops_per_row(3).build()
+}
+
+/// Points constrained to the mall's footprint on floors 0-1.
+fn arb_point() -> impl Strategy<Value = IndoorPoint> {
+    (0.0f64..30.0, 0.0f64..22.0, 0i16..2).prop_map(|(x, y, f)| IndoorPoint::new(x, y, f))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn walking_distance_symmetric(a in arb_point(), b in arb_point()) {
+        let dsm = mall();
+        let pq = PathQuery::new(&dsm).unwrap();
+        let d1 = pq.distance(&a, &b);
+        let d2 = pq.distance(&b, &a);
+        match (d1, d2) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}"),
+            (None, None) => {}
+            _ => prop_assert!(false, "reachability must be symmetric"),
+        }
+    }
+
+    #[test]
+    fn walking_distance_nonnegative_and_zero_on_self(a in arb_point()) {
+        let dsm = mall();
+        let pq = PathQuery::new(&dsm).unwrap();
+        if let Some(d) = pq.distance(&a, &a) {
+            prop_assert!(d.abs() < 1e-9, "self distance {d}");
+        }
+        let b = IndoorPoint::new(a.xy.x + 0.5, a.xy.y, a.floor);
+        if let Some(d) = pq.distance(&a, &b) {
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn walking_distance_at_least_planar_on_same_floor(a in arb_point(), b in arb_point()) {
+        prop_assume!(a.floor == b.floor);
+        let dsm = mall();
+        let pq = PathQuery::new(&dsm).unwrap();
+        if let Some(d) = pq.distance(&a, &b) {
+            // Walking distance can undercut planar distance only by snapping
+            // slack when a point lies outside every walkable area.
+            let inside = dsm.locate(&a).is_some() && dsm.locate(&b).is_some();
+            if inside {
+                prop_assert!(d + 1e-6 >= a.planar_distance(&b),
+                    "walking {d} < planar {}", a.planar_distance(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let dsm = mall();
+        let pq = PathQuery::new(&dsm).unwrap();
+        if let (Some(ab), Some(bc), Some(ac)) =
+            (pq.distance(&a, &b), pq.distance(&b, &c), pq.distance(&a, &c))
+        {
+            prop_assert!(ac <= ab + bc + 1e-6, "ac {ac} > ab {ab} + bc {bc}");
+        }
+    }
+
+    #[test]
+    fn path_endpoints_match_query(a in arb_point(), b in arb_point()) {
+        let dsm = mall();
+        let pq = PathQuery::new(&dsm).unwrap();
+        if let Some(path) = pq.path(&a, &b) {
+            prop_assert_eq!(path.points[0], a);
+            prop_assert_eq!(*path.points.last().unwrap(), b);
+            prop_assert!(path.distance.is_finite());
+            // Fraction endpoints are exact.
+            prop_assert_eq!(path.point_at_fraction(0.0), a);
+            prop_assert_eq!(path.point_at_fraction(1.0), b);
+        }
+    }
+
+    #[test]
+    fn locate_agrees_with_entity_contains(p in arb_point()) {
+        let dsm = mall();
+        if let Some(e) = dsm.locate(&p) {
+            prop_assert!(e.contains(p.xy), "located entity must contain the point");
+            prop_assert!(e.on_floor(p.floor));
+        }
+    }
+
+    #[test]
+    fn region_at_returns_containing_region(p in arb_point()) {
+        let dsm = mall();
+        if let Some(r) = dsm.region_at(&p) {
+            prop_assert!(r.contains(p.xy));
+            prop_assert_eq!(r.floor, p.floor);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_queries(p in arb_point()) {
+        let dsm = mall();
+        let back = trips_dsm::json::from_json(&trips_dsm::json::to_json(&dsm).unwrap()).unwrap();
+        let r1 = dsm.region_at(&p).map(|r| r.id);
+        let r2 = back.region_at(&p).map(|r| r.id);
+        prop_assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Standalone geometric algorithms shared by the DSM and the Annotation
+//! layer: convex hulls (covering-range feature), dispersion statistics
+//! (location-variance feature), and path statistics.
+
+use crate::{Point, Polygon, EPSILON};
+
+/// Convex hull of a point set (Andrew's monotone chain), returned as a
+/// counter-clockwise polygon.
+///
+/// Returns `None` when the set has fewer than 3 non-collinear points — the
+/// hull degenerates to a point or segment, for which the caller should fall
+/// back to bounding-box measures.
+pub fn convex_hull(points: &[Point]) -> Option<Polygon> {
+    if points.len() < 3 {
+        return None;
+    }
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finite coordinates")
+            .then(a.y.partial_cmp(&b.y).expect("finite coordinates"))
+    });
+    pts.dedup_by(|a, b| a.distance_sq(*b) <= EPSILON * EPSILON);
+    if pts.len() < 3 {
+        return None;
+    }
+
+    let cross = |o: Point, a: Point, b: Point| (a - o).cross(b - o);
+
+    let mut lower: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in &pts {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0 {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0 {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 3 {
+        return None; // all points collinear
+    }
+    Some(Polygon::new(lower))
+}
+
+/// Arithmetic mean of a point set. `None` for an empty set.
+pub fn mean_point(points: &[Point]) -> Option<Point> {
+    if points.is_empty() {
+        return None;
+    }
+    let sum = points.iter().fold(Point::origin(), |acc, p| acc + *p);
+    Some(sum * (1.0 / points.len() as f64))
+}
+
+/// Spatial variance of a point set: mean squared distance to the centroid.
+///
+/// This is the "positioning location variance" feature of the Annotation
+/// layer — low for a stay, high for a pass-by.
+pub fn location_variance(points: &[Point]) -> f64 {
+    match mean_point(points) {
+        None => 0.0,
+        Some(c) => {
+            points.iter().map(|p| p.distance_sq(c)).sum::<f64>() / points.len() as f64
+        }
+    }
+}
+
+/// Total polyline length of a point sequence (the "traveling distance"
+/// feature). Zero for fewer than 2 points.
+pub fn path_length(points: &[Point]) -> f64 {
+    points.windows(2).map(|w| w[0].distance(w[1])).sum()
+}
+
+/// Maximum pairwise distance in a point set (diameter). O(n²) — adequate for
+/// snippet-sized inputs (tens of records); hull-based rotating calipers is
+/// unnecessary at that scale.
+pub fn diameter(points: &[Point]) -> f64 {
+    let mut best = 0.0f64;
+    for (i, p) in points.iter().enumerate() {
+        for q in &points[i + 1..] {
+            best = best.max(p.distance(*q));
+        }
+    }
+    best
+}
+
+/// The spatially central point: the input point minimising the sum of
+/// distances to all others (medoid). Used by the Viewer when configured to
+/// display a semantics entry at the spatially central raw location
+/// (paper footnote 1).
+pub fn medoid(points: &[Point]) -> Option<Point> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut best = points[0];
+    let mut best_cost = f64::INFINITY;
+    for p in points {
+        let cost: f64 = points.iter().map(|q| p.distance(*q)).sum();
+        if cost < best_cost {
+            best_cost = cost;
+            best = *p;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0), // interior
+            Point::new(1.0, 2.0), // interior
+        ];
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.len(), 4);
+        assert!(approx_eq(hull.area(), 16.0));
+        assert!(hull.signed_area() > 0.0, "ccw orientation");
+    }
+
+    #[test]
+    fn hull_degenerate_cases() {
+        assert!(convex_hull(&[]).is_none());
+        assert!(convex_hull(&[Point::origin()]).is_none());
+        assert!(convex_hull(&[Point::origin(), Point::new(1.0, 0.0)]).is_none());
+        // collinear
+        let line: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        assert!(convex_hull(&line).is_none());
+        // duplicates collapse
+        let dup = vec![Point::origin(); 10];
+        assert!(convex_hull(&dup).is_none());
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        let pts: Vec<Point> = (0..20)
+            .map(|i| {
+                let a = i as f64 * 0.77;
+                Point::new(a.sin() * (i as f64), a.cos() * (i as f64 * 0.5))
+            })
+            .collect();
+        let hull = convex_hull(&pts).unwrap();
+        for p in &pts {
+            assert!(
+                hull.contains(*p) || hull.distance_to_boundary(*p) < 1e-6,
+                "hull must contain {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+        assert_eq!(mean_point(&pts), Some(Point::new(1.0, 0.0)));
+        assert!(approx_eq(location_variance(&pts), 1.0));
+        assert!(mean_point(&[]).is_none());
+        assert_eq!(location_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_zero_for_identical_points() {
+        let pts = vec![Point::new(3.0, 3.0); 5];
+        assert!(approx_eq(location_variance(&pts), 0.0));
+    }
+
+    #[test]
+    fn path_length_and_diameter() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(3.0, 0.0),
+        ];
+        assert!(approx_eq(path_length(&pts), 9.0));
+        assert!(approx_eq(diameter(&pts), 5.0));
+        assert_eq!(path_length(&[Point::origin()]), 0.0);
+        assert_eq!(diameter(&[]), 0.0);
+    }
+
+    #[test]
+    fn medoid_picks_central_input_point() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
+        assert_eq!(medoid(&pts), Some(Point::new(1.0, 0.0)));
+        assert!(medoid(&[]).is_none());
+    }
+}

@@ -1,0 +1,129 @@
+use crate::{BoundingBox, Point, Polygon};
+use serde::{Deserialize, Serialize};
+
+/// A circle — the third drawing element of the Space Modeler (kiosks, pillars,
+/// circular atria are commonly traced as circles on mall floorplans).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    pub center: Point,
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite radius.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "circle radius must be finite and non-negative, got {radius}"
+        );
+        Circle { center, radius }
+    }
+
+    /// Area of the disk.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Circumference length.
+    pub fn circumference(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.radius
+    }
+
+    /// Closed containment test (boundary counts as inside).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius + 1e-12
+    }
+
+    /// Distance from `p` to the disk: 0 inside, distance to the boundary
+    /// outside.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        (self.center.distance(p) - self.radius).max(0.0)
+    }
+
+    /// Bounding box of the disk.
+    pub fn bbox(&self) -> BoundingBox {
+        BoundingBox::new(
+            Point::new(self.center.x - self.radius, self.center.y - self.radius),
+            Point::new(self.center.x + self.radius, self.center.y + self.radius),
+        )
+    }
+
+    /// Regular-polygon approximation with `sides` vertices (≥ 3).
+    ///
+    /// The DSM stores every entity footprint as a polygon; circles drawn in
+    /// the canvas are discretised on save.
+    pub fn to_polygon(&self, sides: usize) -> Polygon {
+        let sides = sides.max(3);
+        let verts = (0..sides)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * (i as f64) / (sides as f64);
+                Point::new(
+                    self.center.x + self.radius * theta.cos(),
+                    self.center.y + self.radius * theta.sin(),
+                )
+            })
+            .collect();
+        Polygon::new(verts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "radius must be finite")]
+    fn rejects_negative_radius() {
+        Circle::new(Point::origin(), -1.0);
+    }
+
+    #[test]
+    fn containment() {
+        let c = Circle::new(Point::new(2.0, 2.0), 1.0);
+        assert!(c.contains(Point::new(2.0, 2.0)));
+        assert!(c.contains(Point::new(3.0, 2.0)), "boundary counts");
+        assert!(!c.contains(Point::new(3.1, 2.0)));
+    }
+
+    #[test]
+    fn distances() {
+        let c = Circle::new(Point::origin(), 2.0);
+        assert_eq!(c.distance_to_point(Point::new(1.0, 0.0)), 0.0);
+        assert!((c.distance_to_point(Point::new(5.0, 0.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_covers_circle() {
+        let c = Circle::new(Point::new(1.0, 1.0), 0.5);
+        let b = c.bbox();
+        assert_eq!(b.min, Point::new(0.5, 0.5));
+        assert_eq!(b.max, Point::new(1.5, 1.5));
+    }
+
+    #[test]
+    fn polygon_approximation_converges_in_area() {
+        let c = Circle::new(Point::new(3.0, 4.0), 2.0);
+        let p16 = c.to_polygon(16).area();
+        let p64 = c.to_polygon(64).area();
+        let exact = c.area();
+        assert!((p64 - exact).abs() < (p16 - exact).abs());
+        assert!((p64 - exact).abs() / exact < 0.01);
+    }
+
+    #[test]
+    fn polygon_approximation_minimum_sides() {
+        assert_eq!(Circle::new(Point::origin(), 1.0).to_polygon(1).len(), 3);
+    }
+
+    #[test]
+    fn zero_radius_circle() {
+        let c = Circle::new(Point::new(1.0, 1.0), 0.0);
+        assert!(c.contains(Point::new(1.0, 1.0)));
+        assert!(!c.contains(Point::new(1.0, 1.1)));
+        assert_eq!(c.area(), 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// Identifier of a building floor.
+///
+/// Floors are small signed integers: `0` is the ground floor, negative values
+/// are basements. The demo dataset of the paper spans floors `0..=6`
+/// (a 7-floor shopping mall).
+pub type FloorId = i16;
+
+/// A 2-D point in the building-local metric frame (metres).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from metric coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Point { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the sqrt when only
+    /// comparisons are needed, e.g. nearest-neighbour scans).
+    #[inline]
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector dot product, treating points as vectors from the origin.
+    #[inline]
+    pub fn dot(&self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product magnitude (`self × other`); positive when `other`
+    /// is counter-clockwise of `self`.
+    #[inline]
+    pub fn cross(&self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm of the point treated as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.dot(*self).sqrt()
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    /// `t` outside `[0, 1]` extrapolates.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Returns the point rotated by `angle` radians counter-clockwise around
+    /// `center`. Used by the drawing canvas' free-transform mode.
+    pub fn rotated_around(&self, center: Point, angle: f64) -> Point {
+        let (sin, cos) = angle.sin_cos();
+        let dx = self.x - center.x;
+        let dy = self.y - center.y;
+        Point::new(
+            center.x + dx * cos - dy * sin,
+            center.y + dx * sin + dy * cos,
+        )
+    }
+
+    /// Returns `true` if both coordinates are finite (rejects NaN/inf records
+    /// coming from corrupt input files).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// A point qualified with the floor it lies on — the location payload of a
+/// raw positioning record, e.g. `(5.1, 12.7, 3F)` in Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndoorPoint {
+    /// Planar position on the floor, metres.
+    pub xy: Point,
+    /// Which floor the position lies on.
+    pub floor: FloorId,
+}
+
+impl IndoorPoint {
+    /// Creates an indoor point.
+    #[inline]
+    pub const fn new(x: f64, y: f64, floor: FloorId) -> Self {
+        IndoorPoint {
+            xy: Point::new(x, y),
+            floor,
+        }
+    }
+
+    /// Planar (same-floor) Euclidean distance, ignoring floors.
+    ///
+    /// Callers that care about floor changes must route through the DSM's
+    /// indoor walking distance instead.
+    #[inline]
+    pub fn planar_distance(&self, other: &IndoorPoint) -> f64 {
+        self.xy.distance(other.xy)
+    }
+
+    /// Returns `true` if both points are on the same floor.
+    #[inline]
+    pub fn same_floor(&self, other: &IndoorPoint) -> bool {
+        self.floor == other.floor
+    }
+
+    /// Replaces the floor, keeping planar coordinates (floor value
+    /// correction in the Cleaning layer).
+    #[inline]
+    pub fn with_floor(&self, floor: FloorId) -> IndoorPoint {
+        IndoorPoint {
+            xy: self.xy,
+            floor,
+        }
+    }
+}
+
+impl fmt::Display for IndoorPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2}, {}F)", self.xy.x, self.xy.y, self.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(approx_eq(a.distance(b), 5.0));
+        assert!(approx_eq(a.distance_sq(b), 25.0));
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-4.0, 7.25);
+        assert!(approx_eq(a.distance(b), b.distance(a)));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, 10.0));
+        assert_eq!(a.midpoint(b), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn cross_sign_indicates_orientation() {
+        let east = Point::new(1.0, 0.0);
+        let north = Point::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0);
+        assert!(north.cross(east) < 0.0);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let p = Point::new(1.0, 0.0);
+        let r = p.rotated_around(Point::origin(), std::f64::consts::FRAC_PI_2);
+        assert!(approx_eq(r.x, 0.0));
+        assert!(approx_eq(r.y, 1.0));
+    }
+
+    #[test]
+    fn rotation_preserves_distance_to_center() {
+        let c = Point::new(3.0, -1.0);
+        let p = Point::new(7.5, 2.0);
+        let r = p.rotated_around(c, 1.2345);
+        assert!(approx_eq(c.distance(p), c.distance(r)));
+    }
+
+    #[test]
+    fn indoor_point_floor_semantics() {
+        let a = IndoorPoint::new(0.0, 0.0, 2);
+        let b = IndoorPoint::new(3.0, 4.0, 3);
+        assert!(!a.same_floor(&b));
+        assert!(a.same_floor(&b.with_floor(2)));
+        assert!(approx_eq(a.planar_distance(&b), 5.0));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn display_formats_like_paper_table() {
+        let p = IndoorPoint::new(5.1, 12.7, 3);
+        assert_eq!(p.to_string(), "(5.10, 12.70, 3F)");
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a + b, Point::new(4.0, 7.0));
+        assert_eq!(b - a, Point::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert!(approx_eq(a.dot(b), 13.0));
+        assert!(approx_eq(Point::new(3.0, 4.0).norm(), 5.0));
+    }
+}

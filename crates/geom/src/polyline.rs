@@ -1,0 +1,294 @@
+use crate::{BoundingBox, Point, Segment, EPSILON};
+use serde::{Deserialize, Serialize};
+
+/// An open chain of connected segments.
+///
+/// Polylines model walls in the drawing tool, the geometry of walking paths
+/// returned by the DSM's distance engine, and cleaned trajectories in the
+/// Viewer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<Point>,
+}
+
+impl Polyline {
+    /// Creates a polyline.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 points are supplied.
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(
+            points.len() >= 2,
+            "polyline needs at least 2 points, got {}",
+            points.len()
+        );
+        Polyline { points }
+    }
+
+    /// Fallible constructor for loaders.
+    pub fn try_new(points: Vec<Point>) -> Option<Self> {
+        if points.len() < 2 || points.iter().any(|p| !p.is_finite()) {
+            None
+        } else {
+            Some(Polyline { points })
+        }
+    }
+
+    /// The chain's points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of points in the chain.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: construction guarantees ≥ 2 points.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over the chain's segments.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.points.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// Total chain length.
+    pub fn length(&self) -> f64 {
+        self.segments().map(|s| s.length()).sum()
+    }
+
+    /// Bounding box of the chain.
+    pub fn bbox(&self) -> BoundingBox {
+        BoundingBox::from_points(self.points.iter().copied())
+    }
+
+    /// Point at `fraction` (`0..=1`) of the chain's arc length.
+    ///
+    /// Location interpolation in the Cleaning layer places a repaired record
+    /// at the time-proportional fraction of the walking path.
+    pub fn point_at_fraction(&self, fraction: f64) -> Point {
+        let f = fraction.clamp(0.0, 1.0);
+        let total = self.length();
+        if total <= EPSILON {
+            return self.points[0];
+        }
+        let mut remaining = f * total;
+        for seg in self.segments() {
+            let l = seg.length();
+            if remaining <= l {
+                return seg.point_at(if l <= EPSILON { 0.0 } else { remaining / l });
+            }
+            remaining -= l;
+        }
+        *self.points.last().expect("polyline has >= 2 points")
+    }
+
+    /// Minimum distance from `p` to the chain.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.segments()
+            .map(|s| s.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Number of direction changes along the chain that exceed
+    /// `min_turn_angle` radians — the "number of turns" feature of the
+    /// Annotation layer.
+    pub fn count_turns(&self, min_turn_angle: f64) -> usize {
+        let mut turns = 0;
+        for w in self.points.windows(3) {
+            let v1 = w[1] - w[0];
+            let v2 = w[2] - w[1];
+            let n1 = v1.norm();
+            let n2 = v2.norm();
+            if n1 <= EPSILON || n2 <= EPSILON {
+                continue;
+            }
+            let cos = (v1.dot(v2) / (n1 * n2)).clamp(-1.0, 1.0);
+            if cos.acos() >= min_turn_angle {
+                turns += 1;
+            }
+        }
+        turns
+    }
+
+    /// Ramer–Douglas–Peucker simplification with tolerance `eps`.
+    ///
+    /// The drawing tool uses this to thin freehand wall traces; the Viewer
+    /// uses it to keep SVG payloads small.
+    pub fn simplified(&self, eps: f64) -> Polyline {
+        if self.points.len() <= 2 {
+            return self.clone();
+        }
+        let mut keep = vec![false; self.points.len()];
+        keep[0] = true;
+        *keep.last_mut().expect("non-empty") = true;
+        rdp_mark(&self.points, 0, self.points.len() - 1, eps, &mut keep);
+        Polyline {
+            points: self
+                .points
+                .iter()
+                .zip(keep)
+                .filter_map(|(p, k)| k.then_some(*p))
+                .collect(),
+        }
+    }
+
+    /// Concatenates another chain onto this one; if the junction points are
+    /// identical the duplicate is dropped. Used when assembling walking
+    /// paths from per-room legs.
+    pub fn extend_with(&mut self, other: &Polyline) {
+        let start = if self
+            .points
+            .last()
+            .is_some_and(|l| l.distance(other.points[0]) <= EPSILON)
+        {
+            1
+        } else {
+            0
+        };
+        self.points.extend_from_slice(&other.points[start..]);
+    }
+}
+
+fn rdp_mark(points: &[Point], lo: usize, hi: usize, eps: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let chord = Segment::new(points[lo], points[hi]);
+    let mut max_d = 0.0;
+    let mut max_i = lo;
+    for (i, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = chord.distance_to_point(*p);
+        if d > max_d {
+            max_d = d;
+            max_i = i;
+        }
+    }
+    if max_d > eps {
+        keep[max_i] = true;
+        rdp_mark(points, lo, max_i, eps, keep);
+        rdp_mark(points, max_i, hi, eps, keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn staircase() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.0),
+        ])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn rejects_single_point() {
+        Polyline::new(vec![Point::origin()]);
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        assert!(approx_eq(staircase().length(), 3.0));
+    }
+
+    #[test]
+    fn point_at_fraction_walks_the_chain() {
+        let pl = staircase();
+        assert_eq!(pl.point_at_fraction(0.0), Point::new(0.0, 0.0));
+        assert_eq!(pl.point_at_fraction(1.0), Point::new(2.0, 1.0));
+        // 1.5 of 3.0 total → middle of second segment
+        let mid = pl.point_at_fraction(0.5);
+        assert!(approx_eq(mid.x, 1.0) && approx_eq(mid.y, 0.5));
+        // fraction is clamped
+        assert_eq!(pl.point_at_fraction(2.0), Point::new(2.0, 1.0));
+        assert_eq!(pl.point_at_fraction(-1.0), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn zero_length_chain_fraction() {
+        let pl = Polyline::new(vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)]);
+        assert_eq!(pl.point_at_fraction(0.7), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let pl = staircase();
+        assert!(approx_eq(pl.distance_to_point(Point::new(0.5, 1.0)), 0.5));
+        assert!(approx_eq(pl.distance_to_point(Point::new(1.0, 0.5)), 0.0));
+    }
+
+    #[test]
+    fn turn_counting() {
+        // staircase has two 90° turns
+        assert_eq!(staircase().count_turns(1.0), 2);
+        // straight line has none
+        let line = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ]);
+        assert_eq!(line.count_turns(0.1), 0);
+        // shallow wiggle below threshold is not a turn
+        let wiggle = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.02),
+        ]);
+        assert_eq!(wiggle.count_turns(0.5), 0);
+        assert_eq!(wiggle.count_turns(0.001), 1);
+    }
+
+    #[test]
+    fn simplification_drops_collinear_points() {
+        let pl = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+        ]);
+        let s = pl.simplified(0.01);
+        assert_eq!(s.len(), 2);
+        assert!(approx_eq(s.length(), pl.length()));
+    }
+
+    #[test]
+    fn simplification_keeps_real_corners() {
+        let s = staircase().simplified(0.01);
+        assert_eq!(s.len(), 4, "90° corners must survive");
+    }
+
+    #[test]
+    fn simplification_respects_tolerance() {
+        let pl = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.05),
+            Point::new(2.0, 0.0),
+        ]);
+        assert_eq!(pl.simplified(0.1).len(), 2);
+        assert_eq!(pl.simplified(0.01).len(), 3);
+    }
+
+    #[test]
+    fn extend_merges_duplicate_junction() {
+        let mut a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let b = Polyline::new(vec![Point::new(1.0, 0.0), Point::new(1.0, 1.0)]);
+        a.extend_with(&b);
+        assert_eq!(a.len(), 3);
+        assert!(approx_eq(a.length(), 2.0));
+    }
+
+    #[test]
+    fn extend_keeps_distinct_junction() {
+        let mut a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let b = Polyline::new(vec![Point::new(2.0, 0.0), Point::new(3.0, 0.0)]);
+        a.extend_with(&b);
+        assert_eq!(a.len(), 4);
+    }
+}

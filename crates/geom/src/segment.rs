@@ -1,0 +1,225 @@
+use crate::{BoundingBox, Point, EPSILON};
+use serde::{Deserialize, Serialize};
+
+/// A directed line segment between two points.
+///
+/// Segments are the edges of walls, doors and drawing-tool polylines; the
+/// predicates here (intersection, projection, distance) drive wall-crossing
+/// checks and snapping in the Space Modeler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from `a` to `b`.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Bounding box of the segment.
+    pub fn bbox(&self) -> BoundingBox {
+        BoundingBox::new(self.a, self.b)
+    }
+
+    /// Point at parameter `t` along the segment (`0` → `a`, `1` → `b`).
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Parameter of the orthogonal projection of `p` onto the supporting
+    /// line, clamped to `[0, 1]` so the result lies on the segment.
+    pub fn project_clamped(&self, p: Point) -> f64 {
+        let d = self.b - self.a;
+        let len_sq = d.dot(d);
+        if len_sq <= EPSILON {
+            return 0.0; // degenerate segment: a == b
+        }
+        ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0)
+    }
+
+    /// Closest point on the segment to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        self.point_at(self.project_clamped(p))
+    }
+
+    /// Euclidean distance from `p` to the segment.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Returns `true` if `p` lies on the segment (within [`EPSILON`]).
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.distance_to_point(p) <= 1e-7
+    }
+
+    /// Proper segment–segment intersection test, including collinear overlap
+    /// and endpoint touching.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        orientation_test(self, other)
+    }
+
+    /// Intersection *point* of two segments, if they cross at a single point.
+    ///
+    /// Returns `None` when the segments do not intersect or are collinear
+    /// (overlap has no unique intersection point).
+    pub fn intersection_point(&self, other: &Segment) -> Option<Point> {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        if denom.abs() <= EPSILON {
+            return None; // parallel or collinear
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (-EPSILON..=1.0 + EPSILON).contains(&t) && (-EPSILON..=1.0 + EPSILON).contains(&u) {
+            Some(self.point_at(t))
+        } else {
+            None
+        }
+    }
+}
+
+/// Orientation of the ordered triple (p, q, r):
+/// `> 0` counter-clockwise, `< 0` clockwise, `0` collinear.
+#[inline]
+pub(crate) fn orient(p: Point, q: Point, r: Point) -> f64 {
+    (q - p).cross(r - p)
+}
+
+fn on_segment_collinear(s: &Segment, p: Point) -> bool {
+    p.x >= s.a.x.min(s.b.x) - EPSILON
+        && p.x <= s.a.x.max(s.b.x) + EPSILON
+        && p.y >= s.a.y.min(s.b.y) - EPSILON
+        && p.y <= s.a.y.max(s.b.y) + EPSILON
+}
+
+fn orientation_test(s1: &Segment, s2: &Segment) -> bool {
+    let d1 = orient(s2.a, s2.b, s1.a);
+    let d2 = orient(s2.a, s2.b, s1.b);
+    let d3 = orient(s1.a, s1.b, s2.a);
+    let d4 = orient(s1.a, s1.b, s2.b);
+
+    if ((d1 > EPSILON && d2 < -EPSILON) || (d1 < -EPSILON && d2 > EPSILON))
+        && ((d3 > EPSILON && d4 < -EPSILON) || (d3 < -EPSILON && d4 > EPSILON))
+    {
+        return true;
+    }
+    (d1.abs() <= EPSILON && on_segment_collinear(s2, s1.a))
+        || (d2.abs() <= EPSILON && on_segment_collinear(s2, s1.b))
+        || (d3.abs() <= EPSILON && on_segment_collinear(s1, s2.a))
+        || (d4.abs() <= EPSILON && on_segment_collinear(s1, s2.b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert!(approx_eq(s.length(), 5.0));
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn projection_inside_and_clamped() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert!(approx_eq(s.project_clamped(Point::new(4.0, 5.0)), 0.4));
+        assert!(approx_eq(s.project_clamped(Point::new(-3.0, 1.0)), 0.0));
+        assert!(approx_eq(s.project_clamped(Point::new(15.0, 1.0)), 1.0));
+    }
+
+    #[test]
+    fn distance_to_point_cases() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert!(approx_eq(s.distance_to_point(Point::new(5.0, 3.0)), 3.0));
+        assert!(approx_eq(s.distance_to_point(Point::new(-3.0, 4.0)), 5.0));
+        assert!(approx_eq(s.distance_to_point(Point::new(13.0, 4.0)), 5.0));
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        let s = seg(2.0, 2.0, 2.0, 2.0);
+        assert!(approx_eq(s.distance_to_point(Point::new(5.0, 6.0)), 5.0));
+        assert_eq!(s.closest_point(Point::new(9.0, 9.0)), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = seg(0.0, 0.0, 4.0, 4.0);
+        let s2 = seg(0.0, 4.0, 4.0, 0.0);
+        assert!(s1.intersects(&s2));
+        let p = s1.intersection_point(&s2).unwrap();
+        assert!(approx_eq(p.x, 2.0) && approx_eq(p.y, 2.0));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s1 = seg(0.0, 0.0, 4.0, 0.0);
+        let s2 = seg(0.0, 1.0, 4.0, 1.0);
+        assert!(!s1.intersects(&s2));
+        assert!(s1.intersection_point(&s2).is_none());
+    }
+
+    #[test]
+    fn collinear_overlap_intersects_without_unique_point() {
+        let s1 = seg(0.0, 0.0, 4.0, 0.0);
+        let s2 = seg(2.0, 0.0, 6.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(s1.intersection_point(&s2).is_none());
+    }
+
+    #[test]
+    fn collinear_disjoint_do_not_intersect() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(2.0, 0.0, 3.0, 0.0);
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn endpoint_touch_counts_as_intersection() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(2.0, 2.0, 4.0, 0.0);
+        assert!(s1.intersects(&s2));
+        let p = s1.intersection_point(&s2).unwrap();
+        assert!(approx_eq(p.x, 2.0) && approx_eq(p.y, 2.0));
+    }
+
+    #[test]
+    fn t_touch_midspan() {
+        // s2 endpoint lands in the middle of s1
+        let s1 = seg(0.0, 0.0, 4.0, 0.0);
+        let s2 = seg(2.0, 0.0, 2.0, 3.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn contains_point_on_and_off() {
+        let s = seg(0.0, 0.0, 10.0, 10.0);
+        assert!(s.contains_point(Point::new(5.0, 5.0)));
+        assert!(s.contains_point(Point::new(0.0, 0.0)));
+        assert!(!s.contains_point(Point::new(5.0, 5.1)));
+    }
+}

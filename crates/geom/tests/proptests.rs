@@ -1,0 +1,173 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use trips_geom::{algorithms, BoundingBox, Circle, Point, Polygon, Polyline, Segment};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(), n)
+}
+
+proptest! {
+    #[test]
+    fn distance_symmetry(a in arb_point(), b in arb_point()) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn lerp_stays_on_segment(a in arb_point(), b in arb_point(), t in 0.0f64..1.0) {
+        let p = a.lerp(b, t);
+        let s = Segment::new(a, b);
+        prop_assert!(s.distance_to_point(p) < 1e-6);
+    }
+
+    #[test]
+    fn bbox_contains_its_points(pts in arb_points(1..50)) {
+        let b = BoundingBox::from_points(pts.iter().copied());
+        for p in &pts {
+            prop_assert!(b.contains(*p));
+        }
+    }
+
+    #[test]
+    fn bbox_union_is_commutative_cover(p1 in arb_points(1..10), p2 in arb_points(1..10)) {
+        let a = BoundingBox::from_points(p1.iter().copied());
+        let b = BoundingBox::from_points(p2.iter().copied());
+        let u = a.union(&b);
+        prop_assert_eq!(u, b.union(&a));
+        for p in p1.iter().chain(p2.iter()) {
+            prop_assert!(u.contains(*p));
+        }
+    }
+
+    #[test]
+    fn segment_closest_point_is_on_segment(a in arb_point(), b in arb_point(), p in arb_point()) {
+        let s = Segment::new(a, b);
+        let c = s.closest_point(p);
+        // The closest point must lie within the segment's bbox (inflated for rounding).
+        prop_assert!(s.bbox().inflated(1e-6).contains(c));
+        // No segment endpoint can beat it.
+        prop_assert!(c.distance(p) <= a.distance(p) + 1e-9);
+        prop_assert!(c.distance(p) <= b.distance(p) + 1e-9);
+    }
+
+    #[test]
+    fn rectangle_contains_centroid_and_is_convex(a in arb_point(), b in arb_point()) {
+        prop_assume!((a.x - b.x).abs() > 0.01 && (a.y - b.y).abs() > 0.01);
+        let r = Polygon::rectangle(a, b);
+        prop_assert!(r.contains(r.centroid()));
+        prop_assert!(r.is_convex());
+    }
+
+    #[test]
+    fn polygon_translation_preserves_area_and_perimeter(
+        pts in arb_points(3..12), dx in -100.0f64..100.0, dy in -100.0f64..100.0
+    ) {
+        if let Some(poly) = Polygon::try_new(pts) {
+            let t = poly.translated(dx, dy);
+            prop_assert!((poly.area() - t.area()).abs() < 1e-6 * poly.area().max(1.0));
+            prop_assert!((poly.perimeter() - t.perimeter()).abs() < 1e-6 * poly.perimeter().max(1.0));
+        }
+    }
+
+    #[test]
+    fn polygon_rotation_preserves_area(pts in arb_points(3..12), angle in 0.0f64..6.28) {
+        if let Some(poly) = Polygon::try_new(pts) {
+            let r = poly.rotated(Point::origin(), angle);
+            prop_assert!((poly.area() - r.area()).abs() < 1e-5 * poly.area().max(1.0));
+        }
+    }
+
+    #[test]
+    fn hull_contains_all_points(pts in arb_points(3..40)) {
+        if let Some(hull) = algorithms::convex_hull(&pts) {
+            prop_assert!(hull.is_convex());
+            for p in &pts {
+                prop_assert!(
+                    hull.contains(*p) || hull.distance_to_boundary(*p) < 1e-5,
+                    "hull must contain every input point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hull_area_at_most_bbox_area(pts in arb_points(3..40)) {
+        if let Some(hull) = algorithms::convex_hull(&pts) {
+            let bb = BoundingBox::from_points(pts.iter().copied());
+            prop_assert!(hull.area() <= bb.area() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn polyline_fraction_monotone_along_chain(pts in arb_points(2..10), f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+        if let Some(pl) = Polyline::try_new(pts) {
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            let total = pl.length();
+            if total > 1e-6 {
+                // Arc distance from start to point_at_fraction(hi) >= to point_at_fraction(lo)
+                // measured by walking: approximate via comparing fractions of length directly.
+                let a = pl.point_at_fraction(lo);
+                let b = pl.point_at_fraction(hi);
+                // Both points must lie on the chain.
+                prop_assert!(pl.distance_to_point(a) < 1e-6);
+                prop_assert!(pl.distance_to_point(b) < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn simplified_polyline_stays_close(pts in arb_points(2..30), eps in 0.01f64..5.0) {
+        if let Some(pl) = Polyline::try_new(pts) {
+            let simp = pl.simplified(eps);
+            prop_assert!(simp.len() <= pl.len());
+            // Every original point stays within eps of the simplified chain.
+            for p in pl.points() {
+                prop_assert!(simp.distance_to_point(*p) <= eps + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn circle_polygonization_inside_circle(cx in -10.0f64..10.0, cy in -10.0f64..10.0, r in 0.1f64..20.0, sides in 3usize..64) {
+        let c = Circle::new(Point::new(cx, cy), r);
+        let poly = c.to_polygon(sides);
+        for v in poly.vertices() {
+            prop_assert!(c.contains(*v));
+        }
+        prop_assert!(poly.area() <= c.area() + 1e-9);
+    }
+
+    #[test]
+    fn variance_is_translation_invariant(pts in arb_points(1..30), dx in -50.0f64..50.0, dy in -50.0f64..50.0) {
+        let shifted: Vec<Point> = pts.iter().map(|p| Point::new(p.x + dx, p.y + dy)).collect();
+        let v1 = algorithms::location_variance(&pts);
+        let v2 = algorithms::location_variance(&shifted);
+        prop_assert!((v1 - v2).abs() < 1e-5 * v1.max(1.0));
+    }
+
+    #[test]
+    fn medoid_is_an_input_point(pts in arb_points(1..20)) {
+        let m = algorithms::medoid(&pts).unwrap();
+        prop_assert!(pts.iter().any(|p| p.distance(m) < 1e-12));
+    }
+
+    #[test]
+    fn diameter_bounds_path_structure(pts in arb_points(2..20)) {
+        let d = algorithms::diameter(&pts);
+        let l = algorithms::path_length(&pts);
+        // The path visits all points, so it is at least as long as the gap
+        // between the farthest consecutive-independent pair can't exceed total.
+        prop_assert!(d <= l + 1e-9 || pts.len() == 2);
+        let bb = BoundingBox::from_points(pts.iter().copied());
+        prop_assert!(d <= bb.diagonal() + 1e-9);
+    }
+}

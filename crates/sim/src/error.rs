@@ -1,0 +1,332 @@
+//! The Wi-Fi positioning error model.
+//!
+//! Raw indoor positioning data "is uncertain and discrete in nature due to
+//! the limitations of indoor positioning" (paper §1). This module degrades a
+//! ground-truth trajectory into exactly the error phenomenology the Cleaning
+//! layer targets:
+//!
+//! * **planar noise** — Gaussian jitter on (x, y), metres-scale;
+//! * **outlier bursts** — occasional large jumps (multipath / AP mismatch)
+//!   that violate the indoor speed constraint;
+//! * **floor misreads** — the floor attribute flips to an adjacent floor
+//!   (barometric/AP ambiguity), the target of floor value correction;
+//! * **irregular sampling** — records arrive every `sample_interval` ±
+//!   jitter, not on a neat grid;
+//! * **drops** — stretches with no records at all (device sleep, AP
+//!   hand-off), the gaps the Complementing layer fills.
+
+use crate::rng;
+use rand::Rng;
+use trips_data::{DeviceId, Duration, RawRecord, Timestamp};
+use trips_geom::IndoorPoint;
+
+/// Error-model parameters.
+#[derive(Debug, Clone)]
+pub struct ErrorModel {
+    /// Std-dev of planar Gaussian noise, metres.
+    pub xy_sigma: f64,
+    /// Probability that a record is an outlier with `outlier_sigma` noise.
+    pub outlier_rate: f64,
+    /// Std-dev of outlier noise, metres.
+    pub outlier_sigma: f64,
+    /// Probability that a record's floor flips to an adjacent floor.
+    pub floor_error_rate: f64,
+    /// Mean time between emitted records.
+    pub sample_interval: Duration,
+    /// Uniform jitter applied to each sampling step (fraction of interval,
+    /// 0..1).
+    pub interval_jitter: f64,
+    /// Probability that an emission is dropped entirely.
+    pub drop_rate: f64,
+    /// Emissions stop when the ground truth is older than this (the device
+    /// left the building between sessions).
+    pub max_staleness: Duration,
+    /// Probability per emission of entering a dropout burst…
+    pub burst_drop_rate: f64,
+    /// …whose length is uniform in `1..=burst_len` emissions.
+    pub burst_len: usize,
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        ErrorModel {
+            xy_sigma: 1.2,
+            outlier_rate: 0.02,
+            outlier_sigma: 12.0,
+            floor_error_rate: 0.03,
+            sample_interval: Duration::from_secs(7),
+            interval_jitter: 0.4,
+            drop_rate: 0.05,
+            max_staleness: Duration::from_secs(30),
+            burst_drop_rate: 0.01,
+            burst_len: 30,
+        }
+    }
+}
+
+impl ErrorModel {
+    /// A noise-free model (pass-through sampling) — baseline for ablations.
+    pub fn clean() -> Self {
+        ErrorModel {
+            xy_sigma: 0.0,
+            outlier_rate: 0.0,
+            outlier_sigma: 0.0,
+            floor_error_rate: 0.0,
+            interval_jitter: 0.0,
+            drop_rate: 0.0,
+            burst_drop_rate: 0.0,
+            burst_len: 0,
+            ..ErrorModel::default()
+        }
+    }
+
+    /// Scales all error rates by `f` (error-sweep experiments, Figure 3a).
+    pub fn scaled(&self, f: f64) -> Self {
+        ErrorModel {
+            xy_sigma: self.xy_sigma * f,
+            outlier_rate: (self.outlier_rate * f).min(0.9),
+            floor_error_rate: (self.floor_error_rate * f).min(0.9),
+            drop_rate: (self.drop_rate * f).min(0.9),
+            burst_drop_rate: (self.burst_drop_rate * f).min(0.9),
+            ..self.clone()
+        }
+    }
+
+    /// Degrades a ground-truth trajectory into raw positioning records.
+    ///
+    /// `floor_range` bounds floor misreads (`(min, max)` valid floors).
+    pub fn degrade<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        device: &DeviceId,
+        truth: &[(Timestamp, IndoorPoint)],
+        floor_range: (i16, i16),
+    ) -> Vec<RawRecord> {
+        let mut out = Vec::new();
+        if truth.is_empty() {
+            return out;
+        }
+        let start = truth[0].0;
+        let end = truth[truth.len() - 1].0;
+        let mut t = start;
+        let mut burst_remaining = 0usize;
+
+        while t <= end {
+            // Advance by a jittered interval.
+            let base = self.sample_interval.as_millis() as f64;
+            let jitter = 1.0 + self.interval_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            let step = Duration((base * jitter.max(0.1)) as i64);
+
+            let emit_ts = t;
+            t = t + step;
+
+            // Burst dropout state machine.
+            if burst_remaining > 0 {
+                burst_remaining -= 1;
+                continue;
+            }
+            if self.burst_len > 0 && rng.gen::<f64>() < self.burst_drop_rate {
+                burst_remaining = rng.gen_range(1..=self.burst_len);
+                continue;
+            }
+            if rng.gen::<f64>() < self.drop_rate {
+                continue;
+            }
+
+            // Ground-truth position at emit_ts (nearest sample ≤ ts).
+            let idx = truth.partition_point(|(ts, _)| *ts <= emit_ts);
+            let (truth_ts, pos) = truth[idx.saturating_sub(1)];
+            // Between sessions the device is outside the building: no truth
+            // within the staleness window means no emission.
+            if emit_ts - truth_ts > self.max_staleness {
+                continue;
+            }
+
+            // Planar noise (regular or outlier).
+            let sigma = if rng.gen::<f64>() < self.outlier_rate {
+                self.outlier_sigma
+            } else {
+                self.xy_sigma
+            };
+            let x = pos.xy.x + rng::normal(rng, 0.0, sigma);
+            let y = pos.xy.y + rng::normal(rng, 0.0, sigma);
+
+            // Floor misread.
+            let floor = if rng.gen::<f64>() < self.floor_error_rate {
+                let delta = if rng.gen::<bool>() { 1 } else { -1 };
+                (pos.floor + delta).clamp(floor_range.0, floor_range.1)
+            } else {
+                pos.floor
+            };
+
+            out.push(RawRecord::new(device.clone(), x, y, floor, emit_ts));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trips_geom::Point;
+
+    fn truth(n: usize) -> Vec<(Timestamp, IndoorPoint)> {
+        (0..n)
+            .map(|i| {
+                (
+                    Timestamp::from_millis(i as i64 * 2000),
+                    IndoorPoint::new(i as f64 * 0.5, 10.0, 2),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_model_reproduces_truth_positions() {
+        let em = ErrorModel::clean();
+        let mut rng = StdRng::seed_from_u64(1);
+        let recs = em.degrade(&mut rng, &DeviceId::new("d"), &truth(100), (0, 6));
+        assert!(!recs.is_empty());
+        for r in &recs {
+            assert_eq!(r.location.floor, 2, "no floor errors in clean model");
+            assert!((r.location.xy.y - 10.0).abs() < 1e-9, "no planar noise");
+        }
+        // Sampling decimates the 2 s truth grid to ~7 s.
+        assert!(recs.len() < 100);
+        assert!(recs.len() > 10);
+    }
+
+    #[test]
+    fn default_model_injects_floor_errors_and_noise() {
+        let em = ErrorModel {
+            floor_error_rate: 0.5,
+            ..ErrorModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let recs = em.degrade(&mut rng, &DeviceId::new("d"), &truth(2000), (0, 6));
+        let wrong_floor = recs.iter().filter(|r| r.location.floor != 2).count();
+        assert!(
+            wrong_floor > recs.len() / 4,
+            "expected many floor misreads: {wrong_floor}/{}",
+            recs.len()
+        );
+        let noisy = recs
+            .iter()
+            .filter(|r| (r.location.xy.y - 10.0).abs() > 0.01)
+            .count();
+        assert!(noisy > recs.len() * 9 / 10, "noise on nearly every record");
+    }
+
+    #[test]
+    fn floor_errors_stay_in_range() {
+        let em = ErrorModel {
+            floor_error_rate: 1.0,
+            ..ErrorModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        // Truth on floor 0: misreads can only go up (clamped at 0).
+        let t: Vec<_> = truth(500)
+            .into_iter()
+            .map(|(ts, p)| (ts, p.with_floor(0)))
+            .collect();
+        let recs = em.degrade(&mut rng, &DeviceId::new("d"), &t, (0, 6));
+        for r in &recs {
+            assert!((0..=6).contains(&r.location.floor));
+        }
+    }
+
+    #[test]
+    fn drop_rates_reduce_record_count() {
+        let base = ErrorModel {
+            drop_rate: 0.0,
+            burst_drop_rate: 0.0,
+            ..ErrorModel::default()
+        };
+        let lossy = ErrorModel {
+            drop_rate: 0.5,
+            burst_drop_rate: 0.0,
+            ..ErrorModel::default()
+        };
+        let t = truth(3000);
+        let n_base = base
+            .degrade(&mut StdRng::seed_from_u64(4), &DeviceId::new("d"), &t, (0, 6))
+            .len();
+        let n_lossy = lossy
+            .degrade(&mut StdRng::seed_from_u64(4), &DeviceId::new("d"), &t, (0, 6))
+            .len();
+        assert!(
+            (n_lossy as f64) < n_base as f64 * 0.7,
+            "dropping halves the stream: {n_lossy} vs {n_base}"
+        );
+    }
+
+    #[test]
+    fn burst_drops_create_long_gaps() {
+        let em = ErrorModel {
+            drop_rate: 0.0,
+            burst_drop_rate: 0.05,
+            burst_len: 40,
+            interval_jitter: 0.0,
+            ..ErrorModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let recs = em.degrade(&mut rng, &DeviceId::new("d"), &truth(5000), (0, 6));
+        let max_gap = recs
+            .windows(2)
+            .map(|w| (w[1].ts - w[0].ts).as_millis())
+            .max()
+            .unwrap();
+        assert!(
+            max_gap > 60_000,
+            "expected a > 1 min dropout burst, max gap {max_gap} ms"
+        );
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let em = ErrorModel::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let recs = em.degrade(&mut rng, &DeviceId::new("d"), &truth(1000), (0, 6));
+        for w in recs.windows(2) {
+            assert!(w[0].ts < w[1].ts);
+        }
+    }
+
+    #[test]
+    fn empty_truth_empty_output() {
+        let em = ErrorModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(em
+            .degrade(&mut rng, &DeviceId::new("d"), &[], (0, 6))
+            .is_empty());
+    }
+
+    #[test]
+    fn scaled_model_scales_rates() {
+        let em = ErrorModel::default().scaled(2.0);
+        assert!((em.xy_sigma - 2.4).abs() < 1e-9);
+        assert!((em.floor_error_rate - 0.06).abs() < 1e-9);
+        // Saturation at 0.9.
+        let em9 = ErrorModel::default().scaled(1000.0);
+        assert!(em9.outlier_rate <= 0.9);
+    }
+
+    #[test]
+    fn outliers_present_at_high_rate() {
+        let em = ErrorModel {
+            outlier_rate: 0.3,
+            outlier_sigma: 50.0,
+            xy_sigma: 0.1,
+            ..ErrorModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let recs = em.degrade(&mut rng, &DeviceId::new("d"), &truth(2000), (0, 6));
+        let far = recs
+            .iter()
+            .filter(|r| r.location.xy.distance(Point::new(r.location.xy.x.clamp(0.0, 1000.0), 10.0)) > 10.0)
+            .count();
+        assert!(far > 0, "expected some large outliers");
+    }
+}

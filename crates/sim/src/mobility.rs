@@ -1,0 +1,383 @@
+//! Shopper agents: ground-truth trajectories plus ground-truth mobility
+//! semantics over a mall DSM.
+//!
+//! An agent performs an *itinerary*: it enters the mall, visits a sequence of
+//! semantic regions (staying in some, merely passing through others), and
+//! leaves. Movement between regions follows the minimum-walking-distance path
+//! through doors and staircases at a per-agent walking speed; inside a region
+//! the agent wanders around. The continuous trajectory is sampled on a fixed
+//! grid to yield ground-truth samples; region occupancy intervals yield the
+//! ground-truth semantics (`stay` / `pass-by` visits) against which the
+//! Translator's output is assessed.
+
+use crate::rng;
+use rand::Rng;
+use trips_data::{Duration, Timestamp};
+use trips_dsm::{DigitalSpaceModel, PathQuery, RegionId};
+use trips_geom::{IndoorPoint, Point};
+
+/// Ground-truth event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VisitKind {
+    /// Dwelling in a region (long enough for the paper's "real purchase"
+    /// question).
+    Stay,
+    /// Crossing a region without dwelling.
+    PassBy,
+}
+
+impl VisitKind {
+    /// Stable lowercase name (matches the event labels of Table 1).
+    pub fn name(self) -> &'static str {
+        match self {
+            VisitKind::Stay => "stay",
+            VisitKind::PassBy => "pass-by",
+        }
+    }
+}
+
+/// One ground-truth visit: the agent was inside `region` over `[start, end]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrueVisit {
+    pub region: RegionId,
+    pub region_name: String,
+    pub kind: VisitKind,
+    pub start: Timestamp,
+    pub end: Timestamp,
+}
+
+impl TrueVisit {
+    /// Visit duration.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// Behavioural parameters of one simulated shopper.
+#[derive(Debug, Clone)]
+pub struct AgentProfile {
+    /// Walking speed, m/s.
+    pub walk_speed: f64,
+    /// Number of region visits in one session.
+    pub visits: usize,
+    /// Fraction of visits that are intentional stays (vs brief pass-ins).
+    pub stay_probability: f64,
+    /// Stay dwell time: log-normal μ of seconds.
+    pub dwell_mu: f64,
+    /// Stay dwell time: log-normal σ.
+    pub dwell_sigma: f64,
+    /// Ground-truth sampling interval.
+    pub truth_interval: Duration,
+}
+
+impl AgentProfile {
+    /// Draws a random shopper profile.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        AgentProfile {
+            walk_speed: rng.gen_range(0.9..1.6),
+            visits: rng.gen_range(2..=6),
+            stay_probability: 0.7,
+            // exp(5.0) ≈ 148 s median dwell; heavy tail to ~20 min.
+            dwell_mu: 5.0,
+            dwell_sigma: 0.8,
+            truth_interval: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The continuous ground truth of one mall session.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Trajectory samples on the truth grid.
+    pub samples: Vec<(Timestamp, IndoorPoint)>,
+    /// Region occupancy events derived from the trajectory.
+    pub visits: Vec<TrueVisit>,
+}
+
+/// Minimum dwell for an occupancy interval to count as a `stay` in ground
+/// truth (everything shorter is a `pass-by`). 90 s follows the shopping-mall
+/// intuition of the paper's example (stays are minutes, pass-bys seconds).
+pub const STAY_THRESHOLD: Duration = Duration::from_secs(90);
+
+/// Simulates one session of `profile` starting at `start`, returning the
+/// ground truth. Returns an empty ground truth if the DSM has no shop
+/// regions (nothing to visit).
+pub fn simulate_session<R: Rng + ?Sized>(
+    dsm: &DigitalSpaceModel,
+    pq: &PathQuery<'_>,
+    rng: &mut R,
+    profile: &AgentProfile,
+    start: Timestamp,
+) -> GroundTruth {
+    // Candidate destinations: shop/service regions, weighted by a Zipf-like
+    // popularity so some shops are much hotter than others (drives the
+    // Complementor's transition knowledge).
+    let candidates: Vec<(RegionId, Point, i16)> = dsm
+        .regions()
+        .filter(|r| r.tag.category != "circulation")
+        .map(|r| (r.id, r.anchor(), r.floor))
+        .collect();
+    if candidates.is_empty() {
+        return GroundTruth::default();
+    }
+    let weights: Vec<f64> = (0..candidates.len())
+        .map(|i| 1.0 / (1.0 + i as f64).sqrt())
+        .collect();
+
+    // Entrance: a point in a ground-floor circulation region (the mall door),
+    // or the anchor of the first region as a fallback.
+    let entrance = dsm
+        .regions()
+        .find(|r| r.floor == 0 && r.tag.category == "circulation")
+        .map(|r| IndoorPoint {
+            xy: r.anchor(),
+            floor: 0,
+        })
+        .unwrap_or(IndoorPoint {
+            xy: candidates[0].1,
+            floor: candidates[0].2,
+        });
+
+    // Build the continuous trajectory: walk → dwell → walk → … → exit.
+    let mut cursor = entrance;
+    let mut now = start;
+    let mut samples: Vec<(Timestamp, IndoorPoint)> = vec![(now, cursor)];
+    let step = profile.truth_interval;
+
+    for _ in 0..profile.visits {
+        let pick = rng::weighted_index(rng, &weights);
+        let (_, anchor, floor) = candidates[pick];
+        let dest = IndoorPoint { xy: anchor, floor };
+
+        // Walk leg.
+        if let Some(path) = pq.path(&cursor, &dest) {
+            let travel_secs = (path.distance / profile.walk_speed).max(1.0);
+            let steps = (travel_secs / step.as_secs_f64()).ceil() as usize;
+            for k in 1..=steps {
+                let frac = k as f64 / steps as f64;
+                now = now + step;
+                samples.push((now, path.point_at_fraction(frac)));
+            }
+            cursor = dest;
+        } else {
+            // Unreachable destination: skip it.
+            continue;
+        }
+
+        // Dwell leg: intentional stay or brief pass-in.
+        let dwell_secs = if rng.gen::<f64>() < profile.stay_probability {
+            rng::log_normal(rng, profile.dwell_mu, profile.dwell_sigma)
+                .clamp(STAY_THRESHOLD.as_secs_f64() + 10.0, 1800.0)
+        } else {
+            rng.gen_range(5.0..STAY_THRESHOLD.as_secs_f64() * 0.6)
+        };
+        let dwell_steps = (dwell_secs / step.as_secs_f64()).ceil() as usize;
+        let region = dsm.region_at(&cursor);
+        for _ in 0..dwell_steps {
+            now = now + step;
+            // Wander around the anchor, staying inside the region.
+            let jitter = Point::new(
+                rng::normal(rng, 0.0, 0.8),
+                rng::normal(rng, 0.0, 0.8),
+            );
+            let candidate = Point::new(cursor.xy.x + jitter.x, cursor.xy.y + jitter.y);
+            let pos = match region {
+                Some(r) if r.contains(candidate) => candidate,
+                _ => cursor.xy,
+            };
+            samples.push((
+                now,
+                IndoorPoint {
+                    xy: pos,
+                    floor: cursor.floor,
+                },
+            ));
+        }
+    }
+
+    // Exit leg back to the entrance.
+    if let Some(path) = pq.path(&cursor, &entrance) {
+        let travel_secs = (path.distance / profile.walk_speed).max(1.0);
+        let steps = (travel_secs / step.as_secs_f64()).ceil() as usize;
+        for k in 1..=steps {
+            let frac = k as f64 / steps as f64;
+            now = now + step;
+            samples.push((now, path.point_at_fraction(frac)));
+        }
+    }
+
+    let visits = derive_visits(dsm, &samples);
+    GroundTruth { samples, visits }
+}
+
+/// Derives ground-truth visits (region occupancy intervals) from a sampled
+/// trajectory. Consecutive samples in the same region merge into one
+/// interval; intervals ≥ [`STAY_THRESHOLD`] are stays, shorter ones pass-bys.
+pub fn derive_visits(
+    dsm: &DigitalSpaceModel,
+    samples: &[(Timestamp, IndoorPoint)],
+) -> Vec<TrueVisit> {
+    let mut visits: Vec<TrueVisit> = Vec::new();
+    let mut open: Option<(RegionId, String, Timestamp, Timestamp)> = None;
+    for (ts, p) in samples {
+        let here = dsm.region_at(p).map(|r| (r.id, r.name.clone()));
+        match (&mut open, here) {
+            (Some((rid, _, _, end)), Some((hid, _))) if *rid == hid => {
+                *end = *ts;
+            }
+            (slot, here) => {
+                if let Some((rid, name, start, end)) = slot.take() {
+                    visits.push(close_visit(rid, name, start, end));
+                }
+                *slot = here.map(|(hid, hname)| (hid, hname, *ts, *ts));
+            }
+        }
+    }
+    if let Some((rid, name, start, end)) = open {
+        visits.push(close_visit(rid, name, start, end));
+    }
+    visits
+}
+
+fn close_visit(region: RegionId, region_name: String, start: Timestamp, end: Timestamp) -> TrueVisit {
+    let kind = if end - start >= STAY_THRESHOLD {
+        VisitKind::Stay
+    } else {
+        VisitKind::PassBy
+    };
+    TrueVisit {
+        region,
+        region_name,
+        kind,
+        start,
+        end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trips_dsm::builder::MallBuilder;
+
+    fn mall() -> DigitalSpaceModel {
+        MallBuilder::new().floors(2).shops_per_row(4).build()
+    }
+
+    fn profile() -> AgentProfile {
+        AgentProfile {
+            walk_speed: 1.2,
+            visits: 3,
+            stay_probability: 0.7,
+            dwell_mu: 5.0,
+            dwell_sigma: 0.5,
+            truth_interval: Duration::from_secs(2),
+        }
+    }
+
+    #[test]
+    fn session_produces_ordered_samples() {
+        let dsm = mall();
+        let pq = PathQuery::new(&dsm).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let gt = simulate_session(&dsm, &pq, &mut rng, &profile(), Timestamp::from_dhms(0, 10, 0, 0));
+        assert!(gt.samples.len() > 10);
+        for w in gt.samples.windows(2) {
+            assert!(w[0].0 < w[1].0, "timestamps strictly increase");
+        }
+    }
+
+    #[test]
+    fn session_visits_are_consistent_intervals() {
+        let dsm = mall();
+        let pq = PathQuery::new(&dsm).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gt = simulate_session(&dsm, &pq, &mut rng, &profile(), Timestamp::from_dhms(0, 10, 0, 0));
+        assert!(!gt.visits.is_empty());
+        for v in &gt.visits {
+            assert!(v.start <= v.end);
+            let expected = if v.duration() >= STAY_THRESHOLD {
+                VisitKind::Stay
+            } else {
+                VisitKind::PassBy
+            };
+            assert_eq!(v.kind, expected);
+        }
+        // Consecutive visits never share a region (they would have merged).
+        for w in gt.visits.windows(2) {
+            assert!(
+                w[0].region != w[1].region || w[0].end < w[1].start,
+                "adjacent same-region visits should merge"
+            );
+        }
+        // At least one stay happens with stay_probability 0.7 over 3 visits
+        // under this seed.
+        assert!(gt.visits.iter().any(|v| v.kind == VisitKind::Stay));
+    }
+
+    #[test]
+    fn visits_cover_movement_through_hall() {
+        let dsm = mall();
+        let pq = PathQuery::new(&dsm).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let gt = simulate_session(&dsm, &pq, &mut rng, &profile(), Timestamp::from_dhms(0, 12, 0, 0));
+        // The agent must traverse the hallway between shops.
+        assert!(
+            gt.visits.iter().any(|v| v.region_name.starts_with("Center Hall")),
+            "hall traversal must appear in ground truth"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let dsm = mall();
+        let pq = PathQuery::new(&dsm).unwrap();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            simulate_session(&dsm, &pq, &mut rng, &profile(), Timestamp::from_dhms(0, 10, 0, 0))
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.visits, b.visits);
+        let c = run(43);
+        assert_ne!(a.samples, c.samples, "different seed, different walk");
+    }
+
+    #[test]
+    fn derive_visits_merges_and_classifies() {
+        let dsm = mall();
+        // Hand-built trajectory: 2 samples in shop (short) then 60 in hall.
+        let shop = dsm.regions().find(|r| r.tag.category == "shop").unwrap();
+        let hall = dsm
+            .regions()
+            .find(|r| r.tag.category == "circulation")
+            .unwrap();
+        let shop_pt = IndoorPoint { xy: shop.anchor(), floor: shop.floor };
+        let hall_pt = IndoorPoint { xy: hall.anchor(), floor: hall.floor };
+        let mut samples = Vec::new();
+        for i in 0..3i64 {
+            samples.push((Timestamp::from_millis(i * 2000), shop_pt));
+        }
+        for i in 3..63i64 {
+            samples.push((Timestamp::from_millis(i * 2000), hall_pt));
+        }
+        let visits = derive_visits(&dsm, &samples);
+        assert_eq!(visits.len(), 2);
+        assert_eq!(visits[0].kind, VisitKind::PassBy, "4 s in shop");
+        assert_eq!(visits[1].kind, VisitKind::Stay, "120 s in hall");
+    }
+
+    #[test]
+    fn empty_samples_no_visits() {
+        let dsm = mall();
+        assert!(derive_visits(&dsm, &[]).is_empty());
+    }
+
+    #[test]
+    fn visit_kind_names() {
+        assert_eq!(VisitKind::Stay.name(), "stay");
+        assert_eq!(VisitKind::PassBy.name(), "pass-by");
+    }
+}

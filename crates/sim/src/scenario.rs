@@ -1,0 +1,330 @@
+//! End-to-end dataset assembly: the synthetic stand-in for the paper's
+//! 7-floor, 7-day Hangzhou mall dataset.
+
+use crate::error::ErrorModel;
+use crate::mobility::{simulate_session, AgentProfile, GroundTruth, TrueVisit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trips_data::{DeviceId, Duration, PositioningSequence, RawRecord, Timestamp};
+use trips_dsm::builder::MallBuilder;
+use trips_dsm::{DigitalSpaceModel, PathQuery};
+use trips_geom::IndoorPoint;
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Number of devices (shoppers).
+    pub devices: usize,
+    /// Number of days the dataset spans (paper demo: 7).
+    pub days: usize,
+    /// Sessions per device per day (a shopper may come back).
+    pub max_sessions_per_day: usize,
+    /// Mall opening hour (paper walkthrough: 10:00).
+    pub open_hour: i64,
+    /// Mall closing hour (22:00).
+    pub close_hour: i64,
+    /// Error model degrading ground truth into raw records.
+    pub error_model: ErrorModel,
+    /// RNG seed — everything is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            devices: 20,
+            days: 1,
+            max_sessions_per_day: 1,
+            open_hour: 10,
+            close_hour: 22,
+            error_model: ErrorModel::default(),
+            seed: 0xF00D,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The paper's demo environment: 7 days in a 7-floor mall.
+    pub fn paper_demo(devices: usize) -> Self {
+        ScenarioConfig {
+            devices,
+            days: 7,
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// Everything simulated for one device.
+#[derive(Debug, Clone)]
+pub struct DeviceTrace {
+    pub device: DeviceId,
+    /// The degraded raw positioning sequence (Translator input).
+    pub raw: PositioningSequence,
+    /// Ground-truth trajectory samples.
+    pub truth_samples: Vec<(Timestamp, IndoorPoint)>,
+    /// Ground-truth mobility semantics (assessment reference).
+    pub truth_visits: Vec<TrueVisit>,
+}
+
+/// A full simulated dataset: the DSM plus per-device traces.
+#[derive(Debug, Clone)]
+pub struct SimulatedDataset {
+    pub dsm: DigitalSpaceModel,
+    pub traces: Vec<DeviceTrace>,
+    pub config_summary: String,
+}
+
+impl SimulatedDataset {
+    /// All raw records across devices, time-sorted (flat export form).
+    pub fn all_records(&self) -> Vec<RawRecord> {
+        let mut out: Vec<RawRecord> = self
+            .traces
+            .iter()
+            .flat_map(|t| t.raw.records().iter().cloned())
+            .collect();
+        out.sort_by_key(|r| r.ts);
+        out
+    }
+
+    /// All raw sequences (cloned handles).
+    pub fn sequences(&self) -> Vec<PositioningSequence> {
+        self.traces.iter().map(|t| t.raw.clone()).collect()
+    }
+
+    /// Total raw record count.
+    pub fn record_count(&self) -> usize {
+        self.traces.iter().map(|t| t.raw.len()).sum()
+    }
+}
+
+/// Generates a MAC-style device id from an index, deterministic per seed.
+fn mac_device_id(rng: &mut StdRng, idx: usize) -> DeviceId {
+    let a: u8 = rng.gen();
+    let b: u8 = rng.gen();
+    DeviceId::new(&format!("{a:02x}.{b:02x}.{:02x}.{:02x}", (idx >> 8) as u8, idx as u8))
+}
+
+/// Runs the scenario on an externally built DSM.
+pub fn generate_on(dsm: DigitalSpaceModel, config: &ScenarioConfig) -> SimulatedDataset {
+    assert!(dsm.is_frozen(), "DSM must be frozen before simulation");
+    assert!(config.open_hour < config.close_hour, "open before close");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let floor_range = {
+        let mut floors: Vec<i16> = dsm.floors().map(|f| f.id).collect();
+        floors.sort_unstable();
+        (
+            *floors.first().unwrap_or(&0),
+            *floors.last().unwrap_or(&0),
+        )
+    };
+
+    let mut traces = Vec::with_capacity(config.devices);
+    {
+        let pq = PathQuery::new(&dsm).expect("frozen DSM");
+        for i in 0..config.devices {
+            let device = mac_device_id(&mut rng, i);
+            let profile = AgentProfile::sample(&mut rng);
+
+            let mut truth = GroundTruth::default();
+            for day in 0..config.days {
+                let sessions = rng.gen_range(1..=config.max_sessions_per_day.max(1));
+                for _ in 0..sessions {
+                    // Session start uniform inside operating hours, leaving
+                    // an hour of slack before closing.
+                    let latest = (config.close_hour - 1).max(config.open_hour);
+                    let hour = if latest > config.open_hour {
+                        rng.gen_range(config.open_hour..latest)
+                    } else {
+                        config.open_hour
+                    };
+                    let minute = rng.gen_range(0..60);
+                    let start = Timestamp::from_dhms(day as i64, hour, minute, 0);
+                    // Skip if it would overlap the previous session.
+                    if truth
+                        .samples
+                        .last()
+                        .is_some_and(|(last, _)| *last + Duration::from_mins(10) > start)
+                    {
+                        continue;
+                    }
+                    let session = simulate_session(&dsm, &pq, &mut rng, &profile, start);
+                    truth.samples.extend(session.samples);
+                    truth.visits.extend(session.visits);
+                }
+            }
+
+            let raw_records =
+                config
+                    .error_model
+                    .degrade(&mut rng, &device, &truth.samples, floor_range);
+            traces.push(DeviceTrace {
+                raw: PositioningSequence::from_records(device.clone(), raw_records),
+                device,
+                truth_samples: truth.samples,
+                truth_visits: truth.visits,
+            });
+        }
+    }
+
+    let config_summary = format!(
+        "{} devices x {} day(s), {} floors, seed {:#x}",
+        config.devices,
+        config.days,
+        dsm.floor_count(),
+        config.seed
+    );
+    SimulatedDataset {
+        dsm,
+        traces,
+        config_summary,
+    }
+}
+
+/// Builds the default mall for `floors` and runs the scenario on it.
+pub fn generate(floors: u16, shops_per_row: usize, config: &ScenarioConfig) -> SimulatedDataset {
+    let dsm = MallBuilder::new()
+        .floors(floors)
+        .shops_per_row(shops_per_row)
+        .build();
+    generate_on(dsm, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SimulatedDataset {
+        generate(
+            2,
+            3,
+            &ScenarioConfig {
+                devices: 4,
+                days: 1,
+                seed: 99,
+                ..ScenarioConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn dataset_has_expected_shape() {
+        let ds = tiny();
+        assert_eq!(ds.traces.len(), 4);
+        assert!(ds.record_count() > 0);
+        for t in &ds.traces {
+            assert!(!t.truth_samples.is_empty());
+            assert!(!t.truth_visits.is_empty());
+            assert_eq!(t.raw.device(), &t.device);
+        }
+    }
+
+    #[test]
+    fn device_ids_are_mac_style_and_unique() {
+        let ds = tiny();
+        let mut ids: Vec<&str> = ds.traces.iter().map(|t| t.device.as_str()).collect();
+        for id in &ids {
+            assert_eq!(id.split('.').count(), 4, "{id} not MAC-style");
+        }
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.record_count(), b.record_count());
+        assert_eq!(
+            a.traces[0].raw.records(),
+            b.traces[0].raw.records()
+        );
+        let c = generate(
+            2,
+            3,
+            &ScenarioConfig {
+                devices: 4,
+                days: 1,
+                seed: 100,
+                ..ScenarioConfig::default()
+            },
+        );
+        assert_ne!(
+            a.traces[0].raw.records(),
+            c.traces[0].raw.records(),
+            "seed changes the data"
+        );
+    }
+
+    #[test]
+    fn sessions_respect_operating_hours() {
+        let ds = tiny();
+        for t in &ds.traces {
+            for (ts, _) in &t.truth_samples {
+                let hour = ts.time_of_day().as_millis() / 3_600_000;
+                assert!(
+                    (9..=23).contains(&hour),
+                    "session sample at odd hour {hour}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_day_dataset_spans_days() {
+        let ds = generate(
+            1,
+            2,
+            &ScenarioConfig {
+                devices: 3,
+                days: 3,
+                seed: 5,
+                ..ScenarioConfig::default()
+            },
+        );
+        let days: std::collections::BTreeSet<i64> = ds
+            .all_records()
+            .iter()
+            .map(|r| r.ts.day())
+            .collect();
+        assert!(days.len() >= 2, "expected sessions on multiple days: {days:?}");
+    }
+
+    #[test]
+    fn all_records_time_sorted() {
+        let ds = tiny();
+        let recs = ds.all_records();
+        for w in recs.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn raw_noise_differs_from_truth() {
+        let ds = tiny();
+        let t = &ds.traces[0];
+        // At least one raw record deviates from every truth sample position
+        // (noise applied).
+        let deviates = t.raw.records().iter().any(|r| {
+            t.truth_samples
+                .iter()
+                .all(|(_, p)| p.xy.distance(r.location.xy) > 0.01)
+        });
+        assert!(deviates, "error model must perturb positions");
+    }
+
+    #[test]
+    fn paper_demo_config() {
+        let c = ScenarioConfig::paper_demo(100);
+        assert_eq!(c.devices, 100);
+        assert_eq!(c.days, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be frozen")]
+    fn unfrozen_dsm_rejected() {
+        let dsm = DigitalSpaceModel::new("x");
+        generate_on(dsm, &ScenarioConfig::default());
+    }
+}

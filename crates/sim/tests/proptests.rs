@@ -1,0 +1,118 @@
+//! Property-based tests for the simulator: ground truth and degraded
+//! records must satisfy structural invariants for any parameters.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trips_data::{DeviceId, Duration, Timestamp};
+use trips_geom::IndoorPoint;
+use trips_sim::{ErrorModel, ScenarioConfig};
+
+fn arb_error_model() -> impl Strategy<Value = ErrorModel> {
+    (
+        0.0f64..3.0,   // xy_sigma
+        0.0f64..0.2,   // outlier_rate
+        0.0f64..0.2,   // floor_error_rate
+        0.0f64..0.3,   // drop_rate
+        2i64..15,      // sample interval secs
+    )
+        .prop_map(|(xy_sigma, outlier_rate, floor_error_rate, drop_rate, interval)| ErrorModel {
+            xy_sigma,
+            outlier_rate,
+            floor_error_rate,
+            drop_rate,
+            sample_interval: Duration::from_secs(interval),
+            ..ErrorModel::default()
+        })
+}
+
+fn straight_truth(n: usize) -> Vec<(Timestamp, IndoorPoint)> {
+    (0..n)
+        .map(|i| {
+            (
+                Timestamp::from_millis(i as i64 * 2000),
+                IndoorPoint::new(i as f64 * 0.4, 5.0, 3),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn degraded_timestamps_strictly_increase(em in arb_error_model(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let recs = em.degrade(&mut rng, &DeviceId::new("p"), &straight_truth(300), (0, 6));
+        for w in recs.windows(2) {
+            prop_assert!(w[0].ts < w[1].ts);
+        }
+    }
+
+    #[test]
+    fn degraded_floors_stay_in_range(em in arb_error_model(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let recs = em.degrade(&mut rng, &DeviceId::new("p"), &straight_truth(300), (0, 6));
+        for r in &recs {
+            prop_assert!((0..=6).contains(&r.location.floor));
+            prop_assert!(r.is_well_formed());
+        }
+    }
+
+    #[test]
+    fn degraded_timestamps_within_truth_span(em in arb_error_model(), seed in 0u64..1000) {
+        let truth = straight_truth(200);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let recs = em.degrade(&mut rng, &DeviceId::new("p"), &truth, (0, 6));
+        let (start, end) = (truth[0].0, truth[truth.len() - 1].0);
+        for r in &recs {
+            prop_assert!(r.ts >= start && r.ts <= end);
+        }
+    }
+
+    #[test]
+    fn scenario_deterministic_per_seed(seed in 0u64..500) {
+        let cfg = ScenarioConfig {
+            devices: 2,
+            days: 1,
+            seed,
+            ..ScenarioConfig::default()
+        };
+        let a = trips_sim::scenario::generate(1, 2, &cfg);
+        let b = trips_sim::scenario::generate(1, 2, &cfg);
+        prop_assert_eq!(a.record_count(), b.record_count());
+        for (ta, tb) in a.traces.iter().zip(&b.traces) {
+            prop_assert_eq!(ta.raw.records(), tb.raw.records());
+            prop_assert_eq!(&ta.truth_visits, &tb.truth_visits);
+        }
+    }
+
+    #[test]
+    fn truth_visits_partition_time(seed in 0u64..200) {
+        let ds = trips_sim::scenario::generate(
+            2,
+            3,
+            &ScenarioConfig {
+                devices: 2,
+                days: 1,
+                seed,
+                ..ScenarioConfig::default()
+            },
+        );
+        for trace in &ds.traces {
+            for w in trace.truth_visits.windows(2) {
+                prop_assert!(w[0].end <= w[1].start, "visits must not overlap");
+            }
+            for v in &trace.truth_visits {
+                prop_assert!(v.start <= v.end);
+                // The classification matches the threshold rule.
+                let expected = if v.duration() >= trips_sim::mobility::STAY_THRESHOLD {
+                    trips_sim::VisitKind::Stay
+                } else {
+                    trips_sim::VisitKind::PassBy
+                };
+                prop_assert_eq!(v.kind, expected);
+            }
+        }
+    }
+}

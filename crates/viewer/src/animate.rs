@@ -1,0 +1,106 @@
+//! Animated playback: "One can slide the timeline to play an animated,
+//! semantics-enriched movement for a selected device" (paper §3).
+
+use crate::entry::{Entry, SourceKind};
+use crate::timeline::Timeline;
+use trips_data::{Duration, Timestamp};
+
+/// One playback frame: the instant and everything visible at it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub t: Timestamp,
+    /// Entries active at `t` (cloned snapshots).
+    pub active: Vec<Entry>,
+    /// The semantics label narrating this frame, if any (the enrichment).
+    pub caption: Option<String>,
+}
+
+/// Builds playback frames by sliding over the timeline at `step`.
+///
+/// Point entries (records, truth samples) are considered active within
+/// `point_linger` of their instant so they remain briefly visible as the
+/// animation passes them.
+pub fn frames(timeline: &Timeline, step: Duration, point_linger: Duration) -> Vec<Frame> {
+    timeline
+        .playback_instants(step)
+        .into_iter()
+        .map(|t| {
+            let active: Vec<Entry> = timeline
+                .entries()
+                .iter()
+                .filter(|e| {
+                    if e.start == e.end {
+                        // Point entry: linger window.
+                        e.start <= t && t - e.start <= point_linger
+                    } else {
+                        e.covers(t)
+                    }
+                })
+                .cloned()
+                .collect();
+            let caption = active
+                .iter()
+                .find(|e| e.source == SourceKind::Semantics)
+                .map(|e| e.label.clone());
+            Frame { t, active, caption }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_geom::IndoorPoint;
+
+    fn entry(source: SourceKind, start_s: i64, end_s: i64, label: &str) -> Entry {
+        Entry {
+            display_point: IndoorPoint::new(0.0, 0.0, 0),
+            start: Timestamp::from_millis(start_s * 1000),
+            end: Timestamp::from_millis(end_s * 1000),
+            source,
+            label: label.to_string(),
+        }
+    }
+
+    fn timeline() -> Timeline {
+        Timeline::new(vec![
+            entry(SourceKind::Raw, 0, 0, "r0"),
+            entry(SourceKind::Raw, 10, 10, "r10"),
+            entry(SourceKind::Raw, 20, 20, "r20"),
+            entry(SourceKind::Semantics, 0, 15, "(stay, Nike, ..)"),
+            entry(SourceKind::Semantics, 16, 30, "(pass-by, Hall, ..)"),
+        ])
+    }
+
+    #[test]
+    fn frames_cover_span() {
+        let f = frames(&timeline(), Duration::from_secs(5), Duration::from_secs(4));
+        assert_eq!(f.len(), 7, "0,5,10,15,20,25,30");
+        assert_eq!(f[0].t, Timestamp::from_millis(0));
+        assert_eq!(f.last().unwrap().t, Timestamp::from_millis(30_000));
+    }
+
+    #[test]
+    fn captions_narrate_semantics() {
+        let f = frames(&timeline(), Duration::from_secs(5), Duration::from_secs(4));
+        assert_eq!(f[0].caption.as_deref(), Some("(stay, Nike, ..)"));
+        assert_eq!(f[4].caption.as_deref(), Some("(pass-by, Hall, ..)"));
+    }
+
+    #[test]
+    fn point_entries_linger_then_fade() {
+        let f = frames(&timeline(), Duration::from_secs(2), Duration::from_secs(3));
+        // At t=12 the raw record from t=10 still lingers (within 3 s).
+        let at12 = f.iter().find(|fr| fr.t == Timestamp::from_millis(12_000)).unwrap();
+        assert!(at12.active.iter().any(|e| e.label == "r10"));
+        // At t=14 it has faded.
+        let at14 = f.iter().find(|fr| fr.t == Timestamp::from_millis(14_000)).unwrap();
+        assert!(!at14.active.iter().any(|e| e.label == "r10"));
+    }
+
+    #[test]
+    fn empty_timeline_no_frames() {
+        let tl = Timeline::new(vec![]);
+        assert!(frames(&tl, Duration::from_secs(1), Duration::from_secs(1)).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Terminal (ASCII) map rendering — a quick-look counterpart to the SVG
+//! view for logs, tests and headless environments.
+//!
+//! Regions render as letter fills (first letter of the region name), walls
+//! and empty space as dots, and data entries as per-source markers drawn on
+//! top: `r` raw, `c` cleaned, `g` ground truth, `S` semantics.
+
+use crate::entry::{Entry, SourceKind};
+use crate::legend::VisibilityControl;
+use trips_dsm::DigitalSpaceModel;
+use trips_geom::{FloorId, IndoorPoint, Point};
+
+/// Marker characters per source.
+fn marker(source: SourceKind) -> char {
+    match source {
+        SourceKind::Raw => 'r',
+        SourceKind::Cleaned => 'c',
+        SourceKind::GroundTruth => 'g',
+        SourceKind::Semantics => 'S',
+    }
+}
+
+/// Renders one floor as a `width × height` character grid.
+pub fn render(
+    dsm: &DigitalSpaceModel,
+    floor: FloorId,
+    entries: &[Entry],
+    visibility: &VisibilityControl,
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 2 && height >= 2, "grid must be at least 2x2");
+    let bb = dsm.floor_bbox(floor);
+    if bb.is_empty() {
+        return format!("(floor {floor} is empty)\n");
+    }
+    let bb = bb.inflated(0.5);
+
+    let cell_w = bb.width() / width as f64;
+    let cell_h = bb.height() / height as f64;
+    let mut grid = vec![vec!['.'; width]; height];
+
+    // Region fills (sample the cell center).
+    for (row, line) in grid.iter_mut().enumerate() {
+        for (col, cell) in line.iter_mut().enumerate() {
+            let world = Point::new(
+                bb.min.x + (col as f64 + 0.5) * cell_w,
+                // Row 0 is the top of the map (max y).
+                bb.max.y - (row as f64 + 0.5) * cell_h,
+            );
+            if let Some(region) = dsm.region_at(&IndoorPoint { xy: world, floor }) {
+                *cell = region
+                    .name
+                    .chars()
+                    .next()
+                    .unwrap_or('?')
+                    .to_ascii_lowercase();
+            }
+        }
+    }
+
+    // Entry markers on top (later sources overwrite earlier ones).
+    for source in SourceKind::all() {
+        if !visibility.is_visible(source) {
+            continue;
+        }
+        for e in entries
+            .iter()
+            .filter(|e| e.source == source && e.display_point.floor == floor)
+        {
+            let col = ((e.display_point.xy.x - bb.min.x) / cell_w) as isize;
+            let row = ((bb.max.y - e.display_point.xy.y) / cell_h) as isize;
+            if (0..width as isize).contains(&col) && (0..height as isize).contains(&row) {
+                grid[row as usize][col as usize] = marker(source);
+            }
+        }
+    }
+
+    let mut out = String::with_capacity((width + 3) * (height + 2));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    for line in grid {
+        out.push('|');
+        out.extend(line);
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_data::Timestamp;
+    use trips_dsm::builder::MallBuilder;
+
+    fn entry(source: SourceKind, x: f64, y: f64, floor: i16) -> Entry {
+        Entry {
+            display_point: IndoorPoint::new(x, y, floor),
+            start: Timestamp::from_millis(0),
+            end: Timestamp::from_millis(0),
+            source,
+            label: String::new(),
+        }
+    }
+
+    #[test]
+    fn grid_dimensions_and_frame() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let s = render(&dsm, 0, &[], &VisibilityControl::all_visible(), 40, 12);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 14, "12 rows + 2 frame lines");
+        assert!(lines[0].starts_with("+--"));
+        assert_eq!(lines[1].len(), 42, "40 cols + 2 frame chars");
+    }
+
+    #[test]
+    fn regions_fill_with_letters() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let s = render(&dsm, 0, &[], &VisibilityControl::all_visible(), 60, 20);
+        // Center Hall letter 'c' must appear (hallway band).
+        assert!(s.contains('c'), "hall fill:\n{s}");
+        // Shop letters n(ike)/a(didas)/u(niqlo) appear.
+        assert!(s.contains('n') || s.contains('a') || s.contains('u'));
+    }
+
+    #[test]
+    fn markers_overwrite_fills() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let entries = vec![
+            entry(SourceKind::Raw, 5.0, 4.0, 0),
+            entry(SourceKind::Semantics, 15.0, 11.0, 0),
+        ];
+        let s = render(&dsm, 0, &entries, &VisibilityControl::all_visible(), 60, 20);
+        assert!(s.contains('r'), "raw marker:\n{s}");
+        assert!(s.contains('S'), "semantics marker:\n{s}");
+    }
+
+    #[test]
+    fn hidden_sources_not_drawn() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let entries = vec![entry(SourceKind::Semantics, 15.0, 11.0, 0)];
+        let mut vis = VisibilityControl::all_visible();
+        vis.toggle(SourceKind::Semantics);
+        let s = render(&dsm, 0, &entries, &vis, 60, 20);
+        assert!(!s.contains('S'));
+    }
+
+    #[test]
+    fn out_of_bounds_entries_ignored() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let entries = vec![entry(SourceKind::Raw, 9999.0, 9999.0, 0)];
+        // Must not panic.
+        let s = render(&dsm, 0, &entries, &VisibilityControl::all_visible(), 30, 10);
+        assert!(!s.contains('r'));
+    }
+
+    #[test]
+    fn empty_floor_message() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let s = render(&dsm, 9, &[], &VisibilityControl::all_visible(), 30, 10);
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn orientation_north_is_up() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        // A raw marker in the NORTH shop row (high y) must land in the top
+        // half of the grid.
+        let b = MallBuilder::new().shops_per_row(3);
+        let north_y = b.mall_depth() - 2.0;
+        let entries = vec![entry(SourceKind::Raw, 5.0, north_y, 0)];
+        let s = render(&dsm, 0, &entries, &VisibilityControl::all_visible(), 40, 16);
+        let lines: Vec<&str> = s.lines().collect();
+        let row = lines.iter().position(|l| l.contains('r')).unwrap();
+        assert!(row < lines.len() / 2, "north marker near the top, got row {row}:\n{s}");
+    }
+}

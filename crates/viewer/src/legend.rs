@@ -1,0 +1,119 @@
+//! Visibility control (paper §3): "a legend panel allows toggling the
+//! visibility of data from each source. It helps users focus on the parts of
+//! their interest when comparing data from different sources to assess the
+//! translation result."
+
+use crate::entry::{Entry, SourceKind};
+use std::collections::BTreeSet;
+
+/// Per-source visibility toggles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VisibilityControl {
+    hidden: BTreeSet<SourceKind>,
+}
+
+impl Default for VisibilityControl {
+    fn default() -> Self {
+        Self::all_visible()
+    }
+}
+
+impl VisibilityControl {
+    /// All sources visible.
+    pub fn all_visible() -> Self {
+        VisibilityControl {
+            hidden: BTreeSet::new(),
+        }
+    }
+
+    /// Whether a source is currently visible.
+    pub fn is_visible(&self, source: SourceKind) -> bool {
+        !self.hidden.contains(&source)
+    }
+
+    /// Toggles one source; returns the new visibility.
+    pub fn toggle(&mut self, source: SourceKind) -> bool {
+        if !self.hidden.remove(&source) {
+            self.hidden.insert(source);
+        }
+        self.is_visible(source)
+    }
+
+    /// Shows exactly one source, hiding the rest (focus mode).
+    pub fn solo(&mut self, source: SourceKind) {
+        self.hidden = SourceKind::all().into_iter().filter(|s| *s != source).collect();
+    }
+
+    /// Shows everything again.
+    pub fn show_all(&mut self) {
+        self.hidden.clear();
+    }
+
+    /// Filters an entry slice down to the visible sources.
+    pub fn filter<'e>(&self, entries: &'e [Entry]) -> Vec<&'e Entry> {
+        entries
+            .iter()
+            .filter(|e| self.is_visible(e.source))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_data::Timestamp;
+    use trips_geom::IndoorPoint;
+
+    fn entry(source: SourceKind) -> Entry {
+        Entry {
+            display_point: IndoorPoint::new(0.0, 0.0, 0),
+            start: Timestamp::from_millis(0),
+            end: Timestamp::from_millis(0),
+            source,
+            label: String::new(),
+        }
+    }
+
+    #[test]
+    fn default_shows_everything() {
+        let v = VisibilityControl::default();
+        for s in SourceKind::all() {
+            assert!(v.is_visible(s));
+        }
+    }
+
+    #[test]
+    fn toggle_roundtrip() {
+        let mut v = VisibilityControl::all_visible();
+        assert!(!v.toggle(SourceKind::Raw), "now hidden");
+        assert!(!v.is_visible(SourceKind::Raw));
+        assert!(v.is_visible(SourceKind::Cleaned), "others unaffected");
+        assert!(v.toggle(SourceKind::Raw), "visible again");
+    }
+
+    #[test]
+    fn solo_focus() {
+        let mut v = VisibilityControl::all_visible();
+        v.solo(SourceKind::Semantics);
+        assert!(v.is_visible(SourceKind::Semantics));
+        assert!(!v.is_visible(SourceKind::Raw));
+        assert!(!v.is_visible(SourceKind::Cleaned));
+        assert!(!v.is_visible(SourceKind::GroundTruth));
+        v.show_all();
+        assert!(v.is_visible(SourceKind::Raw));
+    }
+
+    #[test]
+    fn filter_respects_toggles() {
+        let entries = vec![
+            entry(SourceKind::Raw),
+            entry(SourceKind::Cleaned),
+            entry(SourceKind::Semantics),
+        ];
+        let mut v = VisibilityControl::all_visible();
+        v.toggle(SourceKind::Raw);
+        let visible = v.filter(&entries);
+        assert_eq!(visible.len(), 2);
+        assert!(visible.iter().all(|e| e.source != SourceKind::Raw));
+    }
+}

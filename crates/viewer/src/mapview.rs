@@ -1,0 +1,172 @@
+//! Map-view state: floor switching, zoom and pan ("The map view is flexible
+//! to click, drag and zoom in/out. … It allows a switch between different
+//! floors", paper §2/§3).
+
+use trips_dsm::DigitalSpaceModel;
+use trips_geom::{BoundingBox, FloorId, Point};
+
+/// The interactive map-view state and its world→screen transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapView {
+    /// Currently displayed floor.
+    pub floor: FloorId,
+    /// World point at the viewport center.
+    pub center: Point,
+    /// Pixels per metre.
+    pub zoom: f64,
+    /// Viewport size in pixels.
+    pub width: f64,
+    pub height: f64,
+}
+
+impl MapView {
+    /// Creates a view fitted to the given floor of a DSM.
+    pub fn fit_to_floor(dsm: &DigitalSpaceModel, floor: FloorId, width: f64, height: f64) -> Self {
+        let bb = dsm.floor_bbox(floor);
+        Self::fit_to_bbox(&bb, floor, width, height)
+    }
+
+    /// Creates a view fitted to a bounding box with a 5 % margin.
+    pub fn fit_to_bbox(bb: &BoundingBox, floor: FloorId, width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "viewport must be positive");
+        let (center, zoom) = if bb.is_empty() || bb.width() == 0.0 || bb.height() == 0.0 {
+            (Point::origin(), 1.0)
+        } else {
+            let zx = width / (bb.width() * 1.1);
+            let zy = height / (bb.height() * 1.1);
+            (bb.center(), zx.min(zy))
+        };
+        MapView {
+            floor,
+            center,
+            zoom,
+            width,
+            height,
+        }
+    }
+
+    /// Switches the displayed floor (keeps zoom/pan).
+    pub fn switch_floor(&mut self, floor: FloorId) {
+        self.floor = floor;
+    }
+
+    /// Zoom in/out by a factor around the viewport center.
+    ///
+    /// # Panics
+    /// Panics on non-positive factors.
+    pub fn zoom_by(&mut self, factor: f64) {
+        assert!(factor > 0.0, "zoom factor must be positive");
+        self.zoom *= factor;
+    }
+
+    /// Drag by screen-pixel deltas (content follows the pointer).
+    pub fn drag(&mut self, dx_px: f64, dy_px: f64) {
+        self.center.x -= dx_px / self.zoom;
+        // Screen y grows downward; world y grows upward.
+        self.center.y += dy_px / self.zoom;
+    }
+
+    /// World → screen transform.
+    pub fn to_screen(&self, p: Point) -> (f64, f64) {
+        (
+            self.width / 2.0 + (p.x - self.center.x) * self.zoom,
+            self.height / 2.0 - (p.y - self.center.y) * self.zoom,
+        )
+    }
+
+    /// Screen → world transform (clicks).
+    pub fn to_world(&self, sx: f64, sy: f64) -> Point {
+        Point::new(
+            self.center.x + (sx - self.width / 2.0) / self.zoom,
+            self.center.y - (sy - self.height / 2.0) / self.zoom,
+        )
+    }
+
+    /// Whether a world point is currently visible.
+    pub fn is_visible(&self, p: Point) -> bool {
+        let (sx, sy) = self.to_screen(p);
+        (0.0..=self.width).contains(&sx) && (0.0..=self.height).contains(&sy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_dsm::builder::MallBuilder;
+
+    #[test]
+    fn fit_covers_the_floor() {
+        let dsm = MallBuilder::new().shops_per_row(4).build();
+        let v = MapView::fit_to_floor(&dsm, 0, 800.0, 600.0);
+        let bb = dsm.floor_bbox(0);
+        assert!(v.is_visible(bb.min));
+        assert!(v.is_visible(bb.max));
+        assert!(v.is_visible(bb.center()));
+    }
+
+    #[test]
+    fn roundtrip_world_screen() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let v = MapView::fit_to_floor(&dsm, 0, 640.0, 480.0);
+        let p = Point::new(12.3, 7.7);
+        let (sx, sy) = v.to_screen(p);
+        let back = v.to_world(sx, sy);
+        assert!((back.x - p.x).abs() < 1e-9);
+        assert!((back.y - p.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zoom_changes_scale() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let mut v = MapView::fit_to_floor(&dsm, 0, 640.0, 480.0);
+        let before = v.zoom;
+        v.zoom_by(2.0);
+        assert_eq!(v.zoom, before * 2.0);
+        // Center stays put on screen.
+        let (cx, cy) = v.to_screen(v.center);
+        assert!((cx - 320.0).abs() < 1e-9 && (cy - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drag_moves_content_with_pointer() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let mut v = MapView::fit_to_floor(&dsm, 0, 640.0, 480.0);
+        let p = v.center;
+        let (sx0, sy0) = v.to_screen(p);
+        v.drag(50.0, -20.0);
+        let (sx1, sy1) = v.to_screen(p);
+        assert!((sx1 - sx0 - 50.0).abs() < 1e-9, "content follows drag in x");
+        assert!((sy1 - sy0 + 20.0).abs() < 1e-9, "content follows drag in y");
+    }
+
+    #[test]
+    fn floor_switch() {
+        let dsm = MallBuilder::new().floors(3).shops_per_row(3).build();
+        let mut v = MapView::fit_to_floor(&dsm, 0, 640.0, 480.0);
+        v.switch_floor(2);
+        assert_eq!(v.floor, 2);
+    }
+
+    #[test]
+    fn screen_y_flips_world_y() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let v = MapView::fit_to_floor(&dsm, 0, 640.0, 480.0);
+        let low = Point::new(v.center.x, v.center.y - 5.0);
+        let high = Point::new(v.center.x, v.center.y + 5.0);
+        assert!(v.to_screen(high).1 < v.to_screen(low).1, "higher world y renders higher (smaller sy)");
+    }
+
+    #[test]
+    fn degenerate_bbox_safe() {
+        let v = MapView::fit_to_bbox(&trips_geom::BoundingBox::empty(), 0, 100.0, 100.0);
+        assert_eq!(v.zoom, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zoom factor")]
+    fn rejects_bad_zoom() {
+        let dsm = MallBuilder::new().shops_per_row(2).build();
+        let mut v = MapView::fit_to_floor(&dsm, 0, 640.0, 480.0);
+        v.zoom_by(0.0);
+    }
+}

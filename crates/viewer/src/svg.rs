@@ -1,0 +1,322 @@
+//! SVG map-view renderer.
+//!
+//! Stands in for the paper's web frontend (Figure 4): it renders one floor
+//! of the DSM with any combination of overlaid mobility-data entries and a
+//! legend panel, honouring the [`VisibilityControl`]. The output is a
+//! standalone SVG document.
+
+use crate::entry::{Entry, SourceKind};
+use crate::legend::VisibilityControl;
+use crate::mapview::MapView;
+use std::fmt::Write as _;
+use trips_dsm::entity::{EntityKind, Footprint};
+use trips_dsm::DigitalSpaceModel;
+
+/// XML-escapes a label.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// The SVG renderer.
+#[derive(Debug, Clone)]
+pub struct SvgRenderer {
+    pub view: MapView,
+    /// Render region name labels.
+    pub show_labels: bool,
+    /// Render the legend panel.
+    pub show_legend: bool,
+}
+
+impl SvgRenderer {
+    /// Creates a renderer over a map view.
+    pub fn new(view: MapView) -> Self {
+        SvgRenderer {
+            view,
+            show_labels: true,
+            show_legend: true,
+        }
+    }
+
+    /// Renders the current floor plus visible entries into an SVG document.
+    pub fn render(
+        &self,
+        dsm: &DigitalSpaceModel,
+        entries: &[Entry],
+        visibility: &VisibilityControl,
+    ) -> String {
+        let mut svg = String::with_capacity(16 * 1024);
+        let _ = write!(
+            svg,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"##,
+            w = self.view.width,
+            h = self.view.height
+        );
+        svg.push_str(r##"<rect width="100%" height="100%" fill="#fafafa"/>"##);
+
+        self.render_floor(&mut svg, dsm);
+        self.render_regions(&mut svg, dsm);
+        self.render_entries(&mut svg, entries, visibility);
+        if self.show_legend {
+            self.render_legend(&mut svg, visibility);
+        }
+
+        svg.push_str("</svg>");
+        svg
+    }
+
+    fn polygon_points(&self, poly: &trips_geom::Polygon) -> String {
+        poly.vertices()
+            .iter()
+            .map(|v| {
+                let (x, y) = self.view.to_screen(*v);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    fn render_floor(&self, svg: &mut String, dsm: &DigitalSpaceModel) {
+        for e in dsm.entities_on_floor(self.view.floor) {
+            match (&e.footprint, e.kind) {
+                (Footprint::Area(poly), kind) => {
+                    let (fill, stroke) = match kind {
+                        EntityKind::Hallway => ("#f2f2f2", "#999999"),
+                        EntityKind::Staircase => ("#ffe9c6", "#b8860b"),
+                        EntityKind::Obstacle => ("#dddddd", "#555555"),
+                        _ => ("#ffffff", "#444444"),
+                    };
+                    let _ = write!(
+                        svg,
+                        r##"<polygon points="{}" fill="{fill}" stroke="{stroke}" stroke-width="1"/>"##,
+                        self.polygon_points(poly)
+                    );
+                }
+                (Footprint::Opening { anchor, width }, _) => {
+                    let (x, y) = self.view.to_screen(*anchor);
+                    let r = (width * self.view.zoom / 2.0).max(2.0);
+                    let _ = write!(
+                        svg,
+                        r##"<circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="#8b4513" class="door"/>"##
+                    );
+                }
+                (Footprint::Line(line), _) => {
+                    let pts: Vec<String> = line
+                        .points()
+                        .iter()
+                        .map(|p| {
+                            let (x, y) = self.view.to_screen(*p);
+                            format!("{x:.1},{y:.1}")
+                        })
+                        .collect();
+                    let _ = write!(
+                        svg,
+                        r##"<polyline points="{}" fill="none" stroke="#222222" stroke-width="2"/>"##,
+                        pts.join(" ")
+                    );
+                }
+            }
+        }
+    }
+
+    fn render_regions(&self, svg: &mut String, dsm: &DigitalSpaceModel) {
+        for r in dsm.regions_on_floor(self.view.floor) {
+            for poly in &r.polygons {
+                let _ = write!(
+                    svg,
+                    r##"<polygon points="{}" fill="{}" fill-opacity="0.25" stroke="{}" stroke-width="1" class="region"/>"##,
+                    self.polygon_points(poly),
+                    r.tag.style,
+                    r.tag.style
+                );
+            }
+            if self.show_labels {
+                let (x, y) = self.view.to_screen(r.anchor());
+                let _ = write!(
+                    svg,
+                    r##"<text x="{x:.1}" y="{y:.1}" font-size="9" text-anchor="middle" fill="#333333">{}</text>"##,
+                    escape(&r.name)
+                );
+            }
+        }
+    }
+
+    fn render_entries(
+        &self,
+        svg: &mut String,
+        entries: &[Entry],
+        visibility: &VisibilityControl,
+    ) {
+        // Render per source in a stable order so semantics draw on top.
+        for source in SourceKind::all() {
+            if !visibility.is_visible(source) {
+                continue;
+            }
+            for e in entries
+                .iter()
+                .filter(|e| e.source == source && e.display_point.floor == self.view.floor)
+            {
+                let (x, y) = self.view.to_screen(e.display_point.xy);
+                match source {
+                    SourceKind::Semantics => {
+                        // Diamond marker with tooltip label.
+                        let _ = write!(
+                            svg,
+                            r##"<path d="M {x:.1} {y0:.1} L {x1:.1} {y:.1} L {x:.1} {y1:.1} L {x0:.1} {y:.1} Z" fill="{c}" class="entry-semantics"><title>{t}</title></path>"##,
+                            y0 = y - 6.0,
+                            x1 = x + 6.0,
+                            y1 = y + 6.0,
+                            x0 = x - 6.0,
+                            c = source.color(),
+                            t = escape(&e.label)
+                        );
+                    }
+                    _ => {
+                        let _ = write!(
+                            svg,
+                            r##"<circle cx="{x:.1}" cy="{y:.1}" r="2.5" fill="{c}" fill-opacity="0.8" class="entry-{n}"><title>{t}</title></circle>"##,
+                            c = source.color(),
+                            n = source.name(),
+                            t = escape(&e.label)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn render_legend(&self, svg: &mut String, visibility: &VisibilityControl) {
+        let _ = write!(
+            svg,
+            r##"<g class="legend"><rect x="8" y="8" width="120" height="{}" fill="white" stroke="#999999"/>"##,
+            10 + 16 * SourceKind::all().len()
+        );
+        for (i, source) in SourceKind::all().iter().enumerate() {
+            let y = 22 + i * 16;
+            let opacity = if visibility.is_visible(*source) { 1.0 } else { 0.25 };
+            let _ = write!(
+                svg,
+                r##"<circle cx="18" cy="{cy}" r="4" fill="{c}" fill-opacity="{opacity}"/><text x="28" y="{ty}" font-size="10" fill-opacity="{opacity}">{n}</text>"##,
+                cy = y,
+                ty = y + 3,
+                c = source.color(),
+                n = source.name()
+            );
+        }
+        svg.push_str("</g>");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_data::Timestamp;
+    use trips_dsm::builder::MallBuilder;
+    use trips_geom::IndoorPoint;
+
+    fn entry(source: SourceKind, x: f64, y: f64, floor: i16) -> Entry {
+        Entry {
+            display_point: IndoorPoint::new(x, y, floor),
+            start: Timestamp::from_millis(0),
+            end: Timestamp::from_millis(1000),
+            source,
+            label: format!("<{}> & \"label\"", source.name()),
+        }
+    }
+
+    fn renderer(dsm: &DigitalSpaceModel) -> SvgRenderer {
+        SvgRenderer::new(MapView::fit_to_floor(dsm, 0, 800.0, 600.0))
+    }
+
+    use trips_dsm::DigitalSpaceModel;
+
+    #[test]
+    fn renders_floor_structure() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let svg = renderer(&dsm).render(&dsm, &[], &VisibilityControl::all_visible());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // 6 shops + hallway + 2 staircases = 9 area polygons at least,
+        // plus region overlays.
+        assert!(svg.matches("<polygon").count() >= 9);
+        // 6 doors.
+        assert!(svg.matches(r##"class="door""##).count() == 6);
+        // Region labels present.
+        assert!(svg.contains("Center Hall"));
+        assert!(svg.contains("Nike"));
+    }
+
+    #[test]
+    fn entries_render_with_source_classes() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let entries = vec![
+            entry(SourceKind::Raw, 5.0, 5.0, 0),
+            entry(SourceKind::Cleaned, 6.0, 5.0, 0),
+            entry(SourceKind::Semantics, 7.0, 5.0, 0),
+        ];
+        let svg = renderer(&dsm).render(&dsm, &entries, &VisibilityControl::all_visible());
+        assert!(svg.contains(r##"class="entry-raw""##));
+        assert!(svg.contains(r##"class="entry-cleaned""##));
+        assert!(svg.contains(r##"class="entry-semantics""##));
+    }
+
+    #[test]
+    fn hidden_sources_not_rendered() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let entries = vec![entry(SourceKind::Raw, 5.0, 5.0, 0)];
+        let mut vis = VisibilityControl::all_visible();
+        vis.toggle(SourceKind::Raw);
+        let svg = renderer(&dsm).render(&dsm, &entries, &vis);
+        assert!(!svg.contains(r##"class="entry-raw""##));
+    }
+
+    #[test]
+    fn other_floor_entries_not_rendered() {
+        let dsm = MallBuilder::new().floors(2).shops_per_row(3).build();
+        let entries = vec![entry(SourceKind::Raw, 5.0, 5.0, 1)];
+        let svg = renderer(&dsm).render(&dsm, &entries, &VisibilityControl::all_visible());
+        assert!(!svg.contains(r##"class="entry-raw""##), "floor 1 entry on floor 0 view");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let entries = vec![entry(SourceKind::Raw, 5.0, 5.0, 0)];
+        let svg = renderer(&dsm).render(&dsm, &entries, &VisibilityControl::all_visible());
+        assert!(svg.contains("&lt;raw&gt;"));
+        assert!(svg.contains("&amp;"));
+        assert!(!svg.contains("<raw>"));
+    }
+
+    #[test]
+    fn legend_lists_all_sources() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let svg = renderer(&dsm).render(&dsm, &[], &VisibilityControl::all_visible());
+        for s in SourceKind::all() {
+            assert!(svg.contains(s.name()), "legend lists {}", s.name());
+        }
+        // Legend can be disabled.
+        let mut r = renderer(&dsm);
+        r.show_legend = false;
+        let svg2 = r.render(&dsm, &[], &VisibilityControl::all_visible());
+        assert!(!svg2.contains(r##"class="legend""##));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let entries = vec![entry(SourceKind::Cleaned, 6.0, 5.0, 0)];
+        let a = renderer(&dsm).render(&dsm, &entries, &VisibilityControl::all_visible());
+        let b = renderer(&dsm).render(&dsm, &entries, &VisibilityControl::all_visible());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn staircase_styled_distinctly() {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let svg = renderer(&dsm).render(&dsm, &[], &VisibilityControl::all_visible());
+        assert!(svg.contains("#ffe9c6"), "staircase fill present");
+    }
+}

@@ -1,0 +1,196 @@
+//! Timeline control (paper §3, "Map View and Timeline Control").
+//!
+//! "For the timeline, we use the mobility semantics as the primary navigator
+//! as it is the most concise compared to other data sources. When clicking a
+//! mobility semantics entry on the timeline, all relevant data entries
+//! covered by its time range will be displayed on map view synchronously."
+
+use crate::entry::{Entry, SourceKind};
+use trips_data::{Duration, Timestamp};
+
+/// A multi-source timeline with the semantics sequence as primary navigator.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// All entries from all sources, sorted by start time.
+    entries: Vec<Entry>,
+    /// Indices of semantics entries (the navigator), sorted by start time.
+    navigator: Vec<usize>,
+}
+
+impl Timeline {
+    /// Builds a timeline from entries of any sources.
+    pub fn new(mut entries: Vec<Entry>) -> Self {
+        entries.sort_by_key(|e| (e.start, e.end));
+        let navigator = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.source == SourceKind::Semantics)
+            .map(|(i, _)| i)
+            .collect();
+        Timeline { entries, navigator }
+    }
+
+    /// All entries in time order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The navigator entries (semantics), in time order.
+    pub fn navigator(&self) -> impl Iterator<Item = &Entry> {
+        self.navigator.iter().map(|&i| &self.entries[i])
+    }
+
+    /// Number of navigator entries.
+    pub fn navigator_len(&self) -> usize {
+        self.navigator.len()
+    }
+
+    /// Timeline span (min start, max end); `None` when empty.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        let start = self.entries.first()?.start;
+        let end = self.entries.iter().map(|e| e.end).max()?;
+        Some((start, end))
+    }
+
+    /// "Clicking" the `i`-th navigator entry: returns all entries (any
+    /// source) covered by its time range — what the map view displays
+    /// synchronously.
+    pub fn click_navigator(&self, i: usize) -> Option<Vec<&Entry>> {
+        let &idx = self.navigator.get(i)?;
+        let nav = &self.entries[idx];
+        Some(
+            self.entries
+                .iter()
+                .filter(|e| e.overlaps(nav.start, nav.end))
+                .collect(),
+        )
+    }
+
+    /// All entries covering instant `t` (the slider position).
+    pub fn at(&self, t: Timestamp) -> Vec<&Entry> {
+        self.entries.iter().filter(|e| e.covers(t)).collect()
+    }
+
+    /// Entries intersecting `[from, to]`.
+    pub fn in_range(&self, from: Timestamp, to: Timestamp) -> Vec<&Entry> {
+        self.entries
+            .iter()
+            .filter(|e| e.overlaps(from, to))
+            .collect()
+    }
+
+    /// Slider playback: instants from span start to end at `step`
+    /// (animation frames).
+    pub fn playback_instants(&self, step: Duration) -> Vec<Timestamp> {
+        assert!(step.as_millis() > 0, "step must be positive");
+        let Some((start, end)) = self.span() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut t = start;
+        while t <= end {
+            out.push(t);
+            t = t + step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_geom::IndoorPoint;
+
+    fn entry(source: SourceKind, start_s: i64, end_s: i64) -> Entry {
+        Entry {
+            display_point: IndoorPoint::new(0.0, 0.0, 0),
+            start: Timestamp::from_millis(start_s * 1000),
+            end: Timestamp::from_millis(end_s * 1000),
+            source,
+            label: format!("{}:{start_s}-{end_s}", source.name()),
+        }
+    }
+
+    fn sample() -> Timeline {
+        Timeline::new(vec![
+            entry(SourceKind::Raw, 5, 5),
+            entry(SourceKind::Raw, 15, 15),
+            entry(SourceKind::Raw, 40, 40),
+            entry(SourceKind::Cleaned, 5, 5),
+            entry(SourceKind::Cleaned, 15, 15),
+            entry(SourceKind::Semantics, 0, 20),
+            entry(SourceKind::Semantics, 30, 50),
+        ])
+    }
+
+    #[test]
+    fn entries_sorted_and_navigator_filtered() {
+        let tl = sample();
+        assert_eq!(tl.len(), 7);
+        for w in tl.entries().windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        assert_eq!(tl.navigator_len(), 2);
+        let firsts: Vec<Timestamp> = tl.navigator().map(|e| e.start).collect();
+        assert_eq!(firsts, vec![Timestamp::from_millis(0), Timestamp::from_millis(30_000)]);
+    }
+
+    #[test]
+    fn clicking_navigator_reveals_covered_entries() {
+        let tl = sample();
+        let covered = tl.click_navigator(0).unwrap();
+        // First semantics spans 0-20 s: covers raw@5, raw@15, cleaned@5,
+        // cleaned@15, itself. Not raw@40 or semantics@30-50.
+        assert_eq!(covered.len(), 5, "{covered:#?}");
+        assert!(covered.iter().all(|e| e.start <= Timestamp::from_millis(20_000)));
+        assert!(tl.click_navigator(5).is_none(), "out of range");
+    }
+
+    #[test]
+    fn slider_at_instant() {
+        let tl = sample();
+        let at5 = tl.at(Timestamp::from_millis(5000));
+        assert_eq!(at5.len(), 3, "raw@5, cleaned@5, semantics 0-20");
+        let at25 = tl.at(Timestamp::from_millis(25_000));
+        assert!(at25.is_empty(), "gap between the two semantics");
+    }
+
+    #[test]
+    fn range_query() {
+        let tl = sample();
+        let r = tl.in_range(Timestamp::from_millis(18_000), Timestamp::from_millis(35_000));
+        // semantics 0-20 overlaps, semantics 30-50 overlaps; no raw records
+        // inside (15 < 18, 40 > 35).
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn span_and_playback() {
+        let tl = sample();
+        let (s, e) = tl.span().unwrap();
+        assert_eq!(s, Timestamp::from_millis(0));
+        assert_eq!(e, Timestamp::from_millis(50_000));
+        let frames = tl.playback_instants(Duration::from_secs(10));
+        assert_eq!(frames.len(), 6, "0,10,20,30,40,50");
+        assert!(Timeline::default().playback_instants(Duration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = Timeline::new(vec![]);
+        assert!(tl.is_empty());
+        assert!(tl.span().is_none());
+        assert!(tl.click_navigator(0).is_none());
+        assert!(tl.at(Timestamp::from_millis(0)).is_empty());
+    }
+}

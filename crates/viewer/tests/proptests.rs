@@ -1,0 +1,127 @@
+//! Property-based tests for the Viewer: timeline ordering, query
+//! consistency, visibility filtering, and renderer robustness.
+
+use proptest::prelude::*;
+use trips_data::{Duration, Timestamp};
+use trips_dsm::builder::MallBuilder;
+use trips_geom::IndoorPoint;
+use trips_viewer::{ascii, Entry, MapView, SourceKind, SvgRenderer, Timeline, VisibilityControl};
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (
+        -10.0f64..60.0,
+        -10.0f64..40.0,
+        0i16..2,
+        0i64..10_000,
+        0i64..600,
+        0usize..4,
+    )
+        .prop_map(|(x, y, floor, start_s, dur_s, source)| {
+            let source = SourceKind::all()[source];
+            let start = Timestamp::from_millis(start_s * 1000);
+            Entry {
+                display_point: IndoorPoint::new(x, y, floor),
+                start,
+                end: start + Duration::from_secs(dur_s),
+                source,
+                label: format!("{} <&> at {start}", source.name()),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn timeline_sorted_and_navigator_consistent(entries in prop::collection::vec(arb_entry(), 0..60)) {
+        let tl = Timeline::new(entries.clone());
+        prop_assert_eq!(tl.len(), entries.len());
+        for w in tl.entries().windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+        }
+        let nav_count = entries.iter().filter(|e| e.source == SourceKind::Semantics).count();
+        prop_assert_eq!(tl.navigator_len(), nav_count);
+        for e in tl.navigator() {
+            prop_assert_eq!(e.source, SourceKind::Semantics);
+        }
+    }
+
+    #[test]
+    fn at_matches_covers(entries in prop::collection::vec(arb_entry(), 0..40), probe_s in 0i64..11_000) {
+        let tl = Timeline::new(entries);
+        let t = Timestamp::from_millis(probe_s * 1000);
+        let hits = tl.at(t);
+        for e in &hits {
+            prop_assert!(e.covers(t));
+        }
+        let manual = tl.entries().iter().filter(|e| e.covers(t)).count();
+        prop_assert_eq!(hits.len(), manual);
+    }
+
+    #[test]
+    fn click_navigator_covers_clicked_range(entries in prop::collection::vec(arb_entry(), 1..40)) {
+        let tl = Timeline::new(entries);
+        for i in 0..tl.navigator_len() {
+            let nav: Vec<&Entry> = tl.navigator().collect();
+            let clicked = nav[i];
+            let covered = tl.click_navigator(i).unwrap();
+            prop_assert!(!covered.is_empty(), "at least the clicked entry");
+            for e in covered {
+                prop_assert!(e.overlaps(clicked.start, clicked.end));
+            }
+        }
+    }
+
+    #[test]
+    fn visibility_filter_partition(entries in prop::collection::vec(arb_entry(), 0..40),
+                                   hide in prop::collection::vec(0usize..4, 0..4)) {
+        let mut vis = VisibilityControl::all_visible();
+        for h in hide {
+            vis.toggle(SourceKind::all()[h]);
+        }
+        let visible = vis.filter(&entries);
+        for e in &visible {
+            prop_assert!(vis.is_visible(e.source));
+        }
+        let hidden_count = entries.iter().filter(|e| !vis.is_visible(e.source)).count();
+        prop_assert_eq!(visible.len() + hidden_count, entries.len());
+    }
+
+    #[test]
+    fn svg_render_never_panics_and_is_wellformed(entries in prop::collection::vec(arb_entry(), 0..30)) {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let renderer = SvgRenderer::new(MapView::fit_to_floor(&dsm, 0, 640.0, 480.0));
+        let svg = renderer.render(&dsm, &entries, &VisibilityControl::all_visible());
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.ends_with("</svg>"));
+        // Labels contain <&> — must always be escaped.
+        prop_assert!(!svg.contains("<&>"), "unescaped label leaked");
+        // Balanced open/close for the elements we emit.
+        prop_assert_eq!(svg.matches("<title>").count(), svg.matches("</title>").count());
+    }
+
+    #[test]
+    fn ascii_render_never_panics(entries in prop::collection::vec(arb_entry(), 0..30),
+                                 w in 4usize..100, h in 4usize..40) {
+        let dsm = MallBuilder::new().shops_per_row(3).build();
+        let art = ascii::render(&dsm, 0, &entries, &VisibilityControl::all_visible(), w, h);
+        let lines: Vec<&str> = art.lines().collect();
+        prop_assert_eq!(lines.len(), h + 2);
+        for line in &lines {
+            prop_assert_eq!(line.chars().count(), w + 2);
+        }
+    }
+
+    #[test]
+    fn playback_instants_cover_span(entries in prop::collection::vec(arb_entry(), 1..30), step_s in 1i64..300) {
+        let tl = Timeline::new(entries);
+        let frames = tl.playback_instants(Duration::from_secs(step_s));
+        let (start, end) = tl.span().unwrap();
+        prop_assert!(!frames.is_empty());
+        prop_assert_eq!(frames[0], start);
+        prop_assert!(*frames.last().unwrap() <= end);
+        for w in frames.windows(2) {
+            prop_assert_eq!(w[1] - w[0], Duration::from_secs(step_s));
+        }
+    }
+}

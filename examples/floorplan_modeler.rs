@@ -1,0 +1,126 @@
+//! The Space Modeler's three-step DSM creation (paper §3, Figure 2) driven
+//! programmatically: import a floorplan image, trace indoor entities with
+//! drawing operations (snapping, undo/redo, groups), attach semantic tags,
+//! and export the DSM to JSON.
+//!
+//! Run with: `cargo run --example floorplan_modeler`
+
+use trips::dsm::canvas::FloorplanCanvas;
+use trips::dsm::entity::EntityKind;
+use trips::dsm::{json as dsm_json, DigitalSpaceModel, PathQuery};
+use trips::prelude::*;
+
+fn rect(x: f64, y: f64, w: f64, h: f64) -> Vec<Point> {
+    vec![
+        Point::new(x, y),
+        Point::new(x + w, y),
+        Point::new(x + w, y + h),
+        Point::new(x, y + h),
+    ]
+}
+
+fn main() {
+    let mut canvas = FloorplanCanvas::new(0);
+
+    // Step (1): import the floorplan image to the canvas.
+    canvas.import_image("ground-floor.png");
+    println!("step 1: imported {:?}", canvas.background_image);
+
+    // Step (2): trace the floorplan by drawing geometric elements.
+    let hall = canvas.draw_polygon(EntityKind::Hallway, "Center Hall", rect(0.0, 8.0, 40.0, 6.0));
+    let nike = canvas.draw_polygon(EntityKind::Room, "Nike Store", rect(0.0, 0.0, 12.0, 8.0));
+    // The next shop's corner is drawn slightly off; the auto-adjust hint
+    // snaps it onto Nike's corner.
+    let adidas = canvas.draw_polygon(
+        EntityKind::Room,
+        "Adidas",
+        vec![
+            Point::new(12.1, 0.05), // snaps to (12, 0)
+            Point::new(24.0, 0.0),
+            Point::new(24.0, 8.0),
+            Point::new(11.95, 7.9), // snaps to (12, 8)
+        ],
+    );
+    let cashier = canvas.draw_polygon(EntityKind::Room, "Cashier", rect(24.0, 0.0, 8.0, 8.0));
+    canvas.draw_door("nike-door", Point::new(6.0, 8.0), 1.5);
+    canvas.draw_door("adidas-door", Point::new(18.0, 8.0), 1.5);
+    canvas.draw_door("cashier-door", Point::new(28.0, 8.0), 1.5);
+    canvas.draw_polyline(
+        EntityKind::Wall,
+        "north-wall",
+        vec![Point::new(0.0, 14.0), Point::new(40.0, 14.0)],
+    );
+    canvas.draw_circle(EntityKind::Obstacle, "pillar", Point::new(20.0, 11.0), 0.6);
+
+    // Edit-mode demonstration: a mis-draw, undone.
+    let oops = canvas.draw_polygon(EntityKind::Room, "oops", rect(100.0, 100.0, 5.0, 5.0));
+    canvas.delete(oops).expect("delete");
+    canvas.undo().expect("undo delete");
+    canvas.undo().expect("undo draw");
+    println!("step 2: traced {} elements (after undo)", canvas.len());
+
+    // Group the two sportswear shops and nudge them together.
+    canvas.set_group(&[nike, adidas], 1).expect("group");
+    canvas.move_group(1, 0.0, 0.0).expect("move group");
+
+    // Step (3): attach semantic tags.
+    canvas
+        .assign_tag(nike, SemanticTag::new("sportswear", "shop"))
+        .expect("tag");
+    canvas
+        .assign_tag(adidas, SemanticTag::new("sportswear", "shop"))
+        .expect("tag");
+    canvas
+        .assign_tag(cashier, SemanticTag::new("cashier", "service"))
+        .expect("tag");
+    canvas
+        .assign_tag(hall, SemanticTag::new("atrium", "circulation"))
+        .expect("tag");
+    println!("step 3: semantic tags attached");
+
+    // Export: geometry + tags -> DSM with computed topology.
+    let mut dsm = DigitalSpaceModel::new("drawn-mall");
+    let report = canvas.export_to_dsm(&mut dsm).expect("export");
+    dsm.freeze();
+    println!(
+        "exported {} entities, {} semantic regions",
+        report.entities, report.regions
+    );
+
+    // The computed topological relations.
+    let topo = dsm.topology().expect("frozen");
+    for region in dsm.regions() {
+        let neighbours: Vec<String> = topo
+            .neighbours(region.id)
+            .iter()
+            .filter_map(|id| dsm.region(*id).ok())
+            .map(|r| r.name.clone())
+            .collect();
+        println!("  {} ↔ {:?}", region.name, neighbours);
+    }
+
+    // Walking distance Nike -> Cashier threads through both doors.
+    let pq = PathQuery::new(&dsm).expect("query");
+    let nike_pt = IndoorPoint::new(6.0, 4.0, 0);
+    let cashier_pt = IndoorPoint::new(28.0, 4.0, 0);
+    let path = pq.path(&nike_pt, &cashier_pt).expect("walkable");
+    println!(
+        "walking distance Nike→Cashier: {:.1} m over {} waypoints (planar {:.1} m)",
+        path.distance,
+        path.points.len(),
+        nike_pt.planar_distance(&cashier_pt)
+    );
+
+    // Save the DSM the way the Space Modeler saves its file.
+    let out = std::path::Path::new("target/walkthrough");
+    std::fs::create_dir_all(out).expect("mkdir");
+    let path = out.join("drawn-mall.dsm.json");
+    dsm_json::save(&dsm, &path).expect("save DSM");
+    println!("DSM saved to {}", path.display());
+
+    // Round-trip check.
+    let back = dsm_json::load(&path).expect("load DSM");
+    assert_eq!(back.entity_count(), dsm.entity_count());
+    assert_eq!(back.region_count(), dsm.region_count());
+    println!("round-trip OK ({} entities)", back.entity_count());
+}

@@ -1,0 +1,71 @@
+//! Quickstart: translate one simulated shopper's raw positioning data into
+//! mobility semantics and print the Table-1-style before/after comparison.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use trips::prelude::*;
+
+fn main() {
+    // --- a synthetic mall and one day of shopper traffic -----------------
+    let dataset = trips::sim::scenario::generate(
+        2, // floors
+        4, // shops per row
+        &ScenarioConfig {
+            devices: 5,
+            days: 1,
+            seed: 7,
+            ..ScenarioConfig::default()
+        },
+    );
+    println!("dataset: {}", dataset.config_summary);
+    println!(
+        "{} raw records across {} devices\n",
+        dataset.record_count(),
+        dataset.traces.len()
+    );
+
+    // --- Event Editor: designate training segments from ground truth -----
+    let mut editor = EventEditor::with_default_patterns();
+    for trace in &dataset.traces {
+        for visit in &trace.truth_visits {
+            let segment: Vec<RawRecord> = trace
+                .raw
+                .records()
+                .iter()
+                .filter(|r| r.ts >= visit.start && r.ts <= visit.end)
+                .cloned()
+                .collect();
+            if segment.len() >= 2 {
+                let _ = editor.designate_segment(visit.kind.name(), &segment);
+            }
+        }
+    }
+    println!("event editor: {} designated segments\n", editor.example_count());
+
+    // --- the five-step workflow ------------------------------------------
+    let sequences = dataset.sequences();
+    let device = dataset.traces[0].device.clone();
+    let mut system = Trips::new(Configurator::new(dataset.dsm).with_event_editor(editor));
+    let result = system.run(sequences).expect("translation");
+
+    // --- Table 1: raw records vs mobility semantics ----------------------
+    let d = result.device(&device).expect("translated device");
+    println!("=== Raw Indoor Positioning Data (first 8 of {}) ===", d.raw.len());
+    for r in d.raw.records().iter().take(8) {
+        println!("  {r}");
+    }
+    println!("  ...");
+    println!("\n=== Mobility Semantics ({} triplets) ===", d.semantics.len());
+    println!("{}:", device.anonymized());
+    for s in &d.semantics {
+        println!("  {s}");
+    }
+    println!(
+        "\nconciseness: {:.1} raw records per semantics triplet",
+        d.conciseness_ratio()
+    );
+    println!(
+        "cleaning: {:?}",
+        d.cleaned.report
+    );
+}

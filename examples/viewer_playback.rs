@@ -1,0 +1,99 @@
+//! The Viewer's assessment workflow (paper §3, Figure 4): abstract every
+//! data sequence as a timeline of entries, toggle source visibility, click
+//! semantics on the timeline, and play an animated, semantics-enriched
+//! movement.
+//!
+//! Run with: `cargo run --example viewer_playback`
+
+use trips::prelude::*;
+use trips::viewer::{animate, ascii};
+
+fn main() {
+    let dataset = trips::sim::scenario::generate(
+        1,
+        4,
+        &ScenarioConfig {
+            devices: 2,
+            days: 1,
+            seed: 5150,
+            ..ScenarioConfig::default()
+        },
+    );
+    let mut editor = EventEditor::with_default_patterns();
+    for trace in &dataset.traces {
+        for visit in &trace.truth_visits {
+            let segment: Vec<RawRecord> = trace
+                .raw
+                .records()
+                .iter()
+                .filter(|r| r.ts >= visit.start && r.ts <= visit.end)
+                .cloned()
+                .collect();
+            if segment.len() >= 2 {
+                let _ = editor.designate_segment(visit.kind.name(), &segment);
+            }
+        }
+    }
+    let device = dataset.traces[0].device.clone();
+    let truth: Vec<Entry> = dataset.traces[0]
+        .truth_samples
+        .iter()
+        .map(|(ts, p)| Entry::from_truth(*ts, *p))
+        .collect();
+    let dsm = dataset.dsm.clone();
+
+    let mut system = Trips::new(Configurator::new(dataset.dsm).with_event_editor(editor));
+    system.run(dataset.traces.iter().map(|t| t.raw.clone()).collect())
+        .expect("translate");
+
+    // Timeline with all four sources (the simulator gives us ground truth).
+    let mut entries: Vec<Entry> = system
+        .timeline_for(&device)
+        .expect("timeline")
+        .entries()
+        .to_vec();
+    entries.extend(truth);
+    let timeline = Timeline::new(entries);
+    let (start, end) = timeline.span().expect("non-empty");
+    println!(
+        "timeline for {}: {} entries over {} - {}",
+        device.anonymized(),
+        timeline.len(),
+        start,
+        end
+    );
+
+    // The semantics sequence is the primary navigator.
+    println!("\nnavigator ({} semantics):", timeline.navigator_len());
+    for (i, e) in timeline.navigator().enumerate().take(6) {
+        println!("  [{i}] {}", e.label);
+    }
+
+    // Clicking an entry reveals everything its time range covers.
+    if let Some(covered) = timeline.click_navigator(0) {
+        let mut by_source = std::collections::BTreeMap::new();
+        for e in &covered {
+            *by_source.entry(e.source.name()).or_insert(0usize) += 1;
+        }
+        println!("\nclick navigator[0] → covered entries by source: {by_source:?}");
+    }
+
+    // Visibility control: focus on semantics vs raw only.
+    let mut vis = VisibilityControl::all_visible();
+    vis.toggle(SourceKind::Cleaned);
+    vis.toggle(SourceKind::GroundTruth);
+    let art = ascii::render(&dsm, 0, timeline.entries(), &vis, 78, 16);
+    println!("\nraw + semantics only (r = raw, S = semantics):\n{art}");
+
+    // Animated, semantics-enriched playback.
+    let frames = animate::frames(&timeline, Duration::from_mins(2), Duration::from_secs(30));
+    println!("playback at 2-minute steps ({} frames):", frames.len());
+    for f in frames.iter().take(10) {
+        println!(
+            "  t={} active={} caption={}",
+            f.t,
+            f.active.len(),
+            f.caption.as_deref().unwrap_or("-")
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Cross-crate integration tests: the full TRIPS pipeline on simulated
+//! mall workloads.
+
+use trips::core::{assess, export};
+use trips::prelude::*;
+
+/// Builds an editor from ground truth designations, as the demo analyst
+/// would via the Event Editor UI.
+fn editor_from_truth(ds: &SimulatedDataset, traces: usize) -> EventEditor {
+    let mut editor = EventEditor::with_default_patterns();
+    for trace in ds.traces.iter().take(traces) {
+        for visit in &trace.truth_visits {
+            let segment: Vec<RawRecord> = trace
+                .raw
+                .records()
+                .iter()
+                .filter(|r| r.ts >= visit.start && r.ts <= visit.end)
+                .cloned()
+                .collect();
+            if segment.len() >= 2 {
+                let _ = editor.designate_segment(visit.kind.name(), &segment);
+            }
+        }
+    }
+    editor
+}
+
+fn dataset(seed: u64, devices: usize) -> SimulatedDataset {
+    trips::sim::scenario::generate(
+        3,
+        4,
+        &ScenarioConfig {
+            devices,
+            days: 1,
+            seed,
+            ..ScenarioConfig::default()
+        },
+    )
+}
+
+#[test]
+fn full_pipeline_produces_assessable_semantics() {
+    let ds = dataset(101, 6);
+    let editor = editor_from_truth(&ds, 6);
+    let mut system = Trips::new(Configurator::new(ds.dsm.clone()).with_event_editor(editor));
+    let result = system.run(ds.sequences()).expect("translate");
+
+    let mut reports = Vec::new();
+    for trace in &ds.traces {
+        let d = result.device(&trace.device).expect("device translated");
+        reports.push(assess::assess(&d.semantics, &trace.truth_visits));
+    }
+    let agg = assess::aggregate(&reports);
+    assert!(
+        agg.region_time_accuracy > 0.5,
+        "translation should locate the right region most of the time: {agg:?}"
+    );
+    assert!(
+        agg.coverage > 0.5,
+        "semantics should cover most of the visit time: {agg:?}"
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let ds = dataset(555, 3);
+        let editor = editor_from_truth(&ds, 3);
+        let mut system = Trips::new(Configurator::new(ds.dsm.clone()).with_event_editor(editor));
+        let result = system.run(ds.sequences()).expect("translate");
+        export::to_text(result)
+    };
+    assert_eq!(run(), run(), "same seed, same output file");
+}
+
+#[test]
+fn cleaning_improves_position_fidelity() {
+    // Heavier error model; compare raw vs cleaned RMS distance to ground
+    // truth at the matching timestamps.
+    let ds = trips::sim::scenario::generate(
+        2,
+        3,
+        &ScenarioConfig {
+            devices: 4,
+            days: 1,
+            seed: 321,
+            error_model: ErrorModel {
+                outlier_rate: 0.10,
+                floor_error_rate: 0.10,
+                ..ErrorModel::default()
+            },
+            ..ScenarioConfig::default()
+        },
+    );
+    let cleaner = Cleaner::with_defaults(&ds.dsm).expect("frozen");
+
+    let mut raw_err = 0.0f64;
+    let mut cleaned_err = 0.0f64;
+    let mut raw_n = 0usize;
+    let mut cleaned_n = 0usize;
+    let mut raw_floor_err = 0usize;
+    let mut cleaned_floor_err = 0usize;
+
+    for trace in &ds.traces {
+        let truth = &trace.truth_samples;
+        let truth_at = |ts: Timestamp| -> Option<IndoorPoint> {
+            let idx = truth.partition_point(|(t, _)| *t <= ts);
+            (idx > 0).then(|| truth[idx - 1].1)
+        };
+        for r in trace.raw.records() {
+            if let Some(t) = truth_at(r.ts) {
+                raw_err += t.xy.distance(r.location.xy).powi(2);
+                raw_n += 1;
+                raw_floor_err += usize::from(t.floor != r.location.floor);
+            }
+        }
+        let cleaned = cleaner.clean(&trace.raw);
+        for r in cleaned.sequence.records() {
+            if let Some(t) = truth_at(r.ts) {
+                cleaned_err += t.xy.distance(r.location.xy).powi(2);
+                cleaned_n += 1;
+                cleaned_floor_err += usize::from(t.floor != r.location.floor);
+            }
+        }
+    }
+    let raw_rmse = (raw_err / raw_n as f64).sqrt();
+    let cleaned_rmse = (cleaned_err / cleaned_n as f64).sqrt();
+    assert!(
+        cleaned_rmse < raw_rmse,
+        "cleaning must reduce RMSE: raw {raw_rmse:.2} vs cleaned {cleaned_rmse:.2}"
+    );
+    let raw_fr = raw_floor_err as f64 / raw_n as f64;
+    let cleaned_fr = cleaned_floor_err as f64 / cleaned_n as f64;
+    assert!(
+        cleaned_fr < raw_fr,
+        "floor correction must reduce floor error rate: {raw_fr:.3} vs {cleaned_fr:.3}"
+    );
+}
+
+#[test]
+fn complementing_improves_coverage_under_dropouts() {
+    // Heavy burst dropouts create gaps; the Complementor must close them.
+    let ds = trips::sim::scenario::generate(
+        2,
+        3,
+        &ScenarioConfig {
+            devices: 8,
+            days: 1,
+            seed: 888,
+            error_model: ErrorModel {
+                burst_drop_rate: 0.04,
+                burst_len: 40,
+                ..ErrorModel::default()
+            },
+            ..ScenarioConfig::default()
+        },
+    );
+    let editor = editor_from_truth(&ds, 8);
+    let translator = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard())
+        .expect("translator");
+    let result = translator.translate(&ds.sequences());
+
+    let mut original = Vec::new();
+    let mut complemented = Vec::new();
+    for trace in &ds.traces {
+        let d = result.device(&trace.device).expect("device");
+        original.push(assess::assess(&d.original_semantics, &trace.truth_visits));
+        complemented.push(assess::assess(&d.semantics, &trace.truth_visits));
+    }
+    let orig = assess::aggregate(&original);
+    let comp = assess::aggregate(&complemented);
+    assert!(
+        comp.coverage > orig.coverage,
+        "complementing must raise coverage: {:.3} -> {:.3}",
+        orig.coverage,
+        comp.coverage
+    );
+}
+
+#[test]
+fn selector_feeds_translator() {
+    let ds = dataset(42, 10);
+    let editor = editor_from_truth(&ds, 10);
+    // Keep only long sequences.
+    let selector = Selector::new(SelectionRule::MinRecords(80));
+    let expected = selector.select_refs(&ds.sequences()).len();
+    let mut system = Trips::new(
+        Configurator::new(ds.dsm.clone())
+            .with_selector(selector)
+            .with_event_editor(editor),
+    );
+    let result = system.run(ds.sequences()).expect("translate");
+    assert_eq!(result.devices.len(), expected);
+    assert!(result.devices.len() < 10, "selection must filter something");
+}
+
+#[test]
+fn dsm_json_roundtrip_preserves_translation() {
+    let ds = dataset(77, 3);
+    let editor = editor_from_truth(&ds, 3);
+
+    // Translate on the original DSM.
+    let t1 = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).unwrap();
+    let r1 = t1.translate(&ds.sequences());
+
+    // Round-trip the DSM through JSON, then translate again.
+    let json = trips::dsm::json::to_json(&ds.dsm).unwrap();
+    let dsm2 = trips::dsm::json::from_json(&json).unwrap();
+    let t2 = Translator::from_editor(&dsm2, &editor, TranslatorConfig::standard()).unwrap();
+    let r2 = t2.translate(&ds.sequences());
+
+    assert_eq!(export::to_text(&r1), export::to_text(&r2));
+}
+
+#[test]
+fn export_formats_cover_all_devices() {
+    let ds = dataset(31, 4);
+    let editor = editor_from_truth(&ds, 4);
+    let mut system = Trips::new(Configurator::new(ds.dsm.clone()).with_event_editor(editor));
+    let result = system.run(ds.sequences()).expect("translate");
+
+    let text = export::to_text(result);
+    let json = export::to_json(result).unwrap();
+    for trace in &ds.traces {
+        assert!(text.contains(&trace.device.anonymized()));
+        assert!(json.contains(&trace.device.anonymized()));
+    }
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(v.as_array().unwrap().len(), 4);
+}
+
+#[test]
+fn viewer_pipeline_renders_translated_device() {
+    let ds = dataset(64, 2);
+    let editor = editor_from_truth(&ds, 2);
+    let device = ds.traces[0].device.clone();
+    let mut system = Trips::new(Configurator::new(ds.dsm.clone()).with_event_editor(editor));
+    system.run(ds.sequences()).expect("translate");
+
+    let timeline = system.timeline_for(&device).expect("timeline");
+    assert!(timeline.navigator_len() > 0);
+    // Every navigator click returns at least the clicked entry.
+    for i in 0..timeline.navigator_len() {
+        let covered = timeline.click_navigator(i).expect("in range");
+        assert!(!covered.is_empty());
+    }
+    // Render every floor without panicking; floor 0 must show data.
+    let mut any_data = false;
+    for f in 0..3i16 {
+        let svg = system.render_svg(&device, f).expect("svg");
+        any_data |= svg.contains("entry-");
+    }
+    assert!(any_data, "at least one floor shows the device's data");
+}

@@ -1,0 +1,153 @@
+//! Property-based invariants across the pipeline, on randomly generated
+//! record sequences over a fixed mall.
+
+use proptest::prelude::*;
+use trips::prelude::*;
+
+fn mall() -> DigitalSpaceModel {
+    MallBuilder::new().floors(2).shops_per_row(3).build()
+}
+
+fn trained_editor() -> EventEditor {
+    let mut e = EventEditor::with_default_patterns();
+    for k in 0..6usize {
+        let stay: Vec<RawRecord> = (0..(10 + k))
+            .map(|i| {
+                RawRecord::new(
+                    DeviceId::new("t"),
+                    5.0 + 0.1 * (i % 3) as f64,
+                    4.0,
+                    0,
+                    Timestamp::from_millis(i as i64 * 7000),
+                )
+            })
+            .collect();
+        e.designate_segment("stay", &stay).unwrap();
+        let walk: Vec<RawRecord> = (0..(5 + k))
+            .map(|i| {
+                RawRecord::new(
+                    DeviceId::new("t"),
+                    9.0 * i as f64,
+                    11.0,
+                    0,
+                    Timestamp::from_millis(i as i64 * 7000),
+                )
+            })
+            .collect();
+        e.designate_segment("pass-by", &walk).unwrap();
+    }
+    e
+}
+
+/// A random walk inside the mall footprint with occasional glitches.
+fn arb_sequence() -> impl Strategy<Value = PositioningSequence> {
+    let step = (
+        -3.0f64..3.0,
+        -3.0f64..3.0,
+        0u8..40,   // glitch selector
+        1i64..15,  // seconds to next record
+    );
+    proptest::collection::vec(step, 2..120).prop_map(|steps| {
+        let d = DeviceId::new("prop");
+        let mut x = 15.0f64;
+        let mut y = 11.0f64;
+        let mut floor = 0i16;
+        let mut t = 0i64;
+        let mut records = Vec::with_capacity(steps.len());
+        for (dx, dy, glitch, dt) in steps {
+            t += dt * 1000;
+            x = (x + dx).clamp(0.0, 30.0);
+            y = (y + dy).clamp(0.0, 22.0);
+            match glitch {
+                0 => floor = (floor + 1).min(1),         // floor misread up
+                1 => floor = (floor - 1).max(0),         // floor misread down
+                2 => {
+                    // Outlier jump.
+                    records.push(RawRecord::new(d.clone(), x + 200.0, y, floor, Timestamp::from_millis(t)));
+                    continue;
+                }
+                _ => {}
+            }
+            records.push(RawRecord::new(d.clone(), x, y, floor, Timestamp::from_millis(t)));
+        }
+        PositioningSequence::from_records(d, records)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cleaned_output_always_satisfies_speed_constraint(seq in arb_sequence()) {
+        let dsm = mall();
+        let cleaner = Cleaner::with_defaults(&dsm).unwrap();
+        let out = cleaner.clean(&seq);
+        let checker = trips::clean::SpeedChecker::new(&dsm, 3.0).unwrap();
+        prop_assert!(checker.scan(out.sequence.records()).is_empty(),
+            "violations remain after cleaning");
+        // Audit counts consistent.
+        let r = out.report;
+        prop_assert_eq!(r.valid + r.floor_corrected + r.interpolated + r.dropped, r.input_records);
+        prop_assert_eq!(out.sequence.len(), r.input_records - r.dropped);
+    }
+
+    #[test]
+    fn cleaning_is_idempotent(seq in arb_sequence()) {
+        let dsm = mall();
+        let cleaner = Cleaner::with_defaults(&dsm).unwrap();
+        let once = cleaner.clean(&seq);
+        let twice = cleaner.clean(&once.sequence);
+        prop_assert_eq!(twice.report.repair_rate(), 0.0);
+        prop_assert_eq!(once.sequence.records(), twice.sequence.records());
+    }
+
+    #[test]
+    fn semantics_are_sorted_and_within_span(seq in arb_sequence()) {
+        let dsm = mall();
+        let translator = Translator::from_editor(&dsm, &trained_editor(), TranslatorConfig::standard()).unwrap();
+        let result = translator.translate(std::slice::from_ref(&seq));
+        let d = &result.devices[0];
+        for s in &d.semantics {
+            prop_assert!(s.start <= s.end);
+        }
+        for w in d.semantics.windows(2) {
+            prop_assert!(w[0].start <= w[1].start, "sorted semantics");
+            prop_assert!(w[0].end <= w[1].start, "non-overlapping semantics");
+        }
+        if let (Some(start), Some(end)) = (seq.start(), seq.end()) {
+            for s in &d.semantics {
+                prop_assert!(s.start >= start && s.end <= end, "within sequence span");
+            }
+        }
+    }
+
+    #[test]
+    fn complementing_preserves_observed_entries(seq in arb_sequence()) {
+        let dsm = mall();
+        let translator = Translator::from_editor(&dsm, &trained_editor(), TranslatorConfig::standard()).unwrap();
+        let result = translator.translate(std::slice::from_ref(&seq));
+        let d = &result.devices[0];
+        let observed: Vec<_> = d.semantics.iter().filter(|s| !s.inferred).cloned().collect();
+        prop_assert_eq!(&observed, &d.original_semantics);
+    }
+
+    #[test]
+    fn timeline_click_always_includes_clicked_entry(seq in arb_sequence()) {
+        let dsm = mall();
+        let translator = Translator::from_editor(&dsm, &trained_editor(), TranslatorConfig::standard()).unwrap();
+        let result = translator.translate(std::slice::from_ref(&seq));
+        let d = &result.devices[0];
+        let entries: Vec<Entry> = d
+            .semantics
+            .iter()
+            .map(|s| Entry::from_semantics(s, &dsm))
+            .chain(d.raw.records().iter().map(|r| Entry::from_record(r, SourceKind::Raw)))
+            .collect();
+        let timeline = Timeline::new(entries);
+        for i in 0..timeline.navigator_len() {
+            let covered = timeline.click_navigator(i).unwrap();
+            prop_assert!(!covered.is_empty());
+            prop_assert!(covered.iter().any(|e| e.source == SourceKind::Semantics));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Quality comparisons: the learning-based event identification vs the two
+//! literature baselines, on simulated ground truth (experiment F3b's
+//! assertions in test form).
+
+use trips::annotate::baseline::ThresholdClassifier;
+use trips::annotate::features::FeatureVector;
+use trips::annotate::model::{evaluate, Classifier};
+use trips::prelude::*;
+
+/// Extracts labelled snippets (features + 0 = stay / 1 = pass-by) from
+/// simulated ground truth visits.
+fn labelled_snippets(ds: &SimulatedDataset) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for trace in &ds.traces {
+        for visit in &trace.truth_visits {
+            let segment: Vec<RawRecord> = trace
+                .raw
+                .records()
+                .iter()
+                .filter(|r| r.ts >= visit.start && r.ts <= visit.end)
+                .cloned()
+                .collect();
+            if segment.len() < 2 {
+                continue;
+            }
+            xs.push(FeatureVector::extract(&segment).values().to_vec());
+            ys.push(match visit.kind {
+                trips::sim::VisitKind::Stay => 0,
+                trips::sim::VisitKind::PassBy => 1,
+            });
+        }
+    }
+    (xs, ys)
+}
+
+fn dataset(seed: u64) -> SimulatedDataset {
+    trips::sim::scenario::generate(
+        2,
+        4,
+        &ScenarioConfig {
+            devices: 20,
+            days: 1,
+            seed,
+            ..ScenarioConfig::default()
+        },
+    )
+}
+
+#[test]
+fn learned_model_beats_threshold_baseline() {
+    let train_ds = dataset(1001);
+    let test_ds = dataset(2002);
+    let (train_x, train_y) = labelled_snippets(&train_ds);
+    let (test_x, test_y) = labelled_snippets(&test_ds);
+    assert!(train_x.len() > 30, "enough training snippets: {}", train_x.len());
+    assert!(test_x.len() > 30);
+
+    let tree = trips::annotate::model::DecisionTree::train(
+        &train_x,
+        &train_y,
+        2,
+        &trips::annotate::model::TreeParams::default(),
+    );
+    let tree_m = evaluate(&tree, &test_x, &test_y, 2);
+
+    let baseline = ThresholdClassifier::default();
+    let base_m = evaluate(&baseline, &test_x, &test_y, 2);
+
+    assert!(
+        tree_m.accuracy >= base_m.accuracy,
+        "learned {:.3} must be at least threshold {:.3}",
+        tree_m.accuracy,
+        base_m.accuracy
+    );
+    assert!(tree_m.accuracy > 0.8, "learned accuracy {:.3}", tree_m.accuracy);
+}
+
+#[test]
+fn forest_and_knn_are_competitive() {
+    let train_ds = dataset(3003);
+    let test_ds = dataset(4004);
+    let (train_x, train_y) = labelled_snippets(&train_ds);
+    let (test_x, test_y) = labelled_snippets(&test_ds);
+
+    let forest = trips::annotate::model::RandomForest::train(&train_x, &train_y, 2, 15, 9);
+    let knn = trips::annotate::model::KNearest::train(&train_x, &train_y, 2, 5);
+
+    let fm = evaluate(&forest, &test_x, &test_y, 2);
+    let km = evaluate(&knn, &test_x, &test_y, 2);
+    assert!(fm.accuracy > 0.75, "forest {:.3}", fm.accuracy);
+    assert!(km.accuracy > 0.70, "knn {:.3}", km.accuracy);
+}
+
+#[test]
+fn more_training_data_helps_or_holds() {
+    let ds = dataset(5005);
+    let test_ds = dataset(6006);
+    let (xs, ys) = labelled_snippets(&ds);
+    let (tx, ty) = labelled_snippets(&test_ds);
+
+    let acc = |n: usize| {
+        // Take a class-balanced prefix of n examples.
+        let mut bx = Vec::new();
+        let mut by = Vec::new();
+        let mut count = [0usize; 2];
+        for (x, &y) in xs.iter().zip(&ys) {
+            if count[y] < n / 2 {
+                bx.push(x.clone());
+                by.push(y);
+                count[y] += 1;
+            }
+        }
+        if by.iter().collect::<std::collections::BTreeSet<_>>().len() < 2 {
+            return 0.0;
+        }
+        let tree = trips::annotate::model::DecisionTree::train(
+            &bx,
+            &by,
+            2,
+            &trips::annotate::model::TreeParams::default(),
+        );
+        evaluate(&tree, &tx, &ty, 2).accuracy
+    };
+
+    let small = acc(8);
+    let large = acc(xs.len());
+    assert!(
+        large + 0.05 >= small,
+        "training on all data ({large:.3}) should not lose badly to 8 examples ({small:.3})"
+    );
+    assert!(large > 0.8, "full-data accuracy {large:.3}");
+}
+
+#[test]
+fn stop_move_baseline_cannot_express_custom_patterns() {
+    // The SMoT baseline vocabulary is fixed {stop, move}; TRIPS's Event
+    // Editor supports arbitrary user-defined patterns. Verify the editor
+    // trains a 3-class model the baseline cannot express.
+    let mut editor = EventEditor::with_default_patterns();
+    editor
+        .define_pattern("queueing", "waiting in a slow-moving line")
+        .unwrap();
+    let mk = |speed: f64, n: usize| -> Vec<RawRecord> {
+        (0..n)
+            .map(|i| {
+                RawRecord::new(
+                    DeviceId::new("q"),
+                    speed * 7.0 * i as f64,
+                    4.0,
+                    0,
+                    Timestamp::from_millis(i as i64 * 7000),
+                )
+            })
+            .collect()
+    };
+    for k in 0..8usize {
+        editor.designate_segment("stay", &mk(0.005, 12 + k)).unwrap();
+        editor.designate_segment("queueing", &mk(0.07, 10 + k)).unwrap();
+        editor.designate_segment("pass-by", &mk(1.3, 6 + k)).unwrap();
+    }
+    let (model, labels) = editor.train_default_model().unwrap();
+    assert_eq!(labels.len(), 3);
+    let queue_f = FeatureVector::extract(&mk(0.07, 11));
+    assert_eq!(labels[model.predict(queue_f.values())], "queueing");
+}
