@@ -93,9 +93,7 @@ impl<'a> Annotator<'a> {
             return None;
         }
         match self.config.display_point {
-            DisplayPointPolicy::TemporalMiddle => {
-                Some(records[records.len() / 2].location)
-            }
+            DisplayPointPolicy::TemporalMiddle => Some(records[records.len() / 2].location),
             DisplayPointPolicy::SpatialCenter => {
                 let pts: Vec<_> = records.iter().map(|r| r.location.xy).collect();
                 let m = algorithms::medoid(&pts)?;
@@ -193,7 +191,10 @@ mod tests {
     }
 
     fn mall() -> DigitalSpaceModel {
-        MallBuilder::new().shops_per_row(4).with_cashiers(false).build()
+        MallBuilder::new()
+            .shops_per_row(4)
+            .with_cashiers(false)
+            .build()
     }
 
     fn trained_editor() -> EventEditor {
@@ -228,7 +229,14 @@ mod tests {
             t += 7;
         }
         // Exit shop 1 (door at (5, 8)), walk hallway to (25, 11), enter shop 3.
-        for (x, y) in [(5.0, 8.0), (5.0, 11.0), (12.0, 11.0), (19.0, 11.0), (25.0, 11.0), (25.0, 8.0)] {
+        for (x, y) in [
+            (5.0, 8.0),
+            (5.0, 11.0),
+            (12.0, 11.0),
+            (19.0, 11.0),
+            (25.0, 11.0),
+            (25.0, 8.0),
+        ] {
             recs.push(rec(x, y, t));
             t += 7;
         }
@@ -253,7 +261,8 @@ mod tests {
         assert_eq!(last.event, "stay");
         // Some middle semantics covers the hallway.
         assert!(
-            sems.iter().any(|s| s.region_name.starts_with("Center Hall")),
+            sems.iter()
+                .any(|s| s.region_name.starts_with("Center Hall")),
             "hall traversal annotated: {sems:#?}"
         );
         // Chronological order.
@@ -283,7 +292,9 @@ mod tests {
         let seq = shopping_trip();
         let sems = a.annotate(&seq);
         for s in &sems {
-            let dp = s.display_point.expect("observed semantics have display points");
+            let dp = s
+                .display_point
+                .expect("observed semantics have display points");
             assert!(
                 seq.records().iter().any(|r| r.location == dp),
                 "display point must be a raw location"

@@ -124,7 +124,10 @@ mod tests {
     }
 
     fn mall() -> DigitalSpaceModel {
-        MallBuilder::new().shops_per_row(4).with_cashiers(false).build()
+        MallBuilder::new()
+            .shops_per_row(4)
+            .with_cashiers(false)
+            .build()
     }
 
     #[test]
@@ -161,7 +164,9 @@ mod tests {
         let stay: Vec<RawRecord> = (0..20).map(|i| rec(5.0, 4.0, i * 7)).collect();
         assert_eq!(c.classify_records(&stay), 0);
         // Brisk walk.
-        let walk: Vec<RawRecord> = (0..20).map(|i| rec(1.4 * 7.0 * i as f64, 0.0, i * 7)).collect();
+        let walk: Vec<RawRecord> = (0..20)
+            .map(|i| rec(1.4 * 7.0 * i as f64, 0.0, i * 7))
+            .collect();
         assert_eq!(c.classify_records(&walk), 1);
     }
 

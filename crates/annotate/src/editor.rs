@@ -190,7 +190,11 @@ impl EventEditor {
     }
 
     /// Trains a random forest on the designations.
-    pub fn train_forest(&self, n_trees: usize, seed: u64) -> Result<(EventModel, Vec<String>), EditorError> {
+    pub fn train_forest(
+        &self,
+        n_trees: usize,
+        seed: u64,
+    ) -> Result<(EventModel, Vec<String>), EditorError> {
         let ts = self.build_training_set()?;
         let f = RandomForest::train(&ts.xs, &ts.ys, ts.n_classes(), n_trees, seed);
         Ok((EventModel::Forest(f), ts.label_names))
@@ -242,7 +246,8 @@ mod tests {
         let mut e = EventEditor::with_default_patterns();
         for k in 0..10 {
             e.designate_segment("stay", &stay_segment(10 + k)).unwrap();
-            e.designate_segment("pass-by", &walk_segment(5 + k)).unwrap();
+            e.designate_segment("pass-by", &walk_segment(5 + k))
+                .unwrap();
         }
         e
     }
@@ -307,7 +312,12 @@ mod tests {
             e.train_forest(7, 3).unwrap(),
             e.train_knn(3).unwrap(),
         ] {
-            assert_eq!(labels[model.predict(stay_f.values())], "stay", "{}", model.name());
+            assert_eq!(
+                labels[model.predict(stay_f.values())],
+                "stay",
+                "{}",
+                model.name()
+            );
         }
     }
 
@@ -333,7 +343,8 @@ mod tests {
     #[test]
     fn custom_third_pattern() {
         let mut e = EventEditor::with_default_patterns();
-        e.define_pattern("sprint", "running through the mall").unwrap();
+        e.define_pattern("sprint", "running through the mall")
+            .unwrap();
         // Sprint: very fast walk.
         let sprint: Vec<RawRecord> = (0..10)
             .map(|i| {
@@ -348,7 +359,8 @@ mod tests {
             .collect();
         for k in 0..8 {
             e.designate_segment("stay", &stay_segment(10 + k)).unwrap();
-            e.designate_segment("pass-by", &walk_segment(6 + k)).unwrap();
+            e.designate_segment("pass-by", &walk_segment(6 + k))
+                .unwrap();
             e.designate_segment("sprint", &sprint).unwrap();
         }
         let (model, labels) = e.train_default_model().unwrap();

@@ -133,9 +133,7 @@ impl DecisionTree {
         let node_gini = gini(&counts, indices.len());
 
         // Stopping conditions.
-        if depth >= params.max_depth
-            || indices.len() < params.min_samples_split
-            || node_gini == 0.0
+        if depth >= params.max_depth || indices.len() < params.min_samples_split || node_gini == 0.0
         {
             let id = self.nodes.len();
             self.nodes.push(Node::Leaf {
@@ -177,8 +175,7 @@ impl DecisionTree {
                 let threshold = (vals[k].0 + vals[k + 1].0) / 2.0;
                 let nl = k + 1;
                 let nr = total - nl;
-                let w = (nl as f64 * gini(&left_counts, nl)
-                    + nr as f64 * gini(&right_counts, nr))
+                let w = (nl as f64 * gini(&left_counts, nl) + nr as f64 * gini(&right_counts, nr))
                     / total as f64;
                 if best.map_or(true, |(_, _, bw)| w < bw) {
                     best = Some((f, threshold, w));
@@ -202,9 +199,8 @@ impl DecisionTree {
             return id;
         }
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| xs[i][feature] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| xs[i][feature] <= threshold);
 
         // Reserve this node's slot, then build children.
         let id = self.nodes.len();
@@ -238,7 +234,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    cur = if x[*feature] <= *threshold { *left } else { *right };
+                    cur = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -468,10 +468,13 @@ pub fn evaluate<C: Classifier + ?Sized>(
         correct as f64 / xs.len() as f64
     };
     let mut f1s = Vec::new();
-    for c in 0..n_classes {
-        let tp = confusion[c][c];
-        let fn_: usize = (0..n_classes).filter(|&j| j != c).map(|j| confusion[c][j]).sum();
-        let fp: usize = (0..n_classes).filter(|&i| i != c).map(|i| confusion[i][c]).sum();
+    for (c, row) in confusion.iter().enumerate() {
+        let tp = row[c];
+        let fn_: usize = (0..n_classes).filter(|&j| j != c).map(|j| row[j]).sum();
+        let fp: usize = (0..n_classes)
+            .filter(|&i| i != c)
+            .map(|i| confusion[i][c])
+            .sum();
         if tp + fn_ == 0 {
             continue; // class absent from reference
         }

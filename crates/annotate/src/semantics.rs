@@ -54,7 +54,12 @@ impl MobilitySemantics {
 
 impl fmt::Display for MobilitySemantics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", self.triplet(), if self.inferred { " [inferred]" } else { "" })
+        write!(
+            f,
+            "{}{}",
+            self.triplet(),
+            if self.inferred { " [inferred]" } else { "" }
+        )
     }
 }
 
@@ -83,9 +88,18 @@ mod tests {
     #[test]
     fn duration_and_overlap() {
         let s = sem();
-        assert_eq!(s.duration(), Duration::from_mins(16) + Duration::from_secs(10));
-        assert!(s.overlaps(Timestamp::from_dhms(0, 13, 10, 0), Timestamp::from_dhms(0, 14, 0, 0)));
-        assert!(!s.overlaps(Timestamp::from_dhms(0, 14, 0, 0), Timestamp::from_dhms(0, 15, 0, 0)));
+        assert_eq!(
+            s.duration(),
+            Duration::from_mins(16) + Duration::from_secs(10)
+        );
+        assert!(s.overlaps(
+            Timestamp::from_dhms(0, 13, 10, 0),
+            Timestamp::from_dhms(0, 14, 0, 0)
+        ));
+        assert!(!s.overlaps(
+            Timestamp::from_dhms(0, 14, 0, 0),
+            Timestamp::from_dhms(0, 15, 0, 0)
+        ));
         // Boundary touch counts.
         assert!(s.overlaps(s.end, s.end + Duration::from_secs(1)));
     }

@@ -80,7 +80,10 @@ mod tests {
     }
 
     fn mall() -> DigitalSpaceModel {
-        MallBuilder::new().shops_per_row(4).with_cashiers(false).build()
+        MallBuilder::new()
+            .shops_per_row(4)
+            .with_cashiers(false)
+            .build()
     }
 
     #[test]

@@ -87,11 +87,7 @@ pub fn split(seq: &PositioningSequence, config: &SplitConfig) -> Vec<Snippet> {
         let mut hi = lo;
         while hi < n && records[hi].ts - records[i].ts <= config.window {
             if records[hi].location.floor == records[i].location.floor
-                && records[hi]
-                    .location
-                    .xy
-                    .distance_sq(records[i].location.xy)
-                    <= radius_sq
+                && records[hi].location.xy.distance_sq(records[i].location.xy) <= radius_sq
             {
                 count += 1;
                 if count >= config.min_pts {
@@ -157,7 +153,13 @@ mod tests {
             DeviceId::new("d"),
             recs.into_iter()
                 .map(|(x, y, s)| {
-                    RawRecord::new(DeviceId::new("d"), x, y, 0, Timestamp::from_millis(s * 1000))
+                    RawRecord::new(
+                        DeviceId::new("d"),
+                        x,
+                        y,
+                        0,
+                        Timestamp::from_millis(s * 1000),
+                    )
                 })
                 .collect(),
         )

@@ -8,21 +8,19 @@ use trips_annotate::{split, SplitConfig};
 use trips_data::{DeviceId, Duration, PositioningSequence, RawRecord, Timestamp};
 
 fn arb_records() -> impl Strategy<Value = Vec<RawRecord>> {
-    prop::collection::vec(
-        (-50.0f64..50.0, -50.0f64..50.0, 0i16..3, 1i64..20),
-        1..80,
+    prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, 0i16..3, 1i64..20), 1..80).prop_map(
+        |steps| {
+            let d = DeviceId::new("p");
+            let mut t = 0i64;
+            steps
+                .into_iter()
+                .map(|(x, y, f, dt)| {
+                    t += dt * 1000;
+                    RawRecord::new(d.clone(), x, y, f, Timestamp::from_millis(t))
+                })
+                .collect()
+        },
     )
-    .prop_map(|steps| {
-        let d = DeviceId::new("p");
-        let mut t = 0i64;
-        steps
-            .into_iter()
-            .map(|(x, y, f, dt)| {
-                t += dt * 1000;
-                RawRecord::new(d.clone(), x, y, f, Timestamp::from_millis(t))
-            })
-            .collect()
-    })
 }
 
 fn arb_split_config() -> impl Strategy<Value = SplitConfig> {

@@ -63,8 +63,8 @@ fn bench(c: &mut Criterion) {
 
     // Knowledge priors.
     let editor = editor_from_truth(&ds, 8);
-    let translator =
-        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let translator = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard())
+        .expect("translator");
     let result = translator.translate(&ds.sequences());
     let all_sems: Vec<Vec<_>> = result
         .devices

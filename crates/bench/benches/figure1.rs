@@ -9,8 +9,8 @@ use trips_sim::ErrorModel;
 fn bench(c: &mut Criterion) {
     let ds = make_dataset(2, 4, 12, 1, 0xBEF161, ErrorModel::default());
     let editor = editor_from_truth(&ds, 12);
-    let translator =
-        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let translator = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard())
+        .expect("translator");
     let seqs = ds.sequences();
     let records: usize = seqs.iter().map(|s| s.len()).sum();
 

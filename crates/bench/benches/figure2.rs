@@ -54,9 +54,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("build_and_freeze", floors),
             &floors,
-            |b, &floors| {
-                b.iter(|| MallBuilder::new().floors(floors).shops_per_row(8).build())
-            },
+            |b, &floors| b.iter(|| MallBuilder::new().floors(floors).shops_per_row(8).build()),
         );
     }
 

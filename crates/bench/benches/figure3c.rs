@@ -15,8 +15,8 @@ fn bench(c: &mut Criterion) {
     };
     let ds = make_dataset(2, 4, 15, 1, 0xBEF3C1, em);
     let editor = editor_from_truth(&ds, 15);
-    let translator =
-        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let translator = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard())
+        .expect("translator");
     let result = translator.translate(&ds.sequences());
     let all_sems: Vec<Vec<_>> = result
         .devices

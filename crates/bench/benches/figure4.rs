@@ -11,8 +11,8 @@ use trips_viewer::{ascii, Entry, MapView, SourceKind, SvgRenderer, Timeline, Vis
 fn bench(c: &mut Criterion) {
     let ds = make_dataset(2, 4, 15, 1, 0xBEF401, ErrorModel::default());
     let editor = editor_from_truth(&ds, 15);
-    let translator =
-        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let translator = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard())
+        .expect("translator");
     let result = translator.translate(&ds.sequences());
 
     let build_entries = || {
@@ -48,7 +48,13 @@ fn bench(c: &mut Criterion) {
 
     let renderer = SvgRenderer::new(MapView::fit_to_floor(&ds.dsm, 0, 1000.0, 700.0));
     g.bench_function("svg_render", |b| {
-        b.iter(|| renderer.render(&ds.dsm, timeline.entries(), &VisibilityControl::all_visible()))
+        b.iter(|| {
+            renderer.render(
+                &ds.dsm,
+                timeline.entries(),
+                &VisibilityControl::all_visible(),
+            )
+        })
     });
 
     g.bench_function("ascii_render", |b| {

@@ -17,12 +17,9 @@ fn bench(c: &mut Criterion) {
     g.throughput(criterion::Throughput::Elements(records as u64));
 
     for threads in [1usize, 4] {
-        let translator = Translator::from_editor(
-            &ds.dsm,
-            &editor,
-            TranslatorConfig::parallel(threads),
-        )
-        .expect("translator");
+        let translator =
+            Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::parallel(threads))
+                .expect("translator");
         g.bench_with_input(
             BenchmarkId::new("translate_30_devices_threads", threads),
             &seqs,

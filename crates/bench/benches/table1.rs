@@ -9,8 +9,8 @@ use trips_sim::ErrorModel;
 fn bench(c: &mut Criterion) {
     let ds = make_dataset(2, 4, 4, 1, 0xBE7AB1, ErrorModel::default());
     let editor = editor_from_truth(&ds, 4);
-    let translator =
-        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let translator = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard())
+        .expect("translator");
     let one = vec![ds.traces[0].raw.clone()];
 
     let mut g = c.benchmark_group("table1_translation");

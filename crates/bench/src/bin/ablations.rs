@@ -103,12 +103,7 @@ fn ablation_a2() {
     // Fixed-window annotation: emulate by splitting with an effectively
     // density-free configuration (everything dense within 60 s windows).
     let (model, labels) = editor.train_default_model().expect("train");
-    let annotator = Annotator::new(
-        &ds.dsm,
-        model,
-        labels,
-        AnnotatorConfig::standard(),
-    );
+    let annotator = Annotator::new(&ds.dsm, model, labels, AnnotatorConfig::standard());
     let cleaner = Cleaner::with_defaults(&ds.dsm).expect("frozen");
     let mut window_reports = Vec::new();
     for trace in &ds.traces {
@@ -185,11 +180,7 @@ fn ablation_a4() {
         nav_steps.to_string(),
         f3(nav_ms),
     ]);
-    t.row(&[
-        "record-first".into(),
-        record_steps.to_string(),
-        "-".into(),
-    ]);
+    t.row(&["record-first".into(), record_steps.to_string(), "-".into()]);
     t.print();
     println!(
         "\nconciseness factor: {:.1}x fewer navigation steps",

@@ -18,7 +18,10 @@ use trips_viewer::{Entry, SourceKind};
 fn main() {
     let ds = make_dataset(3, 6, 60, 1, 0xF16001, ErrorModel::default());
     let total_records = ds.record_count();
-    println!("== Figure 1: architecture dataflow ({total_records} records, {} devices) ==\n", ds.traces.len());
+    println!(
+        "== Figure 1: architecture dataflow ({total_records} records, {} devices) ==\n",
+        ds.traces.len()
+    );
 
     let mut t = Table::new(&["component", "input", "output", "ms", "krecords/s"]);
 

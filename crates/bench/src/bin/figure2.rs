@@ -90,7 +90,13 @@ fn main() {
 
     // Multi-floor scaling with the parametric builder (the evaluation mall).
     println!("\nmulti-floor builder (8 shops/row):");
-    let mut t2 = Table::new(&["floors", "entities", "regions", "build+freeze ms", "json KiB"]);
+    let mut t2 = Table::new(&[
+        "floors",
+        "entities",
+        "regions",
+        "build+freeze ms",
+        "json KiB",
+    ]);
     for floors in [1u16, 2, 4, 7] {
         let (dsm, ms) = time_ms(|| MallBuilder::new().floors(floors).shops_per_row(8).build());
         let json = dsm_json::to_json(&dsm).expect("json");

@@ -18,10 +18,7 @@ struct Fidelity {
     floor_err: f64,
 }
 
-fn fidelity(
-    records: &[trips_data::RawRecord],
-    truth: &[(Timestamp, IndoorPoint)],
-) -> Fidelity {
+fn fidelity(records: &[trips_data::RawRecord], truth: &[(Timestamp, IndoorPoint)]) -> Fidelity {
     let mut err = 0.0;
     let mut floor_bad = 0usize;
     let mut n = 0usize;
@@ -37,7 +34,11 @@ fn fidelity(
     }
     Fidelity {
         rmse: if n > 0 { (err / n as f64).sqrt() } else { 0.0 },
-        floor_err: if n > 0 { floor_bad as f64 / n as f64 } else { 0.0 },
+        floor_err: if n > 0 {
+            floor_bad as f64 / n as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -93,5 +94,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\n(cleaned RMSE and floor%: lower is better; expectation: cleaned < raw at every scale)");
+    println!(
+        "\n(cleaned RMSE and floor%: lower is better; expectation: cleaned < raw at every scale)"
+    );
 }

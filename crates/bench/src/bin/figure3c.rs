@@ -39,8 +39,8 @@ fn main() {
     };
     let ds = make_dataset(2, 4, 40, 1, 0xF16C01, em);
     let editor = editor_from_truth(&ds, 40);
-    let translator =
-        Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).expect("translator");
+    let translator = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard())
+        .expect("translator");
     let result = translator.translate(&ds.sequences());
 
     // The original (pre-complement) sequences feed each strategy.

@@ -71,15 +71,18 @@ fn main() {
         let probes: Vec<Timestamp> = (0..200)
             .map(|i| span.0 + Duration((span.1 - span.0).as_millis() * i / 200))
             .collect();
-        let (_, at_total_ms) = time_ms(|| {
-            probes.iter().map(|t| timeline.at(*t).len()).sum::<usize>()
-        });
+        let (_, at_total_ms) =
+            time_ms(|| probes.iter().map(|t| timeline.at(*t).len()).sum::<usize>());
 
         // SVG render of floor 0.
         let view = MapView::fit_to_floor(&ds.dsm, 0, 1000.0, 700.0);
         let renderer = SvgRenderer::new(view);
         let (svg, svg_ms) = time_ms(|| {
-            renderer.render(&ds.dsm, timeline.entries(), &VisibilityControl::all_visible())
+            renderer.render(
+                &ds.dsm,
+                timeline.entries(),
+                &VisibilityControl::all_visible(),
+            )
         });
 
         // ASCII render.

@@ -14,7 +14,11 @@ use trips_sim::ErrorModel;
 fn main() {
     println!("== Figure 5: the five-step TRIPS workflow ==\n");
     let ds = make_dataset(7, 6, 40, 7, 0xF16005, ErrorModel::default());
-    println!("dataset: {} ({} records)\n", ds.config_summary, ds.record_count());
+    println!(
+        "dataset: {} ({} records)\n",
+        ds.config_summary,
+        ds.record_count()
+    );
 
     let mut t = Table::new(&["step", "what", "output", "ms"]);
 
@@ -27,8 +31,7 @@ fn main() {
         }
         .and(SelectionRule::MinRecords(20)),
     );
-    let (selected_count, sel_ms) =
-        time_ms(|| selector.select_refs(&ds.sequences()).len());
+    let (selected_count, sel_ms) = time_ms(|| selector.select_refs(&ds.sequences()).len());
     t.row(&[
         "(1)".into(),
         "Data Selector: operating hours ∧ ≥20 records".into(),
@@ -116,7 +119,10 @@ fn main() {
     // Assessment.
     let report = assess_result(&ds, result);
     println!("\nassessment vs ground truth:");
-    println!("  region-time accuracy  {}", f3(report.region_time_accuracy));
+    println!(
+        "  region-time accuracy  {}",
+        f3(report.region_time_accuracy)
+    );
     println!("  coverage              {}", f3(report.coverage));
     println!("  event accuracy        {}", f3(report.event_accuracy));
 }

@@ -14,7 +14,11 @@ use trips_sim::ErrorModel;
 fn main() {
     println!("== Figure 6: demo-scale translation throughput ==\n");
     let full = std::env::var("TRIPS_FIGURE6_FULL").is_ok();
-    let device_counts: &[usize] = if full { &[100, 500, 1000] } else { &[25, 50, 100] };
+    let device_counts: &[usize] = if full {
+        &[100, 500, 1000]
+    } else {
+        &[25, 50, 100]
+    };
     let days = if full { 7 } else { 2 };
 
     let mut t = Table::new(&["devices", "records", "wall ms", "krecords/s"]);
@@ -37,27 +41,27 @@ fn main() {
 
     // Parallel speedup at a fixed workload.
     println!("\nparallel backend speedup (fixed workload):");
-    let ds = make_dataset(7, 6, if full { 200 } else { 50 }, days, 0xF16007, ErrorModel::default());
+    let ds = make_dataset(
+        7,
+        6,
+        if full { 200 } else { 50 },
+        days,
+        0xF16007,
+        ErrorModel::default(),
+    );
     let editor = editor_from_truth(&ds, 15);
     let seqs = ds.sequences();
     let mut t2 = Table::new(&["threads", "wall ms", "speedup"]);
     let mut base_ms = 0.0;
     for threads in [1usize, 2, 4, 8] {
-        let translator = Translator::from_editor(
-            &ds.dsm,
-            &editor,
-            TranslatorConfig::parallel(threads),
-        )
-        .expect("translator");
+        let translator =
+            Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::parallel(threads))
+                .expect("translator");
         let (_, ms) = time_ms(|| translator.translate(&seqs));
         if threads == 1 {
             base_ms = ms;
         }
-        t2.row(&[
-            threads.to_string(),
-            f1(ms),
-            format!("{:.2}x", base_ms / ms),
-        ]);
+        t2.row(&[threads.to_string(), f1(ms), format!("{:.2}x", base_ms / ms)]);
     }
     t2.print();
     println!("\n(knowledge construction is the serial fraction; speedup is sub-linear by Amdahl)");

@@ -35,7 +35,9 @@ fn main() {
     t.row(&["records per triplet".into(), f1(d.conciseness_ratio())]);
     t.row(&[
         "raw bytes (CSV)".into(),
-        trips_data::io::to_csv_string(d.raw.records()).len().to_string(),
+        trips_data::io::to_csv_string(d.raw.records())
+            .len()
+            .to_string(),
     ]);
     t.row(&[
         "semantics bytes (text)".into(),

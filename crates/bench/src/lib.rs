@@ -183,7 +183,10 @@ mod tests {
         assert!(s.contains("0.912"));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[1].chars().filter(|&c| c == '-').count(), lines[1].len());
+        assert_eq!(
+            lines[1].chars().filter(|&c| c == '-').count(),
+            lines[1].len()
+        );
     }
 
     #[test]

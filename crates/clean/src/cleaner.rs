@@ -11,10 +11,7 @@ pub enum RepairKind {
     /// The record passed the speed constraint unchanged.
     Valid,
     /// The floor attribute was rewritten (floor value correction).
-    FloorCorrected {
-        from: FloorId,
-        to: FloorId,
-    },
+    FloorCorrected { from: FloorId, to: FloorId },
     /// The location was re-derived on the walking path between neighbours.
     Interpolated,
     /// The record could not be repaired and was removed.
@@ -59,8 +56,7 @@ impl CleaningReport {
         if self.input_records == 0 {
             return 0.0;
         }
-        (self.floor_corrected + self.interpolated + self.dropped) as f64
-            / self.input_records as f64
+        (self.floor_corrected + self.interpolated + self.dropped) as f64 / self.input_records as f64
     }
 }
 
@@ -289,7 +285,9 @@ mod tests {
     fn clean_sequence_passes_through() {
         let dsm = mall();
         let cleaner = Cleaner::with_defaults(&dsm).unwrap();
-        let s = seq((0..10).map(|i| rec(10.0 + i as f64, 11.0, 0, i * 7)).collect());
+        let s = seq((0..10)
+            .map(|i| rec(10.0 + i as f64, 11.0, 0, i * 7))
+            .collect());
         let out = cleaner.clean(&s);
         assert_eq!(out.report.valid, 10);
         assert_eq!(out.report.repair_rate(), 0.0);
@@ -302,8 +300,7 @@ mod tests {
         let dsm = mall();
         let cleaner = Cleaner::with_defaults(&dsm).unwrap();
         // Stationary in the hallway on floor 0; one record reads floor 1.
-        let mut recs: Vec<RawRecord> =
-            (0..6).map(|i| rec(20.0, 11.0, 0, i * 7)).collect();
+        let mut recs: Vec<RawRecord> = (0..6).map(|i| rec(20.0, 11.0, 0, i * 7)).collect();
         recs[3] = rec(20.0, 11.0, 1, 21);
         let out = cleaner.clean(&seq(recs));
         assert_eq!(out.report.floor_corrected, 1);
@@ -312,11 +309,7 @@ mod tests {
             out.repairs[3],
             RepairKind::FloorCorrected { from: 1, to: 0 }
         ));
-        assert!(out
-            .sequence
-            .records()
-            .iter()
-            .all(|r| r.location.floor == 0));
+        assert!(out.sequence.records().iter().all(|r| r.location.floor == 0));
     }
 
     #[test]
@@ -324,8 +317,9 @@ mod tests {
         let dsm = mall();
         let cleaner = Cleaner::with_defaults(&dsm).unwrap();
         // Walking along the hallway; one wild outlier mid-way.
-        let mut recs: Vec<RawRecord> =
-            (0..7).map(|i| rec(10.0 + 2.0 * i as f64, 11.0, 0, i * 7)).collect();
+        let mut recs: Vec<RawRecord> = (0..7)
+            .map(|i| rec(10.0 + 2.0 * i as f64, 11.0, 0, i * 7))
+            .collect();
         recs[3] = rec(39.0, 20.5, 0, 21); // far off the hallway line
         let out = cleaner.clean(&seq(recs));
         assert_eq!(out.report.interpolated, 1, "report: {:?}", out.report);
@@ -339,8 +333,9 @@ mod tests {
     fn tail_outlier_dropped() {
         let dsm = mall();
         let cleaner = Cleaner::with_defaults(&dsm).unwrap();
-        let mut recs: Vec<RawRecord> =
-            (0..5).map(|i| rec(10.0 + i as f64, 11.0, 0, i * 7)).collect();
+        let mut recs: Vec<RawRecord> = (0..5)
+            .map(|i| rec(10.0 + i as f64, 11.0, 0, i * 7))
+            .collect();
         recs.push(rec(500.0, 500.0, 0, 35)); // unreachable tail
         let out = cleaner.clean(&seq(recs));
         assert_eq!(out.report.dropped, 1);
@@ -360,8 +355,7 @@ mod tests {
             },
         )
         .unwrap();
-        let mut recs: Vec<RawRecord> =
-            (0..6).map(|i| rec(20.0, 11.0, 0, i * 7)).collect();
+        let mut recs: Vec<RawRecord> = (0..6).map(|i| rec(20.0, 11.0, 0, i * 7)).collect();
         recs[3] = rec(20.0, 11.0, 2, 21);
         let out = cleaner.clean(&seq(recs));
         assert_eq!(out.report.floor_corrected, 0);
@@ -372,8 +366,9 @@ mod tests {
     fn cleaning_is_idempotent() {
         let dsm = mall();
         let cleaner = Cleaner::with_defaults(&dsm).unwrap();
-        let mut recs: Vec<RawRecord> =
-            (0..8).map(|i| rec(10.0 + 2.0 * i as f64, 11.0, 0, i * 7)).collect();
+        let mut recs: Vec<RawRecord> = (0..8)
+            .map(|i| rec(10.0 + 2.0 * i as f64, 11.0, 0, i * 7))
+            .collect();
         recs[2] = rec(14.0, 11.0, 1, 14); // floor error
         recs[5] = rec(55.0, 18.0, 0, 35); // outlier
         let once = cleaner.clean(&seq(recs));
@@ -412,8 +407,9 @@ mod tests {
     fn audit_trail_alignment() {
         let dsm = mall();
         let cleaner = Cleaner::with_defaults(&dsm).unwrap();
-        let mut recs: Vec<RawRecord> =
-            (0..5).map(|i| rec(10.0 + i as f64, 11.0, 0, i * 7)).collect();
+        let mut recs: Vec<RawRecord> = (0..5)
+            .map(|i| rec(10.0 + i as f64, 11.0, 0, i * 7))
+            .collect();
         recs[2] = rec(70.0, 11.0, 0, 14);
         let s = seq(recs);
         let out = cleaner.clean(&s);
@@ -433,8 +429,9 @@ mod tests {
     fn report_counts_sum_to_input() {
         let dsm = mall();
         let cleaner = Cleaner::with_defaults(&dsm).unwrap();
-        let mut recs: Vec<RawRecord> =
-            (0..20).map(|i| rec(10.0 + i as f64, 11.0, 0, i * 7)).collect();
+        let mut recs: Vec<RawRecord> = (0..20)
+            .map(|i| rec(10.0 + i as f64, 11.0, 0, i * 7))
+            .collect();
         recs[4] = rec(70.0, 11.0, 0, 28);
         recs[10] = rec(20.0, 11.0, 2, 70);
         recs[19] = rec(500.0, 500.0, 0, 133);

@@ -218,8 +218,9 @@ mod tests {
     fn scan_clean_sequence_no_violations() {
         let dsm = mall();
         let c = SpeedChecker::new(&dsm, 3.0).unwrap();
-        let records: Vec<RawRecord> =
-            (0..20).map(|i| rec(10.0 + i as f64, 11.0, 0, i * 7)).collect();
+        let records: Vec<RawRecord> = (0..20)
+            .map(|i| rec(10.0 + i as f64, 11.0, 0, i * 7))
+            .collect();
         assert!(c.scan(&records).is_empty());
         assert!(c.scan(&[]).is_empty());
         assert!(c.scan(&records[..1]).is_empty());

@@ -115,8 +115,12 @@ impl<'a> Complementor<'a> {
             return vec![self.inferred_sem(prev, prev.region, prev.end, next.start)];
         }
 
-        let Some(path) = map_path(&self.knowledge, prev.region, next.region, self.config.max_hops)
-        else {
+        let Some(path) = map_path(
+            &self.knowledge,
+            prev.region,
+            next.region,
+            self.config.max_hops,
+        ) else {
             return Vec::new(); // direct transition is the best explanation
         };
         if path.is_empty() {
@@ -186,7 +190,10 @@ mod tests {
     use trips_dsm::RegionId;
 
     fn mall() -> DigitalSpaceModel {
-        MallBuilder::new().shops_per_row(3).with_cashiers(false).build()
+        MallBuilder::new()
+            .shops_per_row(3)
+            .with_cashiers(false)
+            .build()
     }
 
     fn sem(region: RegionId, name: &str, start_s: i64, end_s: i64) -> MobilitySemantics {

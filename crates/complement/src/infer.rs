@@ -41,8 +41,8 @@ pub fn map_path(
     for _k in 1..=max_hops {
         let mut layer = vec![neg_inf; n];
         let mut back_k = vec![None; n];
-        for u in 0..n {
-            if prev_layer[u] == neg_inf {
+        for (u, &prev) in prev_layer.iter().enumerate().take(n) {
+            if prev == neg_inf {
                 continue;
             }
             let row = knowledge.row(u);
@@ -50,7 +50,7 @@ pub fn map_path(
                 if p <= 0.0 {
                     continue;
                 }
-                let cand = prev_layer[u] + p.ln();
+                let cand = prev + p.ln();
                 if cand > layer[v] {
                     layer[v] = cand;
                     back_k[v] = Some(u);
@@ -85,7 +85,7 @@ pub fn map_path(
     let mut path_idx = vec![ib];
     let mut cur = ib;
     for k in (0..=k_idx).rev() {
-        let Some(p) = back[k][cur] else { return None };
+        let p = back[k][cur]?;
         path_idx.push(p);
         cur = p;
     }
@@ -111,7 +111,10 @@ mod tests {
     use trips_dsm::DigitalSpaceModel;
 
     fn mall() -> DigitalSpaceModel {
-        MallBuilder::new().shops_per_row(3).with_cashiers(false).build()
+        MallBuilder::new()
+            .shops_per_row(3)
+            .with_cashiers(false)
+            .build()
     }
 
     fn sem(region: RegionId, start_s: i64, end_s: i64) -> MobilitySemantics {

@@ -129,8 +129,8 @@ impl MobilityKnowledge {
     fn finish(&mut self, dsm: &DigitalSpaceModel, counts: Vec<Vec<f64>>, smoothing: f64) {
         let topo = dsm.topology().expect("frozen DSM");
         let n = self.regions.len();
-        for i in 0..n {
-            let mut row = counts[i].clone();
+        for (i, count_row) in counts.iter().enumerate().take(n) {
+            let mut row = count_row.clone();
             if smoothing > 0.0 {
                 for &b in topo.neighbours(self.regions[i]) {
                     if let Some(&j) = self.index.get(&b) {
@@ -200,7 +200,10 @@ mod tests {
     }
 
     fn mall() -> DigitalSpaceModel {
-        MallBuilder::new().shops_per_row(3).with_cashiers(false).build()
+        MallBuilder::new()
+            .shops_per_row(3)
+            .with_cashiers(false)
+            .build()
     }
 
     #[test]
@@ -251,7 +254,10 @@ mod tests {
         let shop = dsm.regions().find(|r| r.tag.category == "shop").unwrap().id;
         // No data at all, smoothing only.
         let k = MobilityKnowledge::build(&dsm, &[], 0.5);
-        assert!(k.transition_prob(hall, shop) > 0.0, "adjacent pair smoothed");
+        assert!(
+            k.transition_prob(hall, shop) > 0.0,
+            "adjacent pair smoothed"
+        );
     }
 
     #[test]

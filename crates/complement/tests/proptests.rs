@@ -15,10 +15,7 @@ fn mall() -> DigitalSpaceModel {
 
 /// Arbitrary non-overlapping semantics sequences over the mall's regions.
 fn arb_semantics(dsm: &DigitalSpaceModel) -> impl Strategy<Value = Vec<MobilitySemantics>> {
-    let regions: Vec<(RegionId, String)> = dsm
-        .regions()
-        .map(|r| (r.id, r.name.clone()))
-        .collect();
+    let regions: Vec<(RegionId, String)> = dsm.regions().map(|r| (r.id, r.name.clone())).collect();
     prop::collection::vec((0usize..regions.len(), 10i64..600, 0i64..900), 0..15).prop_map(
         move |items| {
             let mut out = Vec::new();

@@ -73,7 +73,11 @@ pub fn popular_regions(result: &TranslationResult) -> Vec<RegionPopularity> {
             p
         })
         .collect();
-    out.sort_by(|a, b| b.stays.cmp(&a.stays).then(b.total_dwell.cmp(&a.total_dwell)));
+    out.sort_by(|a, b| {
+        b.stays
+            .cmp(&a.stays)
+            .then(b.total_dwell.cmp(&a.total_dwell))
+    });
     out
 }
 
@@ -112,7 +116,7 @@ pub fn top_flows(result: &TranslationResult, limit: usize) -> Vec<Flow> {
             count,
         })
         .collect();
-    flows.sort_by(|a, b| b.count.cmp(&a.count));
+    flows.sort_by_key(|f| std::cmp::Reverse(f.count));
     flows.truncate(limit);
     flows
 }
@@ -155,9 +159,7 @@ pub fn device_summaries(result: &TranslationResult) -> Vec<DeviceSummary> {
                 device: d.raw.device().anonymized(),
                 regions_visited: regions.len(),
                 stays: d.semantics.iter().filter(|s| s.event == "stay").count(),
-                accounted: Duration(
-                    d.semantics.iter().map(|s| s.duration().as_millis()).sum(),
-                ),
+                accounted: Duration(d.semantics.iter().map(|s| s.duration().as_millis()).sum()),
             }
         })
         .collect()
@@ -171,7 +173,14 @@ mod tests {
     use trips_clean::{CleanedSequence, CleaningReport};
     use trips_data::{DeviceId, PositioningSequence, Timestamp};
 
-    fn sem(device: &str, region: u32, name: &str, event: &str, start_s: i64, end_s: i64) -> MobilitySemantics {
+    fn sem(
+        device: &str,
+        region: u32,
+        name: &str,
+        event: &str,
+        start_s: i64,
+        end_s: i64,
+    ) -> MobilitySemantics {
         MobilitySemantics {
             device: DeviceId::new(device),
             event: event.into(),

@@ -106,7 +106,9 @@ impl Store {
         let mut names = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let name = entry?.file_name().to_string_lossy().to_string();
-            if let Some(stripped) = name.strip_prefix("dsm-").and_then(|n| n.strip_suffix(".json"))
+            if let Some(stripped) = name
+                .strip_prefix("dsm-")
+                .and_then(|n| n.strip_suffix(".json"))
             {
                 names.push(stripped.to_string());
             }
@@ -159,7 +161,8 @@ mod tests {
     use trips_dsm::builder::MallBuilder;
 
     fn temp_store(tag: &str) -> Store {
-        let dir = std::env::temp_dir().join(format!("trips-store-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("trips-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         Store::open(dir).unwrap()
     }
@@ -167,11 +170,25 @@ mod tests {
     fn editor_with_data() -> EventEditor {
         let mut e = EventEditor::with_default_patterns();
         let stay: Vec<RawRecord> = (0..10)
-            .map(|i| RawRecord::new(DeviceId::new("d"), 5.0, 5.0, 0, Timestamp::from_millis(i * 7000)))
+            .map(|i| {
+                RawRecord::new(
+                    DeviceId::new("d"),
+                    5.0,
+                    5.0,
+                    0,
+                    Timestamp::from_millis(i * 7000),
+                )
+            })
             .collect();
         let walk: Vec<RawRecord> = (0..10)
             .map(|i| {
-                RawRecord::new(DeviceId::new("d"), 2.0 * i as f64, 0.0, 0, Timestamp::from_millis(i * 1000))
+                RawRecord::new(
+                    DeviceId::new("d"),
+                    2.0 * i as f64,
+                    0.0,
+                    0,
+                    Timestamp::from_millis(i * 1000),
+                )
             })
             .collect();
         e.designate_segment("stay", &stay).unwrap();

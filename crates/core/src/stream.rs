@@ -70,9 +70,8 @@ impl<'a> StreamingTranslator<'a> {
         };
         let cleaner = Cleaner::new(dsm, config.translator.cleaner.clone())?;
         let annotator = Annotator::new(dsm, model, labels, config.translator.annotator.clone());
-        let complementor = knowledge.map(|k| {
-            Complementor::new(dsm, k, config.translator.complementor.clone())
-        });
+        let complementor =
+            knowledge.map(|k| Complementor::new(dsm, k, config.translator.complementor.clone()));
         Ok(StreamingTranslator {
             dsm,
             cleaner,
@@ -111,7 +110,10 @@ impl<'a> StreamingTranslator<'a> {
             let batch = std::mem::take(buffer);
             out = self.translate_batch(&device, batch);
         }
-        self.buffers.get_mut(&device).expect("entry exists").push(record);
+        self.buffers
+            .get_mut(&device)
+            .expect("entry exists")
+            .push(record);
         self.emitted += out.len();
         out
     }
@@ -129,11 +131,7 @@ impl<'a> StreamingTranslator<'a> {
         out
     }
 
-    fn translate_batch(
-        &self,
-        device: &DeviceId,
-        batch: Vec<RawRecord>,
-    ) -> Vec<MobilitySemantics> {
+    fn translate_batch(&self, device: &DeviceId, batch: Vec<RawRecord>) -> Vec<MobilitySemantics> {
         if batch.is_empty() {
             return Vec::new();
         }
@@ -213,7 +211,8 @@ mod tests {
         for d in &batch.devices {
             let got = &streamed[d.raw.device()];
             assert_eq!(
-                got, &d.original_semantics,
+                got,
+                &d.original_semantics,
                 "streaming must equal batch annotation for {}",
                 d.raw.device()
             );
@@ -235,12 +234,16 @@ mod tests {
         .unwrap();
 
         let d = DeviceId::new("gap-device");
-        // Session 1: a two-minute dwell.
+        // Session 1: a two-minute in-shop dwell. Real "stay" traces wander
+        // (browsing + positioning noise), so hop around inside a ~4 m patch
+        // rather than reporting a frozen point no sensor would emit.
         for i in 0..20i64 {
+            let dx = ((i * 7919) % 100) as f64 / 25.0 - 2.0;
+            let dy = ((i * 104_729) % 100) as f64 / 25.0 - 2.0;
             let out = stream.push(RawRecord::new(
                 d.clone(),
-                5.0,
-                4.0,
+                5.0 + dx,
+                4.0 + dy,
                 0,
                 trips_data::Timestamp::from_millis(i * 7000),
             ));
@@ -322,10 +325,7 @@ mod tests {
             stream.push(r);
         }
         let out = stream.finish();
-        let any_inferred = out
-            .values()
-            .flatten()
-            .any(|s| s.inferred);
+        let any_inferred = out.values().flatten().any(|s| s.inferred);
         // Dropout gaps exist in the default error model; knowledge-backed
         // streaming may fill some. Either way translation must succeed.
         assert!(out.values().map(Vec::len).sum::<usize>() > 0);

@@ -161,13 +161,10 @@ impl<'a> Translator<'a> {
             };
 
         // Knowledge construction over all original sequences.
-        let all_sems: Vec<Vec<MobilitySemantics>> = per_device
-            .iter()
-            .map(|(_, _, sems)| sems.clone())
-            .collect();
+        let all_sems: Vec<Vec<MobilitySemantics>> =
+            per_device.iter().map(|(_, _, sems)| sems.clone()).collect();
         let knowledge = MobilityKnowledge::build(self.dsm, &all_sems, 0.5);
-        let complementor =
-            Complementor::new(self.dsm, knowledge, self.config.complementor.clone());
+        let complementor = Complementor::new(self.dsm, knowledge, self.config.complementor.clone());
 
         let complemented: Vec<Vec<MobilitySemantics>> =
             if self.config.threads > 1 && per_device.len() > 1 {
@@ -178,9 +175,9 @@ impl<'a> Translator<'a> {
                     (0..originals.len()).map(|_| None).collect();
                 let next = std::sync::atomic::AtomicUsize::new(0);
                 let slot_refs = parking_lot::Mutex::new(&mut slots);
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     for _ in 0..n_threads {
-                        scope.spawn(|_| loop {
+                        scope.spawn(|| loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if i >= originals.len() {
                                 break;
@@ -189,8 +186,7 @@ impl<'a> Translator<'a> {
                             slot_refs.lock()[i] = Some(out);
                         });
                     }
-                })
-                .expect("worker panicked");
+                });
                 slots.into_iter().map(|s| s.expect("filled")).collect()
             } else {
                 per_device
@@ -228,7 +224,7 @@ impl<'a> Translator<'a> {
         (seq.clone(), cleaned, sems)
     }
 
-    /// Fan-out over crossbeam scoped threads; results are re-assembled in
+    /// Fan-out over std scoped threads; results are re-assembled in
     /// input order so parallel output is bit-identical to serial.
     fn clean_annotate_parallel(
         &self,
@@ -240,9 +236,9 @@ impl<'a> Translator<'a> {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slot_refs = parking_lot::Mutex::new(&mut slots);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..n_threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= sequences.len() {
                         break;
@@ -251,8 +247,7 @@ impl<'a> Translator<'a> {
                     slot_refs.lock()[i] = Some(out);
                 });
             }
-        })
-        .expect("worker panicked");
+        });
 
         slots
             .into_iter()
@@ -316,7 +311,10 @@ mod tests {
         let result = translator.translate(&ds.sequences());
         assert_eq!(result.devices.len(), 4);
         assert!(result.total_semantics() > 0);
-        assert!(result.total_records() > result.total_semantics(), "condensed");
+        assert!(
+            result.total_records() > result.total_semantics(),
+            "condensed"
+        );
         for d in &result.devices {
             // Semantics chronological and well-formed.
             for w in d.semantics.windows(2) {
@@ -362,10 +360,7 @@ mod tests {
                 d.original_semantics.len(),
                 "complementing must not drop observed semantics"
             );
-            assert_eq!(
-                d.semantics.len() - observed.len(),
-                d.inferred_count()
-            );
+            assert_eq!(d.semantics.len() - observed.len(), d.inferred_count());
         }
     }
 

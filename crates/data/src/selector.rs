@@ -45,14 +45,18 @@ pub enum SelectionRule {
         floor: Option<FloorId>,
         quantifier: Quantifier,
     },
-    /// Records fall inside `[from, to]`.
+    /// Records fall inside the half-open range `[from, to)` (inclusive
+    /// start, exclusive end — so back-to-back ranges partition a day with
+    /// no double-counted record).
     TemporalRange {
         from: Timestamp,
         to: Timestamp,
         quantifier: Quantifier,
     },
-    /// Records fall inside a time-of-day window on every day (operating
-    /// hours, e.g. 10:00–22:00 in the walkthrough).
+    /// Records fall inside a half-open time-of-day window `[from, to)` on
+    /// every day (operating hours, e.g. 10:00–22:00 in the walkthrough).
+    /// Exclusive end, like [`SelectionRule::TemporalRange`], so adjacent
+    /// windows partition the day.
     TimeOfDayWindow {
         from: Duration,
         to: Duration,
@@ -87,8 +91,7 @@ impl SelectionRule {
                 quantifier,
             } => {
                 let pred = |r: &crate::record::RawRecord| {
-                    bbox.contains(r.location.xy)
-                        && floor.map_or(true, |f| r.location.floor == f)
+                    bbox.contains(r.location.xy) && floor.map_or(true, |f| r.location.floor == f)
                 };
                 quantify(seq, *quantifier, pred)
             }
@@ -96,23 +99,21 @@ impl SelectionRule {
                 from,
                 to,
                 quantifier,
-            } => quantify(seq, *quantifier, |r| r.ts >= *from && r.ts <= *to),
+            } => quantify(seq, *quantifier, |r| r.ts >= *from && r.ts < *to),
             SelectionRule::TimeOfDayWindow {
                 from,
                 to,
                 quantifier,
             } => quantify(seq, *quantifier, |r| {
                 let tod = r.ts.time_of_day();
-                tod >= *from && tod <= *to
+                tod >= *from && tod < *to
             }),
             SelectionRule::MinDuration(d) => seq.duration() >= *d,
             SelectionRule::FrequencyPerMin { min, max } => seq
                 .stats()
                 .is_some_and(|s| s.frequency_per_min >= *min && s.frequency_per_min <= *max),
             SelectionRule::MinRecords(n) => seq.len() >= *n,
-            SelectionRule::FloorVisited(f) => {
-                seq.records().iter().any(|r| r.location.floor == *f)
-            }
+            SelectionRule::FloorVisited(f) => seq.records().iter().any(|r| r.location.floor == *f),
             SelectionRule::PeriodicPattern {
                 period,
                 min_repeats,
@@ -186,7 +187,8 @@ fn periodic_match(
         return false;
     }
     // Mean offset within each period bucket.
-    let mut buckets: std::collections::BTreeMap<i64, (i64, i64)> = std::collections::BTreeMap::new();
+    let mut buckets: std::collections::BTreeMap<i64, (i64, i64)> =
+        std::collections::BTreeMap::new();
     for r in seq.records() {
         let idx = r.ts.period_index(period);
         let off = r.ts.offset_in_period(period).as_millis();
@@ -294,10 +296,7 @@ impl Selector {
     }
 
     /// Filters by reference.
-    pub fn select_refs<'a>(
-        &self,
-        seqs: &'a [PositioningSequence],
-    ) -> Vec<&'a PositioningSequence> {
+    pub fn select_refs<'a>(&self, seqs: &'a [PositioningSequence]) -> Vec<&'a PositioningSequence> {
         seqs.iter().filter(|s| self.matches(s)).collect()
     }
 }
@@ -313,7 +312,13 @@ mod tests {
             DeviceId::new(device),
             recs.iter()
                 .map(|&(x, y, f, s)| {
-                    RawRecord::new(DeviceId::new(device), x, y, f, Timestamp::from_millis(s * 1000))
+                    RawRecord::new(
+                        DeviceId::new(device),
+                        x,
+                        y,
+                        f,
+                        Timestamp::from_millis(s * 1000),
+                    )
                 })
                 .collect(),
         )
@@ -378,7 +383,10 @@ mod tests {
 
     #[test]
     fn temporal_rules() {
-        let s = seq("d", &[(0.0, 0.0, 0, 0), (0.0, 0.0, 0, 3600), (0.0, 0.0, 0, 7200)]);
+        let s = seq(
+            "d",
+            &[(0.0, 0.0, 0, 0), (0.0, 0.0, 0, 3600), (0.0, 0.0, 0, 7200)],
+        );
         assert!(SelectionRule::MinDuration(Duration::from_hours(2)).matches(&s));
         assert!(!SelectionRule::MinDuration(Duration::from_hours(3)).matches(&s));
         let range = SelectionRule::TemporalRange {
@@ -395,8 +403,20 @@ mod tests {
         let s = PositioningSequence::from_records(
             DeviceId::new("d"),
             vec![
-                RawRecord::new(DeviceId::new("d"), 0.0, 0.0, 0, Timestamp::from_dhms(2, 9, 0, 0)),
-                RawRecord::new(DeviceId::new("d"), 0.0, 0.0, 0, Timestamp::from_dhms(2, 11, 0, 0)),
+                RawRecord::new(
+                    DeviceId::new("d"),
+                    0.0,
+                    0.0,
+                    0,
+                    Timestamp::from_dhms(2, 9, 0, 0),
+                ),
+                RawRecord::new(
+                    DeviceId::new("d"),
+                    0.0,
+                    0.0,
+                    0,
+                    Timestamp::from_dhms(2, 11, 0, 0),
+                ),
             ],
         );
         let operating = SelectionRule::TimeOfDayWindow {
@@ -416,7 +436,10 @@ mod tests {
     #[test]
     fn frequency_rule() {
         // 3 records over 2 minutes → 1.5/min.
-        let s = seq("d", &[(0.0, 0.0, 0, 0), (0.0, 0.0, 0, 60), (0.0, 0.0, 0, 120)]);
+        let s = seq(
+            "d",
+            &[(0.0, 0.0, 0, 0), (0.0, 0.0, 0, 60), (0.0, 0.0, 0, 120)],
+        );
         assert!(SelectionRule::FrequencyPerMin { min: 1.0, max: 2.0 }.matches(&s));
         assert!(!SelectionRule::FrequencyPerMin { min: 2.0, max: 9.0 }.matches(&s));
         assert!(!SelectionRule::FrequencyPerMin { min: 0.0, max: 1.0 }.matches(&s));
@@ -464,8 +487,7 @@ mod tests {
         let expr = SelectionRule::DevicePattern("3a.*".into())
             .and(SelectionRule::MinDuration(Duration::from_hours(1)));
         assert!(expr.matches(&s));
-        let expr2 = SelectionRule::DevicePattern("ff.*".into())
-            .or(SelectionRule::MinRecords(1));
+        let expr2 = SelectionRule::DevicePattern("ff.*".into()).or(SelectionRule::MinRecords(1));
         assert!(expr2.matches(&s));
         let expr3 = SelectionRule::MinRecords(10).negate();
         assert!(expr3.matches(&s));
@@ -523,12 +545,18 @@ mod tests {
             quantifier: Quantifier::All
         }
         .matches(&empty));
-        assert!(!SelectionRule::FrequencyPerMin { min: 0.0, max: 100.0 }.matches(&empty));
+        assert!(!SelectionRule::FrequencyPerMin {
+            min: 0.0,
+            max: 100.0
+        }
+        .matches(&empty));
     }
 
     #[test]
     fn double_negation_collapses() {
-        let e = RuleExpr::from(SelectionRule::MinRecords(1)).negate().negate();
+        let e = RuleExpr::from(SelectionRule::MinRecords(1))
+            .negate()
+            .negate();
         assert!(matches!(e, RuleExpr::Rule(_)));
     }
 }

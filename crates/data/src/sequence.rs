@@ -65,9 +65,7 @@ impl PositioningSequence {
         }
         match self.records.last() {
             Some(last) if last.ts > record.ts => {
-                let idx = self
-                    .records
-                    .partition_point(|r| r.ts <= record.ts);
+                let idx = self.records.partition_point(|r| r.ts <= record.ts);
                 self.records.insert(idx, record);
             }
             _ => self.records.push(record),

@@ -162,7 +162,10 @@ mod tests {
     fn construction_and_accessors() {
         let t = Timestamp::from_dhms(2, 13, 2, 5);
         assert_eq!(t.day(), 2);
-        assert_eq!(t.time_of_day(), Duration::from_hours(13) + Duration::from_mins(2) + Duration::from_secs(5));
+        assert_eq!(
+            t.time_of_day(),
+            Duration::from_hours(13) + Duration::from_mins(2) + Duration::from_secs(5)
+        );
     }
 
     #[test]

@@ -63,6 +63,8 @@ fn arb_rule() -> impl Strategy<Value = SelectionRule> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     #[test]
     fn sequences_always_time_sorted(seq in arb_sequence()) {
         for w in seq.records().windows(2) {

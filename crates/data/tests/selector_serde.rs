@@ -1,0 +1,191 @@
+//! Integration coverage for the Data Selector: `SelectionRule`/`Selector`
+//! JSON round-trips (rules are exactly what a UI or config file persists)
+//! and boundary-timestamp filtering semantics — `TemporalRange` is
+//! inclusive at `from`, exclusive at `to`.
+
+use trips_data::{
+    DeviceId, Duration, PositioningSequence, Quantifier, RawRecord, RuleExpr, SelectionRule,
+    Selector, Timestamp,
+};
+use trips_geom::{BoundingBox, Point};
+
+fn seq_at(device: &str, times_ms: &[i64]) -> PositioningSequence {
+    PositioningSequence::from_records(
+        DeviceId::new(device),
+        times_ms
+            .iter()
+            .map(|&t| {
+                RawRecord::new(
+                    DeviceId::new(device),
+                    1.0,
+                    1.0,
+                    0,
+                    Timestamp::from_millis(t),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn roundtrip<T: serde::Serialize + serde::Deserialize>(value: &T) -> T {
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn every_rule_variant_roundtrips_through_json() {
+    let rules = vec![
+        SelectionRule::DevicePattern("3a.*.14".into()),
+        SelectionRule::SpatialRange {
+            bbox: BoundingBox::new(Point::new(-5.0, 0.0), Point::new(42.5, 17.25)),
+            floor: Some(3),
+            quantifier: Quantifier::Any,
+        },
+        SelectionRule::SpatialRange {
+            bbox: BoundingBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            floor: None,
+            quantifier: Quantifier::All,
+        },
+        SelectionRule::TemporalRange {
+            from: Timestamp::from_millis(1_000),
+            to: Timestamp::from_millis(86_400_000),
+            quantifier: Quantifier::All,
+        },
+        SelectionRule::TimeOfDayWindow {
+            from: Duration::from_hours(10),
+            to: Duration::from_hours(22),
+            quantifier: Quantifier::Any,
+        },
+        SelectionRule::MinDuration(Duration::from_mins(5)),
+        SelectionRule::FrequencyPerMin {
+            min: 0.5,
+            max: 12.0,
+        },
+        SelectionRule::MinRecords(10),
+        SelectionRule::FloorVisited(-1),
+        SelectionRule::PeriodicPattern {
+            period: Duration::from_days(1),
+            min_repeats: 3,
+            tolerance: Duration::from_mins(30),
+        },
+    ];
+    for rule in &rules {
+        assert_eq!(&roundtrip(rule), rule, "variant must survive JSON");
+    }
+}
+
+#[test]
+fn selector_expression_tree_roundtrips_and_keeps_semantics() {
+    let selector = Selector::new(
+        SelectionRule::DevicePattern("emp-*".into())
+            .and(SelectionRule::MinRecords(2))
+            .or(SelectionRule::FloorVisited(2).negate()),
+    );
+    let back = roundtrip(&selector);
+    assert_eq!(back, selector);
+
+    // Semantics, not just structure: both accept/reject the same sequences.
+    let matching = seq_at("emp-7", &[0, 1_000]);
+    let rejected = PositioningSequence::from_records(
+        DeviceId::new("guest"),
+        vec![RawRecord::new(
+            DeviceId::new("guest"),
+            0.0,
+            0.0,
+            2,
+            Timestamp::from_millis(0),
+        )],
+    );
+    for s in [&matching, &rejected] {
+        assert_eq!(back.matches(s), selector.matches(s));
+    }
+    assert!(selector.matches(&matching));
+    assert!(!selector.matches(&rejected));
+}
+
+#[test]
+fn nested_not_roundtrips_as_boxed_expr() {
+    // Not(Not(x)) collapses via negate(), so build the raw expression to
+    // cover Box<RuleExpr> serialization explicitly.
+    let expr = RuleExpr::Not(Box::new(RuleExpr::Not(Box::new(RuleExpr::Rule(
+        SelectionRule::MinRecords(1),
+    )))));
+    assert_eq!(roundtrip(&expr), expr);
+}
+
+#[test]
+fn temporal_range_is_inclusive_start_exclusive_end() {
+    let from = Timestamp::from_millis(10_000);
+    let to = Timestamp::from_millis(20_000);
+    let rule = |q| SelectionRule::TemporalRange {
+        from,
+        to,
+        quantifier: q,
+    };
+
+    // A record exactly at `from` is inside.
+    assert!(rule(Quantifier::All).matches(&seq_at("d", &[10_000])));
+    // A record exactly at `to` is outside.
+    assert!(!rule(Quantifier::Any).matches(&seq_at("d", &[20_000])));
+    // One millisecond before `to` is inside.
+    assert!(rule(Quantifier::All).matches(&seq_at("d", &[19_999])));
+    // One millisecond before `from` is outside.
+    assert!(!rule(Quantifier::Any).matches(&seq_at("d", &[9_999])));
+
+    // All vs Any on a straddling sequence: [from] in, [to] out.
+    let straddling = seq_at("d", &[10_000, 20_000]);
+    assert!(rule(Quantifier::Any).matches(&straddling));
+    assert!(!rule(Quantifier::All).matches(&straddling));
+
+    // Back-to-back ranges partition: every record lands in exactly one.
+    let mid = Timestamp::from_millis(15_000);
+    let first_half = SelectionRule::TemporalRange {
+        from,
+        to: mid,
+        quantifier: Quantifier::Any,
+    };
+    let second_half = SelectionRule::TemporalRange {
+        from: mid,
+        to,
+        quantifier: Quantifier::Any,
+    };
+    let boundary = seq_at("d", &[15_000]);
+    assert!(!first_half.matches(&boundary));
+    assert!(second_half.matches(&boundary));
+}
+
+#[test]
+fn selector_select_preserves_order_and_filters() {
+    let selector = Selector::new(SelectionRule::TemporalRange {
+        from: Timestamp::from_millis(0),
+        to: Timestamp::from_millis(5_000),
+        quantifier: Quantifier::All,
+    });
+    let seqs = vec![
+        seq_at("a", &[0, 4_999]),
+        seq_at("b", &[0, 5_000]),
+        seq_at("c", &[1_000]),
+    ];
+    let kept = selector.select(seqs);
+    let names: Vec<&str> = kept.iter().map(|s| s.device().as_str()).collect();
+    assert_eq!(
+        names,
+        ["a", "c"],
+        "b's 5000 ms record is at the exclusive end"
+    );
+}
+
+#[test]
+fn time_of_day_window_is_inclusive_start_exclusive_end() {
+    let day = |d: i64, ms: i64| d * 86_400_000 + ms;
+    let rule = |from_h: i64, to_h: i64| SelectionRule::TimeOfDayWindow {
+        from: Duration::from_hours(from_h),
+        to: Duration::from_hours(to_h),
+        quantifier: Quantifier::All,
+    };
+    // Exactly 10:00 on day 3 is inside [10h, 14h); exactly 14:00 is not.
+    assert!(rule(10, 14).matches(&seq_at("d", &[day(3, 10 * 3_600_000)])));
+    assert!(!rule(10, 14).matches(&seq_at("d", &[day(3, 14 * 3_600_000)])));
+    // Adjacent windows partition the day: 14:00 lands only in the later one.
+    assert!(rule(14, 22).matches(&seq_at("d", &[day(3, 14 * 3_600_000)])));
+}

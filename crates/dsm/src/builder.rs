@@ -27,15 +27,42 @@ use trips_geom::{FloorId, Point, Polygon};
 /// name is unique. The first few echo the paper's walkthrough (Nike, Adidas,
 /// Cashier, Center Hall).
 const BRANDS: &[&str] = &[
-    "Nike", "Adidas", "Uniqlo", "Zara", "Starbucks", "Sephora", "Muji", "Lego",
-    "Apple", "Swatch", "Levis", "Puma", "Gap", "Fila", "Casio", "Bose",
+    "Nike",
+    "Adidas",
+    "Uniqlo",
+    "Zara",
+    "Starbucks",
+    "Sephora",
+    "Muji",
+    "Lego",
+    "Apple",
+    "Swatch",
+    "Levis",
+    "Puma",
+    "Gap",
+    "Fila",
+    "Casio",
+    "Bose",
 ];
 
 /// Shop categories cycled across the brand pool.
 const CATEGORIES: &[&str] = &[
-    "sportswear", "sportswear", "apparel", "apparel", "food", "beauty", "home",
-    "toys", "electronics", "accessories", "apparel", "sportswear", "apparel",
-    "sportswear", "accessories", "electronics",
+    "sportswear",
+    "sportswear",
+    "apparel",
+    "apparel",
+    "food",
+    "beauty",
+    "home",
+    "toys",
+    "electronics",
+    "accessories",
+    "apparel",
+    "sportswear",
+    "apparel",
+    "sportswear",
+    "accessories",
+    "electronics",
 ];
 
 /// Builder for synthetic mall DSMs.
@@ -235,10 +262,8 @@ impl MallBuilder {
                 if self.with_cashiers && idx % 4 == 3 {
                     let cx0 = x0 + 0.5;
                     let cy0 = if row == 0 { y0 + 0.5 } else { y1 - 2.5 };
-                    let cashier_poly = Polygon::rectangle(
-                        Point::new(cx0, cy0),
-                        Point::new(cx0 + 3.0, cy0 + 2.0),
-                    );
+                    let cashier_poly =
+                        Polygon::rectangle(Point::new(cx0, cy0), Point::new(cx0 + 3.0, cy0 + 2.0));
                     let cid = dsm.next_region_id();
                     dsm.add_region(SemanticRegion::new(
                         cid,
@@ -314,7 +339,11 @@ mod tests {
         let dsm = b.build();
         // Center of the hallway.
         let hall_pt = IndoorPoint::new(b.mall_width() / 2.0, b.shop_d + b.corridor_w / 2.0, 0);
-        assert!(dsm.locate(&hall_pt).unwrap().name.starts_with("Center Hall"));
+        assert!(dsm
+            .locate(&hall_pt)
+            .unwrap()
+            .name
+            .starts_with("Center Hall"));
         // Center of the first south shop.
         let shop_pt = IndoorPoint::new(b.shop_w / 2.0, b.shop_d / 2.0, 0);
         assert_eq!(dsm.locate(&shop_pt).unwrap().kind, EntityKind::Room);

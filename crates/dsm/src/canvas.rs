@@ -27,7 +27,10 @@ pub enum Shape {
     Polyline(Polyline),
     Circle(Circle),
     /// A door marker: anchor point plus opening width.
-    DoorMarker { anchor: Point, width: f64 },
+    DoorMarker {
+        anchor: Point,
+        width: f64,
+    },
 }
 
 impl Shape {
@@ -45,7 +48,10 @@ impl Shape {
         match self {
             Shape::Polygon(p) => Shape::Polygon(p.translated(dx, dy)),
             Shape::Polyline(l) => Shape::Polyline(Polyline::new(
-                l.points().iter().map(|p| Point::new(p.x + dx, p.y + dy)).collect(),
+                l.points()
+                    .iter()
+                    .map(|p| Point::new(p.x + dx, p.y + dy))
+                    .collect(),
             )),
             Shape::Circle(c) => Shape::Circle(Circle::new(
                 Point::new(c.center.x + dx, c.center.y + dy),
@@ -121,7 +127,10 @@ pub struct CanvasElement {
 enum Op {
     Add(CanvasElement),
     Remove(CanvasElement),
-    Replace { before: CanvasElement, after: CanvasElement },
+    Replace {
+        before: CanvasElement,
+        after: CanvasElement,
+    },
 }
 
 impl Op {
@@ -249,7 +258,12 @@ impl FloorplanCanvas {
     }
 
     /// Draws a polygon element (with vertex snapping applied).
-    pub fn draw_polygon(&mut self, kind: EntityKind, name: &str, vertices: Vec<Point>) -> ElementId {
+    pub fn draw_polygon(
+        &mut self,
+        kind: EntityKind,
+        name: &str,
+        vertices: Vec<Point>,
+    ) -> ElementId {
         let snapped: Vec<Point> = vertices.into_iter().map(|v| self.snap(v)).collect();
         self.add_element(Shape::Polygon(Polygon::new(snapped)), kind, name)
     }
@@ -261,8 +275,18 @@ impl FloorplanCanvas {
     }
 
     /// Draws a circle element.
-    pub fn draw_circle(&mut self, kind: EntityKind, name: &str, center: Point, radius: f64) -> ElementId {
-        self.add_element(Shape::Circle(Circle::new(self.snap(center), radius)), kind, name)
+    pub fn draw_circle(
+        &mut self,
+        kind: EntityKind,
+        name: &str,
+        center: Point,
+        radius: f64,
+    ) -> ElementId {
+        self.add_element(
+            Shape::Circle(Circle::new(self.snap(center), radius)),
+            kind,
+            name,
+        )
     }
 
     /// Places a door marker.
@@ -318,12 +342,22 @@ impl FloorplanCanvas {
     }
 
     /// Edit mode: resize around a center.
-    pub fn resize_element(&mut self, id: ElementId, center: Point, factor: f64) -> Result<(), CanvasError> {
+    pub fn resize_element(
+        &mut self,
+        id: ElementId,
+        center: Point,
+        factor: f64,
+    ) -> Result<(), CanvasError> {
         self.replace_shape(id, |s| s.scaled(center, factor))
     }
 
     /// Edit mode: rotate around a center.
-    pub fn rotate_element(&mut self, id: ElementId, center: Point, angle: f64) -> Result<(), CanvasError> {
+    pub fn rotate_element(
+        &mut self,
+        id: ElementId,
+        center: Point,
+        angle: f64,
+    ) -> Result<(), CanvasError> {
         self.replace_shape(id, |s| s.rotated(center, angle))
     }
 
@@ -525,9 +559,15 @@ mod tests {
         let moved = c.element(id).unwrap().shape.vertices()[0];
         assert_eq!(moved, Point::new(5.0, 0.0));
         c.undo().unwrap();
-        assert_eq!(c.element(id).unwrap().shape.vertices()[0], Point::new(0.0, 0.0));
+        assert_eq!(
+            c.element(id).unwrap().shape.vertices()[0],
+            Point::new(0.0, 0.0)
+        );
         c.redo().unwrap();
-        assert_eq!(c.element(id).unwrap().shape.vertices()[0], Point::new(5.0, 0.0));
+        assert_eq!(
+            c.element(id).unwrap().shape.vertices()[0],
+            Point::new(5.0, 0.0)
+        );
         // Undo twice removes the element entirely.
         c.undo().unwrap();
         c.undo().unwrap();

@@ -189,9 +189,8 @@ impl<'a> PathQuery<'a> {
                     if node.floor != a.floor && area_a != node.entity {
                         continue;
                     }
-                    let vertical = (node.floor - a.floor).abs() as f64
-                        * self.dsm.floor_height
-                        * 3.0;
+                    let vertical =
+                        (node.floor - a.floor).abs() as f64 * self.dsm.floor_height * 3.0;
                     let w = snap_a + a.xy.distance(node.point) + vertical;
                     push(&mut heap, &mut dist, &mut prev, v, d + w, u);
                 }
@@ -206,9 +205,7 @@ impl<'a> PathQuery<'a> {
                 && (self.topo.nodes[u].floor == b.floor || area_b == self.topo.nodes[u].entity)
             {
                 let node = self.topo.nodes[u];
-                let vertical = (node.floor - b.floor).abs() as f64
-                    * self.dsm.floor_height
-                    * 3.0;
+                let vertical = (node.floor - b.floor).abs() as f64 * self.dsm.floor_height * 3.0;
                 let w = snap_b + b.xy.distance(node.point) + vertical;
                 push(&mut heap, &mut dist, &mut prev, dst, d + w, u);
             }
@@ -243,12 +240,7 @@ impl<'a> PathQuery<'a> {
     /// Maximum feasible walking speed check helper: the minimum time (s)
     /// needed to get from `a` to `b` at `max_speed` (m/s); `None` when
     /// unreachable.
-    pub fn min_travel_time(
-        &self,
-        a: &IndoorPoint,
-        b: &IndoorPoint,
-        max_speed: f64,
-    ) -> Option<f64> {
+    pub fn min_travel_time(&self, a: &IndoorPoint, b: &IndoorPoint, max_speed: f64) -> Option<f64> {
         assert!(max_speed > 0.0, "max_speed must be positive");
         self.distance(a, b).map(|d| d / max_speed)
     }
@@ -269,14 +261,32 @@ mod tests {
     fn model() -> DigitalSpaceModel {
         let mut dsm = DigitalSpaceModel::new("t");
         let a = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(a, EntityKind::Room, 0, "A", sq(0.0, 0.0, 10.0, 10.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            a,
+            EntityKind::Room,
+            0,
+            "A",
+            sq(0.0, 0.0, 10.0, 10.0),
+        ))
+        .unwrap();
         let hall = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(hall, EntityKind::Hallway, 0, "Hall", sq(10.0, 0.0, 10.0, 10.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            hall,
+            EntityKind::Hallway,
+            0,
+            "Hall",
+            sq(10.0, 0.0, 10.0, 10.0),
+        ))
+        .unwrap();
         let b = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(b, EntityKind::Room, 0, "B", sq(20.0, 0.0, 10.0, 10.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            b,
+            EntityKind::Room,
+            0,
+            "B",
+            sq(20.0, 0.0, 10.0, 10.0),
+        ))
+        .unwrap();
         let d1 = dsm.next_entity_id();
         dsm.add_entity(Entity::door(d1, 0, "dA", Point::new(10.0, 5.0), 1.0))
             .unwrap();
@@ -287,8 +297,14 @@ mod tests {
         dsm.add_entity(Entity::staircase(s, "st", sq(14.0, 8.0, 2.0, 2.0), &[0, 1]))
             .unwrap();
         let c = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(c, EntityKind::Room, 1, "C", sq(10.0, 0.0, 10.0, 10.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            c,
+            EntityKind::Room,
+            1,
+            "C",
+            sq(10.0, 0.0, 10.0, 10.0),
+        ))
+        .unwrap();
         dsm.freeze();
         dsm
     }
@@ -324,7 +340,10 @@ mod tests {
         let b = IndoorPoint::new(15.0, 9.0, 0); // Hall top
         let d = q.distance(&a, &b).unwrap();
         let euclid = a.planar_distance(&b);
-        assert!(d > euclid, "walking through door (10,5) must detour: {d} vs {euclid}");
+        assert!(
+            d > euclid,
+            "walking through door (10,5) must detour: {d} vs {euclid}"
+        );
     }
 
     #[test]
@@ -434,7 +453,10 @@ mod tests {
         dsm.freeze();
         let q = PathQuery::new(&dsm).unwrap();
         assert!(q
-            .path(&IndoorPoint::new(0.0, 0.0, 0), &IndoorPoint::new(1.0, 1.0, 0))
+            .path(
+                &IndoorPoint::new(0.0, 0.0, 0),
+                &IndoorPoint::new(1.0, 1.0, 0)
+            )
             .is_none());
     }
 }

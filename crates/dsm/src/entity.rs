@@ -5,9 +5,7 @@ use std::fmt;
 use trips_geom::{FloorId, Point, Polygon, Polyline};
 
 /// Unique identifier of an indoor entity within a DSM.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EntityId(pub u32);
 
 impl fmt::Display for EntityId {
@@ -40,7 +38,10 @@ pub enum EntityKind {
 impl EntityKind {
     /// Whether positioning records may legitimately fall inside this entity.
     pub fn is_walkable(self) -> bool {
-        matches!(self, EntityKind::Room | EntityKind::Hallway | EntityKind::Staircase)
+        matches!(
+            self,
+            EntityKind::Room | EntityKind::Hallway | EntityKind::Staircase
+        )
     }
 
     /// Stable lowercase name used in JSON and in semantic-tag defaults.
@@ -169,7 +170,9 @@ impl Entity {
     /// Closed containment test against the entity's area footprint.
     /// Non-area entities contain nothing.
     pub fn contains(&self, p: Point) -> bool {
-        self.footprint.as_area().is_some_and(|poly| poly.contains(p))
+        self.footprint
+            .as_area()
+            .is_some_and(|poly| poly.contains(p))
     }
 
     /// Representative anchor of the entity (used as a graph node and as the
@@ -200,7 +203,13 @@ mod tests {
 
     #[test]
     fn room_contains_points() {
-        let r = Entity::area(EntityId(1), EntityKind::Room, 0, "Nike", square(0.0, 0.0, 10.0));
+        let r = Entity::area(
+            EntityId(1),
+            EntityKind::Room,
+            0,
+            "Nike",
+            square(0.0, 0.0, 10.0),
+        );
         assert!(r.contains(Point::new(5.0, 5.0)));
         assert!(!r.contains(Point::new(15.0, 5.0)));
         assert!(r.on_floor(0));

@@ -126,12 +126,10 @@ impl DigitalSpaceModel {
         self.next_entity_id = self.next_entity_id.max(entity.id.0 + 1);
         // Auto-register floors the entity touches.
         for f in entity.floors().collect::<Vec<_>>() {
-            self.floors
-                .entry(f)
-                .or_insert_with(|| FloorInfo {
-                    id: f,
-                    name: format!("{f}F"),
-                });
+            self.floors.entry(f).or_insert_with(|| FloorInfo {
+                id: f,
+                name: format!("{f}F"),
+            });
         }
         let id = entity.id;
         self.entities.insert(id, entity);
@@ -295,8 +293,14 @@ mod tests {
     fn small_model() -> DigitalSpaceModel {
         let mut dsm = DigitalSpaceModel::new("test-building");
         let room = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(room, EntityKind::Room, 0, "RoomA", sq(0.0, 0.0, 10.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            room,
+            EntityKind::Room,
+            0,
+            "RoomA",
+            sq(0.0, 0.0, 10.0),
+        ))
+        .unwrap();
         let hall = dsm.next_entity_id();
         dsm.add_entity(Entity::area(
             hall,
@@ -335,10 +339,7 @@ mod tests {
     fn duplicate_ids_rejected() {
         let mut dsm = small_model();
         let dup = Entity::area(EntityId(0), EntityKind::Room, 0, "dup", sq(0.0, 0.0, 1.0));
-        assert!(matches!(
-            dsm.add_entity(dup),
-            Err(DsmError::DuplicateId(_))
-        ));
+        assert!(matches!(dsm.add_entity(dup), Err(DsmError::DuplicateId(_))));
     }
 
     #[test]
@@ -352,10 +353,7 @@ mod tests {
             sq(0.0, 0.0, 1.0),
             EntityId(42),
         );
-        assert!(matches!(
-            dsm.add_region(r),
-            Err(DsmError::UnknownEntity(_))
-        ));
+        assert!(matches!(dsm.add_region(r), Err(DsmError::UnknownEntity(_))));
     }
 
     #[test]
@@ -407,8 +405,14 @@ mod tests {
         assert!(dsm.topology().is_ok());
         // Mutation invalidates.
         let e = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(e, EntityKind::Room, 0, "B", sq(30.0, 0.0, 5.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            e,
+            EntityKind::Room,
+            0,
+            "B",
+            sq(30.0, 0.0, 5.0),
+        ))
+        .unwrap();
         assert!(matches!(dsm.topology(), Err(DsmError::NotFrozen)));
     }
 
@@ -428,6 +432,8 @@ mod tests {
             .unwrap();
         assert_eq!(e.name, "RoomA");
         assert!((d - 3.0).abs() < 1e-9);
-        assert!(dsm.nearest_walkable(&IndoorPoint::new(0.0, 0.0, 9)).is_none());
+        assert!(dsm
+            .nearest_walkable(&IndoorPoint::new(0.0, 0.0, 9))
+            .is_none());
     }
 }

@@ -11,9 +11,7 @@ use std::fmt;
 use trips_geom::{FloorId, Point, Polygon};
 
 /// Unique identifier of a semantic region within a DSM.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RegionId(pub u32);
 
 impl fmt::Display for RegionId {

@@ -53,10 +53,8 @@ impl Topology {
     pub fn compute(dsm: &DigitalSpaceModel) -> Topology {
         let mut topo = Topology::default();
 
-        let walkables: Vec<&crate::entity::Entity> = dsm
-            .entities()
-            .filter(|e| e.kind.is_walkable())
-            .collect();
+        let walkables: Vec<&crate::entity::Entity> =
+            dsm.entities().filter(|e| e.kind.is_walkable()).collect();
 
         // --- door ↔ area attachment -------------------------------------
         for door in dsm.entities().filter(|e| e.kind == EntityKind::Door) {
@@ -277,8 +275,14 @@ mod tests {
     fn two_room_model() -> (DigitalSpaceModel, Vec<EntityId>, Vec<RegionId>) {
         let mut dsm = DigitalSpaceModel::new("t");
         let a = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(a, EntityKind::Room, 0, "A", sq(0.0, 0.0, 10.0, 10.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            a,
+            EntityKind::Room,
+            0,
+            "A",
+            sq(0.0, 0.0, 10.0, 10.0),
+        ))
+        .unwrap();
         let hall = dsm.next_entity_id();
         dsm.add_entity(Entity::area(
             hall,
@@ -289,8 +293,14 @@ mod tests {
         ))
         .unwrap();
         let b = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(b, EntityKind::Room, 0, "B", sq(20.0, 0.0, 10.0, 10.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            b,
+            EntityKind::Room,
+            0,
+            "B",
+            sq(20.0, 0.0, 10.0, 10.0),
+        ))
+        .unwrap();
         let d1 = dsm.next_entity_id();
         dsm.add_entity(Entity::door(d1, 0, "door-A", Point::new(10.0, 5.0), 1.0))
             .unwrap();
@@ -306,8 +316,14 @@ mod tests {
         ))
         .unwrap();
         let c = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(c, EntityKind::Room, 1, "C", sq(10.0, 0.0, 10.0, 10.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            c,
+            EntityKind::Room,
+            1,
+            "C",
+            sq(10.0, 0.0, 10.0, 10.0),
+        ))
+        .unwrap();
 
         let ra = dsm.next_region_id();
         dsm.add_region(SemanticRegion::new(
@@ -351,7 +367,11 @@ mod tests {
         .unwrap();
 
         dsm.freeze();
-        (dsm, vec![a, hall, b, d1, d2, stairs, c], vec![ra, rhall, rb, rc])
+        (
+            dsm,
+            vec![a, hall, b, d1, d2, stairs, c],
+            vec![ra, rhall, rb, rc],
+        )
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl std::fmt::Display for ValidationIssue {
                 write!(f, "rooms {a} and {b} overlap")
             }
             ValidationIssue::UnreachableArea(e) => {
-                write!(f, "walkable area {e} is unreachable from the main component")
+                write!(
+                    f,
+                    "walkable area {e} is unreachable from the main component"
+                )
             }
             ValidationIssue::RegionWithoutWalkableEntity(r) => {
                 write!(f, "region {r} has no walkable backing entity")
@@ -75,12 +78,16 @@ pub fn validate(dsm: &DigitalSpaceModel) -> Vec<ValidationIssue> {
         .filter(|e| e.kind == EntityKind::Room)
         .collect();
     for (i, a) in rooms.iter().enumerate() {
-        let Some(pa) = a.footprint.as_area() else { continue };
+        let Some(pa) = a.footprint.as_area() else {
+            continue;
+        };
         for b in &rooms[i + 1..] {
             if a.floor != b.floor {
                 continue;
             }
-            let Some(pb) = b.footprint.as_area() else { continue };
+            let Some(pb) = b.footprint.as_area() else {
+                continue;
+            };
             if !pa.bbox().intersects(&pb.bbox()) {
                 continue;
             }
@@ -205,20 +212,32 @@ mod tests {
             .unwrap();
         dsm.freeze();
         let issues = validate(&dsm);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::DanglingDoor { door, attached: 0 } if *door == d)));
+        assert!(issues.iter().any(
+            |i| matches!(i, ValidationIssue::DanglingDoor { door, attached: 0 } if *door == d)
+        ));
     }
 
     #[test]
     fn overlapping_rooms_detected() {
         let mut dsm = DigitalSpaceModel::new("t");
         let a = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(a, EntityKind::Room, 0, "A", sq(0.0, 0.0, 10.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            a,
+            EntityKind::Room,
+            0,
+            "A",
+            sq(0.0, 0.0, 10.0),
+        ))
+        .unwrap();
         let b = dsm.next_entity_id();
-        dsm.add_entity(Entity::area(b, EntityKind::Room, 0, "B", sq(5.0, 5.0, 10.0)))
-            .unwrap();
+        dsm.add_entity(Entity::area(
+            b,
+            EntityKind::Room,
+            0,
+            "B",
+            sq(5.0, 5.0, 10.0),
+        ))
+        .unwrap();
         dsm.freeze();
         let issues = validate(&dsm);
         assert!(issues
@@ -227,11 +246,23 @@ mod tests {
         // Different floors don't overlap.
         let mut dsm2 = DigitalSpaceModel::new("t2");
         let a2 = dsm2.next_entity_id();
-        dsm2.add_entity(Entity::area(a2, EntityKind::Room, 0, "A", sq(0.0, 0.0, 10.0)))
-            .unwrap();
+        dsm2.add_entity(Entity::area(
+            a2,
+            EntityKind::Room,
+            0,
+            "A",
+            sq(0.0, 0.0, 10.0),
+        ))
+        .unwrap();
         let b2 = dsm2.next_entity_id();
-        dsm2.add_entity(Entity::area(b2, EntityKind::Room, 1, "B", sq(5.0, 5.0, 10.0)))
-            .unwrap();
+        dsm2.add_entity(Entity::area(
+            b2,
+            EntityKind::Room,
+            1,
+            "B",
+            sq(5.0, 5.0, 10.0),
+        ))
+        .unwrap();
         dsm2.freeze();
         assert!(!validate(&dsm2)
             .iter()
@@ -252,10 +283,12 @@ mod tests {
         .unwrap();
         dsm.freeze();
         let issues = validate(&dsm);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::UnreachableArea(e) if *e == island)),
-            "island must be unreachable: {issues:?}");
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, ValidationIssue::UnreachableArea(e) if *e == island)),
+            "island must be unreachable: {issues:?}"
+        );
     }
 
     #[test]

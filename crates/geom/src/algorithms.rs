@@ -66,9 +66,7 @@ pub fn mean_point(points: &[Point]) -> Option<Point> {
 pub fn location_variance(points: &[Point]) -> f64 {
     match mean_point(points) {
         None => 0.0,
-        Some(c) => {
-            points.iter().map(|p| p.distance_sq(c)).sum::<f64>() / points.len() as f64
-        }
+        Some(c) => points.iter().map(|p| p.distance_sq(c)).sum::<f64>() / points.len() as f64,
     }
 }
 

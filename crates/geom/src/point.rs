@@ -168,10 +168,7 @@ impl IndoorPoint {
     /// correction in the Cleaning layer).
     #[inline]
     pub fn with_floor(&self, floor: FloorId) -> IndoorPoint {
-        IndoorPoint {
-            xy: self.xy,
-            floor,
-        }
+        IndoorPoint { xy: self.xy, floor }
     }
 }
 

@@ -12,6 +12,8 @@ fn arb_points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
     #[test]
     fn distance_symmetry(a in arb_point(), b in arb_point()) {
         prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
@@ -79,7 +81,7 @@ proptest! {
     }
 
     #[test]
-    fn polygon_rotation_preserves_area(pts in arb_points(3..12), angle in 0.0f64..6.28) {
+    fn polygon_rotation_preserves_area(pts in arb_points(3..12), angle in 0.0f64..std::f64::consts::TAU) {
         if let Some(poly) = Polygon::try_new(pts) {
             let r = poly.rotated(Point::origin(), angle);
             prop_assert!((poly.area() - r.area()).abs() < 1e-5 * poly.area().max(1.0));

@@ -251,10 +251,20 @@ mod tests {
         };
         let t = truth(3000);
         let n_base = base
-            .degrade(&mut StdRng::seed_from_u64(4), &DeviceId::new("d"), &t, (0, 6))
+            .degrade(
+                &mut StdRng::seed_from_u64(4),
+                &DeviceId::new("d"),
+                &t,
+                (0, 6),
+            )
             .len();
         let n_lossy = lossy
-            .degrade(&mut StdRng::seed_from_u64(4), &DeviceId::new("d"), &t, (0, 6))
+            .degrade(
+                &mut StdRng::seed_from_u64(4),
+                &DeviceId::new("d"),
+                &t,
+                (0, 6),
+            )
             .len();
         assert!(
             (n_lossy as f64) < n_base as f64 * 0.7,
@@ -325,7 +335,12 @@ mod tests {
         let recs = em.degrade(&mut rng, &DeviceId::new("d"), &truth(2000), (0, 6));
         let far = recs
             .iter()
-            .filter(|r| r.location.xy.distance(Point::new(r.location.xy.x.clamp(0.0, 1000.0), 10.0)) > 10.0)
+            .filter(|r| {
+                r.location
+                    .xy
+                    .distance(Point::new(r.location.xy.x.clamp(0.0, 1000.0), 10.0))
+                    > 10.0
+            })
             .count();
         assert!(far > 0, "expected some large outliers");
     }

@@ -176,10 +176,7 @@ pub fn simulate_session<R: Rng + ?Sized>(
         for _ in 0..dwell_steps {
             now = now + step;
             // Wander around the anchor, staying inside the region.
-            let jitter = Point::new(
-                rng::normal(rng, 0.0, 0.8),
-                rng::normal(rng, 0.0, 0.8),
-            );
+            let jitter = Point::new(rng::normal(rng, 0.0, 0.8), rng::normal(rng, 0.0, 0.8));
             let candidate = Point::new(cursor.xy.x + jitter.x, cursor.xy.y + jitter.y);
             let pos = match region {
                 Some(r) if r.contains(candidate) => candidate,
@@ -239,7 +236,12 @@ pub fn derive_visits(
     visits
 }
 
-fn close_visit(region: RegionId, region_name: String, start: Timestamp, end: Timestamp) -> TrueVisit {
+fn close_visit(
+    region: RegionId,
+    region_name: String,
+    start: Timestamp,
+    end: Timestamp,
+) -> TrueVisit {
     let kind = if end - start >= STAY_THRESHOLD {
         VisitKind::Stay
     } else {
@@ -281,7 +283,13 @@ mod tests {
         let dsm = mall();
         let pq = PathQuery::new(&dsm).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let gt = simulate_session(&dsm, &pq, &mut rng, &profile(), Timestamp::from_dhms(0, 10, 0, 0));
+        let gt = simulate_session(
+            &dsm,
+            &pq,
+            &mut rng,
+            &profile(),
+            Timestamp::from_dhms(0, 10, 0, 0),
+        );
         assert!(gt.samples.len() > 10);
         for w in gt.samples.windows(2) {
             assert!(w[0].0 < w[1].0, "timestamps strictly increase");
@@ -293,7 +301,13 @@ mod tests {
         let dsm = mall();
         let pq = PathQuery::new(&dsm).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let gt = simulate_session(&dsm, &pq, &mut rng, &profile(), Timestamp::from_dhms(0, 10, 0, 0));
+        let gt = simulate_session(
+            &dsm,
+            &pq,
+            &mut rng,
+            &profile(),
+            Timestamp::from_dhms(0, 10, 0, 0),
+        );
         assert!(!gt.visits.is_empty());
         for v in &gt.visits {
             assert!(v.start <= v.end);
@@ -321,10 +335,18 @@ mod tests {
         let dsm = mall();
         let pq = PathQuery::new(&dsm).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let gt = simulate_session(&dsm, &pq, &mut rng, &profile(), Timestamp::from_dhms(0, 12, 0, 0));
+        let gt = simulate_session(
+            &dsm,
+            &pq,
+            &mut rng,
+            &profile(),
+            Timestamp::from_dhms(0, 12, 0, 0),
+        );
         // The agent must traverse the hallway between shops.
         assert!(
-            gt.visits.iter().any(|v| v.region_name.starts_with("Center Hall")),
+            gt.visits
+                .iter()
+                .any(|v| v.region_name.starts_with("Center Hall")),
             "hall traversal must appear in ground truth"
         );
     }
@@ -335,7 +357,13 @@ mod tests {
         let pq = PathQuery::new(&dsm).unwrap();
         let run = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            simulate_session(&dsm, &pq, &mut rng, &profile(), Timestamp::from_dhms(0, 10, 0, 0))
+            simulate_session(
+                &dsm,
+                &pq,
+                &mut rng,
+                &profile(),
+                Timestamp::from_dhms(0, 10, 0, 0),
+            )
         };
         let a = run(42);
         let b = run(42);
@@ -354,8 +382,14 @@ mod tests {
             .regions()
             .find(|r| r.tag.category == "circulation")
             .unwrap();
-        let shop_pt = IndoorPoint { xy: shop.anchor(), floor: shop.floor };
-        let hall_pt = IndoorPoint { xy: hall.anchor(), floor: hall.floor };
+        let shop_pt = IndoorPoint {
+            xy: shop.anchor(),
+            floor: shop.floor,
+        };
+        let hall_pt = IndoorPoint {
+            xy: hall.anchor(),
+            floor: hall.floor,
+        };
         let mut samples = Vec::new();
         for i in 0..3i64 {
             samples.push((Timestamp::from_millis(i * 2000), shop_pt));

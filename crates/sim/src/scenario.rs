@@ -101,7 +101,11 @@ impl SimulatedDataset {
 fn mac_device_id(rng: &mut StdRng, idx: usize) -> DeviceId {
     let a: u8 = rng.gen();
     let b: u8 = rng.gen();
-    DeviceId::new(&format!("{a:02x}.{b:02x}.{:02x}.{:02x}", (idx >> 8) as u8, idx as u8))
+    DeviceId::new(&format!(
+        "{a:02x}.{b:02x}.{:02x}.{:02x}",
+        (idx >> 8) as u8,
+        idx as u8
+    ))
 }
 
 /// Runs the scenario on an externally built DSM.
@@ -112,10 +116,7 @@ pub fn generate_on(dsm: DigitalSpaceModel, config: &ScenarioConfig) -> Simulated
     let floor_range = {
         let mut floors: Vec<i16> = dsm.floors().map(|f| f.id).collect();
         floors.sort_unstable();
-        (
-            *floors.first().unwrap_or(&0),
-            *floors.last().unwrap_or(&0),
-        )
+        (*floors.first().unwrap_or(&0), *floors.last().unwrap_or(&0))
     };
 
     let mut traces = Vec::with_capacity(config.devices);
@@ -236,10 +237,7 @@ mod tests {
         let a = tiny();
         let b = tiny();
         assert_eq!(a.record_count(), b.record_count());
-        assert_eq!(
-            a.traces[0].raw.records(),
-            b.traces[0].raw.records()
-        );
+        assert_eq!(a.traces[0].raw.records(), b.traces[0].raw.records());
         let c = generate(
             2,
             3,
@@ -283,12 +281,12 @@ mod tests {
                 ..ScenarioConfig::default()
             },
         );
-        let days: std::collections::BTreeSet<i64> = ds
-            .all_records()
-            .iter()
-            .map(|r| r.ts.day())
-            .collect();
-        assert!(days.len() >= 2, "expected sessions on multiple days: {days:?}");
+        let days: std::collections::BTreeSet<i64> =
+            ds.all_records().iter().map(|r| r.ts.day()).collect();
+        assert!(
+            days.len() >= 2,
+            "expected sessions on multiple days: {days:?}"
+        );
     }
 
     #[test]

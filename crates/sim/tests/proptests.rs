@@ -10,20 +10,22 @@ use trips_sim::{ErrorModel, ScenarioConfig};
 
 fn arb_error_model() -> impl Strategy<Value = ErrorModel> {
     (
-        0.0f64..3.0,   // xy_sigma
-        0.0f64..0.2,   // outlier_rate
-        0.0f64..0.2,   // floor_error_rate
-        0.0f64..0.3,   // drop_rate
-        2i64..15,      // sample interval secs
+        0.0f64..3.0, // xy_sigma
+        0.0f64..0.2, // outlier_rate
+        0.0f64..0.2, // floor_error_rate
+        0.0f64..0.3, // drop_rate
+        2i64..15,    // sample interval secs
     )
-        .prop_map(|(xy_sigma, outlier_rate, floor_error_rate, drop_rate, interval)| ErrorModel {
-            xy_sigma,
-            outlier_rate,
-            floor_error_rate,
-            drop_rate,
-            sample_interval: Duration::from_secs(interval),
-            ..ErrorModel::default()
-        })
+        .prop_map(
+            |(xy_sigma, outlier_rate, floor_error_rate, drop_rate, interval)| ErrorModel {
+                xy_sigma,
+                outlier_rate,
+                floor_error_rate,
+                drop_rate,
+                sample_interval: Duration::from_secs(interval),
+                ..ErrorModel::default()
+            },
+        )
 }
 
 fn straight_truth(n: usize) -> Vec<(Timestamp, IndoorPoint)> {

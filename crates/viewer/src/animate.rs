@@ -91,10 +91,16 @@ mod tests {
     fn point_entries_linger_then_fade() {
         let f = frames(&timeline(), Duration::from_secs(2), Duration::from_secs(3));
         // At t=12 the raw record from t=10 still lingers (within 3 s).
-        let at12 = f.iter().find(|fr| fr.t == Timestamp::from_millis(12_000)).unwrap();
+        let at12 = f
+            .iter()
+            .find(|fr| fr.t == Timestamp::from_millis(12_000))
+            .unwrap();
         assert!(at12.active.iter().any(|e| e.label == "r10"));
         // At t=14 it has faded.
-        let at14 = f.iter().find(|fr| fr.t == Timestamp::from_millis(14_000)).unwrap();
+        let at14 = f
+            .iter()
+            .find(|fr| fr.t == Timestamp::from_millis(14_000))
+            .unwrap();
         assert!(!at14.active.iter().any(|e| e.label == "r10"));
     }
 

@@ -176,6 +176,9 @@ mod tests {
         let s = render(&dsm, 0, &entries, &VisibilityControl::all_visible(), 40, 16);
         let lines: Vec<&str> = s.lines().collect();
         let row = lines.iter().position(|l| l.contains('r')).unwrap();
-        assert!(row < lines.len() / 2, "north marker near the top, got row {row}:\n{s}");
+        assert!(
+            row < lines.len() / 2,
+            "north marker near the top, got row {row}:\n{s}"
+        );
     }
 }

@@ -127,7 +127,13 @@ mod tests {
 
     #[test]
     fn record_entry_is_instantaneous() {
-        let r = RawRecord::new(DeviceId::new("d"), 1.0, 2.0, 3, Timestamp::from_millis(5000));
+        let r = RawRecord::new(
+            DeviceId::new("d"),
+            1.0,
+            2.0,
+            3,
+            Timestamp::from_millis(5000),
+        );
         let e = Entry::from_record(&r, SourceKind::Raw);
         assert_eq!(e.start, e.end);
         assert_eq!(e.display_point, r.location);

@@ -41,7 +41,10 @@ impl VisibilityControl {
 
     /// Shows exactly one source, hiding the rest (focus mode).
     pub fn solo(&mut self, source: SourceKind) {
-        self.hidden = SourceKind::all().into_iter().filter(|s| *s != source).collect();
+        self.hidden = SourceKind::all()
+            .into_iter()
+            .filter(|s| *s != source)
+            .collect();
     }
 
     /// Shows everything again.

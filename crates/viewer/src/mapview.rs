@@ -153,7 +153,10 @@ mod tests {
         let v = MapView::fit_to_floor(&dsm, 0, 640.0, 480.0);
         let low = Point::new(v.center.x, v.center.y - 5.0);
         let high = Point::new(v.center.x, v.center.y + 5.0);
-        assert!(v.to_screen(high).1 < v.to_screen(low).1, "higher world y renders higher (smaller sy)");
+        assert!(
+            v.to_screen(high).1 < v.to_screen(low).1,
+            "higher world y renders higher (smaller sy)"
+        );
     }
 
     #[test]

@@ -143,12 +143,7 @@ impl SvgRenderer {
         }
     }
 
-    fn render_entries(
-        &self,
-        svg: &mut String,
-        entries: &[Entry],
-        visibility: &VisibilityControl,
-    ) {
+    fn render_entries(&self, svg: &mut String, entries: &[Entry], visibility: &VisibilityControl) {
         // Render per source in a stable order so semantics draw on top.
         for source in SourceKind::all() {
             if !visibility.is_visible(source) {
@@ -195,7 +190,11 @@ impl SvgRenderer {
         );
         for (i, source) in SourceKind::all().iter().enumerate() {
             let y = 22 + i * 16;
-            let opacity = if visibility.is_visible(*source) { 1.0 } else { 0.25 };
+            let opacity = if visibility.is_visible(*source) {
+                1.0
+            } else {
+                0.25
+            };
             let _ = write!(
                 svg,
                 r##"<circle cx="18" cy="{cy}" r="4" fill="{c}" fill-opacity="{opacity}"/><text x="28" y="{ty}" font-size="10" fill-opacity="{opacity}">{n}</text>"##,
@@ -277,7 +276,10 @@ mod tests {
         let dsm = MallBuilder::new().floors(2).shops_per_row(3).build();
         let entries = vec![entry(SourceKind::Raw, 5.0, 5.0, 1)];
         let svg = renderer(&dsm).render(&dsm, &entries, &VisibilityControl::all_visible());
-        assert!(!svg.contains(r##"class="entry-raw""##), "floor 1 entry on floor 0 view");
+        assert!(
+            !svg.contains(r##"class="entry-raw""##),
+            "floor 1 entry on floor 0 view"
+        );
     }
 
     #[test]

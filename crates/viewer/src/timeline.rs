@@ -142,7 +142,10 @@ mod tests {
         }
         assert_eq!(tl.navigator_len(), 2);
         let firsts: Vec<Timestamp> = tl.navigator().map(|e| e.start).collect();
-        assert_eq!(firsts, vec![Timestamp::from_millis(0), Timestamp::from_millis(30_000)]);
+        assert_eq!(
+            firsts,
+            vec![Timestamp::from_millis(0), Timestamp::from_millis(30_000)]
+        );
     }
 
     #[test]
@@ -152,7 +155,9 @@ mod tests {
         // First semantics spans 0-20 s: covers raw@5, raw@15, cleaned@5,
         // cleaned@15, itself. Not raw@40 or semantics@30-50.
         assert_eq!(covered.len(), 5, "{covered:#?}");
-        assert!(covered.iter().all(|e| e.start <= Timestamp::from_millis(20_000)));
+        assert!(covered
+            .iter()
+            .all(|e| e.start <= Timestamp::from_millis(20_000)));
         assert!(tl.click_navigator(5).is_none(), "out of range");
     }
 
@@ -168,7 +173,10 @@ mod tests {
     #[test]
     fn range_query() {
         let tl = sample();
-        let r = tl.in_range(Timestamp::from_millis(18_000), Timestamp::from_millis(35_000));
+        let r = tl.in_range(
+            Timestamp::from_millis(18_000),
+            Timestamp::from_millis(35_000),
+        );
         // semantics 0-20 overlaps, semantics 30-50 overlaps; no raw records
         // inside (15 < 18, 40 > 35).
         assert_eq!(r.len(), 2);
@@ -182,7 +190,9 @@ mod tests {
         assert_eq!(e, Timestamp::from_millis(50_000));
         let frames = tl.playback_instants(Duration::from_secs(10));
         assert_eq!(frames.len(), 6, "0,10,20,30,40,50");
-        assert!(Timeline::default().playback_instants(Duration::from_secs(1)).is_empty());
+        assert!(Timeline::default()
+            .playback_instants(Duration::from_secs(1))
+            .is_empty());
     }
 
     #[test]

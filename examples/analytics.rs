@@ -19,7 +19,11 @@ fn main() {
             ..ScenarioConfig::default()
         },
     );
-    println!("dataset: {} ({} records)\n", dataset.config_summary, dataset.record_count());
+    println!(
+        "dataset: {} ({} records)\n",
+        dataset.config_summary,
+        dataset.record_count()
+    );
 
     let mut editor = EventEditor::with_default_patterns();
     for trace in dataset.traces.iter().take(15) {
@@ -48,7 +52,10 @@ fn main() {
 
     // Popular indoor location discovery (ref [8]).
     println!("top 10 regions by stays:");
-    println!("{:<28} {:>6} {:>8} {:>9} {:>10} {:>11}", "region", "stays", "pass-bys", "stayers", "dwell", "conversion");
+    println!(
+        "{:<28} {:>6} {:>8} {:>9} {:>10} {:>11}",
+        "region", "stays", "pass-bys", "stayers", "dwell", "conversion"
+    );
     for p in analytics::popular_regions(result).iter().take(10) {
         println!(
             "{:<28} {:>6} {:>8} {:>9} {:>10} {:>10.0}%",

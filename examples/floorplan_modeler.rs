@@ -27,7 +27,11 @@ fn main() {
     println!("step 1: imported {:?}", canvas.background_image);
 
     // Step (2): trace the floorplan by drawing geometric elements.
-    let hall = canvas.draw_polygon(EntityKind::Hallway, "Center Hall", rect(0.0, 8.0, 40.0, 6.0));
+    let hall = canvas.draw_polygon(
+        EntityKind::Hallway,
+        "Center Hall",
+        rect(0.0, 8.0, 40.0, 6.0),
+    );
     let nike = canvas.draw_polygon(EntityKind::Room, "Nike Store", rect(0.0, 0.0, 12.0, 8.0));
     // The next shop's corner is drawn slightly off; the auto-adjust hint
     // snaps it onto Nike's corner.

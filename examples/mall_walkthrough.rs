@@ -46,7 +46,9 @@ fn main() {
     // The DSM came from the mall builder here; persist it the way the demo
     // saves the DSM file for reuse.
     let store = Store::open(out_dir.join("backend")).expect("open store");
-    store.save_dsm("hangzhou-mall", &dataset.dsm).expect("save DSM");
+    store
+        .save_dsm("hangzhou-mall", &dataset.dsm)
+        .expect("save DSM");
     println!(
         "[step 2] DSM saved: {} floors, {} entities, {} semantic regions",
         dataset.dsm.floor_count(),
@@ -72,7 +74,9 @@ fn main() {
             }
         }
     }
-    store.save_training("hangzhou-mall", &editor).expect("save training");
+    store
+        .save_training("hangzhou-mall", &editor)
+        .expect("save training");
     println!(
         "[step 3] {} event patterns, {} designated segments",
         editor.patterns().len(),

@@ -40,7 +40,10 @@ fn main() {
             }
         }
     }
-    println!("event editor: {} designated segments\n", editor.example_count());
+    println!(
+        "event editor: {} designated segments\n",
+        editor.example_count()
+    );
 
     // --- the five-step workflow ------------------------------------------
     let sequences = dataset.sequences();
@@ -50,12 +53,18 @@ fn main() {
 
     // --- Table 1: raw records vs mobility semantics ----------------------
     let d = result.device(&device).expect("translated device");
-    println!("=== Raw Indoor Positioning Data (first 8 of {}) ===", d.raw.len());
+    println!(
+        "=== Raw Indoor Positioning Data (first 8 of {}) ===",
+        d.raw.len()
+    );
     for r in d.raw.records().iter().take(8) {
         println!("  {r}");
     }
     println!("  ...");
-    println!("\n=== Mobility Semantics ({} triplets) ===", d.semantics.len());
+    println!(
+        "\n=== Mobility Semantics ({} triplets) ===",
+        d.semantics.len()
+    );
     println!("{}:", device.anonymized());
     for s in &d.semantics {
         println!("  {s}");
@@ -64,8 +73,5 @@ fn main() {
         "\nconciseness: {:.1} raw records per semantics triplet",
         d.conciseness_ratio()
     );
-    println!(
-        "cleaning: {:?}",
-        d.cleaned.report
-    );
+    println!("cleaning: {:?}", d.cleaned.report);
 }

@@ -34,7 +34,10 @@ fn main() {
     // Rule 1: device ID pattern.
     let first_octet = dataset.traces[0].device.as_str().split('.').next().unwrap();
     let by_id = Selector::new(SelectionRule::DevicePattern(format!("{first_octet}.*")));
-    println!("device pattern '{first_octet}.*'      → {:>3} sequences", count(&by_id, &seqs));
+    println!(
+        "device pattern '{first_octet}.*'      → {:>3} sequences",
+        count(&by_id, &seqs)
+    );
 
     // Rule 2: spatial range — devices seen on the ground floor, west wing.
     let west_wing = Selector::new(SelectionRule::SpatialRange {
@@ -42,15 +45,27 @@ fn main() {
         floor: Some(0),
         quantifier: Quantifier::Any,
     });
-    println!("west wing of ground floor  → {:>3} sequences", count(&west_wing, &seqs));
+    println!(
+        "west wing of ground floor  → {:>3} sequences",
+        count(&west_wing, &seqs)
+    );
 
     // Rule 3: sequences lasting more than one hour (the paper's example).
     let long_visits = Selector::new(SelectionRule::MinDuration(Duration::from_hours(1)));
-    println!("> 1 hour in the mall       → {:>3} sequences", count(&long_visits, &seqs));
+    println!(
+        "> 1 hour in the mall       → {:>3} sequences",
+        count(&long_visits, &seqs)
+    );
 
     // Rule 4: positioning frequency between 4 and 20 records/minute.
-    let steady = Selector::new(SelectionRule::FrequencyPerMin { min: 4.0, max: 20.0 });
-    println!("4-20 records/min           → {:>3} sequences", count(&steady, &seqs));
+    let steady = Selector::new(SelectionRule::FrequencyPerMin {
+        min: 4.0,
+        max: 20.0,
+    });
+    println!(
+        "4-20 records/min           → {:>3} sequences",
+        count(&steady, &seqs)
+    );
 
     // Rule 5: periodic pattern — devices that recur daily around the same
     // time (mall staff rather than shoppers).
@@ -59,7 +74,10 @@ fn main() {
         min_repeats: 3,
         tolerance: Duration::from_hours(2),
     });
-    println!("daily periodic visitors    → {:>3} sequences", count(&daily, &seqs));
+    println!(
+        "daily periodic visitors    → {:>3} sequences",
+        count(&daily, &seqs)
+    );
 
     // Combinators: long ground-floor visits that are NOT daily visitors.
     let combined = Selector::new(
@@ -100,9 +118,7 @@ fn main() {
             }
         }
     }
-    let mut system = Trips::new(
-        Configurator::new(dataset.dsm).with_event_editor(editor),
-    );
+    let mut system = Trips::new(Configurator::new(dataset.dsm).with_event_editor(editor));
     let result = system.run(picked).expect("translate");
     println!(
         "translated: {} semantics across {} devices",

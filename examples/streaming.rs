@@ -94,7 +94,11 @@ fn main() {
     // End of stream: drain the open sessions.
     let rest = stream.finish();
     for (device, sems) in &rest {
-        println!("stream end, {}: {} semantics", device.anonymized(), sems.len());
+        println!(
+            "stream end, {}: {} semantics",
+            device.anonymized(),
+            sems.len()
+        );
         emitted += sems.len();
     }
     println!(

@@ -43,7 +43,8 @@ fn main() {
     let dsm = dataset.dsm.clone();
 
     let mut system = Trips::new(Configurator::new(dataset.dsm).with_event_editor(editor));
-    system.run(dataset.traces.iter().map(|t| t.raw.clone()).collect())
+    system
+        .run(dataset.traces.iter().map(|t| t.raw.clone()).collect())
         .expect("translate");
 
     // Timeline with all four sources (the simulator gives us ground truth).

@@ -50,7 +50,13 @@ fn nan_and_infinite_coordinates_are_rejected_at_ingestion() {
     let d = DeviceId::new("bad");
     let records = vec![
         RawRecord::new(d.clone(), f64::NAN, 1.0, 0, Timestamp::from_millis(0)),
-        RawRecord::new(d.clone(), 1.0, f64::INFINITY, 0, Timestamp::from_millis(1000)),
+        RawRecord::new(
+            d.clone(),
+            1.0,
+            f64::INFINITY,
+            0,
+            Timestamp::from_millis(1000),
+        ),
         RawRecord::new(d.clone(), 5.0, 5.0, 0, Timestamp::from_millis(2000)),
     ];
     let seq = PositioningSequence::from_records(d, records);
@@ -84,7 +90,15 @@ fn single_record_sequence() {
 fn all_records_outside_building() {
     let d = DeviceId::new("lost");
     let records: Vec<RawRecord> = (0..30)
-        .map(|i| RawRecord::new(d.clone(), -900.0, -900.0, 0, Timestamp::from_millis(i * 7000)))
+        .map(|i| {
+            RawRecord::new(
+                d.clone(),
+                -900.0,
+                -900.0,
+                0,
+                Timestamp::from_millis(i * 7000),
+            )
+        })
         .collect();
     let seq = PositioningSequence::from_records(d, records);
     let result = translate(vec![seq]);
@@ -110,10 +124,22 @@ fn duplicate_timestamps_are_resolved() {
     let d = DeviceId::new("dup");
     let mut records = Vec::new();
     for i in 0..20i64 {
-        records.push(RawRecord::new(d.clone(), 5.0, 4.0, 0, Timestamp::from_millis(i * 7000)));
+        records.push(RawRecord::new(
+            d.clone(),
+            5.0,
+            4.0,
+            0,
+            Timestamp::from_millis(i * 7000),
+        ));
         // Duplicate every 4th timestamp with a conflicting position.
         if i % 4 == 0 {
-            records.push(RawRecord::new(d.clone(), 50.0, 4.0, 0, Timestamp::from_millis(i * 7000)));
+            records.push(RawRecord::new(
+                d.clone(),
+                50.0,
+                4.0,
+                0,
+                Timestamp::from_millis(i * 7000),
+            ));
         }
     }
     let seq = PositioningSequence::from_records(d, records);
@@ -158,7 +184,13 @@ fn disconnected_floor_does_not_break_translation() {
         .map(|i| RawRecord::new(d.clone(), 5.0, 4.0, 0, Timestamp::from_millis(i * 7000)))
         .collect();
     for i in 10..20 {
-        records.push(RawRecord::new(d.clone(), 5.0, 5.0, 9, Timestamp::from_millis(i * 7000)));
+        records.push(RawRecord::new(
+            d.clone(),
+            5.0,
+            5.0,
+            9,
+            Timestamp::from_millis(i * 7000),
+        ));
     }
     let seq = PositioningSequence::from_records(d, records);
     let translator =
@@ -200,7 +232,13 @@ fn massive_outlier_burst_cleaned_or_dropped() {
         } else {
             (10.0 + 0.5 * i as f64, 11.0)
         };
-        records.push(RawRecord::new(d.clone(), x, y, 0, Timestamp::from_millis(i * 7000)));
+        records.push(RawRecord::new(
+            d.clone(),
+            x,
+            y,
+            0,
+            Timestamp::from_millis(i * 7000),
+        ));
     }
     let dsm = mall();
     let cleaner = Cleaner::with_defaults(&dsm).unwrap();

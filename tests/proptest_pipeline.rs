@@ -44,8 +44,8 @@ fn arb_sequence() -> impl Strategy<Value = PositioningSequence> {
     let step = (
         -3.0f64..3.0,
         -3.0f64..3.0,
-        0u8..40,   // glitch selector
-        1i64..15,  // seconds to next record
+        0u8..40,  // glitch selector
+        1i64..15, // seconds to next record
     );
     proptest::collection::vec(step, 2..120).prop_map(|steps| {
         let d = DeviceId::new("prop");
@@ -59,16 +59,28 @@ fn arb_sequence() -> impl Strategy<Value = PositioningSequence> {
             x = (x + dx).clamp(0.0, 30.0);
             y = (y + dy).clamp(0.0, 22.0);
             match glitch {
-                0 => floor = (floor + 1).min(1),         // floor misread up
-                1 => floor = (floor - 1).max(0),         // floor misread down
+                0 => floor = (floor + 1).min(1), // floor misread up
+                1 => floor = (floor - 1).max(0), // floor misread down
                 2 => {
                     // Outlier jump.
-                    records.push(RawRecord::new(d.clone(), x + 200.0, y, floor, Timestamp::from_millis(t)));
+                    records.push(RawRecord::new(
+                        d.clone(),
+                        x + 200.0,
+                        y,
+                        floor,
+                        Timestamp::from_millis(t),
+                    ));
                     continue;
                 }
                 _ => {}
             }
-            records.push(RawRecord::new(d.clone(), x, y, floor, Timestamp::from_millis(t)));
+            records.push(RawRecord::new(
+                d.clone(),
+                x,
+                y,
+                floor,
+                Timestamp::from_millis(t),
+            ));
         }
         PositioningSequence::from_records(d, records)
     })

@@ -53,7 +53,11 @@ fn learned_model_beats_threshold_baseline() {
     let test_ds = dataset(2002);
     let (train_x, train_y) = labelled_snippets(&train_ds);
     let (test_x, test_y) = labelled_snippets(&test_ds);
-    assert!(train_x.len() > 30, "enough training snippets: {}", train_x.len());
+    assert!(
+        train_x.len() > 30,
+        "enough training snippets: {}",
+        train_x.len()
+    );
     assert!(test_x.len() > 30);
 
     let tree = trips::annotate::model::DecisionTree::train(
@@ -73,7 +77,11 @@ fn learned_model_beats_threshold_baseline() {
         tree_m.accuracy,
         base_m.accuracy
     );
-    assert!(tree_m.accuracy > 0.8, "learned accuracy {:.3}", tree_m.accuracy);
+    assert!(
+        tree_m.accuracy > 0.8,
+        "learned accuracy {:.3}",
+        tree_m.accuracy
+    );
 }
 
 #[test]
@@ -155,9 +163,15 @@ fn stop_move_baseline_cannot_express_custom_patterns() {
             .collect()
     };
     for k in 0..8usize {
-        editor.designate_segment("stay", &mk(0.005, 12 + k)).unwrap();
-        editor.designate_segment("queueing", &mk(0.07, 10 + k)).unwrap();
-        editor.designate_segment("pass-by", &mk(1.3, 6 + k)).unwrap();
+        editor
+            .designate_segment("stay", &mk(0.005, 12 + k))
+            .unwrap();
+        editor
+            .designate_segment("queueing", &mk(0.07, 10 + k))
+            .unwrap();
+        editor
+            .designate_segment("pass-by", &mk(1.3, 6 + k))
+            .unwrap();
     }
     let (model, labels) = editor.train_default_model().unwrap();
     assert_eq!(labels.len(), 3);

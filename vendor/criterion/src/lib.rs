@@ -1,0 +1,309 @@
+//! Offline stand-in for `criterion` with the macro/API surface the bench
+//! suite uses: `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `benchmark_group` (with `sample_size` / `throughput`), `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `BatchSize`, and
+//! `Bencher::{iter, iter_batched}`.
+//!
+//! Measurement is deliberately lightweight — a short warmup then a bounded
+//! sampling loop per benchmark, reporting mean wall-clock time (and
+//! element throughput when declared) to stdout. No plots, no statistics
+//! beyond the mean: the point is that `cargo bench` runs end-to-end offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped; the stand-in times one input per batch
+/// regardless, so variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A parameterised benchmark name, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Names acceptable where criterion takes `impl Into<BenchmarkId>`-ish ids.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    /// Total time spent in measured routines, and iterations counted.
+    elapsed: Duration,
+    iters: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the sampling loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup draw (also primes caches/allocs out of the measurement).
+        black_box(routine());
+        let samples = self.sample_size as u64;
+        let start = Instant::now();
+        for _ in 0..samples {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += samples;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let samples = self.sample_size as u64;
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += samples;
+    }
+
+    /// Like [`Self::iter_batched`] but the routine borrows the input mutably.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        let samples = self.sample_size as u64;
+        for _ in 0..samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += samples;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let time = if per_iter >= 1.0 {
+        format!("{per_iter:.3} s")
+    } else if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else {
+        format!("{:.3} µs", per_iter * 1e6)
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / per_iter;
+            println!("{name:<50} {time:>12}/iter {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / per_iter / 1e6;
+            println!("{name:<50} {time:>12}/iter {rate:>12.1} MB/s");
+        }
+        None => println!("{name:<50} {time:>12}/iter"),
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    /// Measured routine invocations per benchmark (settable per group).
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep offline bench runs quick; upstream's default is 100.
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into_id();
+        run_one(&name, self.default_sample_size, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        sample_size,
+    };
+    f(&mut b);
+    report(name, &b, throughput);
+}
+
+/// A named group of related benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n.min(20);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (`--bench`, filters); none apply here.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut count = 0u64;
+        run_one("test/iter", 5, None, |b| b.iter(|| count += 1));
+        assert_eq!(count, 6); // warmup + samples
+
+        let mut batched = 0u64;
+        run_one("test/batched", 5, Some(Throughput::Elements(10)), |b| {
+            b.iter_batched(|| 2u64, |x| batched += x, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 12);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

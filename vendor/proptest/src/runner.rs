@@ -1,0 +1,179 @@
+//! The deterministic case runner behind `proptest!`.
+
+use crate::strategy::Strategy;
+use crate::{ProptestConfig, TestCaseError, TestCaseResult};
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng};
+use std::fs;
+use std::path::PathBuf;
+
+/// The rng handed to strategies. Wraps the workspace `StdRng` so strategies
+/// stay decoupled from the rand crate's traits.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    pub fn sample_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(&mut self.0)
+    }
+}
+
+/// FNV-1a over the test's full name: the per-test base seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Seed for `case` (attempt 0) or its retries after rejections.
+fn case_seed(base: u64, case: u64, attempt: u64) -> u64 {
+    base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt.wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+fn regression_path(manifest_dir: &str, test_name: &str) -> PathBuf {
+    // `module_path!()`-derived names contain `::`; keep filenames flat.
+    let flat = test_name.replace("::", "__");
+    PathBuf::from(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{flat}.txt"))
+}
+
+/// Seeds recorded by previous failing runs, replayed before fresh cases.
+fn load_regressions(manifest_dir: &str, test_name: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(regression_path(manifest_dir, test_name)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| l.trim().strip_prefix("cc "))
+        .filter_map(|s| s.trim().parse::<u64>().ok())
+        .collect()
+}
+
+fn save_regression(manifest_dir: &str, test_name: &str, seed: u64) {
+    let path = regression_path(manifest_dir, test_name);
+    let Some(dir) = path.parent() else { return };
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut text = fs::read_to_string(&path).unwrap_or_else(|_| {
+        "# Proptest regression seeds. Committed on purpose: each `cc <seed>` line\n\
+         # replays a previously failing case before fresh cases are generated.\n"
+            .to_string()
+    });
+    let line = format!("cc {seed}");
+    if !text.lines().any(|l| l.trim() == line) {
+        text.push_str(&line);
+        text.push('\n');
+        let _ = fs::write(&path, text);
+    }
+}
+
+/// Runs one property: replayed regression seeds first, then `config.cases`
+/// deterministic fresh cases. Panics (failing the enclosing `#[test]`) on
+/// the first violated property, recording its seed.
+pub fn run<S: Strategy>(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    test_name: &str,
+    strategy: S,
+    test: impl Fn(S::Value) -> TestCaseResult,
+) {
+    let base = fnv1a(test_name);
+    let mut global_rejects: u32 = 0;
+
+    let run_seed = |seed: u64, label: &str| {
+        let mut rng = TestRng::from_seed(seed);
+        let value = strategy.new_value(&mut rng);
+        match test(value) {
+            Ok(()) => true,
+            Err(TestCaseError::Reject(_)) => false,
+            Err(TestCaseError::Fail(msg)) => {
+                save_regression(manifest_dir, test_name, seed);
+                panic!(
+                    "proptest `{test_name}` failed at {label} (seed {seed}): {msg}\n\
+                     (seed recorded in proptest-regressions/)"
+                );
+            }
+        }
+    };
+
+    for (i, seed) in load_regressions(manifest_dir, test_name)
+        .into_iter()
+        .enumerate()
+    {
+        // Regression inputs that now hit `prop_assume!` count as passed.
+        run_seed(seed, &format!("regression #{i}"));
+    }
+
+    for case in 0..config.cases {
+        let mut attempt: u64 = 0;
+        loop {
+            let seed = case_seed(base, case as u64, attempt);
+            if run_seed(seed, &format!("case {case}")) {
+                break;
+            }
+            global_rejects += 1;
+            attempt += 1;
+            if global_rejects > config.max_global_rejects {
+                panic!(
+                    "proptest `{test_name}`: too many prop_assume! rejections \
+                     ({global_rejects}) — weaken the assumption or the strategy"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let strat = (0u64..1000, 0.0f64..1.0);
+        let a = strat.new_value(&mut TestRng::from_seed(1));
+        let b = strat.new_value(&mut TestRng::from_seed(1));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5i64..10, y in 0.0f64..2.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(0usize..4, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn map_and_assume_work(v in (1u32..50).prop_map(|x| x * 2)) {
+            prop_assume!(v != 4);
+            prop_assert!(v % 2 == 0);
+            prop_assert_ne!(v, 4);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn oneof_draws_every_arm(picks in prop::collection::vec(prop_oneof![Just(1), Just(2)], 64)) {
+            prop_assert!(picks.iter().all(|&p| p == 1 || p == 2));
+        }
+    }
+}

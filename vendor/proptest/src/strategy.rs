@@ -1,0 +1,127 @@
+//! The `Strategy` trait and basic combinators.
+
+use crate::runner::TestRng;
+
+/// A recipe for generating values of `Self::Value` from a deterministic rng.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// simply produces one value per draw.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strat: self, f }
+    }
+
+    /// Discards generated values failing the predicate (the runner retries;
+    /// counts against the global reject budget like `prop_assume!`).
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            strat: self,
+            f,
+            reason,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) strat: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strat.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`]. Draws until the predicate holds, bounded
+/// by a local retry cap (then panics with the filter's reason).
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    pub(crate) strat: S,
+    pub(crate) f: F,
+    pub(crate) reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.strat.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 10000 consecutive draws: {}",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between same-typed strategies (`prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<S> {
+    arms: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    pub fn new(arms: Vec<S>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        let i = rng.sample_range(0..self.arms.len());
+        self.arms[i].new_value(rng)
+    }
+}

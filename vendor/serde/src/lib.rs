@@ -1,0 +1,396 @@
+//! Offline stand-in for `serde` with the same import surface this workspace
+//! uses: `Serialize` / `Deserialize` traits, same-named derive macros, and a
+//! `#[serde(skip)]` field attribute.
+//!
+//! Unlike upstream serde's visitor architecture, this implementation
+//! round-trips through an owned [`value::Value`] tree — `serde_json` then
+//! prints/parses that tree. This keeps the derive machinery small enough to
+//! hand-roll without `syn`/`quote` while preserving upstream's external JSON
+//! shape (externally-tagged enums, transparent newtypes, string-keyed maps).
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a named struct field, treating a missing key as `null` (so
+/// `Option` fields may be omitted, as with upstream's `default` behaviour
+/// for options; all other types report a missing-field error).
+pub fn de_field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v),
+        None => {
+            T::from_value(&Value::Null).map_err(|_| Error::custom(format!("missing field `{key}`")))
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(i).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        if let Ok(i) = i64::try_from(*self) {
+            Value::Int(i)
+        } else {
+            Value::Float(*self as f64)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let i = v
+            .as_i64()
+            .ok_or_else(|| Error::custom(format!("expected integer, got {}", v.kind())))?;
+        u64::try_from(i).map_err(|_| Error::custom("integer out of range"))
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() { Value::Float(f) } else { Value::Null }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::custom(format!("expected number, got {}", v.kind())))
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::custom("expected single-char string"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(Arc::from)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for Rc<str> {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for Rc<str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(Rc::from)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", v.kind())))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($( ( $($n:tt $t:ident),+ ) )*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected tuple array, got {}", v.kind())))?;
+                let want = [$($n,)+].len();
+                if arr.len() != want {
+                    return Err(Error::custom(format!(
+                        "expected {}-tuple, got {} elements", want, arr.len()
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Maps serialize as JSON objects when every key serializes to a string
+/// (upstream's shape), falling back to an array of `[key, value]` pairs for
+/// structured keys — this crate's deserializers accept both shapes.
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)> + Clone,
+{
+    let keys: Vec<Value> = entries.clone().map(|(k, _)| k.to_value()).collect();
+    if keys.iter().all(|k| matches!(k, Value::String(_))) {
+        Value::Object(
+            keys.into_iter()
+                .zip(entries.map(|(_, v)| v.to_value()))
+                .map(|(k, v)| match k {
+                    Value::String(s) => (s, v),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            keys.into_iter()
+                .zip(entries.map(|(_, v)| v.to_value()))
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+fn map_entries_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .map(|(k, val)| {
+                Ok((
+                    K::from_value(&Value::String(k.clone()))?,
+                    V::from_value(val)?,
+                ))
+            })
+            .collect(),
+        Value::Array(items) => items.iter().map(<(K, V)>::from_value).collect(),
+        other => Err(Error::custom(format!("expected map, got {}", other.kind()))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        map_entries_from_value(v).map(|entries| entries.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort entries by serialized key.
+        let mut pairs: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        pairs.sort_by_key(|(k, _)| k.sort_key());
+        if pairs.iter().all(|(k, _)| matches!(k, Value::String(_))) {
+            Value::Object(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| match k {
+                        Value::String(s) => (s, v),
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Array(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| Value::Array(vec![k, v]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        map_entries_from_value(v).map(|entries| entries.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

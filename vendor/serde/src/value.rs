@@ -1,0 +1,222 @@
+//! The owned JSON-shaped value tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON-shaped value. Objects preserve insertion order (like upstream
+/// `serde_json` with `preserve_order`), which keeps derive output stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer view; floats with an exact integer value qualify.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object-member or array-element lookup, `None` when absent.
+    pub fn get(&self, index: impl ValueIndex) -> Option<&Value> {
+        index.get_from(self)
+    }
+
+    /// Total order key for deterministic map serialization.
+    pub(crate) fn sort_key(&self) -> String {
+        match self {
+            Value::String(s) => s.clone(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Types usable with [`Value::get`] and `Index`.
+pub trait ValueIndex {
+    fn get_from<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+}
+
+impl ValueIndex for usize {
+    fn get_from<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl ValueIndex for &str {
+    fn get_from<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == self).map(|(_, val)| val))
+    }
+}
+
+impl<I: ValueIndex> Index<I> for Value {
+    type Output = Value;
+
+    /// Missing members index to `null` (matching `serde_json`'s behaviour)
+    /// rather than panicking.
+    fn index(&self, index: I) -> &Value {
+        index.get_from(self).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+macro_rules! impl_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == i64::try_from(*other).ok()
+            }
+        }
+    )*};
+}
+
+impl_eq_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Value::Float(_) => f.write_str("null"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Writes `s` as a quoted JSON string (used by `serde_json`'s printers).
+pub fn write_escaped(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}

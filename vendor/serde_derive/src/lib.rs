@@ -1,0 +1,537 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde`, written directly against `proc_macro::TokenStream` (the offline
+//! toolchain has no `syn`/`quote`).
+//!
+//! Supported shapes — exactly what this workspace declares:
+//! named/tuple/unit structs, enums with unit/tuple/struct variants,
+//! lifetime-only generics, and the `#[serde(skip)]` field attribute
+//! (skipped fields deserialize via `Default`). Type parameters and other
+//! `#[serde(...)]` options are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    lifetimes: Vec<String>,
+    data: Data,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading `#[...]` attributes; returns true if any is
+    /// `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> Result<bool, String> {
+        let mut has_skip = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(i)) = inner.first() {
+                        if i.to_string() == "serde" {
+                            let body = match inner.get(1) {
+                                Some(TokenTree::Group(b)) => b.stream().to_string(),
+                                _ => String::new(),
+                            };
+                            if body.trim() == "skip" {
+                                has_skip = true;
+                            } else {
+                                return Err(format!(
+                                    "unsupported #[serde({body})] — this derive only knows `skip`"
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Err("malformed attribute".into()),
+            }
+        }
+        Ok(has_skip)
+    }
+
+    /// Consumes `pub` / `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a `<...>` generics list; only lifetime params are accepted.
+    fn parse_generics(&mut self) -> Result<Vec<String>, String> {
+        let mut lifetimes = Vec::new();
+        if !self.eat_punct('<') {
+            return Ok(lifetimes);
+        }
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    let name = self.expect_ident()?;
+                    if depth == 1 {
+                        lifetimes.push(name);
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                Some(TokenTree::Ident(i)) => {
+                    return Err(format!(
+                        "type/const parameter `{i}` unsupported by the vendored serde derive"
+                    ));
+                }
+                Some(_) => {}
+                None => return Err("unterminated generics".into()),
+            }
+        }
+        Ok(lifetimes)
+    }
+
+    /// Skips a field's type: everything up to a top-level `,` (or the end),
+    /// tracking `<...>` nesting so type-argument commas don't terminate.
+    fn skip_type(&mut self) {
+        let mut angle: usize = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Parses the fields of a `{ ... }` struct body or struct variant.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let skip = cur.skip_attrs()?;
+        cur.skip_visibility();
+        let name = cur.expect_ident()?;
+        if !cur.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        cur.skip_type();
+        cur.eat_punct(',');
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a `( ... )` tuple body (top-level commas + 1).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    if cur.at_end() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: usize = 0;
+    while let Some(t) = cur.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if cur.at_end() {
+                    // trailing comma
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs()?;
+        let name = cur.expect_ident()?;
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cur.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if cur.eat_punct('=') {
+            // Explicit discriminant: skip the expression.
+            while let Some(t) = cur.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cur.next();
+            }
+        }
+        cur.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_input(item: TokenStream) -> Result<Input, String> {
+    let mut cur = Cursor::new(item);
+    cur.skip_attrs()?;
+    cur.skip_visibility();
+    let kw = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    let lifetimes = cur.parse_generics()?;
+    match kw.as_str() {
+        "struct" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                lifetimes,
+                data: Data::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                name,
+                lifetimes,
+                data: Data::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+                name,
+                lifetimes,
+                data: Data::UnitStruct,
+            }),
+            Some(TokenTree::Ident(i)) if i.to_string() == "where" => {
+                Err("`where` clauses unsupported by the vendored serde derive".into())
+            }
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                lifetimes,
+                data: Data::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// `impl<'a, 'b>` header fragment + `Name<'a, 'b>` type fragment.
+fn generics(input: &Input) -> (String, String) {
+    if input.lifetimes.is_empty() {
+        (String::new(), input.name.clone())
+    } else {
+        let list = input
+            .lifetimes
+            .iter()
+            .map(|l| format!("'{l}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        (format!("<{list}>"), format!("{}<{list}>", input.name))
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (params, ty) = generics(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::value::Value::Object(fields)");
+            s
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::value::Value::Array(vec![{items}])")
+        }
+        Data::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::value::Value::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let pats = (0..*n)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vn}({pats}) => ::serde::value::Value::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::value::Value::Array(vec![{items}]))]),\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pats = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pats} }} => ::serde::value::Value::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::value::Value::Object(vec![{items}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{params} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> Result<String, String> {
+    if !input.lifetimes.is_empty() {
+        return Err("Deserialize derive does not support borrowed (lifetime-generic) types".into());
+    }
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::de_field(__obj, \"{0}\")?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected object for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected array for `{name}`\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for `{name}`\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __arr = __payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload for `{name}::{vn}`\"))?;\n\
+                             if __arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for `{name}::{vn}`\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}({items}))\n}}\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::de_field(__obj, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __obj = __payload.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object payload for `{name}::{vn}`\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                 }},\n\
+                 ::serde::value::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                 }}\n}}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"expected variant of `{name}`, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    Ok(format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    ))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    match parse_input(item) {
+        Ok(input) => gen_serialize(&input)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    match parse_input(item).and_then(|input| gen_deserialize(&input)) {
+        Ok(code) => code
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}

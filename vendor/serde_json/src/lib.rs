@@ -1,0 +1,372 @@
+//! Offline stand-in for `serde_json`: prints and parses the vendored
+//! `serde`'s [`Value`] tree as standard JSON (`to_string`,
+//! `to_string_pretty`, `from_str`, indexable `Value`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+pub use serde::value::Value;
+
+/// JSON serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Two-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Converts a [`Value`] tree into a deserializable type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON text into any deserializable type (including [`Value`]).
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(p.error("trailing characters"));
+    }
+    T::from_value(&v).map_err(Error::from)
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                out.push_str(&pad_in);
+                let _ = serde::value::write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+                if i + 1 < pairs.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.s.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.error("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    pairs.push((key, self.parse_value()?));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(self.error("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    /// Reads 4 hex digits starting at byte offset `at`.
+    fn read_hex4(&self, at: usize) -> Result<u32, Error> {
+        let hex = self
+            .s
+            .get(at..at + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.error("invalid \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.pos).copied() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.s.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let mut cp = self.read_hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: external producers (e.g.
+                                // ensure_ascii JSON) encode non-BMP chars as
+                                // a \uXXXX\uXXXX pair — combine it.
+                                if self.s.get(self.pos + 1..self.pos + 3) == Some(b"\\u") {
+                                    let low = self.read_hex4(self.pos + 3)?;
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                        self.pos += 6;
+                                    }
+                                }
+                            }
+                            // Unpaired surrogates degrade to the replacement
+                            // char rather than erroring (lenient like most
+                            // parsers' non-strict modes).
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Bulk-copy the run up to the next quote or escape
+                    // (input is a &str, so the slice is valid UTF-8).
+                    let start = self.pos;
+                    while matches!(self.s.get(self.pos), Some(b) if *b != b'"' && *b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.s[start..self.pos])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    out.push_str(run);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if matches!(self.s.get(self.pos), Some(b'-')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.s.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.error("invalid number"));
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let json = r#"{"a": [1, 2.5, "x\ny", true, null], "b": {"c": -3}}"#;
+        let v: Value = from_str(json).unwrap();
+        assert_eq!(v["a"][0], 1);
+        assert_eq!(v["a"][1], 2.5);
+        assert_eq!(v["a"][2], "x\ny");
+        assert_eq!(v["a"][3], true);
+        assert!(v["a"][4].is_null());
+        assert_eq!(v["b"]["c"], -3);
+        let reprinted: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(reprinted, v);
+        let pretty: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn missing_index_is_null() {
+        let v: Value = from_str(r#"{"a": 1}"#).unwrap();
+        assert!(v["nope"].is_null());
+        assert!(v["a"][3].is_null());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_scalar() {
+        // Python json.dumps("😀") with ensure_ascii=True.
+        let v: Value = from_str(r#""\ud83d\ude00 ok""#).unwrap();
+        assert_eq!(v, "\u{1F600} ok");
+        // Lone surrogate degrades to the replacement char, not an error.
+        let v: Value = from_str(r#""\ud83dx""#).unwrap();
+        assert_eq!(v, "\u{fffd}x");
+        // Truncated escape after a high surrogate is a hard error.
+        assert!(from_str::<Value>(r#""\ud83d\u12""#).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let xs: Vec<(String, f64)> = vec![("a".into(), 1.5), ("b".into(), -2.0)];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<(String, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+    }
+}
