@@ -7,7 +7,7 @@
 //! Run: `cargo run -p trips-bench --bin figure6 --release`
 //! (set `TRIPS_FIGURE6_FULL=1` for the full-scale sweep)
 
-use trips_bench::{editor_from_truth, f1, make_dataset, time_ms, Table};
+use trips_bench::{editor_from_truth, f1, make_dataset, pipeline_table, time_ms, Table};
 use trips_core::{Translator, TranslatorConfig};
 use trips_sim::ErrorModel;
 
@@ -22,6 +22,7 @@ fn main() {
     let days = if full { 7 } else { 2 };
 
     let mut t = Table::new(&["devices", "records", "wall ms", "krecords/s"]);
+    let mut last_report = None;
     for &devices in device_counts {
         let ds = make_dataset(7, 6, devices, days, 0xF16006, ErrorModel::default());
         let editor = editor_from_truth(&ds, 15);
@@ -29,15 +30,21 @@ fn main() {
             .expect("translator");
         let seqs = ds.sequences();
         let records = ds.record_count();
-        let (_, ms) = time_ms(|| translator.translate(&seqs));
+        let (result, ms) = time_ms(|| translator.translate(&seqs));
         t.row(&[
             devices.to_string(),
             records.to_string(),
             f1(ms),
             f1(records as f64 / ms),
         ]);
+        last_report = Some(result.report);
     }
     t.print();
+
+    if let Some(report) = last_report {
+        println!("\nper-stage engine timings (largest workload):");
+        pipeline_table(&report).print();
+    }
 
     // Parallel speedup at a fixed workload.
     println!("\nparallel backend speedup (fixed workload):");

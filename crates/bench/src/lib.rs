@@ -11,6 +11,7 @@ use trips_annotate::EventEditor;
 use trips_core::assess::{self, AssessmentReport};
 use trips_core::TranslationResult;
 use trips_data::RawRecord;
+use trips_engine::PipelineReport;
 use trips_sim::{ErrorModel, ScenarioConfig, SimulatedDataset};
 
 /// Standard dataset builder used across experiments.
@@ -150,6 +151,25 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+}
+
+/// Renders an engine [`PipelineReport`] as an aligned table — the timing
+/// side of every experiment binary that runs the Translator.
+pub fn pipeline_table(report: &PipelineReport) -> Table {
+    let mut t = Table::new(&["stage", "items", "wall ms"]);
+    for s in &report.stages {
+        t.row(&[
+            s.name.clone(),
+            s.items.to_string(),
+            f1(s.wall.as_secs_f64() * 1000.0),
+        ]);
+    }
+    t.row(&[
+        "total".to_string(),
+        String::new(),
+        f1(report.total_wall().as_secs_f64() * 1000.0),
+    ]);
+    t
 }
 
 /// Formats a float with 3 decimals (table cells).

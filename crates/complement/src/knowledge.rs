@@ -30,11 +30,15 @@ const DEFAULT_DWELL_MS: f64 = 60_000.0;
 impl MobilityKnowledge {
     /// Builds knowledge from annotated sequences.
     ///
+    /// Accepts any slice of semantics sequences — owned (`&[Vec<_>]`) or
+    /// borrowed (`&[&Vec<_>]`), so callers holding the data elsewhere don't
+    /// have to copy it here.
+    ///
     /// `smoothing` is the Laplace pseudo-count spread over adjacent region
     /// pairs (0.5 is a good default; 0 disables smoothing).
-    pub fn build(
+    pub fn build<S: AsRef<[MobilitySemantics]>>(
         dsm: &DigitalSpaceModel,
-        sequences: &[Vec<MobilitySemantics>],
+        sequences: &[S],
         smoothing: f64,
     ) -> Self {
         let mut k = Self::skeleton(dsm);
@@ -46,6 +50,7 @@ impl MobilityKnowledge {
         let mut observed = 0usize;
 
         for seq in sequences {
+            let seq = seq.as_ref();
             for s in seq {
                 if let Some(&i) = k.index.get(&s.region) {
                     dwell_sum[i] += s.duration().as_millis() as f64;
@@ -253,7 +258,7 @@ mod tests {
             .id;
         let shop = dsm.regions().find(|r| r.tag.category == "shop").unwrap().id;
         // No data at all, smoothing only.
-        let k = MobilityKnowledge::build(&dsm, &[], 0.5);
+        let k = MobilityKnowledge::build::<Vec<MobilitySemantics>>(&dsm, &[], 0.5);
         assert!(
             k.transition_prob(hall, shop) > 0.0,
             "adjacent pair smoothed"
@@ -269,7 +274,7 @@ mod tests {
             .unwrap()
             .id;
         let shop = dsm.regions().find(|r| r.tag.category == "shop").unwrap().id;
-        let k = MobilityKnowledge::build(&dsm, &[], 0.0);
+        let k = MobilityKnowledge::build::<Vec<MobilitySemantics>>(&dsm, &[], 0.0);
         assert_eq!(k.transition_prob(hall, shop), 0.0);
     }
 

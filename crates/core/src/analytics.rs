@@ -210,6 +210,7 @@ mod tests {
 
     fn sample() -> TranslationResult {
         TranslationResult {
+            report: Default::default(),
             devices: vec![
                 device(
                     "a.b.c.1",

@@ -119,6 +119,7 @@ mod tests {
             },
         ];
         TranslationResult {
+            report: Default::default(),
             devices: vec![DeviceTranslation {
                 cleaned: CleanedSequence {
                     sequence: raw.clone(),

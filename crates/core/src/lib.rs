@@ -7,7 +7,8 @@
 //!   the DSM, and Event Editor training data, bundled as one configuration;
 //! * [`translator`] — the **Translator**: the three-layer pipeline
 //!   (Cleaning → Annotation → Complementing) over each selected sequence,
-//!   with a serial and a multi-threaded backend;
+//!   staged on the `trips-engine` executor (serial or multi-threaded, with
+//!   identical output either way) and timed per stage;
 //! * [`store`] — the backend storage that lets configurations be reused "in
 //!   other translation tasks in the same indoor space" (paper §4);
 //! * [`assess`] — translation-quality metrics against ground truth (the
@@ -33,3 +34,4 @@ pub use assess::AssessmentReport;
 pub use config::Configurator;
 pub use system::Trips;
 pub use translator::{DeviceTranslation, TranslationResult, Translator, TranslatorConfig};
+pub use trips_engine::{PipelineReport, StageReport};

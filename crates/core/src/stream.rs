@@ -51,8 +51,7 @@ pub struct StreamingTranslator<'a> {
     complementor: Option<Complementor<'a>>,
     config: StreamConfig,
     buffers: BTreeMap<DeviceId, Vec<RawRecord>>,
-    /// Total semantics emitted so far (diagnostics).
-    pub emitted: usize,
+    emitted: usize,
 }
 
 impl<'a> StreamingTranslator<'a> {
@@ -65,7 +64,9 @@ impl<'a> StreamingTranslator<'a> {
     ) -> Result<Self, Box<dyn std::error::Error>> {
         let (model, labels): (EventModel, Vec<String>) = match config.translator.model {
             ModelChoice::DecisionTree => editor.train_default_model()?,
-            ModelChoice::RandomForest(n) => editor.train_forest(n, 0xBEEF)?,
+            ModelChoice::RandomForest(n) => {
+                editor.train_forest(n, config.translator.forest_seed)?
+            }
             ModelChoice::Knn(k) => editor.train_knn(k)?,
         };
         let cleaner = Cleaner::new(dsm, config.translator.cleaner.clone())?;
@@ -81,6 +82,11 @@ impl<'a> StreamingTranslator<'a> {
             buffers: BTreeMap::new(),
             emitted: 0,
         })
+    }
+
+    /// Total semantics emitted so far (diagnostics).
+    pub fn emitted(&self) -> usize {
+        self.emitted
     }
 
     /// Number of devices with buffered (un-emitted) records.
@@ -119,12 +125,24 @@ impl<'a> StreamingTranslator<'a> {
     }
 
     /// Flushes every device's buffer (end of stream). Returns semantics per
-    /// device in device order.
+    /// device in device order. Devices fan out through the engine when the
+    /// translator config asks for worker threads.
     pub fn finish(&mut self) -> BTreeMap<DeviceId, Vec<MobilitySemantics>> {
-        let buffers = std::mem::take(&mut self.buffers);
+        // Buffers travel by move: `run_indexed` only hands workers `&T`, so
+        // each batch rides in a mutex the worker takes from — no record copy.
+        let entries: Vec<(DeviceId, parking_lot::Mutex<Vec<RawRecord>>)> =
+            std::mem::take(&mut self.buffers)
+                .into_iter()
+                .map(|(device, batch)| (device, parking_lot::Mutex::new(batch)))
+                .collect();
+        let this: &Self = self;
+        let translated = trips_engine::run_indexed(
+            this.config.translator.threads,
+            &entries,
+            |_, (device, batch)| this.translate_batch(device, std::mem::take(&mut batch.lock())),
+        );
         let mut out = BTreeMap::new();
-        for (device, batch) in buffers {
-            let sems = self.translate_batch(&device, batch);
+        for ((device, _), sems) in entries.into_iter().zip(translated) {
             self.emitted += sems.len();
             out.insert(device, sems);
         }
@@ -291,6 +309,69 @@ mod tests {
         }
         assert!(stream.buffered_records() <= 50);
         assert!(total > 0, "periodic flushes emitted semantics");
+    }
+
+    #[test]
+    fn finish_flushes_all_buffered_devices() {
+        let (ds, editor) = setup();
+        let mut stream =
+            StreamingTranslator::from_editor(&ds.dsm, &editor, None, StreamConfig::default())
+                .unwrap();
+        // Three devices dwell in a shop; none hits a flush gap, so
+        // everything is still buffered when the stream ends.
+        let devices: Vec<DeviceId> = (0..3).map(|d| DeviceId::new(&format!("dev-{d}"))).collect();
+        for (di, d) in devices.iter().enumerate() {
+            for i in 0..20i64 {
+                let dx = ((i * 7919) % 100) as f64 / 25.0 - 2.0;
+                let dy = ((i * 104_729) % 100) as f64 / 25.0 - 2.0;
+                let out = stream.push(RawRecord::new(
+                    d.clone(),
+                    5.0 + dx,
+                    4.0 + dy,
+                    0,
+                    trips_data::Timestamp::from_millis((di as i64 * 13 + i) * 7000),
+                ));
+                assert!(out.is_empty(), "no gap: nothing may flush early");
+            }
+        }
+        assert_eq!(stream.open_devices(), 3);
+        assert_eq!(stream.emitted(), 0);
+
+        let out = stream.finish();
+        assert_eq!(out.len(), 3, "every buffered device must flush");
+        for d in &devices {
+            assert!(!out[d].is_empty(), "device {d} dwelled: semantics expected");
+        }
+        assert_eq!(stream.open_devices(), 0);
+        assert_eq!(stream.buffered_records(), 0);
+        assert_eq!(
+            stream.emitted(),
+            out.values().map(Vec::len).sum::<usize>(),
+            "emitted counter covers the final flush"
+        );
+        assert!(stream.finish().is_empty(), "second finish is a no-op");
+    }
+
+    #[test]
+    fn finish_fanout_matches_serial() {
+        let (ds, editor) = setup();
+        let mut results = Vec::new();
+        for threads in [0usize, 4] {
+            let config = StreamConfig {
+                translator: TranslatorConfig {
+                    threads,
+                    ..TranslatorConfig::standard()
+                },
+                ..StreamConfig::default()
+            };
+            let mut stream =
+                StreamingTranslator::from_editor(&ds.dsm, &editor, None, config).unwrap();
+            for r in ds.all_records() {
+                stream.push(r);
+            }
+            results.push(stream.finish());
+        }
+        assert_eq!(results[0], results[1], "finish must be thread-invariant");
     }
 
     #[test]

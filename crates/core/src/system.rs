@@ -55,6 +55,12 @@ impl Trips {
         self.result.as_ref()
     }
 
+    /// Per-stage wall-clock timings of the last translation run — the
+    /// engine's [`trips_engine::PipelineReport`] collected by step 4.
+    pub fn pipeline_report(&self) -> Option<&trips_engine::PipelineReport> {
+        self.result.as_ref().map(|r| &r.report)
+    }
+
     /// Step 5: build the Viewer timeline for one translated device,
     /// combining raw records, cleaned records and semantics entries.
     pub fn timeline_for(&self, device: &DeviceId) -> Option<Timeline> {

@@ -6,6 +6,7 @@ use trips_clean::{CleanedSequence, Cleaner, CleanerConfig};
 use trips_complement::{Complementor, ComplementorConfig, MobilityKnowledge};
 use trips_data::PositioningSequence;
 use trips_dsm::{DigitalSpaceModel, DsmError};
+use trips_engine::{Pipeline, PipelineReport};
 
 /// Which classifier the Annotator uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,7 +21,7 @@ pub enum ModelChoice {
 }
 
 /// Translator configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TranslatorConfig {
     pub cleaner: CleanerConfig,
     pub annotator: AnnotatorConfig,
@@ -28,17 +29,31 @@ pub struct TranslatorConfig {
     pub model: ModelChoice,
     /// Worker threads for the parallel backend (0 or 1 = serial).
     pub threads: usize,
+    /// RNG seed for [`ModelChoice::RandomForest`] bagging. The default
+    /// (`0xBEEF`) is pinned by the golden tests; change it to retrain with
+    /// different bootstrap samples.
+    pub forest_seed: u64,
+}
+
+impl Default for TranslatorConfig {
+    fn default() -> Self {
+        TranslatorConfig {
+            cleaner: CleanerConfig::default(),
+            annotator: AnnotatorConfig::default(),
+            complementor: ComplementorConfig::default(),
+            model: ModelChoice::default(),
+            threads: 0,
+            forest_seed: 0xBEEF,
+        }
+    }
 }
 
 impl TranslatorConfig {
     /// Standard configuration (merge gap enabled, serial execution).
     pub fn standard() -> Self {
         TranslatorConfig {
-            cleaner: CleanerConfig::default(),
             annotator: AnnotatorConfig::standard(),
-            complementor: ComplementorConfig::default(),
-            model: ModelChoice::DecisionTree,
-            threads: 0,
+            ..TranslatorConfig::default()
         }
     }
 
@@ -83,6 +98,9 @@ impl DeviceTranslation {
 #[derive(Debug, Clone, Default)]
 pub struct TranslationResult {
     pub devices: Vec<DeviceTranslation>,
+    /// Per-stage wall-clock timings of the pipeline run that produced this
+    /// result (clean+annotate / knowledge / complement).
+    pub report: PipelineReport,
 }
 
 impl TranslationResult {
@@ -137,7 +155,7 @@ impl<'a> Translator<'a> {
     ) -> Result<Self, Box<dyn std::error::Error>> {
         let (model, labels) = match config.model {
             ModelChoice::DecisionTree => editor.train_default_model()?,
-            ModelChoice::RandomForest(n) => editor.train_forest(n, 0xBEEF)?,
+            ModelChoice::RandomForest(n) => editor.train_forest(n, config.forest_seed)?,
             ModelChoice::Knn(k) => editor.train_knn(k)?,
         };
         Ok(Translator::new(dsm, model, labels, config)?)
@@ -145,55 +163,46 @@ impl<'a> Translator<'a> {
 
     /// Translates the selected sequences into mobility semantics.
     ///
-    /// Pipeline: clean and annotate every sequence (parallelisable), build
-    /// the mobility knowledge over *all* original semantics (the
-    /// Complementor "refer\[s\] to other generated mobility semantics
-    /// sequences"), then complement each sequence.
+    /// Pipeline (all fan-out through [`trips_engine`], so parallel output is
+    /// bit-identical to serial):
+    ///
+    /// 1. `clean+annotate` — clean and annotate every sequence;
+    /// 2. `knowledge` — build the mobility knowledge over *all* original
+    ///    semantics (the Complementor "refer\[s\] to other generated
+    ///    mobility semantics sequences"), a serial barrier;
+    /// 3. `complement` — complement each sequence.
+    ///
+    /// Per-stage wall-clock timings land in [`TranslationResult::report`].
     pub fn translate(&self, sequences: &[PositioningSequence]) -> TranslationResult {
+        let mut pipeline = Pipeline::new(self.config.threads);
+
+        // Built once and shared by every worker (they used to be rebuilt
+        // from cloned configs for each device).
+        let cleaner = Cleaner::new(self.dsm, self.config.cleaner.clone()).expect("frozen DSM");
+        let annotator = Annotator::new(
+            self.dsm,
+            self.model.clone(),
+            self.labels.clone(),
+            self.config.annotator.clone(),
+        );
+
         let per_device: Vec<(PositioningSequence, CleanedSequence, Vec<MobilitySemantics>)> =
-            if self.config.threads > 1 && sequences.len() > 1 {
-                self.clean_annotate_parallel(sequences)
-            } else {
-                sequences
-                    .iter()
-                    .map(|s| self.clean_annotate_one(s))
-                    .collect()
-            };
+            pipeline.map("clean+annotate", sequences, |_, seq| {
+                let cleaned = cleaner.clean(seq);
+                let sems = annotator.annotate(&cleaned.sequence);
+                (seq.clone(), cleaned, sems)
+            });
 
-        // Knowledge construction over all original sequences.
-        let all_sems: Vec<Vec<MobilitySemantics>> =
-            per_device.iter().map(|(_, _, sems)| sems.clone()).collect();
-        let knowledge = MobilityKnowledge::build(self.dsm, &all_sems, 0.5);
-        let complementor = Complementor::new(self.dsm, knowledge, self.config.complementor.clone());
-
+        let originals: Vec<&Vec<MobilitySemantics>> =
+            per_device.iter().map(|(_, _, sems)| sems).collect();
+        let complementor = pipeline.stage("knowledge", || {
+            let knowledge = MobilityKnowledge::build(self.dsm, &originals, 0.5);
+            Complementor::new(self.dsm, knowledge, self.config.complementor.clone())
+        });
         let complemented: Vec<Vec<MobilitySemantics>> =
-            if self.config.threads > 1 && per_device.len() > 1 {
-                let originals: Vec<&Vec<MobilitySemantics>> =
-                    per_device.iter().map(|(_, _, sems)| sems).collect();
-                let n_threads = self.config.threads.min(originals.len());
-                let mut slots: Vec<Option<Vec<MobilitySemantics>>> =
-                    (0..originals.len()).map(|_| None).collect();
-                let next = std::sync::atomic::AtomicUsize::new(0);
-                let slot_refs = parking_lot::Mutex::new(&mut slots);
-                std::thread::scope(|scope| {
-                    for _ in 0..n_threads {
-                        scope.spawn(|| loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= originals.len() {
-                                break;
-                            }
-                            let out = complementor.complement(originals[i]);
-                            slot_refs.lock()[i] = Some(out);
-                        });
-                    }
-                });
-                slots.into_iter().map(|s| s.expect("filled")).collect()
-            } else {
-                per_device
-                    .iter()
-                    .map(|(_, _, original)| complementor.complement(original))
-                    .collect()
-            };
+            pipeline.map("complement", &originals, |_, original| {
+                complementor.complement(original)
+            });
 
         let devices = per_device
             .into_iter()
@@ -205,54 +214,10 @@ impl<'a> Translator<'a> {
                 semantics,
             })
             .collect();
-        TranslationResult { devices }
-    }
-
-    fn clean_annotate_one(
-        &self,
-        seq: &PositioningSequence,
-    ) -> (PositioningSequence, CleanedSequence, Vec<MobilitySemantics>) {
-        let cleaner = Cleaner::new(self.dsm, self.config.cleaner.clone()).expect("frozen DSM");
-        let annotator = Annotator::new(
-            self.dsm,
-            self.model.clone(),
-            self.labels.clone(),
-            self.config.annotator.clone(),
-        );
-        let cleaned = cleaner.clean(seq);
-        let sems = annotator.annotate(&cleaned.sequence);
-        (seq.clone(), cleaned, sems)
-    }
-
-    /// Fan-out over std scoped threads; results are re-assembled in
-    /// input order so parallel output is bit-identical to serial.
-    fn clean_annotate_parallel(
-        &self,
-        sequences: &[PositioningSequence],
-    ) -> Vec<(PositioningSequence, CleanedSequence, Vec<MobilitySemantics>)> {
-        let n_threads = self.config.threads.min(sequences.len());
-        let mut slots: Vec<Option<(PositioningSequence, CleanedSequence, Vec<MobilitySemantics>)>> =
-            (0..sequences.len()).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slot_refs = parking_lot::Mutex::new(&mut slots);
-
-        std::thread::scope(|scope| {
-            for _ in 0..n_threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= sequences.len() {
-                        break;
-                    }
-                    let out = self.clean_annotate_one(&sequences[i]);
-                    slot_refs.lock()[i] = Some(out);
-                });
-            }
-        });
-
-        slots
-            .into_iter()
-            .map(|s| s.expect("all slots filled"))
-            .collect()
+        TranslationResult {
+            devices,
+            report: pipeline.finish(),
+        }
     }
 
     /// The label vocabulary in use.
@@ -361,6 +326,37 @@ mod tests {
                 "complementing must not drop observed semantics"
             );
             assert_eq!(d.semantics.len() - observed.len(), d.inferred_count());
+        }
+    }
+
+    #[test]
+    fn pipeline_report_has_stage_timings() {
+        let ds = dataset();
+        let editor = editor_from_truth(&ds);
+        let t = Translator::from_editor(&ds.dsm, &editor, TranslatorConfig::standard()).unwrap();
+        let r = t.translate(&ds.sequences());
+        let names: Vec<&str> = r.report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["clean+annotate", "knowledge", "complement"]);
+        assert_eq!(r.report.stage("clean+annotate").unwrap().items, 4);
+        assert_eq!(r.report.stage("complement").unwrap().items, 4);
+        assert!(r.report.total_wall() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn forest_seed_is_configurable() {
+        let ds = dataset();
+        let editor = editor_from_truth(&ds);
+        assert_eq!(TranslatorConfig::default().forest_seed, 0xBEEF);
+        assert_eq!(TranslatorConfig::standard().forest_seed, 0xBEEF);
+        for seed in [0xBEEF, 7, 0xDEAD_BEEF] {
+            let cfg = TranslatorConfig {
+                model: ModelChoice::RandomForest(5),
+                forest_seed: seed,
+                ..TranslatorConfig::standard()
+            };
+            let t = Translator::from_editor(&ds.dsm, &editor, cfg).unwrap();
+            let r = t.translate(&ds.sequences()[..1]);
+            assert_eq!(r.devices.len(), 1, "seed {seed:#x} must train and run");
         }
     }
 

@@ -1,0 +1,416 @@
+//! Uniform-grid spatial index over a frozen DSM.
+//!
+//! Every per-record spatial query of the Translator hot path
+//! ([`locate`](crate::DigitalSpaceModel::locate),
+//! [`region_at`](crate::DigitalSpaceModel::region_at),
+//! [`nearest_walkable`](crate::DigitalSpaceModel::nearest_walkable),
+//! [`nearest_region`](crate::DigitalSpaceModel::nearest_region)) used to be
+//! an O(entities) linear
+//! scan, making translation O(records × entities). The index buckets
+//! entities and regions per floor into a uniform grid keyed by bounding box,
+//! built once at topology-freeze time, so point and nearest queries touch
+//! only a handful of candidates.
+//!
+//! **Equivalence contract:** every query answered through the grid returns
+//! *exactly* what the linear scan returns, including tie-breaks. The linear
+//! scans use `Iterator::min_by` over id-ordered iteration, which keeps the
+//! *first* minimal element — i.e. the lowest id among equal keys. The grid
+//! paths therefore compare `(key, id)` lexicographically, and the
+//! nearest-neighbour ring search keeps expanding while a ring could still
+//! contain an *equal*-distance candidate (`lower_bound <= best`), not just a
+//! strictly closer one. The `index_equivalence` proptest pins this down over
+//! random models.
+
+use crate::entity::{Entity, EntityId, Footprint};
+use crate::semantic::{RegionId, SemanticRegion};
+use std::collections::BTreeMap;
+use trips_geom::{BoundingBox, FloorId, Point};
+
+/// Grid cells per axis are capped so degenerate floor extents can't blow up
+/// memory; with the `sqrt(items)` sizing rule the cap only binds beyond
+/// ~4096 items on one floor.
+const MAX_CELLS_PER_AXIS: usize = 64;
+
+/// Conservative bbox of an entity's footprint, inflated by the geometry
+/// crate's boundary tolerance: `Polygon::contains` accepts points up to
+/// [`trips_geom::EPSILON`] outside the raw bbox (wall-snap pass), and the
+/// grid must register every cell such a point can land in.
+fn entity_bbox(e: &Entity) -> BoundingBox {
+    match &e.footprint {
+        Footprint::Area(p) => p.bbox(),
+        Footprint::Opening { anchor, .. } => BoundingBox::new(*anchor, *anchor),
+        Footprint::Line(l) => l.bbox(),
+    }
+    .inflated(trips_geom::EPSILON)
+}
+
+/// Conservative bbox of a region (union over its backing polygons), with the
+/// same boundary-tolerance inflation as [`entity_bbox`].
+fn region_bbox(r: &SemanticRegion) -> BoundingBox {
+    r.polygons
+        .iter()
+        .fold(BoundingBox::empty(), |bb, p| bb.union(&p.bbox()))
+        .inflated(trips_geom::EPSILON)
+}
+
+/// One floor's uniform grid. Items are registered in every cell their bbox
+/// overlaps; candidate lists stay in ascending id order by construction.
+#[derive(Debug, Clone)]
+struct FloorGrid {
+    bounds: BoundingBox,
+    nx: usize,
+    ny: usize,
+    cell_w: f64,
+    cell_h: f64,
+    entity_cells: Vec<Vec<EntityId>>,
+    region_cells: Vec<Vec<RegionId>>,
+}
+
+impl FloorGrid {
+    fn build(entities: &[(EntityId, BoundingBox)], regions: &[(RegionId, BoundingBox)]) -> Self {
+        let mut bounds = BoundingBox::empty();
+        for (_, bb) in entities {
+            bounds = bounds.union(bb);
+        }
+        for (_, bb) in regions {
+            bounds = bounds.union(bb);
+        }
+        let n_items = entities.len() + regions.len();
+        let side = ((n_items as f64).sqrt().ceil() as usize).clamp(1, MAX_CELLS_PER_AXIS);
+        let (nx, ny) = (side, side);
+        // Degenerate extents (a single point, a vertical wall) still get a
+        // positive cell size so index arithmetic stays finite.
+        let cell_w = (bounds.width() / nx as f64).max(1e-9);
+        let cell_h = (bounds.height() / ny as f64).max(1e-9);
+
+        let mut grid = FloorGrid {
+            bounds,
+            nx,
+            ny,
+            cell_w,
+            cell_h,
+            entity_cells: vec![Vec::new(); nx * ny],
+            region_cells: vec![Vec::new(); nx * ny],
+        };
+        for (id, bb) in entities {
+            for c in grid.covered_cells(*bb) {
+                grid.entity_cells[c].push(*id);
+            }
+        }
+        for (id, bb) in regions {
+            for c in grid.covered_cells(*bb) {
+                grid.region_cells[c].push(*id);
+            }
+        }
+        grid
+    }
+
+    /// Indices of every cell the bbox overlaps.
+    fn covered_cells(&self, bb: BoundingBox) -> Vec<usize> {
+        if bb.is_empty() {
+            return Vec::new();
+        }
+        let (x0, y0) = self.cell_of(bb.min);
+        let (x1, y1) = self.cell_of(bb.max);
+        let mut cells = Vec::with_capacity((x1 - x0 + 1) * (y1 - y0 + 1));
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                cells.push(iy * self.nx + ix);
+            }
+        }
+        cells
+    }
+
+    /// The cell containing `p`, clamped to the grid. The same floor-division
+    /// maps item bboxes and query points, so a point contained in an item's
+    /// bbox always lands inside that item's registered cell range.
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let ix = ((p.x - self.bounds.min.x) / self.cell_w).floor() as isize;
+        let iy = ((p.y - self.bounds.min.y) / self.cell_h).floor() as isize;
+        (
+            ix.clamp(0, self.nx as isize - 1) as usize,
+            iy.clamp(0, self.ny as isize - 1) as usize,
+        )
+    }
+
+    /// Candidate entities for point-containment queries at `p`.
+    fn entities_at(&self, p: Point) -> &[EntityId] {
+        let (ix, iy) = self.cell_of(p);
+        &self.entity_cells[iy * self.nx + ix]
+    }
+
+    /// Candidate regions for point-containment queries at `p`.
+    fn regions_at(&self, p: Point) -> &[RegionId] {
+        let (ix, iy) = self.cell_of(p);
+        &self.region_cells[iy * self.nx + ix]
+    }
+
+    /// Expanding-ring nearest search over one candidate layer.
+    ///
+    /// `dist` returns the item's distance to the query point, or `None` when
+    /// the item doesn't participate (filtered kind). The best candidate is
+    /// tracked as `(distance, id)` with the id as tie-break, and rings keep
+    /// expanding while `lower_bound(ring) <= best_distance` so every item
+    /// that could *equal* the best is examined — matching the linear scan's
+    /// first-minimal-in-id-order semantics exactly.
+    fn nearest<Id: Copy + Ord>(
+        &self,
+        cells: &[Vec<Id>],
+        p: Point,
+        mut dist: impl FnMut(Id) -> Option<f64>,
+    ) -> Option<(Id, f64)> {
+        let (cx, cy) = self.cell_of(p);
+        let cell_min = self.cell_w.min(self.cell_h);
+        let max_r = cx.max(self.nx - 1 - cx).max(cy.max(self.ny - 1 - cy));
+        let mut seen: std::collections::BTreeSet<Id> = std::collections::BTreeSet::new();
+        let mut best: Option<(Id, f64)> = None;
+
+        for r in 0..=max_r {
+            if let Some((_, bd)) = best {
+                // A cell in ring r is at least (r-1) whole cells away from
+                // p's cell along some axis, wherever p sits inside (or
+                // beyond) the grid. The EPSILON slack absorbs the geometry
+                // crate's boundary tolerance so an equal-distance candidate
+                // on a ring edge is never pruned.
+                let lower_bound = r.saturating_sub(1) as f64 * cell_min;
+                if lower_bound > bd + trips_geom::EPSILON {
+                    break;
+                }
+            }
+            self.for_ring(cx, cy, r, |cell| {
+                for &id in &cells[cell] {
+                    if !seen.insert(id) {
+                        continue;
+                    }
+                    if let Some(d) = dist(id) {
+                        best = match best {
+                            Some((bid, bd)) if bd < d || (bd == d && bid < id) => Some((bid, bd)),
+                            _ => Some((id, d)),
+                        };
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    /// Visits every in-bounds cell at Chebyshev distance `r` from `(cx, cy)`.
+    fn for_ring(&self, cx: usize, cy: usize, r: usize, mut visit: impl FnMut(usize)) {
+        let (cx, cy, r) = (cx as isize, cy as isize, r as isize);
+        let in_x = |x: isize| x >= 0 && x < self.nx as isize;
+        let in_y = |y: isize| y >= 0 && y < self.ny as isize;
+        if r == 0 {
+            if in_x(cx) && in_y(cy) {
+                visit(cy as usize * self.nx + cx as usize);
+            }
+            return;
+        }
+        for ix in (cx - r)..=(cx + r) {
+            if !in_x(ix) {
+                continue;
+            }
+            if in_y(cy - r) {
+                visit((cy - r) as usize * self.nx + ix as usize);
+            }
+            if in_y(cy + r) {
+                visit((cy + r) as usize * self.nx + ix as usize);
+            }
+        }
+        for iy in (cy - r + 1)..=(cy + r - 1) {
+            if !in_y(iy) {
+                continue;
+            }
+            if in_x(cx - r) {
+                visit(iy as usize * self.nx + (cx - r) as usize);
+            }
+            if in_x(cx + r) {
+                visit(iy as usize * self.nx + (cx + r) as usize);
+            }
+        }
+    }
+}
+
+/// The spatial index: one uniform grid per floor, built by
+/// [`freeze`](crate::DigitalSpaceModel::freeze) and invalidated by any
+/// mutation.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    floors: BTreeMap<FloorId, FloorGrid>,
+}
+
+impl SpatialIndex {
+    /// Builds the index from a model's current entities and regions.
+    pub(crate) fn build(
+        entities: impl Iterator<Item = (EntityId, Vec<FloorId>, BoundingBox)>,
+        regions: impl Iterator<Item = (RegionId, FloorId, BoundingBox)>,
+    ) -> Self {
+        type FloorItems = (Vec<(EntityId, BoundingBox)>, Vec<(RegionId, BoundingBox)>);
+        let mut per_floor: BTreeMap<FloorId, FloorItems> = BTreeMap::new();
+        for (id, floors, bb) in entities {
+            for f in floors {
+                per_floor.entry(f).or_default().0.push((id, bb));
+            }
+        }
+        for (id, floor, bb) in regions {
+            per_floor.entry(floor).or_default().1.push((id, bb));
+        }
+        SpatialIndex {
+            floors: per_floor
+                .into_iter()
+                .map(|(f, (es, rs))| (f, FloorGrid::build(&es, &rs)))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn from_model(dsm: &crate::model::DigitalSpaceModel) -> Self {
+        Self::build(
+            dsm.entities()
+                .map(|e| (e.id, e.floors().collect(), entity_bbox(e))),
+            dsm.regions().map(|r| (r.id, r.floor, region_bbox(r))),
+        )
+    }
+
+    /// Candidate entity ids whose bbox could contain `p` on `floor`, in
+    /// ascending id order. Exact containment still has to be tested.
+    pub(crate) fn entity_candidates(&self, floor: FloorId, p: Point) -> &[EntityId] {
+        self.floors
+            .get(&floor)
+            .map(|g| g.entities_at(p))
+            .unwrap_or(&[])
+    }
+
+    /// Candidate region ids whose bbox could contain `p` on `floor`.
+    pub(crate) fn region_candidates(&self, floor: FloorId, p: Point) -> &[RegionId] {
+        self.floors
+            .get(&floor)
+            .map(|g| g.regions_at(p))
+            .unwrap_or(&[])
+    }
+
+    /// Nearest entity on `floor` under `dist`, ties broken to the lowest id.
+    pub(crate) fn nearest_entity(
+        &self,
+        floor: FloorId,
+        p: Point,
+        dist: impl FnMut(EntityId) -> Option<f64>,
+    ) -> Option<(EntityId, f64)> {
+        self.floors
+            .get(&floor)
+            .and_then(|g| g.nearest(&g.entity_cells, p, dist))
+    }
+
+    /// Nearest region on `floor` under `dist`, ties broken to the lowest id.
+    pub(crate) fn nearest_region(
+        &self,
+        floor: FloorId,
+        p: Point,
+        dist: impl FnMut(RegionId) -> Option<f64>,
+    ) -> Option<(RegionId, f64)> {
+        self.floors
+            .get(&floor)
+            .and_then(|g| g.nearest(&g.region_cells, p, dist))
+    }
+
+    /// Number of indexed floors (diagnostics).
+    pub fn floor_count(&self) -> usize {
+        self.floors.len()
+    }
+
+    /// `(cells, bucketed entity entries, bucketed region entries)` for one
+    /// floor — exposed for diagnostics and index tests.
+    pub fn floor_stats(&self, floor: FloorId) -> Option<(usize, usize, usize)> {
+        self.floors.get(&floor).map(|g| {
+            (
+                g.nx * g.ny,
+                g.entity_cells.iter().map(Vec::len).sum(),
+                g.region_cells.iter().map(Vec::len).sum(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x0: f64, y0: f64, x1: f64, y1: f64) -> BoundingBox {
+        BoundingBox::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    fn index_of(entities: Vec<(u32, Vec<FloorId>, BoundingBox)>) -> SpatialIndex {
+        SpatialIndex::build(
+            entities
+                .into_iter()
+                .map(|(id, fs, b)| (EntityId(id), fs, b)),
+            std::iter::empty(),
+        )
+    }
+
+    #[test]
+    fn point_candidates_cover_containing_boxes() {
+        let idx = index_of(vec![
+            (0, vec![0], bb(0.0, 0.0, 10.0, 10.0)),
+            (1, vec![0], bb(20.0, 0.0, 30.0, 10.0)),
+            (2, vec![1], bb(0.0, 0.0, 10.0, 10.0)),
+        ]);
+        let cands = idx.entity_candidates(0, Point::new(5.0, 5.0));
+        assert!(cands.contains(&EntityId(0)));
+        assert!(!cands.contains(&EntityId(2)), "wrong floor");
+        assert!(idx.entity_candidates(7, Point::new(5.0, 5.0)).is_empty());
+    }
+
+    #[test]
+    fn candidates_in_id_order() {
+        let idx = index_of(
+            (0..20)
+                .map(|i| (i, vec![0], bb(0.0, 0.0, 100.0, 100.0)))
+                .collect(),
+        );
+        let cands = idx.entity_candidates(0, Point::new(50.0, 50.0));
+        let mut sorted = cands.to_vec();
+        sorted.sort();
+        assert_eq!(cands, &sorted[..]);
+        assert_eq!(cands.len(), 20);
+    }
+
+    #[test]
+    fn nearest_ties_break_to_lowest_id() {
+        // Two unit boxes equidistant from the probe point.
+        let idx = index_of(vec![
+            (3, vec![0], bb(10.0, 0.0, 11.0, 1.0)),
+            (7, vec![0], bb(-11.0, 0.0, -10.0, 1.0)),
+        ]);
+        let centers = [Point::new(10.0, 0.5), Point::new(-10.0, 0.5)];
+        let got = idx.nearest_entity(0, Point::new(0.0, 0.5), |id| {
+            let c = if id == EntityId(3) {
+                centers[0]
+            } else {
+                centers[1]
+            };
+            Some(c.distance(Point::new(0.0, 0.5)))
+        });
+        assert_eq!(got, Some((EntityId(3), 10.0)));
+    }
+
+    #[test]
+    fn nearest_none_when_filtered_out() {
+        let idx = index_of(vec![(0, vec![0], bb(0.0, 0.0, 1.0, 1.0))]);
+        assert_eq!(idx.nearest_entity(0, Point::new(5.0, 5.0), |_| None), None);
+        assert_eq!(
+            idx.nearest_entity(9, Point::new(0.0, 0.0), |_| Some(0.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn multi_floor_entities_registered_per_floor() {
+        let idx = index_of(vec![(0, vec![0, 1, 2], bb(0.0, 0.0, 2.0, 2.0))]);
+        for f in 0..3 {
+            assert_eq!(
+                idx.entity_candidates(f, Point::new(1.0, 1.0)),
+                &[EntityId(0)]
+            );
+        }
+        assert_eq!(idx.floor_count(), 3);
+    }
+}

@@ -12,7 +12,10 @@
 //! * **semantic regions** and the mapping from entities to regions
 //!   ([`semantic`]);
 //! * the **minimum indoor walking distance** engine built on the door graph
-//!   ([`distance`]) that the Cleaning layer's speed constraint relies on.
+//!   ([`distance`]) that the Cleaning layer's speed constraint relies on;
+//! * a **uniform-grid spatial index** ([`index`]) built at freeze time that
+//!   answers the per-record point/nearest queries sublinearly, with results
+//!   identical to the linear scans (tie-breaks included).
 //!
 //! Two front doors create DSMs:
 //!
@@ -27,6 +30,7 @@ pub mod builder;
 pub mod canvas;
 pub mod distance;
 pub mod entity;
+pub mod index;
 pub mod json;
 pub mod semantic;
 pub mod topology;
@@ -36,6 +40,7 @@ mod model;
 
 pub use distance::{PathQuery, WalkPath};
 pub use entity::{Entity, EntityId, EntityKind};
+pub use index::SpatialIndex;
 pub use model::{DigitalSpaceModel, DsmError, FloorInfo};
 pub use semantic::{RegionId, SemanticRegion, SemanticTag};
 pub use topology::Topology;

@@ -1,4 +1,5 @@
 use crate::entity::{Entity, EntityId};
+use crate::index::SpatialIndex;
 use crate::semantic::{RegionId, SemanticRegion};
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -64,6 +65,10 @@ pub struct DigitalSpaceModel {
     regions: BTreeMap<RegionId, SemanticRegion>,
     #[serde(skip)]
     topology: Option<Topology>,
+    /// Uniform-grid index over entities/regions, built by [`freeze`](Self::freeze)
+    /// together with the topology; linear scans answer queries before that.
+    #[serde(skip)]
+    index: Option<SpatialIndex>,
     next_entity_id: u32,
     next_region_id: u32,
 }
@@ -78,6 +83,7 @@ impl DigitalSpaceModel {
             entities: BTreeMap::new(),
             regions: BTreeMap::new(),
             topology: None,
+            index: None,
             next_entity_id: 0,
             next_region_id: 0,
         }
@@ -134,6 +140,7 @@ impl DigitalSpaceModel {
         let id = entity.id;
         self.entities.insert(id, entity);
         self.topology = None;
+        self.index = None;
         Ok(id)
     }
 
@@ -151,6 +158,7 @@ impl DigitalSpaceModel {
         let id = region.id;
         self.regions.insert(id, region);
         self.topology = None;
+        self.index = None;
         Ok(id)
     }
 
@@ -197,23 +205,45 @@ impl DigitalSpaceModel {
     /// The walkable entity (room/hallway/staircell) containing `p`, if any.
     ///
     /// Prefers the *smallest* containing area so a staircell inside a hallway
-    /// ring wins over the hallway.
+    /// ring wins over the hallway. Answered through the grid index on a
+    /// frozen model; by linear scan otherwise — both return the same entity,
+    /// ties included (lowest id among equal areas).
     pub fn locate(&self, p: &IndoorPoint) -> Option<&Entity> {
-        self.entities_on_floor(p.floor)
-            .filter(|e| e.kind.is_walkable() && e.contains(p.xy))
-            .min_by(|a, b| {
-                let area = |e: &Entity| {
-                    e.footprint
-                        .as_area()
-                        .map(|poly| poly.area())
-                        .unwrap_or(f64::INFINITY)
-                };
-                area(a).partial_cmp(&area(b)).expect("finite areas")
+        let walkable_area = |e: &Entity| {
+            (e.kind.is_walkable() && e.contains(p.xy)).then(|| {
+                e.footprint
+                    .as_area()
+                    .map(|poly| poly.area())
+                    .unwrap_or(f64::INFINITY)
             })
+        };
+        if let Some(index) = &self.index {
+            return index
+                .entity_candidates(p.floor, p.xy)
+                .iter()
+                .filter_map(|&id| {
+                    let e = &self.entities[&id];
+                    walkable_area(e).map(|area| (e, area))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite areas"))
+                .map(|(e, _)| e);
+        }
+        self.entities_on_floor(p.floor)
+            .filter_map(|e| walkable_area(e).map(|area| (e, area)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite areas"))
+            .map(|(e, _)| e)
     }
 
     /// The semantic region containing `p`, if any (smallest wins).
     pub fn region_at(&self, p: &IndoorPoint) -> Option<&SemanticRegion> {
+        if let Some(index) = &self.index {
+            return index
+                .region_candidates(p.floor, p.xy)
+                .iter()
+                .map(|&id| &self.regions[&id])
+                .filter(|r| r.contains(p.xy))
+                .min_by(|a, b| a.area().partial_cmp(&b.area()).expect("finite areas"));
+        }
         self.regions_on_floor(p.floor)
             .filter(|r| r.contains(p.xy))
             .min_by(|a, b| a.area().partial_cmp(&b.area()).expect("finite areas"))
@@ -223,6 +253,19 @@ impl DigitalSpaceModel {
     /// (zero if `p` is inside one). `None` when the floor has no walkable
     /// entities.
     pub fn nearest_walkable(&self, p: &IndoorPoint) -> Option<(&Entity, f64)> {
+        if let Some(index) = &self.index {
+            return index
+                .nearest_entity(p.floor, p.xy, |id| {
+                    let e = &self.entities[&id];
+                    if !e.kind.is_walkable() {
+                        return None;
+                    }
+                    e.footprint
+                        .as_area()
+                        .map(|poly| poly.distance_to_point(p.xy))
+                })
+                .map(|(id, d)| (&self.entities[&id], d));
+        }
         self.entities_on_floor(p.floor)
             .filter(|e| e.kind.is_walkable())
             .filter_map(|e| {
@@ -235,6 +278,13 @@ impl DigitalSpaceModel {
 
     /// The nearest semantic region on `p`'s floor and distance to it.
     pub fn nearest_region(&self, p: &IndoorPoint) -> Option<(&SemanticRegion, f64)> {
+        if let Some(index) = &self.index {
+            return index
+                .nearest_region(p.floor, p.xy, |id| {
+                    Some(self.regions[&id].distance_to_point(p.xy))
+                })
+                .map(|(id, d)| (&self.regions[&id], d));
+        }
         self.regions_on_floor(p.floor)
             .map(|r| (r, r.distance_to_point(p.xy)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
@@ -253,10 +303,17 @@ impl DigitalSpaceModel {
         bb
     }
 
-    /// Computes (or recomputes) the topological relations. Must be called
-    /// after the last mutation and before topology-dependent queries.
+    /// Computes (or recomputes) the topological relations and the spatial
+    /// grid index. Must be called after the last mutation and before
+    /// topology-dependent queries.
     pub fn freeze(&mut self) {
         self.topology = Some(Topology::compute(self));
+        self.index = Some(SpatialIndex::from_model(self));
+    }
+
+    /// The spatial grid index, present on a frozen model.
+    pub fn spatial_index(&self) -> Option<&SpatialIndex> {
+        self.index.as_ref()
     }
 
     /// Whether [`freeze`](Self::freeze) has been called since the last

@@ -1,0 +1,172 @@
+//! The spatial grid index must be observationally invisible: on any model,
+//! every query (`locate`, `region_at`, `nearest_walkable`, `nearest_region`)
+//! answered through the frozen model's grid returns exactly what the
+//! unfrozen model's linear scan returns — same ids, bitwise-equal
+//! distances, same tie-breaks.
+
+use proptest::prelude::*;
+use trips_dsm::{DigitalSpaceModel, Entity, EntityKind, SemanticRegion, SemanticTag};
+use trips_geom::{IndoorPoint, Point, Polygon};
+
+/// Raw material for one random entity: position, size, floor, kind tag.
+type RawEntity = (f64, f64, f64, f64, i16, u8);
+
+fn arb_entities() -> impl Strategy<Value = Vec<RawEntity>> {
+    proptest::collection::vec(
+        (
+            -50.0f64..150.0,
+            -50.0f64..150.0,
+            0.5f64..40.0,
+            0.5f64..40.0,
+            0i16..3,
+            0u8..6,
+        ),
+        1..40,
+    )
+}
+
+/// Builds a model from raw entities. Every third area entity also gets a
+/// semantic region; every seventh walkable becomes a multi-floor staircase.
+/// Returned unfrozen (linear-scan queries).
+fn build_model(raw: &[RawEntity]) -> DigitalSpaceModel {
+    let mut dsm = DigitalSpaceModel::new("random");
+    for (i, &(x, y, w, h, floor, kind)) in raw.iter().enumerate() {
+        let poly = Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + h));
+        let id = dsm.next_entity_id();
+        if i % 7 == 6 {
+            dsm.add_entity(Entity::staircase(
+                id,
+                &format!("stairs-{i}"),
+                poly.clone(),
+                &[floor, floor + 1],
+            ))
+            .unwrap();
+        } else {
+            let kind = match kind {
+                0 | 1 => EntityKind::Room,
+                2 => EntityKind::Hallway,
+                3 => EntityKind::Obstacle,
+                4 => EntityKind::Wall,
+                _ => EntityKind::Room,
+            };
+            let entity = if kind == EntityKind::Wall {
+                Entity::wall(
+                    id,
+                    floor,
+                    &format!("wall-{i}"),
+                    trips_geom::Polyline::new(vec![Point::new(x, y), Point::new(x + w, y + h)]),
+                )
+            } else {
+                Entity::area(id, kind, floor, &format!("e-{i}"), poly.clone())
+            };
+            dsm.add_entity(entity).unwrap();
+        }
+        if i % 3 == 0 {
+            let rid = dsm.next_region_id();
+            dsm.add_region(SemanticRegion::new(
+                rid,
+                &format!("region-{i}"),
+                SemanticTag::new("shop", "shop"),
+                floor,
+                poly,
+                id,
+            ))
+            .unwrap();
+        }
+    }
+    dsm
+}
+
+fn arb_query_point() -> impl Strategy<Value = IndoorPoint> {
+    // Deliberately wider than the entity extent (points far outside the
+    // grid) and one floor beyond the populated range (empty floors).
+    (-120.0f64..250.0, -120.0f64..250.0, 0i16..5).prop_map(|(x, y, f)| IndoorPoint::new(x, y, f))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grid_queries_equal_linear_queries(
+        raw in arb_entities(),
+        points in proptest::collection::vec(arb_query_point(), 1..24),
+    ) {
+        let linear = build_model(&raw);
+        let mut indexed = linear.clone();
+        indexed.freeze();
+        prop_assert!(indexed.spatial_index().is_some());
+        prop_assert!(linear.spatial_index().is_none());
+
+        for p in &points {
+            prop_assert_eq!(
+                linear.locate(p).map(|e| e.id),
+                indexed.locate(p).map(|e| e.id),
+                "locate diverged at {:?}", p
+            );
+            prop_assert_eq!(
+                linear.region_at(p).map(|r| r.id),
+                indexed.region_at(p).map(|r| r.id),
+                "region_at diverged at {:?}", p
+            );
+            prop_assert_eq!(
+                linear.nearest_walkable(p).map(|(e, d)| (e.id, d)),
+                indexed.nearest_walkable(p).map(|(e, d)| (e.id, d)),
+                "nearest_walkable diverged at {:?}", p
+            );
+            prop_assert_eq!(
+                linear.nearest_region(p).map(|(r, d)| (r.id, d)),
+                indexed.nearest_region(p).map(|(r, d)| (r.id, d)),
+                "nearest_region diverged at {:?}", p
+            );
+        }
+    }
+
+    #[test]
+    fn queries_on_shared_boundaries_agree(
+        cols in 1usize..6,
+        rows in 1usize..6,
+        floor in 0i16..2,
+    ) {
+        // Abutting 10×10 rooms: probe exactly on the shared edges and
+        // corners, where bbox/cell boundary handling is most delicate.
+        let mut dsm = DigitalSpaceModel::new("lattice");
+        for cy in 0..rows {
+            for cx in 0..cols {
+                let (x, y) = (cx as f64 * 10.0, cy as f64 * 10.0);
+                let poly = Polygon::rectangle(Point::new(x, y), Point::new(x + 10.0, y + 10.0));
+                let id = dsm.next_entity_id();
+                dsm.add_entity(Entity::area(id, EntityKind::Room, floor, "r", poly.clone()))
+                    .unwrap();
+                let rid = dsm.next_region_id();
+                dsm.add_region(SemanticRegion::new(
+                    rid, "reg", SemanticTag::new("shop", "shop"), floor, poly, id,
+                )).unwrap();
+            }
+        }
+        let linear = dsm.clone();
+        let mut indexed = dsm;
+        indexed.freeze();
+
+        for gy in 0..=rows {
+            for gx in 0..=cols {
+                let p = IndoorPoint::new(gx as f64 * 10.0, gy as f64 * 10.0, floor);
+                prop_assert_eq!(
+                    linear.locate(&p).map(|e| e.id),
+                    indexed.locate(&p).map(|e| e.id)
+                );
+                prop_assert_eq!(
+                    linear.region_at(&p).map(|r| r.id),
+                    indexed.region_at(&p).map(|r| r.id)
+                );
+                prop_assert_eq!(
+                    linear.nearest_walkable(&p).map(|(e, d)| (e.id, d)),
+                    indexed.nearest_walkable(&p).map(|(e, d)| (e.id, d))
+                );
+                prop_assert_eq!(
+                    linear.nearest_region(&p).map(|(r, d)| (r.id, d)),
+                    indexed.nearest_region(&p).map(|(r, d)| (r.id, d))
+                );
+            }
+        }
+    }
+}

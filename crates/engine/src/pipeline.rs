@@ -1,0 +1,130 @@
+//! Staged pipelines with per-stage wall-clock accounting.
+//!
+//! A [`Pipeline`] strings together fan-out stages ([`Pipeline::map`], run
+//! through [`crate::run_indexed`]) and serial barriers ([`Pipeline::stage`]),
+//! timing each one. [`Pipeline::finish`] yields the [`PipelineReport`] that
+//! the Translator attaches to every `TranslationResult` and the bench
+//! harness renders into its timing tables.
+
+use crate::executor::run_indexed;
+use std::time::{Duration, Instant};
+
+/// Timing record of one executed stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stage name as passed to [`Pipeline::map`] / [`Pipeline::stage`].
+    pub name: String,
+    /// Wall-clock time the stage took.
+    pub wall: Duration,
+    /// Items fanned out (`1` for serial barrier stages).
+    pub items: usize,
+}
+
+/// Per-stage timings of one pipeline run, in execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelineReport {
+    /// Sum of all stage wall-clock times.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// The report of the named stage, if it ran.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+/// A staged executor: each call runs one stage and records its timing.
+pub struct Pipeline {
+    threads: usize,
+    stages: Vec<StageReport>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline that fans map stages out over `threads` workers
+    /// (`0` or `1` = serial).
+    pub fn new(threads: usize) -> Self {
+        Pipeline {
+            threads,
+            stages: Vec::new(),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Fan-out stage: applies `f` to every item (in parallel when configured)
+    /// and returns results in input order. See [`run_indexed`] for the
+    /// ordering guarantee.
+    pub fn map<T, R, F>(&mut self, name: &str, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let start = Instant::now();
+        let out = run_indexed(self.threads, items, f);
+        self.stages.push(StageReport {
+            name: name.to_string(),
+            wall: start.elapsed(),
+            items: items.len(),
+        });
+        out
+    }
+
+    /// Serial barrier stage (e.g. building global state over all fan-out
+    /// results before the next fan-out).
+    pub fn stage<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.stages.push(StageReport {
+            name: name.to_string(),
+            wall: start.elapsed(),
+            items: 1,
+        });
+        out
+    }
+
+    /// Consumes the pipeline, yielding the collected timings.
+    pub fn finish(self) -> PipelineReport {
+        PipelineReport {
+            stages: self.stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_record_in_order() {
+        let mut p = Pipeline::new(2);
+        let doubled = p.map("double", &[1, 2, 3], |_, x| x * 2);
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = p.stage("sum", || doubled.iter().sum());
+        assert_eq!(sum, 12);
+        let report = p.finish();
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].name, "double");
+        assert_eq!(report.stages[0].items, 3);
+        assert_eq!(report.stages[1].name, "sum");
+        assert_eq!(report.stages[1].items, 1);
+        assert!(report.stage("double").is_some());
+        assert!(report.stage("missing").is_none());
+        assert!(report.total_wall() >= report.stages[0].wall);
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let r = PipelineReport::default();
+        assert_eq!(r.total_wall(), Duration::ZERO);
+        assert!(r.stages.is_empty());
+    }
+}

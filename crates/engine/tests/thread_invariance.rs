@@ -1,0 +1,58 @@
+//! The engine's core contract: the thread count is invisible in the output.
+//! `run_indexed` with 1, 2, and 8 workers must produce identical ordered
+//! results on every input shape, including the empty and single-item edges.
+
+use trips_engine::{run_indexed, Pipeline};
+
+/// A deliberately order-sensitive per-item function: mixes the index into
+/// the output so any slot misplacement under work stealing is visible.
+fn work(i: usize, x: &u64) -> (usize, u64) {
+    // Unequal per-item cost exercises stealing: small indices spin longer.
+    let spins = if i % 7 == 0 { 2000 } else { 10 };
+    let mut acc = *x;
+    for _ in 0..spins {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    (i, acc)
+}
+
+#[test]
+fn one_two_eight_threads_identical_output() {
+    for len in [0usize, 1, 2, 3, 17, 256] {
+        let items: Vec<u64> = (0..len as u64).map(|x| x * 31 + 7).collect();
+        let reference = run_indexed(1, &items, work);
+        assert_eq!(reference.len(), len);
+        for threads in [2usize, 8] {
+            let got = run_indexed(threads, &items, work);
+            assert_eq!(got, reference, "len={len} threads={threads}");
+        }
+        // Results must sit at their input positions.
+        for (pos, (i, _)) in reference.iter().enumerate() {
+            assert_eq!(pos, *i);
+        }
+    }
+}
+
+#[test]
+fn pipeline_map_is_thread_invariant() {
+    let items: Vec<u64> = (0..64).collect();
+    let mut outputs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut p = Pipeline::new(threads);
+        let out = p.map("work", &items, work);
+        let report = p.finish();
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(report.stages[0].items, items.len());
+        outputs.push(out);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
+}
+
+#[test]
+fn more_threads_than_items() {
+    let items = vec![5u64, 6];
+    assert_eq!(run_indexed(8, &items, work), run_indexed(1, &items, work));
+}

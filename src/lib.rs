@@ -26,6 +26,7 @@
 //! | [`annotate`] | `trips-annotate` | Annotation layer (splitting, features, models, Event Editor) |
 //! | [`complement`] | `trips-complement` | Complementing layer (knowledge + MAP inference) |
 //! | [`viewer`] | `trips-viewer` | timeline abstraction, map view, SVG/ASCII rendering |
+//! | [`engine`] | `trips-engine` | pipeline executor: ordered fan-out + per-stage timing |
 //! | [`core`] | `trips-core` | Configurator / Translator / assessment / export / facade |
 //!
 //! ## Quickstart
@@ -68,6 +69,7 @@ pub use trips_complement as complement;
 pub use trips_core as core;
 pub use trips_data as data;
 pub use trips_dsm as dsm;
+pub use trips_engine as engine;
 pub use trips_geom as geom;
 pub use trips_sim as sim;
 pub use trips_viewer as viewer;
@@ -88,6 +90,7 @@ pub mod prelude {
     };
     pub use trips_dsm::builder::MallBuilder;
     pub use trips_dsm::{DigitalSpaceModel, PathQuery, RegionId, SemanticRegion, SemanticTag};
+    pub use trips_engine::{Pipeline, PipelineReport};
     pub use trips_geom::{IndoorPoint, Point, Polygon};
     pub use trips_sim::{ErrorModel, ScenarioConfig, SimulatedDataset};
     pub use trips_viewer::{Entry, MapView, SourceKind, SvgRenderer, Timeline, VisibilityControl};
