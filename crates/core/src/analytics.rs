@@ -6,162 +6,74 @@
 //! analytics a mall analyst runs *after* translation — all of them consume
 //! only semantics, never raw records, demonstrating the representation's
 //! value.
+//!
+//! Since the `trips-store` refactor these functions are thin wrappers over
+//! [`trips_store::SemanticsStore`] queries: each builds a one-shot
+//! single-shard store from the [`TranslationResult`] and runs the
+//! corresponding aggregate query, producing results identical to the old
+//! full-rescan implementations (pinned by this module's tests and the
+//! workspace `analytics_equivalence` test). Long-lived consumers should
+//! query the live store published by `Trips::run` / the streaming
+//! translator via [`trips_store::QueryService`] instead — that path reuses
+//! the incremental aggregates and never rescans.
 
 use crate::translator::TranslationResult;
 use std::collections::BTreeMap;
-use trips_data::Duration;
-use trips_dsm::RegionId;
+use trips_data::{DeviceId, Duration};
+use trips_store::{SemanticsSelector, SemanticsStore};
 
-/// Popularity of one semantic region across all translated devices.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RegionPopularity {
-    pub region: RegionId,
-    pub region_name: String,
-    /// Number of `stay` semantics in the region.
-    pub stays: usize,
-    /// Number of `pass-by` semantics in the region.
-    pub pass_bys: usize,
-    /// Distinct devices that stayed at least once.
-    pub unique_stayers: usize,
-    /// Total stay dwell time.
-    pub total_dwell: Duration,
+pub use trips_store::{DeviceSummary, Flow, RegionPopularity};
+
+/// Publishes every device translation into `store` (device order
+/// preserved; devices with no semantics still register).
+///
+/// Each entry is published as an independent session: if the same device
+/// id appears in several result entries, no directed flow is counted
+/// across the entry boundary — matching the pre-refactor per-entry
+/// `windows(2)` flow counting. Region/dwell aggregates for such a device
+/// merge across its entries (as the rescan implementations also did), and
+/// its [`device_summaries`] row reflects the merged totals.
+pub fn ingest_result(store: &SemanticsStore, result: &TranslationResult) {
+    for d in &result.devices {
+        store.ingest(d.raw.device(), &d.semantics);
+        store.end_session(d.raw.device());
+    }
 }
 
-impl RegionPopularity {
-    /// Conversion rate: stays per (stays + pass-bys) — how often walking
-    /// past turns into a visit (the in-store-marketing question).
-    pub fn conversion_rate(&self) -> f64 {
-        let total = self.stays + self.pass_bys;
-        if total == 0 {
-            0.0
-        } else {
-            self.stays as f64 / total as f64
-        }
-    }
+/// One-shot store for the wrapper functions: a single shard keeps the
+/// merge step trivial for transient use.
+fn store_from(result: &TranslationResult) -> SemanticsStore {
+    let store = SemanticsStore::with_shards(1);
+    ingest_result(&store, result);
+    store
 }
 
 /// Ranks regions by stay count (popular indoor location discovery, ref \[8\]).
 pub fn popular_regions(result: &TranslationResult) -> Vec<RegionPopularity> {
-    let mut map: BTreeMap<RegionId, RegionPopularity> = BTreeMap::new();
-    let mut stayers: BTreeMap<RegionId, std::collections::BTreeSet<&str>> = BTreeMap::new();
-    for d in &result.devices {
-        for s in &d.semantics {
-            let e = map.entry(s.region).or_insert_with(|| RegionPopularity {
-                region: s.region,
-                region_name: s.region_name.clone(),
-                stays: 0,
-                pass_bys: 0,
-                unique_stayers: 0,
-                total_dwell: Duration::ZERO,
-            });
-            if s.event == "stay" {
-                e.stays += 1;
-                e.total_dwell = e.total_dwell + s.duration();
-                stayers
-                    .entry(s.region)
-                    .or_default()
-                    .insert(d.raw.device().as_str());
-            } else {
-                e.pass_bys += 1;
-            }
-        }
-    }
-    let mut out: Vec<RegionPopularity> = map
-        .into_values()
-        .map(|mut p| {
-            p.unique_stayers = stayers.get(&p.region).map_or(0, |s| s.len());
-            p
-        })
-        .collect();
-    out.sort_by(|a, b| {
-        b.stays
-            .cmp(&a.stays)
-            .then(b.total_dwell.cmp(&a.total_dwell))
-    });
-    out
-}
-
-/// One directed flow between two regions.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Flow {
-    pub from: RegionId,
-    pub from_name: String,
-    pub to: RegionId,
-    pub to_name: String,
-    pub count: usize,
+    store_from(result).popular_regions(&SemanticsSelector::all())
 }
 
 /// Ranks region-to-region transitions by frequency (the mobility patterns
 /// behind indoor behavior prediction, ref \[6\]).
 pub fn top_flows(result: &TranslationResult, limit: usize) -> Vec<Flow> {
-    let mut counts: BTreeMap<(RegionId, RegionId), (String, String, usize)> = BTreeMap::new();
-    for d in &result.devices {
-        for w in d.semantics.windows(2) {
-            if w[0].region == w[1].region {
-                continue;
-            }
-            let e = counts
-                .entry((w[0].region, w[1].region))
-                .or_insert_with(|| (w[0].region_name.clone(), w[1].region_name.clone(), 0));
-            e.2 += 1;
-        }
-    }
-    let mut flows: Vec<Flow> = counts
-        .into_iter()
-        .map(|((from, to), (from_name, to_name, count))| Flow {
-            from,
-            from_name,
-            to,
-            to_name,
-            count,
-        })
-        .collect();
-    flows.sort_by_key(|f| std::cmp::Reverse(f.count));
-    flows.truncate(limit);
-    flows
+    store_from(result).top_flows(&SemanticsSelector::all(), limit)
 }
 
 /// Histogram of stay dwell times with the given bucket width.
 pub fn dwell_histogram(result: &TranslationResult, bucket: Duration) -> Vec<(Duration, usize)> {
-    assert!(bucket.as_millis() > 0, "bucket must be positive");
-    let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
-    for d in &result.devices {
-        for s in d.semantics.iter().filter(|s| s.event == "stay") {
-            let b = s.duration().as_millis() / bucket.as_millis();
-            *counts.entry(b).or_default() += 1;
-        }
-    }
-    counts
-        .into_iter()
-        .map(|(b, n)| (Duration(b * bucket.as_millis()), n))
-        .collect()
+    store_from(result).dwell_histogram(&SemanticsSelector::all(), bucket)
 }
 
-/// Per-device visit summary: how many regions were visited and total time
-/// accounted for (dashboard row for the analyst).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DeviceSummary {
-    pub device: String,
-    pub regions_visited: usize,
-    pub stays: usize,
-    pub accounted: Duration,
-}
-
-/// Summarises each translated device.
+/// Summarises each translated device, in translation (input) order.
 pub fn device_summaries(result: &TranslationResult) -> Vec<DeviceSummary> {
+    let by_id: BTreeMap<DeviceId, DeviceSummary> = store_from(result)
+        .device_summaries(&SemanticsSelector::all())
+        .into_iter()
+        .collect();
     result
         .devices
         .iter()
-        .map(|d| {
-            let regions: std::collections::BTreeSet<RegionId> =
-                d.semantics.iter().map(|s| s.region).collect();
-            DeviceSummary {
-                device: d.raw.device().anonymized(),
-                regions_visited: regions.len(),
-                stays: d.semantics.iter().filter(|s| s.event == "stay").count(),
-                accounted: Duration(d.semantics.iter().map(|s| s.duration().as_millis()).sum()),
-            }
-        })
+        .map(|d| by_id[d.raw.device()].clone())
         .collect()
 }
 
@@ -172,6 +84,7 @@ mod tests {
     use trips_annotate::MobilitySemantics;
     use trips_clean::{CleanedSequence, CleaningReport};
     use trips_data::{DeviceId, PositioningSequence, Timestamp};
+    use trips_dsm::RegionId;
 
     fn sem(
         device: &str,
@@ -282,6 +195,46 @@ mod tests {
         assert_eq!(s[0].regions_visited, 3);
         assert_eq!(s[0].stays, 2);
         assert_eq!(s[0].accounted, Duration::from_secs(900));
+    }
+
+    #[test]
+    fn device_summaries_preserve_translation_order() {
+        // Store iteration is device-id ordered; the wrapper must restore
+        // the result's device order.
+        let mut r = sample();
+        r.devices.reverse();
+        let s = device_summaries(&r);
+        assert_eq!(s[0].device, "a.*.2");
+        assert_eq!(s[1].device, "a.*.1");
+    }
+
+    #[test]
+    fn duplicate_device_entries_do_not_flow_across_entries() {
+        // Two result entries for the same device (e.g. two selected
+        // sessions): flows must not be counted across the entry boundary,
+        // exactly like the pre-refactor per-entry windows(2) counting.
+        let r = TranslationResult {
+            report: Default::default(),
+            devices: vec![
+                device("a.b.c.9", vec![sem("a.b.c.9", 1, "Nike", "stay", 0, 600)]),
+                device(
+                    "a.b.c.9",
+                    vec![sem("a.b.c.9", 2, "Hall", "pass-by", 700, 730)],
+                ),
+            ],
+        };
+        assert!(
+            top_flows(&r, 10).is_empty(),
+            "no flow may span separate result entries"
+        );
+        // Region aggregates merge across the entries (as the rescan also
+        // merged by region), and both summary rows carry the merged totals.
+        let pops = popular_regions(&r);
+        assert_eq!(pops.len(), 2);
+        let sums = device_summaries(&r);
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0], sums[1]);
+        assert_eq!(sums[0].regions_visited, 2);
     }
 
     #[test]

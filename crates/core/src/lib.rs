@@ -9,17 +9,21 @@
 //!   (Cleaning → Annotation → Complementing) over each selected sequence,
 //!   staged on the `trips-engine` executor (serial or multi-threaded, with
 //!   identical output either way) and timed per stage;
-//! * [`store`] — the backend storage that lets configurations be reused "in
-//!   other translation tasks in the same indoor space" (paper §4);
+//! * [`store`] — the file-backed storage that lets configurations be reused
+//!   "in other translation tasks in the same indoor space" (paper §4), and
+//!   doubles as the snapshot/restore backend for the in-memory
+//!   `trips-store` semantics store;
 //! * [`assess`] — translation-quality metrics against ground truth (the
 //!   simulator provides what the paper's real deployment cannot);
 //! * [`export`] — translation result files (text form of Figure 5(4) and
 //!   JSON);
 //! * [`analytics`] — the downstream analyses translation enables (popular
-//!   location discovery, flows, dwell statistics — paper §1's motivation);
-//! * [`stream`] — an online (micro-batching) translator extension;
+//!   location discovery, flows, dwell statistics — paper §1's motivation),
+//!   now thin wrappers over `trips-store` queries;
+//! * [`stream`] — an online (micro-batching) translator extension that can
+//!   publish into a live `trips-store` semantics store;
 //! * [`system`] — the [`system::Trips`] facade running the five-step
-//!   workflow end to end.
+//!   workflow end to end and exposing a `QueryService` over the last run.
 
 pub mod analytics;
 pub mod assess;

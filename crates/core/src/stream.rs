@@ -10,11 +10,13 @@
 
 use crate::translator::{ModelChoice, TranslatorConfig};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use trips_annotate::{Annotator, EventEditor, EventModel, MobilitySemantics};
 use trips_clean::Cleaner;
 use trips_complement::{Complementor, MobilityKnowledge};
 use trips_data::{DeviceId, Duration, PositioningSequence, RawRecord};
 use trips_dsm::DigitalSpaceModel;
+use trips_store::SemanticsStore;
 
 /// Streaming configuration.
 #[derive(Debug, Clone)]
@@ -52,6 +54,9 @@ pub struct StreamingTranslator<'a> {
     config: StreamConfig,
     buffers: BTreeMap<DeviceId, Vec<RawRecord>>,
     emitted: usize,
+    /// Optional live store: every emitted batch is also published here,
+    /// so concurrent readers can query mid-stream.
+    store: Option<Arc<SemanticsStore>>,
 }
 
 impl<'a> StreamingTranslator<'a> {
@@ -81,7 +86,17 @@ impl<'a> StreamingTranslator<'a> {
             config,
             buffers: BTreeMap::new(),
             emitted: 0,
+            store: None,
         })
+    }
+
+    /// Attaches a live [`SemanticsStore`]: every semantics batch emitted by
+    /// [`StreamingTranslator::push`] or [`StreamingTranslator::finish`] is
+    /// also ingested there (incrementally — aggregates include flows across
+    /// session boundaries), so readers can query while the stream runs.
+    pub fn with_store(mut self, store: Arc<SemanticsStore>) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// Total semantics emitted so far (diagnostics).
@@ -120,6 +135,11 @@ impl<'a> StreamingTranslator<'a> {
             .get_mut(&device)
             .expect("entry exists")
             .push(record);
+        if !out.is_empty() {
+            if let Some(store) = &self.store {
+                store.ingest(&device, &out);
+            }
+        }
         self.emitted += out.len();
         out
     }
@@ -143,6 +163,9 @@ impl<'a> StreamingTranslator<'a> {
         );
         let mut out = BTreeMap::new();
         for ((device, _), sems) in entries.into_iter().zip(translated) {
+            if let Some(store) = &self.store {
+                store.ingest(&device, &sems);
+            }
             self.emitted += sems.len();
             out.insert(device, sems);
         }
@@ -389,6 +412,35 @@ mod tests {
         ));
         assert!(out.is_empty());
         assert_eq!(stream.open_devices(), 0);
+    }
+
+    #[test]
+    fn attached_store_receives_every_emission() {
+        use trips_store::SemanticsSelector;
+        let (ds, editor) = setup();
+        let store = Arc::new(SemanticsStore::with_shards(8));
+        let mut stream =
+            StreamingTranslator::from_editor(&ds.dsm, &editor, None, StreamConfig::default())
+                .unwrap()
+                .with_store(store.clone());
+        let mut streamed: BTreeMap<DeviceId, Vec<MobilitySemantics>> = BTreeMap::new();
+        for r in ds.all_records() {
+            let device = r.device.clone();
+            for s in stream.push(r) {
+                streamed.entry(device.clone()).or_default().push(s);
+            }
+        }
+        for (device, sems) in stream.finish() {
+            streamed.entry(device).or_default().extend(sems);
+        }
+        assert_eq!(store.semantics_count(), stream.emitted());
+        // The store holds exactly what the stream emitted, per device.
+        let total: usize = streamed.values().map(Vec::len).sum();
+        assert_eq!(store.semantics_count(), total);
+        for (device, sems) in &streamed {
+            let sel = SemanticsSelector::all().with_device_pattern(device.as_str());
+            assert_eq!(&store.semantics(&sel), sems, "device {device}");
+        }
     }
 
     #[test]

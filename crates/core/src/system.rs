@@ -7,9 +7,12 @@
 //! 4. submit the translation task (Translator);
 //! 5. browse the translation result (Viewer).
 
+use crate::analytics;
 use crate::config::Configurator;
 use crate::translator::{TranslationResult, Translator, TranslatorConfig};
+use std::sync::Arc;
 use trips_data::{DeviceId, PositioningSequence};
+use trips_store::{QueryService, SemanticsStore};
 use trips_viewer::{Entry, SourceKind, Timeline};
 
 /// The assembled TRIPS system.
@@ -17,6 +20,9 @@ pub struct Trips {
     pub configurator: Configurator,
     pub translator_config: TranslatorConfig,
     result: Option<TranslationResult>,
+    /// Live semantics store: every `run` republishes into it, and
+    /// [`Trips::query_service`] hands out concurrent read handles.
+    store: Arc<SemanticsStore>,
 }
 
 impl Trips {
@@ -26,6 +32,7 @@ impl Trips {
             configurator,
             translator_config: TranslatorConfig::standard(),
             result: None,
+            store: Arc::new(SemanticsStore::new()),
         }
     }
 
@@ -35,7 +42,13 @@ impl Trips {
         self
     }
 
-    /// Step 4: select and translate. Stores and returns the result.
+    /// Step 4: select and translate. Stores and returns the result, and
+    /// publishes the semantics into a **fresh** live store swapped in
+    /// whole, so a re-run is atomic from a reader's perspective:
+    /// [`QueryService`] handles taken before this call keep serving the
+    /// previous run's complete data (a consistent snapshot, never a torn
+    /// mix of two runs); take a new [`Trips::query_service`] to see this
+    /// run.
     pub fn run(
         &mut self,
         sequences: Vec<PositioningSequence>,
@@ -46,13 +59,31 @@ impl Trips {
             &self.configurator.event_editor,
             self.translator_config.clone(),
         )?;
-        self.result = Some(translator.translate(&selected));
+        let result = translator.translate(&selected);
+        let store = Arc::new(SemanticsStore::new());
+        analytics::ingest_result(&store, &result);
+        self.store = store;
+        self.result = Some(result);
         Ok(self.result.as_ref().expect("just stored"))
     }
 
     /// The last translation result, if `run` has been called.
     pub fn result(&self) -> Option<&TranslationResult> {
         self.result.as_ref()
+    }
+
+    /// The live semantics store the last `run` published into. Each `run`
+    /// swaps in a fresh store, so handles obtained here pin that run's
+    /// snapshot.
+    pub fn semantics_store(&self) -> Arc<SemanticsStore> {
+        self.store.clone()
+    }
+
+    /// A concurrent query handle over the last run's semantics (step 5 for
+    /// analytics consumers; shareable across threads). The handle pins the
+    /// run that was current when it was taken — re-take after a new `run`.
+    pub fn query_service(&self) -> QueryService {
+        QueryService::new(self.store.clone())
     }
 
     /// Per-stage wall-clock timings of the last translation run — the
@@ -159,5 +190,44 @@ mod tests {
     fn timeline_before_run_is_none() {
         let (trips, _, device) = system_with_data();
         assert!(trips.timeline_for(&device).is_none());
+    }
+
+    #[test]
+    fn run_publishes_into_query_service() {
+        use trips_store::SemanticsSelector;
+        let (mut trips, seqs, _) = system_with_data();
+        assert!(trips.query_service().stats().devices == 0, "empty pre-run");
+        trips.run(seqs.clone()).unwrap();
+        let service = trips.query_service();
+        let result = trips.result().unwrap();
+        assert_eq!(service.stats().devices, result.devices.len());
+        assert_eq!(service.stats().semantics, result.total_semantics());
+        // Store queries agree with the batch analytics wrappers.
+        assert_eq!(
+            service.popular_regions(&SemanticsSelector::all()),
+            crate::analytics::popular_regions(result)
+        );
+        assert_eq!(
+            service.top_flows(&SemanticsSelector::all(), 10),
+            crate::analytics::top_flows(result, 10)
+        );
+        // Re-running swaps in a fresh store: old handles pin the previous
+        // run's snapshot, new handles see the new run (no accumulation).
+        let prev_total = result.total_semantics();
+        let stale = trips.query_service();
+        trips.run(seqs).unwrap();
+        assert!(
+            !Arc::ptr_eq(stale.store(), &trips.semantics_store()),
+            "re-run must swap the store"
+        );
+        assert_eq!(
+            stale.stats().semantics,
+            prev_total,
+            "old handle still serves the prior run's complete data"
+        );
+        assert_eq!(
+            trips.query_service().stats().semantics,
+            trips.result().unwrap().total_semantics()
+        );
     }
 }

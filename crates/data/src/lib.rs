@@ -14,6 +14,6 @@ mod sequence;
 mod timestamp;
 
 pub use record::{DeviceId, RawRecord};
-pub use selector::{Quantifier, RuleExpr, SelectionRule, Selector};
+pub use selector::{glob_match, Quantifier, RuleExpr, SelectionRule, Selector};
 pub use sequence::{PositioningSequence, SequenceStats};
 pub use timestamp::{Duration, Timestamp};

@@ -149,8 +149,11 @@ fn quantify(
     }
 }
 
-/// Glob matching with `*` and `?`, non-recursive two-pointer algorithm.
-fn glob_match(pattern: &str, text: &str) -> bool {
+/// Glob matching with `*` (any run) and `?` (one char), the matcher behind
+/// [`SelectionRule::DevicePattern`] — public so other layers (e.g. the
+/// semantics store's query selectors) filter device ids with identical
+/// semantics. Non-recursive two-pointer algorithm.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
     let p: Vec<char> = pattern.chars().collect();
     let t: Vec<char> = text.chars().collect();
     let (mut pi, mut ti) = (0usize, 0usize);

@@ -11,13 +11,18 @@
 //!   function;
 //! * [`Pipeline`] — staged execution with per-stage wall-clock timing,
 //!   collected into a [`PipelineReport`] (exposed on every
-//!   `TranslationResult` and rendered by the bench harness).
+//!   `TranslationResult` and rendered by the bench harness);
+//! * [`LatencyRecorder`] — per-worker latency collection reduced to
+//!   ops/sec + nearest-rank percentiles (the store's query-throughput
+//!   bench and the perf-smoke CI gate are built on it).
 //!
 //! The crate is deliberately free of TRIPS domain types so any layer
 //! (core, bench, future services) can depend on it without cycles.
 
 mod executor;
+mod metrics;
 mod pipeline;
 
 pub use executor::run_indexed;
+pub use metrics::{LatencyRecorder, LatencySummary};
 pub use pipeline::{Pipeline, PipelineReport, StageReport};

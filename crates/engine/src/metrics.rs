@@ -1,0 +1,130 @@
+//! Latency/throughput measurement for concurrent workloads.
+//!
+//! The store's query-throughput bench (and any future service harness)
+//! needs per-operation latencies collected across worker threads and
+//! reduced to ops/sec + percentiles. Each worker records into its own
+//! [`LatencyRecorder`]; recorders are merged after the fan-out joins and
+//! summarized with nearest-rank percentiles.
+
+use std::time::Duration;
+
+/// Accumulates per-operation latencies (one recorder per worker thread).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+}
+
+/// Reduced view of a recorder: count, throughput, percentiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    pub count: usize,
+    /// Operations per second over the wall-clock the caller measured.
+    pub ops_per_sec: f64,
+    pub p50: Duration,
+    pub p99: Duration,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one operation's latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_ns.push(latency.as_nanos() as u64);
+    }
+
+    /// Absorbs another recorder (e.g. a joined worker's).
+    pub fn merge(&mut self, other: LatencyRecorder) {
+        self.samples_ns.extend(other.samples_ns);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 1]`); zero when empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.samples_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let rank =
+            ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Duration::from_nanos(sorted[rank - 1])
+    }
+
+    /// Throughput given the wall-clock the operations ran within.
+    pub fn ops_per_sec(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            return 0.0;
+        }
+        self.samples_ns.len() as f64 / wall.as_secs_f64()
+    }
+
+    /// Reduces to `{count, ops/sec, p50, p99}`.
+    pub fn summary(&self, wall: Duration) -> LatencySummary {
+        LatencySummary {
+            count: self.len(),
+            ops_per_sec: self.ops_per_sec(wall),
+            p50: self.percentile(0.50),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder_with(ms: &[u64]) -> LatencyRecorder {
+        let mut r = LatencyRecorder::new();
+        for &m in ms {
+            r.record(Duration::from_millis(m));
+        }
+        r
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let r = recorder_with(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(r.percentile(0.5), Duration::from_millis(50));
+        assert_eq!(r.percentile(0.99), Duration::from_millis(100));
+        assert_eq!(r.percentile(0.0), Duration::from_millis(10));
+        assert_eq!(r.percentile(1.0), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_recorder_is_zeroes() {
+        let r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.percentile(0.5), Duration::ZERO);
+        assert_eq!(r.ops_per_sec(Duration::from_secs(1)), 0.0);
+        let s = r.summary(Duration::ZERO);
+        assert_eq!((s.count, s.ops_per_sec), (0, 0.0));
+    }
+
+    #[test]
+    fn merge_and_throughput() {
+        let mut a = recorder_with(&[10, 20]);
+        let b = recorder_with(&[30, 40]);
+        a.merge(b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.ops_per_sec(Duration::from_secs(2)), 2.0);
+        let s = a.summary(Duration::from_secs(1));
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50, Duration::from_millis(20));
+        assert_eq!(s.p99, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn unsorted_input_sorted_for_percentiles() {
+        let r = recorder_with(&[90, 10, 50]);
+        assert_eq!(r.percentile(0.5), Duration::from_millis(50));
+    }
+}

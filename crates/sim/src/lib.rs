@@ -21,4 +21,4 @@ pub mod scenario;
 
 pub use error::ErrorModel;
 pub use mobility::{AgentProfile, TrueVisit, VisitKind};
-pub use scenario::{DeviceTrace, ScenarioConfig, SimulatedDataset};
+pub use scenario::{CampusBuilding, CampusDataset, DeviceTrace, ScenarioConfig, SimulatedDataset};

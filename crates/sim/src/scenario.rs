@@ -190,6 +190,91 @@ pub fn generate(floors: u16, shops_per_row: usize, config: &ScenarioConfig) -> S
     generate_on(dsm, config)
 }
 
+/// One building of a campus: a name (`b0`, `b1`, …) and its own DSM +
+/// traces.
+#[derive(Debug, Clone)]
+pub struct CampusBuilding {
+    pub name: String,
+    pub dataset: SimulatedDataset,
+}
+
+/// A multi-building deployment (MazeMap-style campus): every building has
+/// its own DSM and device population, with building-prefixed device ids
+/// (`b<i>.<mac>`) so id-pattern selection (`b0.*`) isolates one building's
+/// traffic. Used by the semantics-store bench and tests to exercise
+/// cross-shard traffic.
+#[derive(Debug, Clone)]
+pub struct CampusDataset {
+    pub buildings: Vec<CampusBuilding>,
+}
+
+impl CampusDataset {
+    /// All raw sequences across buildings, building-major.
+    pub fn sequences(&self) -> Vec<PositioningSequence> {
+        self.buildings
+            .iter()
+            .flat_map(|b| b.dataset.sequences())
+            .collect()
+    }
+
+    /// Total devices across buildings.
+    pub fn device_count(&self) -> usize {
+        self.buildings.iter().map(|b| b.dataset.traces.len()).sum()
+    }
+
+    /// Total raw records across buildings.
+    pub fn record_count(&self) -> usize {
+        self.buildings
+            .iter()
+            .map(|b| b.dataset.record_count())
+            .sum()
+    }
+}
+
+/// Generates a campus of `buildings` identical-layout malls, each simulated
+/// with a building-derived seed (so traffic differs per building) and
+/// re-tagged device ids (`b<i>.` prefix, unique campus-wide).
+pub fn generate_campus(
+    buildings: usize,
+    floors: u16,
+    shops_per_row: usize,
+    config: &ScenarioConfig,
+) -> CampusDataset {
+    assert!(buildings >= 1, "a campus needs at least one building");
+    let buildings = (0..buildings)
+        .map(|b| {
+            let cfg = ScenarioConfig {
+                seed: config
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(b as u64 + 1)),
+                ..config.clone()
+            };
+            let mut ds = generate(floors, shops_per_row, &cfg);
+            for t in &mut ds.traces {
+                let id = DeviceId::new(&format!("b{b}.{}", t.device.as_str()));
+                let records: Vec<RawRecord> = t
+                    .raw
+                    .records()
+                    .iter()
+                    .map(|r| {
+                        let mut r = r.clone();
+                        r.device = id.clone();
+                        r
+                    })
+                    .collect();
+                t.raw = PositioningSequence::from_records(id.clone(), records);
+                t.device = id;
+            }
+            ds.config_summary = format!("b{b}: {}", ds.config_summary);
+            CampusBuilding {
+                name: format!("b{b}"),
+                dataset: ds,
+            }
+        })
+        .collect();
+    CampusDataset { buildings }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,5 +409,74 @@ mod tests {
     fn unfrozen_dsm_rejected() {
         let dsm = DigitalSpaceModel::new("x");
         generate_on(dsm, &ScenarioConfig::default());
+    }
+
+    #[test]
+    fn campus_shape_and_unique_prefixed_ids() {
+        let campus = generate_campus(
+            3,
+            1,
+            2,
+            &ScenarioConfig {
+                devices: 4,
+                days: 1,
+                seed: 0xCA11,
+                ..ScenarioConfig::default()
+            },
+        );
+        assert_eq!(campus.buildings.len(), 3);
+        assert_eq!(campus.device_count(), 12);
+        assert_eq!(campus.sequences().len(), 12);
+        assert!(campus.record_count() > 0);
+        let mut ids: Vec<String> = Vec::new();
+        for (b, building) in campus.buildings.iter().enumerate() {
+            assert_eq!(building.name, format!("b{b}"));
+            for t in &building.dataset.traces {
+                assert!(
+                    t.device.as_str().starts_with(&format!("b{b}.")),
+                    "{} missing building prefix",
+                    t.device
+                );
+                assert_eq!(t.raw.device(), &t.device);
+                for r in t.raw.records() {
+                    assert_eq!(&r.device, &t.device, "records re-tagged");
+                }
+                ids.push(t.device.as_str().to_string());
+            }
+        }
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "device ids unique campus-wide");
+    }
+
+    #[test]
+    fn campus_buildings_have_distinct_traffic_and_pattern_selection_works() {
+        let campus = generate_campus(
+            2,
+            1,
+            2,
+            &ScenarioConfig {
+                devices: 3,
+                days: 1,
+                seed: 7,
+                ..ScenarioConfig::default()
+            },
+        );
+        let a = &campus.buildings[0].dataset;
+        let b = &campus.buildings[1].dataset;
+        assert_ne!(
+            a.traces[0].raw.records(),
+            b.traces[0].raw.records(),
+            "per-building seeds differ"
+        );
+        // The paper's Data Selector isolates one building by id pattern.
+        let selector =
+            trips_data::Selector::new(trips_data::SelectionRule::DevicePattern("b1.*".into()));
+        let picked = selector.select(campus.sequences());
+        assert_eq!(picked.len(), 3);
+        assert!(picked
+            .iter()
+            .all(|s| s.device().as_str().starts_with("b1.")));
     }
 }

@@ -1,0 +1,266 @@
+//! # trips-store — sharded concurrent mobility-semantics store
+//!
+//! TRIPS positions translation as the front half of a system whose payoff is
+//! serving mobility-semantics *queries* — popular regions, flows, dwell
+//! histograms — to many concurrent consumers (paper §1's applications).
+//! This crate is the serving half: a [`SemanticsStore`] that absorbs
+//! streaming translations while answering analytics reads concurrently,
+//! without rescanning every stored semantics on each call.
+//!
+//! ## Architecture
+//!
+//! * **Sharding** — devices are partitioned over N shards by an FNV-1a hash
+//!   of the device id, each shard behind its own `parking_lot::RwLock`.
+//!   Writers for different devices contend only when they hash to the same
+//!   shard; readers never block each other.
+//! * **Incremental aggregates** — every shard maintains, alongside the raw
+//!   per-device semantics, running aggregates updated at ingest time:
+//!   per-region popularity (stays / pass-bys / unique stayers / total
+//!   dwell), directed region-to-region flow counts, an exact-duration dwell
+//!   multiset (bucketable at query time into any histogram width), and
+//!   per-device visit summaries. Unfiltered analytics queries are therefore
+//!   **O(shards) merges** instead of full rescans; since a device lives in
+//!   exactly one shard, per-shard unique-stayer counts sum exactly.
+//! * **Query service** — [`QueryService`] answers
+//!   [`QueryRequest`]s (a [`SemanticsSelector`] filter plus a [`Query`]
+//!   kind) against a shared store. Selectors reuse `trips-data`'s Data
+//!   Selector conventions: device-id glob patterns
+//!   ([`trips_data::glob_match`]) and **half-open** `[from, to)` temporal
+//!   ranges, matching `SelectionRule::TemporalRange`. Filtered queries fall
+//!   back to scanning only the matching devices' semantics (still sharded).
+//!
+//! ## Shard-count heuristic
+//!
+//! [`default_shard_count`] picks `2 × available_parallelism`, rounded up to
+//! a power of two and clamped to `[4, 64]`. Twice the hardware parallelism
+//! keeps write contention low even when every core runs an ingesting
+//! writer; the power-of-two count turns shard selection into a mask; and
+//! the cap bounds the O(shards) merge cost of aggregate queries. Pass an
+//! explicit count to [`SemanticsStore::with_shards`] to override (it is
+//! rounded up to the next power of two, minimum 1).
+//!
+//! ## Snapshot format
+//!
+//! [`SemanticsStore::persist`] writes a single JSON document (version 1):
+//!
+//! ```json
+//! { "version": 1,
+//!   "shards": 8,
+//!   "devices": [["<device id>", [[<MobilitySemantics...>], ...]], ...] }
+//! ```
+//!
+//! Devices are sorted by id, each paired with its semantics in ingest
+//! order, split into **sessions** at [`SemanticsStore::end_session`]
+//! boundaries (a trailing empty session encodes a boundary after the last
+//! semantics) so flow suppression across independent sequences survives a
+//! roundtrip. Aggregates are *not* serialized — they are derivable, and
+//! [`SemanticsStore::load`] rebuilds them by re-ingesting each session, so
+//! the snapshot can never disagree with its aggregates. `shards` records
+//! the source store's shard count and is reused on load. Loading rejects
+//! unknown versions with [`SemanticsStoreError::Version`].
+//!
+//! The file-backed `trips-core` `Store` uses these two entry points as its
+//! snapshot/restore backend (`Store::save_semantics` / `load_semantics`).
+
+mod query;
+mod shard;
+mod snapshot;
+mod types;
+
+pub use query::{Query, QueryRequest, QueryResult, QueryService, SemanticsSelector};
+pub use snapshot::SemanticsStoreError;
+pub use types::{DeviceSummary, Flow, RegionPopularity, StoreStats};
+
+use parking_lot::RwLock;
+use shard::Shard;
+use trips_annotate::MobilitySemantics;
+use trips_data::DeviceId;
+
+/// Default shard count: `2 × available_parallelism`, next power of two,
+/// clamped to `[4, 64]` (see the module docs for the rationale).
+pub fn default_shard_count() -> usize {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    (threads * 2).next_power_of_two().clamp(4, 64)
+}
+
+/// FNV-1a 64-bit — deterministic across runs and platforms, so a device
+/// always lands in the same shard (snapshots and tests rely on this).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Sharded, concurrently readable/writable store of translated mobility
+/// semantics with incremental analytics aggregates.
+///
+/// All methods take `&self`: the store is `Sync` and designed to be shared
+/// (typically via `Arc`) between ingesting writers and querying readers.
+pub struct SemanticsStore {
+    shards: Vec<RwLock<Shard>>,
+    mask: usize,
+}
+
+impl Default for SemanticsStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SemanticsStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemanticsStore")
+            .field("shards", &self.shard_count())
+            .field("devices", &self.device_count())
+            .field("semantics", &self.semantics_count())
+            .finish()
+    }
+}
+
+impl SemanticsStore {
+    /// Creates a store with [`default_shard_count`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(default_shard_count())
+    }
+
+    /// Creates a store with an explicit shard count (rounded up to the next
+    /// power of two, minimum 1).
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1).next_power_of_two();
+        SemanticsStore {
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn shards(&self) -> &[RwLock<Shard>] {
+        &self.shards
+    }
+
+    pub(crate) fn shard_index(&self, device: &DeviceId) -> usize {
+        (fnv1a(device.as_str().as_bytes()) as usize) & self.mask
+    }
+
+    /// Ingests a batch of semantics for one device, appending to any
+    /// previously ingested semantics and updating every aggregate
+    /// incrementally (including the flow across the append boundary). An
+    /// empty batch still registers the device.
+    pub fn ingest(&self, device: &DeviceId, semantics: &[MobilitySemantics]) {
+        self.shards[self.shard_index(device)]
+            .write()
+            .ingest(device, semantics);
+    }
+
+    /// Ends the current flow "session" for `device`: the next ingested
+    /// batch will not count a directed flow from this device's previously
+    /// ingested last region. Use when successive batches are independent
+    /// sequences rather than a continuation — e.g. republishing separate
+    /// translation results for the same device. Streaming ingest should
+    /// *not* call this between micro-batches (their boundary flows are
+    /// real).
+    pub fn end_session(&self, device: &DeviceId) {
+        if let Some(entry) = self.shards[self.shard_index(device)]
+            .write()
+            .devices
+            .get_mut(device)
+        {
+            if entry.last.take().is_some() {
+                entry.breaks.push(entry.semantics.len());
+            }
+        }
+    }
+
+    /// Drops all devices and aggregates, keeping the shard layout.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            *s.write() = Shard::default();
+        }
+    }
+
+    /// Number of registered devices.
+    pub fn device_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().devices.len()).sum()
+    }
+
+    /// Total semantics stored.
+    pub fn semantics_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().semantics_count).sum()
+    }
+
+    /// Whether no device has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.device_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_data::Timestamp;
+    use trips_dsm::RegionId;
+
+    pub(crate) fn sem(
+        device: &str,
+        region: u32,
+        name: &str,
+        event: &str,
+        start_s: i64,
+        end_s: i64,
+    ) -> MobilitySemantics {
+        MobilitySemantics {
+            device: DeviceId::new(device),
+            event: event.into(),
+            region: RegionId(region),
+            region_name: name.into(),
+            start: Timestamp::from_millis(start_s * 1000),
+            end: Timestamp::from_millis(end_s * 1000),
+            inferred: false,
+            display_point: None,
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(SemanticsStore::with_shards(0).shard_count(), 1);
+        assert_eq!(SemanticsStore::with_shards(1).shard_count(), 1);
+        assert_eq!(SemanticsStore::with_shards(3).shard_count(), 4);
+        assert_eq!(SemanticsStore::with_shards(8).shard_count(), 8);
+        let d = default_shard_count();
+        assert!(d.is_power_of_two() && (4..=64).contains(&d));
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_total() {
+        let store = SemanticsStore::with_shards(8);
+        for i in 0..100 {
+            let d = DeviceId::new(&format!("dev-{i}"));
+            let a = store.shard_index(&d);
+            assert_eq!(a, store.shard_index(&d), "stable per device");
+            assert!(a < store.shard_count());
+        }
+    }
+
+    #[test]
+    fn ingest_counts_and_clear() {
+        let store = SemanticsStore::with_shards(4);
+        assert!(store.is_empty());
+        let d = DeviceId::new("a.b.c.1");
+        store.ingest(&d, &[sem("a.b.c.1", 1, "Nike", "stay", 0, 600)]);
+        store.ingest(&DeviceId::new("a.b.c.2"), &[]);
+        assert_eq!(store.device_count(), 2, "empty batch registers device");
+        assert_eq!(store.semantics_count(), 1);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.semantics_count(), 0);
+    }
+}

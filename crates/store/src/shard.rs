@@ -1,0 +1,98 @@
+//! One shard: per-device semantics plus the incremental aggregates that
+//! make unfiltered analytics queries O(shards) merges.
+
+use std::collections::{BTreeMap, BTreeSet};
+use trips_annotate::MobilitySemantics;
+use trips_data::DeviceId;
+use trips_dsm::RegionId;
+
+/// Everything stored for one device within its shard.
+#[derive(Default)]
+pub(crate) struct DeviceEntry {
+    /// Full semantics sequence in ingest order.
+    pub semantics: Vec<MobilitySemantics>,
+    /// Distinct regions visited.
+    pub regions: BTreeSet<RegionId>,
+    /// Number of `stay` semantics.
+    pub stays: usize,
+    /// Total time accounted for by semantics (ms).
+    pub accounted_ms: i64,
+    /// Region of the last ingested semantics — carries directed-flow
+    /// counting across ingest batch boundaries.
+    pub last: Option<(RegionId, String)>,
+    /// Indices into `semantics` where a session ended (`end_session`):
+    /// no flow is counted across these boundaries, and snapshots split at
+    /// them so the suppression survives persist/load.
+    pub breaks: Vec<usize>,
+}
+
+/// Running per-region popularity aggregate.
+pub(crate) struct RegionAgg {
+    pub name: String,
+    pub stays: usize,
+    pub pass_bys: usize,
+    /// Devices that stayed at least once. Devices are partitioned by shard,
+    /// so summing set sizes across shards gives the exact unique count.
+    pub stayers: BTreeSet<DeviceId>,
+    pub dwell_ms: i64,
+}
+
+/// Running directed-flow aggregate.
+pub(crate) struct FlowAgg {
+    pub from_name: String,
+    pub to_name: String,
+    pub count: usize,
+}
+
+#[derive(Default)]
+pub(crate) struct Shard {
+    pub devices: BTreeMap<DeviceId, DeviceEntry>,
+    pub regions: BTreeMap<RegionId, RegionAgg>,
+    pub flows: BTreeMap<(RegionId, RegionId), FlowAgg>,
+    /// Exact stay durations (ms) → count; bucketed at query time so any
+    /// histogram width stays an O(distinct durations) merge.
+    pub dwell: BTreeMap<i64, usize>,
+    pub semantics_count: usize,
+}
+
+impl Shard {
+    pub fn ingest(&mut self, device: &DeviceId, semantics: &[MobilitySemantics]) {
+        let entry = self.devices.entry(device.clone()).or_default();
+        for s in semantics {
+            let dur_ms = s.duration().as_millis();
+            let region = self.regions.entry(s.region).or_insert_with(|| RegionAgg {
+                name: s.region_name.clone(),
+                stays: 0,
+                pass_bys: 0,
+                stayers: BTreeSet::new(),
+                dwell_ms: 0,
+            });
+            if s.event == "stay" {
+                region.stays += 1;
+                region.dwell_ms += dur_ms;
+                region.stayers.insert(device.clone());
+                entry.stays += 1;
+                *self.dwell.entry(dur_ms).or_default() += 1;
+            } else {
+                region.pass_bys += 1;
+            }
+            if let Some((prev, prev_name)) = &entry.last {
+                if *prev != s.region {
+                    self.flows
+                        .entry((*prev, s.region))
+                        .or_insert_with(|| FlowAgg {
+                            from_name: prev_name.clone(),
+                            to_name: s.region_name.clone(),
+                            count: 0,
+                        })
+                        .count += 1;
+                }
+            }
+            entry.last = Some((s.region, s.region_name.clone()));
+            entry.regions.insert(s.region);
+            entry.accounted_ms += dur_ms;
+            entry.semantics.push(s.clone());
+            self.semantics_count += 1;
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Snapshot/restore: the versioned JSON format documented in the crate
+//! docs. Only the raw per-device semantics travel; aggregates are rebuilt
+//! on load so a snapshot can never disagree with its aggregates.
+
+use crate::SemanticsStore;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+use trips_annotate::MobilitySemantics;
+use trips_data::DeviceId;
+
+pub(crate) const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors raised by snapshot persist/load.
+#[derive(Debug)]
+pub enum SemanticsStoreError {
+    Io(std::io::Error),
+    Serde(String),
+    /// The file's `version` field is not one this build understands.
+    Version(u32),
+}
+
+impl std::fmt::Display for SemanticsStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SemanticsStoreError::Io(e) => write!(f, "semantics store I/O error: {e}"),
+            SemanticsStoreError::Serde(e) => {
+                write!(f, "semantics store serialization error: {e}")
+            }
+            SemanticsStoreError::Version(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemanticsStoreError {}
+
+impl From<std::io::Error> for SemanticsStoreError {
+    fn from(e: std::io::Error) -> Self {
+        SemanticsStoreError::Io(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct SnapshotFile {
+    version: u32,
+    shards: usize,
+    /// Per device: its semantics split into **sessions** at the
+    /// `end_session` boundaries, so flow suppression across independent
+    /// sequences survives a persist/load roundtrip (a trailing empty
+    /// session encodes a boundary after the final semantics).
+    devices: Vec<(String, Vec<Vec<MobilitySemantics>>)>,
+}
+
+impl SemanticsStore {
+    /// Writes a version-1 snapshot of the store to `path`.
+    pub fn persist(&self, path: impl AsRef<Path>) -> Result<(), SemanticsStoreError> {
+        let mut devices: Vec<(String, Vec<Vec<MobilitySemantics>>)> = Vec::new();
+        for shard in self.shards() {
+            let shard = shard.read();
+            for (device, entry) in &shard.devices {
+                let mut sessions = Vec::with_capacity(entry.breaks.len() + 1);
+                let mut start = 0usize;
+                for &b in &entry.breaks {
+                    sessions.push(entry.semantics[start..b].to_vec());
+                    start = b;
+                }
+                sessions.push(entry.semantics[start..].to_vec());
+                devices.push((device.as_str().to_string(), sessions));
+            }
+        }
+        devices.sort_by(|a, b| a.0.cmp(&b.0));
+        let file = SnapshotFile {
+            version: SNAPSHOT_VERSION,
+            shards: self.shard_count(),
+            devices,
+        };
+        let json =
+            serde_json::to_string(&file).map_err(|e| SemanticsStoreError::Serde(e.to_string()))?;
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Restores a store from a snapshot written by [`SemanticsStore::persist`],
+    /// recreating the recorded shard count, session boundaries, and every
+    /// aggregate.
+    pub fn load(path: impl AsRef<Path>) -> Result<SemanticsStore, SemanticsStoreError> {
+        let json = fs::read_to_string(path)?;
+        let file: SnapshotFile =
+            serde_json::from_str(&json).map_err(|e| SemanticsStoreError::Serde(e.to_string()))?;
+        if file.version != SNAPSHOT_VERSION {
+            return Err(SemanticsStoreError::Version(file.version));
+        }
+        let store = SemanticsStore::with_shards(file.shards);
+        for (device, sessions) in &file.devices {
+            let device = DeviceId::new(device);
+            store.ingest(&device, &[]); // register even if fully empty
+            for (i, session) in sessions.iter().enumerate() {
+                store.ingest(&device, session);
+                if i + 1 < sessions.len() {
+                    store.end_session(&device);
+                }
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SemanticsSelector;
+    use trips_data::{Duration, Timestamp};
+    use trips_dsm::RegionId;
+
+    fn sem(device: &str, region: u32, event: &str, start_s: i64, end_s: i64) -> MobilitySemantics {
+        MobilitySemantics {
+            device: DeviceId::new(device),
+            event: event.into(),
+            region: RegionId(region),
+            region_name: format!("R{region}"),
+            start: Timestamp::from_millis(start_s * 1000),
+            end: Timestamp::from_millis(end_s * 1000),
+            inferred: false,
+            display_point: None,
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("trips-semstore-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_queries() {
+        let store = SemanticsStore::with_shards(8);
+        for d in 0..10 {
+            let id = format!("dev-{d}");
+            let sems: Vec<MobilitySemantics> = (0..5)
+                .map(|i| {
+                    sem(
+                        &id,
+                        (d + i) % 4,
+                        if i % 2 == 0 { "stay" } else { "pass-by" },
+                        i as i64 * 100,
+                        i as i64 * 100 + 60,
+                    )
+                })
+                .collect();
+            store.ingest(&DeviceId::new(&id), &sems);
+        }
+        store.ingest(&DeviceId::new("silent"), &[]);
+
+        let path = temp_path("roundtrip");
+        store.persist(&path).unwrap();
+        let back = SemanticsStore::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(back.shard_count(), store.shard_count());
+        assert_eq!(
+            back.device_count(),
+            store.device_count(),
+            "empty device kept"
+        );
+        let all = SemanticsSelector::all();
+        assert_eq!(back.popular_regions(&all), store.popular_regions(&all));
+        assert_eq!(back.top_flows(&all, 20), store.top_flows(&all, 20));
+        assert_eq!(
+            back.dwell_histogram(&all, Duration::from_mins(1)),
+            store.dwell_histogram(&all, Duration::from_mins(1))
+        );
+        assert_eq!(back.device_summaries(&all), store.device_summaries(&all));
+        assert_eq!(back.semantics(&all), store.semantics(&all));
+    }
+
+    #[test]
+    fn session_boundaries_survive_roundtrip() {
+        let store = SemanticsStore::with_shards(4);
+        let d = DeviceId::new("two-sessions");
+        store.ingest(&d, &[sem("two-sessions", 1, "stay", 0, 600)]);
+        store.end_session(&d);
+        store.ingest(&d, &[sem("two-sessions", 2, "pass-by", 700, 730)]);
+        let c = DeviceId::new("continuous");
+        store.ingest(&c, &[sem("continuous", 1, "stay", 0, 600)]);
+        store.ingest(&c, &[sem("continuous", 2, "pass-by", 700, 730)]);
+
+        let all = SemanticsSelector::all();
+        assert_eq!(
+            store.top_flows(&all, 10).len(),
+            1,
+            "only the continuous flow"
+        );
+
+        let path = temp_path("sessions");
+        store.persist(&path).unwrap();
+        let back = SemanticsStore::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            back.top_flows(&all, 10),
+            store.top_flows(&all, 10),
+            "suppressed cross-session flow must not reappear after load"
+        );
+        assert_eq!(back.semantics(&all), store.semantics(&all));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let path = temp_path("version");
+        std::fs::write(&path, r#"{"version":99,"shards":4,"devices":[]}"#).unwrap();
+        let err = SemanticsStore::load(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(err, SemanticsStoreError::Version(99)), "{err}");
+    }
+
+    #[test]
+    fn garbage_and_missing_files_surface_errors() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, "not json at all {").unwrap();
+        let err = SemanticsStore::load(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(err, SemanticsStoreError::Serde(_)), "{err}");
+        let missing = SemanticsStore::load(temp_path("missing-never-written")).unwrap_err();
+        assert!(matches!(missing, SemanticsStoreError::Io(_)), "{missing}");
+    }
+}

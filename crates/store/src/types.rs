@@ -1,0 +1,68 @@
+//! Public analytics result types served by the store.
+//!
+//! These began life in `trips-core`'s `analytics` module (which now
+//! re-exports them), so downstream code keeps its import paths while the
+//! store serves the same shapes.
+
+use trips_data::Duration;
+use trips_dsm::RegionId;
+
+/// Popularity of one semantic region across all matching devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionPopularity {
+    pub region: RegionId,
+    pub region_name: String,
+    /// Number of `stay` semantics in the region.
+    pub stays: usize,
+    /// Number of `pass-by` semantics in the region.
+    pub pass_bys: usize,
+    /// Distinct devices that stayed at least once.
+    pub unique_stayers: usize,
+    /// Total stay dwell time.
+    pub total_dwell: Duration,
+}
+
+impl RegionPopularity {
+    /// Conversion rate: stays per (stays + pass-bys) — how often walking
+    /// past turns into a visit (the in-store-marketing question).
+    pub fn conversion_rate(&self) -> f64 {
+        let total = self.stays + self.pass_bys;
+        if total == 0 {
+            0.0
+        } else {
+            self.stays as f64 / total as f64
+        }
+    }
+}
+
+/// One directed flow between two regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    pub from: RegionId,
+    pub from_name: String,
+    pub to: RegionId,
+    pub to_name: String,
+    pub count: usize,
+}
+
+/// Per-device visit summary: how many regions were visited and total time
+/// accounted for (dashboard row for the analyst). `device` is the
+/// anonymized id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceSummary {
+    pub device: String,
+    pub regions_visited: usize,
+    pub stays: usize,
+    pub accounted: Duration,
+}
+
+/// Store occupancy snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    pub shards: usize,
+    pub devices: usize,
+    pub semantics: usize,
+    pub regions: usize,
+    /// Device count per shard, in shard order (sharding balance check).
+    pub devices_per_shard: Vec<usize>,
+}

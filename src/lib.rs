@@ -72,6 +72,7 @@ pub use trips_dsm as dsm;
 pub use trips_engine as engine;
 pub use trips_geom as geom;
 pub use trips_sim as sim;
+pub use trips_store as store;
 pub use trips_viewer as viewer;
 
 /// The most commonly used items in one import.
@@ -92,6 +93,9 @@ pub mod prelude {
     pub use trips_dsm::{DigitalSpaceModel, PathQuery, RegionId, SemanticRegion, SemanticTag};
     pub use trips_engine::{Pipeline, PipelineReport};
     pub use trips_geom::{IndoorPoint, Point, Polygon};
-    pub use trips_sim::{ErrorModel, ScenarioConfig, SimulatedDataset};
+    pub use trips_sim::{CampusDataset, ErrorModel, ScenarioConfig, SimulatedDataset};
+    pub use trips_store::{
+        Query, QueryRequest, QueryResult, QueryService, SemanticsSelector, SemanticsStore,
+    };
     pub use trips_viewer::{Entry, MapView, SourceKind, SvgRenderer, Timeline, VisibilityControl};
 }
