@@ -1,0 +1,483 @@
+//! `server_load` — closed-loop multi-threaded load generator for a live
+//! `trips-serve` endpoint.
+//!
+//! Replays `trips_sim::scenario::generate_campus` traffic over the wire
+//! (one ingest connection per building, device-major batches), flushes,
+//! then drives a concurrent analyst query mix — and, unless disabled, an
+//! overload burst sized to exceed the admission queue so the server's
+//! load shedding is exercised. Emits `BENCH_server.json` with ingest +
+//! query throughput and tail latency (p50/p99/max/mean, comparable with
+//! `BENCH_store.json`) plus the server's own overload counters.
+//!
+//! ```text
+//! server_load --addr HOST:PORT [--quick] [--out PATH]
+//!             [--buildings N] [--floors N] [--shops N] [--devices N]
+//!             [--seed N] [--query-conns N] [--query-iters N]
+//!             [--no-overload] [--overload-conns N] [--overload-iters N]
+//!             [--expect-shedding] [--shutdown]
+//! ```
+//!
+//! The `--floors/--shops` layout must match the server's (campus
+//! buildings share the mall layout the server's DSM was built from).
+//! Exit codes: `0` clean; `1` any hard protocol error in the paced phases,
+//! a violated bounded-queue invariant, or `--expect-shedding` with no
+//! sheds observed; `2` usage errors.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use trips_data::{DeviceId, Duration, RawRecord, Timestamp};
+use trips_engine::LatencyRecorder;
+use trips_server::{Client, Response, ServerError};
+use trips_sim::ScenarioConfig;
+use trips_store::{Query, SemanticsSelector};
+
+struct Options {
+    addr: String,
+    quick: bool,
+    out: String,
+    buildings: usize,
+    floors: u16,
+    shops: usize,
+    devices: usize,
+    seed: u64,
+    query_conns: usize,
+    query_iters: usize,
+    overload: bool,
+    overload_conns: usize,
+    overload_iters: usize,
+    expect_shedding: bool,
+    shutdown: bool,
+}
+
+fn usage_and_exit(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: server_load --addr HOST:PORT [--quick] [--out PATH] [--buildings N] \
+         [--floors N] [--shops N] [--devices N] [--seed N] [--query-conns N] \
+         [--query-iters N] [--no-overload] [--overload-conns N] [--overload-iters N] \
+         [--expect-shedding] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(value) = args.next() else {
+        usage_and_exit(&format!("{flag} needs a value"));
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => usage_and_exit(&format!("invalid value {value:?} for {flag}")),
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        addr: String::new(),
+        quick: false,
+        out: "BENCH_server.json".to_string(),
+        buildings: 3,
+        floors: 2,
+        shops: 3,
+        devices: 8,
+        seed: 0xBEC4,
+        query_conns: 8,
+        query_iters: 600,
+        overload: true,
+        overload_conns: 8,
+        overload_iters: 150,
+        expect_shedding: false,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => opts.addr = parse(&mut args, "--addr"),
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = parse(&mut args, "--out"),
+            "--buildings" => opts.buildings = parse(&mut args, "--buildings"),
+            "--floors" => opts.floors = parse(&mut args, "--floors"),
+            "--shops" => opts.shops = parse(&mut args, "--shops"),
+            "--devices" => opts.devices = parse(&mut args, "--devices"),
+            "--seed" => opts.seed = parse(&mut args, "--seed"),
+            "--query-conns" => opts.query_conns = parse(&mut args, "--query-conns"),
+            "--query-iters" => opts.query_iters = parse(&mut args, "--query-iters"),
+            "--no-overload" => opts.overload = false,
+            "--overload-conns" => opts.overload_conns = parse(&mut args, "--overload-conns"),
+            "--overload-iters" => opts.overload_iters = parse(&mut args, "--overload-iters"),
+            "--expect-shedding" => opts.expect_shedding = true,
+            "--shutdown" => opts.shutdown = true,
+            other => usage_and_exit(&format!("unknown argument: {other}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        usage_and_exit("--addr is required");
+    }
+    if opts.quick {
+        // Shrink the paced phases only; overload flags are honored as
+        // given (a burst must stay large enough to exceed the queue).
+        opts.buildings = opts.buildings.min(2);
+        opts.devices = opts.devices.min(4);
+        opts.query_conns = opts.query_conns.min(4);
+        opts.query_iters = opts.query_iters.min(200);
+    }
+    opts
+}
+
+#[derive(Serialize)]
+struct PhaseReport {
+    requests: usize,
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    mean_us: f64,
+    wall_ms: f64,
+}
+
+fn phase_report(recorder: &LatencyRecorder, wall: std::time::Duration) -> PhaseReport {
+    let s = recorder.summary(wall);
+    PhaseReport {
+        requests: s.count,
+        ops_per_sec: s.ops_per_sec,
+        p50_us: s.p50.as_secs_f64() * 1e6,
+        p99_us: s.p99.as_secs_f64() * 1e6,
+        max_us: s.max.as_secs_f64() * 1e6,
+        mean_us: s.mean.as_secs_f64() * 1e6,
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+#[derive(Serialize)]
+struct OverloadReport {
+    requests: usize,
+    ok: usize,
+    shed: usize,
+    hard_errors: usize,
+}
+
+#[derive(Serialize)]
+struct ServerSide {
+    requests: u64,
+    shed: u64,
+    bad_requests: u64,
+    queue_capacity: usize,
+    peak_queue_depth: usize,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    quick: bool,
+    addr: String,
+    ingest_connections: usize,
+    records: usize,
+    ingest: PhaseReport,
+    query_connections: usize,
+    query: PhaseReport,
+    overload: Option<OverloadReport>,
+    server: ServerSide,
+    hard_errors: usize,
+}
+
+fn query_mix(i: usize) -> (SemanticsSelector, Query) {
+    match i % 6 {
+        0 => (SemanticsSelector::all(), Query::PopularRegions),
+        1 => (SemanticsSelector::all(), Query::TopFlows { limit: 10 }),
+        2 => (
+            SemanticsSelector::all(),
+            Query::DwellHistogram {
+                bucket: Duration::from_mins(5),
+            },
+        ),
+        3 => (SemanticsSelector::all(), Query::DeviceSummaries),
+        4 => (
+            SemanticsSelector::all().with_device_pattern("b0.*"),
+            Query::PopularRegions,
+        ),
+        _ => (
+            SemanticsSelector::all().between(
+                Timestamp::from_dhms(0, 10, 0, 0),
+                Timestamp::from_dhms(0, 16, 0, 0),
+            ),
+            Query::Semantics,
+        ),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let hard_errors = AtomicUsize::new(0);
+
+    eprintln!(
+        "server_load: generating {} campus traffic ({} buildings, {} devices/building)...",
+        if opts.quick { "quick" } else { "full" },
+        opts.buildings,
+        opts.devices
+    );
+    let campus = trips_sim::scenario::generate_campus(
+        opts.buildings,
+        opts.floors,
+        opts.shops,
+        &ScenarioConfig {
+            devices: opts.devices,
+            days: 1,
+            seed: opts.seed,
+            ..ScenarioConfig::default()
+        },
+    );
+    let traffic: Vec<Vec<(DeviceId, Vec<RawRecord>)>> = campus
+        .buildings
+        .iter()
+        .map(|b| {
+            b.dataset
+                .traces
+                .iter()
+                .map(|t| (t.device.clone(), t.raw.records().to_vec()))
+                .collect()
+        })
+        .collect();
+    let records: usize = traffic
+        .iter()
+        .flat_map(|b| b.iter().map(|(_, r)| r.len()))
+        .sum();
+
+    // Phase 1 — ingest: one closed-loop connection per building.
+    eprintln!(
+        "server_load: ingesting {records} records over {} connections...",
+        traffic.len()
+    );
+    let ingest_wall = Instant::now();
+    let mut ingest_lat = LatencyRecorder::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = traffic
+            .iter()
+            .map(|building| {
+                let hard_errors = &hard_errors;
+                let addr = opts.addr.as_str();
+                s.spawn(move || {
+                    let mut recorder = LatencyRecorder::new();
+                    let mut client = Client::connect(addr).expect("connect for ingest");
+                    for (_, device_records) in building {
+                        for batch in device_records.chunks(50) {
+                            let t0 = Instant::now();
+                            match client.ingest(batch.to_vec()) {
+                                Ok(Response::Ingested { .. }) => {}
+                                Ok(other) => {
+                                    eprintln!("ingest error: {other:?}");
+                                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => {
+                                    eprintln!("ingest transport error: {e}");
+                                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            recorder.record(t0.elapsed());
+                        }
+                    }
+                    recorder
+                })
+            })
+            .collect();
+        for h in handles {
+            ingest_lat.merge(h.join().expect("ingest thread"));
+        }
+    });
+    let ingest_wall = ingest_wall.elapsed();
+
+    // Make everything queryable before the analyst phase.
+    {
+        let mut client = Client::connect(opts.addr.as_str()).expect("connect for flush");
+        match client.flush(None) {
+            Ok(Response::Flushed { .. }) => {}
+            other => {
+                eprintln!("flush failed: {other:?}");
+                hard_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // Phase 2 — analyst query mix, closed loop per connection.
+    eprintln!(
+        "server_load: querying with {} connections x {} iterations...",
+        opts.query_conns, opts.query_iters
+    );
+    let query_wall = Instant::now();
+    let mut query_lat = LatencyRecorder::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..opts.query_conns)
+            .map(|conn| {
+                let hard_errors = &hard_errors;
+                let addr = opts.addr.as_str();
+                let iters = opts.query_iters;
+                s.spawn(move || {
+                    let mut recorder = LatencyRecorder::new();
+                    let mut client = Client::connect(addr).expect("connect for queries");
+                    for i in 0..iters {
+                        let (selector, query) = query_mix(conn + i);
+                        let t0 = Instant::now();
+                        match client.query_parts(selector, query) {
+                            Ok(Ok(_)) => {}
+                            Ok(Err(e)) => {
+                                // Any protocol error — including Overloaded —
+                                // is a failure in the paced phase.
+                                eprintln!("query error: {e}");
+                                hard_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!("query transport error: {e}");
+                                hard_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        recorder.record(t0.elapsed());
+                    }
+                    recorder
+                })
+            })
+            .collect();
+        for h in handles {
+            query_lat.merge(h.join().expect("query thread"));
+        }
+    });
+    let query_wall = query_wall.elapsed();
+
+    // Phase 3 — overload burst: hammer the queue, expect shedding to be
+    // typed Overloaded responses and nothing worse.
+    let overload = if opts.overload {
+        eprintln!(
+            "server_load: overload burst with {} connections x {} iterations...",
+            opts.overload_conns, opts.overload_iters
+        );
+        let ok = AtomicUsize::new(0);
+        let shed = AtomicUsize::new(0);
+        let burst_hard = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for conn in 0..opts.overload_conns {
+                let (ok, shed, burst_hard) = (&ok, &shed, &burst_hard);
+                let addr = opts.addr.as_str();
+                let iters = opts.overload_iters;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect for burst");
+                    for i in 0..iters {
+                        let (selector, query) = query_mix(conn + i);
+                        match client.query_parts(selector, query) {
+                            Ok(Ok(_)) => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(Err(ServerError::Overloaded { .. })) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(Err(e)) => {
+                                eprintln!("burst hard error: {e}");
+                                burst_hard.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!("burst transport error: {e}");
+                                burst_hard.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let report = OverloadReport {
+            requests: opts.overload_conns * opts.overload_iters,
+            ok: ok.load(Ordering::Relaxed),
+            shed: shed.load(Ordering::Relaxed),
+            hard_errors: burst_hard.load(Ordering::Relaxed),
+        };
+        hard_errors.fetch_add(report.hard_errors, Ordering::Relaxed);
+        Some(report)
+    } else {
+        None
+    };
+
+    // Server-side accounting: metrics prove the bounded-queue invariant.
+    let mut admin = Client::connect(opts.addr.as_str()).expect("connect for metrics");
+    let server_side = match admin.metrics() {
+        Ok(Response::Metrics(m)) => {
+            if m.peak_queue_depth > m.queue_capacity {
+                eprintln!(
+                    "BOUNDED-QUEUE VIOLATION: peak depth {} > capacity {}",
+                    m.peak_queue_depth, m.queue_capacity
+                );
+                hard_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            ServerSide {
+                requests: m.requests,
+                shed: m.shed,
+                bad_requests: m.bad_requests,
+                queue_capacity: m.queue_capacity,
+                peak_queue_depth: m.peak_queue_depth,
+            }
+        }
+        other => {
+            eprintln!("metrics failed: {other:?}");
+            hard_errors.fetch_add(1, Ordering::Relaxed);
+            ServerSide {
+                requests: 0,
+                shed: 0,
+                bad_requests: 0,
+                queue_capacity: 0,
+                peak_queue_depth: 0,
+            }
+        }
+    };
+    if opts.shutdown {
+        let _ = admin.shutdown();
+    }
+
+    let hard = hard_errors.load(Ordering::Relaxed);
+    let report = BenchReport {
+        bench: "server_load".to_string(),
+        quick: opts.quick,
+        addr: opts.addr.clone(),
+        ingest_connections: traffic.len(),
+        records,
+        ingest: phase_report(&ingest_lat, ingest_wall),
+        query_connections: opts.query_conns,
+        query: phase_report(&query_lat, query_wall),
+        overload,
+        server: server_side,
+        hard_errors: hard,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&opts.out, &json).expect("write report");
+    println!(
+        "server_load: ingest {} batches ({} records) -> {:.0} req/s, p50 {:.0} us, p99 {:.0} us, max {:.0} us",
+        report.ingest.requests,
+        report.records,
+        report.ingest.ops_per_sec,
+        report.ingest.p50_us,
+        report.ingest.p99_us,
+        report.ingest.max_us,
+    );
+    println!(
+        "server_load: query {} requests over {} conns -> {:.0} req/s, p50 {:.0} us, p99 {:.0} us, max {:.0} us",
+        report.query.requests,
+        report.query_connections,
+        report.query.ops_per_sec,
+        report.query.p50_us,
+        report.query.p99_us,
+        report.query.max_us,
+    );
+    if let Some(o) = &report.overload {
+        println!(
+            "server_load: overload burst {} requests -> {} ok, {} shed, {} hard errors",
+            o.requests, o.ok, o.shed, o.hard_errors
+        );
+    }
+    println!("report written to {}", opts.out);
+
+    if hard > 0 {
+        eprintln!("server_load: {hard} hard errors");
+        std::process::exit(1);
+    }
+    if opts.expect_shedding {
+        let shed = report.overload.as_ref().map_or(0, |o| o.shed);
+        if shed == 0 {
+            eprintln!("server_load: --expect-shedding set but no Overloaded responses observed");
+            std::process::exit(1);
+        }
+    }
+}

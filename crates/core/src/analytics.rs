@@ -35,6 +35,10 @@ pub use trips_store::{DeviceSummary, Flow, RegionPopularity};
 /// its [`device_summaries`] row reflects the merged totals.
 pub fn ingest_result(store: &SemanticsStore, result: &TranslationResult) {
     for d in &result.devices {
+        // A translated device with zero semantics was still selected and
+        // processed — register it so store stats reflect the run's scope
+        // (a plain empty `ingest` is deliberately a no-op).
+        store.register_device(d.raw.device());
         store.ingest(d.raw.device(), &d.semantics);
         store.end_session(d.raw.device());
     }

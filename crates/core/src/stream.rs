@@ -144,6 +144,25 @@ impl<'a> StreamingTranslator<'a> {
         out
     }
 
+    /// Flushes one device's buffered records without waiting for a gap:
+    /// translates them now, publishes to the attached store (if any) and
+    /// returns the emitted semantics. A device with no buffer emits
+    /// nothing. Serving layers use this when a client session ends — its
+    /// devices' in-flight records must become queryable immediately.
+    pub fn flush_device(&mut self, device: &DeviceId) -> Vec<MobilitySemantics> {
+        let Some(batch) = self.buffers.remove(device) else {
+            return Vec::new();
+        };
+        let sems = self.translate_batch(device, batch);
+        if !sems.is_empty() {
+            if let Some(store) = &self.store {
+                store.ingest(device, &sems);
+            }
+        }
+        self.emitted += sems.len();
+        sems
+    }
+
     /// Flushes every device's buffer (end of stream). Returns semantics per
     /// device in device order. Devices fan out through the engine when the
     /// translator config asks for worker threads.
@@ -373,6 +392,44 @@ mod tests {
             "emitted counter covers the final flush"
         );
         assert!(stream.finish().is_empty(), "second finish is a no-op");
+    }
+
+    #[test]
+    fn flush_device_emits_buffered_records_immediately() {
+        use trips_store::SemanticsSelector;
+        let (ds, editor) = setup();
+        let store = Arc::new(trips_store::SemanticsStore::with_shards(4));
+        let mut stream =
+            StreamingTranslator::from_editor(&ds.dsm, &editor, None, StreamConfig::default())
+                .unwrap()
+                .with_store(store.clone());
+        let d = DeviceId::new("flush-me");
+        for i in 0..20i64 {
+            let dx = ((i * 7919) % 100) as f64 / 25.0 - 2.0;
+            let dy = ((i * 104_729) % 100) as f64 / 25.0 - 2.0;
+            stream.push(RawRecord::new(
+                d.clone(),
+                5.0 + dx,
+                4.0 + dy,
+                0,
+                trips_data::Timestamp::from_millis(i * 7000),
+            ));
+        }
+        assert_eq!(stream.buffered_records(), 20);
+        assert_eq!(store.semantics_count(), 0, "nothing queryable yet");
+
+        let sems = stream.flush_device(&d);
+        assert!(!sems.is_empty(), "a two-minute dwell must emit semantics");
+        assert_eq!(stream.buffered_records(), 0);
+        assert_eq!(stream.emitted(), sems.len());
+        let sel = SemanticsSelector::all().with_device_pattern(d.as_str());
+        assert_eq!(store.semantics(&sel), sems, "store sees the flush");
+
+        // Unknown or already-flushed devices emit nothing.
+        assert!(stream.flush_device(&d).is_empty());
+        assert!(stream.flush_device(&DeviceId::new("ghost")).is_empty());
+        // finish() afterwards has nothing left for this device.
+        assert!(stream.finish().is_empty());
     }
 
     #[test]

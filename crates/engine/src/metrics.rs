@@ -14,7 +14,7 @@ pub struct LatencyRecorder {
     samples_ns: Vec<u64>,
 }
 
-/// Reduced view of a recorder: count, throughput, percentiles.
+/// Reduced view of a recorder: count, throughput, percentiles, extremes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {
     pub count: usize,
@@ -22,6 +22,10 @@ pub struct LatencySummary {
     pub ops_per_sec: f64,
     pub p50: Duration,
     pub p99: Duration,
+    /// Worst single operation (the tail beyond any percentile).
+    pub max: Duration,
+    /// Arithmetic mean latency.
+    pub mean: Duration,
 }
 
 impl LatencyRecorder {
@@ -67,13 +71,29 @@ impl LatencyRecorder {
         self.samples_ns.len() as f64 / wall.as_secs_f64()
     }
 
-    /// Reduces to `{count, ops/sec, p50, p99}`.
+    /// Worst single latency; zero when empty.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.samples_ns.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Arithmetic mean latency; zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.samples_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: u128 = self.samples_ns.iter().map(|&n| u128::from(n)).sum();
+        Duration::from_nanos((total / self.samples_ns.len() as u128) as u64)
+    }
+
+    /// Reduces to `{count, ops/sec, p50, p99, max, mean}`.
     pub fn summary(&self, wall: Duration) -> LatencySummary {
         LatencySummary {
             count: self.len(),
             ops_per_sec: self.ops_per_sec(wall),
             p50: self.percentile(0.50),
             p99: self.percentile(0.99),
+            max: self.max(),
+            mean: self.mean(),
         }
     }
 }
@@ -107,6 +127,7 @@ mod tests {
         assert_eq!(r.ops_per_sec(Duration::from_secs(1)), 0.0);
         let s = r.summary(Duration::ZERO);
         assert_eq!((s.count, s.ops_per_sec), (0, 0.0));
+        assert_eq!((s.max, s.mean), (Duration::ZERO, Duration::ZERO));
     }
 
     #[test]
@@ -120,6 +141,8 @@ mod tests {
         assert_eq!(s.count, 4);
         assert_eq!(s.p50, Duration::from_millis(20));
         assert_eq!(s.p99, Duration::from_millis(40));
+        assert_eq!(s.max, Duration::from_millis(40));
+        assert_eq!(s.mean, Duration::from_millis(25));
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Server bootstrap from a simulated deployment.
+//!
+//! A real deployment configures the server with a surveyed DSM and an
+//! Event Editor trained by analysts (the paper's steps 1–3). This repo's
+//! stand-in: generate a `trips-sim` scenario and train the editor from its
+//! ground-truth visit designations — exactly what the examples and bench
+//! harness do, packaged for the `trips-serve` binary and the e2e tests.
+//!
+//! A campus (`trips_sim::scenario::generate_campus`) built with the same
+//! `(floors, shops_per_row)` layout produces records that fit this DSM —
+//! every building shares the layout, and device ids carry `b<i>.` prefixes
+//! so selector globs (`b0.*`) isolate one building's traffic.
+
+use trips_annotate::EventEditor;
+use trips_data::RawRecord;
+use trips_dsm::DigitalSpaceModel;
+use trips_sim::{ScenarioConfig, SimulatedDataset};
+
+/// A DSM plus a trained Event Editor — everything [`crate::TripsServer`]
+/// needs besides its [`crate::ServerConfig`].
+pub struct ServerBootstrap {
+    pub dsm: DigitalSpaceModel,
+    pub editor: EventEditor,
+}
+
+/// Trains an Event Editor from a dataset's ground-truth designations.
+pub fn editor_from_truth(ds: &SimulatedDataset) -> EventEditor {
+    let mut editor = EventEditor::with_default_patterns();
+    for trace in &ds.traces {
+        for visit in &trace.truth_visits {
+            let segment: Vec<RawRecord> = trace
+                .raw
+                .records()
+                .iter()
+                .filter(|r| r.ts >= visit.start && r.ts <= visit.end)
+                .cloned()
+                .collect();
+            if segment.len() >= 2 {
+                let _ = editor.designate_segment(visit.kind.name(), &segment);
+            }
+        }
+    }
+    editor
+}
+
+/// Generates a mall scenario and trains the editor on it, yielding a
+/// ready-to-serve configuration for that layout.
+pub fn bootstrap_scenario(
+    floors: u16,
+    shops_per_row: usize,
+    config: &ScenarioConfig,
+) -> ServerBootstrap {
+    let ds = trips_sim::scenario::generate(floors, shops_per_row, config);
+    let editor = editor_from_truth(&ds);
+    ServerBootstrap {
+        dsm: ds.dsm,
+        editor,
+    }
+}

@@ -1,0 +1,137 @@
+//! A blocking NDJSON client for the serving protocol — used by the e2e
+//! tests, the `server_load` generator, and anything embedding a TRIPS
+//! server.
+//!
+//! One request in flight at a time (write a line, read a line); the
+//! server guarantees per-connection response ordering, so correlation ids
+//! are checked but never reordered.
+
+use crate::protocol::{
+    decode_response, encode_request, Request, RequestEnvelope, Response, ServerError,
+};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use trips_data::RawRecord;
+use trips_store::{Query, QueryRequest, QueryResult, SemanticsSelector};
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server address (e.g. `handle.addr()` or
+    /// `"127.0.0.1:7878"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            stream,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Bounds how long [`Client::call`] blocks waiting for a response
+    /// (`None` = wait forever, the default). A timeout surfaces as an
+    /// `Err` of kind `WouldBlock`/`TimedOut`.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// Protocol-level failures (including `Overloaded` shedding) come back
+    /// as `Ok(Response::Error(_))` — only transport/framing problems are
+    /// `Err`. A connection-level rejection written before any request
+    /// (`TooManyConnections`) surfaces as the response to the first call.
+    pub fn call(&mut self, req: Request) -> io::Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut line = encode_request(&RequestEnvelope::new(id, req));
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let env = decode_response(reply.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        // id 0 marks connection-level errors the server emits unprompted.
+        if env.id != id && env.id != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {} does not match request id {id}", env.id),
+            ));
+        }
+        Ok(env.resp)
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> io::Result<Response> {
+        self.call(Request::Ping)
+    }
+
+    /// Ingests a batch of raw records.
+    pub fn ingest(&mut self, records: Vec<RawRecord>) -> io::Result<Response> {
+        self.call(Request::Ingest { records })
+    }
+
+    /// Flushes one device's stream buffer (or all with `None`).
+    pub fn flush(&mut self, device: Option<&str>) -> io::Result<Response> {
+        self.call(Request::Flush {
+            device: device.map(str::to_string),
+        })
+    }
+
+    /// Runs a typed store query; unwraps the result variant.
+    pub fn query(&mut self, request: QueryRequest) -> io::Result<Result<QueryResult, ServerError>> {
+        match self.call(Request::Query { request })? {
+            Response::Query { result } => Ok(Ok(result)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected query response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Shorthand: query with a selector + kind.
+    pub fn query_parts(
+        &mut self,
+        selector: SemanticsSelector,
+        query: Query,
+    ) -> io::Result<Result<QueryResult, ServerError>> {
+        self.query(QueryRequest::new(selector, query))
+    }
+
+    /// Health probe.
+    pub fn health(&mut self) -> io::Result<Response> {
+        self.call(Request::Health)
+    }
+
+    /// Metrics probe.
+    pub fn metrics(&mut self) -> io::Result<Response> {
+        self.call(Request::Metrics)
+    }
+
+    /// Flushes all buffers server-side and persists a snapshot to `path`
+    /// (a path on the **server's** filesystem).
+    pub fn snapshot(&mut self, path: &str) -> io::Result<Response> {
+        self.call(Request::Snapshot {
+            path: path.to_string(),
+        })
+    }
+
+    /// Requests a graceful drain.
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.call(Request::Shutdown)
+    }
+}

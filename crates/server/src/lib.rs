@@ -1,0 +1,48 @@
+//! # trips-server — the TCP serving layer
+//!
+//! TRIPS (VLDB 2018) frames translation as the front half of an
+//! *interactive service*: raw positioning streams go in, mobility-semantics
+//! queries come out. After the sharded store (`trips-store`) and the
+//! streaming translator (`trips-core`), this crate adds the missing
+//! serving boundary: a dependency-light TCP server on `std::net` speaking
+//! a versioned newline-delimited JSON protocol, absorbing the two-sided
+//! workload of large indoor-positioning deployments (many concurrent
+//! device streams + ad-hoc analyst queries).
+//!
+//! * [`protocol`] — the wire format: versioned [`RequestEnvelope`] /
+//!   [`ResponseEnvelope`] lines, three endpoint families (**ingest**,
+//!   **query**, **admin**) and typed [`ServerError`]s;
+//! * [`server`] — [`TripsServer`]: scoped-thread accept loop,
+//!   per-connection sessions, a fixed worker pool behind a **bounded
+//!   admission queue** that sheds load ([`ServerError::Overloaded`])
+//!   instead of growing, connection limits, per-endpoint latency metrics,
+//!   snapshot save / snapshot boot, and graceful drain-and-shutdown;
+//! * [`client`] — a blocking [`Client`] for tests, tools and the
+//!   `server_load` generator;
+//! * [`bootstrap`] — DSM + trained-editor assembly from a `trips-sim`
+//!   scenario (this repo's stand-in for a surveyed deployment).
+//!
+//! Ingested record batches run through
+//! `trips_core::stream::StreamingTranslator::with_store`, so semantics are
+//! queryable **while device streams are still open** — a gap-closed
+//! session, an overflowing buffer, an explicit `Flush`, or a client
+//! disconnect each publish into the live store without stopping the world.
+//!
+//! See the repository README ("Serving") for a wire transcript and the
+//! overload semantics.
+
+pub mod bootstrap;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use bootstrap::{bootstrap_scenario, editor_from_truth, ServerBootstrap};
+pub use client::Client;
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, EndpointMetrics,
+    HealthReport, MetricsReport, Request, RequestEnvelope, Response, ResponseEnvelope, ServerError,
+    PROTOCOL_VERSION,
+};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{ServerConfig, ServerHandle, ServerReport, TripsServer};

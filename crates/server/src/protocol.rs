@@ -1,0 +1,476 @@
+//! The wire protocol: versioned newline-delimited JSON (NDJSON).
+//!
+//! Every request and every response is one JSON document on one line,
+//! wrapped in an envelope carrying the protocol version and a client-chosen
+//! correlation id (echoed back verbatim, so a client can pipeline):
+//!
+//! ```text
+//! C: {"v":1,"id":1,"req":"Ping"}\n
+//! S: {"v":1,"id":1,"resp":"Pong"}\n
+//! C: {"v":1,"id":2,"req":{"Query":{"request":{"selector":{...},"query":"PopularRegions"}}}}\n
+//! S: {"v":1,"id":2,"resp":{"Query":{"result":{"PopularRegions":[...]}}}}\n
+//! ```
+//!
+//! Enums use serde's externally-tagged shape (`"Ping"` for unit variants,
+//! `{"Variant": payload}` otherwise). Errors are ordinary responses — the
+//! [`Response::Error`] variant carries a typed [`ServerError`], so a client
+//! can distinguish *shed* load ([`ServerError::Overloaded`], the 503 of
+//! this protocol) from its own mistakes ([`ServerError::BadRequest`]).
+//!
+//! The three endpoint families:
+//!
+//! * **ingest** — [`Request::Ingest`] (raw record batches; the server feeds
+//!   them through a `StreamingTranslator` publishing into the live store)
+//!   and [`Request::Flush`] (translate buffered records now);
+//! * **query** — [`Request::Query`], the full typed
+//!   [`trips_store::QueryRequest`] surface (selector globs, half-open
+//!   windows, every query kind);
+//! * **admin** — [`Request::Ping`] / [`Request::Health`] /
+//!   [`Request::Metrics`] / [`Request::Snapshot`] / [`Request::Shutdown`]
+//!   (graceful drain).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use trips_data::RawRecord;
+use trips_store::{QueryRequest, QueryResult, StoreHealth};
+
+/// The protocol version this build speaks. Envelopes with any other `v`
+/// are rejected with [`ServerError::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One client request (the `req` field of a [`RequestEnvelope`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe; answered inline (never queued, never shed).
+    Ping,
+    /// Ingest a batch of raw positioning records. Records are routed to
+    /// per-device streaming buffers; semantics finalized by this batch
+    /// (gap-closed or overflowing sessions) become queryable immediately.
+    Ingest { records: Vec<RawRecord> },
+    /// Force-translate buffered records — one device, or every device when
+    /// `device` is `None` — so their semantics become queryable without
+    /// waiting for a session gap.
+    Flush { device: Option<String> },
+    /// A typed store query (selector + query kind).
+    Query { request: QueryRequest },
+    /// Cheap health/occupancy snapshot; answered inline (never shed), so
+    /// health stays observable while the admission queue is saturated.
+    Health,
+    /// Per-endpoint latency/throughput counters; answered inline.
+    Metrics,
+    /// Flush every open stream buffer, then persist the store to `path`
+    /// (the `trips-store` versioned JSON snapshot).
+    Snapshot { path: String },
+    /// Graceful drain: stop accepting connections and work, finish queued
+    /// requests, flush stream buffers, then exit the serve loop.
+    Shutdown,
+}
+
+impl Request {
+    /// The endpoint family used for metrics bucketing.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::Ingest { .. } | Request::Flush { .. } => "ingest",
+            Request::Query { .. } => "query",
+            _ => "admin",
+        }
+    }
+}
+
+/// One server response (the `resp` field of a [`ResponseEnvelope`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    Pong,
+    /// Ingest outcome: `accepted` records buffered, `rejected` malformed
+    /// records dropped, `emitted` semantics finalized by this batch.
+    Ingested {
+        accepted: usize,
+        rejected: usize,
+        emitted: usize,
+    },
+    /// Flush outcome: devices flushed and semantics emitted.
+    Flushed {
+        devices: usize,
+        emitted: usize,
+    },
+    Query {
+        result: QueryResult,
+    },
+    Health(HealthReport),
+    Metrics(MetricsReport),
+    SnapshotSaved {
+        path: String,
+        devices: usize,
+        semantics: usize,
+    },
+    /// Acknowledges a [`Request::Shutdown`]; the server drains and exits
+    /// after this is written.
+    ShuttingDown,
+    Error(ServerError),
+}
+
+impl Response {
+    /// Whether this is an error response.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error(_))
+    }
+}
+
+/// Typed failure modes, each mapping to a well-known HTTP-ish meaning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerError {
+    /// Load shed: the bounded admission queue is full (503). Back off and
+    /// retry — nothing was enqueued, server memory stays bounded.
+    Overloaded { queue_capacity: usize },
+    /// The connection cap is reached; this connection is closed after the
+    /// error is written (503).
+    TooManyConnections { limit: usize },
+    /// Unparseable or malformed request line (400). The offending line is
+    /// echoed truncated in `message`.
+    BadRequest { message: String },
+    /// Envelope `v` is not [`PROTOCOL_VERSION`] (505).
+    UnsupportedVersion { got: u32, want: u32 },
+    /// The server is draining; no new work is admitted (503).
+    ShuttingDown,
+    /// Request was valid but execution failed, e.g. a snapshot path that
+    /// cannot be written (500).
+    Internal { message: String },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Overloaded { queue_capacity } => {
+                write!(f, "overloaded: admission queue full ({queue_capacity})")
+            }
+            ServerError::TooManyConnections { limit } => {
+                write!(f, "too many connections (limit {limit})")
+            }
+            ServerError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServerError::UnsupportedVersion { got, want } => {
+                write!(f, "unsupported protocol version {got} (expected {want})")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::Internal { message } => write!(f, "internal error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Health endpoint payload: store occupancy (via the store's cheap
+/// [`trips_store::SemanticsStore::store_stats`] — no full scans) plus the
+/// serving side's own vitals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// `"ok"` or `"draining"`.
+    pub status: String,
+    pub uptime_ms: u64,
+    pub store: StoreHealth,
+    /// Devices with buffered (not yet translated) records.
+    pub open_devices: usize,
+    /// Raw records buffered across those devices.
+    pub buffered_records: usize,
+    pub active_connections: usize,
+}
+
+/// Latency/throughput summary of one endpoint family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointMetrics {
+    pub endpoint: String,
+    pub count: usize,
+    /// Requests per second over the server's uptime.
+    pub ops_per_sec: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub max_us: f64,
+    pub mean_us: f64,
+}
+
+/// Metrics endpoint payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    pub uptime_ms: u64,
+    pub connections_accepted: u64,
+    pub connections_rejected: u64,
+    pub active_connections: usize,
+    pub requests: u64,
+    /// Requests rejected with [`ServerError::Overloaded`].
+    pub shed: u64,
+    pub bad_requests: u64,
+    pub queue_capacity: usize,
+    /// High-water mark of the admission queue (never exceeds
+    /// `queue_capacity` — the bounded-memory invariant).
+    pub peak_queue_depth: usize,
+    pub endpoints: Vec<EndpointMetrics>,
+}
+
+/// A request plus version + correlation id — one line on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    pub v: u32,
+    pub id: u64,
+    pub req: Request,
+}
+
+impl RequestEnvelope {
+    /// Wraps a request in a current-version envelope.
+    pub fn new(id: u64, req: Request) -> Self {
+        RequestEnvelope {
+            v: PROTOCOL_VERSION,
+            id,
+            req,
+        }
+    }
+}
+
+/// A response plus version + the echoed correlation id (0 when the request
+/// line could not be parsed far enough to recover an id).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    pub v: u32,
+    pub id: u64,
+    pub resp: Response,
+}
+
+impl ResponseEnvelope {
+    /// Wraps a response in a current-version envelope.
+    pub fn new(id: u64, resp: Response) -> Self {
+        ResponseEnvelope {
+            v: PROTOCOL_VERSION,
+            id,
+            resp,
+        }
+    }
+}
+
+/// Serializes an envelope to its wire line (no trailing newline).
+pub fn encode_request(env: &RequestEnvelope) -> String {
+    serde_json::to_string(env).expect("request envelopes always serialize")
+}
+
+/// Serializes an envelope to its wire line (no trailing newline).
+pub fn encode_response(env: &ResponseEnvelope) -> String {
+    serde_json::to_string(env).expect("response envelopes always serialize")
+}
+
+/// Parses one request line. `Err` carries the error response to write back
+/// (bad JSON → `BadRequest` with id 0; wrong version → the envelope's own
+/// id, so pipelined clients can still correlate).
+pub fn decode_request(line: &str) -> Result<RequestEnvelope, ResponseEnvelope> {
+    let env: RequestEnvelope = serde_json::from_str(line).map_err(|e| {
+        let mut shown: String = line.chars().take(120).collect();
+        if shown.len() < line.len() {
+            shown.push('…');
+        }
+        ResponseEnvelope::new(
+            0,
+            Response::Error(ServerError::BadRequest {
+                message: format!("{e} in {shown:?}"),
+            }),
+        )
+    })?;
+    if env.v != PROTOCOL_VERSION {
+        return Err(ResponseEnvelope::new(
+            env.id,
+            Response::Error(ServerError::UnsupportedVersion {
+                got: env.v,
+                want: PROTOCOL_VERSION,
+            }),
+        ));
+    }
+    Ok(env)
+}
+
+/// Parses one response line.
+pub fn decode_response(line: &str) -> Result<ResponseEnvelope, String> {
+    serde_json::from_str(line).map_err(|e| format!("unparseable response: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_data::{DeviceId, Duration, Timestamp};
+    use trips_store::{Query, SemanticsSelector};
+
+    #[test]
+    fn request_roundtrip_every_variant() {
+        let requests = vec![
+            Request::Ping,
+            Request::Ingest {
+                records: vec![RawRecord::new(
+                    DeviceId::new("b0.3a.7f.00.01"),
+                    5.0,
+                    4.0,
+                    0,
+                    Timestamp::from_dhms(0, 10, 0, 0),
+                )],
+            },
+            Request::Flush {
+                device: Some("b0.3a.7f.00.01".into()),
+            },
+            Request::Flush { device: None },
+            Request::Query {
+                request: QueryRequest::new(
+                    SemanticsSelector::all()
+                        .with_device_pattern("b0.*")
+                        .between(
+                            Timestamp::from_dhms(0, 10, 0, 0),
+                            Timestamp::from_dhms(0, 16, 0, 0),
+                        ),
+                    Query::TopFlows { limit: 10 },
+                ),
+            },
+            Request::Health,
+            Request::Metrics,
+            Request::Snapshot {
+                path: "/tmp/snap.json".into(),
+            },
+            Request::Shutdown,
+        ];
+        for (i, req) in requests.into_iter().enumerate() {
+            let env = RequestEnvelope::new(i as u64, req);
+            let line = encode_request(&env);
+            assert!(!line.contains('\n'), "one line per request: {line}");
+            let back = decode_request(&line).unwrap();
+            assert_eq!(back, env, "{line}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_every_variant() {
+        let responses = vec![
+            Response::Pong,
+            Response::Ingested {
+                accepted: 10,
+                rejected: 1,
+                emitted: 4,
+            },
+            Response::Flushed {
+                devices: 3,
+                emitted: 12,
+            },
+            Response::Health(HealthReport {
+                status: "ok".into(),
+                uptime_ms: 1234,
+                store: trips_store::StoreHealth {
+                    shards: 8,
+                    devices: 2,
+                    semantics: 7,
+                },
+                open_devices: 1,
+                buffered_records: 20,
+                active_connections: 3,
+            }),
+            Response::Metrics(MetricsReport {
+                uptime_ms: 1234,
+                connections_accepted: 5,
+                connections_rejected: 1,
+                active_connections: 2,
+                requests: 100,
+                shed: 7,
+                bad_requests: 2,
+                queue_capacity: 64,
+                peak_queue_depth: 9,
+                endpoints: vec![EndpointMetrics {
+                    endpoint: "query".into(),
+                    count: 80,
+                    ops_per_sec: 123.4,
+                    p50_us: 40.0,
+                    p99_us: 900.0,
+                    max_us: 1500.0,
+                    mean_us: 80.0,
+                }],
+            }),
+            Response::SnapshotSaved {
+                path: "/tmp/snap.json".into(),
+                devices: 12,
+                semantics: 300,
+            },
+            Response::ShuttingDown,
+            Response::Error(ServerError::Overloaded { queue_capacity: 64 }),
+            Response::Error(ServerError::TooManyConnections { limit: 4 }),
+            Response::Error(ServerError::BadRequest {
+                message: "nope".into(),
+            }),
+            Response::Error(ServerError::UnsupportedVersion { got: 9, want: 1 }),
+            Response::Error(ServerError::ShuttingDown),
+            Response::Error(ServerError::Internal {
+                message: "disk full".into(),
+            }),
+        ];
+        for (i, resp) in responses.into_iter().enumerate() {
+            let env = ResponseEnvelope::new(i as u64, resp);
+            let line = encode_response(&env);
+            assert!(!line.contains('\n'), "one line per response: {line}");
+            let back = decode_response(&line).unwrap();
+            assert_eq!(back, env, "{line}");
+        }
+    }
+
+    #[test]
+    fn bad_json_yields_bad_request_with_id_zero() {
+        let err = decode_request("{not json").unwrap_err();
+        assert_eq!(err.id, 0);
+        match err.resp {
+            Response::Error(ServerError::BadRequest { message }) => {
+                assert!(message.contains("{not json"), "{message}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // A valid JSON document of the wrong shape is also a bad request.
+        let err = decode_request(r#"{"hello":"world"}"#).unwrap_err();
+        assert!(matches!(
+            err.resp,
+            Response::Error(ServerError::BadRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected_with_correlation_id() {
+        let env = RequestEnvelope {
+            v: 99,
+            id: 42,
+            req: Request::Ping,
+        };
+        let err = decode_request(&encode_request(&env)).unwrap_err();
+        assert_eq!(err.id, 42, "version errors keep the correlation id");
+        assert_eq!(
+            err.resp,
+            Response::Error(ServerError::UnsupportedVersion { got: 99, want: 1 })
+        );
+    }
+
+    #[test]
+    fn very_long_bad_line_is_truncated_in_the_error() {
+        let line = "x".repeat(100_000);
+        let err = decode_request(&line).unwrap_err();
+        match err.resp {
+            Response::Error(ServerError::BadRequest { message }) => {
+                assert!(message.len() < 400, "error echo bounded: {}", message.len());
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn endpoint_families() {
+        assert_eq!(Request::Ping.endpoint(), "admin");
+        assert_eq!(Request::Health.endpoint(), "admin");
+        assert_eq!(Request::Shutdown.endpoint(), "admin");
+        assert_eq!(Request::Ingest { records: vec![] }.endpoint(), "ingest");
+        assert_eq!(Request::Flush { device: None }.endpoint(), "ingest");
+        assert_eq!(
+            Request::Query {
+                request: QueryRequest::new(
+                    SemanticsSelector::all(),
+                    Query::DwellHistogram {
+                        bucket: Duration::from_mins(5)
+                    }
+                )
+            }
+            .endpoint(),
+            "query"
+        );
+    }
+}

@@ -1,0 +1,713 @@
+//! The serving loop: accept → per-connection sessions → bounded admission
+//! queue → fixed worker pool → semantics store.
+//!
+//! ## Threading model
+//!
+//! Everything runs under one `std::thread::scope` (the same scoped-thread
+//! idiom as `trips-engine`'s executor), so workers and sessions borrow the
+//! server's state directly — no leaked `'static` state, and `serve`
+//! returns only after every thread has exited:
+//!
+//! * the **accept loop** (the calling thread) polls a non-blocking
+//!   listener, enforcing the connection cap;
+//! * one **session thread per connection** parses NDJSON lines, answers
+//!   cheap admin requests inline (`Ping`/`Health`/`Metrics` stay
+//!   observable under overload), and submits real work to the queue —
+//!   one request in flight per connection, so responses stay ordered;
+//! * a **fixed worker pool** pops jobs and executes them against the
+//!   shared `StreamingTranslator` + `SemanticsStore`.
+//!
+//! ## Overload behavior
+//!
+//! Admission is a [`BoundedQueue`]: when it is full the request is
+//! **shed** with [`ServerError::Overloaded`] — nothing buffers, memory
+//! stays bounded (`peak_queue_depth ≤ queue_capacity`, exposed via
+//! `Metrics`). Past the connection cap, new sockets get
+//! [`ServerError::TooManyConnections`] and are closed immediately.
+//!
+//! ## Sessions
+//!
+//! Each connection is a session: when it closes, the devices it ingested
+//! are flushed (their buffered records translate and become queryable)
+//! and marked with a store session boundary, so flows never join records
+//! from independent client sessions.
+//!
+//! ## Drain
+//!
+//! `Shutdown` acknowledges, then: stop accepting, refuse new work, finish
+//! every admitted request, flush all stream buffers into the store, and
+//! return a [`ServerReport`].
+
+use crate::protocol::{
+    EndpointMetrics, HealthReport, MetricsReport, Request, Response, ResponseEnvelope, ServerError,
+};
+use crate::queue::{BoundedQueue, PushError};
+use std::collections::BTreeSet;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use trips_annotate::EventEditor;
+use trips_core::stream::{StreamConfig, StreamingTranslator};
+use trips_data::DeviceId;
+use trips_dsm::DigitalSpaceModel;
+use trips_engine::LatencyRecorder;
+use trips_store::{QueryService, SemanticsStore};
+
+/// Longest accepted request line; a connection exceeding it without a
+/// newline is answered with `BadRequest` and closed (memory bound).
+const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fixed worker-pool size executing ingest/query/snapshot work.
+    pub workers: usize,
+    /// Bounded admission-queue capacity; requests beyond it are shed with
+    /// [`ServerError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Concurrent-connection cap; sockets beyond it get
+    /// [`ServerError::TooManyConnections`] and are closed.
+    pub max_connections: usize,
+    /// Store shard count (`0` = [`trips_store::default_shard_count`]).
+    /// Ignored when booting from a snapshot (the snapshot records its own).
+    pub shards: usize,
+    /// Streaming-translator settings (flush gap, buffer cap, translator).
+    pub stream: StreamConfig,
+    /// Boot the store from this `trips-store` snapshot instead of empty.
+    pub snapshot: Option<std::path::PathBuf>,
+    /// Accept/read poll interval — the latency of noticing a drain.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 128,
+            max_connections: 64,
+            shards: 0,
+            stream: StreamConfig::default(),
+            snapshot: None,
+            poll_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Counters summarizing one `serve` run, returned when the loop drains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerReport {
+    pub connections_accepted: u64,
+    pub connections_rejected: u64,
+    pub requests: u64,
+    /// Requests shed with `Overloaded`.
+    pub shed: u64,
+    pub bad_requests: u64,
+    /// Admission-queue high-water mark (≤ configured capacity).
+    pub peak_queue_depth: usize,
+    /// Store occupancy at drain time.
+    pub devices: usize,
+    pub semantics: usize,
+}
+
+/// One queued unit of work: a parsed request plus the channel its session
+/// thread is blocked on.
+struct Job {
+    req: Request,
+    reply: mpsc::SyncSender<Response>,
+}
+
+/// Reservoir size per endpoint family — bounds metrics memory for a
+/// long-running server (the admission queue bounds in-flight work; this
+/// bounds observability state).
+const LATENCY_RESERVOIR: usize = 16 * 1024;
+
+/// Bounded per-endpoint latency accounting: exact count / mean / max over
+/// the server's lifetime, percentiles over a uniform reservoir sample
+/// (Vitter's Algorithm R with a deterministic LCG), so memory and the
+/// `Metrics` sort cost stay O(reservoir) no matter how many requests the
+/// server has served.
+#[derive(Clone)]
+struct EndpointRecorder {
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    reservoir: Vec<u64>,
+    lcg: u64,
+}
+
+impl EndpointRecorder {
+    fn new() -> Self {
+        EndpointRecorder {
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            reservoir: Vec::new(),
+            lcg: 0x5DEE_CE66_D1CE_4E5D,
+        }
+    }
+
+    fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos() as u64;
+        self.total += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+        if self.reservoir.len() < LATENCY_RESERVOIR {
+            self.reservoir.push(ns);
+        } else {
+            // Algorithm R: keep each sample with probability k/total.
+            self.lcg = self
+                .lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let slot = ((self.lcg >> 11) % self.total) as usize;
+            if slot < LATENCY_RESERVOIR {
+                self.reservoir[slot] = ns;
+            }
+        }
+    }
+
+    fn metrics(&self, endpoint: &str, uptime: Duration) -> EndpointMetrics {
+        let mut percentiles = LatencyRecorder::new();
+        for &ns in &self.reservoir {
+            percentiles.record(Duration::from_nanos(ns));
+        }
+        let mean_ns = if self.total == 0 {
+            0
+        } else {
+            (self.sum_ns / u128::from(self.total)) as u64
+        };
+        EndpointMetrics {
+            endpoint: endpoint.to_string(),
+            count: self.total as usize,
+            ops_per_sec: if uptime.is_zero() {
+                0.0
+            } else {
+                self.total as f64 / uptime.as_secs_f64()
+            },
+            p50_us: percentiles.percentile(0.50).as_secs_f64() * 1e6,
+            p99_us: percentiles.percentile(0.99).as_secs_f64() * 1e6,
+            max_us: Duration::from_nanos(self.max_ns).as_secs_f64() * 1e6,
+            mean_us: Duration::from_nanos(mean_ns).as_secs_f64() * 1e6,
+        }
+    }
+}
+
+/// State shared by the accept loop, sessions, and workers for one `serve`
+/// run (lives on `serve`'s stack; scoped threads borrow it).
+struct Shared<'env> {
+    translator: parking_lot::Mutex<StreamingTranslator<'env>>,
+    store: Arc<SemanticsStore>,
+    queue: BoundedQueue<Job>,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    started: Instant,
+    // Metrics: per-endpoint-family latency + scalar counters.
+    ingest_lat: parking_lot::Mutex<EndpointRecorder>,
+    query_lat: parking_lot::Mutex<EndpointRecorder>,
+    admin_lat: parking_lot::Mutex<EndpointRecorder>,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    bad_requests: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_rejected: AtomicU64,
+}
+
+impl<'env> Shared<'env> {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, endpoint: &str, latency: Duration) {
+        let recorder = match endpoint {
+            "ingest" => &self.ingest_lat,
+            "query" => &self.query_lat,
+            _ => &self.admin_lat,
+        };
+        recorder.lock().record(latency);
+    }
+
+    /// Executes one unit of admitted work (runs on a worker thread).
+    fn execute(&self, req: Request) -> Response {
+        match req {
+            Request::Ingest { records } => {
+                let mut accepted = 0;
+                let mut rejected = 0;
+                let mut emitted = 0;
+                let mut translator = self.translator.lock();
+                for record in records {
+                    if !record.is_well_formed() {
+                        rejected += 1;
+                        continue;
+                    }
+                    emitted += translator.push(record).len();
+                    accepted += 1;
+                }
+                Response::Ingested {
+                    accepted,
+                    rejected,
+                    emitted,
+                }
+            }
+            Request::Flush { device } => {
+                let mut translator = self.translator.lock();
+                match device {
+                    Some(device) => {
+                        let device = DeviceId::new(&device);
+                        let before = translator.open_devices();
+                        let emitted = translator.flush_device(&device).len();
+                        Response::Flushed {
+                            devices: before - translator.open_devices(),
+                            emitted,
+                        }
+                    }
+                    None => {
+                        let flushed = translator.finish();
+                        Response::Flushed {
+                            devices: flushed.len(),
+                            emitted: flushed.values().map(Vec::len).sum(),
+                        }
+                    }
+                }
+            }
+            Request::Query { request } => Response::Query {
+                result: self.store.query(&request),
+            },
+            Request::Snapshot { path } => {
+                // Buffered records must be part of the snapshot, or a
+                // restart would silently lose in-flight sessions.
+                let mut translator = self.translator.lock();
+                let _ = translator.finish();
+                drop(translator);
+                match self.store.persist(&path) {
+                    Ok(()) => Response::SnapshotSaved {
+                        path,
+                        devices: self.store.device_count(),
+                        semantics: self.store.semantics_count(),
+                    },
+                    Err(e) => Response::Error(ServerError::Internal {
+                        message: e.to_string(),
+                    }),
+                }
+            }
+            // Sessions answer these inline; keep the mapping total anyway.
+            Request::Ping => Response::Pong,
+            Request::Health => self.health(),
+            Request::Metrics => self.metrics_report(),
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    fn health(&self) -> Response {
+        let (open_devices, buffered_records) = {
+            let translator = self.translator.lock();
+            (translator.open_devices(), translator.buffered_records())
+        };
+        Response::Health(HealthReport {
+            status: if self.draining() { "draining" } else { "ok" }.to_string(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            store: self.store.store_stats(),
+            open_devices,
+            buffered_records,
+            active_connections: self.active.load(Ordering::Relaxed),
+        })
+    }
+
+    fn metrics_report(&self) -> Response {
+        let uptime = self.started.elapsed();
+        let endpoints = [
+            ("ingest", &self.ingest_lat),
+            ("query", &self.query_lat),
+            ("admin", &self.admin_lat),
+        ]
+        .into_iter()
+        .map(|(name, recorder)| {
+            // Clone the bounded state out, summarize outside the lock so
+            // recording sessions never stall behind the reservoir sort.
+            let snapshot = recorder.lock().clone();
+            snapshot.metrics(name, uptime)
+        })
+        .collect();
+        Response::Metrics(MetricsReport {
+            uptime_ms: uptime.as_millis() as u64,
+            connections_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            queue_capacity: self.queue.capacity(),
+            peak_queue_depth: self.queue.peak_depth(),
+            endpoints,
+        })
+    }
+}
+
+fn write_line(stream: &mut TcpStream, env: &ResponseEnvelope) -> io::Result<()> {
+    let mut line = crate::protocol::encode_response(env);
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Runs one connection to completion (a scoped session thread).
+fn session(shared: &Shared<'_>, mut stream: TcpStream, poll: Duration) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(poll));
+    // Devices this session ingested — flushed + session-ended at teardown.
+    let mut devices: BTreeSet<DeviceId> = BTreeSet::new();
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    'conn: loop {
+        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = acc.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if !handle_line(shared, &mut stream, line, &mut devices) {
+                break 'conn;
+            }
+        }
+        if acc.len() > MAX_LINE_BYTES {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = write_line(
+                &mut stream,
+                &ResponseEnvelope::new(
+                    0,
+                    Response::Error(ServerError::BadRequest {
+                        message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    }),
+                ),
+            );
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // client closed
+            Ok(n) => acc.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.draining() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // Session teardown: the devices this connection fed are done — flush
+    // their buffers (semantics become queryable) and mark a session
+    // boundary so a later reconnect doesn't count a flow across sessions.
+    if !devices.is_empty() {
+        let mut translator = shared.translator.lock();
+        for device in &devices {
+            let _ = translator.flush_device(device);
+            shared.store.end_session(device);
+        }
+    }
+    shared.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Handles one request line; returns `false` when the connection must
+/// close (shutdown acknowledged).
+fn handle_line(
+    shared: &Shared<'_>,
+    stream: &mut TcpStream,
+    line: &str,
+    devices: &mut BTreeSet<DeviceId>,
+) -> bool {
+    let env = match crate::protocol::decode_request(line) {
+        Ok(env) => env,
+        Err(error_env) => {
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return write_line(stream, &error_env).is_ok();
+        }
+    };
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let id = env.id;
+    match env.req {
+        // Admin fast path: answered inline so liveness/health/metrics stay
+        // observable even when the admission queue is saturated.
+        Request::Ping => {
+            let t0 = Instant::now();
+            let resp = Response::Pong;
+            shared.record("admin", t0.elapsed());
+            write_line(stream, &ResponseEnvelope::new(id, resp)).is_ok()
+        }
+        Request::Health => {
+            let t0 = Instant::now();
+            let resp = shared.health();
+            shared.record("admin", t0.elapsed());
+            write_line(stream, &ResponseEnvelope::new(id, resp)).is_ok()
+        }
+        Request::Metrics => {
+            let t0 = Instant::now();
+            let resp = shared.metrics_report();
+            shared.record("admin", t0.elapsed());
+            write_line(stream, &ResponseEnvelope::new(id, resp)).is_ok()
+        }
+        Request::Shutdown => {
+            // Acknowledge, then drain: stop accepting, refuse new work,
+            // let workers finish everything already admitted.
+            let _ = write_line(stream, &ResponseEnvelope::new(id, Response::ShuttingDown));
+            shared.shutdown.store(true, Ordering::Relaxed);
+            shared.queue.close();
+            false
+        }
+        req @ (Request::Ingest { .. }
+        | Request::Flush { .. }
+        | Request::Query { .. }
+        | Request::Snapshot { .. }) => {
+            if shared.draining() {
+                return write_line(
+                    stream,
+                    &ResponseEnvelope::new(id, Response::Error(ServerError::ShuttingDown)),
+                )
+                .is_ok();
+            }
+            let batch_devices: Vec<DeviceId> = if let Request::Ingest { records } = &req {
+                records
+                    .iter()
+                    .filter(|r| r.is_well_formed())
+                    .map(|r| r.device.clone())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let (tx, rx) = mpsc::sync_channel(1);
+            let resp = match shared.queue.try_push(Job { req, reply: tx }) {
+                Ok(()) => match rx.recv() {
+                    Ok(resp) => resp,
+                    Err(_) => Response::Error(ServerError::Internal {
+                        message: "worker dropped the request".to_string(),
+                    }),
+                },
+                Err(PushError::Full) => {
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    Response::Error(ServerError::Overloaded {
+                        queue_capacity: shared.queue.capacity(),
+                    })
+                }
+                Err(PushError::Closed) => Response::Error(ServerError::ShuttingDown),
+            };
+            // Only an *executed* ingest makes this session responsible for
+            // those devices at teardown — a shed batch buffered nothing,
+            // and flushing here would disrupt another connection's
+            // in-flight stream for the same device.
+            if matches!(resp, Response::Ingested { .. }) {
+                devices.extend(batch_devices);
+            }
+            write_line(stream, &ResponseEnvelope::new(id, resp)).is_ok()
+        }
+    }
+}
+
+/// The assembled server: a DSM + trained Event Editor (the translation
+/// configuration) plus the live store it serves.
+pub struct TripsServer {
+    dsm: DigitalSpaceModel,
+    editor: EventEditor,
+    config: ServerConfig,
+    store: Arc<SemanticsStore>,
+}
+
+impl TripsServer {
+    /// Builds a server. When `config.snapshot` is set, the store boots
+    /// from that snapshot (restart path); otherwise it starts empty with
+    /// `config.shards` shards.
+    pub fn new(
+        dsm: DigitalSpaceModel,
+        editor: EventEditor,
+        config: ServerConfig,
+    ) -> Result<Self, trips_store::SemanticsStoreError> {
+        let store = match &config.snapshot {
+            Some(path) => SemanticsStore::load(path)?,
+            None if config.shards > 0 => SemanticsStore::with_shards(config.shards),
+            None => SemanticsStore::new(),
+        };
+        Ok(TripsServer {
+            dsm,
+            editor,
+            config,
+            store: Arc::new(store),
+        })
+    }
+
+    /// The live store (shareable; valid before, during and after `serve`).
+    pub fn store(&self) -> Arc<SemanticsStore> {
+        self.store.clone()
+    }
+
+    /// A concurrent query handle over the live store.
+    pub fn query_service(&self) -> QueryService {
+        QueryService::new(self.store.clone())
+    }
+
+    /// Serves `listener` until a `Shutdown` request drains the loop.
+    /// Blocks; all worker/session threads are scoped inside this call.
+    pub fn serve(&self, listener: TcpListener) -> io::Result<ServerReport> {
+        listener.set_nonblocking(true)?;
+        let translator = StreamingTranslator::from_editor(
+            &self.dsm,
+            &self.editor,
+            None,
+            self.config.stream.clone(),
+        )
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+        .with_store(self.store.clone());
+
+        let shared = Shared {
+            translator: parking_lot::Mutex::new(translator),
+            store: self.store.clone(),
+            queue: BoundedQueue::new(self.config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            started: Instant::now(),
+            ingest_lat: parking_lot::Mutex::new(EndpointRecorder::new()),
+            query_lat: parking_lot::Mutex::new(EndpointRecorder::new()),
+            admin_lat: parking_lot::Mutex::new(EndpointRecorder::new()),
+            requests: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
+        };
+        let poll = self.config.poll_interval;
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    while let Some(job) = shared.queue.pop() {
+                        let t0 = Instant::now();
+                        let endpoint = job.req.endpoint();
+                        let resp = shared.execute(job.req);
+                        shared.record(endpoint, t0.elapsed());
+                        let _ = job.reply.send(resp);
+                    }
+                });
+            }
+
+            // Accept loop (this thread).
+            while !shared.draining() {
+                match listener.accept() {
+                    Ok((mut stream, _peer)) => {
+                        if shared.active.load(Ordering::Relaxed) >= self.config.max_connections {
+                            // Rejected connections count only as rejected,
+                            // never as accepted.
+                            shared.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                            let _ = stream.set_nodelay(true);
+                            let _ = write_line(
+                                &mut stream,
+                                &ResponseEnvelope::new(
+                                    0,
+                                    Response::Error(ServerError::TooManyConnections {
+                                        limit: self.config.max_connections,
+                                    }),
+                                ),
+                            );
+                            continue; // dropped: connection closed
+                        }
+                        shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                        shared.active.fetch_add(1, Ordering::Relaxed);
+                        let shared = &shared;
+                        scope.spawn(move || session(shared, stream, poll));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(poll);
+                    }
+                    Err(_) => std::thread::sleep(poll),
+                }
+            }
+            // Whatever ended the loop: make sure workers can exit (drain).
+            shared.queue.close();
+        });
+
+        // Every thread has joined. Publish any still-buffered sessions so
+        // nothing ingested is lost, then report.
+        let _ = shared.translator.lock().finish();
+        Ok(ServerReport {
+            connections_accepted: shared.conns_accepted.load(Ordering::Relaxed),
+            connections_rejected: shared.conns_rejected.load(Ordering::Relaxed),
+            requests: shared.requests.load(Ordering::Relaxed),
+            shed: shared.shed.load(Ordering::Relaxed),
+            bad_requests: shared.bad_requests.load(Ordering::Relaxed),
+            peak_queue_depth: shared.queue.peak_depth(),
+            devices: self.store.device_count(),
+            semantics: self.store.semantics_count(),
+        })
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral port), moves the server
+    /// into a background thread and returns a handle with the bound
+    /// address — the boot path for tests and embedding.
+    pub fn spawn(self, addr: &str) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let join = std::thread::spawn(move || self.serve(listener));
+        Ok(ServerHandle { addr: local, join })
+    }
+}
+
+/// A running background server (see [`TripsServer::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<io::Result<ServerReport>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain and waits for the serve loop to finish.
+    ///
+    /// Delivery is verified: if the `Shutdown` request cannot reach the
+    /// server (e.g. the connection cap is saturated and the admin socket
+    /// is rejected), this retries briefly and then returns an error
+    /// instead of joining a server that will never drain.
+    pub fn shutdown(self) -> io::Result<ServerReport> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let attempt = crate::client::Client::connect(self.addr).and_then(|mut client| {
+                client.set_read_timeout(Some(Duration::from_millis(500)))?;
+                client.shutdown()
+            });
+            match attempt {
+                // Acknowledged — or another client already started the
+                // drain; either way the serve loop is on its way out.
+                Ok(Response::ShuttingDown) | Ok(Response::Error(ServerError::ShuttingDown)) => {
+                    return self.join()
+                }
+                // Rejected (connection cap), unexpected reply, or a
+                // transport error: if the loop already exited, join;
+                // otherwise retry until the deadline.
+                Ok(_) | Err(_) => {
+                    if self.join.is_finished() {
+                        return self.join();
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::other(
+                            "could not deliver Shutdown (connection cap saturated?); \
+                             server left running",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Waits for the serve loop to finish without requesting shutdown
+    /// (use when a client already sent `Shutdown`).
+    pub fn join(self) -> io::Result<ServerReport> {
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}

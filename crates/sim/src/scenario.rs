@@ -229,6 +229,20 @@ impl CampusDataset {
             .map(|b| b.dataset.record_count())
             .sum()
     }
+
+    /// All raw records across every building, time-sorted — the arrival
+    /// order a campus-wide positioning feed would deliver them in. Load
+    /// generators replay this stream against a serving endpoint.
+    pub fn all_records(&self) -> Vec<RawRecord> {
+        let mut out: Vec<RawRecord> = self
+            .buildings
+            .iter()
+            .flat_map(|b| b.dataset.traces.iter())
+            .flat_map(|t| t.raw.records().iter().cloned())
+            .collect();
+        out.sort_by_key(|r| r.ts);
+        out
+    }
 }
 
 /// Generates a campus of `buildings` identical-layout malls, each simulated
@@ -448,6 +462,32 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), n, "device ids unique campus-wide");
+    }
+
+    #[test]
+    fn campus_all_records_is_the_time_sorted_union() {
+        let campus = generate_campus(
+            2,
+            1,
+            2,
+            &ScenarioConfig {
+                devices: 3,
+                days: 1,
+                seed: 0xFEED,
+                ..ScenarioConfig::default()
+            },
+        );
+        let records = campus.all_records();
+        assert_eq!(records.len(), campus.record_count());
+        assert!(
+            records.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "time-sorted"
+        );
+        assert!(
+            records.iter().any(|r| r.device.as_str().starts_with("b0."))
+                && records.iter().any(|r| r.device.as_str().starts_with("b1.")),
+            "both buildings interleaved in the feed"
+        );
     }
 
     #[test]

@@ -165,6 +165,8 @@ struct BenchReport {
     ops_per_sec: f64,
     p50_us: f64,
     p99_us: f64,
+    max_us: f64,
+    mean_us: f64,
     wall_ms: f64,
     devices: usize,
     semantics: usize,
@@ -240,6 +242,8 @@ fn main() {
         ops_per_sec: summary.ops_per_sec,
         p50_us: summary.p50.as_secs_f64() * 1e6,
         p99_us: summary.p99.as_secs_f64() * 1e6,
+        max_us: summary.max.as_secs_f64() * 1e6,
+        mean_us: summary.mean.as_secs_f64() * 1e6,
         wall_ms: wall.as_secs_f64() * 1e3,
         devices: store.device_count(),
         semantics: store.semantics_count(),

@@ -69,7 +69,7 @@ mod types;
 
 pub use query::{Query, QueryRequest, QueryResult, QueryService, SemanticsSelector};
 pub use snapshot::SemanticsStoreError;
-pub use types::{DeviceSummary, Flow, RegionPopularity, StoreStats};
+pub use types::{DeviceSummary, Flow, RegionPopularity, StoreHealth, StoreStats};
 
 use parking_lot::RwLock;
 use shard::Shard;
@@ -153,12 +153,33 @@ impl SemanticsStore {
 
     /// Ingests a batch of semantics for one device, appending to any
     /// previously ingested semantics and updating every aggregate
-    /// incrementally (including the flow across the append boundary). An
-    /// empty batch still registers the device.
+    /// incrementally (including the flow across the append boundary).
+    ///
+    /// An empty batch is a **no-op**: it must not register the device, or a
+    /// serving path that naturally produces empty batches (a streaming
+    /// micro-batch with nothing finalized, a wire request with zero usable
+    /// records) would inflate [`SemanticsStore::device_count`] with devices
+    /// that have no semantics. Use [`SemanticsStore::register_device`] when
+    /// a known-but-silent device must appear (snapshot restore does).
     pub fn ingest(&self, device: &DeviceId, semantics: &[MobilitySemantics]) {
+        if semantics.is_empty() {
+            return;
+        }
         self.shards[self.shard_index(device)]
             .write()
             .ingest(device, semantics);
+    }
+
+    /// Registers `device` with no semantics (a deliberate empty entry —
+    /// unlike an empty [`SemanticsStore::ingest`] batch, which is a no-op).
+    /// Snapshot restore uses this to keep devices that were explicitly
+    /// registered before persisting.
+    pub fn register_device(&self, device: &DeviceId) {
+        self.shards[self.shard_index(device)]
+            .write()
+            .devices
+            .entry(device.clone())
+            .or_default();
     }
 
     /// Ends the current flow "session" for `device`: the next ingested
@@ -200,6 +221,26 @@ impl SemanticsStore {
     /// Whether no device has been ingested.
     pub fn is_empty(&self) -> bool {
         self.device_count() == 0
+    }
+
+    /// Cheap occupancy counters — one pass over the shard locks reading
+    /// two integers each, no per-device or per-region iteration. Suitable
+    /// for a serving health endpoint called at high frequency; the full
+    /// [`SemanticsStore::stats`] adds region counts and per-shard balance
+    /// at O(regions + shards) cost.
+    pub fn store_stats(&self) -> StoreHealth {
+        let mut devices = 0;
+        let mut semantics = 0;
+        for s in &self.shards {
+            let s = s.read();
+            devices += s.devices.len();
+            semantics += s.semantics_count;
+        }
+        StoreHealth {
+            shards: self.shard_count(),
+            devices,
+            semantics,
+        }
     }
 }
 
@@ -256,11 +297,59 @@ mod tests {
         assert!(store.is_empty());
         let d = DeviceId::new("a.b.c.1");
         store.ingest(&d, &[sem("a.b.c.1", 1, "Nike", "stay", 0, 600)]);
-        store.ingest(&DeviceId::new("a.b.c.2"), &[]);
-        assert_eq!(store.device_count(), 2, "empty batch registers device");
+        store.register_device(&DeviceId::new("a.b.c.2"));
+        assert_eq!(store.device_count(), 2, "explicit registration counts");
         assert_eq!(store.semantics_count(), 1);
         store.clear();
         assert!(store.is_empty());
         assert_eq!(store.semantics_count(), 0);
+    }
+
+    /// Regression (serving batch path): an empty ingest batch must not
+    /// register a phantom device — servers naturally produce empty batches
+    /// (a micro-batch with nothing finalized, a request with zero usable
+    /// records) and `device_count` would creep upward forever.
+    #[test]
+    fn empty_ingest_does_not_inflate_device_count() {
+        let store = SemanticsStore::with_shards(4);
+        store.ingest(&DeviceId::new("phantom"), &[]);
+        assert!(store.is_empty(), "empty batch must not register a device");
+        assert_eq!(store.device_count(), 0);
+        // An empty batch for an existing device is a harmless no-op.
+        let d = DeviceId::new("real");
+        store.ingest(&d, &[sem("real", 1, "Nike", "stay", 0, 600)]);
+        store.ingest(&d, &[]);
+        assert_eq!(store.device_count(), 1);
+        assert_eq!(store.semantics_count(), 1);
+        // Explicit registration is still available for known-silent devices.
+        store.register_device(&DeviceId::new("silent"));
+        assert_eq!(store.device_count(), 2);
+        assert_eq!(store.semantics_count(), 1);
+    }
+
+    #[test]
+    fn store_stats_is_cheap_occupancy_view() {
+        let store = SemanticsStore::with_shards(4);
+        assert_eq!(
+            store.store_stats(),
+            StoreHealth {
+                shards: 4,
+                devices: 0,
+                semantics: 0
+            }
+        );
+        store.ingest(&DeviceId::new("a"), &[sem("a", 1, "Nike", "stay", 0, 600)]);
+        store.ingest(
+            &DeviceId::new("b"),
+            &[
+                sem("b", 1, "Nike", "stay", 0, 300),
+                sem("b", 2, "Hall", "pass-by", 300, 330),
+            ],
+        );
+        let health = store.store_stats();
+        assert_eq!((health.devices, health.semantics), (2, 3));
+        // Agrees with the heavier full stats.
+        let full = store.stats();
+        assert_eq!((full.devices, full.semantics), (2, 3));
     }
 }

@@ -6,8 +6,9 @@
 //! so filtered and unfiltered paths agree wherever they overlap (pinned by
 //! this module's tests).
 
-use crate::types::{DeviceSummary, Flow, RegionPopularity, StoreStats};
+use crate::types::{DeviceSummary, Flow, RegionPopularity, StoreHealth, StoreStats};
 use crate::SemanticsStore;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use trips_annotate::MobilitySemantics;
@@ -18,7 +19,7 @@ use trips_dsm::RegionId;
 /// from `trips-data`: device-id glob patterns (`*` / `?`, as in
 /// `SelectionRule::DevicePattern`) and **half-open** `[from, to)` temporal
 /// ranges (as in `SelectionRule::TemporalRange`).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SemanticsSelector {
     /// Device-id glob (`None` = every device).
     pub device_pattern: Option<String>,
@@ -98,7 +99,7 @@ impl SemanticsSelector {
 }
 
 /// What to compute over the selected semantics.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Query {
     /// Regions ranked by stay count then total dwell.
     PopularRegions,
@@ -115,7 +116,7 @@ pub enum Query {
 }
 
 /// A selector plus a query kind.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryRequest {
     pub selector: SemanticsSelector,
     pub query: Query,
@@ -128,7 +129,7 @@ impl QueryRequest {
 }
 
 /// The result of a [`QueryRequest`], variant-matched to its [`Query`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum QueryResult {
     PopularRegions(Vec<RegionPopularity>),
     Flows(Vec<Flow>),
@@ -466,6 +467,12 @@ impl QueryService {
     pub fn stats(&self) -> StoreStats {
         self.store.stats()
     }
+
+    /// Cheap occupancy counters (device/semantics counts, shard count) —
+    /// the health-endpoint view; see [`SemanticsStore::store_stats`].
+    pub fn store_stats(&self) -> StoreHealth {
+        self.store.store_stats()
+    }
 }
 
 #[cfg(test)]
@@ -712,6 +719,52 @@ mod tests {
                 assert_eq!(s.devices_per_shard.iter().sum::<usize>(), 2);
             }
             other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_service_store_stats_matches_full_stats() {
+        let service = QueryService::new(Arc::new(sample(8)));
+        let health = service.store_stats();
+        let full = service.stats();
+        assert_eq!(health.shards, full.shards);
+        assert_eq!(health.devices, full.devices);
+        assert_eq!(health.semantics, full.semantics);
+        assert_eq!((health.devices, health.semantics), (2, 7));
+    }
+
+    /// The typed query surface must survive a JSON round-trip unchanged —
+    /// the serving layer ships these exact shapes over the wire.
+    #[test]
+    fn query_types_roundtrip_through_json() {
+        let store = sample(8);
+        let requests = vec![
+            QueryRequest::new(SemanticsSelector::all(), Query::PopularRegions),
+            QueryRequest::new(
+                SemanticsSelector::all().with_device_pattern("*.1"),
+                Query::TopFlows { limit: 5 },
+            ),
+            QueryRequest::new(
+                SemanticsSelector::all()
+                    .with_region(RegionId(1))
+                    .with_event("stay")
+                    .between(Timestamp::from_millis(0), Timestamp::from_millis(900_000)),
+                Query::DwellHistogram {
+                    bucket: Duration::from_mins(5),
+                },
+            ),
+            QueryRequest::new(SemanticsSelector::all(), Query::DeviceSummaries),
+            QueryRequest::new(SemanticsSelector::all(), Query::Semantics),
+            QueryRequest::new(SemanticsSelector::all(), Query::Stats),
+        ];
+        for req in requests {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: QueryRequest = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, req, "request roundtrip: {json}");
+            let result = store.query(&req);
+            let rjson = serde_json::to_string(&result).unwrap();
+            let rback: QueryResult = serde_json::from_str(&rjson).unwrap();
+            assert_eq!(rback, result, "result roundtrip for {req:?}");
         }
     }
 

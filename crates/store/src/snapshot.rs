@@ -98,7 +98,7 @@ impl SemanticsStore {
         let store = SemanticsStore::with_shards(file.shards);
         for (device, sessions) in &file.devices {
             let device = DeviceId::new(device);
-            store.ingest(&device, &[]); // register even if fully empty
+            store.register_device(&device); // keep devices even if fully empty
             for (i, session) in sessions.iter().enumerate() {
                 store.ingest(&device, session);
                 if i + 1 < sessions.len() {
@@ -152,7 +152,7 @@ mod tests {
                 .collect();
             store.ingest(&DeviceId::new(&id), &sems);
         }
-        store.ingest(&DeviceId::new("silent"), &[]);
+        store.register_device(&DeviceId::new("silent"));
 
         let path = temp_path("roundtrip");
         store.persist(&path).unwrap();
@@ -206,6 +206,25 @@ mod tests {
         assert_eq!(back.semantics(&all), store.semantics(&all));
     }
 
+    /// A serving restart path may snapshot before any ingest arrived: an
+    /// empty store must persist and come back empty (same shard count, no
+    /// devices, every query empty) rather than erroring.
+    #[test]
+    fn empty_store_roundtrip() {
+        let store = SemanticsStore::with_shards(8);
+        let path = temp_path("empty");
+        store.persist(&path).unwrap();
+        let back = SemanticsStore::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back.shard_count(), 8);
+        assert!(back.is_empty());
+        assert_eq!(back.semantics_count(), 0);
+        let all = SemanticsSelector::all();
+        assert!(back.popular_regions(&all).is_empty());
+        assert!(back.top_flows(&all, 10).is_empty());
+        assert!(back.semantics(&all).is_empty());
+    }
+
     #[test]
     fn unknown_version_rejected() {
         let path = temp_path("version");
@@ -213,6 +232,36 @@ mod tests {
         let err = SemanticsStore::load(&path).unwrap_err();
         let _ = std::fs::remove_file(&path);
         assert!(matches!(err, SemanticsStoreError::Version(99)), "{err}");
+    }
+
+    /// A snapshot cut off mid-write (crash, full disk) must surface a
+    /// serde error — not a panic — so a restarting server can report it
+    /// and start fresh.
+    #[test]
+    fn truncated_snapshot_is_an_error_not_a_panic() {
+        // Build a real snapshot, then truncate it at several points.
+        let store = SemanticsStore::with_shards(4);
+        store.ingest(
+            &DeviceId::new("dev-a"),
+            &[
+                sem("dev-a", 1, "stay", 0, 600),
+                sem("dev-a", 2, "pass-by", 600, 630),
+            ],
+        );
+        let path = temp_path("truncated");
+        store.persist(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        for frac in [0.25, 0.5, 0.9] {
+            let cut = (full.len() as f64 * frac) as usize;
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = SemanticsStore::load(&path).unwrap_err();
+            assert!(
+                matches!(err, SemanticsStoreError::Serde(_)),
+                "cut at {cut}/{}: {err}",
+                full.len()
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //!
 //! These began life in `trips-core`'s `analytics` module (which now
 //! re-exports them), so downstream code keeps its import paths while the
-//! store serves the same shapes.
+//! store serves the same shapes. All of them derive serde so the serving
+//! layer (`trips-server`) can put them on the wire unchanged.
 
+use serde::{Deserialize, Serialize};
 use trips_data::Duration;
 use trips_dsm::RegionId;
 
 /// Popularity of one semantic region across all matching devices.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegionPopularity {
     pub region: RegionId,
     pub region_name: String,
@@ -36,7 +38,7 @@ impl RegionPopularity {
 }
 
 /// One directed flow between two regions.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Flow {
     pub from: RegionId,
     pub from_name: String,
@@ -48,7 +50,7 @@ pub struct Flow {
 /// Per-device visit summary: how many regions were visited and total time
 /// accounted for (dashboard row for the analyst). `device` is the
 /// anonymized id.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceSummary {
     pub device: String,
     pub regions_visited: usize,
@@ -57,7 +59,7 @@ pub struct DeviceSummary {
 }
 
 /// Store occupancy snapshot.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreStats {
     pub shards: usize,
     pub devices: usize,
@@ -65,4 +67,14 @@ pub struct StoreStats {
     pub regions: usize,
     /// Device count per shard, in shard order (sharding balance check).
     pub devices_per_shard: Vec<usize>,
+}
+
+/// Minimal occupancy counters, cheap enough for a high-frequency health
+/// endpoint: two integers per shard lock, no per-device or per-region scan
+/// (see [`crate::SemanticsStore::store_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreHealth {
+    pub shards: usize,
+    pub devices: usize,
+    pub semantics: usize,
 }

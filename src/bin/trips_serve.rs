@@ -1,0 +1,152 @@
+//! `trips-serve` — boot a TRIPS serving endpoint.
+//!
+//! Builds a simulated deployment (a mall DSM + an Event Editor trained on
+//! ground truth — the repo's stand-in for a surveyed site), binds a TCP
+//! listener and serves the NDJSON protocol until a `Shutdown` request
+//! drains it. With `--port 0` the OS picks an ephemeral port; the chosen
+//! address is printed as `listening on HOST:PORT` (and flushed) so
+//! scripts can scrape it.
+//!
+//! ```text
+//! trips-serve [--host H] [--port P] [--workers N] [--queue N]
+//!             [--max-conns N] [--shards N] [--floors N] [--shops N]
+//!             [--devices N] [--days N] [--seed N] [--snapshot PATH]
+//! ```
+//!
+//! Clients replaying `generate_campus` traffic must use the same
+//! `--floors/--shops` layout (every campus building shares it); see the
+//! README's "Serving" section and `server_load` in `trips-bench`.
+
+use std::io::Write;
+use std::net::TcpListener;
+use trips::server::{bootstrap_scenario, ServerConfig, TripsServer};
+use trips::sim::ScenarioConfig;
+
+struct Options {
+    host: String,
+    port: u16,
+    config: ServerConfig,
+    floors: u16,
+    shops: usize,
+    devices: usize,
+    days: usize,
+    seed: u64,
+}
+
+fn usage_and_exit(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: trips-serve [--host H] [--port P] [--workers N] [--queue N] \
+         [--max-conns N] [--shards N] [--floors N] [--shops N] [--devices N] \
+         [--days N] [--seed N] [--snapshot PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(value) = args.next() else {
+        usage_and_exit(&format!("{flag} needs a value"));
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => usage_and_exit(&format!("invalid value {value:?} for {flag}")),
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        config: ServerConfig::default(),
+        floors: 2,
+        shops: 3,
+        devices: 8,
+        days: 1,
+        seed: 0x5EED,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--host" => opts.host = parse(&mut args, "--host"),
+            "--port" => opts.port = parse(&mut args, "--port"),
+            "--workers" => opts.config.workers = parse(&mut args, "--workers"),
+            "--queue" => opts.config.queue_capacity = parse(&mut args, "--queue"),
+            "--max-conns" => opts.config.max_connections = parse(&mut args, "--max-conns"),
+            "--shards" => opts.config.shards = parse(&mut args, "--shards"),
+            "--floors" => opts.floors = parse(&mut args, "--floors"),
+            "--shops" => opts.shops = parse(&mut args, "--shops"),
+            "--devices" => opts.devices = parse(&mut args, "--devices"),
+            "--days" => opts.days = parse(&mut args, "--days"),
+            "--seed" => opts.seed = parse(&mut args, "--seed"),
+            "--snapshot" => {
+                opts.config.snapshot = Some(parse::<String>(&mut args, "--snapshot").into())
+            }
+            other => usage_and_exit(&format!("unknown argument: {other}")),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    eprintln!(
+        "trips-serve: training deployment ({} floors, {} shops/row, {} devices, {} days, seed {:#x})...",
+        opts.floors, opts.shops, opts.devices, opts.days, opts.seed
+    );
+    let boot = bootstrap_scenario(
+        opts.floors,
+        opts.shops,
+        &ScenarioConfig {
+            devices: opts.devices,
+            days: opts.days,
+            seed: opts.seed,
+            ..ScenarioConfig::default()
+        },
+    );
+    if let Some(path) = &opts.config.snapshot {
+        eprintln!(
+            "trips-serve: booting store from snapshot {}",
+            path.display()
+        );
+    }
+    let server = match TripsServer::new(boot.dsm, boot.editor, opts.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trips-serve: cannot boot: {e}");
+            std::process::exit(1);
+        }
+    };
+    let listener = match TcpListener::bind((opts.host.as_str(), opts.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("trips-serve: cannot bind {}:{}: {e}", opts.host, opts.port);
+            std::process::exit(1);
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    println!("trips-serve: listening on {addr}");
+    std::io::stdout().flush().expect("stdout flush");
+
+    match server.serve(listener) {
+        Ok(report) => {
+            eprintln!(
+                "trips-serve: drained — {} requests ({} shed, {} bad) over {} connections \
+                 ({} rejected); peak queue {}; store holds {} devices / {} semantics",
+                report.requests,
+                report.shed,
+                report.bad_requests,
+                report.connections_accepted,
+                report.connections_rejected,
+                report.peak_queue_depth,
+                report.devices,
+                report.semantics,
+            );
+        }
+        Err(e) => {
+            eprintln!("trips-serve: serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

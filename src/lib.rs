@@ -28,6 +28,7 @@
 //! | [`viewer`] | `trips-viewer` | timeline abstraction, map view, SVG/ASCII rendering |
 //! | [`engine`] | `trips-engine` | pipeline executor: ordered fan-out + per-stage timing |
 //! | [`core`] | `trips-core` | Configurator / Translator / assessment / export / facade |
+//! | [`server`] | `trips-server` | TCP serving layer: NDJSON ingest/query/admin, load shedding |
 //!
 //! ## Quickstart
 //!
@@ -71,6 +72,7 @@ pub use trips_data as data;
 pub use trips_dsm as dsm;
 pub use trips_engine as engine;
 pub use trips_geom as geom;
+pub use trips_server as server;
 pub use trips_sim as sim;
 pub use trips_store as store;
 pub use trips_viewer as viewer;
@@ -93,9 +95,11 @@ pub mod prelude {
     pub use trips_dsm::{DigitalSpaceModel, PathQuery, RegionId, SemanticRegion, SemanticTag};
     pub use trips_engine::{Pipeline, PipelineReport};
     pub use trips_geom::{IndoorPoint, Point, Polygon};
+    pub use trips_server::{Client, ServerConfig, TripsServer};
     pub use trips_sim::{CampusDataset, ErrorModel, ScenarioConfig, SimulatedDataset};
     pub use trips_store::{
         Query, QueryRequest, QueryResult, QueryService, SemanticsSelector, SemanticsStore,
+        StoreHealth,
     };
     pub use trips_viewer::{Entry, MapView, SourceKind, SvgRenderer, Timeline, VisibilityControl};
 }

@@ -1,0 +1,73 @@
+//! The serving layer through the root facade: boot a server from the
+//! prelude types, round-trip ingest → flush → query over TCP.
+
+use trips::prelude::*;
+use trips::server::{bootstrap_scenario, Response};
+use trips::store::StoreHealth;
+
+#[test]
+fn facade_serves_ingest_and_query_over_tcp() {
+    let boot = bootstrap_scenario(
+        1,
+        2,
+        &ScenarioConfig {
+            devices: 2,
+            days: 1,
+            seed: 0xFACE,
+            ..ScenarioConfig::default()
+        },
+    );
+    let traffic = trips::sim::scenario::generate(
+        1,
+        2,
+        &ScenarioConfig {
+            devices: 2,
+            days: 1,
+            seed: 0xD00D,
+            ..ScenarioConfig::default()
+        },
+    );
+
+    let server = TripsServer::new(boot.dsm, boot.editor, ServerConfig::default()).unwrap();
+    let service = server.query_service();
+    let handle = server.spawn("127.0.0.1:0").unwrap();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.ping().unwrap(), Response::Pong);
+    for trace in &traffic.traces {
+        match client.ingest(trace.raw.records().to_vec()).unwrap() {
+            Response::Ingested { rejected, .. } => assert_eq!(rejected, 0),
+            other => panic!("ingest failed: {other:?}"),
+        }
+    }
+    match client.flush(None).unwrap() {
+        Response::Flushed { devices, .. } => assert_eq!(devices, traffic.traces.len()),
+        other => panic!("flush failed: {other:?}"),
+    }
+
+    // Query over the wire...
+    let wire = match client
+        .query_parts(SemanticsSelector::all(), Query::PopularRegions)
+        .unwrap()
+        .unwrap()
+    {
+        QueryResult::PopularRegions(p) => p,
+        other => panic!("wrong variant: {other:?}"),
+    };
+    assert!(!wire.is_empty(), "two shoppers must produce semantics");
+    // ...agrees with the in-process QueryService over the same live store.
+    assert_eq!(wire, service.popular_regions(&SemanticsSelector::all()));
+    // And the cheap health view agrees with the store.
+    match client.health().unwrap() {
+        Response::Health(h) => {
+            let expected: StoreHealth = service.store_stats();
+            assert_eq!(h.store, expected);
+            assert!(h.store.semantics > 0);
+        }
+        other => panic!("health failed: {other:?}"),
+    }
+    drop(client);
+    let report = handle.shutdown().unwrap();
+    assert_eq!(report.bad_requests, 0);
+    assert_eq!(report.shed, 0);
+}
