@@ -1,0 +1,245 @@
+//! `crash_recovery` — the two halves of the CI SIGKILL smoke test.
+//!
+//! Phase `seed` drives a live durable `trips-serve` endpoint: ingest a
+//! campus burst over the wire, `Flush` so everything acked is queryable
+//! (and therefore journaled), run a fixed query set, and save the
+//! results to a JSON file. The harness then `kill -9`s the server,
+//! reboots it from the same `--wal-dir`, and phase `verify` re-runs the
+//! same query set and asserts byte-identical results — the pre-kill
+//! answers *are* the never-killed control.
+//!
+//! ```text
+//! crash_recovery --addr HOST:PORT --phase seed   --out PATH
+//!                [--buildings N] [--floors N] [--shops N] [--devices N] [--seed N]
+//! crash_recovery --addr HOST:PORT --phase verify --expect PATH
+//! ```
+//!
+//! Exit codes: `0` clean; `1` any protocol error or a query-result
+//! mismatch after recovery; `2` usage errors.
+
+use std::time::Duration as StdDuration;
+use trips_data::{DeviceId, Duration, RawRecord, Timestamp};
+use trips_server::{Client, Response};
+use trips_sim::ScenarioConfig;
+use trips_store::{Query, QueryRequest, QueryResult, SemanticsSelector};
+
+struct Options {
+    addr: String,
+    phase: String,
+    out: Option<String>,
+    expect: Option<String>,
+    buildings: usize,
+    floors: u16,
+    shops: usize,
+    devices: usize,
+    seed: u64,
+}
+
+fn usage_and_exit(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: crash_recovery --addr HOST:PORT --phase seed|verify \
+         [--out PATH] [--expect PATH] [--buildings N] [--floors N] \
+         [--shops N] [--devices N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(value) = args.next() else {
+        usage_and_exit(&format!("{flag} needs a value"));
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => usage_and_exit(&format!("invalid value {value:?} for {flag}")),
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        addr: String::new(),
+        phase: String::new(),
+        out: None,
+        expect: None,
+        buildings: 2,
+        floors: 1,
+        shops: 3,
+        devices: 4,
+        seed: 0xC4A5,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => opts.addr = parse(&mut args, "--addr"),
+            "--phase" => opts.phase = parse(&mut args, "--phase"),
+            "--out" => opts.out = Some(parse(&mut args, "--out")),
+            "--expect" => opts.expect = Some(parse(&mut args, "--expect")),
+            "--buildings" => opts.buildings = parse(&mut args, "--buildings"),
+            "--floors" => opts.floors = parse(&mut args, "--floors"),
+            "--shops" => opts.shops = parse(&mut args, "--shops"),
+            "--devices" => opts.devices = parse(&mut args, "--devices"),
+            "--seed" => opts.seed = parse(&mut args, "--seed"),
+            other => usage_and_exit(&format!("unknown argument: {other}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        usage_and_exit("--addr is required");
+    }
+    match opts.phase.as_str() {
+        "seed" if opts.out.is_none() => usage_and_exit("--phase seed needs --out"),
+        "verify" if opts.expect.is_none() => usage_and_exit("--phase verify needs --expect"),
+        "seed" | "verify" => {}
+        other => usage_and_exit(&format!("unknown phase {other:?} (want seed or verify)")),
+    }
+    opts
+}
+
+/// The fixed query set both phases compare (covers every aggregate path
+/// plus a filtered rescan).
+fn queries() -> Vec<QueryRequest> {
+    vec![
+        QueryRequest::new(SemanticsSelector::all(), Query::Semantics),
+        QueryRequest::new(SemanticsSelector::all(), Query::PopularRegions),
+        QueryRequest::new(SemanticsSelector::all(), Query::TopFlows { limit: 50 }),
+        QueryRequest::new(
+            SemanticsSelector::all(),
+            Query::DwellHistogram {
+                bucket: Duration::from_mins(5),
+            },
+        ),
+        QueryRequest::new(SemanticsSelector::all(), Query::DeviceSummaries),
+        QueryRequest::new(
+            SemanticsSelector::all().between(
+                Timestamp::from_dhms(0, 10, 0, 0),
+                Timestamp::from_dhms(0, 16, 0, 0),
+            ),
+            Query::Semantics,
+        ),
+    ]
+}
+
+fn connect(addr: &str) -> Client {
+    // A wedged server must fail the job, not hang it.
+    let addr = addr
+        .parse()
+        .unwrap_or_else(|e| usage_and_exit(&format!("invalid --addr: {e}")));
+    match Client::connect_with_timeout(addr, StdDuration::from_secs(30)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("crash_recovery: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn answers(client: &mut Client) -> Vec<QueryResult> {
+    queries()
+        .into_iter()
+        .map(|q| match client.query(q) {
+            Ok(Ok(result)) => result,
+            Ok(Err(e)) => {
+                eprintln!("crash_recovery: query error: {e}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("crash_recovery: query transport error: {e}");
+                std::process::exit(1);
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut client = connect(&opts.addr);
+
+    if opts.phase == "seed" {
+        let campus = trips_sim::scenario::generate_campus(
+            opts.buildings,
+            opts.floors,
+            opts.shops,
+            &ScenarioConfig {
+                devices: opts.devices,
+                days: 1,
+                seed: opts.seed,
+                ..ScenarioConfig::default()
+            },
+        );
+        let traffic: Vec<(DeviceId, Vec<RawRecord>)> = campus
+            .buildings
+            .iter()
+            .flat_map(|b| {
+                b.dataset
+                    .traces
+                    .iter()
+                    .map(|t| (t.device.clone(), t.raw.records().to_vec()))
+            })
+            .collect();
+        let records: usize = traffic.iter().map(|(_, r)| r.len()).sum();
+        eprintln!("crash_recovery: seeding {records} records...");
+        for (_, device_records) in &traffic {
+            for batch in device_records.chunks(50) {
+                match client.ingest(batch.to_vec()) {
+                    Ok(Response::Ingested { rejected: 0, .. }) => {}
+                    other => {
+                        eprintln!("crash_recovery: ingest failed: {other:?}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        // Flush: every acked record's semantics become queryable — and,
+        // on a durable server, journaled — before we snapshot answers.
+        match client.flush(None) {
+            Ok(Response::Flushed { .. }) => {}
+            other => {
+                eprintln!("crash_recovery: flush failed: {other:?}");
+                std::process::exit(1);
+            }
+        }
+        let results = answers(&mut client);
+        let json = serde_json::to_string_pretty(&results).expect("results serialize");
+        let out = opts.out.expect("checked in parse_args");
+        std::fs::write(&out, &json).expect("write expected-results file");
+        println!(
+            "crash_recovery: seeded {} records; {} query answers saved to {out}",
+            records,
+            results.len()
+        );
+    } else {
+        let expect_path = opts.expect.expect("checked in parse_args");
+        let json = std::fs::read_to_string(&expect_path).expect("read expected-results file");
+        let expected: Vec<QueryResult> =
+            serde_json::from_str(&json).expect("parse expected-results file");
+        let got = answers(&mut client);
+        if got.len() != expected.len() {
+            eprintln!(
+                "crash_recovery: MISMATCH — {} answers, expected {}",
+                got.len(),
+                expected.len()
+            );
+            std::process::exit(1);
+        }
+        let mut bad = 0;
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            if g != e {
+                eprintln!(
+                    "crash_recovery: MISMATCH in query {i}: recovered store answers differently"
+                );
+                bad += 1;
+            }
+        }
+        if bad > 0 {
+            eprintln!(
+                "crash_recovery: {bad}/{} queries diverged after recovery — acked data was lost \
+                 or phantom data resurrected",
+                expected.len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "crash_recovery: all {} query answers identical after SIGKILL + recovery",
+            expected.len()
+        );
+    }
+}

@@ -14,14 +14,20 @@
 //!             [--buildings N] [--floors N] [--shops N] [--devices N]
 //!             [--seed N] [--query-conns N] [--query-iters N]
 //!             [--no-overload] [--overload-conns N] [--overload-iters N]
-//!             [--expect-shedding] [--shutdown]
+//!             [--expect-shedding] [--expect-wal] [--shutdown]
 //! ```
 //!
 //! The `--floors/--shops` layout must match the server's (campus
 //! buildings share the mall layout the server's DSM was built from).
+//! With `--expect-wal` (a durable server under test) the generator also
+//! requests a checkpoint after the paced phases and asserts on the WAL
+//! metrics: they must be present, with ≥ 1 segment and a fresh
+//! checkpoint age — so `BENCH_server.json` tracks durability overhead
+//! and checkpoint health alongside throughput.
 //! Exit codes: `0` clean; `1` any hard protocol error in the paced phases,
-//! a violated bounded-queue invariant, or `--expect-shedding` with no
-//! sheds observed; `2` usage errors.
+//! a violated bounded-queue invariant, `--expect-shedding` with no
+//! sheds observed, or `--expect-wal` with missing/stale WAL metrics;
+//! `2` usage errors.
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -47,6 +53,7 @@ struct Options {
     overload_conns: usize,
     overload_iters: usize,
     expect_shedding: bool,
+    expect_wal: bool,
     shutdown: bool,
 }
 
@@ -56,7 +63,7 @@ fn usage_and_exit(message: &str) -> ! {
         "usage: server_load --addr HOST:PORT [--quick] [--out PATH] [--buildings N] \
          [--floors N] [--shops N] [--devices N] [--seed N] [--query-conns N] \
          [--query-iters N] [--no-overload] [--overload-conns N] [--overload-iters N] \
-         [--expect-shedding] [--shutdown]"
+         [--expect-shedding] [--expect-wal] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -87,6 +94,7 @@ fn parse_args() -> Options {
         overload_conns: 8,
         overload_iters: 150,
         expect_shedding: false,
+        expect_wal: false,
         shutdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -106,6 +114,7 @@ fn parse_args() -> Options {
             "--overload-conns" => opts.overload_conns = parse(&mut args, "--overload-conns"),
             "--overload-iters" => opts.overload_iters = parse(&mut args, "--overload-iters"),
             "--expect-shedding" => opts.expect_shedding = true,
+            "--expect-wal" => opts.expect_wal = true,
             "--shutdown" => opts.shutdown = true,
             other => usage_and_exit(&format!("unknown argument: {other}")),
         }
@@ -163,6 +172,13 @@ struct ServerSide {
     bad_requests: u64,
     queue_capacity: usize,
     peak_queue_depth: usize,
+    /// WAL metrics (durable servers only): segment count, log bytes,
+    /// replay debt, and checkpoint age — the durability-overhead signals
+    /// the perf trajectory tracks.
+    wal_segments: Option<usize>,
+    wal_bytes: Option<u64>,
+    wal_records_since_checkpoint: Option<u64>,
+    wal_last_checkpoint_age_ms: Option<u64>,
 }
 
 #[derive(Serialize)]
@@ -392,8 +408,22 @@ fn main() {
         None
     };
 
-    // Server-side accounting: metrics prove the bounded-queue invariant.
+    // Server-side accounting: metrics prove the bounded-queue invariant
+    // (and, with --expect-wal, the durability layer's health).
     let mut admin = Client::connect(opts.addr.as_str()).expect("connect for metrics");
+    if opts.expect_wal {
+        // Exercise checkpoint+compact over the wire so the asserted
+        // metrics reflect a server that has actually checkpointed.
+        match admin.snapshot("checkpoint") {
+            Ok(Response::SnapshotSaved { path, .. }) => {
+                eprintln!("server_load: checkpointed ({path})");
+            }
+            other => {
+                eprintln!("checkpoint failed: {other:?}");
+                hard_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
     let server_side = match admin.metrics() {
         Ok(Response::Metrics(m)) => {
             if m.peak_queue_depth > m.queue_capacity {
@@ -403,12 +433,43 @@ fn main() {
                 );
                 hard_errors.fetch_add(1, Ordering::Relaxed);
             }
+            if opts.expect_wal {
+                match &m.wal {
+                    None => {
+                        eprintln!("server_load: --expect-wal set but Metrics has no wal block");
+                        hard_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(w) => {
+                        if w.segments < 1 {
+                            eprintln!(
+                                "server_load: wal reports {} segments (want ≥ 1)",
+                                w.segments
+                            );
+                            hard_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        match w.last_checkpoint_age_ms {
+                            Some(age) if age < 60_000 => {}
+                            other => {
+                                eprintln!(
+                                    "server_load: checkpoint age {other:?} after an explicit \
+                                     checkpoint (want Some(< 60000))"
+                                );
+                                hard_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            }
             ServerSide {
                 requests: m.requests,
                 shed: m.shed,
                 bad_requests: m.bad_requests,
                 queue_capacity: m.queue_capacity,
                 peak_queue_depth: m.peak_queue_depth,
+                wal_segments: m.wal.as_ref().map(|w| w.segments),
+                wal_bytes: m.wal.as_ref().map(|w| w.bytes),
+                wal_records_since_checkpoint: m.wal.as_ref().map(|w| w.records_since_checkpoint),
+                wal_last_checkpoint_age_ms: m.wal.as_ref().and_then(|w| w.last_checkpoint_age_ms),
             }
         }
         other => {
@@ -420,6 +481,10 @@ fn main() {
                 bad_requests: 0,
                 queue_capacity: 0,
                 peak_queue_depth: 0,
+                wal_segments: None,
+                wal_bytes: None,
+                wal_records_since_checkpoint: None,
+                wal_last_checkpoint_age_ms: None,
             }
         }
     };

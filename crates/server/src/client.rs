@@ -5,12 +5,22 @@
 //! One request in flight at a time (write a line, read a line); the
 //! server guarantees per-connection response ordering, so correlation ids
 //! are checked but never reordered.
+//!
+//! By default every call blocks until the server answers. A stalled or
+//! wedged server would therefore hang callers forever — bound that with
+//! [`Client::set_read_timeout`] (any call) or connect with
+//! [`Client::connect_with_timeout`], which bounds the TCP connect *and*
+//! installs a read timeout in one step. A timed-out call surfaces as an
+//! `Err` of kind `WouldBlock`/`TimedOut`; the connection should be
+//! considered dead afterwards (a late reply would desynchronize the
+//! request/response pairing).
 
 use crate::protocol::{
     decode_response, encode_request, Request, RequestEnvelope, Response, ServerError,
 };
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use trips_data::RawRecord;
 use trips_store::{Query, QueryRequest, QueryResult, SemanticsSelector};
 
@@ -25,7 +35,23 @@ impl Client {
     /// Connects to a server address (e.g. `handle.addr()` or
     /// `"127.0.0.1:7878"`).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with `timeout` bounding the TCP handshake, and installs
+    /// the same value as both the read and the write timeout — so
+    /// neither a black-holed address, nor a server that accepts but
+    /// never replies, nor one that stops *reading* (a blocking
+    /// `write_all` of a large batch fills the send buffer and would
+    /// otherwise park forever) can hang the caller indefinitely.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let client = Self::from_stream(TcpStream::connect_timeout(&addr, timeout)?)?;
+        client.set_read_timeout(Some(timeout))?;
+        client.stream.set_write_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Self> {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
@@ -38,7 +64,7 @@ impl Client {
     /// Bounds how long [`Client::call`] blocks waiting for a response
     /// (`None` = wait forever, the default). A timeout surfaces as an
     /// `Err` of kind `WouldBlock`/`TimedOut`.
-    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         self.reader.get_ref().set_read_timeout(timeout)
     }
 

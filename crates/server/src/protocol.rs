@@ -32,7 +32,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use trips_data::RawRecord;
-use trips_store::{QueryRequest, QueryResult, StoreHealth};
+use trips_store::{QueryRequest, QueryResult, StoreHealth, WalStats};
 
 /// The protocol version this build speaks. Envelopes with any other `v`
 /// are rejected with [`ServerError::UnsupportedVersion`].
@@ -58,8 +58,12 @@ pub enum Request {
     Health,
     /// Per-endpoint latency/throughput counters; answered inline.
     Metrics,
-    /// Flush every open stream buffer, then persist the store to `path`
-    /// (the `trips-store` versioned JSON snapshot).
+    /// Flush every open stream buffer, then persist the store. On a
+    /// durable server (`--wal-dir`) this is a **checkpoint + compact**:
+    /// the WAL rotates, the checkpoint snapshot is published atomically
+    /// inside the durability directory, and older segments are retired —
+    /// `path` is ignored and the response carries the real snapshot
+    /// path. Without a WAL it is a one-shot atomic persist to `path`.
     Snapshot { path: String },
     /// Graceful drain: stop accepting connections and work, finish queued
     /// requests, flush stream buffers, then exit the serve loop.
@@ -172,6 +176,9 @@ pub struct HealthReport {
     /// Raw records buffered across those devices.
     pub buffered_records: usize,
     pub active_connections: usize,
+    /// WAL occupancy (segment count, bytes, replay debt, checkpoint
+    /// age); `None` when the server runs without a durability layer.
+    pub wal: Option<WalStats>,
 }
 
 /// Latency/throughput summary of one endpoint family.
@@ -203,6 +210,10 @@ pub struct MetricsReport {
     /// `queue_capacity` — the bounded-memory invariant).
     pub peak_queue_depth: usize,
     pub endpoints: Vec<EndpointMetrics>,
+    /// WAL occupancy; `None` without a durability layer. Tracks the
+    /// durability overhead the perf trajectory must watch: segment
+    /// growth between checkpoints and how stale the last checkpoint is.
+    pub wal: Option<WalStats>,
 }
 
 /// A request plus version + correlation id — one line on the wire.
@@ -257,6 +268,10 @@ pub fn encode_response(env: &ResponseEnvelope) -> String {
 /// Parses one request line. `Err` carries the error response to write back
 /// (bad JSON → `BadRequest` with id 0; wrong version → the envelope's own
 /// id, so pipelined clients can still correlate).
+// The Err is a full envelope by design — it is written to the wire
+// immediately, once, on a path that just failed to parse; boxing it
+// would buy nothing.
+#[allow(clippy::result_large_err)]
 pub fn decode_request(line: &str) -> Result<RequestEnvelope, ResponseEnvelope> {
     let env: RequestEnvelope = serde_json::from_str(line).map_err(|e| {
         let mut shown: String = line.chars().take(120).collect();
@@ -361,6 +376,12 @@ mod tests {
                 open_devices: 1,
                 buffered_records: 20,
                 active_connections: 3,
+                wal: Some(WalStats {
+                    segments: 2,
+                    bytes: 4096,
+                    records_since_checkpoint: 17,
+                    last_checkpoint_age_ms: Some(1500),
+                }),
             }),
             Response::Metrics(MetricsReport {
                 uptime_ms: 1234,
@@ -381,6 +402,12 @@ mod tests {
                     max_us: 1500.0,
                     mean_us: 80.0,
                 }],
+                wal: Some(WalStats {
+                    segments: 1,
+                    bytes: 16,
+                    records_since_checkpoint: 0,
+                    last_checkpoint_age_ms: None,
+                }),
             }),
             Response::SnapshotSaved {
                 path: "/tmp/snap.json".into(),

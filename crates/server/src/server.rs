@@ -35,8 +35,24 @@
 //! ## Drain
 //!
 //! `Shutdown` acknowledges, then: stop accepting, refuse new work, finish
-//! every admitted request, flush all stream buffers into the store, and
-//! return a [`ServerReport`].
+//! every admitted request, flush all stream buffers into the store (and
+//! the WAL, on a durable server), and return a [`ServerReport`].
+//!
+//! ## Durability
+//!
+//! With [`ServerConfig::durability`] set, the store journals every
+//! effective mutation to a `trips-wal` write-ahead log **before** the
+//! mutation is visible — so an `Ingested`/`Flushed` ack means every
+//! semantics that became queryable through that request is journaled
+//! (and on stable storage, under the configured fsync policy). Raw
+//! records still buffered in the streaming translator are *not yet*
+//! durable — they become so the moment they publish (gap close, buffer
+//! overflow, `Flush`, disconnect, drain), which is also the moment they
+//! become queryable; recovery therefore always reproduces exactly the
+//! queryable state. Boot is `checkpoint snapshot → replay newer WAL
+//! segments`; `Snapshot` requests checkpoint + compact; `Health` and
+//! `Metrics` expose segment count, WAL bytes, replay debt, and
+//! checkpoint age.
 
 use crate::protocol::{
     EndpointMetrics, HealthReport, MetricsReport, Request, Response, ResponseEnvelope, ServerError,
@@ -53,7 +69,7 @@ use trips_core::stream::{StreamConfig, StreamingTranslator};
 use trips_data::DeviceId;
 use trips_dsm::DigitalSpaceModel;
 use trips_engine::LatencyRecorder;
-use trips_store::{QueryService, SemanticsStore};
+use trips_store::{boot_store, DurabilityConfig, QueryService, RecoveryReport, SemanticsStore};
 
 /// Longest accepted request line; a connection exceeding it without a
 /// newline is answered with `BadRequest` and closed (memory bound).
@@ -76,7 +92,14 @@ pub struct ServerConfig {
     /// Streaming-translator settings (flush gap, buffer cap, translator).
     pub stream: StreamConfig,
     /// Boot the store from this `trips-store` snapshot instead of empty.
+    /// One-shot and **non-durable**: mutations after boot are not
+    /// journaled. Mutually exclusive with `durability`.
     pub snapshot: Option<std::path::PathBuf>,
+    /// Run the store durably: boot by recovery (checkpoint snapshot +
+    /// WAL replay) from this directory and journal every effective store
+    /// mutation before acking. `Snapshot` requests become
+    /// checkpoint+compact. Mutually exclusive with `snapshot`.
+    pub durability: Option<DurabilityConfig>,
     /// Accept/read poll interval — the latency of noticing a drain.
     pub poll_interval: Duration,
 }
@@ -90,6 +113,7 @@ impl Default for ServerConfig {
             shards: 0,
             stream: StreamConfig::default(),
             snapshot: None,
+            durability: None,
             poll_interval: Duration::from_millis(10),
         }
     }
@@ -276,19 +300,38 @@ impl<'env> Shared<'env> {
             },
             Request::Snapshot { path } => {
                 // Buffered records must be part of the snapshot, or a
-                // restart would silently lose in-flight sessions.
+                // restart would silently lose in-flight sessions. (On a
+                // durable store the flush also journals the published
+                // semantics before the WAL rotates.)
                 let mut translator = self.translator.lock();
                 let _ = translator.finish();
                 drop(translator);
-                match self.store.persist(&path) {
-                    Ok(()) => Response::SnapshotSaved {
-                        path,
-                        devices: self.store.device_count(),
-                        semantics: self.store.semantics_count(),
-                    },
-                    Err(e) => Response::Error(ServerError::Internal {
-                        message: e.to_string(),
-                    }),
+                if self.store.is_durable() {
+                    // Checkpoint + compact: rotate the WAL, publish the
+                    // checkpoint snapshot atomically, retire older
+                    // segments. The request's `path` does not apply — the
+                    // checkpoint lives in the durability directory.
+                    match self.store.checkpoint() {
+                        Ok(report) => Response::SnapshotSaved {
+                            path: report.snapshot_path.display().to_string(),
+                            devices: report.devices,
+                            semantics: report.semantics,
+                        },
+                        Err(e) => Response::Error(ServerError::Internal {
+                            message: e.to_string(),
+                        }),
+                    }
+                } else {
+                    match self.store.persist(&path) {
+                        Ok(()) => Response::SnapshotSaved {
+                            path,
+                            devices: self.store.device_count(),
+                            semantics: self.store.semantics_count(),
+                        },
+                        Err(e) => Response::Error(ServerError::Internal {
+                            message: e.to_string(),
+                        }),
+                    }
                 }
             }
             // Sessions answer these inline; keep the mapping total anyway.
@@ -311,6 +354,7 @@ impl<'env> Shared<'env> {
             open_devices,
             buffered_records,
             active_connections: self.active.load(Ordering::Relaxed),
+            wal: self.store.wal_stats(),
         })
     }
 
@@ -340,6 +384,7 @@ impl<'env> Shared<'env> {
             queue_capacity: self.queue.capacity(),
             peak_queue_depth: self.queue.peak_depth(),
             endpoints,
+            wal: self.store.wal_stats(),
         })
     }
 }
@@ -513,33 +558,43 @@ pub struct TripsServer {
     editor: EventEditor,
     config: ServerConfig,
     store: Arc<SemanticsStore>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl TripsServer {
-    /// Builds a server. When `config.snapshot` is set, the store boots
-    /// from that snapshot (restart path); otherwise it starts empty with
-    /// `config.shards` shards.
+    /// Builds a server. Boot is one recovery story
+    /// ([`trips_store::boot_store`]): with `config.durability` the store
+    /// recovers from its WAL directory (checkpoint snapshot + replay of
+    /// newer segments, torn tail truncated) and journals from then on;
+    /// with `config.snapshot` it loads that file once, non-durably;
+    /// otherwise it starts empty with `config.shards` shards.
     pub fn new(
         dsm: DigitalSpaceModel,
         editor: EventEditor,
         config: ServerConfig,
     ) -> Result<Self, trips_store::SemanticsStoreError> {
-        let store = match &config.snapshot {
-            Some(path) => SemanticsStore::load(path)?,
-            None if config.shards > 0 => SemanticsStore::with_shards(config.shards),
-            None => SemanticsStore::new(),
-        };
+        let (store, recovery) = boot_store(
+            config.durability.as_ref(),
+            config.snapshot.as_deref(),
+            config.shards,
+        )?;
         Ok(TripsServer {
             dsm,
             editor,
             config,
             store: Arc::new(store),
+            recovery,
         })
     }
 
     /// The live store (shareable; valid before, during and after `serve`).
     pub fn store(&self) -> Arc<SemanticsStore> {
         self.store.clone()
+    }
+
+    /// What boot recovery found (`None` when booted without durability).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// A concurrent query handle over the live store.
@@ -628,8 +683,10 @@ impl TripsServer {
         });
 
         // Every thread has joined. Publish any still-buffered sessions so
-        // nothing ingested is lost, then report.
+        // nothing ingested is lost (journaling them on a durable store),
+        // flush the tail of any fsync window, then report.
         let _ = shared.translator.lock().finish();
+        let _ = self.store.sync_wal();
         Ok(ServerReport {
             connections_accepted: shared.conns_accepted.load(Ordering::Relaxed),
             connections_rejected: shared.conns_rejected.load(Ordering::Relaxed),

@@ -41,11 +41,13 @@
 //!
 //! ## Snapshot format
 //!
-//! [`SemanticsStore::persist`] writes a single JSON document (version 1):
+//! [`SemanticsStore::persist`] writes a single JSON document (version 1),
+//! atomically (tmp file + rename):
 //!
 //! ```json
 //! { "version": 1,
 //!   "shards": 8,
+//!   "wal_seq": null,
 //!   "devices": [["<device id>", [[<MobilitySemantics...>], ...]], ...] }
 //! ```
 //!
@@ -57,20 +59,41 @@
 //! [`SemanticsStore::load`] rebuilds them by re-ingesting each session, so
 //! the snapshot can never disagree with its aggregates. `shards` records
 //! the source store's shard count and is reused on load. Loading rejects
-//! unknown versions with [`SemanticsStoreError::Version`].
+//! unknown versions with [`SemanticsStoreError::Version`] — checked on
+//! the raw JSON before the body parse, so snapshots from newer builds
+//! fail typed even when their shape diverged.
 //!
 //! The file-backed `trips-core` `Store` uses these two entry points as its
 //! snapshot/restore backend (`Store::save_semantics` / `load_semantics`).
+//!
+//! ## Durability
+//!
+//! A store can be booted through [`SemanticsStore::recover`] (or the
+//! all-in-one [`boot_store`]), which attaches a `trips-wal` write-ahead
+//! log: every effective `ingest` / `register_device` / `end_session` /
+//! `clear` appends a WAL record **before** it is applied, so a caller
+//! that sees the mutation return may ack it as durable (under the
+//! configured [`FsyncPolicy`]). `wal_seq` in a snapshot marks it as a
+//! **checkpoint** ([`SemanticsStore::checkpoint`]): the WAL rotates, the
+//! snapshot is tagged with the new segment sequence and published
+//! atomically, and older segments are retired. Recovery is `snapshot
+//! load → replay segments ≥ wal_seq`, equivalent to the never-crashed
+//! store. See the [`durability`] module docs for the record payloads,
+//! lock ordering, and crash-safety argument.
 
+pub mod durability;
 mod query;
 mod shard;
 mod snapshot;
 mod types;
 
+pub use durability::{boot_store, CheckpointReport, DurabilityConfig, RecoveryReport, WalStats};
 pub use query::{Query, QueryRequest, QueryResult, QueryService, SemanticsSelector};
 pub use snapshot::SemanticsStoreError;
+pub use trips_wal::FsyncPolicy;
 pub use types::{DeviceSummary, Flow, RegionPopularity, StoreHealth, StoreStats};
 
+use durability::{Durability, WalOpRef};
 use parking_lot::RwLock;
 use shard::Shard;
 use trips_annotate::MobilitySemantics;
@@ -104,6 +127,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 pub struct SemanticsStore {
     shards: Vec<RwLock<Shard>>,
     mask: usize,
+    /// The WAL handle, attached by [`SemanticsStore::recover`]. Appends
+    /// happen under the mutating device's shard write lock, so per-device
+    /// WAL order always equals apply order.
+    durability: Option<Durability>,
 }
 
 impl Default for SemanticsStore {
@@ -135,6 +162,7 @@ impl SemanticsStore {
         SemanticsStore {
             shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
             mask: n - 1,
+            durability: None,
         }
     }
 
@@ -161,13 +189,23 @@ impl SemanticsStore {
     /// records) would inflate [`SemanticsStore::device_count`] with devices
     /// that have no semantics. Use [`SemanticsStore::register_device`] when
     /// a known-but-silent device must appear (snapshot restore does).
+    ///
+    /// On a durable store (see [`SemanticsStore::recover`]) the batch is
+    /// appended to the WAL before it is applied — when this returns, the
+    /// batch is journaled (and on stable storage, under the configured
+    /// fsync policy), so the caller may ack it.
     pub fn ingest(&self, device: &DeviceId, semantics: &[MobilitySemantics]) {
         if semantics.is_empty() {
             return;
         }
-        self.shards[self.shard_index(device)]
-            .write()
-            .ingest(device, semantics);
+        let mut shard = self.shards[self.shard_index(device)].write();
+        if let Some(d) = &self.durability {
+            d.append(&WalOpRef::Ingest {
+                device: device.as_str(),
+                semantics,
+            });
+        }
+        shard.ingest(device, semantics);
     }
 
     /// Registers `device` with no semantics (a deliberate empty entry —
@@ -175,11 +213,17 @@ impl SemanticsStore {
     /// Snapshot restore uses this to keep devices that were explicitly
     /// registered before persisting.
     pub fn register_device(&self, device: &DeviceId) {
-        self.shards[self.shard_index(device)]
-            .write()
-            .devices
-            .entry(device.clone())
-            .or_default();
+        let mut shard = self.shards[self.shard_index(device)].write();
+        if !shard.devices.contains_key(device) {
+            // Journal only effective registrations — a re-register is a
+            // no-op and must not bloat replay.
+            if let Some(d) = &self.durability {
+                d.append(&WalOpRef::Register {
+                    device: device.as_str(),
+                });
+            }
+            shard.devices.entry(device.clone()).or_default();
+        }
     }
 
     /// Ends the current flow "session" for `device`: the next ingested
@@ -190,21 +234,36 @@ impl SemanticsStore {
     /// *not* call this between micro-batches (their boundary flows are
     /// real).
     pub fn end_session(&self, device: &DeviceId) {
-        if let Some(entry) = self.shards[self.shard_index(device)]
-            .write()
-            .devices
-            .get_mut(device)
-        {
-            if entry.last.take().is_some() {
+        let mut shard = self.shards[self.shard_index(device)].write();
+        let durable = self.durability.as_ref();
+        if let Some(entry) = shard.devices.get_mut(device) {
+            if entry.last.is_some() {
+                // Journal only effective boundaries (a second
+                // end_session in a row is a no-op).
+                if let Some(d) = durable {
+                    d.append(&WalOpRef::EndSession {
+                        device: device.as_str(),
+                    });
+                }
+                entry.last = None;
                 entry.breaks.push(entry.semantics.len());
             }
         }
     }
 
-    /// Drops all devices and aggregates, keeping the shard layout.
+    /// Drops all devices and aggregates, keeping the shard layout (and
+    /// journaling the wipe, so replay does not resurrect the dropped
+    /// state). All shard locks are taken *before* the WAL append — the
+    /// same shards-then-wal order as every other mutator and
+    /// [`SemanticsStore::checkpoint`] — so a concurrent ingest can never
+    /// be ordered after the wipe in memory but before it in the log.
     pub fn clear(&self) {
-        for s in &self.shards {
-            *s.write() = Shard::default();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
+        if let Some(d) = &self.durability {
+            d.append(&WalOpRef::Clear);
+        }
+        for g in &mut guards {
+            **g = Shard::default();
         }
     }
 

@@ -1,23 +1,43 @@
 //! Snapshot/restore: the versioned JSON format documented in the crate
 //! docs. Only the raw per-device semantics travel; aggregates are rebuilt
 //! on load so a snapshot can never disagree with its aggregates.
+//!
+//! Writes are **atomic**: the document goes to a `<path>.tmp` sibling
+//! which is fsynced and renamed over the target, so a crash mid-write can
+//! never leave a torn snapshot — readers see the old file or the new one,
+//! nothing in between. The version field is checked *before* the body is
+//! parsed, so a snapshot from a newer build (whose shape this build may
+//! not even recognize) fails with the typed
+//! [`SemanticsStoreError::Version`] rather than a shape error or a silent
+//! misparse.
 
+use crate::shard::Shard;
 use crate::SemanticsStore;
 use serde::{Deserialize, Serialize};
 use std::fs;
+use std::io::Write;
 use std::path::Path;
 use trips_annotate::MobilitySemantics;
 use trips_data::DeviceId;
 
 pub(crate) const SNAPSHOT_VERSION: u32 = 1;
 
-/// Errors raised by snapshot persist/load.
+/// Errors raised by snapshot persist/load and durability
+/// recovery/checkpoint.
 #[derive(Debug)]
 pub enum SemanticsStoreError {
     Io(std::io::Error),
     Serde(String),
-    /// The file's `version` field is not one this build understands.
+    /// The file's `version` field is not one this build understands
+    /// (typically a snapshot written by a newer build).
     Version(u32),
+    /// The write-ahead log is unreadable (mid-log corruption, bad
+    /// segment) or failed an I/O operation.
+    Wal(trips_wal::WalError),
+    /// A durability-only operation (checkpoint) on a store with no WAL.
+    NotDurable,
+    /// Contradictory boot configuration.
+    Config(String),
 }
 
 impl std::fmt::Display for SemanticsStoreError {
@@ -30,9 +50,14 @@ impl std::fmt::Display for SemanticsStoreError {
             SemanticsStoreError::Version(v) => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                    "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})"
                 )
             }
+            SemanticsStoreError::Wal(e) => write!(f, "semantics store durability error: {e}"),
+            SemanticsStoreError::NotDurable => {
+                write!(f, "store has no durability layer (checkpoint needs a WAL)")
+            }
+            SemanticsStoreError::Config(msg) => write!(f, "store configuration error: {msg}"),
         }
     }
 }
@@ -45,68 +70,140 @@ impl From<std::io::Error> for SemanticsStoreError {
     }
 }
 
+impl From<trips_wal::WalError> for SemanticsStoreError {
+    fn from(e: trips_wal::WalError) -> Self {
+        SemanticsStoreError::Wal(e)
+    }
+}
+
 #[derive(Serialize, Deserialize)]
-struct SnapshotFile {
-    version: u32,
-    shards: usize,
+pub(crate) struct SnapshotFile {
+    pub(crate) version: u32,
+    pub(crate) shards: usize,
+    /// For a durability **checkpoint**: the WAL segment sequence recovery
+    /// resumes replay from — everything in older segments is already in
+    /// this snapshot. `None` for plain [`SemanticsStore::persist`]
+    /// snapshots (and absent in pre-durability files, which deserialize
+    /// as `None`). Living inside the snapshot document, it is published
+    /// by the same atomic rename as the data it describes.
+    pub(crate) wal_seq: Option<u64>,
     /// Per device: its semantics split into **sessions** at the
     /// `end_session` boundaries, so flow suppression across independent
     /// sequences survives a persist/load roundtrip (a trailing empty
     /// session encodes a boundary after the final semantics).
-    devices: Vec<(String, Vec<Vec<MobilitySemantics>>)>,
+    pub(crate) devices: Vec<(String, Vec<Vec<MobilitySemantics>>)>,
+}
+
+/// Builds the snapshot document from already-locked shards (the
+/// checkpoint path holds write guards; `persist` passes read guards).
+pub(crate) fn build_snapshot<'a>(
+    shards: impl Iterator<Item = &'a Shard>,
+    shard_count: usize,
+    wal_seq: Option<u64>,
+) -> SnapshotFile {
+    let mut devices: Vec<(String, Vec<Vec<MobilitySemantics>>)> = Vec::new();
+    for shard in shards {
+        for (device, entry) in &shard.devices {
+            let mut sessions = Vec::with_capacity(entry.breaks.len() + 1);
+            let mut start = 0usize;
+            for &b in &entry.breaks {
+                sessions.push(entry.semantics[start..b].to_vec());
+                start = b;
+            }
+            sessions.push(entry.semantics[start..].to_vec());
+            devices.push((device.as_str().to_string(), sessions));
+        }
+    }
+    devices.sort_by(|a, b| a.0.cmp(&b.0));
+    SnapshotFile {
+        version: SNAPSHOT_VERSION,
+        shards: shard_count,
+        wal_seq,
+        devices,
+    }
+}
+
+/// Serializes and publishes a snapshot atomically: write `<path>.tmp`,
+/// fsync it, rename over `path`, fsync the directory (best-effort). A
+/// pre-existing stale `.tmp` (from a crashed earlier attempt) is simply
+/// overwritten.
+pub(crate) fn write_atomic(path: &Path, file: &SnapshotFile) -> Result<(), SemanticsStoreError> {
+    let json =
+        serde_json::to_string(file).map_err(|e| SemanticsStoreError::Serde(e.to_string()))?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates a snapshot file. The `version` field is inspected
+/// on the raw JSON value *before* the typed parse, so files from newer
+/// builds fail with [`SemanticsStoreError::Version`] even when their
+/// shape has diverged.
+pub(crate) fn read_snapshot(path: &Path) -> Result<SnapshotFile, SemanticsStoreError> {
+    let json = fs::read_to_string(path)?;
+    let value: serde::Value =
+        serde_json::from_str(&json).map_err(|e| SemanticsStoreError::Serde(e.to_string()))?;
+    let version = value
+        .as_object()
+        .and_then(|obj| obj.iter().find(|(k, _)| k == "version"))
+        .and_then(|(_, v)| v.as_i64())
+        .ok_or_else(|| {
+            SemanticsStoreError::Serde("snapshot has no integer `version` field".to_string())
+        })?;
+    if version != i64::from(SNAPSHOT_VERSION) {
+        return Err(SemanticsStoreError::Version(
+            u32::try_from(version).unwrap_or(u32::MAX),
+        ));
+    }
+    serde::Deserialize::from_value(&value).map_err(|e| SemanticsStoreError::Serde(e.to_string()))
+}
+
+/// Rebuilds a store (and every aggregate) from a snapshot document by
+/// re-ingesting each session.
+pub(crate) fn store_from_file(file: &SnapshotFile) -> SemanticsStore {
+    let store = SemanticsStore::with_shards(file.shards);
+    for (device, sessions) in &file.devices {
+        let device = DeviceId::new(device);
+        store.register_device(&device); // keep devices even if fully empty
+        for (i, session) in sessions.iter().enumerate() {
+            store.ingest(&device, session);
+            if i + 1 < sessions.len() {
+                store.end_session(&device);
+            }
+        }
+    }
+    store
 }
 
 impl SemanticsStore {
-    /// Writes a version-1 snapshot of the store to `path`.
+    /// Writes a version-1 snapshot of the store to `path`, atomically
+    /// (tmp file + rename — a crash mid-persist leaves the previous
+    /// file, never a torn one).
     pub fn persist(&self, path: impl AsRef<Path>) -> Result<(), SemanticsStoreError> {
-        let mut devices: Vec<(String, Vec<Vec<MobilitySemantics>>)> = Vec::new();
-        for shard in self.shards() {
-            let shard = shard.read();
-            for (device, entry) in &shard.devices {
-                let mut sessions = Vec::with_capacity(entry.breaks.len() + 1);
-                let mut start = 0usize;
-                for &b in &entry.breaks {
-                    sessions.push(entry.semantics[start..b].to_vec());
-                    start = b;
-                }
-                sessions.push(entry.semantics[start..].to_vec());
-                devices.push((device.as_str().to_string(), sessions));
-            }
-        }
-        devices.sort_by(|a, b| a.0.cmp(&b.0));
-        let file = SnapshotFile {
-            version: SNAPSHOT_VERSION,
-            shards: self.shard_count(),
-            devices,
-        };
-        let json =
-            serde_json::to_string(&file).map_err(|e| SemanticsStoreError::Serde(e.to_string()))?;
-        fs::write(path, json)?;
-        Ok(())
+        let guards: Vec<_> = self.shards().iter().map(|s| s.read()).collect();
+        let file = build_snapshot(guards.iter().map(|g| &**g), self.shard_count(), None);
+        drop(guards);
+        write_atomic(path.as_ref(), &file)
     }
 
     /// Restores a store from a snapshot written by [`SemanticsStore::persist`],
     /// recreating the recorded shard count, session boundaries, and every
-    /// aggregate.
+    /// aggregate. The result is **not** durable — use
+    /// [`SemanticsStore::recover`] to boot a WAL-backed store.
     pub fn load(path: impl AsRef<Path>) -> Result<SemanticsStore, SemanticsStoreError> {
-        let json = fs::read_to_string(path)?;
-        let file: SnapshotFile =
-            serde_json::from_str(&json).map_err(|e| SemanticsStoreError::Serde(e.to_string()))?;
-        if file.version != SNAPSHOT_VERSION {
-            return Err(SemanticsStoreError::Version(file.version));
-        }
-        let store = SemanticsStore::with_shards(file.shards);
-        for (device, sessions) in &file.devices {
-            let device = DeviceId::new(device);
-            store.register_device(&device); // keep devices even if fully empty
-            for (i, session) in sessions.iter().enumerate() {
-                store.ingest(&device, session);
-                if i + 1 < sessions.len() {
-                    store.end_session(&device);
-                }
-            }
-        }
-        Ok(store)
+        Ok(store_from_file(&read_snapshot(path.as_ref())?))
     }
 }
 
@@ -234,6 +331,29 @@ mod tests {
         assert!(matches!(err, SemanticsStoreError::Version(99)), "{err}");
     }
 
+    /// Forward compatibility: a snapshot from a **newer** build — larger
+    /// version, fields this build has never heard of, a reshaped
+    /// `devices` — must fail with the typed `Version` error, not a shape
+    /// error and certainly not a silent misparse into an empty store.
+    #[test]
+    fn newer_snapshot_version_is_a_typed_error_even_with_unknown_shape() {
+        let path = temp_path("future");
+        std::fs::write(
+            &path,
+            format!(
+                r#"{{"version":{},"shards":4,"codec":"columnar-zstd","devices":{{"packed":"AAAA"}}}}"#,
+                SNAPSHOT_VERSION + 1
+            ),
+        )
+        .unwrap();
+        let err = SemanticsStore::load(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        match err {
+            SemanticsStoreError::Version(v) => assert_eq!(v, SNAPSHOT_VERSION + 1),
+            other => panic!("want Version error, got {other}"),
+        }
+    }
+
     /// A snapshot cut off mid-write (crash, full disk) must surface a
     /// serde error — not a panic — so a restarting server can report it
     /// and start fresh.
@@ -273,5 +393,25 @@ mod tests {
         assert!(matches!(err, SemanticsStoreError::Serde(_)), "{err}");
         let missing = SemanticsStore::load(temp_path("missing-never-written")).unwrap_err();
         assert!(matches!(missing, SemanticsStoreError::Io(_)), "{missing}");
+    }
+
+    /// Persist is atomic: a crashed earlier attempt's partial `.tmp`
+    /// must not poison a later persist, and a reader never sees the tmp
+    /// shadow as the snapshot.
+    #[test]
+    fn persist_overwrites_a_preseeded_partial_tmp() {
+        let path = temp_path("atomic");
+        let tmp = std::path::PathBuf::from(format!("{}.tmp", path.display()));
+        // Simulate a crash mid-write from a previous run.
+        std::fs::write(&tmp, r#"{"version":1,"shards":4,"dev"#).unwrap();
+
+        let store = SemanticsStore::with_shards(4);
+        store.ingest(&DeviceId::new("dev-a"), &[sem("dev-a", 1, "stay", 0, 600)]);
+        store.persist(&path).unwrap();
+
+        assert!(!tmp.exists(), "tmp shadow renamed away");
+        let back = SemanticsStore::load(&path).unwrap();
+        assert_eq!(back.semantics_count(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,172 @@
+//! Replay: an ordered iterator over every record in a WAL directory,
+//! tolerant of a torn tail in the final segment.
+
+use crate::frame::{scan_frame, FrameScan};
+use crate::segment::{check_segment_header, list_segments, SEGMENT_HEADER_BYTES};
+use crate::WalError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One replayed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalEntry {
+    /// Sequence of the segment the record was read from.
+    pub segment: u64,
+    /// Byte offset of the record's frame within that segment file.
+    pub offset: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Where an interrupted append left a partial/corrupt frame at the end of
+/// the last segment. Everything from `offset` on is not part of the log
+/// (the record was never acked); [`crate::Wal::open`] truncates it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    pub segment: u64,
+    /// File offset at which the invalid data begins.
+    pub offset: u64,
+    pub reason: String,
+}
+
+/// Iterator over `Result<WalEntry, WalError>` for segments `>= min_seq`,
+/// ascending. A torn tail ends iteration cleanly (inspect
+/// [`Replay::torn_tail`] afterwards); mid-log corruption yields
+/// [`WalError::Corrupt`] and ends iteration.
+pub struct Replay {
+    segments: Vec<(u64, PathBuf)>,
+    next_segment: usize,
+    /// (seq, file bytes, scan offset) of the segment being consumed.
+    current: Option<(u64, Vec<u8>, usize)>,
+    torn: Option<TornTail>,
+    entries: u64,
+    done: bool,
+}
+
+impl Replay {
+    pub(crate) fn new(dir: &Path, min_seq: u64) -> Result<Replay, WalError> {
+        let segments = list_segments(dir)?
+            .into_iter()
+            .filter(|(seq, _)| *seq >= min_seq)
+            .collect();
+        Ok(Replay {
+            segments,
+            next_segment: 0,
+            current: None,
+            torn: None,
+            entries: 0,
+            done: false,
+        })
+    }
+
+    /// The torn tail, if iteration ended at one (meaningful once the
+    /// iterator is exhausted).
+    pub fn torn_tail(&self) -> Option<&TornTail> {
+        self.torn.as_ref()
+    }
+
+    /// Records yielded so far.
+    pub fn entries_read(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of segment files this replay covers.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the segment at `idx` is the final one (where invalid data
+    /// is a torn tail rather than corruption).
+    fn is_last(&self, idx: usize) -> bool {
+        idx + 1 == self.segments.len()
+    }
+
+    fn fail(&mut self, err: WalError) -> Option<Result<WalEntry, WalError>> {
+        self.done = true;
+        Some(Err(err))
+    }
+
+    fn tear(
+        &mut self,
+        segment: u64,
+        offset: usize,
+        reason: String,
+    ) -> Option<Result<WalEntry, WalError>> {
+        self.torn = Some(TornTail {
+            segment,
+            offset: offset as u64,
+            reason,
+        });
+        self.done = true;
+        None
+    }
+}
+
+impl Iterator for Replay {
+    type Item = Result<WalEntry, WalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if self.current.is_none() {
+                if self.next_segment >= self.segments.len() {
+                    self.done = true;
+                    return None;
+                }
+                let idx = self.next_segment;
+                self.next_segment += 1;
+                let (seq, path) = self.segments[idx].clone();
+                let data = match fs::read(&path) {
+                    Ok(d) => d,
+                    Err(e) => return self.fail(WalError::Io(e)),
+                };
+                // A *short* header on the last segment is a crash during
+                // segment creation — a torn tail at offset 0. A full-
+                // length header that is wrong (bad magic, future format
+                // version, sequence mismatch), or any header problem in
+                // an earlier segment, is corruption the replay must not
+                // guess about: the segment may hold synced acked records.
+                if data.len() < SEGMENT_HEADER_BYTES && self.is_last(idx) {
+                    return self.tear(
+                        seq,
+                        0,
+                        format!("short segment header ({} bytes)", data.len()),
+                    );
+                }
+                if let Err(reason) = check_segment_header(&data, seq) {
+                    return self.fail(WalError::BadSegment { path, reason });
+                }
+                self.current = Some((seq, data, SEGMENT_HEADER_BYTES));
+            }
+            let (seq, data, offset) = self.current.as_mut().expect("current segment loaded");
+            let (seq, offset_now) = (*seq, *offset);
+            match scan_frame(&data[..], offset_now) {
+                FrameScan::Record { payload, next } => {
+                    *offset = next;
+                    self.entries += 1;
+                    return Some(Ok(WalEntry {
+                        segment: seq,
+                        offset: offset_now as u64,
+                        payload,
+                    }));
+                }
+                FrameScan::End => {
+                    self.current = None;
+                }
+                FrameScan::Invalid { reason } => {
+                    let last = self.next_segment >= self.segments.len();
+                    self.current = None;
+                    if last {
+                        return self.tear(seq, offset_now, reason);
+                    }
+                    return self.fail(WalError::Corrupt {
+                        segment: seq,
+                        offset: offset_now as u64,
+                        reason,
+                    });
+                }
+            }
+        }
+    }
+}

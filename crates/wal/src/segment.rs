@@ -1,0 +1,117 @@
+//! Segment files: naming, header encode/decode, and directory listing.
+
+use crate::WalError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub(crate) const SEGMENT_MAGIC: [u8; 4] = *b"TWAL";
+pub(crate) const SEGMENT_FORMAT_VERSION: u32 = 1;
+/// magic (4) + format version u32 (4) + seq u64 (8).
+pub(crate) const SEGMENT_HEADER_BYTES: usize = 16;
+
+/// `wal-<seq>.log` with a 20-digit zero-padded decimal sequence, so the
+/// lexicographic directory order is the numeric replay order.
+pub(crate) fn segment_file_name(seq: u64) -> String {
+    format!("wal-{seq:020}.log")
+}
+
+pub(crate) fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(segment_file_name(seq))
+}
+
+/// Parses a segment sequence number out of a file name; `None` for
+/// anything that is not a well-formed segment name.
+pub(crate) fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The 16-byte header written at the start of every segment.
+pub(crate) fn encode_segment_header(seq: u64) -> [u8; SEGMENT_HEADER_BYTES] {
+    let mut h = [0u8; SEGMENT_HEADER_BYTES];
+    h[..4].copy_from_slice(&SEGMENT_MAGIC);
+    h[4..8].copy_from_slice(&SEGMENT_FORMAT_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&seq.to_le_bytes());
+    h
+}
+
+/// Validates a segment's header against the sequence its file name
+/// claims. `Ok(())` or a reason string.
+pub(crate) fn check_segment_header(data: &[u8], want_seq: u64) -> Result<(), String> {
+    if data.len() < SEGMENT_HEADER_BYTES {
+        return Err(format!("short header ({} bytes)", data.len()));
+    }
+    if data[..4] != SEGMENT_MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if version != SEGMENT_FORMAT_VERSION {
+        return Err(format!(
+            "unsupported segment format version {version} (expected {SEGMENT_FORMAT_VERSION})"
+        ));
+    }
+    let seq = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    if seq != want_seq {
+        return Err(format!(
+            "header sequence {seq} does not match file name sequence {want_seq}"
+        ));
+    }
+    Ok(())
+}
+
+/// Lists the directory's segments sorted ascending by sequence. Files
+/// that do not match the segment naming scheme are ignored (the snapshot
+/// and its `.tmp` shadow share the directory).
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_file_name) {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort_by_key(|(seq, _)| *seq);
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_and_sort_numerically() {
+        for seq in [0u64, 1, 9, 10, 99, 1_000_000, u64::MAX] {
+            let name = segment_file_name(seq);
+            assert_eq!(parse_segment_file_name(&name), Some(seq), "{name}");
+        }
+        assert!(
+            segment_file_name(9) < segment_file_name(10),
+            "lexicographic == numeric"
+        );
+        for bad in [
+            "wal-1.log",
+            "wal-.log",
+            "snapshot.json",
+            "wal-00000000000000000001.tmp",
+        ] {
+            assert_eq!(parse_segment_file_name(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn header_checks() {
+        let h = encode_segment_header(7);
+        assert!(check_segment_header(&h, 7).is_ok());
+        assert!(check_segment_header(&h, 8).is_err(), "seq mismatch");
+        assert!(check_segment_header(&h[..10], 7).is_err(), "short");
+        let mut bad = h;
+        bad[0] = b'X';
+        assert!(check_segment_header(&bad, 7).is_err(), "magic");
+        let mut newer = h;
+        newer[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(check_segment_header(&newer, 7).is_err(), "version");
+    }
+}

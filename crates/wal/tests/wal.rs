@@ -1,0 +1,348 @@
+//! Integration tests: append/replay roundtrips, rotation, retirement,
+//! torn-tail truncation, and mid-log corruption detection.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use trips_wal::{FsyncPolicy, Wal, WalConfig, WalError};
+
+static DIR_COUNTER: AtomicU32 = AtomicU32::new(0);
+
+/// A unique scratch WAL directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("trips-wal-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiny_segments(fsync: FsyncPolicy) -> WalConfig {
+    WalConfig {
+        segment_bytes: 64, // rotate after a record or two
+        fsync,
+    }
+}
+
+fn payloads(replay: trips_wal::Replay) -> (Vec<Vec<u8>>, Option<trips_wal::TornTail>) {
+    let mut replay = replay;
+    let mut out = Vec::new();
+    for entry in replay.by_ref() {
+        out.push(entry.expect("no corruption expected").payload);
+    }
+    let torn = replay.torn_tail().cloned();
+    (out, torn)
+}
+
+#[test]
+fn append_replay_roundtrip_across_rotation() {
+    let dir = TempDir::new("roundtrip");
+    let want: Vec<Vec<u8>> = (0..50)
+        .map(|i| format!("record-{i}-{}", "x".repeat(i % 13)).into_bytes())
+        .collect();
+    {
+        let mut wal = Wal::open(&dir.0, tiny_segments(FsyncPolicy::EveryN(8))).unwrap();
+        for p in &want {
+            wal.append(p).unwrap();
+        }
+        assert!(wal.segment_count() > 1, "tiny segments must have rotated");
+        assert_eq!(wal.records_appended(), 50);
+    }
+    let (got, torn) = payloads(Wal::replay(&dir.0).unwrap());
+    assert_eq!(got, want, "order and content survive rotation");
+    assert!(torn.is_none());
+}
+
+#[test]
+fn reopen_continues_the_same_log() {
+    let dir = TempDir::new("reopen");
+    {
+        let mut wal = Wal::open(&dir.0, WalConfig::default()).unwrap();
+        wal.append(b"first").unwrap();
+    }
+    {
+        let mut wal = Wal::open(&dir.0, WalConfig::default()).unwrap();
+        assert!(wal.truncated_tail().is_none(), "clean shutdown, clean tail");
+        wal.append(b"second").unwrap();
+    }
+    let (got, _) = payloads(Wal::replay(&dir.0).unwrap());
+    assert_eq!(got, vec![b"first".to_vec(), b"second".to_vec()]);
+}
+
+#[test]
+fn torn_tail_is_truncated_not_fatal() {
+    let dir = TempDir::new("torn");
+    {
+        let mut wal = Wal::open(&dir.0, WalConfig::default()).unwrap();
+        for i in 0..5 {
+            wal.append(format!("acked-{i}").as_bytes()).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    // Simulate a crash mid-append: chop bytes off the (only) segment.
+    let seg = fs::read_dir(&dir.0)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "log"))
+        .unwrap();
+    let full = fs::read(&seg).unwrap();
+    fs::write(&seg, &full[..full.len() - 3]).unwrap();
+
+    // Replay (read-only) stops at the tear and reports it.
+    let (got, torn) = payloads(Wal::replay(&dir.0).unwrap());
+    assert_eq!(got.len(), 4, "last (torn) record dropped");
+    assert_eq!(got[3], b"acked-3");
+    let torn = torn.expect("tear reported");
+    assert!(torn.reason.contains("partial"), "{}", torn.reason);
+
+    // Open truncates the tear; the log is clean again and appendable.
+    {
+        let mut wal = Wal::open(&dir.0, WalConfig::default()).unwrap();
+        assert!(wal.truncated_tail().is_some());
+        wal.append(b"after-recovery").unwrap();
+    }
+    let (got, torn) = payloads(Wal::replay(&dir.0).unwrap());
+    assert_eq!(got.len(), 5);
+    assert_eq!(got[4], b"after-recovery");
+    assert!(torn.is_none(), "tear physically removed");
+}
+
+#[test]
+fn garbage_tail_and_crc_flip_are_torn_tails() {
+    // Garbage appended after both records tears after 2 survivors; a CRC
+    // flip inside the second record tears after 1.
+    for (tag, survivors, mutate) in [
+        (
+            "garbage",
+            2,
+            Box::new(|data: &mut Vec<u8>| data.extend_from_slice(b"\x07garbage"))
+                as Box<dyn Fn(&mut Vec<u8>)>,
+        ),
+        (
+            "crcflip",
+            1,
+            Box::new(|data: &mut Vec<u8>| {
+                let n = data.len();
+                data[n - 1] ^= 0xFF;
+            }),
+        ),
+    ] {
+        let dir = TempDir::new(tag);
+        {
+            let mut wal = Wal::open(&dir.0, WalConfig::default()).unwrap();
+            wal.append(b"good-1").unwrap();
+            wal.append(b"good-2").unwrap();
+            wal.sync().unwrap();
+        }
+        let seg = fs::read_dir(&dir.0)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "log"))
+            .unwrap();
+        let mut data = fs::read(&seg).unwrap();
+        mutate(&mut data);
+        fs::write(&seg, &data).unwrap();
+
+        let (got, torn) = payloads(Wal::replay(&dir.0).unwrap());
+        assert_eq!(
+            got.len(),
+            survivors,
+            "{tag}: records after the tear are gone"
+        );
+        assert_eq!(got[0], b"good-1");
+        assert!(torn.is_some(), "{tag}");
+    }
+}
+
+#[test]
+fn mid_log_corruption_is_an_error_not_a_truncation() {
+    let dir = TempDir::new("midlog");
+    {
+        let mut wal = Wal::open(&dir.0, tiny_segments(FsyncPolicy::Never)).unwrap();
+        for i in 0..20 {
+            wal.append(format!("r{i}-{}", "y".repeat(10)).as_bytes())
+                .unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.segment_count() >= 3, "need non-last segments");
+    }
+    // Flip a payload byte inside the FIRST segment — not a crash shape.
+    let mut segs: Vec<PathBuf> = fs::read_dir(&dir.0)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segs.sort();
+    let mut data = fs::read(&segs[0]).unwrap();
+    let n = data.len();
+    data[n - 2] ^= 0x55;
+    fs::write(&segs[0], &data).unwrap();
+
+    let mut replay = Wal::replay(&dir.0).unwrap();
+    let err = replay
+        .by_ref()
+        .find_map(|r| r.err())
+        .expect("mid-log corruption must surface as an error");
+    assert!(matches!(err, WalError::Corrupt { .. }), "{err}");
+    assert!(replay.torn_tail().is_none(), "not a torn tail");
+}
+
+#[test]
+fn bad_header_on_last_segment_reinitializes() {
+    let dir = TempDir::new("badheader");
+    {
+        let mut wal = Wal::open(&dir.0, tiny_segments(FsyncPolicy::Never)).unwrap();
+        for i in 0..10 {
+            wal.append(format!("keep-{i}-{}", "z".repeat(12)).as_bytes())
+                .unwrap();
+        }
+        // Crash "during" creating a fresh segment: simulate by rotating
+        // and then mangling the new segment's header.
+        wal.rotate().unwrap();
+    }
+    let mut segs: Vec<PathBuf> = fs::read_dir(&dir.0)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segs.sort();
+    let last = segs.last().unwrap();
+    fs::write(last, b"TW").unwrap(); // partial header
+
+    let (got, torn) = payloads(Wal::replay(&dir.0).unwrap());
+    assert_eq!(got.len(), 10, "earlier segments unaffected");
+    assert!(torn.is_some(), "partial header is a torn tail at offset 0");
+
+    let mut wal = Wal::open(&dir.0, tiny_segments(FsyncPolicy::Never)).unwrap();
+    assert!(wal.truncated_tail().is_some());
+    wal.append(b"alive").unwrap();
+    drop(wal);
+    let (got, torn) = payloads(Wal::replay(&dir.0).unwrap());
+    assert_eq!(got.len(), 11);
+    assert!(torn.is_none());
+}
+
+/// A *complete* header that is wrong — future format version, corrupted
+/// magic — is not a crash shape: the segment may be full of synced acked
+/// records, so open and replay must fail typed instead of wiping it.
+#[test]
+fn wrong_complete_header_is_a_typed_error_not_a_wipe() {
+    for (tag, mutate) in [
+        ("version", 4usize), // format-version byte
+        ("magic", 0usize),   // magic byte
+    ] {
+        let dir = TempDir::new(&format!("hdr-{tag}"));
+        {
+            let mut wal = Wal::open(&dir.0, WalConfig::default()).unwrap();
+            wal.append(b"synced-acked-record").unwrap();
+            wal.sync().unwrap();
+        }
+        let seg = fs::read_dir(&dir.0)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "log"))
+            .unwrap();
+        let mut data = fs::read(&seg).unwrap();
+        data[mutate] ^= 0x7F;
+        fs::write(&seg, &data).unwrap();
+
+        match Wal::open(&dir.0, WalConfig::default()) {
+            Err(WalError::BadSegment { .. }) => {}
+            Err(e) => panic!("{tag}: want BadSegment, got {e}"),
+            Ok(_) => panic!("{tag}: a wrong header must not open"),
+        }
+        let mut replay = Wal::replay(&dir.0).unwrap();
+        let err = replay.by_ref().find_map(|r| r.err());
+        assert!(
+            matches!(err, Some(WalError::BadSegment { .. })),
+            "{tag}: replay must not guess either"
+        );
+        // Crucially: the record is still on disk, untouched.
+        let after = fs::read(&seg).unwrap();
+        assert_eq!(after, data, "{tag}: no wipe, no truncation");
+    }
+}
+
+#[test]
+fn rotate_and_retire_below_compact_the_log() {
+    let dir = TempDir::new("retire");
+    let mut wal = Wal::open(&dir.0, WalConfig::default()).unwrap();
+    wal.append(b"old-1").unwrap();
+    wal.append(b"old-2").unwrap();
+    let checkpoint_seq = wal.rotate().unwrap();
+    wal.append(b"new-1").unwrap();
+    wal.sync().unwrap();
+
+    // Only post-rotation records replay from the checkpoint sequence.
+    let (newer, _) = payloads(Wal::replay_from(&dir.0, checkpoint_seq).unwrap());
+    assert_eq!(newer, vec![b"new-1".to_vec()]);
+
+    let removed = wal.retire_below(checkpoint_seq).unwrap();
+    assert_eq!(removed, 1);
+    assert_eq!(wal.segment_count(), 1);
+    let (all, _) = payloads(Wal::replay(&dir.0).unwrap());
+    assert_eq!(all, vec![b"new-1".to_vec()], "old records compacted away");
+
+    // Retiring at or below the active sequence never deletes the active
+    // segment, even with an absurd cutoff.
+    let removed = wal.retire_below(u64::MAX).unwrap();
+    assert_eq!(removed, 0);
+    assert_eq!(wal.segment_count(), 1);
+}
+
+#[test]
+fn all_fsync_policies_produce_identical_logs() {
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+    for policy in [
+        FsyncPolicy::Always,
+        FsyncPolicy::EveryN(4),
+        FsyncPolicy::Never,
+    ] {
+        let dir = TempDir::new("policy");
+        {
+            let mut wal = Wal::open(&dir.0, tiny_segments(policy)).unwrap();
+            for i in 0..25 {
+                wal.append(format!("p-{i}").as_bytes()).unwrap();
+            }
+        }
+        let (got, torn) = payloads(Wal::replay(&dir.0).unwrap());
+        assert!(torn.is_none(), "{policy}");
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{policy}"),
+        }
+    }
+}
+
+#[test]
+fn empty_log_opens_and_replays_empty() {
+    let dir = TempDir::new("empty");
+    let wal = Wal::open(&dir.0, WalConfig::default()).unwrap();
+    assert_eq!(wal.segment_count(), 1);
+    assert_eq!(wal.records_appended(), 0);
+    drop(wal);
+    let (got, torn) = payloads(Wal::replay(&dir.0).unwrap());
+    assert!(got.is_empty());
+    assert!(torn.is_none());
+}
+
+#[test]
+fn oversized_record_is_rejected_up_front() {
+    let dir = TempDir::new("oversize");
+    let mut wal = Wal::open(&dir.0, WalConfig::default()).unwrap();
+    let huge = vec![0u8; trips_wal::MAX_RECORD_BYTES + 1];
+    assert!(wal.append(&huge).is_err());
+    // The failed append must not have written a partial frame.
+    wal.append(b"ok").unwrap();
+    drop(wal);
+    let (got, torn) = payloads(Wal::replay(&dir.0).unwrap());
+    assert_eq!(got, vec![b"ok".to_vec()]);
+    assert!(torn.is_none());
+}

@@ -11,7 +11,16 @@
 //! trips-serve [--host H] [--port P] [--workers N] [--queue N]
 //!             [--max-conns N] [--shards N] [--floors N] [--shops N]
 //!             [--devices N] [--days N] [--seed N] [--snapshot PATH]
+//!             [--wal-dir DIR] [--fsync always|every=N|never]
+//!             [--segment-bytes N]
 //! ```
+//!
+//! `--wal-dir` makes the store durable: boot recovers from the
+//! directory (checkpoint snapshot + WAL replay, torn tail truncated) and
+//! every acked ingest is journaled before the ack, under the `--fsync`
+//! policy (default `every=64`). `Snapshot` admin requests then mean
+//! checkpoint + compact. `--snapshot` (one-shot, non-durable boot) and
+//! `--wal-dir` are mutually exclusive.
 //!
 //! Clients replaying `generate_campus` traffic must use the same
 //! `--floors/--shops` layout (every campus building shares it); see the
@@ -21,6 +30,8 @@ use std::io::Write;
 use std::net::TcpListener;
 use trips::server::{bootstrap_scenario, ServerConfig, TripsServer};
 use trips::sim::ScenarioConfig;
+use trips::store::DurabilityConfig;
+use trips::wal::FsyncPolicy;
 
 struct Options {
     host: String,
@@ -31,6 +42,9 @@ struct Options {
     devices: usize,
     days: usize,
     seed: u64,
+    /// Staged until we know whether --wal-dir was given.
+    fsync: Option<FsyncPolicy>,
+    segment_bytes: Option<u64>,
 }
 
 fn usage_and_exit(message: &str) -> ! {
@@ -38,7 +52,8 @@ fn usage_and_exit(message: &str) -> ! {
     eprintln!(
         "usage: trips-serve [--host H] [--port P] [--workers N] [--queue N] \
          [--max-conns N] [--shards N] [--floors N] [--shops N] [--devices N] \
-         [--days N] [--seed N] [--snapshot PATH]"
+         [--days N] [--seed N] [--snapshot PATH] [--wal-dir DIR] \
+         [--fsync always|every=N|never] [--segment-bytes N]"
     );
     std::process::exit(2);
 }
@@ -63,6 +78,8 @@ fn parse_args() -> Options {
         devices: 8,
         days: 1,
         seed: 0x5EED,
+        fsync: None,
+        segment_bytes: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -81,8 +98,38 @@ fn parse_args() -> Options {
             "--snapshot" => {
                 opts.config.snapshot = Some(parse::<String>(&mut args, "--snapshot").into())
             }
+            "--wal-dir" => {
+                let dir: String = parse(&mut args, "--wal-dir");
+                let durability = opts
+                    .config
+                    .durability
+                    .get_or_insert_with(|| DurabilityConfig::new(&dir));
+                durability.dir = dir.into();
+            }
+            "--fsync" => {
+                let policy: FsyncPolicy = parse(&mut args, "--fsync");
+                opts.fsync = Some(policy);
+            }
+            "--segment-bytes" => opts.segment_bytes = Some(parse(&mut args, "--segment-bytes")),
             other => usage_and_exit(&format!("unknown argument: {other}")),
         }
+    }
+    match opts.config.durability.as_mut() {
+        Some(d) => {
+            if let Some(fsync) = opts.fsync {
+                d.fsync = fsync;
+            }
+            if let Some(bytes) = opts.segment_bytes {
+                d.segment_bytes = bytes;
+            }
+        }
+        None if opts.fsync.is_some() || opts.segment_bytes.is_some() => {
+            usage_and_exit("--fsync/--segment-bytes need --wal-dir");
+        }
+        None => {}
+    }
+    if opts.config.durability.is_some() && opts.config.snapshot.is_some() {
+        usage_and_exit("--snapshot and --wal-dir are mutually exclusive (a durable store's snapshot is its checkpoint)");
     }
     opts
 }
@@ -109,6 +156,14 @@ fn main() {
             path.display()
         );
     }
+    if let Some(d) = &opts.config.durability {
+        eprintln!(
+            "trips-serve: durable store — wal dir {}, fsync {}, segment bytes {}",
+            d.dir.display(),
+            d.fsync,
+            d.segment_bytes
+        );
+    }
     let server = match TripsServer::new(boot.dsm, boot.editor, opts.config) {
         Ok(s) => s,
         Err(e) => {
@@ -116,6 +171,23 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(r) = server.recovery_report() {
+        eprintln!(
+            "trips-serve: recovery — snapshot {}, {} wal records replayed over {} segments{}",
+            if r.snapshot_loaded {
+                "loaded"
+            } else {
+                "absent"
+            },
+            r.replayed_records,
+            r.segments,
+            if r.torn_tail_truncated {
+                ", torn tail truncated"
+            } else {
+                ""
+            },
+        );
+    }
     let listener = match TcpListener::bind((opts.host.as_str(), opts.port)) {
         Ok(l) => l,
         Err(e) => {

@@ -28,7 +28,8 @@
 //! | [`viewer`] | `trips-viewer` | timeline abstraction, map view, SVG/ASCII rendering |
 //! | [`engine`] | `trips-engine` | pipeline executor: ordered fan-out + per-stage timing |
 //! | [`core`] | `trips-core` | Configurator / Translator / assessment / export / facade |
-//! | [`server`] | `trips-server` | TCP serving layer: NDJSON ingest/query/admin, load shedding |
+//! | [`wal`] | `trips-wal` | append-only write-ahead log: checksummed records, segment rotation, torn-tail-tolerant replay |
+//! | [`server`] | `trips-server` | TCP serving layer: NDJSON ingest/query/admin, load shedding, durable boot |
 //!
 //! ## Quickstart
 //!
@@ -76,6 +77,7 @@ pub use trips_server as server;
 pub use trips_sim as sim;
 pub use trips_store as store;
 pub use trips_viewer as viewer;
+pub use trips_wal as wal;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -98,8 +100,8 @@ pub mod prelude {
     pub use trips_server::{Client, ServerConfig, TripsServer};
     pub use trips_sim::{CampusDataset, ErrorModel, ScenarioConfig, SimulatedDataset};
     pub use trips_store::{
-        Query, QueryRequest, QueryResult, QueryService, SemanticsSelector, SemanticsStore,
-        StoreHealth,
+        DurabilityConfig, FsyncPolicy, Query, QueryRequest, QueryResult, QueryService,
+        SemanticsSelector, SemanticsStore, StoreHealth,
     };
     pub use trips_viewer::{Entry, MapView, SourceKind, SvgRenderer, Timeline, VisibilityControl};
 }
