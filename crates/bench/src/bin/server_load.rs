@@ -2,20 +2,30 @@
 //! `trips-serve` endpoint.
 //!
 //! Replays `trips_sim::scenario::generate_campus` traffic over the wire
-//! (one ingest connection per building, device-major batches), flushes,
-//! then drives a concurrent analyst query mix — and, unless disabled, an
-//! overload burst sized to exceed the admission queue so the server's
-//! load shedding is exercised. Emits `BENCH_server.json` with ingest +
-//! query throughput and tail latency (p50/p99/max/mean, comparable with
-//! `BENCH_store.json`) plus the server's own overload counters.
+//! (one ingest connection per building, device-major batches; each
+//! connection flushes **its own** session before disconnecting — a
+//! flush-all is scoped to the requesting session), then drives a
+//! concurrent analyst query mix — and, unless disabled, an overload
+//! burst sized to exceed the admission queue so the server's load
+//! shedding is exercised. With `--scale-conns N` it additionally holds N
+//! concurrent mostly-idle connections (the event-driven server's home
+//! turf) and measures ping latency plus server memory while they are
+//! held. Emits `BENCH_server.json` with ingest + query throughput and
+//! tail latency (p50/p99/max/mean, comparable with `BENCH_store.json`)
+//! plus the server's own overload counters.
 //!
 //! ```text
-//! server_load --addr HOST:PORT [--quick] [--out PATH]
+//! server_load --addr HOST:PORT [--quick] [--out PATH] [--protocol 1|2]
 //!             [--buildings N] [--floors N] [--shops N] [--devices N]
 //!             [--seed N] [--query-conns N] [--query-iters N]
 //!             [--no-overload] [--overload-conns N] [--overload-iters N]
+//!             [--scale-conns N] [--scale-rounds N]
 //!             [--expect-shedding] [--expect-wal] [--shutdown]
 //! ```
+//!
+//! `--protocol 2` runs every phase over the binary v2 framing (see
+//! `trips_server::codec`); the default is NDJSON v1 — running both and
+//! comparing the reports is the protocol's perf regression check.
 //!
 //! The `--floors/--shops` layout must match the server's (campus
 //! buildings share the mall layout the server's DSM was built from).
@@ -25,9 +35,9 @@
 //! checkpoint age — so `BENCH_server.json` tracks durability overhead
 //! and checkpoint health alongside throughput.
 //! Exit codes: `0` clean; `1` any hard protocol error in the paced phases,
-//! a violated bounded-queue invariant, `--expect-shedding` with no
-//! sheds observed, or `--expect-wal` with missing/stale WAL metrics;
-//! `2` usage errors.
+//! a violated bounded-queue invariant, a failed `--scale-conns` hold,
+//! `--expect-shedding` with no sheds observed, or `--expect-wal` with
+//! missing/stale WAL metrics; `2` usage errors.
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +52,7 @@ struct Options {
     addr: String,
     quick: bool,
     out: String,
+    protocol: u32,
     buildings: usize,
     floors: u16,
     shops: usize,
@@ -52,6 +63,8 @@ struct Options {
     overload: bool,
     overload_conns: usize,
     overload_iters: usize,
+    scale_conns: usize,
+    scale_rounds: usize,
     expect_shedding: bool,
     expect_wal: bool,
     shutdown: bool,
@@ -60,12 +73,20 @@ struct Options {
 fn usage_and_exit(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
-        "usage: server_load --addr HOST:PORT [--quick] [--out PATH] [--buildings N] \
-         [--floors N] [--shops N] [--devices N] [--seed N] [--query-conns N] \
-         [--query-iters N] [--no-overload] [--overload-conns N] [--overload-iters N] \
+        "usage: server_load --addr HOST:PORT [--quick] [--out PATH] [--protocol 1|2] \
+         [--buildings N] [--floors N] [--shops N] [--devices N] [--seed N] \
+         [--query-conns N] [--query-iters N] [--no-overload] [--overload-conns N] \
+         [--overload-iters N] [--scale-conns N] [--scale-rounds N] \
          [--expect-shedding] [--expect-wal] [--shutdown]"
     );
     std::process::exit(2);
+}
+
+/// Connects a client speaking the configured protocol version.
+fn connect(addr: &str, protocol: u32) -> std::io::Result<Client> {
+    let mut client = Client::connect(addr)?;
+    client.set_protocol(protocol)?;
+    Ok(client)
 }
 
 fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
@@ -83,6 +104,7 @@ fn parse_args() -> Options {
         addr: String::new(),
         quick: false,
         out: "BENCH_server.json".to_string(),
+        protocol: 1,
         buildings: 3,
         floors: 2,
         shops: 3,
@@ -93,6 +115,8 @@ fn parse_args() -> Options {
         overload: true,
         overload_conns: 8,
         overload_iters: 150,
+        scale_conns: 0,
+        scale_rounds: 3,
         expect_shedding: false,
         expect_wal: false,
         shutdown: false,
@@ -103,6 +127,12 @@ fn parse_args() -> Options {
             "--addr" => opts.addr = parse(&mut args, "--addr"),
             "--quick" => opts.quick = true,
             "--out" => opts.out = parse(&mut args, "--out"),
+            "--protocol" => {
+                opts.protocol = parse(&mut args, "--protocol");
+                if !(opts.protocol == 1 || opts.protocol == 2) {
+                    usage_and_exit("--protocol must be 1 (NDJSON) or 2 (binary)");
+                }
+            }
             "--buildings" => opts.buildings = parse(&mut args, "--buildings"),
             "--floors" => opts.floors = parse(&mut args, "--floors"),
             "--shops" => opts.shops = parse(&mut args, "--shops"),
@@ -113,6 +143,8 @@ fn parse_args() -> Options {
             "--no-overload" => opts.overload = false,
             "--overload-conns" => opts.overload_conns = parse(&mut args, "--overload-conns"),
             "--overload-iters" => opts.overload_iters = parse(&mut args, "--overload-iters"),
+            "--scale-conns" => opts.scale_conns = parse(&mut args, "--scale-conns"),
+            "--scale-rounds" => opts.scale_rounds = parse(&mut args, "--scale-rounds"),
             "--expect-shedding" => opts.expect_shedding = true,
             "--expect-wal" => opts.expect_wal = true,
             "--shutdown" => opts.shutdown = true,
@@ -166,12 +198,30 @@ struct OverloadReport {
 }
 
 #[derive(Serialize)]
+struct ScaleReport {
+    /// Connections held concurrently (on top of the phase's admin conn).
+    connections: usize,
+    /// Active connections the server itself reported during the hold.
+    active_connections_observed: usize,
+    /// Server RSS in KiB while every connection was held (`None` where
+    /// the server cannot measure it). The scaling gate checks this stays
+    /// flat versus the baseline run.
+    rss_kb_held: Option<u64>,
+    /// Round-robin ping latency across the held connections.
+    ping: PhaseReport,
+}
+
+#[derive(Serialize)]
 struct ServerSide {
     requests: u64,
     shed: u64,
     bad_requests: u64,
     queue_capacity: usize,
     peak_queue_depth: usize,
+    /// Ingest jobs coalesced under a shared translator-lock acquisition.
+    ingest_coalesced: u64,
+    /// Server RSS in KiB at the end of the run.
+    rss_kb: Option<u64>,
     /// WAL metrics (durable servers only): segment count, log bytes,
     /// replay debt, and checkpoint age — the durability-overhead signals
     /// the perf trajectory tracks.
@@ -186,12 +236,15 @@ struct BenchReport {
     bench: String,
     quick: bool,
     addr: String,
+    /// Wire protocol every phase ran over (1 = NDJSON, 2 = binary).
+    protocol: u32,
     ingest_connections: usize,
     records: usize,
     ingest: PhaseReport,
     query_connections: usize,
     query: PhaseReport,
     overload: Option<OverloadReport>,
+    scale: Option<ScaleReport>,
     server: ServerSide,
     hard_errors: usize,
 }
@@ -271,9 +324,10 @@ fn main() {
             .map(|building| {
                 let hard_errors = &hard_errors;
                 let addr = opts.addr.as_str();
+                let protocol = opts.protocol;
                 s.spawn(move || {
                     let mut recorder = LatencyRecorder::new();
-                    let mut client = Client::connect(addr).expect("connect for ingest");
+                    let mut client = connect(addr, protocol).expect("connect for ingest");
                     for (_, device_records) in building {
                         for batch in device_records.chunks(50) {
                             let t0 = Instant::now();
@@ -291,6 +345,17 @@ fn main() {
                             recorder.record(t0.elapsed());
                         }
                     }
+                    // A flush-all is scoped to the requesting session, so
+                    // each ingest connection publishes its own devices
+                    // before disconnecting (an admin connection could not
+                    // flush them on our behalf).
+                    match client.flush(None) {
+                        Ok(Response::Flushed { .. }) => {}
+                        other => {
+                            eprintln!("session flush failed: {other:?}");
+                            hard_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     recorder
                 })
             })
@@ -301,14 +366,23 @@ fn main() {
     });
     let ingest_wall = ingest_wall.elapsed();
 
-    // Make everything queryable before the analyst phase.
+    // Everything is queryable: each ingest session flushed itself above,
+    // and any remainder published when its connection tore down. Verify
+    // quiescence rather than flushing globally.
     {
-        let mut client = Client::connect(opts.addr.as_str()).expect("connect for flush");
-        match client.flush(None) {
-            Ok(Response::Flushed { .. }) => {}
-            other => {
-                eprintln!("flush failed: {other:?}");
-                hard_errors.fetch_add(1, Ordering::Relaxed);
+        let mut client = connect(opts.addr.as_str(), opts.protocol).expect("connect for health");
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match client.health() {
+                Ok(Response::Health(h)) if h.open_devices == 0 => break,
+                Ok(Response::Health(_)) if Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                other => {
+                    eprintln!("ingest did not quiesce: {other:?}");
+                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
             }
         }
     }
@@ -326,9 +400,10 @@ fn main() {
                 let hard_errors = &hard_errors;
                 let addr = opts.addr.as_str();
                 let iters = opts.query_iters;
+                let protocol = opts.protocol;
                 s.spawn(move || {
                     let mut recorder = LatencyRecorder::new();
-                    let mut client = Client::connect(addr).expect("connect for queries");
+                    let mut client = connect(addr, protocol).expect("connect for queries");
                     for i in 0..iters {
                         let (selector, query) = query_mix(conn + i);
                         let t0 = Instant::now();
@@ -372,8 +447,9 @@ fn main() {
                 let (ok, shed, burst_hard) = (&ok, &shed, &burst_hard);
                 let addr = opts.addr.as_str();
                 let iters = opts.overload_iters;
+                let protocol = opts.protocol;
                 s.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect for burst");
+                    let mut client = connect(addr, protocol).expect("connect for burst");
                     for i in 0..iters {
                         let (selector, query) = query_mix(conn + i);
                         match client.query_parts(selector, query) {
@@ -408,9 +484,97 @@ fn main() {
         None
     };
 
+    // Phase 4 — connection scaling: hold N concurrent mostly-idle
+    // connections (the poll-loop's fd-per-connection model under test)
+    // and round-robin pings across them while sampling the server's own
+    // view of active connections and memory.
+    let scale = if opts.scale_conns > 0 {
+        eprintln!(
+            "server_load: holding {} concurrent connections ({} ping rounds)...",
+            opts.scale_conns, opts.scale_rounds
+        );
+        let threads = opts.scale_conns.min(16);
+        let connected = std::sync::Barrier::new(threads + 1);
+        let sampled = std::sync::Barrier::new(threads + 1);
+        let mut ping_lat = LatencyRecorder::new();
+        let mut observed = (0usize, None::<u64>);
+        let hold_wall = Instant::now();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let (connected, sampled, hard_errors) = (&connected, &sampled, &hard_errors);
+                    let addr = opts.addr.as_str();
+                    let (protocol, rounds) = (opts.protocol, opts.scale_rounds);
+                    // Thread t holds connections t, t+threads, t+2*threads, …
+                    let held = (t..opts.scale_conns).step_by(threads).count();
+                    s.spawn(move || {
+                        let mut clients = Vec::with_capacity(held);
+                        for _ in 0..held {
+                            match connect(addr, protocol) {
+                                Ok(c) => clients.push(c),
+                                Err(e) => {
+                                    eprintln!("scale connect failed: {e}");
+                                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        connected.wait(); // every connection is now held
+                        sampled.wait(); // main thread sampled the server
+                        let mut recorder = LatencyRecorder::new();
+                        for _ in 0..rounds {
+                            for client in &mut clients {
+                                let t0 = Instant::now();
+                                match client.ping() {
+                                    Ok(Response::Pong) => recorder.record(t0.elapsed()),
+                                    other => {
+                                        eprintln!("scale ping failed: {other:?}");
+                                        hard_errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                        recorder
+                    })
+                })
+                .collect();
+            connected.wait();
+            // Every connection is held: ask the server what it sees.
+            match connect(opts.addr.as_str(), opts.protocol)
+                .expect("connect for scale sample")
+                .metrics()
+            {
+                Ok(Response::Metrics(m)) => observed = (m.active_connections, m.rss_kb),
+                other => {
+                    eprintln!("scale metrics failed: {other:?}");
+                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            sampled.wait();
+            for h in handles {
+                ping_lat.merge(h.join().expect("scale thread"));
+            }
+        });
+        let (active, rss_kb_held) = observed;
+        if active < opts.scale_conns {
+            eprintln!(
+                "server_load: held {} connections but the server saw only {active} active",
+                opts.scale_conns
+            );
+            hard_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(ScaleReport {
+            connections: opts.scale_conns,
+            active_connections_observed: active,
+            rss_kb_held,
+            ping: phase_report(&ping_lat, hold_wall.elapsed()),
+        })
+    } else {
+        None
+    };
+
     // Server-side accounting: metrics prove the bounded-queue invariant
     // (and, with --expect-wal, the durability layer's health).
-    let mut admin = Client::connect(opts.addr.as_str()).expect("connect for metrics");
+    let mut admin = connect(opts.addr.as_str(), opts.protocol).expect("connect for metrics");
     if opts.expect_wal {
         // Exercise checkpoint+compact over the wire so the asserted
         // metrics reflect a server that has actually checkpointed.
@@ -466,6 +630,8 @@ fn main() {
                 bad_requests: m.bad_requests,
                 queue_capacity: m.queue_capacity,
                 peak_queue_depth: m.peak_queue_depth,
+                ingest_coalesced: m.ingest_coalesced,
+                rss_kb: m.rss_kb,
                 wal_segments: m.wal.as_ref().map(|w| w.segments),
                 wal_bytes: m.wal.as_ref().map(|w| w.bytes),
                 wal_records_since_checkpoint: m.wal.as_ref().map(|w| w.records_since_checkpoint),
@@ -481,6 +647,8 @@ fn main() {
                 bad_requests: 0,
                 queue_capacity: 0,
                 peak_queue_depth: 0,
+                ingest_coalesced: 0,
+                rss_kb: None,
                 wal_segments: None,
                 wal_bytes: None,
                 wal_records_since_checkpoint: None,
@@ -497,12 +665,14 @@ fn main() {
         bench: "server_load".to_string(),
         quick: opts.quick,
         addr: opts.addr.clone(),
+        protocol: opts.protocol,
         ingest_connections: traffic.len(),
         records,
         ingest: phase_report(&ingest_lat, ingest_wall),
         query_connections: opts.query_conns,
         query: phase_report(&query_lat, query_wall),
         overload,
+        scale,
         server: server_side,
         hard_errors: hard,
     };
@@ -530,6 +700,16 @@ fn main() {
         println!(
             "server_load: overload burst {} requests -> {} ok, {} shed, {} hard errors",
             o.requests, o.ok, o.shed, o.hard_errors
+        );
+    }
+    if let Some(sc) = &report.scale {
+        println!(
+            "server_load: held {} conns (server saw {}) -> ping p50 {:.0} us, p99 {:.0} us, rss {} KiB",
+            sc.connections,
+            sc.active_connections_observed,
+            sc.ping.p50_us,
+            sc.ping.p99_us,
+            sc.rss_kb_held.map_or("n/a".to_string(), |k| k.to_string()),
         );
     }
     println!("report written to {}", opts.out);

@@ -1,41 +1,97 @@
-//! A blocking NDJSON client for the serving protocol — used by the e2e
-//! tests, the `server_load` generator, and anything embedding a TRIPS
-//! server.
+//! A blocking client for the serving protocol — used by the e2e tests,
+//! the `server_load` generator, and anything embedding a TRIPS server.
 //!
-//! One request in flight at a time (write a line, read a line); the
-//! server guarantees per-connection response ordering, so correlation ids
-//! are checked but never reordered.
+//! Speaks either protocol version over the same connection type:
+//! NDJSON v1 ([`Client::connect`]) or the binary v2 framing
+//! ([`Client::connect_v2`], see [`crate::codec`]); switch per call with
+//! [`Client::set_protocol`]. The *read* path is self-describing
+//! regardless of the configured version — the first byte distinguishes a
+//! binary frame from a JSON line — so a v2 client still understands the
+//! v1 rejection line an overloaded server writes before a request is
+//! ever sent (`TooManyConnections`).
+//!
+//! One request in flight at a time (write a message, read a message);
+//! the server guarantees per-connection response ordering, so
+//! correlation ids are checked but never reordered.
+//!
+//! ## Timeouts poison the connection
 //!
 //! By default every call blocks until the server answers. A stalled or
 //! wedged server would therefore hang callers forever — bound that with
 //! [`Client::set_read_timeout`] (any call) or connect with
 //! [`Client::connect_with_timeout`], which bounds the TCP connect *and*
-//! installs a read timeout in one step. A timed-out call surfaces as an
-//! `Err` of kind `WouldBlock`/`TimedOut`; the connection should be
-//! considered dead afterwards (a late reply would desynchronize the
-//! request/response pairing).
+//! installs a read timeout in one step.
+//!
+//! After any transport error — a timeout included — the connection is
+//! **poisoned**: the reply to the timed-out request may still arrive
+//! later, and reading it as the answer to the *next* request would pair
+//! responses with the wrong calls. Every subsequent call fails fast with
+//! an `io::Error` of kind `BrokenPipe` whose source is
+//! [`ClientPoisoned`]; reconnect to continue.
 
+use crate::codec::{self, FRAME_MAGIC, HEADER_LEN};
 use crate::protocol::{
-    decode_response, encode_request, Request, RequestEnvelope, Response, ServerError,
+    decode_response, encode_request, Request, RequestEnvelope, Response, ServerError, PROTOCOL_V2,
+    PROTOCOL_VERSION,
 };
-use std::io::{self, BufRead, BufReader, Write};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use trips_data::RawRecord;
 use trips_store::{Query, QueryRequest, QueryResult, SemanticsSelector};
+
+/// The typed source of the `BrokenPipe` error every call on a poisoned
+/// [`Client`] returns. Downcast to distinguish "this connection died
+/// earlier" from a fresh transport failure:
+///
+/// ```ignore
+/// match client.ping() {
+///     Err(e) if e.get_ref().is_some_and(|s| s.is::<ClientPoisoned>()) => reconnect(),
+///     other => ...,
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientPoisoned {
+    /// What poisoned the connection (the original error, stringified).
+    pub reason: String,
+}
+
+impl fmt::Display for ClientPoisoned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "connection poisoned by an earlier transport error ({}); \
+             responses can no longer be paired with requests — reconnect",
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for ClientPoisoned {}
 
 /// A connected protocol client.
 pub struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
     next_id: u64,
+    protocol: u32,
+    poisoned: Option<String>,
 }
 
 impl Client {
     /// Connects to a server address (e.g. `handle.addr()` or
-    /// `"127.0.0.1:7878"`).
+    /// `"127.0.0.1:7878"`), speaking NDJSON v1.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects speaking the binary v2 framing. No handshake round-trip:
+    /// the server detects the version per message from the first byte.
+    pub fn connect_v2(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let mut client = Self::connect(addr)?;
+        client.set_protocol(PROTOCOL_V2)?;
+        Ok(client)
     }
 
     /// Connects with `timeout` bounding the TCP handshake, and installs
@@ -58,12 +114,44 @@ impl Client {
             stream,
             reader,
             next_id: 1,
+            protocol: PROTOCOL_VERSION,
+            poisoned: None,
         })
+    }
+
+    /// Selects the wire version for *subsequent* requests:
+    /// [`PROTOCOL_VERSION`] (NDJSON) or [`PROTOCOL_V2`] (binary frames).
+    /// Versions may be switched mid-connection; the server answers each
+    /// message in the framing it arrived in.
+    pub fn set_protocol(&mut self, version: u32) -> io::Result<()> {
+        match version {
+            PROTOCOL_VERSION | PROTOCOL_V2 => {
+                self.protocol = version;
+                Ok(())
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown protocol version {other} (supported: 1, 2)"),
+            )),
+        }
+    }
+
+    /// The wire version of subsequent requests.
+    pub fn protocol(&self) -> u32 {
+        self.protocol
+    }
+
+    /// Whether an earlier transport error poisoned this connection (every
+    /// further call fails fast; see [`ClientPoisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
     }
 
     /// Bounds how long [`Client::call`] blocks waiting for a response
     /// (`None` = wait forever, the default). A timeout surfaces as an
-    /// `Err` of kind `WouldBlock`/`TimedOut`.
+    /// `Err` of kind `WouldBlock`/`TimedOut` **and poisons the
+    /// connection** — the late reply would otherwise be read as the
+    /// answer to the next request.
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         self.reader.get_ref().set_read_timeout(timeout)
     }
@@ -72,24 +160,49 @@ impl Client {
     ///
     /// Protocol-level failures (including `Overloaded` shedding) come back
     /// as `Ok(Response::Error(_))` — only transport/framing problems are
-    /// `Err`. A connection-level rejection written before any request
-    /// (`TooManyConnections`) surfaces as the response to the first call.
+    /// `Err`, and any such `Err` poisons the connection (see
+    /// [`ClientPoisoned`]). A connection-level rejection written before
+    /// any request (`TooManyConnections`) surfaces as the response to the
+    /// first call.
     pub fn call(&mut self, req: Request) -> io::Result<Response> {
-        let id = self.next_id;
-        self.next_id += 1;
-        let mut line = encode_request(&RequestEnvelope::new(id, req));
-        line.push('\n');
-        self.stream.write_all(line.as_bytes())?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
+        if let Some(reason) = &self.poisoned {
             return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
+                io::ErrorKind::BrokenPipe,
+                ClientPoisoned {
+                    reason: reason.clone(),
+                },
             ));
         }
-        let env = decode_response(reply.trim())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.exchange(id, req) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible transport half of [`Client::call`] (any `Err` here
+    /// poisons the connection).
+    fn exchange(&mut self, id: u64, req: Request) -> io::Result<Response> {
+        match self.protocol {
+            PROTOCOL_V2 => {
+                let frame = codec::encode_request_frame(&RequestEnvelope {
+                    v: PROTOCOL_V2,
+                    id,
+                    req,
+                });
+                self.stream.write_all(&frame)?;
+            }
+            _ => {
+                let mut line = encode_request(&RequestEnvelope::new(id, req));
+                line.push('\n');
+                self.stream.write_all(line.as_bytes())?;
+            }
+        }
+        let env = self.read_response()?;
         // id 0 marks connection-level errors the server emits unprompted.
         if env.id != id && env.id != 0 {
             return Err(io::Error::new(
@@ -98,6 +211,45 @@ impl Client {
             ));
         }
         Ok(env.resp)
+    }
+
+    /// Reads one response in whichever framing the server used (detected
+    /// from the first byte, like the server's own read path).
+    fn read_response(&mut self) -> io::Result<crate::protocol::ResponseEnvelope> {
+        let first = {
+            let buf = self.reader.fill_buf()?;
+            if buf.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            buf[0]
+        };
+        if first == FRAME_MAGIC {
+            let mut header = [0u8; HEADER_LEN];
+            self.reader.read_exact(&mut header)?;
+            let (payload_len, crc) = match codec::parse_header(&header) {
+                Ok(Some(parsed)) => parsed,
+                Ok(None) => unreachable!("a full header always parses or errors"),
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            };
+            let mut payload = vec![0u8; payload_len];
+            self.reader.read_exact(&mut payload)?;
+            codec::check_crc(&payload, crc)
+                .and_then(|()| codec::decode_response_payload(&payload))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        } else {
+            let mut reply = String::new();
+            let n = self.reader.read_line(&mut reply)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            decode_response(reply.trim()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        }
     }
 
     /// Liveness round-trip.
@@ -110,7 +262,9 @@ impl Client {
         self.call(Request::Ingest { records })
     }
 
-    /// Flushes one device's stream buffer (or all with `None`).
+    /// Flushes one device's stream buffer — or, with `None`, every device
+    /// **this session** has ingested (a flush-all is scoped to the
+    /// requesting connection; other sessions' streams are untouched).
     pub fn flush(&mut self, device: Option<&str>) -> io::Result<Response> {
         self.call(Request::Flush {
             device: device.map(str::to_string),
@@ -148,8 +302,10 @@ impl Client {
         self.call(Request::Metrics)
     }
 
-    /// Flushes all buffers server-side and persists a snapshot to `path`
-    /// (a path on the **server's** filesystem).
+    /// Flushes all buffers server-side and persists a snapshot. On a
+    /// durable server `path` is ignored (the checkpoint lives in the WAL
+    /// directory); otherwise `path` must be relative and resolves inside
+    /// the server's configured snapshot root.
     pub fn snapshot(&mut self, path: &str) -> io::Result<Response> {
         self.call(Request::Snapshot {
             path: path.to_string(),
@@ -159,5 +315,65 @@ impl Client {
     /// Requests a graceful drain.
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.call(Request::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn timeout_poisons_the_connection() {
+        // A "server" that accepts and then never replies.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "first failure is the timeout itself: {err:?}"
+        );
+        assert!(client.is_poisoned());
+
+        // Every subsequent call fails fast with the typed poison error —
+        // even though the socket itself is still open.
+        let err = client.ping().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        let source = err.get_ref().expect("poison error carries a source");
+        assert!(
+            source.is::<ClientPoisoned>(),
+            "downcastable poison marker: {source:?}"
+        );
+
+        hold.join().unwrap();
+    }
+
+    #[test]
+    fn protocol_selection_is_validated() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept = std::thread::spawn(move || {
+            let _ = listener.accept();
+        });
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.protocol(), PROTOCOL_VERSION);
+        client.set_protocol(PROTOCOL_V2).unwrap();
+        assert_eq!(client.protocol(), PROTOCOL_V2);
+        assert!(client.set_protocol(7).is_err());
+        assert_eq!(client.protocol(), PROTOCOL_V2, "failed switch is a no-op");
+        accept.join().unwrap();
     }
 }

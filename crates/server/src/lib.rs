@@ -5,20 +5,33 @@
 //! queries come out. After the sharded store (`trips-store`) and the
 //! streaming translator (`trips-core`), this crate adds the missing
 //! serving boundary: a dependency-light TCP server on `std::net` speaking
-//! a versioned newline-delimited JSON protocol, absorbing the two-sided
-//! workload of large indoor-positioning deployments (many concurrent
-//! device streams + ad-hoc analyst queries).
+//! a versioned protocol — newline-delimited JSON (v1) and a
+//! length-prefixed, CRC-framed binary codec (v2) on the same port,
+//! detected per message — absorbing the two-sided workload of large
+//! indoor-positioning deployments (many concurrent device streams +
+//! ad-hoc analyst queries).
 //!
-//! * [`protocol`] — the wire format: versioned [`RequestEnvelope`] /
-//!   [`ResponseEnvelope`] lines, three endpoint families (**ingest**,
-//!   **query**, **admin**) and typed [`ServerError`]s;
-//! * [`server`] — [`TripsServer`]: scoped-thread accept loop,
-//!   per-connection sessions, a fixed worker pool behind a **bounded
-//!   admission queue** that sheds load ([`ServerError::Overloaded`])
-//!   instead of growing, connection limits, per-endpoint latency metrics,
-//!   snapshot save / snapshot boot, and graceful drain-and-shutdown;
-//! * [`client`] — a blocking [`Client`] for tests, tools and the
-//!   `server_load` generator;
+//! * [`protocol`] — the message model: versioned [`RequestEnvelope`] /
+//!   [`ResponseEnvelope`], three endpoint families (**ingest**,
+//!   **query**, **admin**), typed [`ServerError`]s, and the NDJSON v1
+//!   encoding;
+//! * [`codec`] — the binary v2 framing: `magic | version | payload_len |
+//!   crc32c` headers around a compact field-by-field payload encoding
+//!   (the WAL's codec idiom applied to the wire), with a typed
+//!   [`FrameError`] split into fatal (desynchronized — close) and
+//!   recoverable (bad body in a well-delimited frame — answer and
+//!   continue) cases;
+//! * [`event`] — `poll(2)` readiness multiplexing and the worker→event-loop
+//!   [`event::Waker`];
+//! * [`server`] — [`TripsServer`]: a poll-based event loop driving every
+//!   connection on one thread, per-connection sessions with per-device
+//!   refcounts, a fixed worker pool behind a **bounded admission queue**
+//!   that sheds load ([`ServerError::Overloaded`]) instead of growing,
+//!   adaptive ingest micro-batching, connection limits, per-endpoint
+//!   latency metrics, snapshot save / snapshot boot, and graceful
+//!   drain-and-shutdown;
+//! * [`client`] — a blocking [`Client`] speaking either protocol version,
+//!   for tests, tools and the `server_load` generator;
 //! * [`bootstrap`] — DSM + trained-editor assembly from a `trips-sim`
 //!   scenario (this repo's stand-in for a surveyed deployment).
 //!
@@ -28,21 +41,27 @@
 //! session, an overflowing buffer, an explicit `Flush`, or a client
 //! disconnect each publish into the live store without stopping the world.
 //!
-//! See the repository README ("Serving") for a wire transcript and the
-//! overload semantics.
+//! See the repository README ("Serving" and "Wire protocol") for a wire
+//! transcript, the framing layout, and the overload semantics.
 
 pub mod bootstrap;
 pub mod client;
+pub mod codec;
+pub mod event;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use bootstrap::{bootstrap_scenario, editor_from_truth, ServerBootstrap};
-pub use client::Client;
+pub use client::{Client, ClientPoisoned};
+pub use codec::{
+    decode_request_frame, decode_response_frame, encode_request_frame, encode_response_frame,
+    FrameError, FRAME_MAGIC, MAX_FRAME_PAYLOAD,
+};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, EndpointMetrics,
     HealthReport, MetricsReport, Request, RequestEnvelope, Response, ResponseEnvelope, ServerError,
-    PROTOCOL_VERSION,
+    PROTOCOL_V2, PROTOCOL_VERSION,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{ServerConfig, ServerHandle, ServerReport, TripsServer};

@@ -34,9 +34,16 @@ use std::fmt;
 use trips_data::RawRecord;
 use trips_store::{QueryRequest, QueryResult, StoreHealth, WalStats};
 
-/// The protocol version this build speaks. Envelopes with any other `v`
-/// are rejected with [`ServerError::UnsupportedVersion`].
+/// The NDJSON protocol version. An NDJSON envelope with any other `v` is
+/// rejected with [`ServerError::UnsupportedVersion`] — including `v: 2`:
+/// protocol v2 *is* the binary framing (see [`crate::codec`]), so a v2
+/// version number arriving as JSON is a framing mismatch, not a request.
 pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The binary protocol version (see [`crate::codec`]). Messages of either
+/// version may be interleaved on one connection; the server always answers
+/// in the framing the request arrived in.
+pub const PROTOCOL_V2: u32 = 2;
 
 /// One client request (the `req` field of a [`RequestEnvelope`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -209,6 +216,14 @@ pub struct MetricsReport {
     /// High-water mark of the admission queue (never exceeds
     /// `queue_capacity` — the bounded-memory invariant).
     pub peak_queue_depth: usize,
+    /// Queued `Ingest` jobs a worker executed piggybacked under another
+    /// job's translator-lock acquisition (adaptive micro-batching; see
+    /// the server docs). 0 means the queue never had adjacent ingests.
+    pub ingest_coalesced: u64,
+    /// Resident set size of the serving process in KiB (Linux
+    /// `/proc/self/statm`; `None` where that is unavailable). The
+    /// connection-scaling gate watches this for flat memory.
+    pub rss_kb: Option<u64>,
     pub endpoints: Vec<EndpointMetrics>,
     /// WAL occupancy; `None` without a durability layer. Tracks the
     /// durability overhead the perf trajectory must watch: segment
@@ -393,6 +408,8 @@ mod tests {
                 bad_requests: 2,
                 queue_capacity: 64,
                 peak_queue_depth: 9,
+                ingest_coalesced: 5,
+                rss_kb: Some(10_240),
                 endpoints: vec![EndpointMetrics {
                     endpoint: "query".into(),
                     count: 80,

@@ -89,6 +89,15 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Non-blocking pop: returns an item if one is queued right now,
+    /// `None` otherwise (empty **or** closed — callers that need to
+    /// distinguish should use [`BoundedQueue::pop`]). Used by workers to
+    /// opportunistically coalesce adjacent ingest jobs under one
+    /// translator lock acquisition without ever waiting for more work.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().expect("queue lock").items.pop_front()
+    }
+
     /// Closes the queue: future pushes fail with [`PushError::Closed`],
     /// consumers drain the remaining items then receive `None`.
     pub fn close(&self) {
@@ -209,6 +218,16 @@ mod tests {
             "every admitted item is delivered exactly once"
         );
         assert!(consumed.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_pop(), None, "empty queue -> None immediately");
+        q.try_push(7).unwrap();
+        assert_eq!(q.try_pop(), Some(7));
+        q.close();
+        assert_eq!(q.try_pop(), None, "closed + drained -> None");
     }
 
     #[test]

@@ -1,21 +1,33 @@
-//! The serving loop: accept → per-connection sessions → bounded admission
-//! queue → fixed worker pool → semantics store.
+//! The serving loop: poll-based event loop → bounded admission queue →
+//! fixed worker pool → semantics store.
 //!
 //! ## Threading model
 //!
 //! Everything runs under one `std::thread::scope` (the same scoped-thread
-//! idiom as `trips-engine`'s executor), so workers and sessions borrow the
-//! server's state directly — no leaked `'static` state, and `serve`
-//! returns only after every thread has exited:
+//! idiom as `trips-engine`'s executor), so workers borrow the server's
+//! state directly — no leaked `'static` state, and `serve` returns only
+//! after every thread has exited:
 //!
-//! * the **accept loop** (the calling thread) polls a non-blocking
-//!   listener, enforcing the connection cap;
-//! * one **session thread per connection** parses NDJSON lines, answers
+//! * the **event loop** (the calling thread) multiplexes the listener and
+//!   every connection over `poll(2)` ([`crate::event`]). Connections are
+//!   nonblocking sockets with per-connection read/write buffers — ten
+//!   thousand idle device streams cost fds and buffers, not parked
+//!   threads. The loop parses complete messages (NDJSON v1 lines or
+//!   binary v2 frames, detected per message by the first byte), answers
 //!   cheap admin requests inline (`Ping`/`Health`/`Metrics` stay
 //!   observable under overload), and submits real work to the queue —
 //!   one request in flight per connection, so responses stay ordered;
-//! * a **fixed worker pool** pops jobs and executes them against the
-//!   shared `StreamingTranslator` + `SemanticsStore`.
+//! * a **fixed worker pool** pops jobs, executes them against the shared
+//!   `StreamingTranslator` + `SemanticsStore`, *encodes the response
+//!   bytes* (the serialization cost parallelizes), and hands the bytes
+//!   back to the event loop through a completion list + wake-up channel.
+//!
+//! Adjacent queued `Ingest` jobs are **coalesced**: a worker that pops an
+//! ingest drains up to [`INGEST_COALESCE_MAX`] more ingests from the
+//! queue and runs them under a single translator-lock acquisition
+//! (`server_load` shows ingest p99 dominated by lock-per-micro-batch).
+//! Each job still gets its own response and latency sample; the
+//! `ingest_coalesced` metric counts the piggybacked jobs.
 //!
 //! ## Overload behavior
 //!
@@ -27,16 +39,30 @@
 //!
 //! ## Sessions
 //!
-//! Each connection is a session: when it closes, the devices it ingested
-//! are flushed (their buffered records translate and become queryable)
-//! and marked with a store session boundary, so flows never join records
-//! from independent client sessions.
+//! Each connection is a session. `Shared.sessions` refcounts, per device,
+//! how many live connections have ingested that device; teardown flushes
+//! and `end_session`s only the devices whose count drops to zero, so a
+//! disconnecting client never splits a flow another connection is still
+//! streaming. For the same reason a wire-level `Flush { device: None }`
+//! is scoped to the *requesting* session's devices, not the whole
+//! translator.
 //!
 //! ## Drain
 //!
 //! `Shutdown` acknowledges, then: stop accepting, refuse new work, finish
-//! every admitted request, flush all stream buffers into the store (and
-//! the WAL, on a durable server), and return a [`ServerReport`].
+//! every admitted request, flush pending response bytes, flush all stream
+//! buffers into the store (and the WAL, on a durable server), and return
+//! a [`ServerReport`]. Connections that cannot drain within
+//! [`DRAIN_GRACE`] are dropped.
+//!
+//! ## Snapshots
+//!
+//! On a non-durable server, `Snapshot { path }` is resolved against
+//! [`ServerConfig::snapshot_root`]: relative, non-escaping paths only.
+//! Absolute paths, `..` components, or a server with no root configured
+//! are rejected with `BadRequest` — the wire must not name arbitrary
+//! server filesystem locations. Durable servers checkpoint into their
+//! WAL directory and ignore `path` entirely.
 //!
 //! ## Durability
 //!
@@ -49,20 +75,21 @@
 //! durable — they become so the moment they publish (gap close, buffer
 //! overflow, `Flush`, disconnect, drain), which is also the moment they
 //! become queryable; recovery therefore always reproduces exactly the
-//! queryable state. Boot is `checkpoint snapshot → replay newer WAL
-//! segments`; `Snapshot` requests checkpoint + compact; `Health` and
-//! `Metrics` expose segment count, WAL bytes, replay debt, and
-//! checkpoint age.
+//! queryable state.
 
+use crate::codec::{self, FrameError, FRAME_MAGIC, HEADER_LEN, MAX_FRAME_PAYLOAD};
+use crate::event::{fd_of, poll_fds, PollFd, Waker, POLLIN, POLLOUT};
 use crate::protocol::{
-    EndpointMetrics, HealthReport, MetricsReport, Request, Response, ResponseEnvelope, ServerError,
+    EndpointMetrics, HealthReport, MetricsReport, Request, RequestEnvelope, Response,
+    ResponseEnvelope, ServerError,
 };
 use crate::queue::{BoundedQueue, PushError};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use trips_annotate::EventEditor;
 use trips_core::stream::{StreamConfig, StreamingTranslator};
@@ -71,9 +98,27 @@ use trips_dsm::DigitalSpaceModel;
 use trips_engine::LatencyRecorder;
 use trips_store::{boot_store, DurabilityConfig, QueryService, RecoveryReport, SemanticsStore};
 
-/// Longest accepted request line; a connection exceeding it without a
-/// newline is answered with `BadRequest` and closed (memory bound).
+/// Longest accepted NDJSON request line; a connection exceeding it without
+/// a newline is answered with `BadRequest` and closed (memory bound).
 const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Per-connection read-buffer cap: one maximal v2 frame. Reads pause
+/// (the fd leaves the poll set's `POLLIN`) until the buffer drains below
+/// this, so a pipelining client cannot balloon server memory.
+const MAX_READ_BUF: usize = MAX_FRAME_PAYLOAD + HEADER_LEN;
+
+/// Bytes read per readiness event before yielding back to the poll loop,
+/// so one firehose connection cannot starve the rest.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Most `Ingest` jobs one worker executes under a single translator-lock
+/// acquisition (adaptive micro-batching; purely opportunistic — workers
+/// never wait for more work).
+const INGEST_COALESCE_MAX: usize = 16;
+
+/// How long a drain waits for connections to finish in-flight work and
+/// flush response bytes before dropping them.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -95,12 +140,19 @@ pub struct ServerConfig {
     /// One-shot and **non-durable**: mutations after boot are not
     /// journaled. Mutually exclusive with `durability`.
     pub snapshot: Option<std::path::PathBuf>,
+    /// Directory wire-level `Snapshot { path }` requests resolve against
+    /// on a non-durable server. `None` (the default) rejects every such
+    /// request with `BadRequest` — clients must not write arbitrary
+    /// server paths. Ignored on a durable server (checkpoints go to the
+    /// durability directory).
+    pub snapshot_root: Option<std::path::PathBuf>,
     /// Run the store durably: boot by recovery (checkpoint snapshot +
     /// WAL replay) from this directory and journal every effective store
     /// mutation before acking. `Snapshot` requests become
     /// checkpoint+compact. Mutually exclusive with `snapshot`.
     pub durability: Option<DurabilityConfig>,
-    /// Accept/read poll interval — the latency of noticing a drain.
+    /// Event-loop poll timeout — the latency of noticing a drain when no
+    /// fd is active (completions interrupt the poll via a waker).
     pub poll_interval: Duration,
 }
 
@@ -109,10 +161,13 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             queue_capacity: 128,
-            max_connections: 64,
+            // The event loop costs ~one fd + two buffers per connection,
+            // so the default cap is deployment-sized, not thread-sized.
+            max_connections: 1024,
             shards: 0,
             stream: StreamConfig::default(),
             snapshot: None,
+            snapshot_root: None,
             durability: None,
             poll_interval: Duration::from_millis(10),
         }
@@ -135,11 +190,47 @@ pub struct ServerReport {
     pub semantics: usize,
 }
 
-/// One queued unit of work: a parsed request plus the channel its session
-/// thread is blocked on.
-struct Job {
+/// Which framing a message arrived in — responses go back the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wire {
+    V1,
+    V2,
+}
+
+fn encode_wire(wire: Wire, env: &ResponseEnvelope) -> Vec<u8> {
+    match wire {
+        Wire::V1 => {
+            let mut line = crate::protocol::encode_response(env).into_bytes();
+            line.push(b'\n');
+            line
+        }
+        Wire::V2 => codec::encode_response_frame(env),
+    }
+}
+
+/// One queued unit of work, tagged with the connection it came from.
+struct WorkJob {
+    /// Connection token (the completion is dropped if the connection is
+    /// gone by then).
+    token: u64,
+    id: u64,
+    wire: Wire,
     req: Request,
-    reply: mpsc::SyncSender<Response>,
+    /// Well-formed devices of an `Ingest` batch — attributed to the
+    /// session only if the ingest executes.
+    batch_devices: Vec<DeviceId>,
+    /// Snapshot of the session's devices at submit time, the scope of a
+    /// `Flush { device: None }`.
+    session_devices: Vec<DeviceId>,
+}
+
+/// A finished job: pre-encoded response bytes headed for one connection.
+struct Done {
+    token: u64,
+    bytes: Vec<u8>,
+    /// Devices this job's executed ingest made the session responsible
+    /// for (empty for everything else).
+    ingested: Vec<DeviceId>,
 }
 
 /// Reservoir size per endpoint family — bounds metrics memory for a
@@ -154,6 +245,7 @@ const LATENCY_RESERVOIR: usize = 16 * 1024;
 /// server has served.
 #[derive(Clone)]
 struct EndpointRecorder {
+    capacity: usize,
     total: u64,
     sum_ns: u128,
     max_ns: u64,
@@ -161,9 +253,22 @@ struct EndpointRecorder {
     lcg: u64,
 }
 
+/// Maps a 53-bit uniform value onto `[0, total)` without modulo bias
+/// (multiply-shift; the remainder trick over-weights small slots whenever
+/// `total` does not divide 2^53).
+fn uniform_slot(r53: u64, total: u64) -> u64 {
+    debug_assert!(r53 < (1 << 53));
+    ((u128::from(r53) * u128::from(total)) >> 53) as u64
+}
+
 impl EndpointRecorder {
     fn new() -> Self {
+        Self::with_capacity(LATENCY_RESERVOIR)
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
         EndpointRecorder {
+            capacity,
             total: 0,
             sum_ns: 0,
             max_ns: 0,
@@ -177,16 +282,17 @@ impl EndpointRecorder {
         self.total += 1;
         self.sum_ns += u128::from(ns);
         self.max_ns = self.max_ns.max(ns);
-        if self.reservoir.len() < LATENCY_RESERVOIR {
+        if self.reservoir.len() < self.capacity {
             self.reservoir.push(ns);
         } else {
-            // Algorithm R: keep each sample with probability k/total.
+            // Algorithm R: replace a uniformly-chosen slot of [0, total)
+            // — sample survives with probability k/total.
             self.lcg = self
                 .lcg
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            let slot = ((self.lcg >> 11) % self.total) as usize;
-            if slot < LATENCY_RESERVOIR {
+            let slot = uniform_slot(self.lcg >> 11, self.total) as usize;
+            if slot < self.capacity {
                 self.reservoir[slot] = ns;
             }
         }
@@ -218,12 +324,29 @@ impl EndpointRecorder {
     }
 }
 
-/// State shared by the accept loop, sessions, and workers for one `serve`
-/// run (lives on `serve`'s stack; scoped threads borrow it).
+/// Resident set size in KiB from `/proc/self/statm` (Linux); `None`
+/// elsewhere. Good enough for the connection-scaling gate's flat-memory
+/// check; assumes 4 KiB pages like every tier-1 target.
+fn read_rss_kb() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let rss_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(rss_pages * 4)
+}
+
+/// State shared by the event loop and workers for one `serve` run (lives
+/// on `serve`'s stack; scoped threads borrow it).
 struct Shared<'env> {
     translator: parking_lot::Mutex<StreamingTranslator<'env>>,
     store: Arc<SemanticsStore>,
-    queue: BoundedQueue<Job>,
+    queue: BoundedQueue<WorkJob>,
+    /// Finished jobs waiting for the event loop (paired with `waker`).
+    completions: parking_lot::Mutex<Vec<Done>>,
+    waker: Waker,
+    /// Per-device count of live connections that ingested the device.
+    /// Teardown flushes + `end_session`s only devices dropping to zero.
+    /// Touched by the event loop only — workers never lock this.
+    sessions: parking_lot::Mutex<BTreeMap<DeviceId, usize>>,
+    snapshot_root: Option<PathBuf>,
     shutdown: AtomicBool,
     active: AtomicUsize,
     started: Instant,
@@ -234,8 +357,38 @@ struct Shared<'env> {
     requests: AtomicU64,
     shed: AtomicU64,
     bad_requests: AtomicU64,
+    ingest_coalesced: AtomicU64,
     conns_accepted: AtomicU64,
     conns_rejected: AtomicU64,
+}
+
+/// Validates a wire-supplied snapshot path against the configured root:
+/// relative, strictly descending paths only.
+fn resolve_snapshot_path(root: Option<&Path>, path: &str) -> Result<PathBuf, ServerError> {
+    let Some(root) = root else {
+        return Err(ServerError::BadRequest {
+            message: "snapshot rejected: no snapshot root configured on this server".to_string(),
+        });
+    };
+    let rel = Path::new(path);
+    if rel.as_os_str().is_empty() {
+        return Err(ServerError::BadRequest {
+            message: "snapshot rejected: empty path".to_string(),
+        });
+    }
+    if rel.is_absolute() {
+        return Err(ServerError::BadRequest {
+            message: format!(
+                "snapshot rejected: absolute path {path:?} (must be relative to the snapshot root)"
+            ),
+        });
+    }
+    if !rel.components().all(|c| matches!(c, Component::Normal(_))) {
+        return Err(ServerError::BadRequest {
+            message: format!("snapshot rejected: path {path:?} escapes the snapshot root"),
+        });
+    }
+    Ok(root.join(rel))
 }
 
 impl<'env> Shared<'env> {
@@ -252,27 +405,37 @@ impl<'env> Shared<'env> {
         recorder.lock().record(latency);
     }
 
+    /// Executes one `Ingest` with the translator lock already held (the
+    /// coalescing path amortizes one lock over many batches).
+    fn ingest_locked(
+        translator: &mut StreamingTranslator<'env>,
+        records: Vec<trips_data::RawRecord>,
+    ) -> Response {
+        let mut accepted = 0;
+        let mut rejected = 0;
+        let mut emitted = 0;
+        for record in records {
+            if !record.is_well_formed() {
+                rejected += 1;
+                continue;
+            }
+            emitted += translator.push(record).len();
+            accepted += 1;
+        }
+        Response::Ingested {
+            accepted,
+            rejected,
+            emitted,
+        }
+    }
+
     /// Executes one unit of admitted work (runs on a worker thread).
-    fn execute(&self, req: Request) -> Response {
+    /// `session_devices` scopes a flush-all to the requesting session.
+    fn execute(&self, req: Request, session_devices: &[DeviceId]) -> Response {
         match req {
             Request::Ingest { records } => {
-                let mut accepted = 0;
-                let mut rejected = 0;
-                let mut emitted = 0;
                 let mut translator = self.translator.lock();
-                for record in records {
-                    if !record.is_well_formed() {
-                        rejected += 1;
-                        continue;
-                    }
-                    emitted += translator.push(record).len();
-                    accepted += 1;
-                }
-                Response::Ingested {
-                    accepted,
-                    rejected,
-                    emitted,
-                }
+                Self::ingest_locked(&mut translator, records)
             }
             Request::Flush { device } => {
                 let mut translator = self.translator.lock();
@@ -286,11 +449,18 @@ impl<'env> Shared<'env> {
                             emitted,
                         }
                     }
+                    // Flush-all is scoped to the devices *this* session
+                    // ingested — flushing the whole translator would split
+                    // other connections' in-flight flows mid-stream.
                     None => {
-                        let flushed = translator.finish();
+                        let before = translator.open_devices();
+                        let mut emitted = 0;
+                        for device in session_devices {
+                            emitted += translator.flush_device(device).len();
+                        }
                         Response::Flushed {
-                            devices: flushed.len(),
-                            emitted: flushed.values().map(Vec::len).sum(),
+                            devices: before - translator.open_devices(),
+                            emitted,
                         }
                     }
                 }
@@ -299,14 +469,16 @@ impl<'env> Shared<'env> {
                 result: self.store.query(&request),
             },
             Request::Snapshot { path } => {
-                // Buffered records must be part of the snapshot, or a
-                // restart would silently lose in-flight sessions. (On a
-                // durable store the flush also journals the published
-                // semantics before the WAL rotates.)
-                let mut translator = self.translator.lock();
-                let _ = translator.finish();
-                drop(translator);
                 if self.store.is_durable() {
+                    // Buffered records must be part of the checkpoint, or
+                    // a restart would silently lose in-flight sessions —
+                    // a snapshot is a whole-server operation, so this
+                    // intentionally flushes *every* session's buffers
+                    // (journaling the published semantics before the WAL
+                    // rotates).
+                    let mut translator = self.translator.lock();
+                    let _ = translator.finish();
+                    drop(translator);
                     // Checkpoint + compact: rotate the WAL, publish the
                     // checkpoint snapshot atomically, retire older
                     // segments. The request's `path` does not apply — the
@@ -322,9 +494,26 @@ impl<'env> Shared<'env> {
                         }),
                     }
                 } else {
-                    match self.store.persist(&path) {
+                    // The wire must not name arbitrary server paths:
+                    // resolve against the configured root *before*
+                    // touching anything.
+                    let full = match resolve_snapshot_path(self.snapshot_root.as_deref(), &path) {
+                        Ok(full) => full,
+                        Err(err) => return Response::Error(err),
+                    };
+                    let mut translator = self.translator.lock();
+                    let _ = translator.finish();
+                    drop(translator);
+                    if let Some(parent) = full.parent() {
+                        if let Err(e) = std::fs::create_dir_all(parent) {
+                            return Response::Error(ServerError::Internal {
+                                message: e.to_string(),
+                            });
+                        }
+                    }
+                    match self.store.persist(&full) {
                         Ok(()) => Response::SnapshotSaved {
-                            path,
+                            path: full.display().to_string(),
                             devices: self.store.device_count(),
                             semantics: self.store.semantics_count(),
                         },
@@ -334,7 +523,7 @@ impl<'env> Shared<'env> {
                     }
                 }
             }
-            // Sessions answer these inline; keep the mapping total anyway.
+            // The event loop answers these inline; keep the mapping total.
             Request::Ping => Response::Pong,
             Request::Health => self.health(),
             Request::Metrics => self.metrics_report(),
@@ -368,7 +557,7 @@ impl<'env> Shared<'env> {
         .into_iter()
         .map(|(name, recorder)| {
             // Clone the bounded state out, summarize outside the lock so
-            // recording sessions never stall behind the reservoir sort.
+            // recording threads never stall behind the reservoir sort.
             let snapshot = recorder.lock().clone();
             snapshot.metrics(name, uptime)
         })
@@ -383,171 +572,565 @@ impl<'env> Shared<'env> {
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
             queue_capacity: self.queue.capacity(),
             peak_queue_depth: self.queue.peak_depth(),
+            ingest_coalesced: self.ingest_coalesced.load(Ordering::Relaxed),
+            rss_kb: read_rss_kb(),
             endpoints,
             wal: self.store.wal_stats(),
         })
     }
+
+    /// Worker thread body: pop → (coalesce ingests) → execute → encode →
+    /// complete.
+    fn run_worker(&self) {
+        // A non-ingest job drained while probing for coalescable ingests;
+        // executed before the next queue pop so FIFO order is preserved.
+        let mut carried: Option<WorkJob> = None;
+        loop {
+            let job = match carried.take() {
+                Some(job) => job,
+                None => match self.queue.pop() {
+                    Some(job) => job,
+                    None => break,
+                },
+            };
+            if matches!(job.req, Request::Ingest { .. }) {
+                let mut batch = vec![job];
+                while batch.len() < INGEST_COALESCE_MAX {
+                    match self.queue.try_pop() {
+                        Some(next) if matches!(next.req, Request::Ingest { .. }) => {
+                            batch.push(next)
+                        }
+                        Some(other) => {
+                            carried = Some(other);
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+                if batch.len() > 1 {
+                    self.ingest_coalesced
+                        .fetch_add((batch.len() - 1) as u64, Ordering::Relaxed);
+                }
+                let mut dones = Vec::with_capacity(batch.len());
+                {
+                    let mut translator = self.translator.lock();
+                    for job in batch {
+                        let WorkJob {
+                            token,
+                            id,
+                            wire,
+                            req,
+                            batch_devices,
+                            ..
+                        } = job;
+                        let Request::Ingest { records } = req else {
+                            unreachable!("batch contains only ingests");
+                        };
+                        let t0 = Instant::now();
+                        let resp = Self::ingest_locked(&mut translator, records);
+                        self.record("ingest", t0.elapsed());
+                        dones.push(self.finish(token, id, wire, resp, batch_devices));
+                    }
+                }
+                self.completions.lock().extend(dones);
+                self.waker.wake();
+            } else {
+                let t0 = Instant::now();
+                let endpoint = job.req.endpoint();
+                let WorkJob {
+                    token,
+                    id,
+                    wire,
+                    req,
+                    session_devices,
+                    ..
+                } = job;
+                let resp = self.execute(req, &session_devices);
+                self.record(endpoint, t0.elapsed());
+                let done = self.finish(token, id, wire, resp, Vec::new());
+                self.completions.lock().push(done);
+                self.waker.wake();
+            }
+        }
+    }
+
+    /// Encodes a finished job's response (on the worker, parallelizing
+    /// serialization) into a completion for the event loop.
+    fn finish(
+        &self,
+        token: u64,
+        id: u64,
+        wire: Wire,
+        resp: Response,
+        batch_devices: Vec<DeviceId>,
+    ) -> Done {
+        // Only an *executed* ingest makes the session responsible for its
+        // devices at teardown — a shed or refused batch buffered nothing.
+        let ingested = if matches!(resp, Response::Ingested { .. }) {
+            batch_devices
+        } else {
+            Vec::new()
+        };
+        let env = ResponseEnvelope {
+            v: match wire {
+                Wire::V1 => crate::protocol::PROTOCOL_VERSION,
+                Wire::V2 => crate::protocol::PROTOCOL_V2,
+            },
+            id,
+            resp,
+        };
+        Done {
+            token,
+            bytes: encode_wire(wire, &env),
+            ingested,
+        }
+    }
 }
 
-fn write_line(stream: &mut TcpStream, env: &ResponseEnvelope) -> io::Result<()> {
-    let mut line = crate::protocol::encode_response(env);
-    line.push('\n');
-    stream.write_all(line.as_bytes())
+/// One registered connection's event-loop state.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// A queued work request is awaiting its completion; no further
+    /// message is parsed until it lands (per-connection FIFO + natural
+    /// backpressure).
+    inflight: bool,
+    /// Devices this session ingested (refcounted in `Shared::sessions`).
+    devices: BTreeSet<DeviceId>,
+    /// Peer sent EOF; finish buffered work, then tear down.
+    read_closed: bool,
+    /// Tear down once in-flight work and pending writes finish (fatal
+    /// protocol error, shutdown, or drain).
+    closing: bool,
+    /// Tear down immediately (transport error); skip pending writes.
+    dead: bool,
 }
 
-/// Runs one connection to completion (a scoped session thread).
-fn session(shared: &Shared<'_>, mut stream: TcpStream, poll: Duration) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(poll));
-    // Devices this session ingested — flushed + session-ended at teardown.
-    let mut devices: BTreeSet<DeviceId> = BTreeSet::new();
-    let mut acc: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 8192];
-    'conn: loop {
-        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
-            let line_bytes: Vec<u8> = acc.drain(..=pos).collect();
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            inflight: false,
+            devices: BTreeSet::new(),
+            read_closed: false,
+            closing: false,
+            dead: false,
+        }
+    }
+
+    /// Whether the connection has nothing left to do and can be removed.
+    fn finished(&self) -> bool {
+        if self.dead {
+            return true;
+        }
+        if self.inflight || !self.write_buf.is_empty() {
+            return false;
+        }
+        // `pump` ran to exhaustion before this check, so a non-empty
+        // read_buf here is an incomplete fragment — only EOF or an
+        // explicit close makes it garbage.
+        self.closing || self.read_closed
+    }
+
+    fn queue_response(&mut self, wire: Wire, env: &ResponseEnvelope) {
+        self.write_buf.extend_from_slice(&encode_wire(wire, env));
+    }
+
+    /// Writes as much buffered output as the socket accepts right now.
+    fn flush_write(&mut self) {
+        while !self.write_buf.is_empty() {
+            match self.stream.write(&self.write_buf) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.write_buf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Reads up to [`READ_BUDGET`] bytes into the read buffer.
+    fn fill_read(&mut self) {
+        let mut budget = READ_BUDGET;
+        let mut chunk = [0u8; 16 * 1024];
+        while budget > 0 && self.read_buf.len() < MAX_READ_BUF {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    budget = budget.saturating_sub(n);
+                    if n < chunk.len() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One parse step over a connection's read buffer.
+enum Parsed {
+    /// A complete message, ready to dispatch.
+    Msg(Wire, RequestEnvelope),
+    /// An error was answered in-line (bad frame body / bad JSON); parsing
+    /// may continue.
+    Handled,
+    /// Incomplete — wait for more bytes.
+    NeedMore,
+}
+
+/// The event loop half of the server: owns the connection table and all
+/// socket I/O; everything here runs on the `serve` thread.
+struct EventLoop<'shared, 'env> {
+    shared: &'shared Shared<'env>,
+    conns: BTreeMap<u64, Conn>,
+    next_token: u64,
+    max_connections: usize,
+}
+
+impl<'shared, 'env> EventLoop<'shared, 'env> {
+    /// Extracts the next complete message from the front of `conn.read_buf`.
+    fn parse_next(shared: &Shared<'_>, conn: &mut Conn) -> Parsed {
+        // Skip inter-message whitespace (v1 blank lines / trailing \r\n).
+        let skip = conn
+            .read_buf
+            .iter()
+            .take_while(|&&b| b == b'\n' || b == b'\r' || b == b' ' || b == b'\t')
+            .count();
+        if skip > 0 {
+            conn.read_buf.drain(..skip);
+        }
+        let Some(&first) = conn.read_buf.first() else {
+            return Parsed::NeedMore;
+        };
+        if first == FRAME_MAGIC {
+            match codec::decode_request_frame(&conn.read_buf) {
+                Ok(Some((env, consumed))) => {
+                    conn.read_buf.drain(..consumed);
+                    Parsed::Msg(Wire::V2, env)
+                }
+                Ok(None) => Parsed::NeedMore,
+                Err(FrameError::Malformed {
+                    id,
+                    consumed,
+                    message,
+                }) => {
+                    // Well-delimited frame, bad body: consume it, answer
+                    // BadRequest, keep the connection.
+                    shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    conn.read_buf.drain(..consumed);
+                    conn.queue_response(
+                        Wire::V2,
+                        &ResponseEnvelope {
+                            v: crate::protocol::PROTOCOL_V2,
+                            id,
+                            resp: Response::Error(ServerError::BadRequest { message }),
+                        },
+                    );
+                    Parsed::Handled
+                }
+                Err(fatal) => {
+                    // Framing is lost (bad CRC / oversized / unknown
+                    // version): answer once, then close.
+                    shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    conn.queue_response(
+                        Wire::V2,
+                        &ResponseEnvelope {
+                            v: crate::protocol::PROTOCOL_V2,
+                            id: 0,
+                            resp: Response::Error(ServerError::BadRequest {
+                                message: fatal.to_string(),
+                            }),
+                        },
+                    );
+                    conn.closing = true;
+                    Parsed::Handled
+                }
+            }
+        } else {
+            let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+                if conn.read_buf.len() > MAX_LINE_BYTES {
+                    shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    conn.queue_response(
+                        Wire::V1,
+                        &ResponseEnvelope::new(
+                            0,
+                            Response::Error(ServerError::BadRequest {
+                                message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                            }),
+                        ),
+                    );
+                    conn.closing = true;
+                    return Parsed::Handled;
+                }
+                return Parsed::NeedMore;
+            };
+            let line_bytes: Vec<u8> = conn.read_buf.drain(..=pos).collect();
             let line = String::from_utf8_lossy(&line_bytes);
             let line = line.trim();
             if line.is_empty() {
-                continue;
+                return Parsed::Handled;
             }
-            if !handle_line(shared, &mut stream, line, &mut devices) {
-                break 'conn;
-            }
-        }
-        if acc.len() > MAX_LINE_BYTES {
-            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
-            let _ = write_line(
-                &mut stream,
-                &ResponseEnvelope::new(
-                    0,
-                    Response::Error(ServerError::BadRequest {
-                        message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                    }),
-                ),
-            );
-            break;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => break, // client closed
-            Ok(n) => acc.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.draining() {
-                    break;
+            match crate::protocol::decode_request(line) {
+                Ok(env) => Parsed::Msg(Wire::V1, env),
+                Err(error_env) => {
+                    shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    conn.queue_response(Wire::V1, &error_env);
+                    Parsed::Handled
                 }
             }
-            Err(_) => break,
         }
     }
-    // Session teardown: the devices this connection fed are done — flush
-    // their buffers (semantics become queryable) and mark a session
-    // boundary so a later reconnect doesn't count a flow across sessions.
-    if !devices.is_empty() {
-        let mut translator = shared.translator.lock();
-        for device in &devices {
-            let _ = translator.flush_device(device);
-            shared.store.end_session(device);
-        }
-    }
-    shared.active.fetch_sub(1, Ordering::Relaxed);
-}
 
-/// Handles one request line; returns `false` when the connection must
-/// close (shutdown acknowledged).
-fn handle_line(
-    shared: &Shared<'_>,
-    stream: &mut TcpStream,
-    line: &str,
-    devices: &mut BTreeSet<DeviceId>,
-) -> bool {
-    let env = match crate::protocol::decode_request(line) {
-        Ok(env) => env,
-        Err(error_env) => {
-            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return write_line(stream, &error_env).is_ok();
-        }
-    };
-    shared.requests.fetch_add(1, Ordering::Relaxed);
-    let id = env.id;
-    match env.req {
-        // Admin fast path: answered inline so liveness/health/metrics stay
-        // observable even when the admission queue is saturated.
-        Request::Ping => {
-            let t0 = Instant::now();
-            let resp = Response::Pong;
-            shared.record("admin", t0.elapsed());
-            write_line(stream, &ResponseEnvelope::new(id, resp)).is_ok()
-        }
-        Request::Health => {
-            let t0 = Instant::now();
-            let resp = shared.health();
-            shared.record("admin", t0.elapsed());
-            write_line(stream, &ResponseEnvelope::new(id, resp)).is_ok()
-        }
-        Request::Metrics => {
-            let t0 = Instant::now();
-            let resp = shared.metrics_report();
-            shared.record("admin", t0.elapsed());
-            write_line(stream, &ResponseEnvelope::new(id, resp)).is_ok()
-        }
-        Request::Shutdown => {
-            // Acknowledge, then drain: stop accepting, refuse new work,
-            // let workers finish everything already admitted.
-            let _ = write_line(stream, &ResponseEnvelope::new(id, Response::ShuttingDown));
-            shared.shutdown.store(true, Ordering::Relaxed);
-            shared.queue.close();
-            false
-        }
-        req @ (Request::Ingest { .. }
-        | Request::Flush { .. }
-        | Request::Query { .. }
-        | Request::Snapshot { .. }) => {
-            if shared.draining() {
-                return write_line(
-                    stream,
-                    &ResponseEnvelope::new(id, Response::Error(ServerError::ShuttingDown)),
-                )
-                .is_ok();
-            }
-            let batch_devices: Vec<DeviceId> = if let Request::Ingest { records } = &req {
-                records
-                    .iter()
-                    .filter(|r| r.is_well_formed())
-                    .map(|r| r.device.clone())
-                    .collect()
-            } else {
-                Vec::new()
+    /// Parses and dispatches messages until the connection blocks (needs
+    /// more bytes, has a request in flight, or is going away).
+    fn pump(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
             };
-            let (tx, rx) = mpsc::sync_channel(1);
-            let resp = match shared.queue.try_push(Job { req, reply: tx }) {
-                Ok(()) => match rx.recv() {
-                    Ok(resp) => resp,
-                    Err(_) => Response::Error(ServerError::Internal {
-                        message: "worker dropped the request".to_string(),
-                    }),
+            if conn.dead || conn.closing || conn.inflight {
+                return;
+            }
+            match Self::parse_next(self.shared, conn) {
+                Parsed::NeedMore => return,
+                Parsed::Handled => continue,
+                Parsed::Msg(wire, env) => self.dispatch(token, wire, env),
+            }
+        }
+    }
+
+    fn dispatch(&mut self, token: u64, wire: Wire, env: RequestEnvelope) {
+        let shared = self.shared;
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let id = env.id;
+        let respond_v = match wire {
+            Wire::V1 => crate::protocol::PROTOCOL_VERSION,
+            Wire::V2 => crate::protocol::PROTOCOL_V2,
+        };
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let inline = |conn: &mut Conn, resp: Response| {
+            conn.queue_response(
+                wire,
+                &ResponseEnvelope {
+                    v: respond_v,
+                    id,
+                    resp,
                 },
-                Err(PushError::Full) => {
-                    shared.shed.fetch_add(1, Ordering::Relaxed);
-                    Response::Error(ServerError::Overloaded {
-                        queue_capacity: shared.queue.capacity(),
-                    })
-                }
-                Err(PushError::Closed) => Response::Error(ServerError::ShuttingDown),
-            };
-            // Only an *executed* ingest makes this session responsible for
-            // those devices at teardown — a shed batch buffered nothing,
-            // and flushing here would disrupt another connection's
-            // in-flight stream for the same device.
-            if matches!(resp, Response::Ingested { .. }) {
-                devices.extend(batch_devices);
+            );
+        };
+        match env.req {
+            // Admin fast path: answered inline so liveness/health/metrics
+            // stay observable even when the admission queue is saturated.
+            Request::Ping => {
+                let t0 = Instant::now();
+                inline(conn, Response::Pong);
+                shared.record("admin", t0.elapsed());
             }
-            write_line(stream, &ResponseEnvelope::new(id, resp)).is_ok()
+            Request::Health => {
+                let t0 = Instant::now();
+                let resp = shared.health();
+                inline(conn, resp);
+                shared.record("admin", t0.elapsed());
+            }
+            Request::Metrics => {
+                let t0 = Instant::now();
+                let resp = shared.metrics_report();
+                inline(conn, resp);
+                shared.record("admin", t0.elapsed());
+            }
+            Request::Shutdown => {
+                // Acknowledge, then drain: stop accepting, refuse new
+                // work, let workers finish everything already admitted.
+                inline(conn, Response::ShuttingDown);
+                conn.closing = true;
+                shared.shutdown.store(true, Ordering::Relaxed);
+                shared.queue.close();
+            }
+            req @ (Request::Ingest { .. }
+            | Request::Flush { .. }
+            | Request::Query { .. }
+            | Request::Snapshot { .. }) => {
+                if shared.draining() {
+                    inline(conn, Response::Error(ServerError::ShuttingDown));
+                    return;
+                }
+                let batch_devices: Vec<DeviceId> = if let Request::Ingest { records } = &req {
+                    records
+                        .iter()
+                        .filter(|r| r.is_well_formed())
+                        .map(|r| r.device.clone())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let session_devices: Vec<DeviceId> =
+                    if matches!(req, Request::Flush { device: None }) {
+                        conn.devices.iter().cloned().collect()
+                    } else {
+                        Vec::new()
+                    };
+                match shared.queue.try_push(WorkJob {
+                    token,
+                    id,
+                    wire,
+                    req,
+                    batch_devices,
+                    session_devices,
+                }) {
+                    Ok(()) => conn.inflight = true,
+                    Err(PushError::Full) => {
+                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                        inline(
+                            conn,
+                            Response::Error(ServerError::Overloaded {
+                                queue_capacity: shared.queue.capacity(),
+                            }),
+                        );
+                    }
+                    Err(PushError::Closed) => {
+                        inline(conn, Response::Error(ServerError::ShuttingDown));
+                    }
+                }
+            }
         }
+    }
+
+    /// Applies finished work: response bytes, device attribution, renewed
+    /// parsing.
+    fn apply_completions(&mut self) {
+        let done: Vec<Done> = std::mem::take(&mut *self.shared.completions.lock());
+        for d in done {
+            // The connection may be gone (dropped mid-flight under a
+            // forced drain); its response and device attribution die with
+            // it, like a thread-model server whose session exited.
+            let Some(conn) = self.conns.get_mut(&d.token) else {
+                continue;
+            };
+            conn.inflight = false;
+            for device in d.ingested {
+                if conn.devices.insert(device.clone()) {
+                    *self.shared.sessions.lock().entry(device).or_insert(0) += 1;
+                }
+            }
+            conn.write_buf.extend_from_slice(&d.bytes);
+            conn.flush_write();
+            self.pump(d.token);
+        }
+    }
+
+    /// Accepts pending sockets (listener is nonblocking), enforcing the
+    /// connection cap.
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((mut stream, _peer)) => {
+                    if self.shared.draining() {
+                        continue; // dropped: drain admits nothing
+                    }
+                    if self.conns.len() >= self.max_connections {
+                        // Rejected connections count only as rejected,
+                        // never as accepted. The rejection is written as a
+                        // v1 line — the client has not spoken yet, and v1
+                        // is the lingua franca both generations parse.
+                        self.shared.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_nodelay(true);
+                        let env = ResponseEnvelope::new(
+                            0,
+                            Response::Error(ServerError::TooManyConnections {
+                                limit: self.max_connections,
+                            }),
+                        );
+                        let _ = stream.write_all(&encode_wire(Wire::V1, &env));
+                        continue; // dropped: connection closed
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                    self.shared.active.fetch_add(1, Ordering::Relaxed);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.conns.insert(token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Removes a connection and settles its session: every device it
+    /// ingested drops one refcount; devices no other live session feeds
+    /// are flushed (their semantics publish) and session-ended.
+    fn teardown(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        self.shared.active.fetch_sub(1, Ordering::Relaxed);
+        if conn.devices.is_empty() {
+            return;
+        }
+        let mut last_refs: Vec<DeviceId> = Vec::new();
+        {
+            let mut sessions = self.shared.sessions.lock();
+            for device in &conn.devices {
+                match sessions.get_mut(device) {
+                    Some(count) if *count > 1 => *count -= 1,
+                    Some(_) => {
+                        sessions.remove(device);
+                        last_refs.push(device.clone());
+                    }
+                    // Not in the map — flush defensively (matches the
+                    // pre-refcount behavior for untracked devices).
+                    None => last_refs.push(device.clone()),
+                }
+            }
+        }
+        if !last_refs.is_empty() {
+            let mut translator = self.shared.translator.lock();
+            for device in &last_refs {
+                let _ = translator.flush_device(device);
+                self.shared.store.end_session(device);
+            }
+        }
+    }
+
+    /// Sweeps finished connections, returns whether any remain.
+    fn sweep(&mut self) -> bool {
+        let finished: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.finished())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in finished {
+            self.teardown(token);
+        }
+        !self.conns.is_empty()
     }
 }
 
@@ -603,9 +1186,10 @@ impl TripsServer {
     }
 
     /// Serves `listener` until a `Shutdown` request drains the loop.
-    /// Blocks; all worker/session threads are scoped inside this call.
+    /// Blocks; all worker threads are scoped inside this call.
     pub fn serve(&self, listener: TcpListener) -> io::Result<ServerReport> {
         listener.set_nonblocking(true)?;
+        let waker = Waker::new()?;
         let translator = StreamingTranslator::from_editor(
             &self.dsm,
             &self.editor,
@@ -619,6 +1203,10 @@ impl TripsServer {
             translator: parking_lot::Mutex::new(translator),
             store: self.store.clone(),
             queue: BoundedQueue::new(self.config.queue_capacity),
+            completions: parking_lot::Mutex::new(Vec::new()),
+            waker,
+            sessions: parking_lot::Mutex::new(BTreeMap::new()),
+            snapshot_root: self.config.snapshot_root.clone(),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             started: Instant::now(),
@@ -628,59 +1216,123 @@ impl TripsServer {
             requests: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            ingest_coalesced: AtomicU64::new(0),
             conns_accepted: AtomicU64::new(0),
             conns_rejected: AtomicU64::new(0),
         };
-        let poll = self.config.poll_interval;
+        let poll_ms = self.config.poll_interval.as_millis().clamp(1, 60_000) as i32;
 
         std::thread::scope(|scope| {
             for _ in 0..self.config.workers.max(1) {
                 let shared = &shared;
-                scope.spawn(move || {
-                    while let Some(job) = shared.queue.pop() {
-                        let t0 = Instant::now();
-                        let endpoint = job.req.endpoint();
-                        let resp = shared.execute(job.req);
-                        shared.record(endpoint, t0.elapsed());
-                        let _ = job.reply.send(resp);
-                    }
-                });
+                scope.spawn(move || shared.run_worker());
             }
 
-            // Accept loop (this thread).
-            while !shared.draining() {
-                match listener.accept() {
-                    Ok((mut stream, _peer)) => {
-                        if shared.active.load(Ordering::Relaxed) >= self.config.max_connections {
-                            // Rejected connections count only as rejected,
-                            // never as accepted.
-                            shared.conns_rejected.fetch_add(1, Ordering::Relaxed);
-                            let _ = stream.set_nodelay(true);
-                            let _ = write_line(
-                                &mut stream,
-                                &ResponseEnvelope::new(
-                                    0,
-                                    Response::Error(ServerError::TooManyConnections {
-                                        limit: self.config.max_connections,
-                                    }),
-                                ),
-                            );
-                            continue; // dropped: connection closed
+            let mut ev = EventLoop {
+                shared: &shared,
+                conns: BTreeMap::new(),
+                next_token: 0,
+                max_connections: self.config.max_connections,
+            };
+            let mut drain_deadline: Option<Instant> = None;
+            let mut loop_err: Option<io::Error> = None;
+
+            loop {
+                shared.waker.drain();
+                ev.apply_completions();
+
+                // Opportunistic write flush + finished-connection sweep.
+                for conn in ev.conns.values_mut() {
+                    if !conn.write_buf.is_empty() {
+                        conn.flush_write();
+                    }
+                }
+                let any_left = ev.sweep();
+
+                if shared.draining() {
+                    let deadline =
+                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                    // Stop parsing new work everywhere; in-flight jobs and
+                    // buffered responses still settle.
+                    for conn in ev.conns.values_mut() {
+                        conn.closing = true;
+                    }
+                    if !any_left {
+                        break;
+                    }
+                    if Instant::now() >= deadline {
+                        let tokens: Vec<u64> = ev.conns.keys().copied().collect();
+                        for token in tokens {
+                            ev.teardown(token);
                         }
-                        shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
-                        shared.active.fetch_add(1, Ordering::Relaxed);
-                        let shared = &shared;
-                        scope.spawn(move || session(shared, stream, poll));
+                        break;
                     }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(poll);
+                }
+
+                // Build the poll set: waker, listener (unless draining),
+                // then every connection that wants I/O.
+                let mut fds = Vec::with_capacity(2 + ev.conns.len());
+                fds.push(PollFd::new(fd_of(shared.waker.receiver()), POLLIN));
+                let listener_slot = if shared.draining() {
+                    None
+                } else {
+                    fds.push(PollFd::new(fd_of(&listener), POLLIN));
+                    Some(fds.len() - 1)
+                };
+                let mut conn_slots: Vec<(u64, usize)> = Vec::with_capacity(ev.conns.len());
+                for (&token, conn) in &ev.conns {
+                    let mut events = 0i16;
+                    if !conn.read_closed
+                        && !conn.closing
+                        && !conn.dead
+                        && conn.read_buf.len() < MAX_READ_BUF
+                    {
+                        events |= POLLIN;
                     }
-                    Err(_) => std::thread::sleep(poll),
+                    if !conn.write_buf.is_empty() && !conn.dead {
+                        events |= POLLOUT;
+                    }
+                    if events != 0 {
+                        fds.push(PollFd::new(fd_of(&conn.stream), events));
+                        conn_slots.push((token, fds.len() - 1));
+                    }
+                }
+
+                if let Err(e) = poll_fds(&mut fds, poll_ms) {
+                    // Break (don't return): the queue must close below or
+                    // the scoped workers would never join.
+                    loop_err = Some(e);
+                    break;
+                }
+
+                if let Some(slot) = listener_slot {
+                    if fds[slot].is_ready() {
+                        ev.accept_ready(&listener);
+                    }
+                }
+                for (token, slot) in conn_slots {
+                    if !fds[slot].is_ready() {
+                        continue;
+                    }
+                    if let Some(conn) = ev.conns.get_mut(&token) {
+                        if fds[slot].revents & POLLOUT != 0 {
+                            conn.flush_write();
+                        }
+                        conn.fill_read();
+                        ev.pump(token);
+                        if let Some(conn) = ev.conns.get_mut(&token) {
+                            conn.flush_write();
+                        }
+                    }
                 }
             }
             // Whatever ended the loop: make sure workers can exit (drain).
             shared.queue.close();
-        });
+            match loop_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })?;
 
         // Every thread has joined. Publish any still-buffered sessions so
         // nothing ingested is lost (journaling them on a durable store),
@@ -766,5 +1418,101 @@ impl ServerHandle {
         self.join
             .join()
             .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_slot_is_bias_free_across_the_range() {
+        // With total = 3 << 51 (not a power of two), the old
+        // `(r >> 11) % total` mapping over-weights the low slots; the
+        // multiply-shift mapping must hit each third of the range with
+        // frequency proportional to its width.
+        let total: u64 = 3 << 51;
+        let mut lcg: u64 = 0x5DEE_CE66_D1CE_4E5D;
+        let mut thirds = [0u64; 3];
+        let n = 300_000;
+        for _ in 0..n {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let slot = uniform_slot(lcg >> 11, total);
+            assert!(slot < total);
+            thirds[(slot / (total / 3)).min(2) as usize] += 1;
+        }
+        let expected = n as f64 / 3.0;
+        for (i, &count) in thirds.iter().enumerate() {
+            let dev = (count as f64 - expected).abs() / expected;
+            assert!(
+                dev < 0.02,
+                "third {i} saw {count} of {n} samples ({dev:.3} relative deviation)"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_slot_covers_the_whole_reservoir() {
+        // Regression for the modulo-biased Algorithm R step: with the
+        // biased mapping, high reservoir slots are starved once `total`
+        // grows past the capacity. Every slot must keep receiving
+        // replacements.
+        let capacity = 256;
+        let mut rec = EndpointRecorder::with_capacity(capacity);
+        for i in 0..(capacity * 64) {
+            rec.record(Duration::from_nanos(i as u64));
+        }
+        assert_eq!(rec.reservoir.len(), capacity);
+        // The reservoir is a uniform sample of 0..16384; its quartile
+        // counts must all be populated (the biased version leaves the
+        // late quartiles heavily under-sampled).
+        let total = capacity * 64;
+        let mut quartiles = [0usize; 4];
+        for &ns in &rec.reservoir {
+            quartiles[((ns as usize * 4) / total).min(3)] += 1;
+        }
+        for (i, &count) in quartiles.iter().enumerate() {
+            assert!(
+                (32..=96).contains(&count),
+                "quartile {i} holds {count} of {capacity} samples (expected ~64): {quartiles:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recorder_tracks_exact_scalars_with_bounded_memory() {
+        let mut rec = EndpointRecorder::with_capacity(8);
+        for i in 1..=100u64 {
+            rec.record(Duration::from_nanos(i));
+        }
+        assert_eq!(rec.total, 100);
+        assert_eq!(rec.max_ns, 100);
+        assert_eq!(rec.sum_ns, 5050);
+        assert_eq!(rec.reservoir.len(), 8, "reservoir never exceeds capacity");
+    }
+
+    #[test]
+    fn snapshot_paths_resolve_only_inside_the_root() {
+        let root = PathBuf::from("/srv/snapshots");
+        let ok = resolve_snapshot_path(Some(&root), "daily/mall.json").unwrap();
+        assert_eq!(ok, root.join("daily/mall.json"));
+
+        // "a/./b" is absent: `Path::components` normalizes interior `.`
+        // away, so it resolves to a/b inside the root — harmless.
+        for bad in ["/etc/passwd", "../escape.json", "a/../../b", "", "./a"] {
+            let err = resolve_snapshot_path(Some(&root), bad).unwrap_err();
+            assert!(
+                matches!(err, ServerError::BadRequest { .. }),
+                "{bad:?} must be rejected, got {err:?}"
+            );
+        }
+
+        let err = resolve_snapshot_path(None, "mall.json").unwrap_err();
+        assert!(
+            matches!(err, ServerError::BadRequest { .. }),
+            "no configured root rejects everything"
+        );
     }
 }

@@ -81,13 +81,6 @@ fn queries_to_compare() -> Vec<QueryRequest> {
     ]
 }
 
-fn temp_path(tag: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!(
-        "trips-server-e2e-{tag}-{}.json",
-        std::process::id()
-    ))
-}
-
 /// The acceptance-criteria flow: ingest a campus over the wire while
 /// concurrently querying it, flush, compare against an in-process
 /// reference translation, snapshot, restart from the snapshot, and verify
@@ -96,7 +89,17 @@ fn temp_path(tag: &str) -> std::path::PathBuf {
 fn ingest_query_snapshot_restart_roundtrip() {
     let traffic = campus_traffic(2, 4, 0xCAFE);
     let boot = deployment();
-    let server = TripsServer::new(boot.dsm, boot.editor, ServerConfig::default()).unwrap();
+    let server = TripsServer::new(
+        boot.dsm,
+        boot.editor,
+        ServerConfig {
+            // Wire-level snapshots resolve against this root (the server
+            // rejects absolute paths).
+            snapshot_root: Some(std::env::temp_dir()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
     let handle = server.spawn("127.0.0.1:0").unwrap();
     let addr = handle.addr();
 
@@ -202,16 +205,21 @@ fn ingest_query_snapshot_restart_roundtrip() {
     };
     assert_eq!(server_pops, reference.popular_regions(&all));
 
-    // Snapshot + graceful drain.
-    let snap = temp_path("restart");
+    // Snapshot + graceful drain. The wire carries a *relative* path; the
+    // server resolves it inside its configured snapshot root.
+    let snap_rel = format!("trips-server-e2e-restart-{}.json", std::process::id());
+    let snap = std::env::temp_dir().join(&snap_rel);
     let before: Vec<QueryResult> = queries_to_compare()
         .into_iter()
         .map(|q| client.query(q).unwrap().unwrap())
         .collect();
-    match client.snapshot(snap.to_str().unwrap()).unwrap() {
+    match client.snapshot(&snap_rel).unwrap() {
         Response::SnapshotSaved {
-            devices, semantics, ..
+            path,
+            devices,
+            semantics,
         } => {
+            assert_eq!(path, snap.display().to_string(), "resolved inside the root");
             assert!(devices > 0 && semantics > 0);
         }
         other => panic!("snapshot failed: {other:?}"),
@@ -509,14 +517,18 @@ fn wire_errors_and_edge_cases() {
         }
         other => panic!("health failed: {other:?}"),
     }
-    // Unwritable snapshot target: a typed internal error, then the server
-    // keeps serving.
+    // Absolute snapshot target on a server with no snapshot root: a typed
+    // BadRequest (the wire must not name server paths), then the server
+    // keeps serving. Snapshot-path rejections are application-level, not
+    // wire-level, so they do not count toward `bad_requests` below.
     match client
         .snapshot("/nonexistent-trips-dir/deep/snap.json")
         .unwrap()
     {
-        Response::Error(ServerError::Internal { .. }) => {}
-        other => panic!("expected internal error, got {other:?}"),
+        Response::Error(ServerError::BadRequest { message }) => {
+            assert!(message.contains("snapshot rejected"), "{message}");
+        }
+        other => panic!("expected snapshot rejection, got {other:?}"),
     }
     assert_eq!(client.ping().unwrap(), Response::Pong);
     drop(client);

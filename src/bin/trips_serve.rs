@@ -2,8 +2,8 @@
 //!
 //! Builds a simulated deployment (a mall DSM + an Event Editor trained on
 //! ground truth — the repo's stand-in for a surveyed site), binds a TCP
-//! listener and serves the NDJSON protocol until a `Shutdown` request
-//! drains it. With `--port 0` the OS picks an ephemeral port; the chosen
+//! listener and serves the wire protocol (NDJSON v1 and binary v2,
+//! detected per message) until a `Shutdown` request drains it. With `--port 0` the OS picks an ephemeral port; the chosen
 //! address is printed as `listening on HOST:PORT` (and flushed) so
 //! scripts can scrape it.
 //!
@@ -11,9 +11,14 @@
 //! trips-serve [--host H] [--port P] [--workers N] [--queue N]
 //!             [--max-conns N] [--shards N] [--floors N] [--shops N]
 //!             [--devices N] [--days N] [--seed N] [--snapshot PATH]
-//!             [--wal-dir DIR] [--fsync always|every=N|never]
-//!             [--segment-bytes N]
+//!             [--snapshot-root DIR] [--wal-dir DIR]
+//!             [--fsync always|every=N|never] [--segment-bytes N]
 //! ```
+//!
+//! `--snapshot-root` enables wire-level `Snapshot` requests on a
+//! non-durable server: the request's (relative, non-escaping) path
+//! resolves inside this directory. Without it such requests are rejected
+//! — the wire must not name arbitrary server filesystem locations.
 //!
 //! `--wal-dir` makes the store durable: boot recovers from the
 //! directory (checkpoint snapshot + WAL replay, torn tail truncated) and
@@ -52,8 +57,8 @@ fn usage_and_exit(message: &str) -> ! {
     eprintln!(
         "usage: trips-serve [--host H] [--port P] [--workers N] [--queue N] \
          [--max-conns N] [--shards N] [--floors N] [--shops N] [--devices N] \
-         [--days N] [--seed N] [--snapshot PATH] [--wal-dir DIR] \
-         [--fsync always|every=N|never] [--segment-bytes N]"
+         [--days N] [--seed N] [--snapshot PATH] [--snapshot-root DIR] \
+         [--wal-dir DIR] [--fsync always|every=N|never] [--segment-bytes N]"
     );
     std::process::exit(2);
 }
@@ -97,6 +102,10 @@ fn parse_args() -> Options {
             "--seed" => opts.seed = parse(&mut args, "--seed"),
             "--snapshot" => {
                 opts.config.snapshot = Some(parse::<String>(&mut args, "--snapshot").into())
+            }
+            "--snapshot-root" => {
+                opts.config.snapshot_root =
+                    Some(parse::<String>(&mut args, "--snapshot-root").into())
             }
             "--wal-dir" => {
                 let dir: String = parse(&mut args, "--wal-dir");
