@@ -17,15 +17,36 @@
 //! ```text
 //! server_load --addr HOST:PORT [--quick] [--out PATH] [--protocol 1|2]
 //!             [--buildings N] [--floors N] [--shops N] [--devices N]
-//!             [--seed N] [--query-conns N] [--query-iters N]
+//!             [--seed N] [--ingest-sessions N] [--device-skew uniform|zipf]
+//!             [--query-conns N] [--query-iters N]
 //!             [--no-overload] [--overload-conns N] [--overload-iters N]
 //!             [--scale-conns N] [--scale-rounds N]
+//!             [--baseline PATH] [--tolerance F] [--compare PATH]
 //!             [--expect-shedding] [--expect-wal] [--shutdown]
 //! ```
 //!
 //! `--protocol 2` runs every phase over the binary v2 framing (see
 //! `trips_server::codec`); the default is NDJSON v1 — running both and
 //! comparing the reports is the protocol's perf regression check.
+//!
+//! `--ingest-sessions N` replaces the per-building ingest layout with N
+//! concurrent sessions: every campus device is assigned to one session
+//! (sticky round-robin — a device never splits across sessions), and each
+//! session interleaves its devices' batches, drawing the next device from
+//! a deterministic per-session LCG. `--device-skew` shapes that draw:
+//! `uniform` (default) spreads batches evenly, `zipf` weights device `i`
+//! by `1/(i+1)` — a few hot devices, a long cold tail. This is the
+//! multi-session workload the sharded translator lock is measured on.
+//!
+//! `--baseline PATH` compares this run against a previously committed
+//! report and **fails the run** (exit 1) when it regresses beyond
+//! `--tolerance F` (default 4.0 — wide, because shared CI runners jitter
+//! heavily; the gate catches collapses, not percent drift): ingest
+//! throughput below `baseline/F`, ingest p99 above `baseline×F`, or (when
+//! both runs held connections) scale ping p99 above `baseline×F`.
+//! `--compare PATH` embeds another run's ingest numbers (e.g. a
+//! single-lock topology) into this report as `comparison`, recording the
+//! measured speedup alongside the raw numbers.
 //!
 //! The `--floors/--shops` layout must match the server's (campus
 //! buildings share the mall layout the server's DSM was built from).
@@ -39,7 +60,8 @@
 //! `--expect-shedding` with no sheds observed, or `--expect-wal` with
 //! missing/stale WAL metrics; `2` usage errors.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use trips_data::{DeviceId, Duration, RawRecord, Timestamp};
@@ -58,6 +80,9 @@ struct Options {
     shops: usize,
     devices: usize,
     seed: u64,
+    /// `0` = legacy layout (one ingest connection per building).
+    ingest_sessions: usize,
+    skew: DeviceSkew,
     query_conns: usize,
     query_iters: usize,
     overload: bool,
@@ -65,9 +90,37 @@ struct Options {
     overload_iters: usize,
     scale_conns: usize,
     scale_rounds: usize,
+    baseline: Option<String>,
+    tolerance: f64,
+    compare: Option<String>,
     expect_shedding: bool,
     expect_wal: bool,
     shutdown: bool,
+}
+
+/// How a multi-session ingest run draws the next device to send a batch
+/// for (among the session's devices that still have batches left).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DeviceSkew {
+    Uniform,
+    Zipf,
+}
+
+impl DeviceSkew {
+    fn parse(raw: &str) -> Option<Self> {
+        match raw {
+            "uniform" => Some(DeviceSkew::Uniform),
+            "zipf" => Some(DeviceSkew::Zipf),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            DeviceSkew::Uniform => "uniform",
+            DeviceSkew::Zipf => "zipf",
+        }
+    }
 }
 
 fn usage_and_exit(message: &str) -> ! {
@@ -75,8 +128,10 @@ fn usage_and_exit(message: &str) -> ! {
     eprintln!(
         "usage: server_load --addr HOST:PORT [--quick] [--out PATH] [--protocol 1|2] \
          [--buildings N] [--floors N] [--shops N] [--devices N] [--seed N] \
+         [--ingest-sessions N] [--device-skew uniform|zipf] \
          [--query-conns N] [--query-iters N] [--no-overload] [--overload-conns N] \
          [--overload-iters N] [--scale-conns N] [--scale-rounds N] \
+         [--baseline PATH] [--tolerance F] [--compare PATH] \
          [--expect-shedding] [--expect-wal] [--shutdown]"
     );
     std::process::exit(2);
@@ -110,6 +165,8 @@ fn parse_args() -> Options {
         shops: 3,
         devices: 8,
         seed: 0xBEC4,
+        ingest_sessions: 0,
+        skew: DeviceSkew::Uniform,
         query_conns: 8,
         query_iters: 600,
         overload: true,
@@ -117,6 +174,9 @@ fn parse_args() -> Options {
         overload_iters: 150,
         scale_conns: 0,
         scale_rounds: 3,
+        baseline: None,
+        tolerance: 4.0,
+        compare: None,
         expect_shedding: false,
         expect_wal: false,
         shutdown: false,
@@ -138,6 +198,16 @@ fn parse_args() -> Options {
             "--shops" => opts.shops = parse(&mut args, "--shops"),
             "--devices" => opts.devices = parse(&mut args, "--devices"),
             "--seed" => opts.seed = parse(&mut args, "--seed"),
+            "--ingest-sessions" => opts.ingest_sessions = parse(&mut args, "--ingest-sessions"),
+            "--device-skew" => {
+                let raw: String = parse(&mut args, "--device-skew");
+                match DeviceSkew::parse(&raw) {
+                    Some(skew) => opts.skew = skew,
+                    None => usage_and_exit(&format!(
+                        "invalid value {raw:?} for --device-skew (uniform|zipf)"
+                    )),
+                }
+            }
             "--query-conns" => opts.query_conns = parse(&mut args, "--query-conns"),
             "--query-iters" => opts.query_iters = parse(&mut args, "--query-iters"),
             "--no-overload" => opts.overload = false,
@@ -145,6 +215,14 @@ fn parse_args() -> Options {
             "--overload-iters" => opts.overload_iters = parse(&mut args, "--overload-iters"),
             "--scale-conns" => opts.scale_conns = parse(&mut args, "--scale-conns"),
             "--scale-rounds" => opts.scale_rounds = parse(&mut args, "--scale-rounds"),
+            "--baseline" => opts.baseline = Some(parse(&mut args, "--baseline")),
+            "--tolerance" => {
+                opts.tolerance = parse(&mut args, "--tolerance");
+                if opts.tolerance.is_nan() || opts.tolerance < 1.0 {
+                    usage_and_exit("--tolerance must be >= 1.0");
+                }
+            }
+            "--compare" => opts.compare = Some(parse(&mut args, "--compare")),
             "--expect-shedding" => opts.expect_shedding = true,
             "--expect-wal" => opts.expect_wal = true,
             "--shutdown" => opts.shutdown = true,
@@ -165,7 +243,7 @@ fn parse_args() -> Options {
     opts
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct PhaseReport {
     requests: usize,
     ops_per_sec: f64,
@@ -189,7 +267,7 @@ fn phase_report(recorder: &LatencyRecorder, wall: std::time::Duration) -> PhaseR
     }
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct OverloadReport {
     requests: usize,
     ok: usize,
@@ -197,7 +275,7 @@ struct OverloadReport {
     hard_errors: usize,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct ScaleReport {
     /// Connections held concurrently (on top of the phase's admin conn).
     connections: usize,
@@ -211,7 +289,7 @@ struct ScaleReport {
     ping: PhaseReport,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct ServerSide {
     requests: u64,
     shed: u64,
@@ -231,7 +309,19 @@ struct ServerSide {
     wal_last_checkpoint_age_ms: Option<u64>,
 }
 
-#[derive(Serialize)]
+/// A cross-run comparison embedded in the report (`--compare`): this
+/// run's ingest throughput against another report's, e.g. a single-lock
+/// topology measured on the same machine moments before.
+#[derive(Serialize, Deserialize)]
+struct ComparisonReport {
+    against: String,
+    against_ingest_ops_per_sec: f64,
+    this_ingest_ops_per_sec: f64,
+    /// `this / against` — > 1.0 means this run was faster.
+    speedup: f64,
+}
+
+#[derive(Serialize, Deserialize)]
 struct BenchReport {
     bench: String,
     quick: bool,
@@ -239,12 +329,20 @@ struct BenchReport {
     /// Wire protocol every phase ran over (1 = NDJSON, 2 = binary).
     protocol: u32,
     ingest_connections: usize,
+    /// Multi-session layout (`--ingest-sessions`); 0 = per-building.
+    ingest_sessions: usize,
+    /// Device-draw distribution the ingest sessions used.
+    device_skew: Option<String>,
+    /// Cores visible to the *generator* — context for cross-machine
+    /// comparisons (a 1-core runner cannot show parallel speedups).
+    host_parallelism: usize,
     records: usize,
     ingest: PhaseReport,
     query_connections: usize,
     query: PhaseReport,
     overload: Option<OverloadReport>,
     scale: Option<ScaleReport>,
+    comparison: Option<ComparisonReport>,
     server: ServerSide,
     hard_errors: usize,
 }
@@ -274,55 +372,48 @@ fn query_mix(i: usize) -> (SemanticsSelector, Query) {
     }
 }
 
-fn main() {
-    let opts = parse_args();
-    let hard_errors = AtomicUsize::new(0);
-
-    eprintln!(
-        "server_load: generating {} campus traffic ({} buildings, {} devices/building)...",
-        if opts.quick { "quick" } else { "full" },
-        opts.buildings,
-        opts.devices
-    );
-    let campus = trips_sim::scenario::generate_campus(
-        opts.buildings,
-        opts.floors,
-        opts.shops,
-        &ScenarioConfig {
-            devices: opts.devices,
-            days: 1,
-            seed: opts.seed,
-            ..ScenarioConfig::default()
-        },
-    );
-    let traffic: Vec<Vec<(DeviceId, Vec<RawRecord>)>> = campus
-        .buildings
-        .iter()
-        .map(|b| {
-            b.dataset
-                .traces
-                .iter()
-                .map(|t| (t.device.clone(), t.raw.records().to_vec()))
-                .collect()
-        })
+/// Picks which of a session's devices sends its next batch. `r53` is a
+/// 53-bit uniform draw; only devices with batches left are candidates.
+/// Uniform: every live device equally. Zipf: device `i` (by session
+/// order) weighted `1/(i+1)` — the first devices dominate, the tail
+/// trickles, concentrating traffic on a few translator shards the way a
+/// real deployment's busiest devices do.
+fn draw_device(pending: &[VecDeque<&[RawRecord]>], r53: u64, skew: DeviceSkew) -> usize {
+    let live: Vec<usize> = (0..pending.len())
+        .filter(|&i| !pending[i].is_empty())
         .collect();
-    let records: usize = traffic
-        .iter()
-        .flat_map(|b| b.iter().map(|(_, r)| r.len()))
-        .sum();
+    assert!(!live.is_empty(), "draw_device called with nothing left");
+    match skew {
+        DeviceSkew::Uniform => {
+            // Multiply-shift, not modulo: unbiased over the live set.
+            live[((u128::from(r53) * live.len() as u128) >> 53) as usize]
+        }
+        DeviceSkew::Zipf => {
+            let total: f64 = live.iter().map(|&i| 1.0 / (i as f64 + 1.0)).sum();
+            let mut u = (r53 as f64 / (1u64 << 53) as f64) * total;
+            for &i in &live {
+                u -= 1.0 / (i as f64 + 1.0);
+                if u <= 0.0 {
+                    return i;
+                }
+            }
+            *live.last().expect("live is non-empty")
+        }
+    }
+}
 
-    // Phase 1 — ingest: one closed-loop connection per building.
-    eprintln!(
-        "server_load: ingesting {records} records over {} connections...",
-        traffic.len()
-    );
-    let ingest_wall = Instant::now();
-    let mut ingest_lat = LatencyRecorder::new();
+/// The legacy ingest layout: one closed-loop connection per building,
+/// device-major batches, each connection flushing its own session.
+fn ingest_legacy_layout(
+    traffic: &[Vec<(DeviceId, Vec<RawRecord>)>],
+    opts: &Options,
+    hard_errors: &AtomicUsize,
+    ingest_lat: &mut LatencyRecorder,
+) {
     std::thread::scope(|s| {
         let handles: Vec<_> = traffic
             .iter()
             .map(|building| {
-                let hard_errors = &hard_errors;
                 let addr = opts.addr.as_str();
                 let protocol = opts.protocol;
                 s.spawn(move || {
@@ -364,6 +455,137 @@ fn main() {
             ingest_lat.merge(h.join().expect("ingest thread"));
         }
     });
+}
+
+fn main() {
+    let opts = parse_args();
+    let hard_errors = AtomicUsize::new(0);
+
+    eprintln!(
+        "server_load: generating {} campus traffic ({} buildings, {} devices/building)...",
+        if opts.quick { "quick" } else { "full" },
+        opts.buildings,
+        opts.devices
+    );
+    let campus = trips_sim::scenario::generate_campus(
+        opts.buildings,
+        opts.floors,
+        opts.shops,
+        &ScenarioConfig {
+            devices: opts.devices,
+            days: 1,
+            seed: opts.seed,
+            ..ScenarioConfig::default()
+        },
+    );
+    let traffic: Vec<Vec<(DeviceId, Vec<RawRecord>)>> = campus
+        .buildings
+        .iter()
+        .map(|b| {
+            b.dataset
+                .traces
+                .iter()
+                .map(|t| (t.device.clone(), t.raw.records().to_vec()))
+                .collect()
+        })
+        .collect();
+    let records: usize = traffic
+        .iter()
+        .flat_map(|b| b.iter().map(|(_, r)| r.len()))
+        .sum();
+
+    // Phase 1 — ingest. Two layouts:
+    //  * legacy (`--ingest-sessions 0`): one closed-loop connection per
+    //    building, device-major batches;
+    //  * multi-session (`--ingest-sessions N`): campus devices assigned
+    //    sticky round-robin to N sessions, each interleaving its devices'
+    //    batches under the configured skew — the workload the sharded
+    //    translator lock is measured on.
+    let ingest_connections = if opts.ingest_sessions > 0 {
+        opts.ingest_sessions
+    } else {
+        traffic.len()
+    };
+    eprintln!(
+        "server_load: ingesting {records} records over {ingest_connections} connections{}...",
+        if opts.ingest_sessions > 0 {
+            format!(" ({} skew)", opts.skew.name())
+        } else {
+            String::new()
+        }
+    );
+    let ingest_wall = Instant::now();
+    let mut ingest_lat = LatencyRecorder::new();
+    if opts.ingest_sessions > 0 {
+        // Device k (campus-wide) belongs to session k % N for the whole
+        // run — a device's records always flow through one connection, in
+        // order, so translation semantics are unchanged by the layout.
+        let mut per_session: Vec<Vec<&(DeviceId, Vec<RawRecord>)>> =
+            (0..opts.ingest_sessions).map(|_| Vec::new()).collect();
+        for (k, dev) in traffic.iter().flatten().enumerate() {
+            per_session[k % opts.ingest_sessions].push(dev);
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = per_session
+                .iter()
+                .enumerate()
+                .map(|(sid, devices)| {
+                    let hard_errors = &hard_errors;
+                    let addr = opts.addr.as_str();
+                    let (protocol, skew) = (opts.protocol, opts.skew);
+                    s.spawn(move || {
+                        let mut recorder = LatencyRecorder::new();
+                        let mut client = connect(addr, protocol).expect("connect for ingest");
+                        // Per-device batch queues; each draw sends one
+                        // device's next batch (order within a device is
+                        // preserved, interleaving across devices is the
+                        // point).
+                        let mut pending: Vec<VecDeque<&[RawRecord]>> = devices
+                            .iter()
+                            .map(|(_, recs)| recs.chunks(50).collect())
+                            .collect();
+                        let mut remaining: usize = pending.iter().map(|q| q.len()).sum();
+                        let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15
+                            ^ (sid as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407);
+                        while remaining > 0 {
+                            lcg = lcg
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let idx = draw_device(&pending, lcg >> 11, skew);
+                            let batch = pending[idx].pop_front().expect("drawn queue non-empty");
+                            remaining -= 1;
+                            let t0 = Instant::now();
+                            match client.ingest(batch.to_vec()) {
+                                Ok(Response::Ingested { .. }) => {}
+                                Ok(other) => {
+                                    eprintln!("ingest error: {other:?}");
+                                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => {
+                                    eprintln!("ingest transport error: {e}");
+                                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            recorder.record(t0.elapsed());
+                        }
+                        match client.flush(None) {
+                            Ok(Response::Flushed { .. }) => {}
+                            other => {
+                                eprintln!("session flush failed: {other:?}");
+                                hard_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        recorder
+                    })
+                })
+                .collect();
+            for h in handles {
+                ingest_lat.merge(h.join().expect("ingest session thread"));
+            }
+        });
+    } else {
+        ingest_legacy_layout(&traffic, &opts, &hard_errors, &mut ingest_lat);
+    }
     let ingest_wall = ingest_wall.elapsed();
 
     // Everything is queryable: each ingest session flushed itself above,
@@ -661,18 +883,39 @@ fn main() {
     }
 
     let hard = hard_errors.load(Ordering::Relaxed);
+    let ingest_phase = phase_report(&ingest_lat, ingest_wall);
+    // `--compare`: embed another run's ingest throughput (e.g. the
+    // single-lock topology measured moments earlier) and the speedup.
+    let comparison = opts.compare.as_ref().map(|path| {
+        let against = load_report(path);
+        let speedup = if against.ingest.ops_per_sec > 0.0 {
+            ingest_phase.ops_per_sec / against.ingest.ops_per_sec
+        } else {
+            0.0
+        };
+        ComparisonReport {
+            against: path.clone(),
+            against_ingest_ops_per_sec: against.ingest.ops_per_sec,
+            this_ingest_ops_per_sec: ingest_phase.ops_per_sec,
+            speedup,
+        }
+    });
     let report = BenchReport {
         bench: "server_load".to_string(),
         quick: opts.quick,
         addr: opts.addr.clone(),
         protocol: opts.protocol,
-        ingest_connections: traffic.len(),
+        ingest_connections,
+        ingest_sessions: opts.ingest_sessions,
+        device_skew: (opts.ingest_sessions > 0).then(|| opts.skew.name().to_string()),
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         records,
-        ingest: phase_report(&ingest_lat, ingest_wall),
+        ingest: ingest_phase,
         query_connections: opts.query_conns,
         query: phase_report(&query_lat, query_wall),
         overload,
         scale,
+        comparison,
         server: server_side,
         hard_errors: hard,
     };
@@ -712,6 +955,12 @@ fn main() {
             sc.rss_kb_held.map_or("n/a".to_string(), |k| k.to_string()),
         );
     }
+    if let Some(c) = &report.comparison {
+        println!(
+            "server_load: vs {} -> ingest {:.0} req/s against {:.0} req/s ({:.2}x)",
+            c.against, c.this_ingest_ops_per_sec, c.against_ingest_ops_per_sec, c.speedup
+        );
+    }
     println!("report written to {}", opts.out);
 
     if hard > 0 {
@@ -725,4 +974,57 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // `--baseline`: regression gate against a committed report. Runs
+    // last, after this run's report is on disk for post-mortems.
+    if let Some(path) = &opts.baseline {
+        let baseline = load_report(path);
+        let tol = opts.tolerance;
+        let mut failed = false;
+        let mut gate = |what: &str, ok: bool, got: f64, bound: f64| {
+            let verdict = if ok { "ok" } else { "FAIL" };
+            println!("server_load: baseline {what}: {got:.0} vs bound {bound:.0} ({verdict})");
+            failed |= !ok;
+        };
+        let ops_floor = baseline.ingest.ops_per_sec / tol;
+        gate(
+            "ingest ops/sec >= floor",
+            ingest_ops_ok(report.ingest.ops_per_sec, ops_floor),
+            report.ingest.ops_per_sec,
+            ops_floor,
+        );
+        let p99_ceil = baseline.ingest.p99_us * tol;
+        gate(
+            "ingest p99 <= ceiling",
+            report.ingest.p99_us <= p99_ceil,
+            report.ingest.p99_us,
+            p99_ceil,
+        );
+        if let (Some(here), Some(base)) = (&report.scale, &baseline.scale) {
+            let ping_ceil = base.ping.p99_us * tol;
+            gate(
+                "scale ping p99 <= ceiling",
+                here.ping.p99_us <= ping_ceil,
+                here.ping.p99_us,
+                ping_ceil,
+            );
+        }
+        if failed {
+            eprintln!("server_load: regression beyond tolerance {tol} against baseline {path}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Reads a prior `server_load` report (`--baseline` / `--compare`).
+fn load_report(path: &str) -> BenchReport {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage_and_exit(&format!("cannot read report {path}: {e}")));
+    serde_json::from_str(&raw)
+        .unwrap_or_else(|e| usage_and_exit(&format!("cannot parse report {path}: {e}")))
+}
+
+/// A throughput floor holds when this run met it (a zero baseline —
+/// e.g. a hand-edited report — gates nothing).
+fn ingest_ops_ok(got: f64, floor: f64) -> bool {
+    floor <= 0.0 || got >= floor
 }

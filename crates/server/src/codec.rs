@@ -952,7 +952,7 @@ pub fn decode_response_frame(buf: &[u8]) -> Result<Option<(ResponseEnvelope, usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{EndpointMetrics, HealthReport, MetricsReport};
+    use crate::protocol::{EndpointMetrics, HealthReport, LoopShardMetrics, MetricsReport};
     use trips_geom::IndoorPoint;
     use trips_store::{StoreHealth, WalStats};
 
@@ -1144,6 +1144,23 @@ mod tests {
             peak_queue_depth: 9,
             ingest_coalesced: 3,
             rss_kb: Some(4096),
+            event_backend: "poll".into(),
+            loop_shards: vec![
+                LoopShardMetrics {
+                    shard: 0,
+                    connections: 1,
+                    pending_completions: 0,
+                    wakeups: 9,
+                },
+                LoopShardMetrics {
+                    shard: 1,
+                    connections: 1,
+                    pending_completions: 2,
+                    wakeups: 11,
+                },
+            ],
+            translator_shards: 4,
+            translator_lock_contention: 1,
             endpoints: vec![EndpointMetrics {
                 endpoint: "query".into(),
                 count: 80,

@@ -1,24 +1,29 @@
-//! Readiness polling for the event-driven serve loop.
+//! Readiness backends for the event-driven serve loops.
 //!
-//! The server multiplexes every connection (plus the listener and a
-//! wake-up channel) on one thread via `poll(2)`, so ten thousand mostly
-//! idle device streams cost ten thousand registered fds — not ten
-//! thousand parked threads with 8 MiB stacks. The container toolchain
-//! has no `libc` crate (same situation as `trips-wal`'s mmap path), so
-//! the one syscall wrapper is declared directly; the constants are the
-//! POSIX values shared by Linux and the BSDs.
+//! Each loop shard multiplexes its connections (plus a wake-up channel)
+//! on one thread, so ten thousand mostly idle device streams cost ten
+//! thousand registered fds — not ten thousand parked threads with 8 MiB
+//! stacks. The container toolchain has no `libc` crate (same situation
+//! as `trips-wal`'s mmap path), so every syscall wrapper is declared
+//! directly; the constants are the values shared by Linux and the BSDs
+//! (epoll is Linux-only and gated as such).
 //!
-//! Two pieces:
+//! Two backends behind one [`Poller`] enum so `server.rs` stays
+//! backend-agnostic:
 //!
-//! * [`poll_fds`] — a thin `poll(2)` wrapper with EINTR retry; on
-//!   non-unix targets it degrades to a bounded sleep that reports
-//!   everything ready (nonblocking I/O then discovers the truth —
-//!   correct, just less efficient).
-//! * [`Waker`] — a loopback UDP socket pair the worker pool uses to
-//!   interrupt a sleeping `poll` when a completion is queued. UDP
-//!   datagrams to 127.0.0.1 never block the sender, need no `pipe(2)`
-//!   FFI, and a receive buffer's worth of coalesced wakes is exactly
-//!   the semantics a wake-up channel wants.
+//! * **epoll** (Linux, the default): edge-triggered. Every fd is
+//!   registered once with `EPOLLIN | EPOLLOUT | EPOLLET`; readiness
+//!   edges are cached by the caller (`can_read`/`can_write` on each
+//!   connection) and re-armed by the kernel only on state transitions,
+//!   so a wakeup costs O(ready fds), not O(registered fds).
+//! * **poll(2)** (portable fallback): level-triggered, the poll set is
+//!   rebuilt from the registry on every wait. O(fds) per wakeup but
+//!   runs anywhere with `poll.h` semantics; on non-unix targets it
+//!   degrades further to a bounded sleep that reports everything ready.
+//!
+//! The [`Waker`] pairs with the backend: an `eventfd(2)` under epoll
+//! (one fd, a u64 counter, edge-friendly), a loopback UDP socket pair
+//! under poll (no `pipe(2)` FFI needed, sends never block).
 
 use std::io;
 use std::net::UdpSocket;
@@ -120,41 +125,475 @@ pub fn fd_of<T>(_sock: &T) -> i32 {
     -1
 }
 
-/// Wakes a sleeping [`poll_fds`] from another thread.
+#[cfg(target_os = "linux")]
+mod epoll_sys {
+    use std::io;
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLOUT: u32 = 0x4;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+
+    /// Kernel `struct epoll_event`. Packed on x86-64 (the kernel ABI there
+    /// has no padding between `events` and `data`); natural layout on
+    /// other architectures.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    /// An owned epoll instance.
+    #[derive(Debug)]
+    pub struct EpollFd(c_int);
+
+    impl EpollFd {
+        pub fn new() -> io::Result<Self> {
+            // Safety: plain syscall, no pointers.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(EpollFd(fd))
+        }
+
+        pub fn add(&self, fd: i32, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            // Safety: `ev` outlives the call; the kernel copies it.
+            let rc = unsafe { epoll_ctl(self.0, EPOLL_CTL_ADD, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn del(&self, fd: i32) -> io::Result<()> {
+            // Pre-2.6.9 kernels required a non-null event even for DEL;
+            // passing one is harmless everywhere.
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            // Safety: as in `add`.
+            let rc = unsafe { epoll_ctl(self.0, EPOLL_CTL_DEL, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Waits for readiness edges, with EINTR retry. Returns how many
+        /// entries of `out` were filled.
+        pub fn wait(&self, out: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            loop {
+                // Safety: `out` is a valid exclusively-borrowed buffer of
+                // kernel-layout events for the duration of the call.
+                let rc =
+                    unsafe { epoll_wait(self.0, out.as_mut_ptr(), out.len() as c_int, timeout_ms) };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+        }
+    }
+
+    impl Drop for EpollFd {
+        fn drop(&mut self) {
+            // Safety: fd is owned and closed exactly once.
+            unsafe { close(self.0) };
+        }
+    }
+
+    /// An owned nonblocking `eventfd(2)` — the wake-up channel under epoll.
+    /// Writes add to a kernel u64 counter (an edge for EPOLLET); one read
+    /// returns and clears it, so any number of wakes coalesce.
+    #[derive(Debug)]
+    pub struct EventFd(c_int);
+
+    impl EventFd {
+        pub fn new() -> io::Result<Self> {
+            // Safety: plain syscall, no pointers.
+            let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(EventFd(fd))
+        }
+
+        pub fn fd(&self) -> i32 {
+            self.0
+        }
+
+        /// Adds 1 to the counter. Never blocks: EAGAIN means the counter
+        /// is saturated, i.e. more than enough wakes are already pending.
+        pub fn signal(&self) {
+            let one: u64 = 1;
+            // Safety: 8 valid bytes at a valid pointer.
+            unsafe { write(self.0, (&one as *const u64).cast(), 8) };
+        }
+
+        /// Reads and clears the counter (EAGAIN when already clear).
+        pub fn clear(&self) {
+            let mut buf: u64 = 0;
+            // Safety: 8 writable bytes at a valid pointer.
+            unsafe { read(self.0, (&mut buf as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for EventFd {
+        fn drop(&mut self) {
+            // Safety: fd is owned and closed exactly once.
+            unsafe { close(self.0) };
+        }
+    }
+}
+
+/// Which readiness backend to run. `Auto` resolves to epoll on Linux and
+/// poll(2) everywhere else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    #[default]
+    Auto,
+    Epoll,
+    Poll,
+}
+
+impl BackendChoice {
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(BackendChoice::Auto),
+            "epoll" => Some(BackendChoice::Epoll),
+            "poll" => Some(BackendChoice::Poll),
+            _ => None,
+        }
+    }
+
+    /// The concrete backend this choice resolves to on the current target.
+    pub fn resolved(self) -> BackendChoice {
+        match self {
+            BackendChoice::Auto => {
+                if cfg!(target_os = "linux") {
+                    BackendChoice::Epoll
+                } else {
+                    BackendChoice::Poll
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendChoice::Auto => "auto",
+            BackendChoice::Epoll => "epoll",
+            BackendChoice::Poll => "poll",
+        })
+    }
+}
+
+/// One readiness edge reported by [`Poller::wait`]. `token` is whatever
+/// the caller registered the fd under. Error/hangup conditions are folded
+/// into both directions — "go do I/O and discover the truth".
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+/// Registry for the poll(2) backend: token → (fd, interest). The poll set
+/// is rebuilt from this on every [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct PollRegistry {
+    slots: std::collections::BTreeMap<u64, (i32, i16)>,
+}
+
+/// A readiness backend instance owned by one loop shard.
+#[derive(Debug)]
+pub enum Poller {
+    Poll(PollRegistry),
+    #[cfg(target_os = "linux")]
+    Epoll(epoll_sys::EpollFd),
+}
+
+impl Poller {
+    /// Opens a backend. `Epoll` on a non-Linux target is `Unsupported`.
+    pub fn new(choice: BackendChoice) -> io::Result<Poller> {
+        match choice.resolved() {
+            BackendChoice::Poll => Ok(Poller::Poll(PollRegistry::default())),
+            #[cfg(target_os = "linux")]
+            BackendChoice::Epoll => Ok(Poller::Epoll(epoll_sys::EpollFd::new()?)),
+            #[cfg(not(target_os = "linux"))]
+            BackendChoice::Epoll => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll backend requires linux",
+            )),
+            BackendChoice::Auto => unreachable!("resolved() never returns Auto"),
+        }
+    }
+
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            Poller::Poll(_) => "poll",
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(_) => "epoll",
+        }
+    }
+
+    /// Whether readiness is edge-triggered (readiness must be cached by
+    /// the caller and cleared only on `WouldBlock`).
+    pub fn edge_triggered(&self) -> bool {
+        match self {
+            Poller::Poll(_) => false,
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(_) => true,
+        }
+    }
+
+    /// Registers an fd under `token`. Under epoll the requested directions
+    /// are armed once, edge-triggered, and never change (a waker arms
+    /// read-only — re-arming its write side on every drain would wake the
+    /// loop forever); under poll `readable`/`writable` seed the
+    /// level-triggered interest, updated later via [`Poller::set_interest`].
+    pub fn register(
+        &mut self,
+        fd: i32,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        match self {
+            Poller::Poll(reg) => {
+                let mut events = 0i16;
+                if readable {
+                    events |= POLLIN;
+                }
+                if writable {
+                    events |= POLLOUT;
+                }
+                reg.slots.insert(token, (fd, events));
+                Ok(())
+            }
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(ep) => {
+                use epoll_sys::*;
+                let mut bits = EPOLLRDHUP | EPOLLET;
+                if readable {
+                    bits |= EPOLLIN;
+                }
+                if writable {
+                    bits |= EPOLLOUT;
+                }
+                ep.add(fd, bits, token)
+            }
+        }
+    }
+
+    /// Updates level-triggered interest (poll backend only; a no-op under
+    /// edge-triggered epoll, where interest never changes after `register`).
+    pub fn set_interest(&mut self, token: u64, readable: bool, writable: bool) {
+        if let Poller::Poll(reg) = self {
+            if let Some((_, events)) = reg.slots.get_mut(&token) {
+                let mut e = 0i16;
+                if readable {
+                    e |= POLLIN;
+                }
+                if writable {
+                    e |= POLLOUT;
+                }
+                *events = e;
+            }
+        }
+    }
+
+    /// Removes an fd from the backend. Must be called before the fd is
+    /// closed (epoll auto-deregisters on close, poll would error on a
+    /// stale fd — doing it explicitly keeps both paths identical).
+    pub fn deregister(&mut self, fd: i32, token: u64) {
+        match self {
+            Poller::Poll(reg) => {
+                reg.slots.remove(&token);
+            }
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(ep) => {
+                let _ = ep.del(fd);
+                let _ = token;
+            }
+        }
+    }
+
+    /// Waits up to `timeout_ms` (0 = just poll, negative = forever) and
+    /// appends readiness events to `out` (cleared first).
+    pub fn wait(&mut self, timeout_ms: i32, out: &mut Vec<Event>) -> io::Result<()> {
+        out.clear();
+        match self {
+            Poller::Poll(reg) => {
+                let mut fds = Vec::with_capacity(reg.slots.len());
+                let mut tokens = Vec::with_capacity(reg.slots.len());
+                for (&token, &(fd, events)) in &reg.slots {
+                    if events != 0 {
+                        fds.push(PollFd::new(fd, events));
+                        tokens.push(token);
+                    }
+                }
+                if fds.is_empty() {
+                    // Nothing armed: still honor the timeout so the loop
+                    // can't spin.
+                    if timeout_ms != 0 {
+                        let ms = if timeout_ms < 0 { 10 } else { timeout_ms };
+                        std::thread::sleep(std::time::Duration::from_millis(ms as u64));
+                    }
+                    return Ok(());
+                }
+                poll_fds(&mut fds, timeout_ms)?;
+                for (fd, token) in fds.iter().zip(tokens) {
+                    let err = fd.revents & (POLLERR | POLLHUP) != 0;
+                    let readable = fd.revents & POLLIN != 0 || err;
+                    let writable = fd.revents & POLLOUT != 0 || err;
+                    if readable || writable {
+                        out.push(Event {
+                            token,
+                            readable,
+                            writable,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(ep) => {
+                use epoll_sys::*;
+                let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+                let n = ep.wait(&mut buf, timeout_ms)?;
+                for ev in buf.iter().take(n) {
+                    // Copy out of the (possibly packed) struct before use.
+                    let bits = ev.events;
+                    let token = ev.data;
+                    let err = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                    out.push(Event {
+                        token,
+                        readable: bits & EPOLLIN != 0 || err,
+                        writable: bits & EPOLLOUT != 0 || err,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Wakes a sleeping [`Poller::wait`] from another thread.
 ///
-/// `rx` is registered `POLLIN` in the poll set; [`Waker::wake`] sends one
-/// loopback datagram to it. Multiple wakes before the loop runs coalesce
-/// in the socket buffer and are swallowed by one [`Waker::drain`].
-pub struct Waker {
-    rx: UdpSocket,
-    tx: UdpSocket,
+/// The backend decides the mechanism: an `eventfd(2)` under epoll (one
+/// fd, kernel-counter coalescing, a clean edge source for EPOLLET), a
+/// loopback UDP socket pair under poll(2) (portable, sends never block,
+/// a receive buffer's worth of wakes coalesce). Register [`Waker::fd`]
+/// for read interest; [`Waker::wake`] fires it; [`Waker::drain`] clears
+/// every pending wake.
+pub enum Waker {
+    Udp {
+        rx: UdpSocket,
+        tx: UdpSocket,
+    },
+    #[cfg(target_os = "linux")]
+    EventFd(epoll_sys::EventFd),
 }
 
 impl Waker {
+    /// The portable UDP-loopback waker.
     pub fn new() -> io::Result<Self> {
         let rx = UdpSocket::bind("127.0.0.1:0")?;
         rx.set_nonblocking(true)?;
         let tx = UdpSocket::bind("127.0.0.1:0")?;
         tx.connect(rx.local_addr()?)?;
         tx.set_nonblocking(true)?;
-        Ok(Waker { rx, tx })
+        Ok(Waker::Udp { rx, tx })
     }
 
-    /// The receive side, for fd registration in the poll set.
-    pub fn receiver(&self) -> &UdpSocket {
-        &self.rx
+    /// A waker matched to `poller`'s backend: eventfd under epoll, UDP
+    /// loopback under poll.
+    pub fn for_poller(poller: &Poller) -> io::Result<Self> {
+        match poller {
+            Poller::Poll(_) => Waker::new(),
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(_) => Ok(Waker::EventFd(epoll_sys::EventFd::new()?)),
+        }
     }
 
-    /// Signals the event loop. Never blocks; a full socket buffer means
-    /// enough wakes are already pending and the send is dropped.
+    /// The fd to register for read interest in the poll/epoll set.
+    pub fn fd(&self) -> i32 {
+        match self {
+            Waker::Udp { rx, .. } => fd_of(rx),
+            #[cfg(target_os = "linux")]
+            Waker::EventFd(efd) => efd.fd(),
+        }
+    }
+
+    /// The receive side of the UDP waker, for direct `PollFd` registration
+    /// (legacy path; eventfd wakers expose only [`Waker::fd`]).
+    pub fn receiver(&self) -> Option<&UdpSocket> {
+        match self {
+            Waker::Udp { rx, .. } => Some(rx),
+            #[cfg(target_os = "linux")]
+            Waker::EventFd(_) => None,
+        }
+    }
+
+    /// Signals the event loop. Never blocks; saturation means enough
+    /// wakes are already pending and the signal is dropped.
     pub fn wake(&self) {
-        let _ = self.tx.send(&[1]);
+        match self {
+            Waker::Udp { tx, .. } => {
+                let _ = tx.send(&[1]);
+            }
+            #[cfg(target_os = "linux")]
+            Waker::EventFd(efd) => efd.signal(),
+        }
     }
 
-    /// Swallows every pending wake datagram.
+    /// Swallows every pending wake.
     pub fn drain(&self) {
-        let mut buf = [0u8; 64];
-        while self.rx.recv(&mut buf).is_ok() {}
+        match self {
+            Waker::Udp { rx, .. } => {
+                let mut buf = [0u8; 64];
+                while rx.recv(&mut buf).is_ok() {}
+            }
+            #[cfg(target_os = "linux")]
+            Waker::EventFd(efd) => efd.clear(),
+        }
     }
 }
 
@@ -163,10 +602,14 @@ mod tests {
     use super::*;
     use std::time::{Duration, Instant};
 
+    fn udp_receiver(waker: &Waker) -> &UdpSocket {
+        waker.receiver().expect("Waker::new() is the UDP variant")
+    }
+
     #[test]
     fn waker_makes_poll_ready_and_drain_resets() {
         let waker = Waker::new().unwrap();
-        let mut fds = [PollFd::new(fd_of(waker.receiver()), POLLIN)];
+        let mut fds = [PollFd::new(fd_of(udp_receiver(&waker)), POLLIN)];
 
         // Nothing pending: poll times out quickly.
         let start = Instant::now();
@@ -194,7 +637,7 @@ mod tests {
     #[test]
     fn wake_from_another_thread_interrupts_a_sleeping_poll() {
         let waker = Waker::new().unwrap();
-        let mut fds = [PollFd::new(fd_of(waker.receiver()), POLLIN)];
+        let mut fds = [PollFd::new(fd_of(udp_receiver(&waker)), POLLIN)];
         std::thread::scope(|s| {
             s.spawn(|| {
                 std::thread::sleep(Duration::from_millis(50));
@@ -207,5 +650,103 @@ mod tests {
                 "poll returned well before its timeout"
             );
         });
+    }
+
+    #[test]
+    fn backend_choice_parses_and_resolves() {
+        assert_eq!(BackendChoice::parse("auto"), Some(BackendChoice::Auto));
+        assert_eq!(BackendChoice::parse("epoll"), Some(BackendChoice::Epoll));
+        assert_eq!(BackendChoice::parse("poll"), Some(BackendChoice::Poll));
+        assert_eq!(BackendChoice::parse("kqueue"), None);
+        let resolved = BackendChoice::Auto.resolved();
+        assert_ne!(resolved, BackendChoice::Auto);
+        if cfg!(target_os = "linux") {
+            assert_eq!(resolved, BackendChoice::Epoll);
+        } else {
+            assert_eq!(resolved, BackendChoice::Poll);
+        }
+        assert_eq!(BackendChoice::Poll.to_string(), "poll");
+    }
+
+    /// One test body exercised against both backends: the waker's fd is
+    /// registered under a token, wake → wait reports that token readable,
+    /// drain → a zero-timeout wait reports nothing.
+    fn waker_roundtrip(mut poller: Poller) {
+        let waker = Waker::for_poller(&poller).unwrap();
+        const TOKEN: u64 = 7;
+        poller.register(waker.fd(), TOKEN, true, false).unwrap();
+
+        let mut events = Vec::new();
+        waker.wake();
+        waker.wake(); // coalesces
+        poller.wait(1000, &mut events).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == TOKEN && e.readable),
+            "{}: wake surfaced as a readable event",
+            poller.backend_name()
+        );
+
+        waker.drain();
+        #[cfg(unix)]
+        {
+            poller.wait(0, &mut events).unwrap();
+            assert!(
+                events.iter().all(|e| e.token != TOKEN),
+                "{}: drain cleared pending wakes",
+                poller.backend_name()
+            );
+        }
+
+        poller.deregister(waker.fd(), TOKEN);
+        poller.wait(0, &mut events).unwrap();
+        waker.wake();
+        poller.wait(0, &mut events).unwrap();
+        assert!(
+            events.is_empty(),
+            "{}: deregistered fd reports nothing",
+            poller.backend_name()
+        );
+    }
+
+    #[test]
+    fn poll_backend_waker_roundtrip() {
+        let poller = Poller::new(BackendChoice::Poll).unwrap();
+        assert_eq!(poller.backend_name(), "poll");
+        assert!(!poller.edge_triggered());
+        waker_roundtrip(poller);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn epoll_backend_waker_roundtrip() {
+        let poller = Poller::new(BackendChoice::Epoll).unwrap();
+        assert_eq!(poller.backend_name(), "epoll");
+        assert!(poller.edge_triggered());
+        waker_roundtrip(poller);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn eventfd_counts_edges_once_per_clear() {
+        let waker = Waker::for_poller(&Poller::new(BackendChoice::Epoll).unwrap()).unwrap();
+        assert!(waker.receiver().is_none(), "eventfd waker has no UDP side");
+        let mut poller = Poller::new(BackendChoice::Epoll).unwrap();
+        poller.register(waker.fd(), 1, true, false).unwrap();
+        let mut events = Vec::new();
+
+        // Edge 1: counter 0 -> n.
+        waker.wake();
+        poller.wait(500, &mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 1));
+
+        // Same edge, already reported: ET reports nothing new.
+        poller.wait(0, &mut events).unwrap();
+        assert!(events.is_empty(), "edge-triggered: no re-report");
+
+        // Clear, then a new write is a new edge.
+        waker.drain();
+        waker.wake();
+        poller.wait(500, &mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 1));
     }
 }

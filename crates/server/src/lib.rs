@@ -58,10 +58,11 @@ pub use codec::{
     decode_request_frame, decode_response_frame, encode_request_frame, encode_response_frame,
     FrameError, FRAME_MAGIC, MAX_FRAME_PAYLOAD,
 };
+pub use event::BackendChoice;
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, EndpointMetrics,
-    HealthReport, MetricsReport, Request, RequestEnvelope, Response, ResponseEnvelope, ServerError,
-    PROTOCOL_V2, PROTOCOL_VERSION,
+    HealthReport, LoopShardMetrics, MetricsReport, Request, RequestEnvelope, Response,
+    ResponseEnvelope, ServerError, PROTOCOL_V2, PROTOCOL_VERSION,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{ServerConfig, ServerHandle, ServerReport, TripsServer};

@@ -201,6 +201,23 @@ pub struct EndpointMetrics {
     pub mean_us: f64,
 }
 
+/// Per-loop-shard vitals: each event-loop shard owns its fds, buffers and
+/// waker; these gauges show whether the acceptor's round-robin spread the
+/// connection population evenly and whether one shard's completion queue
+/// is backing up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopShardMetrics {
+    pub shard: usize,
+    /// Connections currently owned by this shard.
+    pub connections: usize,
+    /// Finished jobs handed back by workers, not yet applied by the
+    /// shard's loop (a sustained backlog means the shard is saturated).
+    pub pending_completions: usize,
+    /// Times this shard's waker was signaled (worker completions +
+    /// acceptor handoffs).
+    pub wakeups: u64,
+}
+
 /// Metrics endpoint payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsReport {
@@ -224,6 +241,17 @@ pub struct MetricsReport {
     /// `/proc/self/statm`; `None` where that is unavailable). The
     /// connection-scaling gate watches this for flat memory.
     pub rss_kb: Option<u64>,
+    /// The readiness backend the event loops run on (`"epoll"`/`"poll"`).
+    pub event_backend: String,
+    /// One entry per event-loop shard.
+    pub loop_shards: Vec<LoopShardMetrics>,
+    /// Number of translator-lock shards (FNV device-hash partitioned,
+    /// aligned with the store's shard hash).
+    pub translator_shards: usize,
+    /// Times a worker found its translator shard's lock held and had to
+    /// wait. High values relative to `requests` mean devices are hashing
+    /// into too few shards (or one device dominates the stream).
+    pub translator_lock_contention: u64,
     pub endpoints: Vec<EndpointMetrics>,
     /// WAL occupancy; `None` without a durability layer. Tracks the
     /// durability overhead the perf trajectory must watch: segment
@@ -410,6 +438,15 @@ mod tests {
                 peak_queue_depth: 9,
                 ingest_coalesced: 5,
                 rss_kb: Some(10_240),
+                event_backend: "epoll".into(),
+                loop_shards: vec![LoopShardMetrics {
+                    shard: 0,
+                    connections: 2,
+                    pending_completions: 1,
+                    wakeups: 42,
+                }],
+                translator_shards: 8,
+                translator_lock_contention: 3,
                 endpoints: vec![EndpointMetrics {
                     endpoint: "query".into(),
                     count: 80,

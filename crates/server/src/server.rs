@@ -1,5 +1,5 @@
-//! The serving loop: poll-based event loop → bounded admission queue →
-//! fixed worker pool → semantics store.
+//! The serving loops: acceptor → sharded event loops → bounded admission
+//! queue → fixed worker pool → sharded translator locks → semantics store.
 //!
 //! ## Threading model
 //!
@@ -8,26 +8,45 @@
 //! state directly — no leaked `'static` state, and `serve` returns only
 //! after every thread has exited:
 //!
-//! * the **event loop** (the calling thread) multiplexes the listener and
-//!   every connection over `poll(2)` ([`crate::event`]). Connections are
-//!   nonblocking sockets with per-connection read/write buffers — ten
-//!   thousand idle device streams cost fds and buffers, not parked
-//!   threads. The loop parses complete messages (NDJSON v1 lines or
-//!   binary v2 frames, detected per message by the first byte), answers
-//!   cheap admin requests inline (`Ping`/`Health`/`Metrics` stay
+//! * the **acceptor** (the calling thread) owns the listener, enforces
+//!   the connection cap, and deals accepted sockets round-robin to the
+//!   loop shards;
+//! * **N event-loop shards** (`ServerConfig::loop_shards`, default
+//!   `min(cores, 4)`) each own their connections' fds, buffers, and a
+//!   wake-up channel, multiplexed by [`crate::event::Poller`] —
+//!   edge-triggered epoll on Linux, poll(2) as the portable fallback
+//!   ([`crate::event::BackendChoice`]). Connections are nonblocking
+//!   sockets with per-connection read/write buffers and cached readiness
+//!   (`can_read`/`can_write`, cleared only on `WouldBlock` — the
+//!   edge-triggered contract), so ten thousand idle device streams cost
+//!   fds and buffers, not parked threads, and a wakeup costs O(ready),
+//!   not O(connections). Each shard parses complete messages (NDJSON v1
+//!   lines or binary v2 frames, detected per message by the first byte),
+//!   answers cheap admin requests inline (`Ping`/`Health`/`Metrics` stay
 //!   observable under overload), and submits real work to the queue —
 //!   one request in flight per connection, so responses stay ordered;
-//! * a **fixed worker pool** pops jobs, executes them against the shared
-//!   `StreamingTranslator` + `SemanticsStore`, *encodes the response
-//!   bytes* (the serialization cost parallelizes), and hands the bytes
-//!   back to the event loop through a completion list + wake-up channel.
+//! * a **fixed worker pool** pops jobs, executes them against the
+//!   sharded `StreamingTranslator` locks + shared `SemanticsStore`,
+//!   *encodes the response bytes* (the serialization cost parallelizes),
+//!   and hands the bytes back to the owning loop shard through its
+//!   completion list + waker.
 //!
-//! Adjacent queued `Ingest` jobs are **coalesced**: a worker that pops an
-//! ingest drains up to [`INGEST_COALESCE_MAX`] more ingests from the
-//! queue and runs them under a single translator-lock acquisition
-//! (`server_load` shows ingest p99 dominated by lock-per-micro-batch).
-//! Each job still gets its own response and latency sample; the
-//! `ingest_coalesced` metric counts the piggybacked jobs.
+//! ## Translator sharding
+//!
+//! The streaming translator is partitioned into a power-of-two array of
+//! independently locked instances ([`ServerConfig::translator_shards`]),
+//! routed by the same FNV-1a device hash as `trips-store`
+//! ([`trips_store::device_hash`]) — a device's translator shard and store
+//! shard stay aligned, and since every device lives entirely within one
+//! translator instance, sharded output is bit-identical to a single
+//! translator. Adjacent queued `Ingest` jobs *whose devices hash to the
+//! same shard* are **coalesced**: a worker drains up to
+//! [`INGEST_COALESCE_MAX`] of them and runs all under a single lock
+//! acquisition, so batches from unrelated devices translate in parallel
+//! while per-device ordering is preserved. Locks are only ever taken one
+//! shard at a time (multi-shard work iterates), so there is no lock-order
+//! deadlock; the `translator_lock_contention` metric counts blocked
+//! acquisitions.
 //!
 //! ## Overload behavior
 //!
@@ -40,12 +59,13 @@
 //! ## Sessions
 //!
 //! Each connection is a session. `Shared.sessions` refcounts, per device,
-//! how many live connections have ingested that device; teardown flushes
-//! and `end_session`s only the devices whose count drops to zero, so a
-//! disconnecting client never splits a flow another connection is still
-//! streaming. For the same reason a wire-level `Flush { device: None }`
-//! is scoped to the *requesting* session's devices, not the whole
-//! translator.
+//! how many live connections have ingested that device — **globally**,
+//! across loop shards, because two connections on different shards can
+//! stream the same device. Teardown flushes and `end_session`s only the
+//! devices whose count drops to zero, so a disconnecting client never
+//! splits a flow another connection is still streaming. For the same
+//! reason a wire-level `Flush { device: None }` is scoped to the
+//! *requesting* session's devices, not the whole translator.
 //!
 //! ## Drain
 //!
@@ -78,10 +98,10 @@
 //! queryable state.
 
 use crate::codec::{self, FrameError, FRAME_MAGIC, HEADER_LEN, MAX_FRAME_PAYLOAD};
-use crate::event::{fd_of, poll_fds, PollFd, Waker, POLLIN, POLLOUT};
+use crate::event::{fd_of, poll_fds, BackendChoice, Event, PollFd, Poller, Waker, POLLIN};
 use crate::protocol::{
-    EndpointMetrics, HealthReport, MetricsReport, Request, RequestEnvelope, Response,
-    ResponseEnvelope, ServerError,
+    EndpointMetrics, HealthReport, LoopShardMetrics, MetricsReport, Request, RequestEnvelope,
+    Response, ResponseEnvelope, ServerError,
 };
 use crate::queue::{BoundedQueue, PushError};
 use std::collections::{BTreeMap, BTreeSet};
@@ -103,22 +123,28 @@ use trips_store::{boot_store, DurabilityConfig, QueryService, RecoveryReport, Se
 const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
 
 /// Per-connection read-buffer cap: one maximal v2 frame. Reads pause
-/// (the fd leaves the poll set's `POLLIN`) until the buffer drains below
-/// this, so a pipelining client cannot balloon server memory.
+/// (readiness is cached, the fill loop stops) until the buffer drains
+/// below this, so a pipelining client cannot balloon server memory.
 const MAX_READ_BUF: usize = MAX_FRAME_PAYLOAD + HEADER_LEN;
 
-/// Bytes read per readiness event before yielding back to the poll loop,
-/// so one firehose connection cannot starve the rest.
-const READ_BUDGET: usize = 256 * 1024;
+/// Default per-event read budget ([`ServerConfig::read_budget`]).
+pub const DEFAULT_READ_BUDGET: usize = 256 * 1024;
 
 /// Most `Ingest` jobs one worker executes under a single translator-lock
 /// acquisition (adaptive micro-batching; purely opportunistic — workers
-/// never wait for more work).
+/// never wait for more work). Only jobs routing to the *same* translator
+/// shard coalesce.
 const INGEST_COALESCE_MAX: usize = 16;
 
 /// How long a drain waits for connections to finish in-flight work and
 /// flush response bytes before dropping them.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// How long the acceptor sleeps in `poll` between drain-flag checks.
+const ACCEPT_POLL_MS: i32 = 25;
+
+/// The registration token reserved for each shard's waker fd.
+const WAKER_TOKEN: u64 = u64::MAX;
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -134,6 +160,22 @@ pub struct ServerConfig {
     /// Store shard count (`0` = [`trips_store::default_shard_count`]).
     /// Ignored when booting from a snapshot (the snapshot records its own).
     pub shards: usize,
+    /// Event-loop shard count (`0` = `min(cores, 4)`). Each shard is one
+    /// thread owning its connections' fds and buffers; the acceptor deals
+    /// new connections round-robin.
+    pub loop_shards: usize,
+    /// Translator-lock shard count, rounded up to a power of two
+    /// (`0` = `clamp(2·cores, 4, 32)` rounded likewise). Devices are
+    /// routed by [`trips_store::device_hash`], so this aligns with the
+    /// store's own sharding.
+    pub translator_shards: usize,
+    /// Bytes read per readiness event before a connection yields back to
+    /// its loop shard, so one firehose connection cannot starve the rest
+    /// (`0` = [`DEFAULT_READ_BUDGET`]).
+    pub read_budget: usize,
+    /// Readiness backend: edge-triggered epoll (Linux), level-triggered
+    /// poll(2) (portable), or `Auto` (epoll where available).
+    pub backend: BackendChoice,
     /// Streaming-translator settings (flush gap, buffer cap, translator).
     pub stream: StreamConfig,
     /// Boot the store from this `trips-store` snapshot instead of empty.
@@ -151,8 +193,8 @@ pub struct ServerConfig {
     /// mutation before acking. `Snapshot` requests become
     /// checkpoint+compact. Mutually exclusive with `snapshot`.
     pub durability: Option<DurabilityConfig>,
-    /// Event-loop poll timeout — the latency of noticing a drain when no
-    /// fd is active (completions interrupt the poll via a waker).
+    /// Event-loop wait timeout — the latency of noticing a drain when no
+    /// fd is active (completions interrupt the wait via a waker).
     pub poll_interval: Duration,
 }
 
@@ -161,10 +203,15 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             queue_capacity: 128,
-            // The event loop costs ~one fd + two buffers per connection,
-            // so the default cap is deployment-sized, not thread-sized.
-            max_connections: 1024,
+            // A loop shard costs ~one fd + two buffers per connection, so
+            // the default cap is deployment-sized, not thread-sized (the
+            // CI scaling gate holds 2000 under epoll).
+            max_connections: 4096,
             shards: 0,
+            loop_shards: 0,
+            translator_shards: 0,
+            read_budget: DEFAULT_READ_BUDGET,
+            backend: BackendChoice::Auto,
             stream: StreamConfig::default(),
             snapshot: None,
             snapshot_root: None,
@@ -172,6 +219,25 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(10),
         }
     }
+}
+
+/// `min(cores, 4)` — one loop shard saturates well past a thousand mostly
+/// idle connections, so shards track cores only up to a small cap.
+fn default_loop_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
+}
+
+/// `clamp(2·cores, 4, 32)`, next power of two — enough shards that random
+/// device traffic rarely collides, few enough that per-shard buffers stay
+/// warm.
+fn default_translator_shards() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores * 2).clamp(4, 32).next_power_of_two()
 }
 
 /// Counters summarizing one `serve` run, returned when the loop drains.
@@ -213,9 +279,15 @@ struct WorkJob {
     /// Connection token (the completion is dropped if the connection is
     /// gone by then).
     token: u64,
+    /// Loop shard owning the connection — completions route back to it.
+    shard: usize,
     id: u64,
     wire: Wire,
     req: Request,
+    /// For `Ingest`: `Some(s)` when every record's device hashes to
+    /// translator shard `s` (the coalescable fast path), `None` when the
+    /// batch spans shards.
+    tshard: Option<usize>,
     /// Well-formed devices of an `Ingest` batch — attributed to the
     /// session only if the ingest executes.
     batch_devices: Vec<DeviceId>,
@@ -333,20 +405,48 @@ fn read_rss_kb() -> Option<u64> {
     Some(rss_pages * 4)
 }
 
-/// State shared by the event loop and workers for one `serve` run (lives
-/// on `serve`'s stack; scoped threads borrow it).
-struct Shared<'env> {
-    translator: parking_lot::Mutex<StreamingTranslator<'env>>,
-    store: Arc<SemanticsStore>,
-    queue: BoundedQueue<WorkJob>,
-    /// Finished jobs waiting for the event loop (paired with `waker`).
+/// Per-loop-shard shared state: the channels through which the acceptor
+/// and workers reach one shard's loop thread.
+struct ShardState {
+    /// Finished jobs waiting for this shard's loop (paired with `waker`).
     completions: parking_lot::Mutex<Vec<Done>>,
     waker: Waker,
-    /// Per-device count of live connections that ingested the device.
+    /// Accepted sockets dealt to this shard, not yet registered.
+    incoming: parking_lot::Mutex<Vec<TcpStream>>,
+    /// Times `waker` was signaled (completions + handoffs) — a proxy for
+    /// how busy the shard's wake channel is.
+    wakeups: AtomicU64,
+    /// Connections currently owned by the shard (metrics gauge).
+    connections: AtomicUsize,
+}
+
+impl ShardState {
+    fn wake(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.waker.wake();
+    }
+}
+
+/// State shared by the acceptor, loop shards and workers for one `serve`
+/// run (lives on `serve`'s stack; scoped threads borrow it).
+struct Shared<'env> {
+    /// Translator shard array (power of two), FNV device-hash routed.
+    /// Invariant: locks are taken one shard at a time, never nested.
+    translators: Vec<parking_lot::Mutex<StreamingTranslator<'env>>>,
+    /// `translators.len() - 1`, the hash mask.
+    tmask: usize,
+    store: Arc<SemanticsStore>,
+    queue: BoundedQueue<WorkJob>,
+    shards: Vec<ShardState>,
+    /// Globally unique connection tokens across all loop shards.
+    next_token: AtomicU64,
+    /// Per-device count of live connections that ingested the device —
+    /// global across loop shards (two shards can stream one device).
     /// Teardown flushes + `end_session`s only devices dropping to zero.
-    /// Touched by the event loop only — workers never lock this.
     sessions: parking_lot::Mutex<BTreeMap<DeviceId, usize>>,
     snapshot_root: Option<PathBuf>,
+    backend_name: &'static str,
+    read_budget: usize,
     shutdown: AtomicBool,
     active: AtomicUsize,
     started: Instant,
@@ -358,6 +458,7 @@ struct Shared<'env> {
     shed: AtomicU64,
     bad_requests: AtomicU64,
     ingest_coalesced: AtomicU64,
+    translator_contention: AtomicU64,
     conns_accepted: AtomicU64,
     conns_rejected: AtomicU64,
 }
@@ -391,9 +492,40 @@ fn resolve_snapshot_path(root: Option<&Path>, path: &str) -> Result<PathBuf, Ser
     Ok(root.join(rel))
 }
 
+/// Groups an iterator of per-device items by translator shard, preserving
+/// arrival order within each shard (order across shards is immaterial —
+/// different shards hold different devices).
+fn group_by_tshard<T>(items: impl IntoIterator<Item = (usize, T)>) -> BTreeMap<usize, Vec<T>> {
+    let mut groups: BTreeMap<usize, Vec<T>> = BTreeMap::new();
+    for (shard, item) in items {
+        groups.entry(shard).or_default().push(item);
+    }
+    groups
+}
+
 impl<'env> Shared<'env> {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// The translator shard a device routes to (same FNV hash as the
+    /// store, masked by the power-of-two shard count).
+    fn tshard(&self, device: &DeviceId) -> usize {
+        (trips_store::device_hash(device) as usize) & self.tmask
+    }
+
+    /// Locks one translator shard, counting contended acquisitions.
+    fn lock_translator(
+        &self,
+        shard: usize,
+    ) -> parking_lot::MutexGuard<'_, StreamingTranslator<'env>> {
+        match self.translators[shard].try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.translator_contention.fetch_add(1, Ordering::Relaxed);
+                self.translators[shard].lock()
+            }
+        }
     }
 
     fn record(&self, endpoint: &str, latency: Duration) {
@@ -405,8 +537,8 @@ impl<'env> Shared<'env> {
         recorder.lock().record(latency);
     }
 
-    /// Executes one `Ingest` with the translator lock already held (the
-    /// coalescing path amortizes one lock over many batches).
+    /// Executes one `Ingest` with a translator-shard lock already held
+    /// (the coalescing path amortizes one lock over many batches).
     fn ingest_locked(
         translator: &mut StreamingTranslator<'env>,
         records: Vec<trips_data::RawRecord>,
@@ -429,42 +561,74 @@ impl<'env> Shared<'env> {
         }
     }
 
+    /// Executes an `Ingest` whose records span translator shards: the
+    /// batch is partitioned by device hash and each partition runs under
+    /// its own shard's lock (taken one at a time), summing the counters.
+    fn ingest_multi(&self, records: Vec<trips_data::RawRecord>) -> Response {
+        let groups = group_by_tshard(records.into_iter().map(|r| (self.tshard(&r.device), r)));
+        let (mut accepted, mut rejected, mut emitted) = (0, 0, 0);
+        for (shard, group) in groups {
+            let mut translator = self.lock_translator(shard);
+            if let Response::Ingested {
+                accepted: a,
+                rejected: r,
+                emitted: e,
+            } = Self::ingest_locked(&mut translator, group)
+            {
+                accepted += a;
+                rejected += r;
+                emitted += e;
+            }
+        }
+        Response::Ingested {
+            accepted,
+            rejected,
+            emitted,
+        }
+    }
+
+    /// Flushes a set of devices, grouped so each translator shard is
+    /// locked once; returns `(devices flushed, semantics emitted)`.
+    fn flush_devices<'a>(&self, devices: impl IntoIterator<Item = &'a DeviceId>) -> (usize, usize) {
+        let groups = group_by_tshard(devices.into_iter().map(|d| (self.tshard(d), d)));
+        let (mut flushed, mut emitted) = (0, 0);
+        for (shard, group) in groups {
+            let mut translator = self.lock_translator(shard);
+            for device in group {
+                let before = translator.open_devices();
+                emitted += translator.flush_device(device).len();
+                flushed += before - translator.open_devices();
+            }
+        }
+        (flushed, emitted)
+    }
+
+    /// Flushes every translator shard (snapshot/drain path).
+    fn finish_all_translators(&self) {
+        for translator in &self.translators {
+            let _ = translator.lock().finish();
+        }
+    }
+
     /// Executes one unit of admitted work (runs on a worker thread).
     /// `session_devices` scopes a flush-all to the requesting session.
     fn execute(&self, req: Request, session_devices: &[DeviceId]) -> Response {
         match req {
-            Request::Ingest { records } => {
-                let mut translator = self.translator.lock();
-                Self::ingest_locked(&mut translator, records)
-            }
-            Request::Flush { device } => {
-                let mut translator = self.translator.lock();
-                match device {
-                    Some(device) => {
-                        let device = DeviceId::new(&device);
-                        let before = translator.open_devices();
-                        let emitted = translator.flush_device(&device).len();
-                        Response::Flushed {
-                            devices: before - translator.open_devices(),
-                            emitted,
-                        }
-                    }
-                    // Flush-all is scoped to the devices *this* session
-                    // ingested — flushing the whole translator would split
-                    // other connections' in-flight flows mid-stream.
-                    None => {
-                        let before = translator.open_devices();
-                        let mut emitted = 0;
-                        for device in session_devices {
-                            emitted += translator.flush_device(device).len();
-                        }
-                        Response::Flushed {
-                            devices: before - translator.open_devices(),
-                            emitted,
-                        }
-                    }
+            Request::Ingest { records } => self.ingest_multi(records),
+            Request::Flush { device } => match device {
+                Some(device) => {
+                    let device = DeviceId::new(&device);
+                    let (devices, emitted) = self.flush_devices([&device]);
+                    Response::Flushed { devices, emitted }
                 }
-            }
+                // Flush-all is scoped to the devices *this* session
+                // ingested — flushing the whole translator would split
+                // other connections' in-flight flows mid-stream.
+                None => {
+                    let (devices, emitted) = self.flush_devices(session_devices.iter());
+                    Response::Flushed { devices, emitted }
+                }
+            },
             Request::Query { request } => Response::Query {
                 result: self.store.query(&request),
             },
@@ -474,11 +638,9 @@ impl<'env> Shared<'env> {
                     // a restart would silently lose in-flight sessions —
                     // a snapshot is a whole-server operation, so this
                     // intentionally flushes *every* session's buffers
-                    // (journaling the published semantics before the WAL
-                    // rotates).
-                    let mut translator = self.translator.lock();
-                    let _ = translator.finish();
-                    drop(translator);
+                    // across all translator shards (journaling the
+                    // published semantics before the WAL rotates).
+                    self.finish_all_translators();
                     // Checkpoint + compact: rotate the WAL, publish the
                     // checkpoint snapshot atomically, retire older
                     // segments. The request's `path` does not apply — the
@@ -501,9 +663,7 @@ impl<'env> Shared<'env> {
                         Ok(full) => full,
                         Err(err) => return Response::Error(err),
                     };
-                    let mut translator = self.translator.lock();
-                    let _ = translator.finish();
-                    drop(translator);
+                    self.finish_all_translators();
                     if let Some(parent) = full.parent() {
                         if let Err(e) = std::fs::create_dir_all(parent) {
                             return Response::Error(ServerError::Internal {
@@ -523,7 +683,7 @@ impl<'env> Shared<'env> {
                     }
                 }
             }
-            // The event loop answers these inline; keep the mapping total.
+            // Loop shards answer these inline; keep the mapping total.
             Request::Ping => Response::Pong,
             Request::Health => self.health(),
             Request::Metrics => self.metrics_report(),
@@ -532,10 +692,12 @@ impl<'env> Shared<'env> {
     }
 
     fn health(&self) -> Response {
-        let (open_devices, buffered_records) = {
-            let translator = self.translator.lock();
-            (translator.open_devices(), translator.buffered_records())
-        };
+        let (mut open_devices, mut buffered_records) = (0, 0);
+        for translator in &self.translators {
+            let translator = translator.lock();
+            open_devices += translator.open_devices();
+            buffered_records += translator.buffered_records();
+        }
         Response::Health(HealthReport {
             status: if self.draining() { "draining" } else { "ok" }.to_string(),
             uptime_ms: self.started.elapsed().as_millis() as u64,
@@ -562,6 +724,17 @@ impl<'env> Shared<'env> {
             snapshot.metrics(name, uptime)
         })
         .collect();
+        let loop_shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, state)| LoopShardMetrics {
+                shard,
+                connections: state.connections.load(Ordering::Relaxed),
+                pending_completions: state.completions.lock().len(),
+                wakeups: state.wakeups.load(Ordering::Relaxed),
+            })
+            .collect();
         Response::Metrics(MetricsReport {
             uptime_ms: uptime.as_millis() as u64,
             connections_accepted: self.conns_accepted.load(Ordering::Relaxed),
@@ -574,16 +747,30 @@ impl<'env> Shared<'env> {
             peak_queue_depth: self.queue.peak_depth(),
             ingest_coalesced: self.ingest_coalesced.load(Ordering::Relaxed),
             rss_kb: read_rss_kb(),
+            event_backend: self.backend_name.to_string(),
+            loop_shards,
+            translator_shards: self.translators.len(),
+            translator_lock_contention: self.translator_contention.load(Ordering::Relaxed),
             endpoints,
             wal: self.store.wal_stats(),
         })
     }
 
-    /// Worker thread body: pop → (coalesce ingests) → execute → encode →
-    /// complete.
+    /// Routes finished jobs back to their loop shards, grouping wakes so
+    /// a coalesced batch signals each shard once.
+    fn complete_batch(&self, dones: Vec<(usize, Done)>) {
+        let groups = group_by_tshard(dones);
+        for (shard, group) in groups {
+            self.shards[shard].completions.lock().extend(group);
+            self.shards[shard].wake();
+        }
+    }
+
+    /// Worker thread body: pop → (coalesce same-shard ingests) → execute
+    /// → encode → complete.
     fn run_worker(&self) {
-        // A non-ingest job drained while probing for coalescable ingests;
-        // executed before the next queue pop so FIFO order is preserved.
+        // A job drained while probing for coalescable ingests; executed
+        // before the next queue pop so FIFO order is preserved.
         let mut carried: Option<WorkJob> = None;
         loop {
             let job = match carried.take() {
@@ -593,69 +780,80 @@ impl<'env> Shared<'env> {
                     None => break,
                 },
             };
-            if matches!(job.req, Request::Ingest { .. }) {
-                let mut batch = vec![job];
-                while batch.len() < INGEST_COALESCE_MAX {
-                    match self.queue.try_pop() {
-                        Some(next) if matches!(next.req, Request::Ingest { .. }) => {
-                            batch.push(next)
+            match (&job.req, job.tshard) {
+                // Single-shard ingest: the coalescable fast path. Only
+                // ingests routing to the *same* translator shard batch
+                // under this lock — others are carried, keeping unrelated
+                // devices free to translate in parallel on other workers.
+                (Request::Ingest { .. }, Some(tshard)) => {
+                    let mut batch = vec![job];
+                    while batch.len() < INGEST_COALESCE_MAX {
+                        match self.queue.try_pop() {
+                            Some(next)
+                                if matches!(next.req, Request::Ingest { .. })
+                                    && next.tshard == Some(tshard) =>
+                            {
+                                batch.push(next)
+                            }
+                            Some(other) => {
+                                carried = Some(other);
+                                break;
+                            }
+                            None => break,
                         }
-                        Some(other) => {
-                            carried = Some(other);
-                            break;
+                    }
+                    if batch.len() > 1 {
+                        self.ingest_coalesced
+                            .fetch_add((batch.len() - 1) as u64, Ordering::Relaxed);
+                    }
+                    let mut dones = Vec::with_capacity(batch.len());
+                    {
+                        let mut translator = self.lock_translator(tshard);
+                        for job in batch {
+                            let WorkJob {
+                                token,
+                                shard,
+                                id,
+                                wire,
+                                req,
+                                batch_devices,
+                                ..
+                            } = job;
+                            let Request::Ingest { records } = req else {
+                                unreachable!("batch contains only ingests");
+                            };
+                            let t0 = Instant::now();
+                            let resp = Self::ingest_locked(&mut translator, records);
+                            self.record("ingest", t0.elapsed());
+                            dones.push((shard, self.finish(token, id, wire, resp, batch_devices)));
                         }
-                        None => break,
                     }
+                    self.complete_batch(dones);
                 }
-                if batch.len() > 1 {
-                    self.ingest_coalesced
-                        .fetch_add((batch.len() - 1) as u64, Ordering::Relaxed);
+                _ => {
+                    let t0 = Instant::now();
+                    let endpoint = job.req.endpoint();
+                    let WorkJob {
+                        token,
+                        shard,
+                        id,
+                        wire,
+                        req,
+                        batch_devices,
+                        session_devices,
+                        ..
+                    } = job;
+                    let resp = self.execute(req, &session_devices);
+                    self.record(endpoint, t0.elapsed());
+                    let done = self.finish(token, id, wire, resp, batch_devices);
+                    self.complete_batch(vec![(shard, done)]);
                 }
-                let mut dones = Vec::with_capacity(batch.len());
-                {
-                    let mut translator = self.translator.lock();
-                    for job in batch {
-                        let WorkJob {
-                            token,
-                            id,
-                            wire,
-                            req,
-                            batch_devices,
-                            ..
-                        } = job;
-                        let Request::Ingest { records } = req else {
-                            unreachable!("batch contains only ingests");
-                        };
-                        let t0 = Instant::now();
-                        let resp = Self::ingest_locked(&mut translator, records);
-                        self.record("ingest", t0.elapsed());
-                        dones.push(self.finish(token, id, wire, resp, batch_devices));
-                    }
-                }
-                self.completions.lock().extend(dones);
-                self.waker.wake();
-            } else {
-                let t0 = Instant::now();
-                let endpoint = job.req.endpoint();
-                let WorkJob {
-                    token,
-                    id,
-                    wire,
-                    req,
-                    session_devices,
-                    ..
-                } = job;
-                let resp = self.execute(req, &session_devices);
-                self.record(endpoint, t0.elapsed());
-                let done = self.finish(token, id, wire, resp, Vec::new());
-                self.completions.lock().push(done);
-                self.waker.wake();
             }
         }
     }
 
     /// Encodes a finished job's response (on the worker, parallelizing
-    /// serialization) into a completion for the event loop.
+    /// serialization) into a completion for the owning loop shard.
     fn finish(
         &self,
         token: u64,
@@ -687,11 +885,17 @@ impl<'env> Shared<'env> {
     }
 }
 
-/// One registered connection's event-loop state.
+/// One registered connection's loop-shard state.
 struct Conn {
     stream: TcpStream,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
+    /// Cached readiness (the edge-triggered contract): assumed ready at
+    /// registration, cleared only on `WouldBlock`/EOF, set again by the
+    /// poller's events. Under level-triggered poll the same flags are
+    /// simply refreshed every wait.
+    can_read: bool,
+    can_write: bool,
     /// A queued work request is awaiting its completion; no further
     /// message is parsed until it lands (per-connection FIFO + natural
     /// backpressure).
@@ -713,6 +917,8 @@ impl Conn {
             stream,
             read_buf: Vec::new(),
             write_buf: Vec::new(),
+            can_read: true,
+            can_write: true,
             inflight: false,
             devices: BTreeSet::new(),
             read_closed: false,
@@ -735,6 +941,22 @@ impl Conn {
         self.closing || self.read_closed
     }
 
+    /// Whether the connection wants more bytes from its socket.
+    fn wants_read(&self) -> bool {
+        !self.read_closed && !self.closing && !self.dead && self.read_buf.len() < MAX_READ_BUF
+    }
+
+    /// Whether cached readiness lets this connection make progress right
+    /// now (the loop shard re-waits with timeout 0 while any does — a
+    /// read-budget or buffer-cap pause must not sleep on the poller,
+    /// because under edge-triggering no new event would ever come).
+    fn actionable(&self) -> bool {
+        if self.dead {
+            return false;
+        }
+        (self.can_read && self.wants_read()) || (self.can_write && !self.write_buf.is_empty())
+    }
+
     fn queue_response(&mut self, wire: Wire, env: &ResponseEnvelope) {
         self.write_buf.extend_from_slice(&encode_wire(wire, env));
     }
@@ -750,7 +972,10 @@ impl Conn {
                 Ok(n) => {
                     self.write_buf.drain(..n);
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.can_write = false;
+                    return;
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
                     self.dead = true;
@@ -760,24 +985,28 @@ impl Conn {
         }
     }
 
-    /// Reads up to [`READ_BUDGET`] bytes into the read buffer.
-    fn fill_read(&mut self) {
-        let mut budget = READ_BUDGET;
+    /// Reads up to `budget` bytes into the read buffer. Edge-safe:
+    /// `can_read` clears **only** on `WouldBlock`/EOF — a budget or
+    /// buffer-cap stop leaves it set, so the loop shard comes right back
+    /// instead of sleeping on a level change that will never be re-signaled.
+    fn fill_read(&mut self, budget: usize) {
+        let mut budget = budget.max(1);
         let mut chunk = [0u8; 16 * 1024];
         while budget > 0 && self.read_buf.len() < MAX_READ_BUF {
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
                     self.read_closed = true;
+                    self.can_read = false;
                     return;
                 }
                 Ok(n) => {
                     self.read_buf.extend_from_slice(&chunk[..n]);
                     budget = budget.saturating_sub(n);
-                    if n < chunk.len() {
-                        return;
-                    }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.can_read = false;
+                    return;
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
                     self.dead = true;
@@ -799,16 +1028,16 @@ enum Parsed {
     NeedMore,
 }
 
-/// The event loop half of the server: owns the connection table and all
-/// socket I/O; everything here runs on the `serve` thread.
-struct EventLoop<'shared, 'env> {
+/// One event-loop shard: owns a partition of the connection table and all
+/// of its socket I/O; everything here runs on the shard's own thread.
+struct LoopShard<'shared, 'env> {
     shared: &'shared Shared<'env>,
+    id: usize,
     conns: BTreeMap<u64, Conn>,
-    next_token: u64,
-    max_connections: usize,
+    poller: Poller,
 }
 
-impl<'shared, 'env> EventLoop<'shared, 'env> {
+impl<'shared, 'env> LoopShard<'shared, 'env> {
     /// Extracts the next complete message from the front of `conn.read_buf`.
     fn parse_next(shared: &Shared<'_>, conn: &mut Conn) -> Parsed {
         // Skip inter-message whitespace (v1 blank lines / trailing \r\n).
@@ -968,6 +1197,11 @@ impl<'shared, 'env> EventLoop<'shared, 'env> {
                 conn.closing = true;
                 shared.shutdown.store(true, Ordering::Relaxed);
                 shared.queue.close();
+                // The other shards are likely asleep in their pollers;
+                // wake them so the drain starts everywhere at once.
+                for state in &shared.shards {
+                    state.wake();
+                }
             }
             req @ (Request::Ingest { .. }
             | Request::Flush { .. }
@@ -977,14 +1211,24 @@ impl<'shared, 'env> EventLoop<'shared, 'env> {
                     inline(conn, Response::Error(ServerError::ShuttingDown));
                     return;
                 }
-                let batch_devices: Vec<DeviceId> = if let Request::Ingest { records } = &req {
-                    records
+                let (batch_devices, tshard) = if let Request::Ingest { records } = &req {
+                    let batch: Vec<DeviceId> = records
                         .iter()
                         .filter(|r| r.is_well_formed())
                         .map(|r| r.device.clone())
-                        .collect()
+                        .collect();
+                    // Single-shard when every record (well-formed or not
+                    // — rejects are counted under the same lock) routes
+                    // to one translator shard. Empty batches take the
+                    // fast path trivially.
+                    let mut shards = records.iter().map(|r| shared.tshard(&r.device));
+                    let tshard = match shards.next() {
+                        None => Some(0),
+                        Some(first) => shards.all(|s| s == first).then_some(first),
+                    };
+                    (batch, tshard)
                 } else {
-                    Vec::new()
+                    (Vec::new(), None)
                 };
                 let session_devices: Vec<DeviceId> =
                     if matches!(req, Request::Flush { device: None }) {
@@ -994,9 +1238,11 @@ impl<'shared, 'env> EventLoop<'shared, 'env> {
                     };
                 match shared.queue.try_push(WorkJob {
                     token,
+                    shard: self.id,
                     id,
                     wire,
                     req,
+                    tshard,
                     batch_devices,
                     session_devices,
                 }) {
@@ -1018,10 +1264,35 @@ impl<'shared, 'env> EventLoop<'shared, 'env> {
         }
     }
 
+    /// Registers sockets the acceptor dealt to this shard.
+    fn adopt_incoming(&mut self) -> io::Result<()> {
+        let incoming: Vec<TcpStream> =
+            std::mem::take(&mut *self.shared.shards[self.id].incoming.lock());
+        for stream in incoming {
+            if self.shared.draining() {
+                // Dropped: drain admits nothing. The acceptor already
+                // counted it; undo the active gauge.
+                self.shared.active.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            let token = self.shared.next_token.fetch_add(1, Ordering::Relaxed);
+            // Both directions: under epoll this is the one-and-only arming
+            // (edges for reads *and* blocked writes); under poll the
+            // per-lap `set_interest` refresh takes over before the first
+            // wait.
+            self.poller.register(fd_of(&stream), token, true, true)?;
+            self.conns.insert(token, Conn::new(stream));
+        }
+        self.shared.shards[self.id]
+            .connections
+            .store(self.conns.len(), Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Applies finished work: response bytes, device attribution, renewed
     /// parsing.
     fn apply_completions(&mut self) {
-        let done: Vec<Done> = std::mem::take(&mut *self.shared.completions.lock());
+        let done: Vec<Done> = std::mem::take(&mut *self.shared.shards[self.id].completions.lock());
         for d in done {
             // The connection may be gone (dropped mid-flight under a
             // forced drain); its response and device attribution die with
@@ -1036,49 +1307,31 @@ impl<'shared, 'env> EventLoop<'shared, 'env> {
                 }
             }
             conn.write_buf.extend_from_slice(&d.bytes);
-            conn.flush_write();
+            if conn.can_write {
+                conn.flush_write();
+            }
             self.pump(d.token);
         }
     }
 
-    /// Accepts pending sockets (listener is nonblocking), enforcing the
-    /// connection cap.
-    fn accept_ready(&mut self, listener: &TcpListener) {
-        loop {
-            match listener.accept() {
-                Ok((mut stream, _peer)) => {
-                    if self.shared.draining() {
-                        continue; // dropped: drain admits nothing
-                    }
-                    if self.conns.len() >= self.max_connections {
-                        // Rejected connections count only as rejected,
-                        // never as accepted. The rejection is written as a
-                        // v1 line — the client has not spoken yet, and v1
-                        // is the lingua franca both generations parse.
-                        self.shared.conns_rejected.fetch_add(1, Ordering::Relaxed);
-                        let _ = stream.set_nodelay(true);
-                        let env = ResponseEnvelope::new(
-                            0,
-                            Response::Error(ServerError::TooManyConnections {
-                                limit: self.max_connections,
-                            }),
-                        );
-                        let _ = stream.write_all(&encode_wire(Wire::V1, &env));
-                        continue; // dropped: connection closed
-                    }
-                    let _ = stream.set_nodelay(true);
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    self.shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
-                    self.shared.active.fetch_add(1, Ordering::Relaxed);
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    self.conns.insert(token, Conn::new(stream));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => return,
+    /// One I/O pass over a connection, driven by its cached readiness.
+    fn service(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.dead {
+            return;
+        }
+        if conn.can_write && !conn.write_buf.is_empty() {
+            conn.flush_write();
+        }
+        if conn.can_read && conn.wants_read() {
+            conn.fill_read(self.shared.read_budget);
+        }
+        self.pump(token);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.can_write && !conn.write_buf.is_empty() {
+                conn.flush_write();
             }
         }
     }
@@ -1090,7 +1343,11 @@ impl<'shared, 'env> EventLoop<'shared, 'env> {
         let Some(conn) = self.conns.remove(&token) else {
             return;
         };
+        self.poller.deregister(fd_of(&conn.stream), token);
         self.shared.active.fetch_sub(1, Ordering::Relaxed);
+        self.shared.shards[self.id]
+            .connections
+            .store(self.conns.len(), Ordering::Relaxed);
         if conn.devices.is_empty() {
             return;
         }
@@ -1110,9 +1367,12 @@ impl<'shared, 'env> EventLoop<'shared, 'env> {
                 }
             }
         }
-        if !last_refs.is_empty() {
-            let mut translator = self.shared.translator.lock();
-            for device in &last_refs {
+        // Group by translator shard so each lock is taken once (and only
+        // the shards this session's devices touch).
+        let groups = group_by_tshard(last_refs.iter().map(|d| (self.shared.tshard(d), d)));
+        for (shard, devices) in groups {
+            let mut translator = self.shared.lock_translator(shard);
+            for device in devices {
                 let _ = translator.flush_device(device);
                 self.shared.store.end_session(device);
             }
@@ -1132,6 +1392,135 @@ impl<'shared, 'env> EventLoop<'shared, 'env> {
         }
         !self.conns.is_empty()
     }
+
+    /// The shard's loop: adopt → complete → service → sweep → wait.
+    /// Returns when the server drains (or on a poller error).
+    fn run(&mut self, poll_ms: i32) -> io::Result<()> {
+        let state = &self.shared.shards[self.id];
+        self.poller
+            .register(state.waker.fd(), WAKER_TOKEN, true, false)?;
+        let mut drain_deadline: Option<Instant> = None;
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            // Drain the waker *before* reading the work it signals, so a
+            // signal arriving mid-iteration leaves a wake pending rather
+            // than being swallowed.
+            state.waker.drain();
+            self.adopt_incoming()?;
+            self.apply_completions();
+
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                self.service(token);
+            }
+            let any_left = self.sweep();
+
+            if self.shared.draining() {
+                let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                // Stop parsing new work everywhere; in-flight jobs and
+                // buffered responses still settle.
+                for conn in self.conns.values_mut() {
+                    conn.closing = true;
+                }
+                if !any_left {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                    for token in tokens {
+                        self.teardown(token);
+                    }
+                    break;
+                }
+            }
+
+            // A connection paused by its read budget (or waiting to retry
+            // a write) still has cached readiness — do not sleep on it.
+            let timeout = if self.conns.values().any(|c| c.actionable()) {
+                0
+            } else {
+                poll_ms
+            };
+            // Refresh level-triggered interest (no-op under epoll): only
+            // directions whose cached readiness is *exhausted* are armed,
+            // so a level-triggered poll cannot spin on known state.
+            for (&token, conn) in &self.conns {
+                let read = conn.wants_read() && !conn.can_read;
+                let write = !conn.write_buf.is_empty() && !conn.can_write && !conn.dead;
+                self.poller.set_interest(token, read, write);
+            }
+            self.poller.wait(timeout, &mut events)?;
+            for ev in &events {
+                if ev.token == WAKER_TOKEN {
+                    continue;
+                }
+                if let Some(conn) = self.conns.get_mut(&ev.token) {
+                    if ev.readable {
+                        conn.can_read = true;
+                    }
+                    if ev.writable {
+                        conn.can_write = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The acceptor: runs on `serve`'s calling thread, owns the listener,
+/// enforces the global connection cap, and deals accepted sockets
+/// round-robin to the loop shards.
+fn run_acceptor(
+    shared: &Shared<'_>,
+    listener: &TcpListener,
+    max_connections: usize,
+) -> io::Result<()> {
+    let nshards = shared.shards.len();
+    let mut rr = 0usize;
+    while !shared.draining() {
+        let mut fds = [PollFd::new(fd_of(listener), POLLIN)];
+        poll_fds(&mut fds, ACCEPT_POLL_MS)?;
+        loop {
+            match listener.accept() {
+                Ok((mut stream, _peer)) => {
+                    if shared.draining() {
+                        break; // dropped: drain admits nothing
+                    }
+                    if shared.active.load(Ordering::Relaxed) >= max_connections {
+                        // Rejected connections count only as rejected,
+                        // never as accepted. The rejection is written as a
+                        // v1 line — the client has not spoken yet, and v1
+                        // is the lingua franca both generations parse.
+                        shared.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_nodelay(true);
+                        let env = ResponseEnvelope::new(
+                            0,
+                            Response::Error(ServerError::TooManyConnections {
+                                limit: max_connections,
+                            }),
+                        );
+                        let _ = stream.write_all(&encode_wire(Wire::V1, &env));
+                        continue; // dropped: connection closed
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                    shared.active.fetch_add(1, Ordering::Relaxed);
+                    let state = &shared.shards[rr % nshards];
+                    rr = rr.wrapping_add(1);
+                    state.incoming.lock().push(stream);
+                    state.wake();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The assembled server: a DSM + trained Event Editor (the translation
@@ -1185,28 +1574,92 @@ impl TripsServer {
         QueryService::new(self.store.clone())
     }
 
-    /// Serves `listener` until a `Shutdown` request drains the loop.
-    /// Blocks; all worker threads are scoped inside this call.
+    /// The readiness backend this configuration resolves to.
+    pub fn backend(&self) -> BackendChoice {
+        self.config.backend.resolved()
+    }
+
+    /// The effective event-loop shard count (resolves `0` → default).
+    pub fn loop_shards(&self) -> usize {
+        if self.config.loop_shards == 0 {
+            default_loop_shards()
+        } else {
+            self.config.loop_shards
+        }
+    }
+
+    /// The effective translator shard count (resolves `0` → default and
+    /// rounds to a power of two).
+    pub fn translator_shards(&self) -> usize {
+        if self.config.translator_shards == 0 {
+            default_translator_shards()
+        } else {
+            self.config.translator_shards.next_power_of_two()
+        }
+    }
+
+    /// The effective per-event read budget (resolves `0` → default).
+    pub fn read_budget(&self) -> usize {
+        if self.config.read_budget == 0 {
+            DEFAULT_READ_BUDGET
+        } else {
+            self.config.read_budget
+        }
+    }
+
+    /// Serves `listener` until a `Shutdown` request drains the loops.
+    /// Blocks; all loop-shard and worker threads are scoped inside this
+    /// call (the calling thread runs the acceptor).
     pub fn serve(&self, listener: TcpListener) -> io::Result<ServerReport> {
         listener.set_nonblocking(true)?;
-        let waker = Waker::new()?;
-        let translator = StreamingTranslator::from_editor(
-            &self.dsm,
-            &self.editor,
-            None,
-            self.config.stream.clone(),
-        )
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
-        .with_store(self.store.clone());
+        let loop_shards = self.loop_shards();
+        let translator_shards = self.translator_shards();
+
+        // Build every fallible resource before any thread starts: one
+        // poller + matching waker per loop shard, one translator per
+        // translator shard. Each translator trains its own (identical,
+        // deterministic) model from the editor; devices are then routed
+        // wholly to one instance, so output matches a single translator
+        // bit for bit.
+        let mut pollers = Vec::with_capacity(loop_shards);
+        let mut shard_states = Vec::with_capacity(loop_shards);
+        for _ in 0..loop_shards {
+            let poller = Poller::new(self.config.backend)?;
+            let waker = Waker::for_poller(&poller)?;
+            pollers.push(poller);
+            shard_states.push(ShardState {
+                completions: parking_lot::Mutex::new(Vec::new()),
+                waker,
+                incoming: parking_lot::Mutex::new(Vec::new()),
+                wakeups: AtomicU64::new(0),
+                connections: AtomicUsize::new(0),
+            });
+        }
+        let backend_name = pollers[0].backend_name();
+        let mut translators = Vec::with_capacity(translator_shards);
+        for _ in 0..translator_shards {
+            let translator = StreamingTranslator::from_editor(
+                &self.dsm,
+                &self.editor,
+                None,
+                self.config.stream.clone(),
+            )
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?
+            .with_store(self.store.clone());
+            translators.push(parking_lot::Mutex::new(translator));
+        }
 
         let shared = Shared {
-            translator: parking_lot::Mutex::new(translator),
+            translators,
+            tmask: translator_shards - 1,
             store: self.store.clone(),
             queue: BoundedQueue::new(self.config.queue_capacity),
-            completions: parking_lot::Mutex::new(Vec::new()),
-            waker,
+            shards: shard_states,
+            next_token: AtomicU64::new(0),
             sessions: parking_lot::Mutex::new(BTreeMap::new()),
             snapshot_root: self.config.snapshot_root.clone(),
+            backend_name,
+            read_budget: self.read_budget(),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             started: Instant::now(),
@@ -1217,6 +1670,7 @@ impl TripsServer {
             shed: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             ingest_coalesced: AtomicU64::new(0),
+            translator_contention: AtomicU64::new(0),
             conns_accepted: AtomicU64::new(0),
             conns_rejected: AtomicU64::new(0),
         };
@@ -1227,106 +1681,52 @@ impl TripsServer {
                 let shared = &shared;
                 scope.spawn(move || shared.run_worker());
             }
-
-            let mut ev = EventLoop {
-                shared: &shared,
-                conns: BTreeMap::new(),
-                next_token: 0,
-                max_connections: self.config.max_connections,
-            };
-            let mut drain_deadline: Option<Instant> = None;
-            let mut loop_err: Option<io::Error> = None;
-
-            loop {
-                shared.waker.drain();
-                ev.apply_completions();
-
-                // Opportunistic write flush + finished-connection sweep.
-                for conn in ev.conns.values_mut() {
-                    if !conn.write_buf.is_empty() {
-                        conn.flush_write();
-                    }
-                }
-                let any_left = ev.sweep();
-
-                if shared.draining() {
-                    let deadline =
-                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
-                    // Stop parsing new work everywhere; in-flight jobs and
-                    // buffered responses still settle.
-                    for conn in ev.conns.values_mut() {
-                        conn.closing = true;
-                    }
-                    if !any_left {
-                        break;
-                    }
-                    if Instant::now() >= deadline {
-                        let tokens: Vec<u64> = ev.conns.keys().copied().collect();
-                        for token in tokens {
-                            ev.teardown(token);
+            let mut loop_handles = Vec::with_capacity(loop_shards);
+            for (id, poller) in pollers.into_iter().enumerate() {
+                let shared = &shared;
+                loop_handles.push(scope.spawn(move || {
+                    let mut shard = LoopShard {
+                        shared,
+                        id,
+                        conns: BTreeMap::new(),
+                        poller,
+                    };
+                    let result = shard.run(poll_ms);
+                    if result.is_err() {
+                        // A dying shard must still let everyone else
+                        // drain: flag shutdown, close the queue, wake the
+                        // other shards (the acceptor notices the flag).
+                        shared.shutdown.store(true, Ordering::Relaxed);
+                        shared.queue.close();
+                        for state in &shared.shards {
+                            state.wake();
                         }
-                        break;
                     }
-                }
+                    result
+                }));
+            }
 
-                // Build the poll set: waker, listener (unless draining),
-                // then every connection that wants I/O.
-                let mut fds = Vec::with_capacity(2 + ev.conns.len());
-                fds.push(PollFd::new(fd_of(shared.waker.receiver()), POLLIN));
-                let listener_slot = if shared.draining() {
-                    None
-                } else {
-                    fds.push(PollFd::new(fd_of(&listener), POLLIN));
-                    Some(fds.len() - 1)
-                };
-                let mut conn_slots: Vec<(u64, usize)> = Vec::with_capacity(ev.conns.len());
-                for (&token, conn) in &ev.conns {
-                    let mut events = 0i16;
-                    if !conn.read_closed
-                        && !conn.closing
-                        && !conn.dead
-                        && conn.read_buf.len() < MAX_READ_BUF
-                    {
-                        events |= POLLIN;
-                    }
-                    if !conn.write_buf.is_empty() && !conn.dead {
-                        events |= POLLOUT;
-                    }
-                    if events != 0 {
-                        fds.push(PollFd::new(fd_of(&conn.stream), events));
-                        conn_slots.push((token, fds.len() - 1));
-                    }
+            let mut loop_err = run_acceptor(&shared, &listener, self.config.max_connections).err();
+            if loop_err.is_some() {
+                // Acceptor died: initiate the drain it can no longer serve.
+                shared.shutdown.store(true, Ordering::Relaxed);
+                shared.queue.close();
+                for state in &shared.shards {
+                    state.wake();
                 }
-
-                if let Err(e) = poll_fds(&mut fds, poll_ms) {
-                    // Break (don't return): the queue must close below or
-                    // the scoped workers would never join.
-                    loop_err = Some(e);
-                    break;
-                }
-
-                if let Some(slot) = listener_slot {
-                    if fds[slot].is_ready() {
-                        ev.accept_ready(&listener);
+            }
+            for handle in loop_handles {
+                match handle.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        loop_err.get_or_insert(e);
                     }
-                }
-                for (token, slot) in conn_slots {
-                    if !fds[slot].is_ready() {
-                        continue;
-                    }
-                    if let Some(conn) = ev.conns.get_mut(&token) {
-                        if fds[slot].revents & POLLOUT != 0 {
-                            conn.flush_write();
-                        }
-                        conn.fill_read();
-                        ev.pump(token);
-                        if let Some(conn) = ev.conns.get_mut(&token) {
-                            conn.flush_write();
-                        }
+                    Err(_) => {
+                        loop_err.get_or_insert_with(|| io::Error::other("loop shard panicked"));
                     }
                 }
             }
-            // Whatever ended the loop: make sure workers can exit (drain).
+            // Whatever ended the loops: make sure workers can exit (drain).
             shared.queue.close();
             match loop_err {
                 Some(e) => Err(e),
@@ -1337,7 +1737,7 @@ impl TripsServer {
         // Every thread has joined. Publish any still-buffered sessions so
         // nothing ingested is lost (journaling them on a durable store),
         // flush the tail of any fsync window, then report.
-        let _ = shared.translator.lock().finish();
+        shared.finish_all_translators();
         let _ = self.store.sync_wal();
         Ok(ServerReport {
             connections_accepted: shared.conns_accepted.load(Ordering::Relaxed),
@@ -1514,5 +1914,23 @@ mod tests {
             matches!(err, ServerError::BadRequest { .. }),
             "no configured root rejects everything"
         );
+    }
+
+    #[test]
+    fn group_by_tshard_preserves_per_shard_order() {
+        let items = vec![(1, "a"), (0, "b"), (1, "c"), (2, "d"), (0, "e"), (1, "f")];
+        let groups = group_by_tshard(items);
+        assert_eq!(groups[&0], vec!["b", "e"]);
+        assert_eq!(groups[&1], vec!["a", "c", "f"]);
+        assert_eq!(groups[&2], vec!["d"]);
+    }
+
+    #[test]
+    fn shard_defaults_are_sane() {
+        let loops = default_loop_shards();
+        assert!((1..=4).contains(&loops));
+        let t = default_translator_shards();
+        assert!(t.is_power_of_two());
+        assert!((4..=32).contains(&t));
     }
 }

@@ -254,6 +254,76 @@ fn ingest_query_snapshot_restart_roundtrip() {
     let _ = std::fs::remove_file(&snap);
 }
 
+/// Ingests `traffic` into a freshly booted server under `config` (one
+/// connection per building, each flushing its own session), then answers
+/// the comparison queries.
+fn serve_and_query(
+    traffic: &[Vec<(DeviceId, Vec<RawRecord>)>],
+    config: ServerConfig,
+) -> Vec<QueryResult> {
+    let boot = deployment();
+    let server = TripsServer::new(boot.dsm, boot.editor, config).unwrap();
+    let handle = server.spawn("127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    std::thread::scope(|s| {
+        for building in traffic {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for (_, records) in building {
+                    for batch in records.chunks(50) {
+                        match client.ingest(batch.to_vec()).unwrap() {
+                            Response::Ingested { rejected, .. } => assert_eq!(rejected, 0),
+                            other => panic!("ingest failed: {other:?}"),
+                        }
+                    }
+                }
+                match client.flush(None).unwrap() {
+                    Response::Flushed { .. } => {}
+                    other => panic!("flush failed: {other:?}"),
+                }
+            });
+        }
+    });
+    let mut client = Client::connect(addr).unwrap();
+    let results = queries_to_compare()
+        .into_iter()
+        .map(|q| client.query(q).unwrap().unwrap())
+        .collect();
+    drop(client);
+    handle.shutdown().unwrap();
+    results
+}
+
+/// The sharding acceptance criterion: translation through four loop
+/// shards and eight translator shards must be **bit-identical** to a
+/// serial server (one loop, one translator lock) over the same traffic —
+/// a device lives wholly within one translator instance, so partitioning
+/// by device hash must not change a single emitted semantic.
+#[test]
+fn sharded_translation_is_bit_identical_to_serial() {
+    let traffic = campus_traffic(2, 4, 0xB17);
+    let serial = serve_and_query(
+        &traffic,
+        ServerConfig {
+            loop_shards: 1,
+            translator_shards: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let sharded = serve_and_query(
+        &traffic,
+        ServerConfig {
+            loop_shards: 4,
+            translator_shards: 8,
+            ..ServerConfig::default()
+        },
+    );
+    assert_eq!(
+        serial, sharded,
+        "sharded topology changed the translated output"
+    );
+}
+
 /// The same traffic through an in-process `StreamingTranslator` with an
 /// attached store — the ground truth the server must match.
 fn reference_store(traffic: &[Vec<(DeviceId, Vec<RawRecord>)>]) -> Arc<SemanticsStore> {

@@ -55,12 +55,22 @@ fn read_frame(stream: &mut TcpStream) -> Vec<u8> {
     frame
 }
 
+/// Four event-loop shards + a small power-of-two translator shard array:
+/// the sharded topology every `*_across_loop_shards` variant runs under
+/// (the acceptor deals consecutive connections to different loops).
+fn sharded_config() -> ServerConfig {
+    ServerConfig {
+        loop_shards: 4,
+        translator_shards: 4,
+        ..ServerConfig::default()
+    }
+}
+
 /// A v2 client exercises every endpoint family end to end; the answers
 /// match what a v1 client sees over the same server.
-#[test]
-fn v2_client_full_roundtrip_matches_v1() {
+fn v2_client_matches_v1(config: ServerConfig) {
     let boot = deployment();
-    let server = TripsServer::new(boot.dsm, boot.editor, ServerConfig::default()).unwrap();
+    let server = TripsServer::new(boot.dsm, boot.editor, config).unwrap();
     let handle = server.spawn("127.0.0.1:0").unwrap();
     let addr = handle.addr();
 
@@ -120,6 +130,19 @@ fn v2_client_full_roundtrip_matches_v1() {
     handle.shutdown().unwrap();
 }
 
+#[test]
+fn v2_client_full_roundtrip_matches_v1() {
+    v2_client_matches_v1(ServerConfig::default());
+}
+
+/// The same interop pass with the clients split across four loop shards:
+/// version detection, framing, and query results are per-connection state
+/// and must not care which loop owns the socket.
+#[test]
+fn v2_client_full_roundtrip_matches_v1_across_loop_shards() {
+    v2_client_matches_v1(sharded_config());
+}
+
 /// One connection may interleave v1 and v2 messages; the server answers
 /// each in the framing it arrived in.
 #[test]
@@ -157,10 +180,9 @@ fn versions_interleave_on_one_connection() {
 
 /// Mixed-version concurrent clients: half v1, half v2, each streaming its
 /// own device — every record lands, nothing interferes.
-#[test]
-fn concurrent_mixed_version_clients() {
+fn concurrent_mixed_versions(config: ServerConfig) {
     let boot = deployment();
-    let server = TripsServer::new(boot.dsm, boot.editor, ServerConfig::default()).unwrap();
+    let server = TripsServer::new(boot.dsm, boot.editor, config).unwrap();
     let handle = server.spawn("127.0.0.1:0").unwrap();
     let addr = handle.addr();
 
@@ -214,6 +236,19 @@ fn concurrent_mixed_version_clients() {
     }
     drop(admin);
     handle.shutdown().unwrap();
+}
+
+#[test]
+fn concurrent_mixed_version_clients() {
+    concurrent_mixed_versions(ServerConfig::default());
+}
+
+/// Eight mixed-version clients dealt round-robin over four loop shards:
+/// two connections per loop, devices hashed across translator shards —
+/// the full sharded ingest path, with nothing lost and nothing crossed.
+#[test]
+fn concurrent_mixed_version_clients_across_loop_shards() {
+    concurrent_mixed_versions(sharded_config());
 }
 
 /// The exact bytes of a v2 `Ping` frame, pinned: any codec change that

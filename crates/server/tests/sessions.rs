@@ -176,6 +176,111 @@ fn teardown_spares_devices_shared_with_live_sessions() {
     handle.shutdown().unwrap();
 }
 
+/// The session invariants must hold *across loop shards*: with four
+/// event-loop shards the acceptor deals consecutive connections to
+/// different shards, so two clients streaming the same device live on
+/// different loops (and their device's translator state on one shared
+/// translator shard). Flush-all stays session-scoped, teardown stays
+/// refcounted, and `Metrics` reports the shard topology.
+#[test]
+fn sessions_hold_across_loop_shards() {
+    let boot = deployment();
+    let server = TripsServer::new(
+        boot.dsm,
+        boot.editor,
+        ServerConfig {
+            loop_shards: 4,
+            translator_shards: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.spawn("127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    // Connect in order: round-robin places each on its own loop shard
+    // (watch:0, solo:1, first:2, second:3), mixing wire versions.
+    let mut watch = Client::connect(addr).unwrap();
+    let mut solo = Client::connect(addr).unwrap();
+    let mut first = Client::connect(addr).unwrap();
+    let mut second = Client::connect_v2(addr).unwrap();
+
+    match solo.ingest(buffered_burst("dev-solo", 0)).unwrap() {
+        Response::Ingested { accepted, .. } => assert_eq!(accepted, 20),
+        other => panic!("ingest failed: {other:?}"),
+    }
+    match first.ingest(buffered_burst("dev-shared", 0)).unwrap() {
+        Response::Ingested { accepted, .. } => assert_eq!(accepted, 20),
+        other => panic!("ingest failed: {other:?}"),
+    }
+    match second.ingest(buffered_burst("dev-shared", 1)).unwrap() {
+        Response::Ingested { accepted, .. } => assert_eq!(accepted, 20),
+        other => panic!("ingest failed: {other:?}"),
+    }
+    assert_eq!(open_devices(&mut watch), 2, "dev-solo + dev-shared open");
+
+    // The topology is visible: four loop shards, each holding exactly one
+    // of the four connections; a power-of-two translator shard count.
+    match watch.metrics().unwrap() {
+        Response::Metrics(m) => {
+            assert_eq!(
+                m.event_backend,
+                if cfg!(target_os = "linux") {
+                    "epoll"
+                } else {
+                    "poll"
+                }
+            );
+            assert_eq!(m.loop_shards.len(), 4);
+            let conns: Vec<usize> = m.loop_shards.iter().map(|s| s.connections).collect();
+            assert_eq!(conns, vec![1, 1, 1, 1], "round-robin spread: {conns:?}");
+            assert_eq!(m.translator_shards, 4);
+        }
+        other => panic!("metrics failed: {other:?}"),
+    }
+
+    // solo's flush-all (from loop shard 1) publishes only its own device,
+    // not dev-shared buffered on another translator shard by other loops.
+    match solo.flush(None).unwrap() {
+        Response::Flushed { devices, .. } => assert_eq!(devices, 1),
+        other => panic!("flush failed: {other:?}"),
+    }
+    assert_eq!(open_devices(&mut watch), 1, "dev-shared still buffered");
+
+    // first (loop shard 2) disconnects; second (loop shard 3) still
+    // streams dev-shared — the cross-shard refcount must spare it.
+    drop(first);
+    for _ in 0..10 {
+        assert_eq!(
+            open_devices(&mut watch),
+            1,
+            "shared device survives a disconnect on another loop shard"
+        );
+        std::thread::sleep(StdDuration::from_millis(5));
+    }
+    match second.ingest(buffered_burst("dev-shared", 2)).unwrap() {
+        Response::Ingested { accepted, .. } => assert_eq!(accepted, 20),
+        other => panic!("ingest failed: {other:?}"),
+    }
+
+    // Last reference gone: the device flushes and its session ends.
+    drop(second);
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(5);
+    loop {
+        if open_devices(&mut watch) == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "last disconnect must flush the shared device"
+        );
+        std::thread::sleep(StdDuration::from_millis(10));
+    }
+
+    drop((watch, solo));
+    handle.shutdown().unwrap();
+}
+
 /// Bugfix 3: wire-level snapshot paths resolve inside the configured
 /// root; escapes are rejected; no configured root rejects everything.
 #[test]

@@ -119,6 +119,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The per-device routing hash (FNV-1a 64-bit over the device id bytes),
+/// exported so other layers can shard by device **consistently** with the
+/// store: masking this hash with any power-of-two shard count keeps two
+/// sharded structures (e.g. the server's per-shard translator locks and
+/// the store's shards) aligned on the same device partitioning.
+pub fn device_hash(device: &DeviceId) -> u64 {
+    fnv1a(device.as_str().as_bytes())
+}
+
 /// Sharded, concurrently readable/writable store of translated mobility
 /// semantics with incremental analytics aggregates.
 ///

@@ -9,11 +9,22 @@
 //!
 //! ```text
 //! trips-serve [--host H] [--port P] [--workers N] [--queue N]
-//!             [--max-conns N] [--shards N] [--floors N] [--shops N]
+//!             [--max-conns N] [--shards N] [--loop-shards N]
+//!             [--translator-shards N] [--read-budget BYTES]
+//!             [--event-backend auto|epoll|poll] [--floors N] [--shops N]
 //!             [--devices N] [--days N] [--seed N] [--snapshot PATH]
 //!             [--snapshot-root DIR] [--wal-dir DIR]
 //!             [--fsync always|every=N|never] [--segment-bytes N]
 //! ```
+//!
+//! `--loop-shards` splits the event loop into N independent shards (one
+//! thread each, default `min(cores, 4)`); a single acceptor deals
+//! connections round-robin. `--translator-shards` partitions the
+//! streaming-translator lock by device hash (rounded to a power of two).
+//! `--read-budget` bounds bytes read per readiness event per connection.
+//! `--event-backend` picks the readiness backend: `epoll`
+//! (edge-triggered, Linux), `poll` (portable), or `auto` (default —
+//! epoll where available).
 //!
 //! `--snapshot-root` enables wire-level `Snapshot` requests on a
 //! non-durable server: the request's (relative, non-escaping) path
@@ -33,7 +44,7 @@
 
 use std::io::Write;
 use std::net::TcpListener;
-use trips::server::{bootstrap_scenario, ServerConfig, TripsServer};
+use trips::server::{bootstrap_scenario, BackendChoice, ServerConfig, TripsServer};
 use trips::sim::ScenarioConfig;
 use trips::store::DurabilityConfig;
 use trips::wal::FsyncPolicy;
@@ -56,9 +67,11 @@ fn usage_and_exit(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: trips-serve [--host H] [--port P] [--workers N] [--queue N] \
-         [--max-conns N] [--shards N] [--floors N] [--shops N] [--devices N] \
-         [--days N] [--seed N] [--snapshot PATH] [--snapshot-root DIR] \
-         [--wal-dir DIR] [--fsync always|every=N|never] [--segment-bytes N]"
+         [--max-conns N] [--shards N] [--loop-shards N] [--translator-shards N] \
+         [--read-budget BYTES] [--event-backend auto|epoll|poll] [--floors N] \
+         [--shops N] [--devices N] [--days N] [--seed N] [--snapshot PATH] \
+         [--snapshot-root DIR] [--wal-dir DIR] [--fsync always|every=N|never] \
+         [--segment-bytes N]"
     );
     std::process::exit(2);
 }
@@ -95,6 +108,20 @@ fn parse_args() -> Options {
             "--queue" => opts.config.queue_capacity = parse(&mut args, "--queue"),
             "--max-conns" => opts.config.max_connections = parse(&mut args, "--max-conns"),
             "--shards" => opts.config.shards = parse(&mut args, "--shards"),
+            "--loop-shards" => opts.config.loop_shards = parse(&mut args, "--loop-shards"),
+            "--translator-shards" => {
+                opts.config.translator_shards = parse(&mut args, "--translator-shards")
+            }
+            "--read-budget" => opts.config.read_budget = parse(&mut args, "--read-budget"),
+            "--event-backend" => {
+                let raw: String = parse(&mut args, "--event-backend");
+                match BackendChoice::parse(&raw) {
+                    Some(choice) => opts.config.backend = choice,
+                    None => usage_and_exit(&format!(
+                        "invalid value {raw:?} for --event-backend (auto|epoll|poll)"
+                    )),
+                }
+            }
             "--floors" => opts.floors = parse(&mut args, "--floors"),
             "--shops" => opts.shops = parse(&mut args, "--shops"),
             "--devices" => opts.devices = parse(&mut args, "--devices"),
@@ -207,6 +234,13 @@ fn main() {
     let addr = listener
         .local_addr()
         .expect("bound listener has an address");
+    eprintln!(
+        "trips-serve: event backend {}, loop shards {}, translator shards {}, read budget {} bytes",
+        server.backend(),
+        server.loop_shards(),
+        server.translator_shards(),
+        server.read_budget(),
+    );
     println!("trips-serve: listening on {addr}");
     std::io::stdout().flush().expect("stdout flush");
 

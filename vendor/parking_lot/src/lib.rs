@@ -3,7 +3,10 @@
 //! The real crate's locks do not poison; this shim recovers from poisoning
 //! so the API contract (`lock()` returning a guard, not a `Result`) holds.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
+// The guard type is the real crate's name for (here) the std guard, so
+// callers can write `parking_lot::MutexGuard` in signatures.
+pub use std::sync::MutexGuard;
 
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning `lock()` API.
 #[derive(Debug, Default)]
@@ -22,6 +25,16 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires the lock only if it is free right now (`parking_lot`'s
+    /// `try_lock` contract: `None` means contended, never poisoned).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -66,6 +79,15 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 1;
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_contends_without_blocking() {
+        let m = Mutex::new(5);
+        let held = m.lock();
+        assert!(m.try_lock().is_none(), "held lock -> None");
+        drop(held);
+        assert_eq!(*m.try_lock().expect("free lock -> guard"), 5);
     }
 
     #[test]
