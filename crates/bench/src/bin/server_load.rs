@@ -21,6 +21,8 @@
 //!             [--query-conns N] [--query-iters N]
 //!             [--no-overload] [--overload-conns N] [--overload-iters N]
 //!             [--scale-conns N] [--scale-rounds N]
+//!             [--rules N] [--expect-alerts MIN] [--rules-trace PATH]
+//!             [--rules-overhead N]
 //!             [--baseline PATH] [--tolerance F] [--compare PATH]
 //!             [--expect-shedding] [--expect-wal] [--shutdown]
 //! ```
@@ -48,6 +50,21 @@
 //! single-lock topology) into this report as `comparison`, recording the
 //! measured speedup alongside the raw numbers.
 //!
+//! `--rules N` registers N standing TQL rules (a deterministic mix of
+//! `ENTERS` / `DWELLS` / `occupancy` / `flow` conditions) on a dedicated
+//! subscriber connection **before** the ingest phase, so every ingest
+//! batch is evaluated against them — the measured throughput then
+//! includes rule evaluation. The subscriber's alerts are drained after
+//! the paced phases; `--expect-alerts MIN` fails the run (exit 1) when
+//! fewer arrive, and `--rules-trace PATH` writes the server's per-rule
+//! evaluation traces (evals, fires, canonical source) as JSON.
+//! `--rules-overhead N` runs a separate **in-process** A/B: the same
+//! campus traffic through a `StreamingTranslator`-fed store with 0 and
+//! with N registered rules (best of 3 rounds each, so scheduler noise
+//! cannot fail the gate spuriously); the run fails when the with-rules
+//! ingest wall exceeds baseline × 1.10 — the "<10% overhead" acceptance
+//! gate, measured without wire noise.
+//!
 //! The `--floors/--shops` layout must match the server's (campus
 //! buildings share the mall layout the server's DSM was built from).
 //! With `--expect-wal` (a durable server under test) the generator also
@@ -62,13 +79,15 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+use trips_core::stream::{StreamConfig, StreamingTranslator};
 use trips_data::{DeviceId, Duration, RawRecord, Timestamp};
 use trips_engine::LatencyRecorder;
-use trips_server::{Client, Response, ServerError};
+use trips_server::{bootstrap_scenario, Client, Response, ServerBootstrap, ServerError};
 use trips_sim::ScenarioConfig;
-use trips_store::{Query, SemanticsSelector};
+use trips_store::{Alert, AlertSink, Query, RuleSpec, SemanticsSelector, SemanticsStore};
 
 struct Options {
     addr: String,
@@ -90,6 +109,14 @@ struct Options {
     overload_iters: usize,
     scale_conns: usize,
     scale_rounds: usize,
+    /// `0` = no standing rules registered before ingest.
+    rules: usize,
+    /// Minimum pushed alerts the subscriber must receive (`0` = no gate).
+    expect_alerts: usize,
+    /// Where to write the server's per-rule evaluation traces as JSON.
+    rules_trace: Option<String>,
+    /// `0` = skip the in-process rule-evaluation overhead A/B gate.
+    rules_overhead: usize,
     baseline: Option<String>,
     tolerance: f64,
     compare: Option<String>,
@@ -131,6 +158,7 @@ fn usage_and_exit(message: &str) -> ! {
          [--ingest-sessions N] [--device-skew uniform|zipf] \
          [--query-conns N] [--query-iters N] [--no-overload] [--overload-conns N] \
          [--overload-iters N] [--scale-conns N] [--scale-rounds N] \
+         [--rules N] [--expect-alerts MIN] [--rules-trace PATH] [--rules-overhead N] \
          [--baseline PATH] [--tolerance F] [--compare PATH] \
          [--expect-shedding] [--expect-wal] [--shutdown]"
     );
@@ -174,6 +202,10 @@ fn parse_args() -> Options {
         overload_iters: 150,
         scale_conns: 0,
         scale_rounds: 3,
+        rules: 0,
+        expect_alerts: 0,
+        rules_trace: None,
+        rules_overhead: 0,
         baseline: None,
         tolerance: 4.0,
         compare: None,
@@ -215,6 +247,10 @@ fn parse_args() -> Options {
             "--overload-iters" => opts.overload_iters = parse(&mut args, "--overload-iters"),
             "--scale-conns" => opts.scale_conns = parse(&mut args, "--scale-conns"),
             "--scale-rounds" => opts.scale_rounds = parse(&mut args, "--scale-rounds"),
+            "--rules" => opts.rules = parse(&mut args, "--rules"),
+            "--expect-alerts" => opts.expect_alerts = parse(&mut args, "--expect-alerts"),
+            "--rules-trace" => opts.rules_trace = Some(parse(&mut args, "--rules-trace")),
+            "--rules-overhead" => opts.rules_overhead = parse(&mut args, "--rules-overhead"),
             "--baseline" => opts.baseline = Some(parse(&mut args, "--baseline")),
             "--tolerance" => {
                 opts.tolerance = parse(&mut args, "--tolerance");
@@ -309,6 +345,40 @@ struct ServerSide {
     wal_last_checkpoint_age_ms: Option<u64>,
 }
 
+/// Standing-rules phase: what the subscriber connection saw, what the
+/// server accounted, and (when `--rules-overhead` ran) the in-process
+/// evaluation-overhead A/B.
+#[derive(Serialize, Deserialize)]
+struct RulesReport {
+    /// Rules registered on the subscriber connection before ingest.
+    registered: usize,
+    /// Alerts the subscriber connection actually received over the wire.
+    alerts_received: usize,
+    /// Server-side delivered/dropped counters (drops = sink refused +
+    /// slow-subscriber backpressure).
+    server_alerts_delivered: u64,
+    server_alerts_dropped: u64,
+    /// Total fires across every rule's server-side trace.
+    fires_total: u64,
+    overhead: Option<RulesOverheadReport>,
+}
+
+/// The `--rules-overhead` A/B: identical traffic through an in-process
+/// translator-fed store with 0 vs N rules, best-of-3 walls.
+#[derive(Serialize, Deserialize)]
+struct RulesOverheadReport {
+    rules: usize,
+    baseline_wall_ms: f64,
+    with_rules_wall_ms: f64,
+    /// `(with - baseline) / baseline`, in percent. May be negative under
+    /// runner noise; the gate only fails past +10%.
+    overhead_pct: f64,
+    /// Alerts the N rules fired during the measured run (proof the rules
+    /// were actually exercised, not globbed out of the hot path).
+    alerts_fired: u64,
+    ok: bool,
+}
+
 /// A cross-run comparison embedded in the report (`--compare`): this
 /// run's ingest throughput against another report's, e.g. a single-lock
 /// topology measured on the same machine moments before.
@@ -342,9 +412,188 @@ struct BenchReport {
     query: PhaseReport,
     overload: Option<OverloadReport>,
     scale: Option<ScaleReport>,
+    rules: Option<RulesReport>,
     comparison: Option<ComparisonReport>,
     server: ServerSide,
     hard_errors: usize,
+}
+
+/// The deterministic standing-rule mix `--rules` registers: all four
+/// condition families, parameterized so no two rules are identical.
+fn rule_tql(i: usize) -> String {
+    match i % 4 {
+        0 => format!(r#"RULE "load-enter-{i}" WHEN device ENTERS region "*" ALERT "entered""#),
+        1 => format!(
+            r#"RULE "load-dwell-{i}" WHEN device "b*" DWELLS IN region "*" >= {}m ALERT "long dwell""#,
+            1 + i % 10
+        ),
+        2 => format!(
+            r#"RULE "load-occ-{i}" WHEN occupancy(region "*") > {} ALERT "crowded""#,
+            3 + i % 16
+        ),
+        _ => format!(
+            r#"RULE "load-flow-{i}" WHEN flow(region "*" -> region "*") > {} ALERT "corridor""#,
+            2 + i % 8
+        ),
+    }
+}
+
+/// The `--rules-overhead` mix: realistic *monitoring* rules — concrete
+/// region ids, device-scoped globs, thresholds that rarely trip — plus
+/// one live rule (index 0, scoped to building 0's devices) so
+/// `alerts_fired` proves the engine ran. A fleet of match-everything
+/// rules would measure alert-construction throughput, not evaluation
+/// overhead — real monitoring fleets alert on a small fraction of
+/// traffic.
+fn overhead_rule_tql(i: usize) -> String {
+    if i == 0 {
+        return r#"RULE "ov-hot" WHEN device "b0.*" ENTERS region "*" ALERT "entered""#.to_string();
+    }
+    match i % 4 {
+        0 => format!(
+            r#"RULE "ov-enter-{i}" WHEN device "b{}.watch*" ENTERS region {} ALERT "watched device""#,
+            i % 8,
+            i % 24
+        ),
+        1 => format!(
+            r#"RULE "ov-dwell-{i}" WHEN device "b{}.vip*" DWELLS IN region {} >= {}m ALERT "long dwell""#,
+            i % 8,
+            (7 + i) % 24,
+            10 + i % 50
+        ),
+        2 => format!(
+            r#"RULE "ov-occ-{i}" WHEN occupancy(region {}) > {} ALERT "crowded""#,
+            i % 24,
+            20 + i % 30
+        ),
+        _ => format!(
+            r#"RULE "ov-flow-{i}" WHEN flow(region {} -> region {}) > {} ALERT "hot corridor""#,
+            i % 24,
+            (i + 5) % 24,
+            15 + i % 25
+        ),
+    }
+}
+
+/// Counting sink for the in-process overhead A/B — delivery must cost
+/// something nonzero (an atomic add) but never block.
+struct CountSink(AtomicU64);
+
+impl AlertSink for CountSink {
+    fn deliver(&self, _alert: &Alert) -> bool {
+        self.0.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+/// One timed in-process ingest round: the campus traffic through a
+/// fresh translator-fed store with `rules` registered, `repeats` times
+/// over (fresh store each repeat — store/translator construction is
+/// excluded from the clock). Repeating aggregates the timed region into
+/// tens of milliseconds so a 10% delta is measurable above scheduler
+/// noise on small default workloads. Returns the summed wall clock.
+fn timed_ingest(
+    boot: &ServerBootstrap,
+    traffic: &[Vec<(DeviceId, Vec<RawRecord>)>],
+    rules: &[RuleSpec],
+    sink: &Arc<CountSink>,
+    repeats: usize,
+) -> std::time::Duration {
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..repeats {
+        let store = Arc::new(SemanticsStore::new());
+        for spec in rules {
+            store
+                .rules()
+                .register(spec.clone(), Some(sink.clone() as Arc<dyn AlertSink>))
+                .expect("overhead rule registers");
+        }
+        store
+            .rules()
+            .set_region_floors(boot.dsm.regions().map(|r| (r.id, r.floor)));
+        let mut translator = StreamingTranslator::from_editor(
+            &boot.dsm,
+            &boot.editor,
+            None,
+            StreamConfig::default(),
+        )
+        .expect("overhead translator")
+        .with_store(store.clone());
+        let t0 = Instant::now();
+        for building in traffic {
+            for (_, records) in building {
+                for r in records {
+                    translator.push(r.clone());
+                }
+            }
+        }
+        translator.finish();
+        total += t0.elapsed();
+    }
+    total
+}
+
+/// The `--rules-overhead N` gate: same traffic, 0 vs N rules, best of 3
+/// rounds each (alternating, so thermal/scheduler drift hits both arms).
+/// Gate: with-rules wall ≤ baseline × 1.10.
+fn rules_overhead_gate(
+    n_rules: usize,
+    traffic: &[Vec<(DeviceId, Vec<RawRecord>)>],
+    opts: &Options,
+) -> RulesOverheadReport {
+    eprintln!(
+        "server_load: in-process rule-overhead A/B (0 vs {n_rules} rules, best of 3 rounds)..."
+    );
+    let boot = bootstrap_scenario(
+        opts.floors,
+        opts.shops,
+        &ScenarioConfig {
+            devices: opts.devices,
+            days: 1,
+            seed: opts.seed,
+            ..ScenarioConfig::default()
+        },
+    );
+    let specs: Vec<RuleSpec> = (0..n_rules)
+        .map(|i| {
+            let src = overhead_rule_tql(i);
+            match trips_query_lang::compile(&src) {
+                Ok(trips_query_lang::Compiled::Rule(spec)) => spec,
+                other => panic!("rule mix {src:?} must compile to a rule: {other:?}"),
+            }
+        })
+        .collect();
+    let sink = Arc::new(CountSink(AtomicU64::new(0)));
+    // Size each round so its timed region is large enough that the 10%
+    // gate measures evaluation cost, not clock granularity: on the quick
+    // default workload (~tens of thousands of records, low-ms ingest) a
+    // single pass is noise-dominated.
+    let records: usize = traffic
+        .iter()
+        .flat_map(|b| b.iter().map(|(_, r)| r.len()))
+        .sum();
+    let repeats = (400_000 / records.max(1)).clamp(1, 64);
+    let mut base_best = std::time::Duration::MAX;
+    let mut with_best = std::time::Duration::MAX;
+    let mut alerts_fired = 0u64;
+    for _ in 0..3 {
+        base_best = base_best.min(timed_ingest(&boot, traffic, &[], &sink, repeats));
+        let before = sink.0.load(Ordering::Relaxed);
+        with_best = with_best.min(timed_ingest(&boot, traffic, &specs, &sink, repeats));
+        // Per-pass count: every repeat fires identically on a fresh store.
+        alerts_fired = (sink.0.load(Ordering::Relaxed) - before) / repeats as u64;
+    }
+    let baseline_wall_ms = base_best.as_secs_f64() * 1e3;
+    let with_rules_wall_ms = with_best.as_secs_f64() * 1e3;
+    let overhead_pct = (with_rules_wall_ms - baseline_wall_ms) / baseline_wall_ms * 100.0;
+    RulesOverheadReport {
+        rules: n_rules,
+        baseline_wall_ms,
+        with_rules_wall_ms,
+        overhead_pct,
+        alerts_fired,
+        ok: with_rules_wall_ms <= baseline_wall_ms * 1.10,
+    }
 }
 
 fn query_mix(i: usize) -> (SemanticsSelector, Query) {
@@ -493,6 +742,35 @@ fn main() {
         .iter()
         .flat_map(|b| b.iter().map(|(_, r)| r.len()))
         .sum();
+
+    // Phase 0 — standing rules: registered before ingest so every paced
+    // phase below measures a server that is evaluating them. The
+    // subscriber connection stays open (rules are session-scoped) and is
+    // drained after the phases.
+    let mut subscriber = if opts.rules > 0 {
+        eprintln!(
+            "server_load: subscribing {} standing rules before ingest...",
+            opts.rules
+        );
+        let mut client = connect(opts.addr.as_str(), opts.protocol).expect("connect for rules");
+        for i in 0..opts.rules {
+            let tql = rule_tql(i);
+            match client.subscribe(&tql) {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => {
+                    eprintln!("subscribe rejected ({tql}): {e}");
+                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    eprintln!("subscribe transport error: {e}");
+                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Some(client)
+    } else {
+        None
+    };
 
     // Phase 1 — ingest. Two layouts:
     //  * legacy (`--ingest-sessions 0`): one closed-loop connection per
@@ -794,8 +1072,46 @@ fn main() {
         None
     };
 
+    // Standing-rules wrap-up: drain the pushed alerts (the subscriber was
+    // deliberately idle through the paced phases — exactly the slow
+    // consumer the server's alert backpressure is sized for) and capture
+    // the server's per-rule traces while the rules are still registered.
+    let mut rules_summary: Option<(usize, u64)> = None;
+    if let Some(client) = subscriber.as_mut() {
+        let mut received = 0usize;
+        loop {
+            match client.recv_alert(std::time::Duration::from_millis(500)) {
+                Ok(Some(_)) => received += 1,
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("alert drain failed: {e}");
+                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        let fires_total = match client.list_rules() {
+            Ok(Ok(traces)) => {
+                if let Some(path) = &opts.rules_trace {
+                    let json = serde_json::to_string_pretty(&traces).expect("traces serialize");
+                    std::fs::write(path, json).expect("write rules trace");
+                    eprintln!("server_load: per-rule traces written to {path}");
+                }
+                traces.iter().map(|t| t.fires).sum()
+            }
+            other => {
+                eprintln!("list_rules failed: {other:?}");
+                hard_errors.fetch_add(1, Ordering::Relaxed);
+                0
+            }
+        };
+        rules_summary = Some((received, fires_total));
+    }
+    drop(subscriber);
+
     // Server-side accounting: metrics prove the bounded-queue invariant
     // (and, with --expect-wal, the durability layer's health).
+    let mut alert_counters = (0u64, 0u64);
     let mut admin = connect(opts.addr.as_str(), opts.protocol).expect("connect for metrics");
     if opts.expect_wal {
         // Exercise checkpoint+compact over the wire so the asserted
@@ -846,6 +1162,7 @@ fn main() {
                     }
                 }
             }
+            alert_counters = (m.alerts_delivered, m.alerts_dropped);
             ServerSide {
                 requests: m.requests,
                 shed: m.shed,
@@ -900,6 +1217,23 @@ fn main() {
             speedup,
         }
     });
+    // The overhead A/B runs in-process after the wire phases (it needs no
+    // server, and running it earlier would contend with them for cores).
+    let overhead = (opts.rules_overhead > 0)
+        .then(|| rules_overhead_gate(opts.rules_overhead, &traffic, &opts));
+    let rules_report = if rules_summary.is_some() || overhead.is_some() {
+        let (alerts_received, fires_total) = rules_summary.unwrap_or((0, 0));
+        Some(RulesReport {
+            registered: opts.rules,
+            alerts_received,
+            server_alerts_delivered: alert_counters.0,
+            server_alerts_dropped: alert_counters.1,
+            fires_total,
+            overhead,
+        })
+    } else {
+        None
+    };
     let report = BenchReport {
         bench: "server_load".to_string(),
         quick: opts.quick,
@@ -915,6 +1249,7 @@ fn main() {
         query: phase_report(&query_lat, query_wall),
         overload,
         scale,
+        rules: rules_report,
         comparison,
         server: server_side,
         hard_errors: hard,
@@ -955,6 +1290,29 @@ fn main() {
             sc.rss_kb_held.map_or("n/a".to_string(), |k| k.to_string()),
         );
     }
+    if let Some(r) = &report.rules {
+        println!(
+            "server_load: rules {} registered -> {} alerts received ({} delivered / {} dropped \
+             server-side), {} fires total",
+            r.registered,
+            r.alerts_received,
+            r.server_alerts_delivered,
+            r.server_alerts_dropped,
+            r.fires_total,
+        );
+        if let Some(o) = &r.overhead {
+            println!(
+                "server_load: rule overhead A/B ({} rules): ingest {:.0} ms -> {:.0} ms \
+                 ({:+.1}%, {} alerts fired) ({})",
+                o.rules,
+                o.baseline_wall_ms,
+                o.with_rules_wall_ms,
+                o.overhead_pct,
+                o.alerts_fired,
+                if o.ok { "ok" } else { "FAIL" },
+            );
+        }
+    }
     if let Some(c) = &report.comparison {
         println!(
             "server_load: vs {} -> ingest {:.0} req/s against {:.0} req/s ({:.2}x)",
@@ -971,6 +1329,25 @@ fn main() {
         let shed = report.overload.as_ref().map_or(0, |o| o.shed);
         if shed == 0 {
             eprintln!("server_load: --expect-shedding set but no Overloaded responses observed");
+            std::process::exit(1);
+        }
+    }
+    if opts.expect_alerts > 0 {
+        let got = report.rules.as_ref().map_or(0, |r| r.alerts_received);
+        if got < opts.expect_alerts {
+            eprintln!(
+                "server_load: --expect-alerts {} but only {got} alerts arrived",
+                opts.expect_alerts
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(o) = report.rules.as_ref().and_then(|r| r.overhead.as_ref()) {
+        if !o.ok {
+            eprintln!(
+                "server_load: rule evaluation overhead {:+.1}% with {} rules exceeds the 10% gate",
+                o.overhead_pct, o.rules
+            );
             std::process::exit(1);
         }
     }

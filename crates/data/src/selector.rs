@@ -151,33 +151,42 @@ fn quantify(
 
 /// Glob matching with `*` (any run) and `?` (one char), the matcher behind
 /// [`SelectionRule::DevicePattern`] — public so other layers (e.g. the
-/// semantics store's query selectors) filter device ids with identical
-/// semantics. Non-recursive two-pointer algorithm.
+/// semantics store's query selectors and the standing-rules engine)
+/// filter device ids with identical semantics. Non-recursive two-pointer
+/// algorithm over string slices — allocation-free, because the rules
+/// engine calls this per published semantic per rule.
 pub fn glob_match(pattern: &str, text: &str) -> bool {
-    let p: Vec<char> = pattern.chars().collect();
-    let t: Vec<char> = text.chars().collect();
-    let (mut pi, mut ti) = (0usize, 0usize);
-    let (mut star, mut star_ti) = (None::<usize>, 0usize);
-    while ti < t.len() {
-        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
-            pi += 1;
-            ti += 1;
-        } else if pi < p.len() && p[pi] == '*' {
-            star = Some(pi);
-            star_ti = ti;
-            pi += 1;
-        } else if let Some(s) = star {
-            pi = s + 1;
-            star_ti += 1;
-            ti = star_ti;
-        } else {
-            return false;
+    if pattern == "*" {
+        return true;
+    }
+    let (mut p, mut t) = (pattern, text);
+    // Backtrack state: pattern after the last `*`, and the text position
+    // that `*` has consumed up to.
+    let mut star: Option<(&str, &str)> = None;
+    while let Some(tc) = t.chars().next() {
+        match p.chars().next() {
+            Some('*') => {
+                p = &p[1..];
+                star = Some((p, t));
+            }
+            Some(pc) if pc == '?' || pc == tc => {
+                p = &p[pc.len_utf8()..];
+                t = &t[tc.len_utf8()..];
+            }
+            _ => match star {
+                Some((sp, st)) => {
+                    // Let the `*` swallow one more text char and retry.
+                    let sc = st.chars().next().expect("star text within t");
+                    let st = &st[sc.len_utf8()..];
+                    star = Some((sp, st));
+                    p = sp;
+                    t = st;
+                }
+                None => return false,
+            },
         }
     }
-    while pi < p.len() && p[pi] == '*' {
-        pi += 1;
-    }
-    pi == p.len()
+    p.chars().all(|c| c == '*')
 }
 
 fn periodic_match(
@@ -339,6 +348,15 @@ mod tests {
         assert!(!glob_match("", "x"));
         assert!(glob_match("a*b*c", "aXXbYYc"));
         assert!(!glob_match("a*b*c", "aXXbYY"));
+        // Backtracking: the first `b` the star tries is not the right one.
+        assert!(glob_match("*abc", "ababc"));
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "abbc"));
+        assert!(glob_match("**", "x"));
+        assert!(glob_match("*", ""));
+        // `?` is one *character*, not one byte.
+        assert!(glob_match("?x", "λx"));
+        assert!(glob_match("λ*", "λx"));
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! The typed TQL AST and its canonical pretty-printer.
+//!
+//! `Display` emits the **canonical form**: keywords uppercase, sources and
+//! selectors lowercase, durations in the largest evenly-dividing unit,
+//! timestamps as `NdHH:MM:SS`. Parsing the canonical form yields an equal
+//! AST (property-tested in `tests/roundtrip.rs`), which is what lets the
+//! server echo a registered rule's source in its traces without drift.
+
+use std::fmt;
+
+use crate::lexer::{MS_PER_DAY, MS_PER_HOUR, MS_PER_MIN, MS_PER_SEC};
+use trips_store::{Condition, RegionSel};
+
+/// A parsed TQL statement: a one-shot query or a standing rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Find(FindStmt),
+    Rule(RuleStmt),
+}
+
+/// `FIND <source> [WHERE <pred> {AND <pred>}]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindStmt {
+    pub source: Source,
+    pub preds: Vec<Pred>,
+}
+
+/// What a `FIND` asks for (maps onto [`trips_store::Query`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    PopularRegions,
+    /// `flows [LIMIT n]` — `None` compiles to the default limit.
+    Flows {
+        limit: Option<usize>,
+    },
+    /// `dwell_histogram BUCKET <duration>`
+    DwellHistogram {
+        bucket_ms: i64,
+    },
+    Devices,
+    Semantics,
+    Stats,
+}
+
+/// One `WHERE` predicate (maps onto [`trips_store::SemanticsSelector`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `device "<glob>"`
+    Device(String),
+    /// `region <id>`
+    Region(u32),
+    /// `event "<name>"`
+    Event(String),
+    /// `BETWEEN <ts> AND <ts>` — half-open `[from, to)`.
+    Between { from_ms: i64, to_ms: i64 },
+}
+
+/// `[RULE "<name>"] WHEN <condition> [FOR <dur>] ALERT ["<msg>"] [PRIORITY <n>]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleStmt {
+    pub name: Option<String>,
+    pub condition: Condition,
+    pub hold_ms: Option<i64>,
+    pub message: Option<String>,
+    pub priority: Option<i32>,
+}
+
+/// Formats a duration in the largest unit that divides it evenly.
+pub fn fmt_duration(ms: i64) -> String {
+    for (per, unit) in [
+        (MS_PER_DAY, "d"),
+        (MS_PER_HOUR, "h"),
+        (MS_PER_MIN, "m"),
+        (MS_PER_SEC, "s"),
+    ] {
+        if ms != 0 && ms % per == 0 {
+            return format!("{}{unit}", ms / per);
+        }
+    }
+    format!("{ms}ms")
+}
+
+/// Formats a timestamp as `NdHH:MM:SS` (day-indexed clock).
+pub fn fmt_timestamp(ms: i64) -> String {
+    let day = ms.div_euclid(MS_PER_DAY);
+    let tod = ms.rem_euclid(MS_PER_DAY);
+    format!(
+        "{day}d{:02}:{:02}:{:02}",
+        tod / MS_PER_HOUR,
+        (tod % MS_PER_HOUR) / MS_PER_MIN,
+        (tod % MS_PER_MIN) / MS_PER_SEC,
+    )
+}
+
+fn fmt_region(f: &mut fmt::Formatter<'_>, sel: &RegionSel) -> fmt::Result {
+    match sel {
+        RegionSel::Id(id) => write!(f, "region {id}"),
+        RegionSel::Name(glob) => write!(f, "region \"{glob}\""),
+        RegionSel::Floor(n) => write!(f, "floor {n}"),
+    }
+}
+
+fn fmt_condition(f: &mut fmt::Formatter<'_>, cond: &Condition) -> fmt::Result {
+    match cond {
+        Condition::Enters { device, region } => {
+            write!(f, "device ")?;
+            if let Some(glob) = device {
+                write!(f, "\"{glob}\" ")?;
+            }
+            write!(f, "ENTERS ")?;
+            fmt_region(f, region)
+        }
+        Condition::Dwells {
+            device,
+            region,
+            cmp,
+            threshold_ms,
+        } => {
+            write!(f, "device ")?;
+            if let Some(glob) = device {
+                write!(f, "\"{glob}\" ")?;
+            }
+            write!(f, "DWELLS IN ")?;
+            fmt_region(f, region)?;
+            write!(f, " {} {}", cmp.as_str(), fmt_duration(*threshold_ms))
+        }
+        Condition::Occupancy { region, cmp, count } => {
+            write!(f, "occupancy(")?;
+            fmt_region(f, region)?;
+            write!(f, ") {} {count}", cmp.as_str())
+        }
+        Condition::Flow {
+            from,
+            to,
+            cmp,
+            count,
+        } => {
+            write!(f, "flow(")?;
+            fmt_region(f, from)?;
+            write!(f, " -> ")?;
+            fmt_region(f, to)?;
+            write!(f, ") {} {count}", cmp.as_str())
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Device(glob) => write!(f, "device \"{glob}\""),
+            Pred::Region(id) => write!(f, "region {id}"),
+            Pred::Event(name) => write!(f, "event \"{name}\""),
+            Pred::Between { from_ms, to_ms } => write!(
+                f,
+                "BETWEEN {} AND {}",
+                fmt_timestamp(*from_ms),
+                fmt_timestamp(*to_ms)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Source::PopularRegions => write!(f, "popular_regions"),
+            Source::Flows { limit: None } => write!(f, "flows"),
+            Source::Flows { limit: Some(n) } => write!(f, "flows LIMIT {n}"),
+            Source::DwellHistogram { bucket_ms } => {
+                write!(f, "dwell_histogram BUCKET {}", fmt_duration(*bucket_ms))
+            }
+            Source::Devices => write!(f, "devices"),
+            Source::Semantics => write!(f, "semantics"),
+            Source::Stats => write!(f, "stats"),
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Find(find) => {
+                write!(f, "FIND {}", find.source)?;
+                for (i, pred) in find.preds.iter().enumerate() {
+                    write!(f, " {} {pred}", if i == 0 { "WHERE" } else { "AND" })?;
+                }
+                Ok(())
+            }
+            Statement::Rule(rule) => {
+                if let Some(name) = &rule.name {
+                    write!(f, "RULE \"{name}\" ")?;
+                }
+                write!(f, "WHEN ")?;
+                fmt_condition(f, &rule.condition)?;
+                if let Some(hold) = rule.hold_ms {
+                    write!(f, " FOR {}", fmt_duration(hold))?;
+                }
+                write!(f, " ALERT")?;
+                if let Some(msg) = &rule.message {
+                    write!(f, " \"{msg}\"")?;
+                }
+                if let Some(p) = rule.priority {
+                    write!(f, " PRIORITY {p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Typed TQL errors with byte-offset spans and caret-underlined rendering.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at` (end-of-input errors).
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+}
+
+/// A lexing, parsing or compilation error, anchored to the offending
+/// source range. `Display` shows the bare message; [`TqlError::render`]
+/// produces the full caret diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TqlError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl TqlError {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        TqlError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders a compiler-style diagnostic against the source the error
+    /// came from:
+    ///
+    /// ```text
+    /// error: unknown keyword `FILTER` (expected `FIND`, `RULE` or `WHEN`)
+    ///   |
+    ///   | FILTER devices
+    ///   | ^^^^^^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        // Locate the line holding the span start.
+        let line_start = src[..self.span.start.min(src.len())]
+            .rfind('\n')
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        let line_end = src[line_start..]
+            .find('\n')
+            .map(|p| line_start + p)
+            .unwrap_or(src.len());
+        let line = &src[line_start..line_end];
+        let col = src[line_start..self.span.start.min(src.len())]
+            .chars()
+            .count();
+        let width = src[self.span.start.min(src.len())..self.span.end.min(src.len())]
+            .chars()
+            .count()
+            .max(1);
+        let mut out = String::new();
+        out.push_str(&format!("error: {}\n", self.message));
+        out.push_str("  |\n");
+        out.push_str(&format!("  | {line}\n"));
+        out.push_str(&format!("  | {}{}\n", " ".repeat(col), "^".repeat(width)));
+        out
+    }
+}
+
+impl fmt::Display for TqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TqlError {}

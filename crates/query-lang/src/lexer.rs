@@ -1,0 +1,375 @@
+//! The TQL lexer: hand-rolled, byte-offset spans, no dependencies.
+//!
+//! Beyond the usual words / strings / punctuation, two literal forms are
+//! resolved here because they are purely lexical:
+//!
+//! * **durations** — an integer with a unit suffix: `250ms`, `90s`, `5m`,
+//!   `2h`, `1d`;
+//! * **timestamps** — `HH:MM:SS` with an optional day prefix:
+//!   `09:30:00`, `2d13:05:00` (the dataset's day-indexed clock).
+//!
+//! `5d` alone is five days (a duration); `5d` followed by a time of day is
+//! a day prefix (`5d09:00:00`). The lexer disambiguates by the character
+//! after the `d`.
+
+use crate::error::{Span, TqlError};
+use trips_store::CmpOp;
+
+pub const MS_PER_SEC: i64 = 1_000;
+pub const MS_PER_MIN: i64 = 60 * MS_PER_SEC;
+pub const MS_PER_HOUR: i64 = 60 * MS_PER_MIN;
+pub const MS_PER_DAY: i64 = 24 * MS_PER_HOUR;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A bare word: keyword, query source, or clause name.
+    Word(String),
+    /// A double-quoted string (no escape sequences).
+    Str(String),
+    Int(i64),
+    /// A duration literal, in milliseconds.
+    Dur(i64),
+    /// A timestamp literal (`[Nd]HH:MM:SS`), in milliseconds.
+    Time(i64),
+    LParen,
+    RParen,
+    /// `->`
+    Arrow,
+    Cmp(CmpOp),
+    Eof,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Lexes the whole source; the returned stream always ends with [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, TqlError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'"' => {
+                let start = i;
+                i += 1;
+                let content_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(TqlError::new(
+                        "unclosed string literal",
+                        Span::new(start, bytes.len()),
+                    ));
+                }
+                tokens.push(Token {
+                    tok: Tok::Str(src[content_start..i].to_string()),
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let (token, next) = lex_number(src, i)?;
+                tokens.push(token);
+                i = next;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Word(src[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            b'(' => {
+                tokens.push(Token {
+                    tok: Tok::LParen,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    tok: Tok::RParen,
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token {
+                        tok: Tok::Arrow,
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    return Err(TqlError::new("expected `->`", Span::new(i, i + 1)));
+                }
+            }
+            b'>' | b'<' => {
+                let eq = bytes.get(i + 1) == Some(&b'=');
+                let cmp = match (b, eq) {
+                    (b'>', true) => CmpOp::Ge,
+                    (b'>', false) => CmpOp::Gt,
+                    (b'<', true) => CmpOp::Le,
+                    _ => CmpOp::Lt,
+                };
+                let len = if eq { 2 } else { 1 };
+                tokens.push(Token {
+                    tok: Tok::Cmp(cmp),
+                    span: Span::new(i, i + len),
+                });
+                i += len;
+            }
+            b'=' => {
+                tokens.push(Token {
+                    tok: Tok::Cmp(CmpOp::Eq),
+                    span: Span::new(i, i + 1),
+                });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        tok: Tok::Cmp(CmpOp::Ne),
+                        span: Span::new(i, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    return Err(TqlError::new("expected `!=`", Span::new(i, i + 1)));
+                }
+            }
+            _ => {
+                // Report the whole (possibly multi-byte) character.
+                let ch = src[i..].chars().next().unwrap_or('?');
+                return Err(TqlError::new(
+                    format!("unexpected character `{ch}`"),
+                    Span::new(i, i + ch.len_utf8()),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        span: Span::point(src.len()),
+    });
+    Ok(tokens)
+}
+
+/// Lexes a token starting with a digit: integer, duration, or timestamp.
+fn lex_number(src: &str, start: usize) -> Result<(Token, usize), TqlError> {
+    let bytes = src.as_bytes();
+    let (first, mut i) = take_int(src, start)?;
+    match bytes.get(i) {
+        // `HH:MM:SS` — time of day on day 0.
+        Some(b':') => {
+            let (ms, end) = lex_time_of_day(src, start, first, i)?;
+            Ok((
+                Token {
+                    tok: Tok::Time(ms),
+                    span: Span::new(start, end),
+                },
+                end,
+            ))
+        }
+        // `NdHH:MM:SS` (day prefix) or `Nd` (a duration in days).
+        Some(b'd') if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+            let (hours, after_hours) = take_int(src, i + 1)?;
+            if bytes.get(after_hours) != Some(&b':') {
+                return Err(TqlError::new(
+                    "expected `HH:MM:SS` after the day prefix",
+                    Span::new(start, after_hours),
+                ));
+            }
+            let (tod_ms, end) = lex_time_of_day(src, start, hours, after_hours)?;
+            let ms = first
+                .checked_mul(MS_PER_DAY)
+                .and_then(|d| d.checked_add(tod_ms))
+                .ok_or_else(|| TqlError::new("timestamp too large", Span::new(start, end)))?;
+            Ok((
+                Token {
+                    tok: Tok::Time(ms),
+                    span: Span::new(start, end),
+                },
+                end,
+            ))
+        }
+        Some(b) if b.is_ascii_alphabetic() => {
+            let unit_start = i;
+            while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+                i += 1;
+            }
+            let unit = &src[unit_start..i];
+            let per = match unit {
+                "ms" => 1,
+                "s" => MS_PER_SEC,
+                "m" => MS_PER_MIN,
+                "h" => MS_PER_HOUR,
+                "d" => MS_PER_DAY,
+                _ => {
+                    return Err(TqlError::new(
+                        format!("unknown duration unit `{unit}` (expected ms, s, m, h or d)"),
+                        Span::new(unit_start, i),
+                    ))
+                }
+            };
+            let ms = first
+                .checked_mul(per)
+                .ok_or_else(|| TqlError::new("duration too large", Span::new(start, i)))?;
+            Ok((
+                Token {
+                    tok: Tok::Dur(ms),
+                    span: Span::new(start, i),
+                },
+                i,
+            ))
+        }
+        _ => Ok((
+            Token {
+                tok: Tok::Int(first),
+                span: Span::new(start, i),
+            },
+            i,
+        )),
+    }
+}
+
+/// Continues a time-of-day literal whose hour component (`hours`) is
+/// already consumed and whose next byte (at `colon`) is `:`. Returns the
+/// full literal's milliseconds (hours + day handled by the caller via
+/// `hours`) and the end offset. `start` anchors error spans at the whole
+/// literal.
+fn lex_time_of_day(
+    src: &str,
+    start: usize,
+    hours: i64,
+    colon: usize,
+) -> Result<(i64, usize), TqlError> {
+    let (mins, i) = take_int(src, colon + 1)?;
+    let bytes = src.as_bytes();
+    if bytes.get(i) != Some(&b':') {
+        return Err(TqlError::new(
+            "expected `HH:MM:SS` (two colons)",
+            Span::new(start, i),
+        ));
+    }
+    let (secs, end) = take_int(src, i + 1)?;
+    if hours >= 24 || mins >= 60 || secs >= 60 {
+        return Err(TqlError::new(
+            "time-of-day component out of range (HH:MM:SS, 24-hour clock)",
+            Span::new(start, end),
+        ));
+    }
+    Ok((
+        hours * MS_PER_HOUR + mins * MS_PER_MIN + secs * MS_PER_SEC,
+        end,
+    ))
+}
+
+/// Consumes a run of ASCII digits at `start`; errors if there is none or
+/// the value overflows `i64`.
+fn take_int(src: &str, start: usize) -> Result<(i64, usize), TqlError> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    let mut value: i64 = 0;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        value = value
+            .checked_mul(10)
+            .and_then(|v| v.checked_add(i64::from(bytes[i] - b'0')))
+            .ok_or_else(|| TqlError::new("number too large", Span::new(start, i + 1)))?;
+        i += 1;
+    }
+    if i == start {
+        return Err(TqlError::new("expected a number", Span::point(start)));
+    }
+    Ok((value, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            toks(r#"FIND flows LIMIT 5"#),
+            vec![
+                Tok::Word("FIND".into()),
+                Tok::Word("flows".into()),
+                Tok::Word("LIMIT".into()),
+                Tok::Int(5),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("5m")[0], Tok::Dur(300_000));
+        assert_eq!(toks("250ms")[0], Tok::Dur(250));
+        assert_eq!(toks("2d")[0], Tok::Dur(2 * MS_PER_DAY));
+        assert_eq!(
+            toks("09:30:00")[0],
+            Tok::Time(9 * MS_PER_HOUR + 30 * MS_PER_MIN)
+        );
+        assert_eq!(
+            toks("2d01:00:05")[0],
+            Tok::Time(2 * MS_PER_DAY + MS_PER_HOUR + 5 * MS_PER_SEC)
+        );
+        assert_eq!(toks(r#""lab-*""#)[0], Tok::Str("lab-*".into()));
+        assert_eq!(
+            toks(">= > <= < = !="),
+            vec![
+                Tok::Cmp(CmpOp::Ge),
+                Tok::Cmp(CmpOp::Gt),
+                Tok::Cmp(CmpOp::Le),
+                Tok::Cmp(CmpOp::Lt),
+                Tok::Cmp(CmpOp::Eq),
+                Tok::Cmp(CmpOp::Ne),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("( -> )"),
+            vec![Tok::LParen, Tok::Arrow, Tok::RParen, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let tokens = lex(r#"WHEN "x" 5m"#).unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 4));
+        assert_eq!(tokens[1].span, Span::new(5, 8)); // includes the quotes
+        assert_eq!(tokens[2].span, Span::new(9, 11));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            lex(r#""open"#).unwrap_err().message,
+            "unclosed string literal"
+        );
+        assert!(lex("5q")
+            .unwrap_err()
+            .message
+            .contains("unknown duration unit `q`"));
+        assert_eq!(lex("a - b").unwrap_err().message, "expected `->`");
+        assert_eq!(lex("a ! b").unwrap_err().message, "expected `!=`");
+        assert!(lex("25:00:00")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        assert!(lex("#")
+            .unwrap_err()
+            .message
+            .contains("unexpected character"));
+    }
+}

@@ -1,0 +1,455 @@
+//! The TQL recursive-descent parser.
+//!
+//! Keywords are case-insensitive on input (`when` == `WHEN`); the
+//! canonical form emitted by the AST's `Display` uses uppercase keywords.
+//! Every error carries the span of the offending token and a message
+//! naming what was expected — the full catalogue lives in
+//! `docs/TQL.md` and is pinned by `tests/golden_errors.rs`.
+
+use crate::ast::{FindStmt, Pred, RuleStmt, Source, Statement};
+use crate::error::{Span, TqlError};
+use crate::lexer::{lex, Tok, Token};
+use trips_store::{CmpOp, Condition, RegionSel};
+
+/// Parses one TQL statement.
+pub fn parse(src: &str) -> Result<Statement, TqlError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// The next token if it is a word equal (case-insensitively) to `kw`.
+    fn eat_word(&mut self, kw: &str) -> Option<Token> {
+        match &self.peek().tok {
+            Tok::Word(w) if w.eq_ignore_ascii_case(kw) => Some(self.next()),
+            _ => None,
+        }
+    }
+
+    fn expect_word(&mut self, kw: &str, context: &str) -> Result<Token, TqlError> {
+        self.eat_word(kw)
+            .ok_or_else(|| TqlError::new(context, self.peek().span))
+    }
+
+    fn expect_str(&mut self, context: &str) -> Result<String, TqlError> {
+        match &self.peek().tok {
+            Tok::Str(_) => {
+                let Tok::Str(s) = self.next().tok else {
+                    unreachable!()
+                };
+                Ok(s)
+            }
+            _ => Err(TqlError::new(context, self.peek().span)),
+        }
+    }
+
+    fn expect_int(&mut self, context: &str) -> Result<(i64, Span), TqlError> {
+        match self.peek().tok {
+            Tok::Int(n) => {
+                let span = self.next().span;
+                Ok((n, span))
+            }
+            _ => Err(TqlError::new(context, self.peek().span)),
+        }
+    }
+
+    fn expect_duration(&mut self, context: &str) -> Result<i64, TqlError> {
+        match self.peek().tok {
+            Tok::Dur(ms) => {
+                self.next();
+                Ok(ms)
+            }
+            _ => Err(TqlError::new(context, self.peek().span)),
+        }
+    }
+
+    fn expect_time(&mut self, context: &str) -> Result<i64, TqlError> {
+        match self.peek().tok {
+            Tok::Time(ms) => {
+                self.next();
+                Ok(ms)
+            }
+            _ => Err(TqlError::new(context, self.peek().span)),
+        }
+    }
+
+    fn expect_cmp(&mut self) -> Result<CmpOp, TqlError> {
+        match self.peek().tok {
+            Tok::Cmp(op) => {
+                self.next();
+                Ok(op)
+            }
+            _ => Err(TqlError::new(
+                "expected a comparison (>, >=, <, <=, =, !=)",
+                self.peek().span,
+            )),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), TqlError> {
+        match self.peek().tok {
+            Tok::Eof => Ok(()),
+            _ => Err(TqlError::new(
+                "unexpected trailing input",
+                Span::new(
+                    self.peek().span.start,
+                    self.tokens[self.tokens.len() - 1].span.end,
+                ),
+            )),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, TqlError> {
+        if self.eat_word("FIND").is_some() {
+            return Ok(Statement::Find(self.find()?));
+        }
+        if let Tok::Word(w) = &self.peek().tok {
+            if w.eq_ignore_ascii_case("RULE") || w.eq_ignore_ascii_case("WHEN") {
+                return Ok(Statement::Rule(self.rule()?));
+            }
+            let w = w.clone();
+            return Err(TqlError::new(
+                format!("unknown keyword `{w}` (expected `FIND`, `RULE` or `WHEN`)"),
+                self.peek().span,
+            ));
+        }
+        Err(TqlError::new(
+            "expected a statement (`FIND …`, `RULE …` or `WHEN …`)",
+            self.peek().span,
+        ))
+    }
+
+    // ---- FIND ------------------------------------------------------------
+
+    fn find(&mut self) -> Result<FindStmt, TqlError> {
+        let source = self.source()?;
+        let mut preds = Vec::new();
+        if self.eat_word("WHERE").is_some() {
+            loop {
+                preds.push(self.pred(&preds)?);
+                if self.eat_word("AND").is_none() {
+                    break;
+                }
+            }
+        }
+        Ok(FindStmt { source, preds })
+    }
+
+    fn source(&mut self) -> Result<Source, TqlError> {
+        let token = self.peek().clone();
+        let Tok::Word(w) = &token.tok else {
+            return Err(TqlError::new(
+                "expected a query source (popular_regions, flows, dwell_histogram, \
+                 devices, semantics or stats)",
+                token.span,
+            ));
+        };
+        let source = match w.to_ascii_lowercase().as_str() {
+            "popular_regions" => {
+                self.next();
+                Source::PopularRegions
+            }
+            "flows" => {
+                self.next();
+                let limit = if self.eat_word("LIMIT").is_some() {
+                    let (n, span) = self.expect_int("`LIMIT` takes a count, e.g. LIMIT 10")?;
+                    if n <= 0 {
+                        return Err(TqlError::new("LIMIT must be positive", span));
+                    }
+                    Some(n as usize)
+                } else {
+                    None
+                };
+                Source::Flows { limit }
+            }
+            "dwell_histogram" => {
+                self.next();
+                self.expect_word(
+                    "BUCKET",
+                    "dwell_histogram requires `BUCKET <duration>` (e.g. BUCKET 5m)",
+                )?;
+                let bucket_ms =
+                    self.expect_duration("`BUCKET` takes a duration, e.g. BUCKET 5m")?;
+                Source::DwellHistogram { bucket_ms }
+            }
+            "devices" => {
+                self.next();
+                Source::Devices
+            }
+            "semantics" => {
+                self.next();
+                Source::Semantics
+            }
+            "stats" => {
+                self.next();
+                Source::Stats
+            }
+            _ => {
+                return Err(TqlError::new(
+                    format!(
+                        "unknown query source `{w}` (expected popular_regions, flows, \
+                         dwell_histogram, devices, semantics or stats)"
+                    ),
+                    token.span,
+                ))
+            }
+        };
+        Ok(source)
+    }
+
+    fn pred(&mut self, seen: &[Pred]) -> Result<Pred, TqlError> {
+        let token = self.peek().clone();
+        let Tok::Word(w) = &token.tok else {
+            return Err(TqlError::new(
+                "expected a WHERE clause (device, region, event or BETWEEN)",
+                token.span,
+            ));
+        };
+        let dup = |kind: &str| TqlError::new(format!("duplicate `{kind}` clause"), token.span);
+        let pred = match w.to_ascii_lowercase().as_str() {
+            "device" => {
+                if seen.iter().any(|p| matches!(p, Pred::Device(_))) {
+                    return Err(dup("device"));
+                }
+                self.next();
+                Pred::Device(self.expect_str("`device` takes a quoted glob, e.g. device \"3a.*\"")?)
+            }
+            "region" => {
+                if seen.iter().any(|p| matches!(p, Pred::Region(_))) {
+                    return Err(dup("region"));
+                }
+                self.next();
+                let (n, span) = self.expect_int("`region` takes a region id, e.g. region 5")?;
+                Pred::Region(region_id(n, span)?)
+            }
+            "event" => {
+                if seen.iter().any(|p| matches!(p, Pred::Event(_))) {
+                    return Err(dup("event"));
+                }
+                self.next();
+                Pred::Event(self.expect_str("`event` takes a quoted name, e.g. event \"stay\"")?)
+            }
+            "between" => {
+                if seen.iter().any(|p| matches!(p, Pred::Between { .. })) {
+                    return Err(dup("BETWEEN"));
+                }
+                self.next();
+                let from_ms = self.expect_time(
+                    "`BETWEEN` takes timestamps, e.g. BETWEEN 0d09:00:00 AND 0d17:00:00",
+                )?;
+                self.expect_word("AND", "expected `AND` between the BETWEEN bounds")?;
+                let to_ms = self.expect_time(
+                    "`BETWEEN` takes timestamps, e.g. BETWEEN 0d09:00:00 AND 0d17:00:00",
+                )?;
+                Pred::Between { from_ms, to_ms }
+            }
+            _ => {
+                return Err(TqlError::new(
+                    format!(
+                        "unknown WHERE clause `{w}` (expected device, region, event or BETWEEN)"
+                    ),
+                    token.span,
+                ))
+            }
+        };
+        Ok(pred)
+    }
+
+    // ---- Rules -----------------------------------------------------------
+
+    fn rule(&mut self) -> Result<RuleStmt, TqlError> {
+        let name = if self.eat_word("RULE").is_some() {
+            Some(self.expect_str("`RULE` takes a quoted name, e.g. RULE \"lab-watch\"")?)
+        } else {
+            None
+        };
+        self.expect_word("WHEN", "a rule needs `WHEN <condition>`")?;
+        let condition = self.condition()?;
+        let hold_ms = if let Some(for_tok) = self.eat_word("FOR") {
+            if !condition.is_state() {
+                return Err(TqlError::new(
+                    "FOR requires a state condition (occupancy/flow); \
+                     `ENTERS`/`DWELLS` fire per event",
+                    for_tok.span,
+                ));
+            }
+            Some(self.expect_duration("`FOR` takes a duration, e.g. FOR 5m")?)
+        } else {
+            None
+        };
+        self.expect_word("ALERT", "a rule needs `ALERT` after its condition")?;
+        let message = match &self.peek().tok {
+            Tok::Str(_) => Some(self.expect_str("")?),
+            _ => None,
+        };
+        let priority = if self.eat_word("PRIORITY").is_some() {
+            let (n, span) = self.expect_int("`PRIORITY` takes a number, e.g. PRIORITY 5")?;
+            Some(i32::try_from(n).map_err(|_| TqlError::new("priority out of range", span))?)
+        } else {
+            None
+        };
+        Ok(RuleStmt {
+            name,
+            condition,
+            hold_ms,
+            message,
+            priority,
+        })
+    }
+
+    fn condition(&mut self) -> Result<Condition, TqlError> {
+        let token = self.peek().clone();
+        let Tok::Word(w) = &token.tok else {
+            return Err(TqlError::new(
+                "expected a condition (device …, occupancy(…), flow(…))",
+                token.span,
+            ));
+        };
+        match w.to_ascii_lowercase().as_str() {
+            "device" => {
+                self.next();
+                let device = match &self.peek().tok {
+                    Tok::Str(_) => Some(self.expect_str("")?),
+                    _ => None,
+                };
+                if self.eat_word("ENTERS").is_some() {
+                    let region = self.region_ref()?;
+                    Ok(Condition::Enters { device, region })
+                } else if self.eat_word("DWELLS").is_some() {
+                    self.expect_word("IN", "expected `IN` after `DWELLS`")?;
+                    let region = self.region_ref()?;
+                    let cmp = self.expect_cmp()?;
+                    let threshold_ms =
+                        self.expect_duration("dwell comparisons take a duration, e.g. > 30m")?;
+                    Ok(Condition::Dwells {
+                        device,
+                        region,
+                        cmp,
+                        threshold_ms,
+                    })
+                } else {
+                    Err(TqlError::new(
+                        "expected `ENTERS` or `DWELLS` after `device`",
+                        self.peek().span,
+                    ))
+                }
+            }
+            "occupancy" => {
+                self.next();
+                self.expect_lparen("occupancy")?;
+                let region = self.region_ref()?;
+                self.expect_rparen()?;
+                let cmp = self.expect_cmp()?;
+                let (count, _) =
+                    self.expect_int("occupancy comparisons take a count, e.g. > 50")?;
+                Ok(Condition::Occupancy { region, cmp, count })
+            }
+            "flow" => {
+                self.next();
+                self.expect_lparen("flow")?;
+                let from = self.region_ref()?;
+                match self.peek().tok {
+                    Tok::Arrow => {
+                        self.next();
+                    }
+                    _ => {
+                        return Err(TqlError::new(
+                            "expected `->` between the flow endpoints",
+                            self.peek().span,
+                        ))
+                    }
+                }
+                let to = self.region_ref()?;
+                self.expect_rparen()?;
+                let cmp = self.expect_cmp()?;
+                let (count, _) = self.expect_int("flow comparisons take a count, e.g. >= 100")?;
+                Ok(Condition::Flow {
+                    from,
+                    to,
+                    cmp,
+                    count,
+                })
+            }
+            _ => Err(TqlError::new(
+                format!("unknown condition `{w}` (expected device, occupancy or flow)"),
+                token.span,
+            )),
+        }
+    }
+
+    fn expect_lparen(&mut self, what: &str) -> Result<(), TqlError> {
+        match self.peek().tok {
+            Tok::LParen => {
+                self.next();
+                Ok(())
+            }
+            _ => Err(TqlError::new(
+                format!("expected `(` after `{what}`"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    fn expect_rparen(&mut self) -> Result<(), TqlError> {
+        match self.peek().tok {
+            Tok::RParen => {
+                self.next();
+                Ok(())
+            }
+            _ => Err(TqlError::new("expected `)`", self.peek().span)),
+        }
+    }
+
+    fn region_ref(&mut self) -> Result<RegionSel, TqlError> {
+        if self.eat_word("region").is_some() {
+            match self.peek().tok.clone() {
+                Tok::Int(n) => {
+                    let span = self.next().span;
+                    Ok(RegionSel::Id(region_id(n, span)?))
+                }
+                Tok::Str(glob) => {
+                    self.next();
+                    Ok(RegionSel::Name(glob))
+                }
+                _ => Err(TqlError::new(
+                    "`region` takes an id or a quoted name glob, e.g. region 5 or region \"lab-*\"",
+                    self.peek().span,
+                )),
+            }
+        } else if self.eat_word("floor").is_some() {
+            let (n, span) = self.expect_int("`floor` takes a floor number, e.g. floor 2")?;
+            let floor =
+                i16::try_from(n).map_err(|_| TqlError::new("floor number out of range", span))?;
+            Ok(RegionSel::Floor(floor))
+        } else {
+            Err(TqlError::new(
+                "expected `region <id|\"glob\">` or `floor <n>`",
+                self.peek().span,
+            ))
+        }
+    }
+}
+
+fn region_id(n: i64, span: Span) -> Result<u32, TqlError> {
+    u32::try_from(n).map_err(|_| TqlError::new("region id out of range", span))
+}

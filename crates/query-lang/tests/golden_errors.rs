@@ -1,0 +1,124 @@
+//! Golden error-span tests: the ten most likely user typos, each pinned to
+//! an exact message and byte span (and, for a sample, the full rendered
+//! caret diagnostic). These are the errors catalogued in `docs/TQL.md` —
+//! changing a message here means updating the catalogue.
+
+use trips_query_lang::{parse, Span};
+
+fn err(src: &str) -> (String, Span) {
+    let e = parse(src).expect_err(src);
+    (e.message, e.span)
+}
+
+#[test]
+fn unclosed_string() {
+    let src = r#"WHEN device ENTERS region "lab-"#;
+    let (msg, span) = err(src);
+    assert_eq!(msg, "unclosed string literal");
+    assert_eq!(span, Span::new(26, src.len()));
+}
+
+#[test]
+fn bad_duration_unit() {
+    let (msg, span) = err("FIND dwell_histogram BUCKET 5q");
+    assert_eq!(msg, "unknown duration unit `q` (expected ms, s, m, h or d)");
+    assert_eq!(span, Span::new(29, 30));
+}
+
+#[test]
+fn unknown_keyword() {
+    let (msg, span) = err("FILTER devices");
+    assert_eq!(
+        msg,
+        "unknown keyword `FILTER` (expected `FIND`, `RULE` or `WHEN`)"
+    );
+    assert_eq!(span, Span::new(0, 6));
+}
+
+#[test]
+fn unknown_query_source() {
+    let (msg, span) = err("FIND dwellz");
+    assert_eq!(
+        msg,
+        "unknown query source `dwellz` (expected popular_regions, flows, \
+         dwell_histogram, devices, semantics or stats)"
+    );
+    assert_eq!(span, Span::new(5, 11));
+}
+
+#[test]
+fn missing_alert() {
+    let src = "WHEN device ENTERS region 3";
+    let (msg, span) = err(src);
+    assert_eq!(msg, "a rule needs `ALERT` after its condition");
+    assert_eq!(span, Span::point(src.len()), "points at end of input");
+}
+
+#[test]
+fn hold_on_event_condition() {
+    let src = "WHEN device ENTERS region 3 FOR 5m ALERT";
+    let (msg, span) = err(src);
+    assert_eq!(
+        msg,
+        "FOR requires a state condition (occupancy/flow); `ENTERS`/`DWELLS` fire per event"
+    );
+    assert_eq!(span, Span::new(28, 31), "points at the FOR keyword");
+}
+
+#[test]
+fn half_written_comparison() {
+    let (msg, span) = err("WHEN occupancy(region 1) ! 5 ALERT");
+    assert_eq!(msg, "expected `!=`");
+    assert_eq!(span, Span::new(25, 26));
+}
+
+#[test]
+fn unknown_where_clause() {
+    let (msg, span) = err("FIND semantics WHERE floor 2");
+    assert_eq!(
+        msg,
+        "unknown WHERE clause `floor` (expected device, region, event or BETWEEN)"
+    );
+    assert_eq!(span, Span::new(21, 26));
+}
+
+#[test]
+fn duplicate_where_clause() {
+    let (msg, span) = err(r#"FIND semantics WHERE device "a" AND device "b""#);
+    assert_eq!(msg, "duplicate `device` clause");
+    assert_eq!(span, Span::new(36, 42), "points at the second `device`");
+}
+
+#[test]
+fn time_component_out_of_range() {
+    let (msg, span) = err("FIND semantics WHERE BETWEEN 25:00:00 AND 26:00:00");
+    assert_eq!(
+        msg,
+        "time-of-day component out of range (HH:MM:SS, 24-hour clock)"
+    );
+    assert_eq!(span, Span::new(29, 37), "covers the whole literal");
+}
+
+#[test]
+fn trailing_input() {
+    let (msg, _) = err("FIND stats stats");
+    assert_eq!(msg, "unexpected trailing input");
+}
+
+#[test]
+fn missing_region_ref() {
+    let (msg, span) = err("WHEN device ENTERS room 3 ALERT");
+    assert_eq!(msg, "expected `region <id|\"glob\">` or `floor <n>`");
+    assert_eq!(span, Span::new(19, 23));
+}
+
+#[test]
+fn rendered_diagnostic_is_caret_aligned() {
+    let src = "FIND dwellz";
+    let rendered = parse(src).unwrap_err().render(src);
+    assert_eq!(
+        rendered,
+        "error: unknown query source `dwellz` (expected popular_regions, flows, \
+         dwell_histogram, devices, semantics or stats)\n  |\n  | FIND dwellz\n  |      ^^^^^^\n"
+    );
+}

@@ -1,0 +1,188 @@
+//! Property: pretty-printing a parsed statement and re-parsing round-trips
+//! to an equal AST — the invariant that lets server traces echo canonical
+//! rule text without drift.
+
+use proptest::prelude::*;
+use proptest::Strategy;
+use trips_query_lang::ast::{FindStmt, Pred, RuleStmt, Source, Statement};
+use trips_query_lang::parse;
+use trips_store::{CmpOp, Condition, RegionSel};
+
+/// Boxed strategies let `prop_oneof!` mix arms of different concrete types.
+type BoxStrat<T> = Box<dyn Strategy<Value = T>>;
+
+fn opt<T: 'static>(s: impl Strategy<Value = T> + 'static) -> BoxStrat<Option<T>> {
+    Box::new((0u8..2, s).prop_map(|(some, v)| if some == 1 { Some(v) } else { None }))
+}
+
+/// Glob-safe string content: no quotes (TQL strings have no escapes).
+const GLOB_CHARS: &[u8] = b"abcxyz019.*?_-";
+
+fn arb_glob() -> BoxStrat<String> {
+    Box::new(
+        proptest::collection::vec(0usize..GLOB_CHARS.len(), 1..10)
+            .prop_map(|ix| ix.into_iter().map(|i| GLOB_CHARS[i] as char).collect()),
+    )
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+/// Durations the lexer can spell: n × one unit, n positive.
+fn arb_duration_ms() -> impl Strategy<Value = i64> {
+    (
+        1i64..500,
+        prop_oneof![
+            Just(1i64),
+            Just(1_000i64),
+            Just(60_000i64),
+            Just(3_600_000i64),
+            Just(86_400_000i64),
+        ],
+    )
+        .prop_map(|(n, per)| n * per)
+}
+
+/// Timestamps: whole seconds on a day-indexed clock (the literal form).
+fn arb_time_ms() -> impl Strategy<Value = i64> {
+    (0i64..5, 0i64..24, 0i64..60, 0i64..60)
+        .prop_map(|(d, h, m, s)| ((d * 24 + h) * 3600 + m * 60 + s) * 1000)
+}
+
+fn arb_region_sel() -> BoxStrat<RegionSel> {
+    Box::new(prop_oneof![
+        Box::new((0u32..10_000).prop_map(RegionSel::Id)) as BoxStrat<RegionSel>,
+        Box::new(arb_glob().prop_map(RegionSel::Name)),
+        Box::new((0i16..30).prop_map(RegionSel::Floor)),
+    ])
+}
+
+fn arb_source() -> BoxStrat<Source> {
+    Box::new(prop_oneof![
+        Box::new(Just(Source::PopularRegions)) as BoxStrat<Source>,
+        Box::new(opt(1usize..1000).prop_map(|limit| Source::Flows { limit })),
+        Box::new(arb_duration_ms().prop_map(|bucket_ms| Source::DwellHistogram { bucket_ms })),
+        Box::new(Just(Source::Devices)),
+        Box::new(Just(Source::Semantics)),
+        Box::new(Just(Source::Stats)),
+    ])
+}
+
+/// At most one predicate of each kind, in any order (duplicates are a
+/// parse error by design).
+fn arb_preds() -> impl Strategy<Value = Vec<Pred>> {
+    (
+        opt(arb_glob().prop_map(Pred::Device)),
+        opt((0u32..10_000).prop_map(Pred::Region)),
+        opt(arb_glob().prop_map(Pred::Event)),
+        opt(
+            (arb_time_ms(), arb_time_ms()).prop_map(|(a, b)| Pred::Between {
+                from_ms: a.min(b),
+                to_ms: a.max(b),
+            }),
+        ),
+        0usize..256,
+    )
+        .prop_map(|(a, b, c, d, shuffle)| {
+            let mut preds: Vec<Pred> = [a, b, c, d].into_iter().flatten().collect();
+            if !preds.is_empty() {
+                let by = shuffle % preds.len();
+                preds.rotate_left(by);
+            }
+            preds
+        })
+}
+
+fn arb_condition() -> BoxStrat<Condition> {
+    Box::new(prop_oneof![
+        Box::new(
+            (opt(arb_glob()), arb_region_sel())
+                .prop_map(|(device, region)| Condition::Enters { device, region })
+        ) as BoxStrat<Condition>,
+        Box::new(
+            (
+                opt(arb_glob()),
+                arb_region_sel(),
+                arb_cmp(),
+                arb_duration_ms()
+            )
+                .prop_map(|(device, region, cmp, threshold_ms)| Condition::Dwells {
+                    device,
+                    region,
+                    cmp,
+                    threshold_ms,
+                })
+        ),
+        Box::new(
+            (arb_region_sel(), arb_cmp(), 0i64..100_000)
+                .prop_map(|(region, cmp, count)| Condition::Occupancy { region, cmp, count })
+        ),
+        Box::new(
+            (arb_region_sel(), arb_region_sel(), arb_cmp(), 0i64..100_000).prop_map(
+                |(from, to, cmp, count)| Condition::Flow {
+                    from,
+                    to,
+                    cmp,
+                    count,
+                }
+            )
+        ),
+    ])
+}
+
+fn arb_statement() -> BoxStrat<Statement> {
+    Box::new(prop_oneof![
+        Box::new(
+            (arb_source(), arb_preds())
+                .prop_map(|(source, preds)| Statement::Find(FindStmt { source, preds }))
+        ) as BoxStrat<Statement>,
+        Box::new(
+            (
+                opt(arb_glob()),
+                arb_condition(),
+                opt(arb_duration_ms()),
+                opt(arb_glob()),
+                opt(0i32..1000),
+            )
+                .prop_map(|(name, condition, hold, message, priority)| {
+                    // FOR only holds over state conditions; the parser rejects
+                    // it elsewhere, so the generator must too.
+                    let hold_ms = hold.filter(|_| condition.is_state());
+                    Statement::Rule(RuleStmt {
+                        name,
+                        condition,
+                        hold_ms,
+                        message,
+                        priority,
+                    })
+                })
+        ),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pretty_print_then_parse_round_trips(stmt in arb_statement()) {
+        let text = stmt.to_string();
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("canonical text failed to parse: {text:?}\n{}", e.render(&text)));
+        prop_assert_eq!(&reparsed, &stmt, "canonical text: {}", text);
+    }
+
+    #[test]
+    fn canonical_form_is_a_fixed_point(stmt in arb_statement()) {
+        let once = stmt.to_string();
+        let twice = parse(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -34,12 +34,13 @@ use crate::protocol::{
     decode_response, encode_request, Request, RequestEnvelope, Response, ServerError, PROTOCOL_V2,
     PROTOCOL_VERSION,
 };
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use trips_data::RawRecord;
-use trips_store::{Query, QueryRequest, QueryResult, SemanticsSelector};
+use trips_store::{Alert, Query, QueryRequest, QueryResult, RuleTrace, SemanticsSelector};
 
 /// The typed source of the `BrokenPipe` error every call on a poisoned
 /// [`Client`] returns. Downcast to distinguish "this connection died
@@ -77,6 +78,10 @@ pub struct Client {
     next_id: u64,
     protocol: u32,
     poisoned: Option<String>,
+    /// Alerts (id 0, pushed by the server for this connection's standing
+    /// rules) that arrived interleaved with a request's response. Drained
+    /// by [`Client::recv_alert`] before it touches the socket.
+    pending_alerts: VecDeque<Alert>,
 }
 
 impl Client {
@@ -116,6 +121,7 @@ impl Client {
             next_id: 1,
             protocol: PROTOCOL_VERSION,
             poisoned: None,
+            pending_alerts: VecDeque::new(),
         })
     }
 
@@ -202,15 +208,27 @@ impl Client {
                 self.stream.write_all(line.as_bytes())?;
             }
         }
-        let env = self.read_response()?;
-        // id 0 marks connection-level errors the server emits unprompted.
-        if env.id != id && env.id != 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("response id {} does not match request id {id}", env.id),
-            ));
+        loop {
+            let env = self.read_response()?;
+            // Standing-rule alerts are pushed with id 0 and may land
+            // between a request and its response; park them for
+            // `recv_alert` and keep waiting for the real answer.
+            if env.id == 0 {
+                if let Response::Alert(alert) = env.resp {
+                    self.pending_alerts.push_back(alert);
+                    continue;
+                }
+            }
+            // id 0 otherwise marks connection-level errors the server
+            // emits unprompted.
+            if env.id != id && env.id != 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response id {} does not match request id {id}", env.id),
+                ));
+            }
+            return Ok(env.resp);
         }
-        Ok(env.resp)
     }
 
     /// Reads one response in whichever framing the server used (detected
@@ -315,6 +333,133 @@ impl Client {
     /// Requests a graceful drain.
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.call(Request::Shutdown)
+    }
+
+    /// Registers a standing rule (TQL `WHEN … ALERT …`) on this
+    /// connection; returns `(rule_id, name)`. Matching [`Alert`]s are
+    /// pushed with correlation id 0 — collect them with
+    /// [`Client::recv_alert`]. The rule lives exactly as long as the
+    /// connection.
+    pub fn subscribe(&mut self, tql: &str) -> io::Result<Result<(u64, String), ServerError>> {
+        match self.call(Request::Subscribe {
+            tql: tql.to_string(),
+        })? {
+            Response::Subscribed { rule_id, name } => Ok(Ok((rule_id, name))),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected subscribed response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Removes a rule this connection registered. `Ok(Ok(false))` means
+    /// the id was unknown *to this session* — rules owned by other
+    /// connections cannot be removed remotely.
+    pub fn unsubscribe(&mut self, rule_id: u64) -> io::Result<Result<bool, ServerError>> {
+        match self.call(Request::Unsubscribe { rule_id })? {
+            Response::Unsubscribed { existed } => Ok(Ok(existed)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected unsubscribed response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Evaluation traces for every registered rule, server-wide.
+    pub fn list_rules(&mut self) -> io::Result<Result<Vec<RuleTrace>, ServerError>> {
+        match self.call(Request::ListRules)? {
+            Response::Rules { rules } => Ok(Ok(rules)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected rules response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Compiles a one-shot TQL `FIND` statement client-side and runs it
+    /// as a typed query. Compile errors (including a `WHEN` rule, which
+    /// belongs to [`Client::subscribe`]) surface as `InvalidInput` with
+    /// the rendered caret diagnostic — nothing is sent.
+    pub fn query_tql(&mut self, src: &str) -> io::Result<Result<QueryResult, ServerError>> {
+        let request = match trips_query_lang::compile(src) {
+            Ok(trips_query_lang::Compiled::Query(request)) => request,
+            Ok(trips_query_lang::Compiled::Rule(_)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "`WHEN … ALERT` is a standing rule — use `subscribe`, not `query_tql`",
+                ));
+            }
+            Err(e) => {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, e.render(src)));
+            }
+        };
+        self.query(request)
+    }
+
+    /// Waits up to `timeout` for the next pushed [`Alert`]; `Ok(None)` on
+    /// a quiet wire. Alerts that arrived interleaved with earlier
+    /// responses are returned first without touching the socket. Unlike a
+    /// timed-out [`Client::call`], an empty wait does **not** poison the
+    /// connection — no request/response pairing is at risk while nothing
+    /// is in flight.
+    pub fn recv_alert(&mut self, timeout: Duration) -> io::Result<Option<Alert>> {
+        if let Some(alert) = self.pending_alerts.pop_front() {
+            return Ok(Some(alert));
+        }
+        if let Some(reason) = &self.poisoned {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                ClientPoisoned {
+                    reason: reason.clone(),
+                },
+            ));
+        }
+        let prev = self.reader.get_ref().read_timeout()?;
+        self.reader.get_ref().set_read_timeout(Some(timeout))?;
+        let outcome = self.try_read_alert();
+        self.reader.get_ref().set_read_timeout(prev)?;
+        match outcome {
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    /// One bounded read attempt: `Ok(None)` if the wire stayed quiet
+    /// before any byte was consumed (safe — the stream is still framed);
+    /// any mid-message failure is a real transport error.
+    fn try_read_alert(&mut self) -> io::Result<Option<Alert>> {
+        match self.reader.fill_buf() {
+            Ok([]) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        }
+        let env = self.read_response()?;
+        match env.resp {
+            Response::Alert(alert) if env.id == 0 => Ok(Some(alert)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected message while idle (id {}): {other:?}", env.id),
+            )),
+        }
     }
 }
 

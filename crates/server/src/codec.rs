@@ -53,8 +53,8 @@ use std::fmt;
 use trips_data::{DeviceId, Duration, RawRecord, Timestamp};
 use trips_dsm::RegionId;
 use trips_store::{
-    DeviceSummary, Flow, Query, QueryRequest, QueryResult, RegionPopularity, SemanticsSelector,
-    StoreStats,
+    Alert, DeviceSummary, Flow, Query, QueryRequest, QueryResult, RegionPopularity, RuleTrace,
+    SemanticsSelector, StoreStats,
 };
 use trips_wal::crc32;
 
@@ -142,6 +142,9 @@ mod req_tag {
     pub const METRICS: u8 = 5;
     pub const SNAPSHOT: u8 = 6;
     pub const SHUTDOWN: u8 = 7;
+    pub const SUBSCRIBE: u8 = 8;
+    pub const UNSUBSCRIBE: u8 = 9;
+    pub const LIST_RULES: u8 = 10;
 }
 
 mod resp_tag {
@@ -154,6 +157,10 @@ mod resp_tag {
     pub const SNAPSHOT_SAVED: u8 = 6;
     pub const SHUTTING_DOWN: u8 = 7;
     pub const ERROR: u8 = 8;
+    pub const SUBSCRIBED: u8 = 9;
+    pub const UNSUBSCRIBED: u8 = 10;
+    pub const RULES: u8 = 11;
+    pub const ALERT: u8 = 12;
 }
 
 mod query_tag {
@@ -477,6 +484,15 @@ fn encode_request_payload(env: &RequestEnvelope) -> Vec<u8> {
             b.str(path);
         }
         Request::Shutdown => b.u8(req_tag::SHUTDOWN),
+        Request::Subscribe { tql } => {
+            b.u8(req_tag::SUBSCRIBE);
+            b.str(tql);
+        }
+        Request::Unsubscribe { rule_id } => {
+            b.u8(req_tag::UNSUBSCRIBE);
+            b.u64(*rule_id);
+        }
+        Request::ListRules => b.u8(req_tag::LIST_RULES),
     }
     b.out
 }
@@ -521,6 +537,9 @@ fn decode_request_payload_inner(r: &mut Reader) -> DecodeResult<Request> {
         req_tag::METRICS => Request::Metrics,
         req_tag::SNAPSHOT => Request::Snapshot { path: r.str()? },
         req_tag::SHUTDOWN => Request::Shutdown,
+        req_tag::SUBSCRIBE => Request::Subscribe { tql: r.str()? },
+        req_tag::UNSUBSCRIBE => Request::Unsubscribe { rule_id: r.u64()? },
+        req_tag::LIST_RULES => Request::ListRules,
         other => return Err(format!("unknown request tag {other}")),
     };
     r.done()?;
@@ -858,6 +877,26 @@ fn encode_response_payload(env: &ResponseEnvelope) -> Vec<u8> {
             b.u64(*semantics as u64);
         }
         Response::ShuttingDown => b.u8(resp_tag::SHUTTING_DOWN),
+        Response::Subscribed { rule_id, name } => {
+            b.u8(resp_tag::SUBSCRIBED);
+            b.u64(*rule_id);
+            b.str(name);
+        }
+        Response::Unsubscribed { existed } => {
+            b.u8(resp_tag::UNSUBSCRIBED);
+            b.u8(*existed as u8);
+        }
+        // Rule traces and alerts ride as embedded JSON like the admin
+        // reports: traces are cold, and alert volume is bounded by rule
+        // fire rates, not ingest rates.
+        Response::Rules { rules } => {
+            b.u8(resp_tag::RULES);
+            b.str(&serde_json::to_string(rules).expect("rule traces always serialize"));
+        }
+        Response::Alert(alert) => {
+            b.u8(resp_tag::ALERT);
+            b.str(&serde_json::to_string(alert).expect("alerts always serialize"));
+        }
         Response::Error(err) => {
             b.u8(resp_tag::ERROR);
             encode_error(&mut b, err);
@@ -904,6 +943,29 @@ fn decode_response_payload_inner(r: &mut Reader) -> DecodeResult<Response> {
             semantics: r.u64()? as usize,
         },
         resp_tag::SHUTTING_DOWN => Response::ShuttingDown,
+        resp_tag::SUBSCRIBED => Response::Subscribed {
+            rule_id: r.u64()?,
+            name: r.str()?,
+        },
+        resp_tag::UNSUBSCRIBED => Response::Unsubscribed {
+            existed: match r.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(format!("bad existed flag {other}")),
+            },
+        },
+        resp_tag::RULES => {
+            let json = r.str()?;
+            let rules: Vec<RuleTrace> =
+                serde_json::from_str(&json).map_err(|e| format!("embedded rule traces: {e}"))?;
+            Response::Rules { rules }
+        }
+        resp_tag::ALERT => {
+            let json = r.str()?;
+            let alert: Alert =
+                serde_json::from_str(&json).map_err(|e| format!("embedded alert: {e}"))?;
+            Response::Alert(alert)
+        }
         resp_tag::ERROR => Response::Error(decode_error(r)?),
         other => return Err(format!("unknown response tag {other}")),
     };
@@ -1031,6 +1093,11 @@ mod tests {
             path: "snaps/mall.json".into(),
         });
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Subscribe {
+            tql: r#"WHEN occupancy(floor 2) > 50 FOR 5m ALERT"#.into(),
+        });
+        roundtrip_request(Request::Unsubscribe { rule_id: 3 });
+        roundtrip_request(Request::ListRules);
     }
 
     #[test]
@@ -1171,6 +1238,18 @@ mod tests {
                 mean_us: 80.0,
             }],
             wal: None,
+            rules: vec![RuleTrace {
+                id: 2,
+                name: "crowded".into(),
+                priority: 9,
+                source: "WHEN occupancy(floor 2) > 50 ALERT".into(),
+                evals: 40,
+                fires: 2,
+                last_eval_ms: Some(1_000),
+                last_fire_ms: None,
+            }],
+            alerts_delivered: 2,
+            alerts_dropped: 1,
         }));
         roundtrip_response(Response::SnapshotSaved {
             path: "snaps/mall.json".into(),
@@ -1178,6 +1257,33 @@ mod tests {
             semantics: 300,
         });
         roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::Subscribed {
+            rule_id: 3,
+            name: "rule-3".into(),
+        });
+        roundtrip_response(Response::Unsubscribed { existed: false });
+        roundtrip_response(Response::Rules {
+            rules: vec![RuleTrace {
+                id: 3,
+                name: "rule-3".into(),
+                priority: 0,
+                source: r#"WHEN device ENTERS region "lab-*" ALERT"#.into(),
+                evals: 0,
+                fires: 0,
+                last_eval_ms: None,
+                last_fire_ms: None,
+            }],
+        });
+        roundtrip_response(Response::Alert(Alert {
+            rule_id: 3,
+            rule_name: "rule-3".into(),
+            device: Some("b0.3a.7f.00.01".into()),
+            region: Some(12),
+            region_name: Some("lab-west".into()),
+            message: "device entered lab-west".into(),
+            at_ms: 36_000_000,
+            seq: 1,
+        }));
         roundtrip_response(Response::Error(ServerError::Overloaded {
             queue_capacity: 64,
         }));

@@ -32,7 +32,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use trips_data::RawRecord;
-use trips_store::{QueryRequest, QueryResult, StoreHealth, WalStats};
+use trips_store::{Alert, QueryRequest, QueryResult, RuleTrace, StoreHealth, WalStats};
 
 /// The NDJSON protocol version. An NDJSON envelope with any other `v` is
 /// rejected with [`ServerError::UnsupportedVersion`] — including `v: 2`:
@@ -75,6 +75,16 @@ pub enum Request {
     /// Graceful drain: stop accepting connections and work, finish queued
     /// requests, flush stream buffers, then exit the serve loop.
     Shutdown,
+    /// Register a standing rule (TQL `WHEN … ALERT` text) scoped to this
+    /// connection: matching [`Response::Alert`] frames are pushed on this
+    /// connection (correlation id 0) as ingest fires the rule, and the
+    /// rule is torn down when the connection closes. Answered inline.
+    Subscribe { tql: String },
+    /// Unregister a rule this connection subscribed. Answered inline.
+    Unsubscribe { rule_id: u64 },
+    /// Per-rule execution traces for every registered rule (all
+    /// connections), priority-ordered. Answered inline.
+    ListRules,
 }
 
 impl Request {
@@ -117,6 +127,26 @@ pub enum Response {
     /// Acknowledges a [`Request::Shutdown`]; the server drains and exits
     /// after this is written.
     ShuttingDown,
+    /// Acknowledges a [`Request::Subscribe`]: the registered rule's id
+    /// (used to [`Request::Unsubscribe`]) and its display name.
+    Subscribed {
+        rule_id: u64,
+        name: String,
+    },
+    /// Acknowledges a [`Request::Unsubscribe`]; `existed` is false when the
+    /// id named no rule owned by this connection.
+    Unsubscribed {
+        existed: bool,
+    },
+    /// Answer to [`Request::ListRules`].
+    Rules {
+        rules: Vec<RuleTrace>,
+    },
+    /// An unsolicited push: a standing rule subscribed on this connection
+    /// fired. Always delivered with correlation id 0 — clients must treat
+    /// id-0 `Alert` envelopes as out-of-band, not as the answer to a
+    /// pending request.
+    Alert(Alert),
     Error(ServerError),
 }
 
@@ -257,6 +287,13 @@ pub struct MetricsReport {
     /// durability overhead the perf trajectory must watch: segment
     /// growth between checkpoints and how stale the last checkpoint is.
     pub wal: Option<WalStats>,
+    /// Per-rule execution traces (priority-ordered), covering every
+    /// standing rule registered via [`Request::Subscribe`].
+    pub rules: Vec<RuleTrace>,
+    /// Alerts accepted by subscriber connections' write buffers.
+    pub alerts_delivered: u64,
+    /// Alerts dropped (subscriber buffer over its cap or connection gone).
+    pub alerts_dropped: u64,
 }
 
 /// A request plus version + correlation id — one line on the wire.
@@ -385,6 +422,11 @@ mod tests {
                 path: "/tmp/snap.json".into(),
             },
             Request::Shutdown,
+            Request::Subscribe {
+                tql: r#"WHEN device ENTERS region "lab-*" ALERT"#.into(),
+            },
+            Request::Unsubscribe { rule_id: 7 },
+            Request::ListRules,
         ];
         for (i, req) in requests.into_iter().enumerate() {
             let env = RequestEnvelope::new(i as u64, req);
@@ -462,6 +504,18 @@ mod tests {
                     records_since_checkpoint: 0,
                     last_checkpoint_age_ms: None,
                 }),
+                rules: vec![RuleTrace {
+                    id: 1,
+                    name: "crowded".into(),
+                    priority: 9,
+                    source: "WHEN occupancy(floor 2) > 50 ALERT".into(),
+                    evals: 120,
+                    fires: 3,
+                    last_eval_ms: Some(86_400_000),
+                    last_fire_ms: Some(82_800_000),
+                }],
+                alerts_delivered: 3,
+                alerts_dropped: 0,
             }),
             Response::SnapshotSaved {
                 path: "/tmp/snap.json".into(),
@@ -469,6 +523,33 @@ mod tests {
                 semantics: 300,
             },
             Response::ShuttingDown,
+            Response::Subscribed {
+                rule_id: 3,
+                name: "crowded".into(),
+            },
+            Response::Unsubscribed { existed: true },
+            Response::Rules {
+                rules: vec![RuleTrace {
+                    id: 3,
+                    name: "crowded".into(),
+                    priority: 0,
+                    source: r#"WHEN device ENTERS region "lab-*" ALERT"#.into(),
+                    evals: 0,
+                    fires: 0,
+                    last_eval_ms: None,
+                    last_fire_ms: None,
+                }],
+            },
+            Response::Alert(Alert {
+                rule_id: 3,
+                rule_name: "crowded".into(),
+                device: Some("b0.3a.7f.00.01".into()),
+                region: Some(12),
+                region_name: Some("lab-west".into()),
+                message: "device entered lab-west".into(),
+                at_ms: 36_000_000,
+                seq: 1,
+            }),
             Response::Error(ServerError::Overloaded { queue_capacity: 64 }),
             Response::Error(ServerError::TooManyConnections { limit: 4 }),
             Response::Error(ServerError::BadRequest {
@@ -539,6 +620,12 @@ mod tests {
         assert_eq!(Request::Ping.endpoint(), "admin");
         assert_eq!(Request::Health.endpoint(), "admin");
         assert_eq!(Request::Shutdown.endpoint(), "admin");
+        assert_eq!(Request::ListRules.endpoint(), "admin");
+        assert_eq!(
+            Request::Subscribe { tql: String::new() }.endpoint(),
+            "admin"
+        );
+        assert_eq!(Request::Unsubscribe { rule_id: 1 }.endpoint(), "admin");
         assert_eq!(Request::Ingest { records: vec![] }.endpoint(), "ingest");
         assert_eq!(Request::Flush { device: None }.endpoint(), "ingest");
         assert_eq!(

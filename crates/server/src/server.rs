@@ -41,7 +41,7 @@
 //! translator instance, sharded output is bit-identical to a single
 //! translator. Adjacent queued `Ingest` jobs *whose devices hash to the
 //! same shard* are **coalesced**: a worker drains up to
-//! [`INGEST_COALESCE_MAX`] of them and runs all under a single lock
+//! `INGEST_COALESCE_MAX` of them and runs all under a single lock
 //! acquisition, so batches from unrelated devices translate in parallel
 //! while per-device ordering is preserved. Locks are only ever taken one
 //! shard at a time (multi-shard work iterates), so there is no lock-order
@@ -73,7 +73,7 @@
 //! every admitted request, flush pending response bytes, flush all stream
 //! buffers into the store (and the WAL, on a durable server), and return
 //! a [`ServerReport`]. Connections that cannot drain within
-//! [`DRAIN_GRACE`] are dropped.
+//! `DRAIN_GRACE` are dropped.
 //!
 //! ## Snapshots
 //!
@@ -140,6 +140,12 @@ const INGEST_COALESCE_MAX: usize = 16;
 /// flush response bytes before dropping them.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
+/// Write-buffer level above which unsolicited alert pushes are dropped
+/// (counted in `alerts_dropped`): a subscriber that stops reading must not
+/// balloon server memory, and alerts are advisory — the rule's fire
+/// counters in `Metrics` remain the ground truth.
+const ALERT_BUF_MAX: usize = 4 * 1024 * 1024;
+
 /// How long the acceptor sleeps in `poll` between drain-flag checks.
 const ACCEPT_POLL_MS: i32 = 25;
 
@@ -196,6 +202,10 @@ pub struct ServerConfig {
     /// Event-loop wait timeout — the latency of noticing a drain when no
     /// fd is active (completions interrupt the wait via a waker).
     pub poll_interval: Duration,
+    /// Cap on concurrently registered standing rules
+    /// (`0` = [`trips_store::DEFAULT_RULE_LIMIT`]). Registrations beyond
+    /// it are refused with `BadRequest`.
+    pub max_rules: usize,
 }
 
 impl Default for ServerConfig {
@@ -217,6 +227,7 @@ impl Default for ServerConfig {
             snapshot_root: None,
             durability: None,
             poll_interval: Duration::from_millis(10),
+            max_rules: 0,
         }
     }
 }
@@ -303,6 +314,10 @@ struct Done {
     /// Devices this job's executed ingest made the session responsible
     /// for (empty for everything else).
     ingested: Vec<DeviceId>,
+    /// `true` for pushed alert frames (id 0): no request is in flight for
+    /// them, so applying one must not clear the connection's `inflight`
+    /// flag, and they may be dropped under write-buffer backpressure.
+    unsolicited: bool,
 }
 
 /// Reservoir size per endpoint family — bounds metrics memory for a
@@ -437,7 +452,10 @@ struct Shared<'env> {
     tmask: usize,
     store: Arc<SemanticsStore>,
     queue: BoundedQueue<WorkJob>,
-    shards: Vec<ShardState>,
+    /// `Arc` so connection-scoped alert sinks (owned by the `'static`
+    /// rule engine inside the store) can outlive-proof their handle to
+    /// the shard's completion channel.
+    shards: Vec<Arc<ShardState>>,
     /// Globally unique connection tokens across all loop shards.
     next_token: AtomicU64,
     /// Per-device count of live connections that ingested the device —
@@ -461,6 +479,9 @@ struct Shared<'env> {
     translator_contention: AtomicU64,
     conns_accepted: AtomicU64,
     conns_rejected: AtomicU64,
+    /// Alert pushes a sink accepted but the loop shard then discarded
+    /// (subscriber gone, or its write buffer over [`ALERT_BUF_MAX`]).
+    alerts_dropped_late: AtomicU64,
 }
 
 /// Validates a wire-supplied snapshot path against the configured root:
@@ -688,6 +709,17 @@ impl<'env> Shared<'env> {
             Request::Health => self.health(),
             Request::Metrics => self.metrics_report(),
             Request::Shutdown => Response::ShuttingDown,
+            Request::ListRules => Response::Rules {
+                rules: self.store.rules().traces(),
+            },
+            // Subscription state (the alert sink, the session's rule list)
+            // lives with the connection on its loop shard — a worker has
+            // neither, so these never reach the queue.
+            Request::Subscribe { .. } | Request::Unsubscribe { .. } => {
+                Response::Error(ServerError::BadRequest {
+                    message: "subscription requests are connection-scoped".to_string(),
+                })
+            }
         }
     }
 
@@ -753,6 +785,10 @@ impl<'env> Shared<'env> {
             translator_lock_contention: self.translator_contention.load(Ordering::Relaxed),
             endpoints,
             wal: self.store.wal_stats(),
+            rules: self.store.rules().traces(),
+            alerts_delivered: self.store.rules().alerts_delivered(),
+            alerts_dropped: self.store.rules().alerts_dropped()
+                + self.alerts_dropped_late.load(Ordering::Relaxed),
         })
     }
 
@@ -881,7 +917,39 @@ impl<'env> Shared<'env> {
             token,
             bytes: encode_wire(wire, &env),
             ingested,
+            unsolicited: false,
         }
+    }
+}
+
+/// Delivers one rule's alerts to the subscribing connection: encode in the
+/// framing the `Subscribe` arrived in, hand the bytes to the owning loop
+/// shard as an unsolicited completion, wake it. Runs on whatever thread
+/// published the triggering ingest — never touches the `Conn` directly
+/// (the loop shard owns it), which is also why backpressure drops happen
+/// in `apply_completions`, not here.
+struct ConnAlertSink {
+    shard: Arc<ShardState>,
+    token: u64,
+    wire: Wire,
+    respond_v: u32,
+}
+
+impl trips_store::AlertSink for ConnAlertSink {
+    fn deliver(&self, alert: &trips_store::Alert) -> bool {
+        let env = ResponseEnvelope {
+            v: self.respond_v,
+            id: 0,
+            resp: Response::Alert(alert.clone()),
+        };
+        self.shard.completions.lock().push(Done {
+            token: self.token,
+            bytes: encode_wire(self.wire, &env),
+            ingested: Vec::new(),
+            unsolicited: true,
+        });
+        self.shard.wake();
+        true
     }
 }
 
@@ -902,6 +970,9 @@ struct Conn {
     inflight: bool,
     /// Devices this session ingested (refcounted in `Shared::sessions`).
     devices: BTreeSet<DeviceId>,
+    /// Standing rules this session registered via `Subscribe`;
+    /// unregistered at teardown, so subscriptions die with the session.
+    rule_ids: Vec<u64>,
     /// Peer sent EOF; finish buffered work, then tear down.
     read_closed: bool,
     /// Tear down once in-flight work and pending writes finish (fatal
@@ -921,6 +992,7 @@ impl Conn {
             can_write: true,
             inflight: false,
             devices: BTreeSet::new(),
+            rule_ids: Vec::new(),
             read_closed: false,
             closing: false,
             dead: false,
@@ -1190,6 +1262,72 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                 inline(conn, resp);
                 shared.record("admin", t0.elapsed());
             }
+            // Subscriptions are admin-path too: registration is compile +
+            // one engine write, and it must see the *connection* (sink,
+            // owned-rule list), which workers never do.
+            Request::Subscribe { tql } => {
+                let t0 = Instant::now();
+                let resp = match trips_query_lang::compile(&tql) {
+                    Err(e) => Response::Error(ServerError::BadRequest {
+                        message: e.render(&tql),
+                    }),
+                    Ok(trips_query_lang::Compiled::Query(_)) => {
+                        Response::Error(ServerError::BadRequest {
+                            message: "FIND is a one-shot query (use Query); Subscribe takes a \
+                                      standing rule (`WHEN … ALERT`)"
+                                .to_string(),
+                        })
+                    }
+                    Ok(trips_query_lang::Compiled::Rule(spec)) => {
+                        let sink = Arc::new(ConnAlertSink {
+                            shard: Arc::clone(&shared.shards[self.id]),
+                            token,
+                            wire,
+                            respond_v,
+                        });
+                        match shared.store.rules().register(spec, Some(sink)) {
+                            Ok(rule_id) => {
+                                conn.rule_ids.push(rule_id);
+                                let name = shared
+                                    .store
+                                    .rules()
+                                    .traces()
+                                    .into_iter()
+                                    .find(|t| t.id == rule_id)
+                                    .map(|t| t.name)
+                                    .unwrap_or_default();
+                                Response::Subscribed { rule_id, name }
+                            }
+                            Err(e) => Response::Error(ServerError::BadRequest {
+                                message: e.to_string(),
+                            }),
+                        }
+                    }
+                };
+                inline(conn, resp);
+                shared.record("admin", t0.elapsed());
+            }
+            Request::Unsubscribe { rule_id } => {
+                let t0 = Instant::now();
+                // Sessions may only tear down their own rules — another
+                // connection's id is answered `existed: false`, exactly
+                // like a stale one.
+                let existed = match conn.rule_ids.iter().position(|&r| r == rule_id) {
+                    Some(pos) => {
+                        conn.rule_ids.remove(pos);
+                        shared.store.rules().unregister(rule_id)
+                    }
+                    None => false,
+                };
+                inline(conn, Response::Unsubscribed { existed });
+                shared.record("admin", t0.elapsed());
+            }
+            Request::ListRules => {
+                let t0 = Instant::now();
+                let rules = shared.store.rules().traces();
+                inline(conn, Response::Rules { rules });
+                shared.record("admin", t0.elapsed());
+            }
             Request::Shutdown => {
                 // Acknowledge, then drain: stop accepting, refuse new
                 // work, let workers finish everything already admitted.
@@ -1298,8 +1436,30 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
             // forced drain); its response and device attribution die with
             // it, like a thread-model server whose session exited.
             let Some(conn) = self.conns.get_mut(&d.token) else {
+                if d.unsolicited {
+                    self.shared
+                        .alerts_dropped_late
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 continue;
             };
+            if d.unsolicited {
+                // An alert push: no request was in flight for it, and a
+                // subscriber that stopped reading gets alerts dropped
+                // rather than unbounded buffering (the rule's fire
+                // counters remain the ground truth).
+                if conn.write_buf.len() > ALERT_BUF_MAX {
+                    self.shared
+                        .alerts_dropped_late
+                        .fetch_add(1, Ordering::Relaxed);
+                } else {
+                    conn.write_buf.extend_from_slice(&d.bytes);
+                }
+                if conn.can_write {
+                    conn.flush_write();
+                }
+                continue;
+            }
             conn.inflight = false;
             for device in d.ingested {
                 if conn.devices.insert(device.clone()) {
@@ -1348,6 +1508,11 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
         self.shared.shards[self.id]
             .connections
             .store(self.conns.len(), Ordering::Relaxed);
+        // Standing rules are session-scoped: a subscriber's rules stop
+        // evaluating (and alerting) the moment its connection goes away.
+        for rule_id in &conn.rule_ids {
+            self.shared.store.rules().unregister(*rule_id);
+        }
         if conn.devices.is_empty() {
             return;
         }
@@ -1607,6 +1772,15 @@ impl TripsServer {
         }
     }
 
+    /// The effective standing-rule cap (resolves `0` → default).
+    pub fn max_rules(&self) -> usize {
+        if self.config.max_rules == 0 {
+            trips_store::DEFAULT_RULE_LIMIT
+        } else {
+            self.config.max_rules
+        }
+    }
+
     /// Serves `listener` until a `Shutdown` request drains the loops.
     /// Blocks; all loop-shard and worker threads are scoped inside this
     /// call (the calling thread runs the acceptor).
@@ -1627,13 +1801,13 @@ impl TripsServer {
             let poller = Poller::new(self.config.backend)?;
             let waker = Waker::for_poller(&poller)?;
             pollers.push(poller);
-            shard_states.push(ShardState {
+            shard_states.push(Arc::new(ShardState {
                 completions: parking_lot::Mutex::new(Vec::new()),
                 waker,
                 incoming: parking_lot::Mutex::new(Vec::new()),
                 wakeups: AtomicU64::new(0),
                 connections: AtomicUsize::new(0),
-            });
+            }));
         }
         let backend_name = pollers[0].backend_name();
         let mut translators = Vec::with_capacity(translator_shards);
@@ -1673,7 +1847,14 @@ impl TripsServer {
             translator_contention: AtomicU64::new(0),
             conns_accepted: AtomicU64::new(0),
             conns_rejected: AtomicU64::new(0),
+            alerts_dropped_late: AtomicU64::new(0),
         };
+        // Arm the rule engine for this serve run: the configured rule cap
+        // and the DSM's region→floor map (so `floor N` selectors resolve).
+        self.store.rules().set_limit(self.max_rules());
+        self.store
+            .rules()
+            .set_region_floors(self.dsm.regions().map(|r| (r.id, r.floor)));
         let poll_ms = self.config.poll_interval.as_millis().clamp(1, 60_000) as i32;
 
         std::thread::scope(|scope| {

@@ -83,12 +83,17 @@
 
 pub mod durability;
 mod query;
+pub mod rules;
 mod shard;
 mod snapshot;
 mod types;
 
 pub use durability::{boot_store, CheckpointReport, DurabilityConfig, RecoveryReport, WalStats};
 pub use query::{Query, QueryRequest, QueryResult, QueryService, SemanticsSelector};
+pub use rules::{
+    Alert, AlertSink, CmpOp, CollectingSink, Condition, RegionSel, RuleEngine, RuleError, RuleSpec,
+    RuleTrace, DEFAULT_RULE_LIMIT,
+};
 pub use snapshot::SemanticsStoreError;
 pub use trips_wal::FsyncPolicy;
 pub use types::{DeviceSummary, Flow, RegionPopularity, StoreHealth, StoreStats};
@@ -140,6 +145,9 @@ pub struct SemanticsStore {
     /// happen under the mutating device's shard write lock, so per-device
     /// WAL order always equals apply order.
     durability: Option<Durability>,
+    /// Standing rules, evaluated after each applied ingest batch (a
+    /// zero-rule engine costs one atomic load per batch). See [`rules`].
+    rules: RuleEngine,
 }
 
 impl Default for SemanticsStore {
@@ -172,7 +180,13 @@ impl SemanticsStore {
             shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
             mask: n - 1,
             durability: None,
+            rules: RuleEngine::new(),
         }
+    }
+
+    /// The standing-rules engine evaluated on this store's ingest path.
+    pub fn rules(&self) -> &RuleEngine {
+        &self.rules
     }
 
     /// Number of shards.
@@ -207,14 +221,21 @@ impl SemanticsStore {
         if semantics.is_empty() {
             return;
         }
-        let mut shard = self.shards[self.shard_index(device)].write();
-        if let Some(d) = &self.durability {
-            d.append(&WalOpRef::Ingest {
-                device: device.as_str(),
-                semantics,
-            });
+        {
+            let mut shard = self.shards[self.shard_index(device)].write();
+            if let Some(d) = &self.durability {
+                d.append(&WalOpRef::Ingest {
+                    device: device.as_str(),
+                    semantics,
+                });
+            }
+            shard.ingest(device, semantics);
         }
-        shard.ingest(device, semantics);
+        // Standing rules see the batch after it is applied (and after the
+        // shard lock is released — the engine's locks are leaf locks). The
+        // serving layer serializes batches per device, so rule evaluation
+        // order equals store order.
+        self.rules.publish(device, semantics);
     }
 
     /// Registers `device` with no semantics (a deliberate empty entry —
@@ -243,21 +264,26 @@ impl SemanticsStore {
     /// *not* call this between micro-batches (their boundary flows are
     /// real).
     pub fn end_session(&self, device: &DeviceId) {
-        let mut shard = self.shards[self.shard_index(device)].write();
-        let durable = self.durability.as_ref();
-        if let Some(entry) = shard.devices.get_mut(device) {
-            if entry.last.is_some() {
-                // Journal only effective boundaries (a second
-                // end_session in a row is a no-op).
-                if let Some(d) = durable {
-                    d.append(&WalOpRef::EndSession {
-                        device: device.as_str(),
-                    });
+        {
+            let mut shard = self.shards[self.shard_index(device)].write();
+            let durable = self.durability.as_ref();
+            if let Some(entry) = shard.devices.get_mut(device) {
+                if entry.last.is_some() {
+                    // Journal only effective boundaries (a second
+                    // end_session in a row is a no-op).
+                    if let Some(d) = durable {
+                        d.append(&WalOpRef::EndSession {
+                            device: device.as_str(),
+                        });
+                    }
+                    entry.last = None;
+                    entry.breaks.push(entry.semantics.len());
                 }
-                entry.last = None;
-                entry.breaks.push(entry.semantics.len());
             }
         }
+        // The device's session is over: release its occupancy contribution
+        // in the rules engine.
+        self.rules.device_gone(device);
     }
 
     /// Drops all devices and aggregates, keeping the shard layout (and
@@ -274,6 +300,10 @@ impl SemanticsStore {
         for g in &mut guards {
             **g = Shard::default();
         }
+        drop(guards);
+        // Tracked rule state (occupancy/flows/positions) describes the
+        // wiped data; registered rules survive, their counters re-arm.
+        self.rules.reset_state();
     }
 
     /// Number of registered devices.

@@ -1,0 +1,1242 @@
+//! Standing rules: continuous predicates evaluated on the ingest path.
+//!
+//! Pull queries answer "what happened"; a monitoring deployment also needs
+//! "tell me when" — device entered a restricted zone, floor occupancy
+//! crossed a threshold, a dwell ran long. This module is the push half:
+//! a [`RuleEngine`] that holds compiled [`RuleSpec`]s (typically produced
+//! by the `trips-query-lang` compiler from TQL `WHEN … ALERT` statements)
+//! and evaluates them **incrementally** as semantics are published into
+//! the store — no rescans, no polling loop.
+//!
+//! ## Evaluation model
+//!
+//! [`RuleEngine::publish`] is called by [`SemanticsStore::ingest`] after
+//! the batch is applied (the translator shard lock serializes batches per
+//! device, so per-device ordering here equals store order). Each published
+//! semantics entry drives:
+//!
+//! * **Event conditions** ([`Condition::Enters`], [`Condition::Dwells`]) —
+//!   fire per matching entry: an `Enters` on a region *transition* (the
+//!   device's tracked last region changed), a `Dwells` on a `"stay"` whose
+//!   duration satisfies the comparison.
+//! * **State conditions** ([`Condition::Occupancy`], [`Condition::Flow`]) —
+//!   maintained counters (devices currently in a region / observed directed
+//!   transitions) are compared on every transition that touches them; the
+//!   rule fires on the **rising edge** (false → true) and re-arms when the
+//!   condition goes false. With a hold duration (`FOR 5m` in TQL) the
+//!   condition must stay true for that long — in *event time*, measured on
+//!   the semantics timestamps — before firing.
+//!
+//! Rules are kept priority-ordered (highest first, ties by registration
+//! id), so alert delivery order within one published entry is
+//! deterministic. Every rule carries fire/eval counters and last-eval /
+//! last-fire timestamps, exported as [`RuleTrace`]s for the server's
+//! `Metrics` endpoint.
+//!
+//! State tracking (the per-device last-region map, occupancy and flow
+//! counters) starts when the first rule is registered: counters reflect
+//! movement observed **since registration**, which is the only sound
+//! reading for an incremental engine bolted onto a live stream. A store
+//! with no rules pays one atomic load per ingest batch.
+//!
+//! ## Delivery
+//!
+//! Each rule owns an optional [`AlertSink`]; the server installs one per
+//! subscriber connection, tests use [`CollectingSink`]. Sinks are invoked
+//! **after** all engine locks are released, with alerts for one batch
+//! delivered in rule-priority order. A sink returns `false` to signal it
+//! dropped the alert (backpressure); the engine counts both outcomes
+//! ([`RuleEngine::alerts_delivered`] / [`RuleEngine::alerts_dropped`]).
+//!
+//! [`SemanticsStore::ingest`]: crate::SemanticsStore::ingest
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use trips_annotate::MobilitySemantics;
+use trips_data::{glob_match, DeviceId};
+use trips_dsm::RegionId;
+
+/// Sentinel for "no timestamp yet" in the atomic trace fields.
+const NO_TS: i64 = i64::MIN;
+/// Shards of the per-device last-region map (leaf mutexes; publish holds
+/// at most one at a time).
+const DEVICE_SHARDS: usize = 16;
+/// Default cap on registered rules (override with [`RuleEngine::set_limit`]).
+pub const DEFAULT_RULE_LIMIT: usize = 1024;
+
+/// Selects the regions a rule watches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionSel {
+    /// One region by id.
+    Id(u32),
+    /// Every region whose display name matches this glob (`*` / `?`).
+    Name(String),
+    /// Every region on one floor (requires the region→floor map installed
+    /// via [`RuleEngine::set_region_floors`]; unmapped regions never match).
+    Floor(i16),
+}
+
+impl RegionSel {
+    /// Whether `region` (with display name `name`) matches, under the
+    /// engine's current region→floor knowledge.
+    fn matches(&self, region: u32, name: &str, floors: &HashMap<u32, i16>) -> bool {
+        match self {
+            RegionSel::Id(id) => *id == region,
+            RegionSel::Name(glob) => glob_match(glob, name),
+            RegionSel::Floor(f) => floors.get(&region) == Some(f),
+        }
+    }
+}
+
+/// A comparison operator in a rule threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison: `lhs <op> rhs`.
+    pub fn holds(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// The TQL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// A compiled standing-rule predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Fires when a device (optionally matching a glob) transitions into a
+    /// matching region. **Event condition** — no hold duration.
+    Enters {
+        device: Option<String>,
+        region: RegionSel,
+    },
+    /// Fires when a `"stay"` in a matching region has a duration satisfying
+    /// `cmp threshold_ms`. **Event condition** — no hold duration.
+    Dwells {
+        device: Option<String>,
+        region: RegionSel,
+        cmp: CmpOp,
+        threshold_ms: i64,
+    },
+    /// Fires (rising edge) when the number of devices currently in matching
+    /// regions satisfies `cmp count`. **State condition** — may hold.
+    Occupancy {
+        region: RegionSel,
+        cmp: CmpOp,
+        count: i64,
+    },
+    /// Fires (rising edge) when the observed directed transition count from
+    /// a matching region into a matching region satisfies `cmp count`.
+    /// **State condition** — may hold.
+    Flow {
+        from: RegionSel,
+        to: RegionSel,
+        cmp: CmpOp,
+        count: i64,
+    },
+}
+
+impl Condition {
+    /// Event conditions fire per published entry; state conditions compare
+    /// maintained counters and may carry a hold duration.
+    pub fn is_state(&self) -> bool {
+        matches!(self, Condition::Occupancy { .. } | Condition::Flow { .. })
+    }
+}
+
+/// Everything needed to register a rule: the compiled predicate plus its
+/// presentation (name, message, canonical TQL source) and scheduling
+/// (priority, hold).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSpec {
+    /// Display name; empty → `rule-<id>` is assigned at registration.
+    pub name: String,
+    /// Higher evaluates (and delivers) first; ties break by registration id.
+    pub priority: i32,
+    pub condition: Condition,
+    /// Hold duration in ms (`FOR …`): the condition must stay true this
+    /// long (event time) before firing. State conditions only.
+    pub hold_ms: Option<i64>,
+    /// Alert message; `None` → a default is synthesized per fire.
+    pub message: Option<String>,
+    /// Canonical TQL source text (shown in traces).
+    pub source: String,
+}
+
+/// A fired alert, as delivered to sinks and pushed over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    pub rule_id: u64,
+    pub rule_name: String,
+    /// The device that triggered the fire (event conditions; state
+    /// conditions report the device whose movement crossed the threshold).
+    pub device: Option<String>,
+    /// The region involved (entered region / dwell region / the transition
+    /// target for state conditions).
+    pub region: Option<u32>,
+    pub region_name: Option<String>,
+    pub message: String,
+    /// Event time of the fire (ms; the triggering semantics' end).
+    pub at_ms: i64,
+    /// This rule's fire ordinal (1 = first fire).
+    pub seq: u64,
+}
+
+/// Per-rule execution trace (the audit trail behind `Metrics`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleTrace {
+    pub id: u64,
+    pub name: String,
+    pub priority: i32,
+    /// Canonical TQL source.
+    pub source: String,
+    /// Times the predicate was evaluated against a relevant event.
+    pub evals: u64,
+    /// Times the rule fired an alert.
+    pub fires: u64,
+    /// Event time (ms) of the last evaluation, if any.
+    pub last_eval_ms: Option<i64>,
+    /// Event time (ms) of the last fire, if any.
+    pub last_fire_ms: Option<i64>,
+}
+
+/// Receives fired alerts. Implementations must be cheap and non-blocking —
+/// `deliver` runs on the ingest path (after engine locks are released).
+/// Return `false` to report the alert was dropped (backpressure).
+pub trait AlertSink: Send + Sync {
+    fn deliver(&self, alert: &Alert) -> bool;
+}
+
+/// An [`AlertSink`] that buffers alerts in memory — the test harness sink.
+#[derive(Default)]
+pub struct CollectingSink {
+    alerts: Mutex<Vec<Alert>>,
+}
+
+impl CollectingSink {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Drains everything collected so far.
+    pub fn take(&self) -> Vec<Alert> {
+        std::mem::take(&mut self.alerts.lock())
+    }
+
+    pub fn len(&self) -> usize {
+        self.alerts.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.alerts.lock().is_empty()
+    }
+}
+
+impl AlertSink for CollectingSink {
+    fn deliver(&self, alert: &Alert) -> bool {
+        self.alerts.lock().push(alert.clone());
+        true
+    }
+}
+
+/// Why a registration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// The engine's rule cap is reached.
+    TooManyRules { limit: usize },
+    /// `FOR` (hold) on an event condition — per-event fires have no
+    /// duration to hold over.
+    HoldOnEventCondition,
+}
+
+impl std::fmt::Display for RuleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleError::TooManyRules { limit } => {
+                write!(f, "rule limit reached ({limit} registered)")
+            }
+            RuleError::HoldOnEventCondition => {
+                write!(f, "FOR requires a state condition (occupancy/flow)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// One registered rule with its live counters.
+struct Rule {
+    id: u64,
+    spec: RuleSpec,
+    sink: Option<Arc<dyn AlertSink>>,
+    evals: AtomicU64,
+    fires: AtomicU64,
+    last_eval_ms: AtomicI64,
+    last_fire_ms: AtomicI64,
+    /// For held state conditions: event time the condition turned true
+    /// ([`NO_TS`] = not pending).
+    pending_since_ms: AtomicI64,
+    /// State condition currently satisfied (edge/re-arm tracking).
+    active: AtomicBool,
+}
+
+impl Rule {
+    fn trace(&self) -> RuleTrace {
+        let ts = |a: &AtomicI64| {
+            let v = a.load(Ordering::Relaxed);
+            (v != NO_TS).then_some(v)
+        };
+        RuleTrace {
+            id: self.id,
+            name: self.spec.name.clone(),
+            priority: self.spec.priority,
+            source: self.spec.source.clone(),
+            evals: self.evals.load(Ordering::Relaxed),
+            fires: self.fires.load(Ordering::Relaxed),
+            last_eval_ms: ts(&self.last_eval_ms),
+            last_fire_ms: ts(&self.last_fire_ms),
+        }
+    }
+}
+
+/// A device's pre-partitioned view of the rule list: indices (into the
+/// priority-ordered rules vec) of every *event* rule that can fire for
+/// this device, split by trigger — ENTERS on transitions, DWELLS on
+/// stays. Device globs are evaluated when this is built, once per
+/// device per rule-set generation, not per published semantic. State
+/// rules are device-independent and live in [`StateIndex`] instead.
+struct DeviceBuckets {
+    generation: u64,
+    enters: Vec<u32>,
+    dwells: Vec<u32>,
+}
+
+/// The device-independent predicate index over *state* rules: a region
+/// transition only needs to re-evaluate occupancy rules watching a
+/// touched region and flow rules ending at the moved-into region, so
+/// `Id`-selector rules are bucketed by that id and only selector
+/// families that need name/floor resolution (`Name` globs, `Floor`)
+/// stay in a walk-every-transition list. Rebuilt lazily per rule-set
+/// generation, shared by every publisher.
+struct StateIndex {
+    generation: u64,
+    /// Occupancy rules watching one region by id, bucketed by it.
+    occ_by_region: HashMap<u32, Vec<u32>>,
+    /// Occupancy rules whose selector needs name/floor resolution.
+    occ_other: Vec<u32>,
+    /// Flow rules with an `Id` destination, bucketed by the `to` region.
+    flow_by_to: HashMap<u32, Vec<u32>>,
+    /// Flow rules whose destination needs name/floor resolution.
+    flow_other: Vec<u32>,
+}
+
+/// The standing-rules engine (see the module docs for the evaluation
+/// model). One lives inside every [`SemanticsStore`](crate::SemanticsStore);
+/// all methods take `&self` and are safe under concurrent publish.
+pub struct RuleEngine {
+    /// Registered-rule count, mirrored out of the lock so a store with no
+    /// rules pays one relaxed load per ingest batch.
+    count: AtomicUsize,
+    /// How many registered rules are state conditions (occupancy/flow
+    /// tracking is maintained only while this is non-zero).
+    state_rules: AtomicUsize,
+    next_id: AtomicU64,
+    limit: AtomicUsize,
+    /// Priority-ordered (desc, ties by id asc).
+    rules: RwLock<Vec<Arc<Rule>>>,
+    /// Monotonic rule-set version, bumped under the `rules` write lock —
+    /// a reader holding `rules.read()` therefore sees a value consistent
+    /// with the list it is iterating.
+    generation: AtomicU64,
+    /// Per-device [`DeviceBuckets`], validated against `generation` and
+    /// rebuilt lazily on mismatch. Sharded like `device_regions`.
+    bucket_cache: Vec<Mutex<HashMap<String, Arc<DeviceBuckets>>>>,
+    /// The shared [`StateIndex`], validated against `generation` and
+    /// rebuilt lazily on mismatch.
+    state_index: RwLock<Arc<StateIndex>>,
+    /// Last known region per device, sharded by the store's device hash.
+    device_regions: Vec<Mutex<HashMap<String, u32>>>,
+    /// Devices currently in each region (state rules only).
+    occupancy: Mutex<HashMap<u32, i64>>,
+    /// Observed directed transition counts (state rules only).
+    flows: Mutex<HashMap<(u32, u32), u64>>,
+    /// Region id → display name, learned from the published stream (used
+    /// by name selectors over maintained counters).
+    region_names: RwLock<HashMap<u32, String>>,
+    /// Region id → floor, installed by the embedding layer from its DSM.
+    region_floors: RwLock<HashMap<u32, i16>>,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for RuleEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuleEngine {
+    pub fn new() -> Self {
+        RuleEngine {
+            count: AtomicUsize::new(0),
+            state_rules: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            limit: AtomicUsize::new(DEFAULT_RULE_LIMIT),
+            rules: RwLock::new(Vec::new()),
+            generation: AtomicU64::new(0),
+            bucket_cache: (0..DEVICE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            // Generation 0 never matches a publish (publishes only run
+            // with ≥1 registered rule, and registering bumps to ≥1), so
+            // the first one rebuilds.
+            state_index: RwLock::new(Arc::new(StateIndex {
+                generation: 0,
+                occ_by_region: HashMap::new(),
+                occ_other: Vec::new(),
+                flow_by_to: HashMap::new(),
+                flow_other: Vec::new(),
+            })),
+            device_regions: (0..DEVICE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            occupancy: Mutex::new(HashMap::new()),
+            flows: Mutex::new(HashMap::new()),
+            region_names: RwLock::new(HashMap::new()),
+            region_floors: RwLock::new(HashMap::new()),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Caps how many rules may be registered at once.
+    pub fn set_limit(&self, limit: usize) {
+        self.limit.store(limit.max(1), Ordering::Relaxed);
+    }
+
+    /// Installs the region→floor map (from the embedding layer's DSM) so
+    /// `floor N` selectors can resolve. Replaces any previous map.
+    pub fn set_region_floors<I>(&self, map: I)
+    where
+        I: IntoIterator<Item = (RegionId, i16)>,
+    {
+        *self.region_floors.write() = map.into_iter().map(|(r, f)| (r.0, f)).collect();
+    }
+
+    /// Registers a compiled rule; returns its id. `sink` receives this
+    /// rule's alerts (rules without a sink still count fires in traces).
+    pub fn register(
+        &self,
+        mut spec: RuleSpec,
+        sink: Option<Arc<dyn AlertSink>>,
+    ) -> Result<u64, RuleError> {
+        if spec.hold_ms.is_some() && !spec.condition.is_state() {
+            return Err(RuleError::HoldOnEventCondition);
+        }
+        let mut rules = self.rules.write();
+        let limit = self.limit.load(Ordering::Relaxed);
+        if rules.len() >= limit {
+            return Err(RuleError::TooManyRules { limit });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        if spec.name.is_empty() {
+            spec.name = format!("rule-{id}");
+        }
+        if spec.condition.is_state() {
+            self.state_rules.fetch_add(1, Ordering::Relaxed);
+        }
+        let rule = Arc::new(Rule {
+            id,
+            spec,
+            sink,
+            evals: AtomicU64::new(0),
+            fires: AtomicU64::new(0),
+            last_eval_ms: AtomicI64::new(NO_TS),
+            last_fire_ms: AtomicI64::new(NO_TS),
+            pending_since_ms: AtomicI64::new(NO_TS),
+            active: AtomicBool::new(false),
+        });
+        let pos = rules
+            .iter()
+            .position(|r| {
+                (r.spec.priority, std::cmp::Reverse(r.id))
+                    < (rule.spec.priority, std::cmp::Reverse(rule.id))
+            })
+            .unwrap_or(rules.len());
+        rules.insert(pos, rule);
+        self.count.store(rules.len(), Ordering::Relaxed);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Removes a rule; returns whether it existed.
+    pub fn unregister(&self, id: u64) -> bool {
+        let mut rules = self.rules.write();
+        let Some(pos) = rules.iter().position(|r| r.id == id) else {
+            return false;
+        };
+        let rule = rules.remove(pos);
+        if rule.spec.condition.is_state() {
+            self.state_rules.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.count.store(rules.len(), Ordering::Relaxed);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Registered-rule count (one relaxed load).
+    pub fn rule_count(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Alerts accepted by sinks so far.
+    pub fn alerts_delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Alerts a sink reported dropped (backpressure).
+    pub fn alerts_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Per-rule traces, in evaluation (priority) order.
+    pub fn traces(&self) -> Vec<RuleTrace> {
+        self.rules.read().iter().map(|r| r.trace()).collect()
+    }
+
+    /// Forgets a device's tracked position (its occupancy contribution is
+    /// released). Call when the device's session ends.
+    pub fn device_gone(&self, device: &DeviceId) {
+        if self.count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let key = device.as_str();
+        let shard = (crate::fnv1a(key.as_bytes()) as usize) % DEVICE_SHARDS;
+        self.bucket_cache[shard].lock().remove(key);
+        let prev = self.device_regions[shard].lock().remove(key);
+        if let Some(region) = prev {
+            if self.state_rules.load(Ordering::Relaxed) > 0 {
+                let mut occ = self.occupancy.lock();
+                if let Some(n) = occ.get_mut(&region) {
+                    *n = (*n - 1).max(0);
+                }
+            }
+        }
+    }
+
+    /// Drops all tracked state (counters, positions) but keeps registered
+    /// rules. Call when the store is cleared.
+    pub fn reset_state(&self) {
+        for shard in &self.device_regions {
+            shard.lock().clear();
+        }
+        for shard in &self.bucket_cache {
+            shard.lock().clear();
+        }
+        self.occupancy.lock().clear();
+        self.flows.lock().clear();
+    }
+
+    /// Evaluates every relevant rule against one published batch. Called
+    /// by the store on the ingest path; per-device ordering is the
+    /// caller's (translator lock) ordering. Sinks run after all engine
+    /// locks are released.
+    pub fn publish(&self, device: &DeviceId, batch: &[MobilitySemantics]) {
+        if self.count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut fired: Vec<(Arc<dyn AlertSink>, Alert)> = Vec::new();
+        {
+            let rules = self.rules.read();
+            let floors = self.region_floors.read();
+            let track_state = self.state_rules.load(Ordering::Relaxed) > 0;
+            let key = device.as_str();
+            let shard = (crate::fnv1a(key.as_bytes()) as usize) % DEVICE_SHARDS;
+            // A device's view of the rule list is constant until the rule
+            // set changes, so its partition is cached across publishes
+            // and rebuilt only on a generation mismatch. `generation` is
+            // read under `rules.read()` (writers bump it inside the write
+            // lock), so it is consistent with the list being walked.
+            let generation = self.generation.load(Ordering::Relaxed);
+            let buckets = {
+                let mut cache = self.bucket_cache[shard].lock();
+                match cache.get(key) {
+                    Some(b) if b.generation == generation => Arc::clone(b),
+                    _ => {
+                        let mut enters = Vec::new();
+                        let mut dwells = Vec::new();
+                        for (idx, rule) in rules.iter().enumerate() {
+                            match &rule.spec.condition {
+                                Condition::Enters { device: dpat, .. } => {
+                                    if device_matches(dpat, key) {
+                                        enters.push(idx as u32);
+                                    }
+                                }
+                                Condition::Dwells { device: dpat, .. } => {
+                                    if device_matches(dpat, key) {
+                                        dwells.push(idx as u32);
+                                    }
+                                }
+                                Condition::Occupancy { .. } | Condition::Flow { .. } => {}
+                            }
+                        }
+                        let b = Arc::new(DeviceBuckets {
+                            generation,
+                            enters,
+                            dwells,
+                        });
+                        cache.insert(key.to_string(), Arc::clone(&b));
+                        b
+                    }
+                }
+            };
+            let state_index = {
+                let cur = self.state_index.read();
+                if cur.generation == generation {
+                    Arc::clone(&cur)
+                } else {
+                    drop(cur);
+                    let mut occ_by_region: HashMap<u32, Vec<u32>> = HashMap::new();
+                    let mut occ_other = Vec::new();
+                    let mut flow_by_to: HashMap<u32, Vec<u32>> = HashMap::new();
+                    let mut flow_other = Vec::new();
+                    for (idx, rule) in rules.iter().enumerate() {
+                        match &rule.spec.condition {
+                            Condition::Occupancy {
+                                region: RegionSel::Id(id),
+                                ..
+                            } => occ_by_region.entry(*id).or_default().push(idx as u32),
+                            Condition::Occupancy { .. } => occ_other.push(idx as u32),
+                            Condition::Flow {
+                                to: RegionSel::Id(id),
+                                ..
+                            } => flow_by_to.entry(*id).or_default().push(idx as u32),
+                            Condition::Flow { .. } => flow_other.push(idx as u32),
+                            Condition::Enters { .. } | Condition::Dwells { .. } => {}
+                        }
+                    }
+                    let built = Arc::new(StateIndex {
+                        generation,
+                        occ_by_region,
+                        occ_other,
+                        flow_by_to,
+                        flow_other,
+                    });
+                    *self.state_index.write() = Arc::clone(&built);
+                    built
+                }
+            };
+            // Candidate rule indices for one semantic, reused across the
+            // batch. Sorted before the walk so delivery keeps the rule
+            // list's priority order across condition families.
+            let mut scratch: Vec<u32> = Vec::new();
+            for s in batch {
+                let region = s.region.0;
+                let at = s.end.as_millis();
+                {
+                    let names = self.region_names.read();
+                    let known = names.get(&region).is_some_and(|n| n == &s.region_name);
+                    drop(names);
+                    if !known {
+                        self.region_names
+                            .write()
+                            .insert(region, s.region_name.clone());
+                    }
+                }
+                let prev = {
+                    // Allocation-free on the steady state: a known device
+                    // updates its slot in place; only first sight inserts.
+                    let mut map = self.device_regions[shard].lock();
+                    match map.get_mut(key) {
+                        Some(slot) => Some(std::mem::replace(slot, region)),
+                        None => {
+                            map.insert(key.to_string(), region);
+                            None
+                        }
+                    }
+                };
+                let transition = prev != Some(region);
+                let mut flow_count = 0u64;
+                if transition && track_state {
+                    {
+                        let mut occ = self.occupancy.lock();
+                        if let Some(p) = prev {
+                            if let Some(n) = occ.get_mut(&p) {
+                                *n = (*n - 1).max(0);
+                            }
+                        }
+                        *occ.entry(region).or_insert(0) += 1;
+                    }
+                    if let Some(p) = prev {
+                        let mut flows = self.flows.lock();
+                        let n = flows.entry((p, region)).or_insert(0);
+                        *n += 1;
+                        flow_count = *n;
+                    }
+                }
+                let is_stay = s.event == "stay";
+                scratch.clear();
+                if transition {
+                    scratch.extend_from_slice(&buckets.enters);
+                    // A transition moves occupancy in the entered region
+                    // and (when leaving one) the departed region, and
+                    // extends one directed flow — only rules watching
+                    // those need re-evaluation.
+                    if let Some(v) = state_index.occ_by_region.get(&region) {
+                        scratch.extend_from_slice(v);
+                    }
+                    if let Some(p) = prev {
+                        if let Some(v) = state_index.occ_by_region.get(&p) {
+                            scratch.extend_from_slice(v);
+                        }
+                        if let Some(v) = state_index.flow_by_to.get(&region) {
+                            scratch.extend_from_slice(v);
+                        }
+                        scratch.extend_from_slice(&state_index.flow_other);
+                    }
+                    scratch.extend_from_slice(&state_index.occ_other);
+                }
+                if is_stay {
+                    scratch.extend_from_slice(&buckets.dwells);
+                }
+                if scratch.is_empty() {
+                    continue;
+                }
+                scratch.sort_unstable();
+                scratch.dedup();
+                // The moved-out-of region's display name, looked up once
+                // per semantic instead of once per state rule.
+                let prev_name: Option<String> = match prev.filter(|_| transition) {
+                    Some(p) => self.region_names.read().get(&p).cloned(),
+                    None => None,
+                };
+                let prev_name_str = prev_name.as_deref().unwrap_or("");
+                for &candidate in &scratch {
+                    let rule = &rules[candidate as usize];
+                    match &rule.spec.condition {
+                        // Reached only on a transition; the device glob
+                        // was checked when the bucket was built.
+                        Condition::Enters { region: rsel, .. } => {
+                            if !rsel.matches(region, &s.region_name, &floors) {
+                                continue;
+                            }
+                            self.touch_eval(rule, at);
+                            self.fire_event(rule, s, key, at, &mut fired);
+                        }
+                        // Reached only on a stay, device pre-checked.
+                        Condition::Dwells {
+                            region: rsel,
+                            cmp,
+                            threshold_ms,
+                            ..
+                        } => {
+                            if !rsel.matches(region, &s.region_name, &floors) {
+                                continue;
+                            }
+                            self.touch_eval(rule, at);
+                            let dwell = (s.end - s.start).as_millis();
+                            if cmp.holds(dwell, *threshold_ms) {
+                                self.fire_event(rule, s, key, at, &mut fired);
+                            }
+                        }
+                        Condition::Occupancy {
+                            region: rsel,
+                            cmp,
+                            count,
+                        } => {
+                            // Only transitions move occupancy (this arm is
+                            // only reached on one); re-evaluate when the
+                            // moved-into or moved-out-of region is watched.
+                            let touched = rsel.matches(region, &s.region_name, &floors)
+                                || prev.is_some_and(|p| rsel.matches(p, prev_name_str, &floors));
+                            if !touched {
+                                continue;
+                            }
+                            self.touch_eval(rule, at);
+                            let value = self.occupancy_of(rsel, &floors);
+                            self.eval_state(rule, cmp.holds(value, *count), s, key, at, &mut fired);
+                        }
+                        Condition::Flow {
+                            from,
+                            to,
+                            cmp,
+                            count,
+                        } => {
+                            let Some(p) = prev else {
+                                continue;
+                            };
+                            if !to.matches(region, &s.region_name, &floors)
+                                || !from.matches(p, prev_name_str, &floors)
+                            {
+                                continue;
+                            }
+                            self.touch_eval(rule, at);
+                            self.eval_state(
+                                rule,
+                                cmp.holds(flow_count as i64, *count),
+                                s,
+                                key,
+                                at,
+                                &mut fired,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for (sink, alert) in fired {
+            if sink.deliver(&alert) {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current device count over every region the selector matches.
+    fn occupancy_of(&self, sel: &RegionSel, floors: &HashMap<u32, i16>) -> i64 {
+        let occ = self.occupancy.lock();
+        match sel {
+            RegionSel::Id(id) => occ.get(id).copied().unwrap_or(0),
+            _ => {
+                let names = self.region_names.read();
+                occ.iter()
+                    .filter(|(rid, _)| {
+                        let name = names.get(rid).map(String::as_str).unwrap_or("");
+                        sel.matches(**rid, name, floors)
+                    })
+                    .map(|(_, n)| *n)
+                    .sum()
+            }
+        }
+    }
+
+    fn touch_eval(&self, rule: &Rule, at: i64) {
+        rule.evals.fetch_add(1, Ordering::Relaxed);
+        rule.last_eval_ms.store(at, Ordering::Relaxed);
+    }
+
+    /// Event conditions: every satisfied evaluation fires.
+    fn fire_event(
+        &self,
+        rule: &Arc<Rule>,
+        s: &MobilitySemantics,
+        device: &str,
+        at: i64,
+        fired: &mut Vec<(Arc<dyn AlertSink>, Alert)>,
+    ) {
+        self.fire(
+            rule,
+            Some(device),
+            Some(s.region.0),
+            Some(&s.region_name),
+            at,
+            fired,
+        );
+    }
+
+    /// State conditions: rising-edge firing with optional hold, re-armed
+    /// when the condition goes false. Event-time hold: the condition must
+    /// stay true across `hold_ms` of published timestamps.
+    fn eval_state(
+        &self,
+        rule: &Arc<Rule>,
+        cond: bool,
+        s: &MobilitySemantics,
+        device: &str,
+        at: i64,
+        fired: &mut Vec<(Arc<dyn AlertSink>, Alert)>,
+    ) {
+        if !cond {
+            rule.active.store(false, Ordering::Relaxed);
+            rule.pending_since_ms.store(NO_TS, Ordering::Relaxed);
+            return;
+        }
+        if rule.active.load(Ordering::Relaxed) {
+            return;
+        }
+        match rule.spec.hold_ms {
+            None => {
+                rule.active.store(true, Ordering::Relaxed);
+                self.fire(
+                    rule,
+                    Some(device),
+                    Some(s.region.0),
+                    Some(&s.region_name),
+                    at,
+                    fired,
+                );
+            }
+            Some(hold) => {
+                let since = rule.pending_since_ms.load(Ordering::Relaxed);
+                if since == NO_TS {
+                    rule.pending_since_ms.store(at, Ordering::Relaxed);
+                } else if at - since >= hold {
+                    rule.active.store(true, Ordering::Relaxed);
+                    self.fire(
+                        rule,
+                        Some(device),
+                        Some(s.region.0),
+                        Some(&s.region_name),
+                        at,
+                        fired,
+                    );
+                }
+            }
+        }
+    }
+
+    fn fire(
+        &self,
+        rule: &Arc<Rule>,
+        device: Option<&str>,
+        region: Option<u32>,
+        region_name: Option<&str>,
+        at: i64,
+        fired: &mut Vec<(Arc<dyn AlertSink>, Alert)>,
+    ) {
+        let seq = rule.fires.fetch_add(1, Ordering::Relaxed) + 1;
+        rule.last_fire_ms.store(at, Ordering::Relaxed);
+        if let Some(sink) = &rule.sink {
+            let message = rule.spec.message.clone().unwrap_or_else(|| {
+                format!(
+                    "rule {} fired{}{}",
+                    rule.spec.name,
+                    device
+                        .map(|d| format!(" for device {d}"))
+                        .unwrap_or_default(),
+                    region_name
+                        .filter(|n| !n.is_empty())
+                        .map(|n| format!(" in {n}"))
+                        .unwrap_or_default(),
+                )
+            });
+            fired.push((
+                sink.clone(),
+                Alert {
+                    rule_id: rule.id,
+                    rule_name: rule.spec.name.clone(),
+                    device: device.map(str::to_string),
+                    region,
+                    region_name: region_name.map(str::to_string),
+                    message,
+                    at_ms: at,
+                    seq,
+                },
+            ));
+        }
+    }
+}
+
+fn device_matches(pattern: &Option<String>, device: &str) -> bool {
+    match pattern {
+        None => true,
+        Some(glob) => glob_match(glob, device),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::sem;
+
+    fn spec(condition: Condition) -> RuleSpec {
+        RuleSpec {
+            name: String::new(),
+            priority: 0,
+            condition,
+            hold_ms: None,
+            message: None,
+            source: String::new(),
+        }
+    }
+
+    #[test]
+    fn enters_fires_on_region_transitions_only() {
+        let engine = RuleEngine::new();
+        let sink = CollectingSink::new();
+        let id = engine
+            .register(
+                spec(Condition::Enters {
+                    device: None,
+                    region: RegionSel::Name("lab-*".into()),
+                }),
+                Some(sink.clone()),
+            )
+            .unwrap();
+        let d = DeviceId::new("dev-1");
+        engine.publish(&d, &[sem("dev-1", 1, "lab-a", "stay", 0, 60)]);
+        engine.publish(&d, &[sem("dev-1", 1, "lab-a", "stay", 60, 120)]); // same region: no edge
+        engine.publish(&d, &[sem("dev-1", 2, "atrium", "pass-by", 120, 130)]);
+        engine.publish(&d, &[sem("dev-1", 3, "lab-b", "stay", 130, 200)]);
+        let alerts = sink.take();
+        assert_eq!(alerts.len(), 2, "lab-a entry + lab-b entry: {alerts:?}");
+        assert_eq!(alerts[0].rule_id, id);
+        assert_eq!(alerts[0].region_name.as_deref(), Some("lab-a"));
+        assert_eq!(alerts[1].region_name.as_deref(), Some("lab-b"));
+        assert_eq!(alerts[1].seq, 2);
+        let t = &engine.traces()[0];
+        assert_eq!((t.fires, t.id), (2, id));
+        assert_eq!(t.last_fire_ms, Some(200_000));
+    }
+
+    #[test]
+    fn dwell_threshold_and_device_glob() {
+        let engine = RuleEngine::new();
+        let sink = CollectingSink::new();
+        engine
+            .register(
+                spec(Condition::Dwells {
+                    device: Some("a.*".into()),
+                    region: RegionSel::Id(7),
+                    cmp: CmpOp::Gt,
+                    threshold_ms: 90_000,
+                }),
+                Some(sink.clone()),
+            )
+            .unwrap();
+        // Short stay: evaluated, no fire.
+        engine.publish(
+            &DeviceId::new("a.1"),
+            &[sem("a.1", 7, "vault", "stay", 0, 60)],
+        );
+        // Long stay, wrong device: not evaluated.
+        engine.publish(
+            &DeviceId::new("b.1"),
+            &[sem("b.1", 7, "vault", "stay", 0, 600)],
+        );
+        // Long stay, matching: fires.
+        engine.publish(
+            &DeviceId::new("a.2"),
+            &[sem("a.2", 7, "vault", "stay", 0, 600)],
+        );
+        // Pass-by is not a dwell.
+        engine.publish(
+            &DeviceId::new("a.3"),
+            &[sem("a.3", 7, "vault", "pass-by", 0, 600)],
+        );
+        let alerts = sink.take();
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].device.as_deref(), Some("a.2"));
+        let t = &engine.traces()[0];
+        assert_eq!((t.evals, t.fires), (2, 1));
+    }
+
+    #[test]
+    fn occupancy_rising_edge_and_rearm() {
+        let engine = RuleEngine::new();
+        let sink = CollectingSink::new();
+        engine
+            .register(
+                spec(Condition::Occupancy {
+                    region: RegionSel::Id(5),
+                    cmp: CmpOp::Ge,
+                    count: 2,
+                }),
+                Some(sink.clone()),
+            )
+            .unwrap();
+        let (a, b) = (DeviceId::new("a"), DeviceId::new("b"));
+        engine.publish(&a, &[sem("a", 5, "hall", "stay", 0, 10)]);
+        assert!(sink.is_empty(), "occupancy 1 < 2");
+        engine.publish(&b, &[sem("b", 5, "hall", "stay", 0, 20)]);
+        assert_eq!(sink.len(), 1, "rising edge at occupancy 2");
+        // Still satisfied → no re-fire.
+        engine.publish(&a, &[sem("a", 5, "hall", "stay", 20, 30)]);
+        assert_eq!(sink.len(), 1);
+        // b leaves (occupancy 1 → condition false → re-arm), then returns.
+        engine.publish(&b, &[sem("b", 9, "exit", "pass-by", 30, 40)]);
+        engine.publish(&b, &[sem("b", 5, "hall", "stay", 40, 50)]);
+        assert_eq!(sink.len(), 2, "re-fires after re-arm");
+    }
+
+    #[test]
+    fn occupancy_hold_is_event_time() {
+        let engine = RuleEngine::new();
+        let sink = CollectingSink::new();
+        engine
+            .register(
+                RuleSpec {
+                    hold_ms: Some(300_000), // FOR 5m
+                    ..spec(Condition::Occupancy {
+                        region: RegionSel::Id(5),
+                        cmp: CmpOp::Ge,
+                        count: 1,
+                    })
+                },
+                Some(sink.clone()),
+            )
+            .unwrap();
+        let a = DeviceId::new("a");
+        engine.publish(&a, &[sem("a", 5, "hall", "stay", 0, 10)]);
+        assert!(sink.is_empty(), "condition true but hold not elapsed");
+        // Another device keeps touching the region with later timestamps.
+        engine.publish(&DeviceId::new("b"), &[sem("b", 5, "hall", "stay", 0, 200)]);
+        assert!(sink.is_empty(), "200s < 5m hold");
+        engine.publish(&DeviceId::new("c"), &[sem("c", 5, "hall", "stay", 0, 400)]);
+        assert_eq!(sink.len(), 1, "held >= 5m in event time");
+    }
+
+    #[test]
+    fn flow_threshold_counts_directed_transitions() {
+        let engine = RuleEngine::new();
+        let sink = CollectingSink::new();
+        engine
+            .register(
+                spec(Condition::Flow {
+                    from: RegionSel::Id(1),
+                    to: RegionSel::Id(2),
+                    cmp: CmpOp::Ge,
+                    count: 2,
+                }),
+                Some(sink.clone()),
+            )
+            .unwrap();
+        for (i, dev) in ["a", "b", "c"].iter().enumerate() {
+            let d = DeviceId::new(dev);
+            let t = i as i64 * 100;
+            engine.publish(&d, &[sem(dev, 1, "shop", "stay", t, t + 10)]);
+            engine.publish(&d, &[sem(dev, 2, "hall", "pass-by", t + 10, t + 20)]);
+        }
+        // Threshold 2 crossed on the second a→b transition; >= stays true
+        // afterwards so the edge fires exactly once.
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn priority_orders_delivery_and_traces() {
+        let engine = RuleEngine::new();
+        let sink = CollectingSink::new();
+        let mk = |name: &str, priority: i32| RuleSpec {
+            name: name.into(),
+            priority,
+            ..spec(Condition::Enters {
+                device: None,
+                region: RegionSel::Name("*".into()),
+            })
+        };
+        engine.register(mk("low", 1), Some(sink.clone())).unwrap();
+        engine.register(mk("high", 9), Some(sink.clone())).unwrap();
+        engine.register(mk("mid", 5), Some(sink.clone())).unwrap();
+        engine.publish(&DeviceId::new("d"), &[sem("d", 1, "x", "stay", 0, 1)]);
+        let names: Vec<String> = sink.take().into_iter().map(|a| a.rule_name).collect();
+        assert_eq!(names, ["high", "mid", "low"]);
+        let trace_names: Vec<String> = engine.traces().into_iter().map(|t| t.name).collect();
+        assert_eq!(trace_names, ["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn floor_selector_uses_installed_map() {
+        let engine = RuleEngine::new();
+        engine.set_region_floors([(RegionId(1), 0), (RegionId(2), 2), (RegionId(3), 2)]);
+        let sink = CollectingSink::new();
+        engine
+            .register(
+                spec(Condition::Occupancy {
+                    region: RegionSel::Floor(2),
+                    cmp: CmpOp::Ge,
+                    count: 2,
+                }),
+                Some(sink.clone()),
+            )
+            .unwrap();
+        engine.publish(&DeviceId::new("a"), &[sem("a", 2, "f2-a", "stay", 0, 1)]);
+        engine.publish(&DeviceId::new("b"), &[sem("b", 1, "f0", "stay", 0, 2)]);
+        assert!(sink.is_empty(), "floor-0 region must not count");
+        engine.publish(&DeviceId::new("c"), &[sem("c", 3, "f2-b", "stay", 0, 3)]);
+        assert_eq!(sink.len(), 1, "two devices across floor-2 regions");
+    }
+
+    #[test]
+    fn unregister_and_limit_and_hold_validation() {
+        let engine = RuleEngine::new();
+        engine.set_limit(2);
+        let enters = || {
+            spec(Condition::Enters {
+                device: None,
+                region: RegionSel::Id(1),
+            })
+        };
+        let a = engine.register(enters(), None).unwrap();
+        let _b = engine.register(enters(), None).unwrap();
+        assert_eq!(
+            engine.register(enters(), None),
+            Err(RuleError::TooManyRules { limit: 2 })
+        );
+        assert!(engine.unregister(a));
+        assert!(!engine.unregister(a), "double unregister is false");
+        assert_eq!(engine.rule_count(), 1);
+        assert_eq!(
+            engine.register(
+                RuleSpec {
+                    hold_ms: Some(1000),
+                    ..enters()
+                },
+                None
+            ),
+            Err(RuleError::HoldOnEventCondition)
+        );
+    }
+
+    #[test]
+    fn device_gone_releases_occupancy() {
+        let engine = RuleEngine::new();
+        let sink = CollectingSink::new();
+        engine
+            .register(
+                spec(Condition::Occupancy {
+                    region: RegionSel::Id(5),
+                    cmp: CmpOp::Ge,
+                    count: 2,
+                }),
+                Some(sink.clone()),
+            )
+            .unwrap();
+        let (a, b) = (DeviceId::new("a"), DeviceId::new("b"));
+        engine.publish(&a, &[sem("a", 5, "hall", "stay", 0, 10)]);
+        engine.device_gone(&a);
+        engine.publish(&b, &[sem("b", 5, "hall", "stay", 10, 20)]);
+        assert!(
+            sink.is_empty(),
+            "a left before b arrived: occupancy never 2"
+        );
+        engine.publish(&a, &[sem("a", 5, "hall", "stay", 20, 30)]);
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn zero_rules_is_a_noop_and_tracks_nothing() {
+        let engine = RuleEngine::new();
+        engine.publish(&DeviceId::new("a"), &[sem("a", 5, "hall", "stay", 0, 10)]);
+        assert!(engine.occupancy.lock().is_empty());
+        assert!(engine.device_regions.iter().all(|s| s.lock().is_empty()));
+    }
+}

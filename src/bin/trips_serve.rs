@@ -11,7 +11,8 @@
 //! trips-serve [--host H] [--port P] [--workers N] [--queue N]
 //!             [--max-conns N] [--shards N] [--loop-shards N]
 //!             [--translator-shards N] [--read-budget BYTES]
-//!             [--event-backend auto|epoll|poll] [--floors N] [--shops N]
+//!             [--event-backend auto|epoll|poll] [--max-rules N]
+//!             [--floors N] [--shops N]
 //!             [--devices N] [--days N] [--seed N] [--snapshot PATH]
 //!             [--snapshot-root DIR] [--wal-dir DIR]
 //!             [--fsync always|every=N|never] [--segment-bytes N]
@@ -24,7 +25,9 @@
 //! `--read-budget` bounds bytes read per readiness event per connection.
 //! `--event-backend` picks the readiness backend: `epoll`
 //! (edge-triggered, Linux), `poll` (portable), or `auto` (default —
-//! epoll where available).
+//! epoll where available). `--max-rules` caps how many standing TQL
+//! rules (`Subscribe` requests) may be registered at once across all
+//! connections (default 1024).
 //!
 //! `--snapshot-root` enables wire-level `Snapshot` requests on a
 //! non-durable server: the request's (relative, non-escaping) path
@@ -68,8 +71,8 @@ fn usage_and_exit(message: &str) -> ! {
     eprintln!(
         "usage: trips-serve [--host H] [--port P] [--workers N] [--queue N] \
          [--max-conns N] [--shards N] [--loop-shards N] [--translator-shards N] \
-         [--read-budget BYTES] [--event-backend auto|epoll|poll] [--floors N] \
-         [--shops N] [--devices N] [--days N] [--seed N] [--snapshot PATH] \
+         [--read-budget BYTES] [--event-backend auto|epoll|poll] [--max-rules N] \
+         [--floors N] [--shops N] [--devices N] [--days N] [--seed N] [--snapshot PATH] \
          [--snapshot-root DIR] [--wal-dir DIR] [--fsync always|every=N|never] \
          [--segment-bytes N]"
     );
@@ -113,6 +116,7 @@ fn parse_args() -> Options {
                 opts.config.translator_shards = parse(&mut args, "--translator-shards")
             }
             "--read-budget" => opts.config.read_budget = parse(&mut args, "--read-budget"),
+            "--max-rules" => opts.config.max_rules = parse(&mut args, "--max-rules"),
             "--event-backend" => {
                 let raw: String = parse(&mut args, "--event-backend");
                 match BackendChoice::parse(&raw) {
@@ -235,11 +239,13 @@ fn main() {
         .local_addr()
         .expect("bound listener has an address");
     eprintln!(
-        "trips-serve: event backend {}, loop shards {}, translator shards {}, read budget {} bytes",
+        "trips-serve: event backend {}, loop shards {}, translator shards {}, \
+         read budget {} bytes, rule cap {}",
         server.backend(),
         server.loop_shards(),
         server.translator_shards(),
         server.read_budget(),
+        server.max_rules(),
     );
     println!("trips-serve: listening on {addr}");
     std::io::stdout().flush().expect("stdout flush");
