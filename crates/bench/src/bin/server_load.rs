@@ -22,7 +22,7 @@
 //!             [--no-overload] [--overload-conns N] [--overload-iters N]
 //!             [--scale-conns N] [--scale-rounds N]
 //!             [--rules N] [--expect-alerts MIN] [--rules-trace PATH]
-//!             [--rules-overhead N]
+//!             [--rules-overhead N] [--obs-overhead]
 //!             [--baseline PATH] [--tolerance F] [--compare PATH]
 //!             [--expect-shedding] [--expect-wal] [--shutdown]
 //! ```
@@ -65,6 +65,18 @@
 //! ingest wall exceeds baseline × 1.10 — the "<10% overhead" acceptance
 //! gate, measured without wire noise.
 //!
+//! `--obs-overhead` runs the same in-process A/B shape for the
+//! observability layer: identical campus traffic through a
+//! translator-fed store with the `trips-obs` instrumentation globally
+//! disabled and then enabled (best of 3 alternating rounds, repeats
+//! summed exactly like `--rules-overhead`); the run fails when the
+//! instrumented ingest wall exceeds baseline × 1.05 — the "<5%
+//! observability overhead" acceptance gate, measured without wire noise.
+//!
+//! The report also records per-phase wall-clock (`phase_wall_ms`:
+//! ingest / post-ingest drain / query mix / overload / scale hold) so
+//! the perf trajectory is attributable phase by phase.
+//!
 //! The `--floors/--shops` layout must match the server's (campus
 //! buildings share the mall layout the server's DSM was built from).
 //! With `--expect-wal` (a durable server under test) the generator also
@@ -84,7 +96,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use trips_core::stream::{StreamConfig, StreamingTranslator};
 use trips_data::{DeviceId, Duration, RawRecord, Timestamp};
-use trips_engine::LatencyRecorder;
+use trips_obs::LatencyRecorder;
 use trips_server::{bootstrap_scenario, Client, Response, ServerBootstrap, ServerError};
 use trips_sim::ScenarioConfig;
 use trips_store::{Alert, AlertSink, Query, RuleSpec, SemanticsSelector, SemanticsStore};
@@ -117,6 +129,8 @@ struct Options {
     rules_trace: Option<String>,
     /// `0` = skip the in-process rule-evaluation overhead A/B gate.
     rules_overhead: usize,
+    /// Run the in-process observability-instrumentation overhead A/B.
+    obs_overhead: bool,
     baseline: Option<String>,
     tolerance: f64,
     compare: Option<String>,
@@ -159,7 +173,7 @@ fn usage_and_exit(message: &str) -> ! {
          [--query-conns N] [--query-iters N] [--no-overload] [--overload-conns N] \
          [--overload-iters N] [--scale-conns N] [--scale-rounds N] \
          [--rules N] [--expect-alerts MIN] [--rules-trace PATH] [--rules-overhead N] \
-         [--baseline PATH] [--tolerance F] [--compare PATH] \
+         [--obs-overhead] [--baseline PATH] [--tolerance F] [--compare PATH] \
          [--expect-shedding] [--expect-wal] [--shutdown]"
     );
     std::process::exit(2);
@@ -206,6 +220,7 @@ fn parse_args() -> Options {
         expect_alerts: 0,
         rules_trace: None,
         rules_overhead: 0,
+        obs_overhead: false,
         baseline: None,
         tolerance: 4.0,
         compare: None,
@@ -251,6 +266,7 @@ fn parse_args() -> Options {
             "--expect-alerts" => opts.expect_alerts = parse(&mut args, "--expect-alerts"),
             "--rules-trace" => opts.rules_trace = Some(parse(&mut args, "--rules-trace")),
             "--rules-overhead" => opts.rules_overhead = parse(&mut args, "--rules-overhead"),
+            "--obs-overhead" => opts.obs_overhead = true,
             "--baseline" => opts.baseline = Some(parse(&mut args, "--baseline")),
             "--tolerance" => {
                 opts.tolerance = parse(&mut args, "--tolerance");
@@ -379,6 +395,31 @@ struct RulesOverheadReport {
     ok: bool,
 }
 
+/// The `--obs-overhead` A/B: identical in-process ingest with the
+/// `trips-obs` instrumentation globally disabled vs enabled, best-of-3
+/// alternating rounds (the rules-overhead gate's repeats-summed
+/// methodology applied to the observability layer).
+#[derive(Serialize, Deserialize)]
+struct ObsOverheadReport {
+    baseline_wall_ms: f64,
+    with_obs_wall_ms: f64,
+    /// `(with - baseline) / baseline`, in percent. May be negative under
+    /// runner noise; the gate only fails past +5%.
+    overhead_pct: f64,
+    ok: bool,
+}
+
+/// Wall-clock per phase of the run, milliseconds. `drain_ms` is the
+/// post-ingest quiescence wait (open sessions publishing their tails).
+#[derive(Serialize, Deserialize, Default)]
+struct PhaseWalls {
+    ingest_ms: f64,
+    drain_ms: f64,
+    query_ms: f64,
+    overload_ms: Option<f64>,
+    scale_ms: Option<f64>,
+}
+
 /// A cross-run comparison embedded in the report (`--compare`): this
 /// run's ingest throughput against another report's, e.g. a single-lock
 /// topology measured on the same machine moments before.
@@ -413,6 +454,13 @@ struct BenchReport {
     overload: Option<OverloadReport>,
     scale: Option<ScaleReport>,
     rules: Option<RulesReport>,
+    /// The `--obs-overhead` instrumentation-cost A/B, when it ran.
+    #[serde(default)]
+    obs_overhead: Option<ObsOverheadReport>,
+    /// Per-phase wall-clock, so the perf trajectory is attributable
+    /// phase by phase (absent in reports from older generators).
+    #[serde(default)]
+    phase_wall_ms: Option<PhaseWalls>,
     comparison: Option<ComparisonReport>,
     server: ServerSide,
     hard_errors: usize,
@@ -593,6 +641,58 @@ fn rules_overhead_gate(
         overhead_pct,
         alerts_fired,
         ok: with_rules_wall_ms <= baseline_wall_ms * 1.10,
+    }
+}
+
+/// The `--obs-overhead` gate: same traffic through an in-process
+/// translator-fed store with `trips_obs` instrumentation off vs on,
+/// best of 3 alternating rounds. The store/rules hot paths gate their
+/// timing and contention accounting on `trips_obs::enabled()`, so the
+/// toggle isolates exactly the instrumentation cost the server pays.
+/// Gate: instrumented wall ≤ baseline × 1.05.
+fn obs_overhead_gate(
+    traffic: &[Vec<(DeviceId, Vec<RawRecord>)>],
+    opts: &Options,
+) -> ObsOverheadReport {
+    eprintln!(
+        "server_load: in-process observability-overhead A/B (obs off vs on, best of 3 rounds)..."
+    );
+    let boot = bootstrap_scenario(
+        opts.floors,
+        opts.shops,
+        &ScenarioConfig {
+            devices: opts.devices,
+            days: 1,
+            seed: opts.seed,
+            ..ScenarioConfig::default()
+        },
+    );
+    let sink = Arc::new(CountSink(AtomicU64::new(0)));
+    let records: usize = traffic
+        .iter()
+        .flat_map(|b| b.iter().map(|(_, r)| r.len()))
+        .sum();
+    // Same sizing rationale as the rules gate: aggregate the timed
+    // region into tens of milliseconds so a 5% delta outweighs clock
+    // granularity and scheduler noise.
+    let repeats = (400_000 / records.max(1)).clamp(1, 64);
+    let was_enabled = trips_obs::enabled();
+    let mut off_best = std::time::Duration::MAX;
+    let mut on_best = std::time::Duration::MAX;
+    for _ in 0..3 {
+        trips_obs::set_enabled(false);
+        off_best = off_best.min(timed_ingest(&boot, traffic, &[], &sink, repeats));
+        trips_obs::set_enabled(true);
+        on_best = on_best.min(timed_ingest(&boot, traffic, &[], &sink, repeats));
+    }
+    trips_obs::set_enabled(was_enabled);
+    let baseline_wall_ms = off_best.as_secs_f64() * 1e3;
+    let with_obs_wall_ms = on_best.as_secs_f64() * 1e3;
+    ObsOverheadReport {
+        baseline_wall_ms,
+        with_obs_wall_ms,
+        overhead_pct: (with_obs_wall_ms - baseline_wall_ms) / baseline_wall_ms * 100.0,
+        ok: with_obs_wall_ms <= baseline_wall_ms * 1.05,
     }
 }
 
@@ -869,6 +969,7 @@ fn main() {
     // Everything is queryable: each ingest session flushed itself above,
     // and any remainder published when its connection tore down. Verify
     // quiescence rather than flushing globally.
+    let drain_wall = Instant::now();
     {
         let mut client = connect(opts.addr.as_str(), opts.protocol).expect("connect for health");
         let deadline = Instant::now() + std::time::Duration::from_secs(10);
@@ -886,6 +987,7 @@ fn main() {
             }
         }
     }
+    let drain_wall = drain_wall.elapsed();
 
     // Phase 2 — analyst query mix, closed loop per connection.
     eprintln!(
@@ -934,11 +1036,13 @@ fn main() {
 
     // Phase 3 — overload burst: hammer the queue, expect shedding to be
     // typed Overloaded responses and nothing worse.
+    let mut overload_wall_ms = None;
     let overload = if opts.overload {
         eprintln!(
             "server_load: overload burst with {} connections x {} iterations...",
             opts.overload_conns, opts.overload_iters
         );
+        let burst_wall = Instant::now();
         let ok = AtomicUsize::new(0);
         let shed = AtomicUsize::new(0);
         let burst_hard = AtomicUsize::new(0);
@@ -972,6 +1076,7 @@ fn main() {
                 });
             }
         });
+        overload_wall_ms = Some(burst_wall.elapsed().as_secs_f64() * 1e3);
         let report = OverloadReport {
             requests: opts.overload_conns * opts.overload_iters,
             ok: ok.load(Ordering::Relaxed),
@@ -988,6 +1093,7 @@ fn main() {
     // connections (the poll-loop's fd-per-connection model under test)
     // and round-robin pings across them while sampling the server's own
     // view of active connections and memory.
+    let mut scale_wall_ms = None;
     let scale = if opts.scale_conns > 0 {
         eprintln!(
             "server_load: holding {} concurrent connections ({} ping rounds)...",
@@ -1054,6 +1160,8 @@ fn main() {
                 ping_lat.merge(h.join().expect("scale thread"));
             }
         });
+        let held = hold_wall.elapsed();
+        scale_wall_ms = Some(held.as_secs_f64() * 1e3);
         let (active, rss_kb_held) = observed;
         if active < opts.scale_conns {
             eprintln!(
@@ -1066,7 +1174,7 @@ fn main() {
             connections: opts.scale_conns,
             active_connections_observed: active,
             rss_kb_held,
-            ping: phase_report(&ping_lat, hold_wall.elapsed()),
+            ping: phase_report(&ping_lat, held),
         })
     } else {
         None
@@ -1221,6 +1329,9 @@ fn main() {
     // server, and running it earlier would contend with them for cores).
     let overhead = (opts.rules_overhead > 0)
         .then(|| rules_overhead_gate(opts.rules_overhead, &traffic, &opts));
+    let obs_overhead = opts
+        .obs_overhead
+        .then(|| obs_overhead_gate(&traffic, &opts));
     let rules_report = if rules_summary.is_some() || overhead.is_some() {
         let (alerts_received, fires_total) = rules_summary.unwrap_or((0, 0));
         Some(RulesReport {
@@ -1250,6 +1361,14 @@ fn main() {
         overload,
         scale,
         rules: rules_report,
+        obs_overhead,
+        phase_wall_ms: Some(PhaseWalls {
+            ingest_ms: ingest_wall.as_secs_f64() * 1e3,
+            drain_ms: drain_wall.as_secs_f64() * 1e3,
+            query_ms: query_wall.as_secs_f64() * 1e3,
+            overload_ms: overload_wall_ms,
+            scale_ms: scale_wall_ms,
+        }),
         comparison,
         server: server_side,
         hard_errors: hard,
@@ -1313,6 +1432,27 @@ fn main() {
             );
         }
     }
+    if let Some(o) = &report.obs_overhead {
+        println!(
+            "server_load: observability overhead A/B: ingest {:.0} ms -> {:.0} ms ({:+.1}%) ({})",
+            o.baseline_wall_ms,
+            o.with_obs_wall_ms,
+            o.overhead_pct,
+            if o.ok { "ok" } else { "FAIL" },
+        );
+    }
+    if let Some(w) = &report.phase_wall_ms {
+        println!(
+            "server_load: phase walls: ingest {:.0} ms, drain {:.0} ms, query {:.0} ms{}{}",
+            w.ingest_ms,
+            w.drain_ms,
+            w.query_ms,
+            w.overload_ms
+                .map_or(String::new(), |m| format!(", overload {m:.0} ms")),
+            w.scale_ms
+                .map_or(String::new(), |m| format!(", scale {m:.0} ms")),
+        );
+    }
     if let Some(c) = &report.comparison {
         println!(
             "server_load: vs {} -> ingest {:.0} req/s against {:.0} req/s ({:.2}x)",
@@ -1347,6 +1487,15 @@ fn main() {
             eprintln!(
                 "server_load: rule evaluation overhead {:+.1}% with {} rules exceeds the 10% gate",
                 o.overhead_pct, o.rules
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(o) = report.obs_overhead.as_ref() {
+        if !o.ok {
+            eprintln!(
+                "server_load: observability instrumentation overhead {:+.1}% exceeds the 5% gate",
+                o.overhead_pct
             );
             std::process::exit(1);
         }

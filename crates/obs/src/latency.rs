@@ -1,10 +1,16 @@
-//! Latency/throughput measurement for concurrent workloads.
+//! Exact-sample latency measurement for bench workloads.
 //!
-//! The store's query-throughput bench (and any future service harness)
-//! needs per-operation latencies collected across worker threads and
-//! reduced to ops/sec + percentiles. Each worker records into its own
-//! [`LatencyRecorder`]; recorders are merged after the fan-out joins and
-//! summarized with nearest-rank percentiles.
+//! The bench harnesses need per-operation latencies collected across
+//! worker threads and reduced to ops/sec + **exact** nearest-rank
+//! percentiles (BENCH_*.json baselines are compared run-over-run, so
+//! approximation error would masquerade as regression). Each worker
+//! records into its own [`LatencyRecorder`]; recorders are merged after
+//! the fan-out joins and summarized into a [`LatencySummary`].
+//!
+//! This is the *offline* sibling of [`crate::Histogram`]: the histogram
+//! is constant-memory and lock-free for serving hot paths, the recorder
+//! keeps every sample for exact reduction. (Moved here from
+//! `trips-engine`, which still re-exports both names.)
 
 use std::time::Duration;
 

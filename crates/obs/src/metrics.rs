@@ -1,0 +1,622 @@
+//! The metrics registry: counters, gauges, and log-bucketed histograms
+//! with label sets, rendered in the Prometheus text exposition format.
+//!
+//! ## Lock discipline
+//!
+//! The registry's mutex guards only the *family table* — it is taken at
+//! registration (boot) and at scrape. Every instrument handed out is an
+//! `Arc` of plain atomics, so recording on the hot path is one or two
+//! relaxed `fetch_add`s. Histograms additionally **stripe** their buckets
+//! across [`STRIPES`] independent atomic arrays indexed by a per-thread
+//! id, so concurrent workers rarely touch the same cache line; stripes
+//! are merged into one [`HistogramSnapshot`] at scrape time.
+//!
+//! ## Buckets
+//!
+//! Histogram buckets are powers of two in microseconds: bucket `i` counts
+//! observations `≤ 2^i µs` (the last bucket is `+Inf`). Log bucketing
+//! bounds memory at [`HIST_BUCKETS`] words per stripe while keeping
+//! relative quantile error under ~2× across nine orders of magnitude —
+//! the right trade for latency distributions. Quantiles interpolate
+//! linearly inside the winning bucket and clamp to the tracked maximum.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of histogram buckets (last bucket is `+Inf`).
+pub const HIST_BUCKETS: usize = 28;
+/// Stripe count — a small power of two: enough to spread a worker pool,
+/// small enough that scrape-time merging stays trivial.
+const STRIPES: usize = 8;
+
+/// A monotonically increasing counter. Clone-cheap (`Arc` of an atomic).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for mirroring an already-monotonic source
+    /// (an existing atomic, a WAL counter) into the registry at scrape
+    /// time. The caller owns monotonicity.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Clone-cheap.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One stripe of histogram state. `#[repr(align(128))]` keeps two stripes
+/// off the same cache-line pair under false sharing.
+#[repr(align(128))]
+struct Stripe {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Stripe {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+struct HistogramCore {
+    stripes: Vec<Stripe>,
+    max_us: AtomicU64,
+}
+
+/// A log-bucketed latency histogram (microsecond domain). Clone-cheap;
+/// recording is 3 relaxed `fetch_add`s on a per-thread stripe plus one
+/// `fetch_max`.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a microsecond value: smallest `i` with `v ≤ 2^i`
+/// (0 and 1 both land in bucket 0), clamped into the `+Inf` bucket.
+#[inline]
+fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        0
+    } else {
+        ((u64::BITS - (us - 1).leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Upper bound (µs) of bucket `i`; `None` for the `+Inf` bucket.
+#[inline]
+fn bucket_le(i: usize) -> Option<u64> {
+    (i < HIST_BUCKETS - 1).then(|| 1u64 << i)
+}
+
+thread_local! {
+    static STRIPE_ID: usize = {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES
+    };
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore {
+                stripes: (0..STRIPES).map(|_| Stripe::new()).collect(),
+                max_us: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation in microseconds.
+    #[inline]
+    pub fn observe_us(&self, us: u64) {
+        let stripe = &self.core.stripes[STRIPE_ID.with(|id| *id)];
+        stripe.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        stripe.sum_us.fetch_add(us, Ordering::Relaxed);
+        stripe.count.fetch_add(1, Ordering::Relaxed);
+        self.core.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records one observation as a [`Duration`].
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_us(d.as_micros() as u64);
+    }
+
+    /// Merges every stripe into one point-in-time view.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let mut sum_us = 0u64;
+        let mut count = 0u64;
+        for stripe in &self.core.stripes {
+            for (acc, b) in buckets.iter_mut().zip(stripe.buckets.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            sum_us = sum_us.saturating_add(stripe.sum_us.load(Ordering::Relaxed));
+            count += stripe.count.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_us,
+            count,
+            max_us: self.core.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A merged, immutable view of a [`Histogram`] (see
+/// [`Histogram::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Non-cumulative per-bucket counts (`buckets[i]` = observations in
+    /// `(2^(i-1), 2^i]`, first bucket `[0, 1]`, last `+Inf`).
+    pub buckets: [u64; HIST_BUCKETS],
+    pub sum_us: u64,
+    pub count: u64,
+    /// Largest single observation — exact, so tail quantiles never report
+    /// above reality.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimated quantile (`q` in `[0, 1]`) in microseconds: nearest-rank
+    /// bucket walk with linear interpolation inside the winning bucket,
+    /// clamped to the exact tracked maximum. Zero when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let prev_cum = cum;
+            cum += n;
+            if cum >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = bucket_le(i).unwrap_or(self.max_us).min(self.max_us.max(lo));
+                let frac = (rank - prev_cum) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                return (est as u64).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Arithmetic mean in microseconds; zero when empty.
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[derive(Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One metric family: a name + help + type, and its series keyed by
+/// rendered label set.
+struct Family {
+    help: String,
+    /// `label-string → instrument`; the label string is pre-rendered
+    /// (`key="value",…`, sorted by key) so scrape is a straight dump.
+    series: BTreeMap<String, Instrument>,
+}
+
+/// The metric family table. Create one per process (or per server),
+/// register instruments at boot, render at scrape.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_unstable_by_key(|(k, _)| *k);
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn instrument(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        assert!(valid_metric_name(name), "invalid metric name `{name}`");
+        let mut families = self.families.lock();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        let key = render_labels(labels);
+        let entry = family.series.entry(key).or_insert_with(make);
+        entry.clone()
+    }
+
+    /// Registers (or fetches) a counter series. Same name + labels always
+    /// returns a handle to the same underlying value.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.instrument(name, help, labels, || Instrument::Counter(Counter::new())) {
+            Instrument::Counter(c) => c,
+            other => panic!("metric `{name}` already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or fetches) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.instrument(name, help, labels, || Instrument::Gauge(Gauge::new())) {
+            Instrument::Gauge(g) => g,
+            other => panic!("metric `{name}` already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or fetches) a histogram series (microsecond domain —
+    /// by convention the name ends in `_us`).
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.instrument(name, help, labels, || {
+            Instrument::Histogram(Histogram::new())
+        }) {
+            Instrument::Histogram(h) => h,
+            other => panic!("metric `{name}` already registered as {}", other.kind()),
+        }
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format (version 0.0.4): families sorted by name, series sorted by
+    /// label set, histograms as cumulative `_bucket{le=…}` + `_sum` +
+    /// `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock();
+        let mut out = String::with_capacity(4096);
+        for (name, family) in families.iter() {
+            let kind = match family.series.values().next() {
+                Some(i) => i.kind(),
+                None => continue,
+            };
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for (labels, instrument) in &family.series {
+                match instrument {
+                    Instrument::Counter(c) => {
+                        out.push_str(&sample_line(name, labels, &c.get().to_string()));
+                    }
+                    Instrument::Gauge(g) => {
+                        out.push_str(&sample_line(name, labels, &g.get().to_string()));
+                    }
+                    Instrument::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for (i, n) in snap.buckets.iter().enumerate() {
+                            cum += n;
+                            let le = match bucket_le(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let with_le = if labels.is_empty() {
+                                format!("le=\"{le}\"")
+                            } else {
+                                format!("{labels},le=\"{le}\"")
+                            };
+                            out.push_str(&sample_line(
+                                &format!("{name}_bucket"),
+                                &with_le,
+                                &cum.to_string(),
+                            ));
+                        }
+                        out.push_str(&sample_line(
+                            &format!("{name}_sum"),
+                            labels,
+                            &snap.sum_us.to_string(),
+                        ));
+                        out.push_str(&sample_line(
+                            &format!("{name}_count"),
+                            labels,
+                            &snap.count.to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn sample_line(name: &str, labels: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{name} {value}\n")
+    } else {
+        format!("{name}{{{labels}}} {value}\n")
+    }
+}
+
+/// Parses a Prometheus text exposition, returning `series → value` (the
+/// series key includes its label set). Errors on malformed sample lines,
+/// invalid metric names, or unparseable values — the checker behind the
+/// scrape-under-load test and the CI smoke gate.
+pub fn validate_exposition(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ")) {
+                return Err(format!("line {}: unknown comment form: {line}", lineno + 1));
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line}", lineno + 1))?;
+        let name = match series.split_once('{') {
+            Some((n, labels)) => {
+                if !labels.ends_with('}') {
+                    return Err(format!("line {}: unterminated label set", lineno + 1));
+                }
+                n
+            }
+            None => series,
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {}: invalid metric name `{name}`", lineno + 1));
+        }
+        let value: f64 = value
+            .parse()
+            .map_err(|e| format!("line {}: bad value `{value}`: {e}", lineno + 1))?;
+        out.insert(series.to_string(), value);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_smallest_power_of_two_cover() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_known_distribution() {
+        let h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.observe_us(us);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sum_us, 500_500);
+        assert_eq!(snap.max_us, 1000);
+        let p50 = snap.quantile_us(0.50);
+        // Log buckets: the true p50 (500) lives in bucket (256, 512];
+        // interpolation keeps the estimate inside that bucket.
+        assert!((257..=512).contains(&p50), "p50 estimate {p50}");
+        assert_eq!(snap.quantile_us(1.0), 1000, "p100 clamps to exact max");
+        assert!(snap.quantile_us(0.99) <= 1000);
+        assert_eq!(snap.mean_us(), 500);
+    }
+
+    #[test]
+    fn histogram_merges_across_threads() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        h.observe_us(10);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 400);
+        assert_eq!(snap.sum_us, 4000);
+    }
+
+    #[test]
+    fn registry_returns_same_handle_for_same_series() {
+        let reg = Registry::new();
+        let a = reg.counter(
+            "trips_requests_total",
+            "requests",
+            &[("endpoint", "ingest")],
+        );
+        let b = reg.counter(
+            "trips_requests_total",
+            "requests",
+            &[("endpoint", "ingest")],
+        );
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "one underlying series");
+        let other = reg.counter("trips_requests_total", "requests", &[("endpoint", "query")]);
+        assert_eq!(other.get(), 0, "distinct label set is a distinct series");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let reg = Registry::new();
+        let _ = reg.counter("trips_x", "x", &[]);
+        let _ = reg.gauge("trips_x", "x", &[]);
+    }
+
+    #[test]
+    fn render_is_valid_exposition_with_histogram_shape() {
+        let reg = Registry::new();
+        reg.counter(
+            "trips_requests_total",
+            "total requests",
+            &[("endpoint", "ingest")],
+        )
+        .add(5);
+        reg.gauge("trips_connections_active", "open connections", &[])
+            .set(3);
+        let h = reg.histogram(
+            "trips_latency_us",
+            "request latency",
+            &[("endpoint", "query")],
+        );
+        h.observe_us(3);
+        h.observe_us(100);
+        let text = reg.render_prometheus();
+        let parsed = validate_exposition(&text).expect("valid exposition");
+        assert_eq!(
+            parsed.get("trips_requests_total{endpoint=\"ingest\"}"),
+            Some(&5.0)
+        );
+        assert_eq!(parsed.get("trips_connections_active"), Some(&3.0));
+        assert_eq!(
+            parsed.get("trips_latency_us_count{endpoint=\"query\"}"),
+            Some(&2.0)
+        );
+        assert_eq!(
+            parsed.get("trips_latency_us_sum{endpoint=\"query\"}"),
+            Some(&103.0)
+        );
+        assert_eq!(
+            parsed.get("trips_latency_us_bucket{endpoint=\"query\",le=\"+Inf\"}"),
+            Some(&2.0)
+        );
+        // Cumulative buckets never decrease.
+        let mut last = 0.0;
+        for i in 0..HIST_BUCKETS - 1 {
+            if let Some(v) = parsed.get(&format!(
+                "trips_latency_us_bucket{{endpoint=\"query\",le=\"{}\"}}",
+                1u64 << i
+            )) {
+                assert!(*v >= last, "bucket {i} decreased");
+                last = *v;
+            }
+        }
+        assert!(text.contains("# TYPE trips_latency_us histogram"));
+        assert!(text.contains("# HELP trips_requests_total total requests"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter("trips_weird_total", "weird", &[("path", "a\"b\\c\nd")])
+            .inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains(r#"path="a\"b\\c\nd""#), "{text}");
+        validate_exposition(&text).expect("escaped output still parses");
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate_exposition("not a metric line at all{").is_err());
+        assert!(validate_exposition("name_only_no_value").is_err());
+        assert!(validate_exposition("9starts_with_digit 1").is_err());
+        assert!(validate_exposition("ok_metric nanvalue_x").is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Request-path tracing: span records, per-shard rings, and the slow-log.
+//!
+//! A [`SpanRecord`] is one request's walk through the serving pipeline,
+//! with a monotonic-clock duration per [`STAGES`] stage. The serving
+//! layer stamps stages as the request moves (loop shard → queue → worker
+//! → loop shard) and submits the finished span to its loop shard's
+//! [`TraceRing`] — a fixed-size overwrite-oldest buffer, so tracing
+//! memory is constant no matter the request rate. Spans whose total
+//! meets the [`SlowLog`] threshold are additionally promoted (cloned)
+//! into the slow-log, the retrievable evidence trail for "why was that
+//! request slow" (`TraceDump` / `SlowLog` admin endpoints).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pipeline stage names, in request order. `stages_us` in a
+/// [`SpanRecord`] is parallel to this array.
+///
+/// * `accept` — connection accepted → adopted by its loop shard
+///   (amortized: non-zero only on a connection's first request).
+/// * `loop_ready` — readiness wakeup → request parsed off the socket
+///   (read + frame decode on the loop shard).
+/// * `queue_wait` — parsed → dequeued by a worker.
+/// * `decode` — worker-side execution outside the lock/store/rule
+///   sections (batch grouping, translation, response encoding).
+/// * `translator_lock` — waiting on the device-shard translator lock.
+/// * `store_publish` — inside the store: shard-lock wait + apply + WAL
+///   append.
+/// * `rule_eval` — standing-rule evaluation + alert sink delivery.
+/// * `reply_write` — completion adopted by the loop shard → response
+///   bytes written to the socket.
+pub const STAGES: [&str; 8] = [
+    "accept",
+    "loop_ready",
+    "queue_wait",
+    "decode",
+    "translator_lock",
+    "store_publish",
+    "rule_eval",
+    "reply_write",
+];
+
+/// Number of pipeline stages (the length of [`STAGES`]).
+pub const STAGE_COUNT: usize = STAGES.len();
+
+/// One traced request: identity, stage timings, total.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Server-wide request ordinal.
+    pub id: u64,
+    /// Connection token the request arrived on.
+    pub conn: u64,
+    /// Loop shard that served the connection.
+    pub shard: usize,
+    /// Endpoint family (`ingest` / `query` / `admin`).
+    pub endpoint: String,
+    /// Request kind (`Ingest`, `Query`, …).
+    pub kind: String,
+    /// Wall-clock ms when the span completed (for correlating with logs;
+    /// stage math uses the monotonic clock only).
+    pub unix_ms: i64,
+    /// Total latency, parse → reply written, in microseconds.
+    pub total_us: u64,
+    /// Per-stage microseconds, parallel to [`STAGES`]. Always
+    /// [`STAGE_COUNT`] entries — stages a request skips read 0, so every
+    /// span tree shows the full pipeline.
+    pub stages_us: Vec<u64>,
+}
+
+impl SpanRecord {
+    /// The duration of a stage by name, if the name is known.
+    pub fn stage_us(&self, name: &str) -> Option<u64> {
+        STAGES
+            .iter()
+            .position(|s| *s == name)
+            .and_then(|i| self.stages_us.get(i).copied())
+    }
+
+    /// `(stage, µs)` pairs in pipeline order.
+    pub fn stage_pairs(&self) -> Vec<(&'static str, u64)> {
+        STAGES
+            .iter()
+            .copied()
+            .zip(self.stages_us.iter().copied())
+            .collect()
+    }
+}
+
+/// A fixed-capacity overwrite-oldest span buffer. One per loop shard:
+/// the owning shard pushes every completed span; `TraceDump` snapshots
+/// across all shards. The mutex is per-shard (push and snapshot touch
+/// one shard's ring), never global.
+pub struct TraceRing {
+    slots: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+impl TraceRing {
+    /// `capacity` is clamped to at least 1.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            slots: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a span, evicting the oldest when full.
+    pub fn push(&self, span: SpanRecord) {
+        let mut slots = self.slots.lock();
+        if slots.len() == self.capacity {
+            slots.pop_front();
+        }
+        slots.push_back(span);
+    }
+
+    /// Spans currently held, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.slots.lock().iter().cloned().collect()
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+}
+
+/// The promoted-span log: spans whose total meets the threshold are
+/// cloned here, newest kept, capped. Threshold 0 promotes everything
+/// (the "trace one request end-to-end" switch).
+pub struct SlowLog {
+    entries: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+    threshold_us: AtomicU64,
+    /// Spans evicted to make room — how much history the cap cost.
+    evicted: AtomicU64,
+}
+
+impl SlowLog {
+    pub fn new(capacity: usize, threshold_us: u64) -> Self {
+        SlowLog {
+            entries: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            threshold_us: AtomicU64::new(threshold_us),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    pub fn set_threshold_us(&self, us: u64) {
+        self.threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Promotes `span` if it meets the threshold; returns whether it was
+    /// promoted.
+    pub fn offer(&self, span: &SpanRecord) -> bool {
+        if span.total_us < self.threshold_us() {
+            return false;
+        }
+        let mut entries = self.entries.lock();
+        if entries.len() == self.capacity {
+            entries.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push_back(span.clone());
+        true
+    }
+
+    /// Up to `limit` most recent promoted spans, oldest of those first
+    /// (`limit` 0 = all).
+    pub fn snapshot(&self, limit: usize) -> Vec<SpanRecord> {
+        let entries = self.entries.lock();
+        let take = if limit == 0 {
+            entries.len()
+        } else {
+            limit.min(entries.len())
+        };
+        entries.iter().skip(entries.len() - take).cloned().collect()
+    }
+
+    /// Promoted spans evicted by the cap so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Drops every promoted span (the eviction counter survives).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, total_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            conn: 1,
+            shard: 0,
+            endpoint: "ingest".into(),
+            kind: "Ingest".into(),
+            unix_ms: 0,
+            total_us,
+            stages_us: vec![0; STAGE_COUNT],
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.push(span(i, 10));
+        }
+        let ids: Vec<u64> = ring.snapshot().iter().map(|s| s.id).collect();
+        assert_eq!(ids, [2, 3, 4]);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn slow_log_threshold_and_cap() {
+        let log = SlowLog::new(2, 100);
+        assert!(!log.offer(&span(1, 99)), "under threshold");
+        assert!(log.offer(&span(2, 100)), "at threshold");
+        assert!(log.offer(&span(3, 500)));
+        assert!(log.offer(&span(4, 500)));
+        assert_eq!(log.evicted(), 1, "cap evicted one");
+        let ids: Vec<u64> = log.snapshot(0).iter().map(|s| s.id).collect();
+        assert_eq!(ids, [3, 4]);
+        let ids: Vec<u64> = log.snapshot(1).iter().map(|s| s.id).collect();
+        assert_eq!(ids, [4], "limit keeps the most recent");
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn threshold_zero_promotes_everything() {
+        let log = SlowLog::new(8, 0);
+        assert!(log.offer(&span(1, 0)));
+    }
+
+    #[test]
+    fn span_stage_lookup_and_serde_roundtrip() {
+        let mut s = span(7, 1234);
+        s.stages_us[2] = 55; // queue_wait
+        assert_eq!(s.stage_us("queue_wait"), Some(55));
+        assert_eq!(s.stage_us("nonsense"), None);
+        assert_eq!(s.stage_pairs().len(), STAGE_COUNT);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SpanRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

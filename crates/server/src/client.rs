@@ -40,7 +40,12 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use trips_data::RawRecord;
+use trips_obs::SpanRecord;
 use trips_store::{Alert, Query, QueryRequest, QueryResult, RuleTrace, SemanticsSelector};
+
+/// What [`Client::slow_log`] returns on success:
+/// `(threshold_us, evicted, spans)`.
+pub type SlowLogPayload = (u64, u64, Vec<SpanRecord>);
 
 /// The typed source of the `BrokenPipe` error every call on a poisoned
 /// [`Client`] returns. Downcast to distinguish "this connection died
@@ -318,6 +323,55 @@ impl Client {
     /// Metrics probe.
     pub fn metrics(&mut self) -> io::Result<Response> {
         self.call(Request::Metrics)
+    }
+
+    /// The server's metric registry in Prometheus text format — the same
+    /// payload the standalone HTTP `/metrics` listener serves.
+    pub fn metrics_prom(&mut self) -> io::Result<Result<String, ServerError>> {
+        match self.call(Request::MetricsProm)? {
+            Response::MetricsProm { text } => Ok(Ok(text)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected prometheus metrics response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Recent request-path span trees from every event-loop shard's trace
+    /// ring, oldest first (the newest `limit` when set).
+    pub fn trace_dump(
+        &mut self,
+        limit: Option<usize>,
+    ) -> io::Result<Result<Vec<SpanRecord>, ServerError>> {
+        match self.call(Request::TraceDump { limit })? {
+            Response::Traces { spans } => Ok(Ok(spans)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected trace response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// The slow-request log: `(threshold_us, evicted, spans)`, newest
+    /// first.
+    pub fn slow_log(
+        &mut self,
+        limit: Option<usize>,
+    ) -> io::Result<Result<SlowLogPayload, ServerError>> {
+        match self.call(Request::SlowLog { limit })? {
+            Response::SlowLog {
+                threshold_us,
+                evicted,
+                spans,
+            } => Ok(Ok((threshold_us, evicted, spans))),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected slow-log response, got {other:?}"),
+            )),
+        }
     }
 
     /// Flushes all buffers server-side and persists a snapshot. On a

@@ -145,6 +145,9 @@ mod req_tag {
     pub const SUBSCRIBE: u8 = 8;
     pub const UNSUBSCRIBE: u8 = 9;
     pub const LIST_RULES: u8 = 10;
+    pub const METRICS_PROM: u8 = 11;
+    pub const TRACE_DUMP: u8 = 12;
+    pub const SLOW_LOG: u8 = 13;
 }
 
 mod resp_tag {
@@ -161,6 +164,9 @@ mod resp_tag {
     pub const UNSUBSCRIBED: u8 = 10;
     pub const RULES: u8 = 11;
     pub const ALERT: u8 = 12;
+    pub const METRICS_PROM: u8 = 13;
+    pub const TRACES: u8 = 14;
+    pub const SLOW_LOG: u8 = 15;
 }
 
 mod query_tag {
@@ -493,6 +499,27 @@ fn encode_request_payload(env: &RequestEnvelope) -> Vec<u8> {
             b.u64(*rule_id);
         }
         Request::ListRules => b.u8(req_tag::LIST_RULES),
+        Request::MetricsProm => b.u8(req_tag::METRICS_PROM),
+        Request::TraceDump { limit } => {
+            b.u8(req_tag::TRACE_DUMP);
+            match limit {
+                None => b.u8(0),
+                Some(n) => {
+                    b.u8(1);
+                    b.u64(*n as u64);
+                }
+            }
+        }
+        Request::SlowLog { limit } => {
+            b.u8(req_tag::SLOW_LOG);
+            match limit {
+                None => b.u8(0),
+                Some(n) => {
+                    b.u8(1);
+                    b.u64(*n as u64);
+                }
+            }
+        }
     }
     b.out
 }
@@ -540,6 +567,23 @@ fn decode_request_payload_inner(r: &mut Reader) -> DecodeResult<Request> {
         req_tag::SUBSCRIBE => Request::Subscribe { tql: r.str()? },
         req_tag::UNSUBSCRIBE => Request::Unsubscribe { rule_id: r.u64()? },
         req_tag::LIST_RULES => Request::ListRules,
+        req_tag::METRICS_PROM => Request::MetricsProm,
+        req_tag::TRACE_DUMP => {
+            let limit = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()? as usize),
+                other => return Err(format!("bad trace-dump limit flag {other}")),
+            };
+            Request::TraceDump { limit }
+        }
+        req_tag::SLOW_LOG => {
+            let limit = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()? as usize),
+                other => return Err(format!("bad slow-log limit flag {other}")),
+            };
+            Request::SlowLog { limit }
+        }
         other => return Err(format!("unknown request tag {other}")),
     };
     r.done()?;
@@ -897,6 +941,27 @@ fn encode_response_payload(env: &ResponseEnvelope) -> Vec<u8> {
             b.u8(resp_tag::ALERT);
             b.str(&serde_json::to_string(alert).expect("alerts always serialize"));
         }
+        // Prometheus text is already a serialized document; span dumps are
+        // cold admin reads whose schema (like the reports above) grows —
+        // both ride as embedded strings/JSON.
+        Response::MetricsProm { text } => {
+            b.u8(resp_tag::METRICS_PROM);
+            b.str(text);
+        }
+        Response::Traces { spans } => {
+            b.u8(resp_tag::TRACES);
+            b.str(&serde_json::to_string(spans).expect("span records always serialize"));
+        }
+        Response::SlowLog {
+            threshold_us,
+            evicted,
+            spans,
+        } => {
+            b.u8(resp_tag::SLOW_LOG);
+            b.u64(*threshold_us);
+            b.u64(*evicted);
+            b.str(&serde_json::to_string(spans).expect("span records always serialize"));
+        }
         Response::Error(err) => {
             b.u8(resp_tag::ERROR);
             encode_error(&mut b, err);
@@ -965,6 +1030,25 @@ fn decode_response_payload_inner(r: &mut Reader) -> DecodeResult<Response> {
             let alert: Alert =
                 serde_json::from_str(&json).map_err(|e| format!("embedded alert: {e}"))?;
             Response::Alert(alert)
+        }
+        resp_tag::METRICS_PROM => Response::MetricsProm { text: r.str()? },
+        resp_tag::TRACES => {
+            let json = r.str()?;
+            let spans: Vec<trips_obs::SpanRecord> =
+                serde_json::from_str(&json).map_err(|e| format!("embedded span records: {e}"))?;
+            Response::Traces { spans }
+        }
+        resp_tag::SLOW_LOG => {
+            let threshold_us = r.u64()?;
+            let evicted = r.u64()?;
+            let json = r.str()?;
+            let spans: Vec<trips_obs::SpanRecord> =
+                serde_json::from_str(&json).map_err(|e| format!("embedded span records: {e}"))?;
+            Response::SlowLog {
+                threshold_us,
+                evicted,
+                spans,
+            }
         }
         resp_tag::ERROR => Response::Error(decode_error(r)?),
         other => return Err(format!("unknown response tag {other}")),
@@ -1098,6 +1182,11 @@ mod tests {
         });
         roundtrip_request(Request::Unsubscribe { rule_id: 3 });
         roundtrip_request(Request::ListRules);
+        roundtrip_request(Request::MetricsProm);
+        roundtrip_request(Request::TraceDump { limit: None });
+        roundtrip_request(Request::TraceDump { limit: Some(32) });
+        roundtrip_request(Request::SlowLog { limit: None });
+        roundtrip_request(Request::SlowLog { limit: Some(8) });
     }
 
     #[test]
@@ -1197,6 +1286,8 @@ mod tests {
                 bytes: 4096,
                 records_since_checkpoint: 17,
                 last_checkpoint_age_ms: Some(1500),
+                fsyncs: 6,
+                rotations: 1,
             }),
         }));
         roundtrip_response(Response::Metrics(MetricsReport {
@@ -1250,7 +1341,31 @@ mod tests {
             }],
             alerts_delivered: 2,
             alerts_dropped: 1,
+            slow_requests: 1,
+            store_lock_contention: 4,
+            rule_evals: 40,
+            rule_fires: 2,
         }));
+        roundtrip_response(Response::MetricsProm {
+            text: "# TYPE trips_requests_total counter\ntrips_requests_total 100\n".into(),
+        });
+        roundtrip_response(Response::Traces {
+            spans: vec![trips_obs::SpanRecord {
+                id: 11,
+                conn: 3,
+                shard: 1,
+                endpoint: "query".into(),
+                kind: "Query".into(),
+                unix_ms: 1_700_000_000_123,
+                total_us: 250,
+                stages_us: vec![0, 1, 2, 3, 4, 5, 6, 7],
+            }],
+        });
+        roundtrip_response(Response::SlowLog {
+            threshold_us: 1_000,
+            evicted: 2,
+            spans: vec![],
+        });
         roundtrip_response(Response::SnapshotSaved {
             path: "snaps/mall.json".into(),
             devices: 12,

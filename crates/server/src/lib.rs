@@ -53,7 +53,7 @@ pub mod queue;
 pub mod server;
 
 pub use bootstrap::{bootstrap_scenario, editor_from_truth, ServerBootstrap};
-pub use client::{Client, ClientPoisoned};
+pub use client::{Client, ClientPoisoned, SlowLogPayload};
 pub use codec::{
     decode_request_frame, decode_response_frame, encode_request_frame, encode_response_frame,
     FrameError, FRAME_MAGIC, MAX_FRAME_PAYLOAD,
@@ -65,4 +65,7 @@ pub use protocol::{
     ResponseEnvelope, ServerError, PROTOCOL_V2, PROTOCOL_VERSION,
 };
 pub use queue::{BoundedQueue, PushError};
-pub use server::{ServerConfig, ServerHandle, ServerReport, TripsServer};
+pub use server::{
+    ServerConfig, ServerHandle, ServerReport, TripsServer, DEFAULT_SLOW_LOG,
+    DEFAULT_SLOW_THRESHOLD_US, DEFAULT_TRACE_RING,
+};

@@ -32,6 +32,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use trips_data::RawRecord;
+use trips_obs::SpanRecord;
 use trips_store::{Alert, QueryRequest, QueryResult, RuleTrace, StoreHealth, WalStats};
 
 /// The NDJSON protocol version. An NDJSON envelope with any other `v` is
@@ -85,6 +86,16 @@ pub enum Request {
     /// Per-rule execution traces for every registered rule (all
     /// connections), priority-ordered. Answered inline.
     ListRules,
+    /// The full metric registry rendered in Prometheus text exposition
+    /// format — the same payload the standalone HTTP `/metrics` listener
+    /// serves, over the native protocol. Answered inline.
+    MetricsProm,
+    /// Recent request-path span trees from every event-loop shard's trace
+    /// ring, oldest first (the newest `limit` when set). Answered inline.
+    TraceDump { limit: Option<usize> },
+    /// The slow-request log: span trees whose end-to-end latency crossed
+    /// the configured slow threshold, newest first. Answered inline.
+    SlowLog { limit: Option<usize> },
 }
 
 impl Request {
@@ -94,6 +105,26 @@ impl Request {
             Request::Ingest { .. } | Request::Flush { .. } => "ingest",
             Request::Query { .. } => "query",
             _ => "admin",
+        }
+    }
+
+    /// The variant name, for span/trace labeling.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "Ping",
+            Request::Ingest { .. } => "Ingest",
+            Request::Flush { .. } => "Flush",
+            Request::Query { .. } => "Query",
+            Request::Health => "Health",
+            Request::Metrics => "Metrics",
+            Request::Snapshot { .. } => "Snapshot",
+            Request::Shutdown => "Shutdown",
+            Request::Subscribe { .. } => "Subscribe",
+            Request::Unsubscribe { .. } => "Unsubscribe",
+            Request::ListRules => "ListRules",
+            Request::MetricsProm => "MetricsProm",
+            Request::TraceDump { .. } => "TraceDump",
+            Request::SlowLog { .. } => "SlowLog",
         }
     }
 }
@@ -141,6 +172,23 @@ pub enum Response {
     /// Answer to [`Request::ListRules`].
     Rules {
         rules: Vec<RuleTrace>,
+    },
+    /// Answer to [`Request::MetricsProm`]: the Prometheus text exposition.
+    MetricsProm {
+        text: String,
+    },
+    /// Answer to [`Request::TraceDump`].
+    Traces {
+        spans: Vec<SpanRecord>,
+    },
+    /// Answer to [`Request::SlowLog`].
+    SlowLog {
+        /// The active promotion threshold in microseconds.
+        threshold_us: u64,
+        /// Slow spans evicted from the log since startup (capacity
+        /// pressure; raise the slow-log capacity or the threshold).
+        evicted: u64,
+        spans: Vec<SpanRecord>,
     },
     /// An unsolicited push: a standing rule subscribed on this connection
     /// fired. Always delivered with correlation id 0 — clients must treat
@@ -249,6 +297,12 @@ pub struct LoopShardMetrics {
 }
 
 /// Metrics endpoint payload.
+///
+/// Fields added after protocol v1 carry `#[serde(default)]` so a report
+/// emitted by an older server (or a future one with fields this build does
+/// not know — unknown keys are ignored on decode) still parses. The core
+/// v1 fields stay required: their absence means a different document, not
+/// an older peer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsReport {
     pub uptime_ms: u64,
@@ -266,34 +320,59 @@ pub struct MetricsReport {
     /// Queued `Ingest` jobs a worker executed piggybacked under another
     /// job's translator-lock acquisition (adaptive micro-batching; see
     /// the server docs). 0 means the queue never had adjacent ingests.
+    #[serde(default)]
     pub ingest_coalesced: u64,
     /// Resident set size of the serving process in KiB (Linux
     /// `/proc/self/statm`; `None` where that is unavailable). The
     /// connection-scaling gate watches this for flat memory.
+    #[serde(default)]
     pub rss_kb: Option<u64>,
     /// The readiness backend the event loops run on (`"epoll"`/`"poll"`).
+    #[serde(default)]
     pub event_backend: String,
     /// One entry per event-loop shard.
+    #[serde(default)]
     pub loop_shards: Vec<LoopShardMetrics>,
     /// Number of translator-lock shards (FNV device-hash partitioned,
     /// aligned with the store's shard hash).
+    #[serde(default)]
     pub translator_shards: usize,
     /// Times a worker found its translator shard's lock held and had to
     /// wait. High values relative to `requests` mean devices are hashing
     /// into too few shards (or one device dominates the stream).
+    #[serde(default)]
     pub translator_lock_contention: u64,
     pub endpoints: Vec<EndpointMetrics>,
     /// WAL occupancy; `None` without a durability layer. Tracks the
     /// durability overhead the perf trajectory must watch: segment
     /// growth between checkpoints and how stale the last checkpoint is.
+    #[serde(default)]
     pub wal: Option<WalStats>,
     /// Per-rule execution traces (priority-ordered), covering every
     /// standing rule registered via [`Request::Subscribe`].
+    #[serde(default)]
     pub rules: Vec<RuleTrace>,
     /// Alerts accepted by subscriber connections' write buffers.
+    #[serde(default)]
     pub alerts_delivered: u64,
     /// Alerts dropped (subscriber buffer over its cap or connection gone).
+    #[serde(default)]
     pub alerts_dropped: u64,
+    /// Requests whose span crossed the slow threshold and were promoted
+    /// into the slow-log.
+    #[serde(default)]
+    pub slow_requests: u64,
+    /// Times an ingest found its store shard's write lock contended
+    /// (store-side counter; the per-wait time lands in the
+    /// `store_publish` span stage).
+    #[serde(default)]
+    pub store_lock_contention: u64,
+    /// Standing-rule condition evaluations across all rules.
+    #[serde(default)]
+    pub rule_evals: u64,
+    /// Standing-rule fires across all rules.
+    #[serde(default)]
+    pub rule_fires: u64,
 }
 
 /// A request plus version + correlation id — one line on the wire.
@@ -427,6 +506,10 @@ mod tests {
             },
             Request::Unsubscribe { rule_id: 7 },
             Request::ListRules,
+            Request::MetricsProm,
+            Request::TraceDump { limit: Some(16) },
+            Request::TraceDump { limit: None },
+            Request::SlowLog { limit: None },
         ];
         for (i, req) in requests.into_iter().enumerate() {
             let env = RequestEnvelope::new(i as u64, req);
@@ -466,6 +549,8 @@ mod tests {
                     bytes: 4096,
                     records_since_checkpoint: 17,
                     last_checkpoint_age_ms: Some(1500),
+                    fsyncs: 9,
+                    rotations: 1,
                 }),
             }),
             Response::Metrics(MetricsReport {
@@ -503,6 +588,8 @@ mod tests {
                     bytes: 16,
                     records_since_checkpoint: 0,
                     last_checkpoint_age_ms: None,
+                    fsyncs: 3,
+                    rotations: 0,
                 }),
                 rules: vec![RuleTrace {
                     id: 1,
@@ -516,6 +603,10 @@ mod tests {
                 }],
                 alerts_delivered: 3,
                 alerts_dropped: 0,
+                slow_requests: 2,
+                store_lock_contention: 1,
+                rule_evals: 120,
+                rule_fires: 3,
             }),
             Response::SnapshotSaved {
                 path: "/tmp/snap.json".into(),
@@ -539,6 +630,26 @@ mod tests {
                     last_eval_ms: None,
                     last_fire_ms: None,
                 }],
+            },
+            Response::MetricsProm {
+                text: "# TYPE trips_requests_total counter\ntrips_requests_total 5\n".into(),
+            },
+            Response::Traces {
+                spans: vec![SpanRecord {
+                    id: 7,
+                    conn: 2,
+                    shard: 0,
+                    endpoint: "ingest".into(),
+                    kind: "Ingest".into(),
+                    unix_ms: 1_700_000_000_000,
+                    total_us: 850,
+                    stages_us: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                }],
+            },
+            Response::SlowLog {
+                threshold_us: 500,
+                evicted: 0,
+                spans: vec![],
             },
             Response::Alert(Alert {
                 rule_id: 3,
@@ -615,6 +726,73 @@ mod tests {
         }
     }
 
+    /// A v1-era client must parse a metrics report from a *newer* server:
+    /// unknown keys are ignored, and fields the older wire shape omits
+    /// fall back to their defaults instead of failing the decode.
+    #[test]
+    fn metrics_report_is_forward_compatible() {
+        // A newer server's report with a field this build has never
+        // heard of: decoding ignores it.
+        let env = ResponseEnvelope::new(
+            3,
+            Response::Metrics(MetricsReport {
+                uptime_ms: 9,
+                connections_accepted: 1,
+                connections_rejected: 0,
+                active_connections: 1,
+                requests: 4,
+                shed: 0,
+                bad_requests: 0,
+                queue_capacity: 64,
+                peak_queue_depth: 1,
+                ingest_coalesced: 0,
+                rss_kb: None,
+                event_backend: "poll".into(),
+                loop_shards: vec![],
+                translator_shards: 8,
+                translator_lock_contention: 0,
+                endpoints: vec![],
+                wal: None,
+                rules: vec![],
+                alerts_delivered: 0,
+                alerts_dropped: 0,
+                slow_requests: 0,
+                store_lock_contention: 0,
+                rule_evals: 0,
+                rule_fires: 0,
+            }),
+        );
+        let line = encode_response(&env);
+        let with_unknown = line.replacen(
+            "\"uptime_ms\":",
+            "\"metric_from_the_future\":{\"nested\":[1,2]},\"uptime_ms\":",
+            1,
+        );
+        assert_ne!(line, with_unknown, "injection must have happened");
+        let back = decode_response(&with_unknown).unwrap();
+        assert_eq!(back, env, "unknown fields are ignored");
+
+        // An *older* server's report omitting every post-v1 field still
+        // parses; the omitted fields take their defaults.
+        let v1_line = r#"{"v":1,"id":3,"resp":{"Metrics":{
+            "uptime_ms":9,"connections_accepted":1,"connections_rejected":0,
+            "active_connections":1,"requests":4,"shed":0,"bad_requests":0,
+            "queue_capacity":64,"peak_queue_depth":1,"endpoints":[]}}}"#
+            .replace('\n', "");
+        let back = decode_response(&v1_line).unwrap();
+        match back.resp {
+            Response::Metrics(report) => {
+                assert_eq!(report.requests, 4);
+                assert_eq!(report.event_backend, "");
+                assert_eq!(report.rss_kb, None);
+                assert!(report.loop_shards.is_empty());
+                assert_eq!(report.rule_evals, 0);
+                assert_eq!(report.store_lock_contention, 0);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
     #[test]
     fn endpoint_families() {
         assert_eq!(Request::Ping.endpoint(), "admin");
@@ -626,6 +804,9 @@ mod tests {
             "admin"
         );
         assert_eq!(Request::Unsubscribe { rule_id: 1 }.endpoint(), "admin");
+        assert_eq!(Request::MetricsProm.endpoint(), "admin");
+        assert_eq!(Request::TraceDump { limit: None }.endpoint(), "admin");
+        assert_eq!(Request::SlowLog { limit: None }.endpoint(), "admin");
         assert_eq!(Request::Ingest { records: vec![] }.endpoint(), "ingest");
         assert_eq!(Request::Flush { device: None }.endpoint(), "ingest");
         assert_eq!(

@@ -115,7 +115,7 @@ use trips_annotate::EventEditor;
 use trips_core::stream::{StreamConfig, StreamingTranslator};
 use trips_data::DeviceId;
 use trips_dsm::DigitalSpaceModel;
-use trips_engine::LatencyRecorder;
+use trips_obs::{stage, Histogram, Registry, SlowLog, SpanRecord, TraceRing, STAGE_COUNT};
 use trips_store::{boot_store, DurabilityConfig, QueryService, RecoveryReport, SemanticsStore};
 
 /// Longest accepted NDJSON request line; a connection exceeding it without
@@ -148,6 +148,36 @@ const ALERT_BUF_MAX: usize = 4 * 1024 * 1024;
 
 /// How long the acceptor sleeps in `poll` between drain-flag checks.
 const ACCEPT_POLL_MS: i32 = 25;
+
+/// Default slow-request promotion threshold
+/// ([`ServerConfig::slow_threshold_us`]): a request slower than this end
+/// to end is promoted into the slow-log.
+pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 100_000;
+
+/// Default per-loop-shard trace-ring capacity ([`ServerConfig::trace_ring`]).
+pub const DEFAULT_TRACE_RING: usize = 256;
+
+/// Default slow-log capacity ([`ServerConfig::slow_log`]).
+pub const DEFAULT_SLOW_LOG: usize = 128;
+
+/// Longest HTTP request head the `/metrics` responder reads before
+/// answering; scrapers send far less.
+const MAX_HTTP_HEAD: usize = 8 * 1024;
+
+// Indices into a span's `stages_us`, parallel to [`trips_obs::STAGES`].
+const ST_ACCEPT: usize = 0;
+const ST_LOOP_READY: usize = 1;
+const ST_QUEUE_WAIT: usize = 2;
+const ST_DECODE: usize = 3;
+const ST_TRANSLATOR_LOCK: usize = 4;
+const ST_STORE_PUBLISH: usize = 5;
+const ST_RULE_EVAL: usize = 6;
+const ST_REPLY_WRITE: usize = 7;
+
+const _: () = assert!(
+    ST_REPLY_WRITE + 1 == STAGE_COUNT,
+    "stage indices track STAGES"
+);
 
 /// The registration token reserved for each shard's waker fd.
 const WAKER_TOKEN: u64 = u64::MAX;
@@ -206,6 +236,22 @@ pub struct ServerConfig {
     /// (`0` = [`trips_store::DEFAULT_RULE_LIMIT`]). Registrations beyond
     /// it are refused with `BadRequest`.
     pub max_rules: usize,
+    /// Bind a standalone HTTP/1.0 `GET /metrics` responder (Prometheus
+    /// text exposition) on this address; `None` (the default) serves the
+    /// exposition only over the native protocol (`MetricsProm`).
+    pub metrics_addr: Option<String>,
+    /// Master observability switch ([`trips_obs::set_enabled`], set at
+    /// `serve` start). Off, instrumented paths skip their clock reads and
+    /// span capture; metric handles keep working and render zeros.
+    pub obs: bool,
+    /// End-to-end latency (µs) at or above which a request's span tree is
+    /// promoted into the slow-log. `0` promotes every request (the
+    /// trace-one-request switch).
+    pub slow_threshold_us: u64,
+    /// Per-loop-shard trace-ring capacity (`0` = [`DEFAULT_TRACE_RING`]).
+    pub trace_ring: usize,
+    /// Slow-log capacity (`0` = [`DEFAULT_SLOW_LOG`]).
+    pub slow_log: usize,
 }
 
 impl Default for ServerConfig {
@@ -228,6 +274,11 @@ impl Default for ServerConfig {
             durability: None,
             poll_interval: Duration::from_millis(10),
             max_rules: 0,
+            metrics_addr: None,
+            obs: true,
+            slow_threshold_us: DEFAULT_SLOW_THRESHOLD_US,
+            trace_ring: 0,
+            slow_log: 0,
         }
     }
 }
@@ -305,6 +356,36 @@ struct WorkJob {
     /// Snapshot of the session's devices at submit time, the scope of a
     /// `Flush { device: None }`.
     session_devices: Vec<DeviceId>,
+    /// Span capture started on the loop shard (`None` when observability
+    /// is off); completed by the worker, finished at reply write.
+    span: Option<SpanStart>,
+}
+
+/// The loop-shard half of a request span: timestamps taken before the job
+/// enters the queue.
+struct SpanStart {
+    /// Server-wide request ordinal (the span's id).
+    seq: u64,
+    /// Parse completion — the span's epoch; total latency is measured
+    /// from here.
+    t0: Instant,
+    /// Queue submit time (`queue_wait` = worker pop − this).
+    submitted: Instant,
+    /// Acceptor hand-off → loop-shard adoption, µs (a connection's first
+    /// request only — the cost is paid once).
+    accept_us: u64,
+    /// Readiness wakeup → request parsed, µs.
+    loop_ready_us: u64,
+}
+
+/// A span the worker finished executing, riding its [`Done`] back to the
+/// loop shard, which stamps `reply_write` and the total and publishes it.
+struct PendingSpan {
+    /// The span's epoch (copied from [`SpanStart::t0`]).
+    t0: Instant,
+    /// All stages filled except `reply_write`; `total_us`/`unix_ms` still
+    /// zero.
+    record: SpanRecord,
 }
 
 /// A finished job: pre-encoded response bytes headed for one connection.
@@ -318,96 +399,38 @@ struct Done {
     /// them, so applying one must not clear the connection's `inflight`
     /// flag, and they may be dropped under write-buffer backpressure.
     unsolicited: bool,
+    /// The request's span, if one is being captured.
+    span: Option<PendingSpan>,
 }
 
-/// Reservoir size per endpoint family — bounds metrics memory for a
-/// long-running server (the admission queue bounds in-flight work; this
-/// bounds observability state).
-const LATENCY_RESERVOIR: usize = 16 * 1024;
-
-/// Bounded per-endpoint latency accounting: exact count / mean / max over
-/// the server's lifetime, percentiles over a uniform reservoir sample
-/// (Vitter's Algorithm R with a deterministic LCG), so memory and the
-/// `Metrics` sort cost stay O(reservoir) no matter how many requests the
-/// server has served.
-#[derive(Clone)]
-struct EndpointRecorder {
-    capacity: usize,
-    total: u64,
-    sum_ns: u128,
-    max_ns: u64,
-    reservoir: Vec<u64>,
-    lcg: u64,
+/// Wall-clock milliseconds since the Unix epoch (span correlation only —
+/// all stage math uses the monotonic clock).
+fn unix_ms_now() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0)
 }
 
-/// Maps a 53-bit uniform value onto `[0, total)` without modulo bias
-/// (multiply-shift; the remainder trick over-weights small slots whenever
-/// `total` does not divide 2^53).
-fn uniform_slot(r53: u64, total: u64) -> u64 {
-    debug_assert!(r53 < (1 << 53));
-    ((u128::from(r53) * u128::from(total)) >> 53) as u64
-}
-
-impl EndpointRecorder {
-    fn new() -> Self {
-        Self::with_capacity(LATENCY_RESERVOIR)
-    }
-
-    fn with_capacity(capacity: usize) -> Self {
-        EndpointRecorder {
-            capacity,
-            total: 0,
-            sum_ns: 0,
-            max_ns: 0,
-            reservoir: Vec::new(),
-            lcg: 0x5DEE_CE66_D1CE_4E5D,
-        }
-    }
-
-    fn record(&mut self, latency: Duration) {
-        let ns = latency.as_nanos() as u64;
-        self.total += 1;
-        self.sum_ns += u128::from(ns);
-        self.max_ns = self.max_ns.max(ns);
-        if self.reservoir.len() < self.capacity {
-            self.reservoir.push(ns);
+/// Per-endpoint-family [`EndpointMetrics`] from a merged histogram
+/// snapshot: exact count/mean/max, log-bucket-interpolated percentiles.
+/// Replaces the old mutex'd reservoir recorder — recording is now a few
+/// relaxed atomics on a per-thread stripe, and the same histograms render
+/// on the Prometheus scrape path.
+fn endpoint_metrics(endpoint: &str, hist: &Histogram, uptime: Duration) -> EndpointMetrics {
+    let snap = hist.snapshot();
+    EndpointMetrics {
+        endpoint: endpoint.to_string(),
+        count: snap.count as usize,
+        ops_per_sec: if uptime.is_zero() {
+            0.0
         } else {
-            // Algorithm R: replace a uniformly-chosen slot of [0, total)
-            // — sample survives with probability k/total.
-            self.lcg = self
-                .lcg
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let slot = uniform_slot(self.lcg >> 11, self.total) as usize;
-            if slot < self.capacity {
-                self.reservoir[slot] = ns;
-            }
-        }
-    }
-
-    fn metrics(&self, endpoint: &str, uptime: Duration) -> EndpointMetrics {
-        let mut percentiles = LatencyRecorder::new();
-        for &ns in &self.reservoir {
-            percentiles.record(Duration::from_nanos(ns));
-        }
-        let mean_ns = if self.total == 0 {
-            0
-        } else {
-            (self.sum_ns / u128::from(self.total)) as u64
-        };
-        EndpointMetrics {
-            endpoint: endpoint.to_string(),
-            count: self.total as usize,
-            ops_per_sec: if uptime.is_zero() {
-                0.0
-            } else {
-                self.total as f64 / uptime.as_secs_f64()
-            },
-            p50_us: percentiles.percentile(0.50).as_secs_f64() * 1e6,
-            p99_us: percentiles.percentile(0.99).as_secs_f64() * 1e6,
-            max_us: Duration::from_nanos(self.max_ns).as_secs_f64() * 1e6,
-            mean_us: Duration::from_nanos(mean_ns).as_secs_f64() * 1e6,
-        }
+            snap.count as f64 / uptime.as_secs_f64()
+        },
+        p50_us: snap.quantile_us(0.50) as f64,
+        p99_us: snap.quantile_us(0.99) as f64,
+        max_us: snap.max_us as f64,
+        mean_us: snap.mean_us() as f64,
     }
 }
 
@@ -426,8 +449,9 @@ struct ShardState {
     /// Finished jobs waiting for this shard's loop (paired with `waker`).
     completions: parking_lot::Mutex<Vec<Done>>,
     waker: Waker,
-    /// Accepted sockets dealt to this shard, not yet registered.
-    incoming: parking_lot::Mutex<Vec<TcpStream>>,
+    /// Accepted sockets dealt to this shard, not yet registered, with
+    /// their hand-off instants (the `accept` span stage).
+    incoming: parking_lot::Mutex<Vec<(TcpStream, Instant)>>,
     /// Times `waker` was signaled (completions + handoffs) — a proxy for
     /// how busy the shard's wake channel is.
     wakeups: AtomicU64,
@@ -468,10 +492,20 @@ struct Shared<'env> {
     shutdown: AtomicBool,
     active: AtomicUsize,
     started: Instant,
-    // Metrics: per-endpoint-family latency + scalar counters.
-    ingest_lat: parking_lot::Mutex<EndpointRecorder>,
-    query_lat: parking_lot::Mutex<EndpointRecorder>,
-    admin_lat: parking_lot::Mutex<EndpointRecorder>,
+    // Observability: the metric registry behind every scrape, the live
+    // per-endpoint latency histograms registered in it, per-loop-shard
+    // trace rings, and the slow-log. Recording never takes the registry
+    // lock — instruments are Arc'd atomics.
+    registry: Registry,
+    ingest_hist: Histogram,
+    query_hist: Histogram,
+    admin_hist: Histogram,
+    /// One trace ring per loop shard (indexed by shard id).
+    traces: Vec<TraceRing>,
+    slowlog: SlowLog,
+    /// Spans promoted into the slow-log (the `trips_slow_requests_total`
+    /// counter and `MetricsReport::slow_requests`).
+    slow_requests: AtomicU64,
     requests: AtomicU64,
     shed: AtomicU64,
     bad_requests: AtomicU64,
@@ -544,18 +578,312 @@ impl<'env> Shared<'env> {
             Some(guard) => guard,
             None => {
                 self.translator_contention.fetch_add(1, Ordering::Relaxed);
-                self.translators[shard].lock()
+                if trips_obs::enabled() {
+                    let t0 = Instant::now();
+                    let guard = self.translators[shard].lock();
+                    stage::add_translator_lock_ns(t0.elapsed().as_nanos() as u64);
+                    guard
+                } else {
+                    self.translators[shard].lock()
+                }
             }
         }
     }
 
     fn record(&self, endpoint: &str, latency: Duration) {
-        let recorder = match endpoint {
-            "ingest" => &self.ingest_lat,
-            "query" => &self.query_lat,
-            _ => &self.admin_lat,
+        let hist = match endpoint {
+            "ingest" => &self.ingest_hist,
+            "query" => &self.query_hist,
+            _ => &self.admin_hist,
         };
-        recorder.lock().record(latency);
+        hist.observe(latency);
+    }
+
+    /// Publishes a completed span: offered to the slow-log first (so the
+    /// promotion counter is exact), then pushed into its loop shard's
+    /// trace ring.
+    fn finish_span(&self, shard: usize, record: SpanRecord) {
+        if self.slowlog.offer(&record) {
+            self.slow_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        self.traces[shard].push(record);
+    }
+
+    /// Records a span for a request answered inline on its loop shard:
+    /// the whole execution counts as `decode` (no queue, no worker).
+    #[allow(clippy::too_many_arguments)]
+    fn admin_span(
+        &self,
+        shard: usize,
+        token: u64,
+        seq: u64,
+        kind: &'static str,
+        t0: Instant,
+        accept_us: u64,
+        loop_ready_us: u64,
+    ) {
+        if !trips_obs::enabled() {
+            return;
+        }
+        let total_us = t0.elapsed().as_micros() as u64;
+        let mut stages_us = vec![0u64; STAGE_COUNT];
+        stages_us[ST_ACCEPT] = accept_us;
+        stages_us[ST_LOOP_READY] = loop_ready_us;
+        stages_us[ST_DECODE] = total_us;
+        self.finish_span(
+            shard,
+            SpanRecord {
+                id: seq,
+                conn: token,
+                shard,
+                endpoint: "admin".to_string(),
+                kind: kind.to_string(),
+                unix_ms: unix_ms_now(),
+                total_us,
+                stages_us,
+            },
+        );
+    }
+
+    /// Completes the worker-side stages of a span: queue wait from the
+    /// carried timestamps, lock/store/rule attribution from the
+    /// thread-local [`stage`] accumulators (read-and-reset — everything
+    /// since the previous take belongs to this job), the unattributed
+    /// remainder of the execution as `decode`.
+    #[allow(clippy::too_many_arguments)]
+    fn worker_span(
+        &self,
+        start: SpanStart,
+        popped: Instant,
+        exec: Duration,
+        endpoint: &'static str,
+        kind: &'static str,
+        token: u64,
+        shard: usize,
+    ) -> PendingSpan {
+        let nanos = stage::take();
+        let lock_us = nanos.translator_lock_ns / 1_000;
+        let store_us = (nanos.store_ns + nanos.store_lock_wait_ns) / 1_000;
+        let rules_us = nanos.rules_ns / 1_000;
+        let exec_us = exec.as_micros() as u64;
+        let mut stages_us = vec![0u64; STAGE_COUNT];
+        stages_us[ST_ACCEPT] = start.accept_us;
+        stages_us[ST_LOOP_READY] = start.loop_ready_us;
+        stages_us[ST_QUEUE_WAIT] = popped
+            .saturating_duration_since(start.submitted)
+            .as_micros() as u64;
+        stages_us[ST_TRANSLATOR_LOCK] = lock_us;
+        stages_us[ST_STORE_PUBLISH] = store_us;
+        stages_us[ST_RULE_EVAL] = rules_us;
+        stages_us[ST_DECODE] = exec_us.saturating_sub(lock_us + store_us + rules_us);
+        PendingSpan {
+            t0: start.t0,
+            record: SpanRecord {
+                id: start.seq,
+                conn: token,
+                shard,
+                endpoint: endpoint.to_string(),
+                kind: kind.to_string(),
+                unix_ms: 0,
+                total_us: 0,
+                stages_us,
+            },
+        }
+    }
+
+    /// Every trace-ring span across all loop shards, oldest first by
+    /// request ordinal (the newest `limit` when set).
+    fn trace_spans(&self, limit: Option<usize>) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = self.traces.iter().flat_map(TraceRing::snapshot).collect();
+        spans.sort_by_key(|s| s.id);
+        if let Some(limit) = limit {
+            if spans.len() > limit {
+                spans.drain(..spans.len() - limit);
+            }
+        }
+        spans
+    }
+
+    fn slow_log_response(&self, limit: Option<usize>) -> Response {
+        let spans = match limit {
+            Some(0) => Vec::new(),
+            Some(n) => self.slowlog.snapshot(n),
+            None => self.slowlog.snapshot(0),
+        };
+        Response::SlowLog {
+            threshold_us: self.slowlog.threshold_us(),
+            evicted: self.slowlog.evicted(),
+            spans,
+        }
+    }
+
+    /// Mirrors every scalar counter into the registry and renders the
+    /// whole of it in the Prometheus text format. Mirroring at scrape
+    /// time (`Counter::set` from the live atomics) keeps the hot paths
+    /// free of double bookkeeping; the latency histograms are live
+    /// registry instruments and need no mirroring.
+    fn prometheus_text(&self) -> String {
+        let r = &self.registry;
+        let set = |name: &str, help: &str, v: u64| r.counter(name, help, &[]).set(v);
+        let gauge = |name: &str, help: &str, v: i64| r.gauge(name, help, &[]).set(v);
+        set(
+            "trips_connections_accepted_total",
+            "Connections accepted",
+            self.conns_accepted.load(Ordering::Relaxed),
+        );
+        set(
+            "trips_connections_rejected_total",
+            "Connections rejected over the cap",
+            self.conns_rejected.load(Ordering::Relaxed),
+        );
+        gauge(
+            "trips_connections_active",
+            "Currently open connections",
+            self.active.load(Ordering::Relaxed) as i64,
+        );
+        set(
+            "trips_requests_total",
+            "Requests received (all endpoints)",
+            self.requests.load(Ordering::Relaxed),
+        );
+        set(
+            "trips_requests_shed_total",
+            "Requests shed with Overloaded",
+            self.shed.load(Ordering::Relaxed),
+        );
+        set(
+            "trips_bad_requests_total",
+            "Malformed requests answered BadRequest",
+            self.bad_requests.load(Ordering::Relaxed),
+        );
+        set(
+            "trips_ingest_coalesced_total",
+            "Extra ingest jobs executed under an already-held translator lock",
+            self.ingest_coalesced.load(Ordering::Relaxed),
+        );
+        gauge(
+            "trips_queue_capacity",
+            "Admission queue capacity",
+            self.queue.capacity() as i64,
+        );
+        gauge(
+            "trips_queue_peak_depth",
+            "Admission queue high-water mark",
+            self.queue.peak_depth() as i64,
+        );
+        gauge(
+            "trips_translator_shards",
+            "Translator lock shards",
+            self.translators.len() as i64,
+        );
+        set(
+            "trips_translator_lock_contention_total",
+            "Contended translator-shard lock acquisitions",
+            self.translator_contention.load(Ordering::Relaxed),
+        );
+        set(
+            "trips_store_shard_lock_contention_total",
+            "Contended store shard write-lock acquisitions",
+            self.store.shard_lock_contention(),
+        );
+        gauge(
+            "trips_store_devices",
+            "Devices resident in the store",
+            self.store.device_count() as i64,
+        );
+        gauge(
+            "trips_store_semantics",
+            "Location semantics resident in the store",
+            self.store.semantics_count() as i64,
+        );
+        set(
+            "trips_rule_evals_total",
+            "Standing-rule evaluations",
+            self.store.rules().evals_total(),
+        );
+        set(
+            "trips_rule_fires_total",
+            "Standing-rule fires",
+            self.store.rules().fires_total(),
+        );
+        set(
+            "trips_alerts_delivered_total",
+            "Alerts delivered to subscribers",
+            self.store.rules().alerts_delivered(),
+        );
+        set(
+            "trips_alerts_dropped_total",
+            "Alerts dropped (sink refusal or write backpressure)",
+            self.store.rules().alerts_dropped() + self.alerts_dropped_late.load(Ordering::Relaxed),
+        );
+        set(
+            "trips_slow_requests_total",
+            "Spans promoted into the slow-log",
+            self.slow_requests.load(Ordering::Relaxed),
+        );
+        set(
+            "trips_slowlog_evicted_total",
+            "Promoted spans evicted by the slow-log cap",
+            self.slowlog.evicted(),
+        );
+        gauge(
+            "trips_uptime_seconds",
+            "Seconds since serve started",
+            self.started.elapsed().as_secs() as i64,
+        );
+        if let Some(rss) = read_rss_kb() {
+            gauge("trips_rss_kb", "Resident set size (KiB)", rss as i64);
+        }
+        if let Some(wal) = self.store.wal_stats() {
+            gauge(
+                "trips_wal_segments",
+                "Live WAL segment files",
+                wal.segments as i64,
+            );
+            gauge(
+                "trips_wal_bytes",
+                "Bytes across live WAL segments",
+                wal.bytes as i64,
+            );
+            gauge(
+                "trips_wal_records_since_checkpoint",
+                "WAL records appended since the last checkpoint",
+                wal.records_since_checkpoint as i64,
+            );
+            set(
+                "trips_wal_fsyncs_total",
+                "WAL fdatasyncs issued",
+                wal.fsyncs,
+            );
+            set(
+                "trips_wal_rotations_total",
+                "WAL segment rotations",
+                wal.rotations,
+            );
+        }
+        for (shard, state) in self.shards.iter().enumerate() {
+            let shard_label = shard.to_string();
+            let labels: [(&str, &str); 1] = [("shard", shard_label.as_str())];
+            r.gauge(
+                "trips_loop_shard_connections",
+                "Connections owned by each event-loop shard",
+                &labels,
+            )
+            .set(state.connections.load(Ordering::Relaxed) as i64);
+            r.counter(
+                "trips_loop_shard_wakeups_total",
+                "Waker signals per event-loop shard",
+                &labels,
+            )
+            .set(state.wakeups.load(Ordering::Relaxed));
+            r.gauge(
+                "trips_loop_shard_pending_completions",
+                "Finished jobs awaiting adoption per event-loop shard",
+                &labels,
+            )
+            .set(state.completions.lock().len() as i64);
+        }
+        r.render_prometheus()
     }
 
     /// Executes one `Ingest` with a translator-shard lock already held
@@ -708,6 +1036,13 @@ impl<'env> Shared<'env> {
             Request::Ping => Response::Pong,
             Request::Health => self.health(),
             Request::Metrics => self.metrics_report(),
+            Request::MetricsProm => Response::MetricsProm {
+                text: self.prometheus_text(),
+            },
+            Request::TraceDump { limit } => Response::Traces {
+                spans: self.trace_spans(limit),
+            },
+            Request::SlowLog { limit } => self.slow_log_response(limit),
             Request::Shutdown => Response::ShuttingDown,
             Request::ListRules => Response::Rules {
                 rules: self.store.rules().traces(),
@@ -744,17 +1079,12 @@ impl<'env> Shared<'env> {
     fn metrics_report(&self) -> Response {
         let uptime = self.started.elapsed();
         let endpoints = [
-            ("ingest", &self.ingest_lat),
-            ("query", &self.query_lat),
-            ("admin", &self.admin_lat),
+            ("ingest", &self.ingest_hist),
+            ("query", &self.query_hist),
+            ("admin", &self.admin_hist),
         ]
         .into_iter()
-        .map(|(name, recorder)| {
-            // Clone the bounded state out, summarize outside the lock so
-            // recording threads never stall behind the reservoir sort.
-            let snapshot = recorder.lock().clone();
-            snapshot.metrics(name, uptime)
-        })
+        .map(|(name, hist)| endpoint_metrics(name, hist, uptime))
         .collect();
         let loop_shards = self
             .shards
@@ -789,6 +1119,10 @@ impl<'env> Shared<'env> {
             alerts_delivered: self.store.rules().alerts_delivered(),
             alerts_dropped: self.store.rules().alerts_dropped()
                 + self.alerts_dropped_late.load(Ordering::Relaxed),
+            slow_requests: self.slow_requests.load(Ordering::Relaxed),
+            store_lock_contention: self.store.shard_lock_contention(),
+            rule_evals: self.store.rules().evals_total(),
+            rule_fires: self.store.rules().fires_total(),
         })
     }
 
@@ -842,6 +1176,10 @@ impl<'env> Shared<'env> {
                         self.ingest_coalesced
                             .fetch_add((batch.len() - 1) as u64, Ordering::Relaxed);
                     }
+                    // Queue wait ends for the whole batch here; the lock
+                    // wait that follows lands in the thread-local stage
+                    // accumulator and is attributed to the first job.
+                    let popped = Instant::now();
                     let mut dones = Vec::with_capacity(batch.len());
                     {
                         let mut translator = self.lock_translator(tshard);
@@ -853,6 +1191,7 @@ impl<'env> Shared<'env> {
                                 wire,
                                 req,
                                 batch_devices,
+                                span,
                                 ..
                             } = job;
                             let Request::Ingest { records } = req else {
@@ -860,8 +1199,15 @@ impl<'env> Shared<'env> {
                             };
                             let t0 = Instant::now();
                             let resp = Self::ingest_locked(&mut translator, records);
-                            self.record("ingest", t0.elapsed());
-                            dones.push((shard, self.finish(token, id, wire, resp, batch_devices)));
+                            let exec = t0.elapsed();
+                            self.record("ingest", exec);
+                            let pending = span.map(|s| {
+                                self.worker_span(s, popped, exec, "ingest", "Ingest", token, shard)
+                            });
+                            dones.push((
+                                shard,
+                                self.finish(token, id, wire, resp, batch_devices, pending),
+                            ));
                         }
                     }
                     self.complete_batch(dones);
@@ -869,6 +1215,7 @@ impl<'env> Shared<'env> {
                 _ => {
                     let t0 = Instant::now();
                     let endpoint = job.req.endpoint();
+                    let kind = job.req.kind();
                     let WorkJob {
                         token,
                         shard,
@@ -877,11 +1224,15 @@ impl<'env> Shared<'env> {
                         req,
                         batch_devices,
                         session_devices,
+                        span,
                         ..
                     } = job;
                     let resp = self.execute(req, &session_devices);
-                    self.record(endpoint, t0.elapsed());
-                    let done = self.finish(token, id, wire, resp, batch_devices);
+                    let exec = t0.elapsed();
+                    self.record(endpoint, exec);
+                    let pending =
+                        span.map(|s| self.worker_span(s, t0, exec, endpoint, kind, token, shard));
+                    let done = self.finish(token, id, wire, resp, batch_devices, pending);
                     self.complete_batch(vec![(shard, done)]);
                 }
             }
@@ -897,6 +1248,7 @@ impl<'env> Shared<'env> {
         wire: Wire,
         resp: Response,
         batch_devices: Vec<DeviceId>,
+        span: Option<PendingSpan>,
     ) -> Done {
         // Only an *executed* ingest makes the session responsible for its
         // devices at teardown — a shed or refused batch buffered nothing.
@@ -918,6 +1270,7 @@ impl<'env> Shared<'env> {
             bytes: encode_wire(wire, &env),
             ingested,
             unsolicited: false,
+            span,
         }
     }
 }
@@ -947,6 +1300,7 @@ impl trips_store::AlertSink for ConnAlertSink {
             bytes: encode_wire(self.wire, &env),
             ingested: Vec::new(),
             unsolicited: true,
+            span: None,
         });
         self.shard.wake();
         true
@@ -980,10 +1334,17 @@ struct Conn {
     closing: bool,
     /// Tear down immediately (transport error); skip pending writes.
     dead: bool,
+    /// Acceptor hand-off → shard adoption, µs; consumed by (attributed
+    /// to) the connection's first span.
+    accept_us: u64,
+    /// When the connection last became actionable (readiness wakeup or
+    /// completion adoption) — the epoch of the next request's
+    /// `loop_ready` stage. `None` while observability is off.
+    ready_at: Option<Instant>,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, accept_us: u64) -> Self {
         Conn {
             stream,
             read_buf: Vec::new(),
@@ -996,6 +1357,8 @@ impl Conn {
             read_closed: false,
             closing: false,
             dead: false,
+            accept_us,
+            ready_at: None,
         }
     }
 
@@ -1223,7 +1586,7 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
 
     fn dispatch(&mut self, token: u64, wire: Wire, env: RequestEnvelope) {
         let shared = self.shared;
-        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let seq = shared.requests.fetch_add(1, Ordering::Relaxed);
         let id = env.id;
         let respond_v = match wire {
             Wire::V1 => crate::protocol::PROTOCOL_VERSION,
@@ -1231,6 +1594,18 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
         };
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
+        };
+        // Span epochs for this request: the amortized accept cost (first
+        // request only — `take` zeroes it) and the readiness-to-parse gap.
+        let (accept_us, loop_ready_us) = if trips_obs::enabled() {
+            (
+                std::mem::take(&mut conn.accept_us),
+                conn.ready_at
+                    .map(|t| t.elapsed().as_micros() as u64)
+                    .unwrap_or(0),
+            )
+        } else {
+            (0, 0)
         };
         let inline = |conn: &mut Conn, resp: Response| {
             conn.queue_response(
@@ -1249,18 +1624,62 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                 let t0 = Instant::now();
                 inline(conn, Response::Pong);
                 shared.record("admin", t0.elapsed());
+                shared.admin_span(self.id, token, seq, "Ping", t0, accept_us, loop_ready_us);
             }
             Request::Health => {
                 let t0 = Instant::now();
                 let resp = shared.health();
                 inline(conn, resp);
                 shared.record("admin", t0.elapsed());
+                shared.admin_span(self.id, token, seq, "Health", t0, accept_us, loop_ready_us);
             }
             Request::Metrics => {
                 let t0 = Instant::now();
                 let resp = shared.metrics_report();
                 inline(conn, resp);
                 shared.record("admin", t0.elapsed());
+                shared.admin_span(self.id, token, seq, "Metrics", t0, accept_us, loop_ready_us);
+            }
+            Request::MetricsProm => {
+                let t0 = Instant::now();
+                let resp = Response::MetricsProm {
+                    text: shared.prometheus_text(),
+                };
+                inline(conn, resp);
+                shared.record("admin", t0.elapsed());
+                shared.admin_span(
+                    self.id,
+                    token,
+                    seq,
+                    "MetricsProm",
+                    t0,
+                    accept_us,
+                    loop_ready_us,
+                );
+            }
+            Request::TraceDump { limit } => {
+                let t0 = Instant::now();
+                let resp = Response::Traces {
+                    spans: shared.trace_spans(limit),
+                };
+                inline(conn, resp);
+                shared.record("admin", t0.elapsed());
+                shared.admin_span(
+                    self.id,
+                    token,
+                    seq,
+                    "TraceDump",
+                    t0,
+                    accept_us,
+                    loop_ready_us,
+                );
+            }
+            Request::SlowLog { limit } => {
+                let t0 = Instant::now();
+                let resp = shared.slow_log_response(limit);
+                inline(conn, resp);
+                shared.record("admin", t0.elapsed());
+                shared.admin_span(self.id, token, seq, "SlowLog", t0, accept_us, loop_ready_us);
             }
             // Subscriptions are admin-path too: registration is compile +
             // one engine write, and it must see the *connection* (sink,
@@ -1306,6 +1725,15 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                 };
                 inline(conn, resp);
                 shared.record("admin", t0.elapsed());
+                shared.admin_span(
+                    self.id,
+                    token,
+                    seq,
+                    "Subscribe",
+                    t0,
+                    accept_us,
+                    loop_ready_us,
+                );
             }
             Request::Unsubscribe { rule_id } => {
                 let t0 = Instant::now();
@@ -1321,12 +1749,30 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                 };
                 inline(conn, Response::Unsubscribed { existed });
                 shared.record("admin", t0.elapsed());
+                shared.admin_span(
+                    self.id,
+                    token,
+                    seq,
+                    "Unsubscribe",
+                    t0,
+                    accept_us,
+                    loop_ready_us,
+                );
             }
             Request::ListRules => {
                 let t0 = Instant::now();
                 let rules = shared.store.rules().traces();
                 inline(conn, Response::Rules { rules });
                 shared.record("admin", t0.elapsed());
+                shared.admin_span(
+                    self.id,
+                    token,
+                    seq,
+                    "ListRules",
+                    t0,
+                    accept_us,
+                    loop_ready_us,
+                );
             }
             Request::Shutdown => {
                 // Acknowledge, then drain: stop accepting, refuse new
@@ -1374,6 +1820,16 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                     } else {
                         Vec::new()
                     };
+                let span = trips_obs::enabled().then(|| {
+                    let now = Instant::now();
+                    SpanStart {
+                        seq,
+                        t0: now,
+                        submitted: now,
+                        accept_us,
+                        loop_ready_us,
+                    }
+                });
                 match shared.queue.try_push(WorkJob {
                     token,
                     shard: self.id,
@@ -1383,6 +1839,7 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                     tshard,
                     batch_devices,
                     session_devices,
+                    span,
                 }) {
                     Ok(()) => conn.inflight = true,
                     Err(PushError::Full) => {
@@ -1404,9 +1861,9 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
 
     /// Registers sockets the acceptor dealt to this shard.
     fn adopt_incoming(&mut self) -> io::Result<()> {
-        let incoming: Vec<TcpStream> =
+        let incoming: Vec<(TcpStream, Instant)> =
             std::mem::take(&mut *self.shared.shards[self.id].incoming.lock());
-        for stream in incoming {
+        for (stream, handed_off) in incoming {
             if self.shared.draining() {
                 // Dropped: drain admits nothing. The acceptor already
                 // counted it; undo the active gauge.
@@ -1419,7 +1876,12 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
             // per-lap `set_interest` refresh takes over before the first
             // wait.
             self.poller.register(fd_of(&stream), token, true, true)?;
-            self.conns.insert(token, Conn::new(stream));
+            let accept_us = if trips_obs::enabled() {
+                handed_off.elapsed().as_micros() as u64
+            } else {
+                0
+            };
+            self.conns.insert(token, Conn::new(stream, accept_us));
         }
         self.shared.shards[self.id]
             .connections
@@ -1460,6 +1922,9 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                 }
                 continue;
             }
+            // Reply-write starts the moment this shard adopts the
+            // completion (clock read only when a span is riding along).
+            let adopted = d.span.is_some().then(Instant::now);
             conn.inflight = false;
             for device in d.ingested {
                 if conn.devices.insert(device.clone()) {
@@ -1469,6 +1934,18 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
             conn.write_buf.extend_from_slice(&d.bytes);
             if conn.can_write {
                 conn.flush_write();
+            }
+            if trips_obs::enabled() {
+                // The next buffered request's `loop_ready` epoch: this
+                // completion is its readiness signal.
+                conn.ready_at = Some(Instant::now());
+            }
+            if let Some(mut pending) = d.span {
+                let adopted = adopted.unwrap_or_else(Instant::now);
+                pending.record.stages_us[ST_REPLY_WRITE] = adopted.elapsed().as_micros() as u64;
+                pending.record.total_us = pending.t0.elapsed().as_micros() as u64;
+                pending.record.unix_ms = unix_ms_now();
+                self.shared.finish_span(self.id, pending.record);
             }
             self.pump(d.token);
         }
@@ -1481,6 +1958,10 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
         };
         if conn.dead {
             return;
+        }
+        if trips_obs::enabled() {
+            // The epoch of the next parsed request's `loop_ready` stage.
+            conn.ready_at = Some(Instant::now());
         }
         if conn.can_write && !conn.write_buf.is_empty() {
             conn.flush_write();
@@ -1676,7 +2157,7 @@ fn run_acceptor(
                     shared.active.fetch_add(1, Ordering::Relaxed);
                     let state = &shared.shards[rr % nshards];
                     rr = rr.wrapping_add(1);
-                    state.incoming.lock().push(stream);
+                    state.incoming.lock().push((stream, Instant::now()));
                     state.wake();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -1688,6 +2169,75 @@ fn run_acceptor(
     Ok(())
 }
 
+/// Whether an HTTP request head is complete (blank line seen).
+fn http_head_complete(head: &[u8]) -> bool {
+    head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n")
+}
+
+/// Answers one scrape connection: read the request head (blocking, short
+/// timeout), route on the request line only, write the exposition, close.
+/// HTTP/1.0, one request per connection — exactly what a scrape loop
+/// needs, with no header parsing to get wrong.
+fn serve_metrics_conn(shared: &Shared<'_>, mut stream: TcpStream) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !http_head_complete(&head) && head.len() <= MAX_HTTP_HEAD {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+    let line = head.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
+        let body = shared.prometheus_text();
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    } else {
+        let body = "not found; try GET /metrics\n";
+        format!(
+            "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// The dedicated `GET /metrics` listener loop: accept (nonblocking, with
+/// the same poll-between-drain-checks cadence as the acceptor), serve
+/// each scrape serially, exit when the server drains. Scrapes are rare
+/// and cheap relative to request traffic, so one thread with serial
+/// connections keeps the surface minimal.
+fn run_metrics_http(shared: &Shared<'_>, listener: &TcpListener) {
+    while !shared.draining() {
+        let mut fds = [PollFd::new(fd_of(listener), POLLIN)];
+        if poll_fds(&mut fds, ACCEPT_POLL_MS).is_err() {
+            return;
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => serve_metrics_conn(shared, stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
 /// The assembled server: a DSM + trained Event Editor (the translation
 /// configuration) plus the live store it serves.
 pub struct TripsServer {
@@ -1696,6 +2246,9 @@ pub struct TripsServer {
     config: ServerConfig,
     store: Arc<SemanticsStore>,
     recovery: Option<RecoveryReport>,
+    /// The `GET /metrics` listener, bound eagerly at construction (so a
+    /// bad `metrics_addr` fails boot, not the first scrape).
+    metrics_listener: Option<TcpListener>,
 }
 
 impl TripsServer {
@@ -1715,13 +2268,34 @@ impl TripsServer {
             config.snapshot.as_deref(),
             config.shards,
         )?;
+        let metrics_listener = match config.metrics_addr.as_deref() {
+            Some(addr) => {
+                let listener =
+                    TcpListener::bind(addr).map_err(trips_store::SemanticsStoreError::Io)?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(trips_store::SemanticsStoreError::Io)?;
+                Some(listener)
+            }
+            None => None,
+        };
         Ok(TripsServer {
             dsm,
             editor,
             config,
             store: Arc::new(store),
             recovery,
+            metrics_listener,
         })
+    }
+
+    /// The bound address of the `GET /metrics` listener (`None` unless
+    /// [`ServerConfig::metrics_addr`] was set; resolves port 0 to the
+    /// real ephemeral port).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// The live store (shareable; valid before, during and after `serve`).
@@ -1781,11 +2355,31 @@ impl TripsServer {
         }
     }
 
+    /// The effective per-loop-shard trace-ring capacity (resolves `0` →
+    /// default).
+    pub fn trace_ring_capacity(&self) -> usize {
+        if self.config.trace_ring == 0 {
+            DEFAULT_TRACE_RING
+        } else {
+            self.config.trace_ring
+        }
+    }
+
+    /// The effective slow-log capacity (resolves `0` → default).
+    pub fn slow_log_capacity(&self) -> usize {
+        if self.config.slow_log == 0 {
+            DEFAULT_SLOW_LOG
+        } else {
+            self.config.slow_log
+        }
+    }
+
     /// Serves `listener` until a `Shutdown` request drains the loops.
     /// Blocks; all loop-shard and worker threads are scoped inside this
     /// call (the calling thread runs the acceptor).
     pub fn serve(&self, listener: TcpListener) -> io::Result<ServerReport> {
         listener.set_nonblocking(true)?;
+        trips_obs::set_enabled(self.config.obs);
         let loop_shards = self.loop_shards();
         let translator_shards = self.translator_shards();
 
@@ -1823,6 +2417,21 @@ impl TripsServer {
             translators.push(parking_lot::Mutex::new(translator));
         }
 
+        // The metric registry and the live latency histograms registered
+        // in it: the same three series back `Metrics` percentiles and the
+        // Prometheus `trips_request_latency_us` family.
+        let registry = Registry::new();
+        let latency_hist = |endpoint: &str| {
+            registry.histogram(
+                "trips_request_latency_us",
+                "Request latency by endpoint family (microseconds)",
+                &[("endpoint", endpoint)],
+            )
+        };
+        let ingest_hist = latency_hist("ingest");
+        let query_hist = latency_hist("query");
+        let admin_hist = latency_hist("admin");
+
         let shared = Shared {
             translators,
             tmask: translator_shards - 1,
@@ -1837,9 +2446,15 @@ impl TripsServer {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             started: Instant::now(),
-            ingest_lat: parking_lot::Mutex::new(EndpointRecorder::new()),
-            query_lat: parking_lot::Mutex::new(EndpointRecorder::new()),
-            admin_lat: parking_lot::Mutex::new(EndpointRecorder::new()),
+            registry,
+            ingest_hist,
+            query_hist,
+            admin_hist,
+            traces: (0..loop_shards)
+                .map(|_| TraceRing::new(self.trace_ring_capacity()))
+                .collect(),
+            slowlog: SlowLog::new(self.slow_log_capacity(), self.config.slow_threshold_us),
+            slow_requests: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
@@ -1861,6 +2476,10 @@ impl TripsServer {
             for _ in 0..self.config.workers.max(1) {
                 let shared = &shared;
                 scope.spawn(move || shared.run_worker());
+            }
+            if let Some(metrics_listener) = self.metrics_listener.as_ref() {
+                let shared = &shared;
+                scope.spawn(move || run_metrics_http(shared, metrics_listener));
             }
             let mut loop_handles = Vec::with_capacity(loop_shards);
             for (id, poller) in pollers.into_iter().enumerate() {
@@ -1938,14 +2557,20 @@ impl TripsServer {
     pub fn spawn(self, addr: &str) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let metrics_addr = self.metrics_addr();
         let join = std::thread::spawn(move || self.serve(listener));
-        Ok(ServerHandle { addr: local, join })
+        Ok(ServerHandle {
+            addr: local,
+            metrics_addr,
+            join,
+        })
     }
 }
 
 /// A running background server (see [`TripsServer::spawn`]).
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     join: std::thread::JoinHandle<io::Result<ServerReport>>,
 }
 
@@ -1953,6 +2578,11 @@ impl ServerHandle {
     /// The bound address (resolves port 0 to the real ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The `GET /metrics` listener address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Requests a graceful drain and waits for the serve loop to finish.
@@ -2007,71 +2637,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn uniform_slot_is_bias_free_across_the_range() {
-        // With total = 3 << 51 (not a power of two), the old
-        // `(r >> 11) % total` mapping over-weights the low slots; the
-        // multiply-shift mapping must hit each third of the range with
-        // frequency proportional to its width.
-        let total: u64 = 3 << 51;
-        let mut lcg: u64 = 0x5DEE_CE66_D1CE_4E5D;
-        let mut thirds = [0u64; 3];
-        let n = 300_000;
-        for _ in 0..n {
-            lcg = lcg
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let slot = uniform_slot(lcg >> 11, total);
-            assert!(slot < total);
-            thirds[(slot / (total / 3)).min(2) as usize] += 1;
+    fn endpoint_metrics_reduce_a_histogram_snapshot() {
+        let hist = Histogram::new();
+        for us in 1..=1000u64 {
+            hist.observe_us(us);
         }
-        let expected = n as f64 / 3.0;
-        for (i, &count) in thirds.iter().enumerate() {
-            let dev = (count as f64 - expected).abs() / expected;
-            assert!(
-                dev < 0.02,
-                "third {i} saw {count} of {n} samples ({dev:.3} relative deviation)"
-            );
-        }
+        let m = endpoint_metrics("ingest", &hist, Duration::from_secs(10));
+        assert_eq!(m.endpoint, "ingest");
+        assert_eq!(m.count, 1000);
+        assert!((m.ops_per_sec - 100.0).abs() < 1e-9);
+        assert_eq!(m.max_us, 1000.0, "max is exact");
+        assert_eq!(m.mean_us, 500.0);
+        // Log buckets: the p50 estimate stays inside the true median's
+        // bucket (256, 512]; p99 never exceeds the exact max.
+        assert!((257.0..=512.0).contains(&m.p50_us), "p50 {}", m.p50_us);
+        assert!(m.p99_us <= m.max_us);
+
+        let empty = endpoint_metrics("query", &Histogram::new(), Duration::ZERO);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.ops_per_sec, 0.0);
     }
 
     #[test]
-    fn uniform_slot_covers_the_whole_reservoir() {
-        // Regression for the modulo-biased Algorithm R step: with the
-        // biased mapping, high reservoir slots are starved once `total`
-        // grows past the capacity. Every slot must keep receiving
-        // replacements.
-        let capacity = 256;
-        let mut rec = EndpointRecorder::with_capacity(capacity);
-        for i in 0..(capacity * 64) {
-            rec.record(Duration::from_nanos(i as u64));
-        }
-        assert_eq!(rec.reservoir.len(), capacity);
-        // The reservoir is a uniform sample of 0..16384; its quartile
-        // counts must all be populated (the biased version leaves the
-        // late quartiles heavily under-sampled).
-        let total = capacity * 64;
-        let mut quartiles = [0usize; 4];
-        for &ns in &rec.reservoir {
-            quartiles[((ns as usize * 4) / total).min(3)] += 1;
-        }
-        for (i, &count) in quartiles.iter().enumerate() {
-            assert!(
-                (32..=96).contains(&count),
-                "quartile {i} holds {count} of {capacity} samples (expected ~64): {quartiles:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn recorder_tracks_exact_scalars_with_bounded_memory() {
-        let mut rec = EndpointRecorder::with_capacity(8);
-        for i in 1..=100u64 {
-            rec.record(Duration::from_nanos(i));
-        }
-        assert_eq!(rec.total, 100);
-        assert_eq!(rec.max_ns, 100);
-        assert_eq!(rec.sum_ns, 5050);
-        assert_eq!(rec.reservoir.len(), 8, "reservoir never exceeds capacity");
+    fn http_head_detection_handles_both_line_endings() {
+        assert!(http_head_complete(b"GET /metrics HTTP/1.0\r\n\r\n"));
+        assert!(http_head_complete(b"GET /metrics HTTP/1.0\n\n"));
+        assert!(!http_head_complete(b"GET /metrics HTTP/1.0\r\n"));
     }
 
     #[test]

@@ -116,6 +116,9 @@ impl DurabilityConfig {
 struct Flusher {
     dirty: Arc<AtomicU64>,
     signal: Arc<(StdMutex<bool>, Condvar)>, // the bool is `stop`
+    /// Group-commit fdatasyncs completed (these bypass the inner
+    /// [`Wal`]'s own counter — they sync a cloned fd off the lock).
+    synced: Arc<AtomicU64>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -123,7 +126,8 @@ impl Flusher {
     fn spawn(wal: Arc<Mutex<Wal>>) -> Flusher {
         let dirty = Arc::new(AtomicU64::new(0));
         let signal = Arc::new((StdMutex::new(false), Condvar::new()));
-        let (dirty2, signal2) = (dirty.clone(), signal.clone());
+        let synced = Arc::new(AtomicU64::new(0));
+        let (dirty2, signal2, synced2) = (dirty.clone(), signal.clone(), synced.clone());
         let thread = std::thread::Builder::new()
             .name("trips-wal-flusher".to_string())
             .spawn(move || {
@@ -146,7 +150,9 @@ impl Flusher {
                         // sync runs.
                         let handle = wal.lock().sync_handle();
                         if let Ok(f) = handle {
-                            let _ = f.sync_data();
+                            if f.sync_data().is_ok() {
+                                synced2.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
                     if stop {
@@ -158,6 +164,7 @@ impl Flusher {
         Flusher {
             dirty,
             signal,
+            synced,
             thread: Some(thread),
         }
     }
@@ -478,6 +485,14 @@ pub struct WalStats {
     /// Milliseconds since the last checkpoint snapshot was published
     /// (`None` if no checkpoint has ever been taken).
     pub last_checkpoint_age_ms: Option<u64>,
+    /// `fdatasync`s issued since open: fsync-policy syncs, segment
+    /// seals, and group-commit flusher syncs combined. `#[serde(default)]`
+    /// so reports from builds predating this field still parse.
+    #[serde(default)]
+    pub fsyncs: u64,
+    /// Segment rotations since open. `#[serde(default)]` — see `fsyncs`.
+    #[serde(default)]
+    pub rotations: u64,
 }
 
 /// What [`SemanticsStore::recover`] found and did.
@@ -565,10 +580,19 @@ impl Durability {
     }
 
     pub(crate) fn stats(&self) -> WalStats {
-        let (segments, bytes) = {
+        let (segments, bytes, wal_syncs, rotations) = {
             let wal = self.wal.lock();
-            (wal.segment_count(), wal.total_bytes())
+            (
+                wal.segment_count(),
+                wal.total_bytes(),
+                wal.fsyncs(),
+                wal.rotations(),
+            )
         };
+        let flusher_syncs = self
+            .flusher
+            .as_ref()
+            .map_or(0, |f| f.synced.load(Ordering::Relaxed));
         let last_checkpoint_age_ms = self.last_checkpoint.lock().and_then(|t| {
             SystemTime::now()
                 .duration_since(t)
@@ -580,6 +604,8 @@ impl Durability {
             bytes,
             records_since_checkpoint: self.records_since_checkpoint.load(Ordering::Relaxed),
             last_checkpoint_age_ms,
+            fsyncs: wal_syncs + flusher_syncs,
+            rotations,
         }
     }
 

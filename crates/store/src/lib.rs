@@ -101,6 +101,8 @@ pub use types::{DeviceSummary, Flow, RegionPopularity, StoreHealth, StoreStats};
 use durability::{Durability, WalOpRef};
 use parking_lot::RwLock;
 use shard::Shard;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 use trips_annotate::MobilitySemantics;
 use trips_data::DeviceId;
 
@@ -148,6 +150,10 @@ pub struct SemanticsStore {
     /// Standing rules, evaluated after each applied ingest batch (a
     /// zero-rule engine costs one atomic load per batch). See [`rules`].
     rules: RuleEngine,
+    /// Ingest shard-lock acquisitions that found the lock held (observed
+    /// only while `trips_obs::enabled()`; the uninstrumented path takes
+    /// the lock directly).
+    lock_contended: AtomicU64,
 }
 
 impl Default for SemanticsStore {
@@ -181,6 +187,7 @@ impl SemanticsStore {
             mask: n - 1,
             durability: None,
             rules: RuleEngine::new(),
+            lock_contended: AtomicU64::new(0),
         }
     }
 
@@ -221,8 +228,29 @@ impl SemanticsStore {
         if semantics.is_empty() {
             return;
         }
+        let obs = trips_obs::enabled();
         {
-            let mut shard = self.shards[self.shard_index(device)].write();
+            let lock = &self.shards[self.shard_index(device)];
+            // Instrumented path: try the lock first so the uncontended
+            // case pays no clock read; a miss counts as contention and
+            // attributes the wait to the in-flight request's span.
+            let mut shard = if obs {
+                match lock.try_write() {
+                    Some(guard) => guard,
+                    None => {
+                        let waiting = Instant::now();
+                        let guard = lock.write();
+                        self.lock_contended.fetch_add(1, Ordering::Relaxed);
+                        trips_obs::stage::add_store_lock_wait_ns(
+                            waiting.elapsed().as_nanos() as u64
+                        );
+                        guard
+                    }
+                }
+            } else {
+                lock.write()
+            };
+            let applying = obs.then(Instant::now);
             if let Some(d) = &self.durability {
                 d.append(&WalOpRef::Ingest {
                     device: device.as_str(),
@@ -230,12 +258,21 @@ impl SemanticsStore {
                 });
             }
             shard.ingest(device, semantics);
+            if let Some(t) = applying {
+                trips_obs::stage::add_store_ns(t.elapsed().as_nanos() as u64);
+            }
         }
         // Standing rules see the batch after it is applied (and after the
         // shard lock is released — the engine's locks are leaf locks). The
         // serving layer serializes batches per device, so rule evaluation
         // order equals store order.
         self.rules.publish(device, semantics);
+    }
+
+    /// Ingest shard-lock acquisitions that had to wait (counted while
+    /// observability is enabled).
+    pub fn shard_lock_contention(&self) -> u64 {
+        self.lock_contended.load(Ordering::Relaxed)
     }
 
     /// Registers `device` with no semantics (a deliberate empty entry —

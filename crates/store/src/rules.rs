@@ -395,6 +395,11 @@ pub struct RuleEngine {
     region_floors: RwLock<HashMap<u32, i16>>,
     delivered: AtomicU64,
     dropped: AtomicU64,
+    /// Engine-wide evaluation count (sum over rules, kept as its own
+    /// atomic so scraping doesn't walk the rule list).
+    evals_total: AtomicU64,
+    /// Engine-wide fire count.
+    fires_total: AtomicU64,
 }
 
 impl Default for RuleEngine {
@@ -434,6 +439,8 @@ impl RuleEngine {
             region_floors: RwLock::new(HashMap::new()),
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            evals_total: AtomicU64::new(0),
+            fires_total: AtomicU64::new(0),
         }
     }
 
@@ -527,6 +534,17 @@ impl RuleEngine {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Total rule evaluations across all rules (including since-removed
+    /// ones).
+    pub fn evals_total(&self) -> u64 {
+        self.evals_total.load(Ordering::Relaxed)
+    }
+
+    /// Total rule fires across all rules (including since-removed ones).
+    pub fn fires_total(&self) -> u64 {
+        self.fires_total.load(Ordering::Relaxed)
+    }
+
     /// Per-rule traces, in evaluation (priority) order.
     pub fn traces(&self) -> Vec<RuleTrace> {
         self.rules.read().iter().map(|r| r.trace()).collect()
@@ -573,6 +591,9 @@ impl RuleEngine {
         if self.count.load(Ordering::Relaxed) == 0 {
             return;
         }
+        // Attribute the whole evaluation (locks, predicate walk, sink
+        // delivery) to the in-flight request's rule_eval span stage.
+        let evaluating = trips_obs::enabled().then(std::time::Instant::now);
         let mut fired: Vec<(Arc<dyn AlertSink>, Alert)> = Vec::new();
         {
             let rules = self.rules.read();
@@ -819,6 +840,9 @@ impl RuleEngine {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
+        if let Some(t) = evaluating {
+            trips_obs::stage::add_rules_ns(t.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Current device count over every region the selector matches.
@@ -842,6 +866,7 @@ impl RuleEngine {
     fn touch_eval(&self, rule: &Rule, at: i64) {
         rule.evals.fetch_add(1, Ordering::Relaxed);
         rule.last_eval_ms.store(at, Ordering::Relaxed);
+        self.evals_total.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Event conditions: every satisfied evaluation fires.
@@ -925,6 +950,7 @@ impl RuleEngine {
     ) {
         let seq = rule.fires.fetch_add(1, Ordering::Relaxed) + 1;
         rule.last_fire_ms.store(at, Ordering::Relaxed);
+        self.fires_total.fetch_add(1, Ordering::Relaxed);
         if let Some(sink) = &rule.sink {
             let message = rule.spec.message.clone().unwrap_or_else(|| {
                 format!(

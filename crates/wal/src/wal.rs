@@ -61,6 +61,12 @@ pub struct Wal {
     segment_count: usize,
     unsynced: u32,
     appended: u64,
+    /// `fdatasync`s issued through this handle (explicit syncs, policy
+    /// syncs, and segment seals — not the group-commit flusher's, which
+    /// sync a cloned fd outside this struct).
+    syncs: u64,
+    /// Segment rotations performed through this handle.
+    rotations: u64,
     truncated_tail: Option<TornTail>,
     /// Reused frame buffer for the non-mmap write path.
     #[cfg(not(unix))]
@@ -164,6 +170,8 @@ impl Wal {
             segment_count: 0,
             unsynced: 0,
             appended: 0,
+            syncs: 0,
+            rotations: 0,
             truncated_tail,
             #[cfg(not(unix))]
             frame_buf: Vec::new(),
@@ -294,6 +302,7 @@ impl Wal {
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.sync_data()?;
         self.unsynced = 0;
+        self.syncs += 1;
         Ok(())
     }
 
@@ -329,6 +338,7 @@ impl Wal {
         self.active_bytes = SEGMENT_HEADER_BYTES as u64;
         self.segment_count += 1;
         self.unsynced = 0;
+        self.rotations += 1;
         Ok(seq)
     }
 
@@ -342,6 +352,7 @@ impl Wal {
         self.file.set_len(self.active_bytes)?;
         self.file.sync_data()?;
         self.unsynced = 0;
+        self.syncs += 1;
         Ok(())
     }
 
@@ -392,6 +403,18 @@ impl Wal {
     /// Appends not yet explicitly synced (0 under `FsyncPolicy::Always`).
     pub fn unsynced_records(&self) -> u32 {
         self.unsynced
+    }
+
+    /// `fdatasync`s issued through this handle since it was opened
+    /// (policy syncs + explicit syncs + segment seals).
+    pub fn fsyncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Segment rotations performed through this handle since it was
+    /// opened.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
     }
 
     /// The torn tail [`Wal::open`] truncated, if any.

@@ -16,6 +16,8 @@
 //!             [--devices N] [--days N] [--seed N] [--snapshot PATH]
 //!             [--snapshot-root DIR] [--wal-dir DIR]
 //!             [--fsync always|every=N|never] [--segment-bytes N]
+//!             [--metrics-addr HOST:PORT] [--no-obs]
+//!             [--slow-threshold-us N] [--trace-ring N] [--slow-log N]
 //! ```
 //!
 //! `--loop-shards` splits the event loop into N independent shards (one
@@ -40,6 +42,15 @@
 //! policy (default `every=64`). `Snapshot` admin requests then mean
 //! checkpoint + compact. `--snapshot` (one-shot, non-durable boot) and
 //! `--wal-dir` are mutually exclusive.
+//!
+//! `--metrics-addr` binds a second, dedicated listener serving
+//! Prometheus text exposition at `GET /metrics` (HTTP/1.0, one request
+//! per connection); the chosen address is printed as `metrics on
+//! HOST:PORT`. `--slow-threshold-us` sets the latency above which a
+//! request's span is promoted into the retrievable slow-log (0 promotes
+//! every request — the trace-everything switch); `--trace-ring` /
+//! `--slow-log` size the per-loop-shard trace rings and the slow-log.
+//! `--no-obs` turns span collection off entirely (metrics stay on).
 //!
 //! Clients replaying `generate_campus` traffic must use the same
 //! `--floors/--shops` layout (every campus building shares it); see the
@@ -74,7 +85,8 @@ fn usage_and_exit(message: &str) -> ! {
          [--read-budget BYTES] [--event-backend auto|epoll|poll] [--max-rules N] \
          [--floors N] [--shops N] [--devices N] [--days N] [--seed N] [--snapshot PATH] \
          [--snapshot-root DIR] [--wal-dir DIR] [--fsync always|every=N|never] \
-         [--segment-bytes N]"
+         [--segment-bytes N] [--metrics-addr HOST:PORT] [--no-obs] \
+         [--slow-threshold-us N] [--trace-ring N] [--slow-log N]"
     );
     std::process::exit(2);
 }
@@ -151,6 +163,15 @@ fn parse_args() -> Options {
                 opts.fsync = Some(policy);
             }
             "--segment-bytes" => opts.segment_bytes = Some(parse(&mut args, "--segment-bytes")),
+            "--metrics-addr" => {
+                opts.config.metrics_addr = Some(parse::<String>(&mut args, "--metrics-addr"))
+            }
+            "--no-obs" => opts.config.obs = false,
+            "--slow-threshold-us" => {
+                opts.config.slow_threshold_us = parse(&mut args, "--slow-threshold-us")
+            }
+            "--trace-ring" => opts.config.trace_ring = parse(&mut args, "--trace-ring"),
+            "--slow-log" => opts.config.slow_log = parse(&mut args, "--slow-log"),
             other => usage_and_exit(&format!("unknown argument: {other}")),
         }
     }
@@ -248,6 +269,9 @@ fn main() {
         server.max_rules(),
     );
     println!("trips-serve: listening on {addr}");
+    if let Some(metrics) = server.metrics_addr() {
+        println!("trips-serve: metrics on {metrics}");
+    }
     std::io::stdout().flush().expect("stdout flush");
 
     match server.serve(listener) {

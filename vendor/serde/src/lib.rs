@@ -1,6 +1,6 @@
 //! Offline stand-in for `serde` with the same import surface this workspace
 //! uses: `Serialize` / `Deserialize` traits, same-named derive macros, and a
-//! `#[serde(skip)]` field attribute.
+//! `#[serde(skip)]` / `#[serde(default)]` field attributes.
 //!
 //! Unlike upstream serde's visitor architecture, this implementation
 //! round-trips through an owned [`value::Value`] tree — `serde_json` then
@@ -56,6 +56,20 @@ pub fn de_field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T,
         None => {
             T::from_value(&Value::Null).map_err(|_| Error::custom(format!("missing field `{key}`")))
         }
+    }
+}
+
+/// Looks up a named struct field marked `#[serde(default)]`: a missing
+/// key (or an explicit `null` that the type rejects) falls back to
+/// `Default::default()` instead of erroring — upstream serde's
+/// forward-compatibility behaviour for `default` fields.
+pub fn de_field_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    key: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(T::default()),
     }
 }
 

@@ -4,9 +4,12 @@
 //!
 //! Supported shapes — exactly what this workspace declares:
 //! named/tuple/unit structs, enums with unit/tuple/struct variants,
-//! lifetime-only generics, and the `#[serde(skip)]` field attribute
-//! (skipped fields deserialize via `Default`). Type parameters and other
-//! `#[serde(...)]` options are rejected with a compile error.
+//! lifetime-only generics, and the `#[serde(skip)]` / `#[serde(default)]`
+//! field attributes (skipped fields deserialize via `Default`; `default`
+//! fields serialize normally but fall back to `Default` when the key is
+//! absent — upstream serde's forward-compatibility idiom). Type
+//! parameters and other `#[serde(...)]` options are rejected with a
+//! compile error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,6 +17,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: a missing key deserializes via `Default`
+    /// instead of erroring (serialization is unaffected).
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -73,10 +79,11 @@ impl Cursor {
         self.pos >= self.tokens.len()
     }
 
-    /// Consumes leading `#[...]` attributes; returns true if any is
-    /// `#[serde(skip)]`.
-    fn skip_attrs(&mut self) -> Result<bool, String> {
+    /// Consumes leading `#[...]` attributes; returns which `#[serde(...)]`
+    /// markers (`skip`, `default`) were present.
+    fn skip_attrs(&mut self) -> Result<(bool, bool), String> {
         let mut has_skip = false;
+        let mut has_default = false;
         while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             self.next();
             match self.next() {
@@ -88,12 +95,15 @@ impl Cursor {
                                 Some(TokenTree::Group(b)) => b.stream().to_string(),
                                 _ => String::new(),
                             };
-                            if body.trim() == "skip" {
-                                has_skip = true;
-                            } else {
-                                return Err(format!(
-                                    "unsupported #[serde({body})] — this derive only knows `skip`"
-                                ));
+                            match body.trim() {
+                                "skip" => has_skip = true,
+                                "default" => has_default = true,
+                                other => {
+                                    return Err(format!(
+                                        "unsupported #[serde({other})] — this derive only knows \
+                                         `skip` and `default`"
+                                    ))
+                                }
                             }
                         }
                     }
@@ -101,7 +111,7 @@ impl Cursor {
                 _ => return Err("malformed attribute".into()),
             }
         }
-        Ok(has_skip)
+        Ok((has_skip, has_default))
     }
 
     /// Consumes `pub` / `pub(...)` if present.
@@ -182,7 +192,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut cur = Cursor::new(stream);
     let mut fields = Vec::new();
     while !cur.at_end() {
-        let skip = cur.skip_attrs()?;
+        let (skip, default) = cur.skip_attrs()?;
         cur.skip_visibility();
         let name = cur.expect_ident()?;
         if !cur.eat_punct(':') {
@@ -190,7 +200,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         }
         cur.skip_type();
         cur.eat_punct(',');
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     Ok(fields)
 }
@@ -406,6 +420,11 @@ fn gen_deserialize(input: &Input) -> Result<String, String> {
                         "{}: ::std::default::Default::default(),\n",
                         f.name
                     ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::de_field_default(__obj, \"{0}\")?,\n",
+                        f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{0}: ::serde::de_field(__obj, \"{0}\")?,\n",
@@ -472,6 +491,11 @@ fn gen_deserialize(input: &Input) -> Result<String, String> {
                             if f.skip {
                                 inits.push_str(&format!(
                                     "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else if f.default {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::de_field_default(__obj, \"{0}\")?,\n",
                                     f.name
                                 ));
                             } else {
