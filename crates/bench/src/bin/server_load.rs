@@ -18,7 +18,7 @@
 //! server_load --addr HOST:PORT [--quick] [--out PATH] [--protocol 1|2]
 //!             [--buildings N] [--floors N] [--shops N] [--devices N]
 //!             [--seed N] [--ingest-sessions N] [--device-skew uniform|zipf]
-//!             [--query-conns N] [--query-iters N]
+//!             [--query-conns N] [--query-iters N] [--pipeline N]
 //!             [--no-overload] [--overload-conns N] [--overload-iters N]
 //!             [--scale-conns N] [--scale-rounds N]
 //!             [--rules N] [--expect-alerts MIN] [--rules-trace PATH]
@@ -30,6 +30,18 @@
 //! `--protocol 2` runs every phase over the binary v2 framing (see
 //! `trips_server::codec`); the default is NDJSON v1 — running both and
 //! comparing the reports is the protocol's perf regression check.
+//!
+//! `--pipeline N` adds a pipelined-query phase after the closed-loop
+//! query mix: each query connection sends its requests in back-to-back
+//! batches of N (one write, N responses read in order) and the recorded
+//! latency is the **whole-batch** round trip — the workload the server's
+//! segmented `writev(2)` response batching is measured on. The report
+//! gains a `pipeline` block, `--compare` embeds the other run's
+//! pipelined p99 alongside the ingest numbers, and `--baseline` gates on
+//! it when both runs measured one. The report also records
+//! `loop_shard_spread` — the server's max/min per-loop-shard
+//! `bytes_read` ratio — so shard-placement skew (and rebalancing wins)
+//! are visible in the perf trajectory.
 //!
 //! `--ingest-sessions N` replaces the per-building ingest layout with N
 //! concurrent sessions: every campus device is assigned to one session
@@ -97,9 +109,11 @@ use std::time::Instant;
 use trips_core::stream::{StreamConfig, StreamingTranslator};
 use trips_data::{DeviceId, Duration, RawRecord, Timestamp};
 use trips_obs::LatencyRecorder;
-use trips_server::{bootstrap_scenario, Client, Response, ServerBootstrap, ServerError};
+use trips_server::{bootstrap_scenario, Client, Request, Response, ServerBootstrap, ServerError};
 use trips_sim::ScenarioConfig;
-use trips_store::{Alert, AlertSink, Query, RuleSpec, SemanticsSelector, SemanticsStore};
+use trips_store::{
+    Alert, AlertSink, Query, QueryRequest, RuleSpec, SemanticsSelector, SemanticsStore,
+};
 
 struct Options {
     addr: String,
@@ -116,6 +130,9 @@ struct Options {
     skew: DeviceSkew,
     query_conns: usize,
     query_iters: usize,
+    /// `0` = no pipelined-query phase; otherwise the batch depth each
+    /// query connection pipelines per write.
+    pipeline: usize,
     overload: bool,
     overload_conns: usize,
     overload_iters: usize,
@@ -170,7 +187,8 @@ fn usage_and_exit(message: &str) -> ! {
         "usage: server_load --addr HOST:PORT [--quick] [--out PATH] [--protocol 1|2] \
          [--buildings N] [--floors N] [--shops N] [--devices N] [--seed N] \
          [--ingest-sessions N] [--device-skew uniform|zipf] \
-         [--query-conns N] [--query-iters N] [--no-overload] [--overload-conns N] \
+         [--query-conns N] [--query-iters N] [--pipeline N] \
+         [--no-overload] [--overload-conns N] \
          [--overload-iters N] [--scale-conns N] [--scale-rounds N] \
          [--rules N] [--expect-alerts MIN] [--rules-trace PATH] [--rules-overhead N] \
          [--obs-overhead] [--baseline PATH] [--tolerance F] [--compare PATH] \
@@ -211,6 +229,7 @@ fn parse_args() -> Options {
         skew: DeviceSkew::Uniform,
         query_conns: 8,
         query_iters: 600,
+        pipeline: 0,
         overload: true,
         overload_conns: 8,
         overload_iters: 150,
@@ -257,6 +276,7 @@ fn parse_args() -> Options {
             }
             "--query-conns" => opts.query_conns = parse(&mut args, "--query-conns"),
             "--query-iters" => opts.query_iters = parse(&mut args, "--query-iters"),
+            "--pipeline" => opts.pipeline = parse(&mut args, "--pipeline"),
             "--no-overload" => opts.overload = false,
             "--overload-conns" => opts.overload_conns = parse(&mut args, "--overload-conns"),
             "--overload-iters" => opts.overload_iters = parse(&mut args, "--overload-iters"),
@@ -317,6 +337,17 @@ fn phase_report(recorder: &LatencyRecorder, wall: std::time::Duration) -> PhaseR
         mean_us: s.mean.as_secs_f64() * 1e6,
         wall_ms: wall.as_secs_f64() * 1e3,
     }
+}
+
+/// The `--pipeline N` phase: batches of N requests per write, responses
+/// read in order; latency is the whole-batch round trip.
+#[derive(Serialize, Deserialize)]
+struct PipelineReport {
+    /// Requests pipelined per write (`--pipeline N`).
+    depth: usize,
+    /// Whole-batch round-trip latency (each sample covers `depth`
+    /// requests leaving in one write and `depth` responses read back).
+    batch_rtt: PhaseReport,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -416,6 +447,8 @@ struct PhaseWalls {
     ingest_ms: f64,
     drain_ms: f64,
     query_ms: f64,
+    #[serde(default)]
+    pipeline_ms: Option<f64>,
     overload_ms: Option<f64>,
     scale_ms: Option<f64>,
 }
@@ -430,6 +463,15 @@ struct ComparisonReport {
     this_ingest_ops_per_sec: f64,
     /// `this / against` — > 1.0 means this run was faster.
     speedup: f64,
+    /// Pipelined batch-RTT p99s, when both runs measured one (`--pipeline`
+    /// here and in the `--compare` run) — the response-batching A/B.
+    #[serde(default)]
+    against_pipeline_p99_us: Option<f64>,
+    #[serde(default)]
+    this_pipeline_p99_us: Option<f64>,
+    /// `against / this` — > 1.0 means this run's pipelined p99 improved.
+    #[serde(default)]
+    pipeline_p99_speedup: Option<f64>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -451,6 +493,14 @@ struct BenchReport {
     ingest: PhaseReport,
     query_connections: usize,
     query: PhaseReport,
+    /// The `--pipeline N` batched-query phase, when it ran.
+    #[serde(default)]
+    pipeline: Option<PipelineReport>,
+    /// Max/min per-loop-shard `bytes_read` ratio reported by the server
+    /// at the end of the run (min clamped to 1 byte; `None` when the
+    /// server reported no loop shards). 1.0 = perfectly even placement.
+    #[serde(default)]
+    loop_shard_spread: Option<f64>,
     overload: Option<OverloadReport>,
     scale: Option<ScaleReport>,
     rules: Option<RulesReport>,
@@ -1034,6 +1084,81 @@ fn main() {
     });
     let query_wall = query_wall.elapsed();
 
+    // Phase 2b — pipelined query mix (`--pipeline N`): the same analyst
+    // mix, but each connection sends batches of N requests in one write
+    // and reads the N responses back in order. Each recorded latency is
+    // the whole-batch round trip — N replies leaving the server in (at
+    // best) one writev instead of N writes is exactly what this phase
+    // measures.
+    let mut pipeline_wall_ms = None;
+    let pipeline = if opts.pipeline > 0 {
+        eprintln!(
+            "server_load: pipelined queries, {} connections x {} iterations, depth {}...",
+            opts.query_conns, opts.query_iters, opts.pipeline
+        );
+        let pipe_wall = Instant::now();
+        let mut pipe_lat = LatencyRecorder::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..opts.query_conns)
+                .map(|conn| {
+                    let hard_errors = &hard_errors;
+                    let addr = opts.addr.as_str();
+                    let (iters, depth, protocol) = (opts.query_iters, opts.pipeline, opts.protocol);
+                    s.spawn(move || {
+                        let mut recorder = LatencyRecorder::new();
+                        let mut client =
+                            connect(addr, protocol).expect("connect for pipelined queries");
+                        let mut sent = 0usize;
+                        while sent < iters {
+                            let batch = depth.min(iters - sent);
+                            let reqs: Vec<Request> = (0..batch)
+                                .map(|i| {
+                                    let (selector, query) = query_mix(conn + sent + i);
+                                    Request::Query {
+                                        request: QueryRequest::new(selector, query),
+                                    }
+                                })
+                                .collect();
+                            sent += batch;
+                            let t0 = Instant::now();
+                            match client.call_pipelined(reqs) {
+                                Ok(resps) => {
+                                    recorder.record(t0.elapsed());
+                                    for resp in resps {
+                                        match resp {
+                                            Response::Query { .. } => {}
+                                            other => {
+                                                eprintln!("pipelined query error: {other:?}");
+                                                hard_errors.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                        }
+                                    }
+                                }
+                                Err(e) => {
+                                    eprintln!("pipelined transport error: {e}");
+                                    hard_errors.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        recorder
+                    })
+                })
+                .collect();
+            for h in handles {
+                pipe_lat.merge(h.join().expect("pipelined query thread"));
+            }
+        });
+        let pipe_wall = pipe_wall.elapsed();
+        pipeline_wall_ms = Some(pipe_wall.as_secs_f64() * 1e3);
+        Some(PipelineReport {
+            depth: opts.pipeline,
+            batch_rtt: phase_report(&pipe_lat, pipe_wall),
+        })
+    } else {
+        None
+    };
+
     // Phase 3 — overload burst: hammer the queue, expect shedding to be
     // typed Overloaded responses and nothing worse.
     let mut overload_wall_ms = None;
@@ -1220,6 +1345,7 @@ fn main() {
     // Server-side accounting: metrics prove the bounded-queue invariant
     // (and, with --expect-wal, the durability layer's health).
     let mut alert_counters = (0u64, 0u64);
+    let mut loop_shard_spread = None;
     let mut admin = connect(opts.addr.as_str(), opts.protocol).expect("connect for metrics");
     if opts.expect_wal {
         // Exercise checkpoint+compact over the wire so the asserted
@@ -1271,6 +1397,24 @@ fn main() {
                 }
             }
             alert_counters = (m.alerts_delivered, m.alerts_dropped);
+            // Placement skew across event-loop shards: max/min bytes_read
+            // (min clamped to 1 byte so an idle shard reads as a large —
+            // not infinite — spread). 1.0 = perfectly even.
+            if !m.loop_shards.is_empty() {
+                let max = m
+                    .loop_shards
+                    .iter()
+                    .map(|s| s.bytes_read)
+                    .max()
+                    .unwrap_or(0);
+                let min = m
+                    .loop_shards
+                    .iter()
+                    .map(|s| s.bytes_read)
+                    .min()
+                    .unwrap_or(0);
+                loop_shard_spread = Some(max.max(1) as f64 / min.max(1) as f64);
+            }
             ServerSide {
                 requests: m.requests,
                 shed: m.shed,
@@ -1318,11 +1462,20 @@ fn main() {
         } else {
             0.0
         };
+        let against_pipe = against.pipeline.as_ref().map(|p| p.batch_rtt.p99_us);
+        let this_pipe = pipeline.as_ref().map(|p| p.batch_rtt.p99_us);
+        let pipe_speedup = match (against_pipe, this_pipe) {
+            (Some(a), Some(t)) if t > 0.0 => Some(a / t),
+            _ => None,
+        };
         ComparisonReport {
             against: path.clone(),
             against_ingest_ops_per_sec: against.ingest.ops_per_sec,
             this_ingest_ops_per_sec: ingest_phase.ops_per_sec,
             speedup,
+            against_pipeline_p99_us: against_pipe,
+            this_pipeline_p99_us: this_pipe,
+            pipeline_p99_speedup: pipe_speedup,
         }
     });
     // The overhead A/B runs in-process after the wire phases (it needs no
@@ -1358,6 +1511,8 @@ fn main() {
         ingest: ingest_phase,
         query_connections: opts.query_conns,
         query: phase_report(&query_lat, query_wall),
+        pipeline,
+        loop_shard_spread,
         overload,
         scale,
         rules: rules_report,
@@ -1366,6 +1521,7 @@ fn main() {
             ingest_ms: ingest_wall.as_secs_f64() * 1e3,
             drain_ms: drain_wall.as_secs_f64() * 1e3,
             query_ms: query_wall.as_secs_f64() * 1e3,
+            pipeline_ms: pipeline_wall_ms,
             overload_ms: overload_wall_ms,
             scale_ms: scale_wall_ms,
         }),
@@ -1393,6 +1549,15 @@ fn main() {
         report.query.p99_us,
         report.query.max_us,
     );
+    if let Some(p) = &report.pipeline {
+        println!(
+            "server_load: pipelined depth {} -> {} batches, batch RTT p50 {:.0} us, p99 {:.0} us, max {:.0} us",
+            p.depth, p.batch_rtt.requests, p.batch_rtt.p50_us, p.batch_rtt.p99_us, p.batch_rtt.max_us,
+        );
+    }
+    if let Some(spread) = report.loop_shard_spread {
+        println!("server_load: loop-shard bytes spread (max/min) {spread:.2}x");
+    }
     if let Some(o) = &report.overload {
         println!(
             "server_load: overload burst {} requests -> {} ok, {} shed, {} hard errors",
@@ -1458,6 +1623,16 @@ fn main() {
             "server_load: vs {} -> ingest {:.0} req/s against {:.0} req/s ({:.2}x)",
             c.against, c.this_ingest_ops_per_sec, c.against_ingest_ops_per_sec, c.speedup
         );
+        if let (Some(t), Some(a), Some(s)) = (
+            c.this_pipeline_p99_us,
+            c.against_pipeline_p99_us,
+            c.pipeline_p99_speedup,
+        ) {
+            println!(
+                "server_load: vs {} -> pipelined batch p99 {t:.0} us against {a:.0} us ({s:.2}x)",
+                c.against
+            );
+        }
     }
     println!("report written to {}", opts.out);
 
@@ -1532,6 +1707,15 @@ fn main() {
                 here.ping.p99_us <= ping_ceil,
                 here.ping.p99_us,
                 ping_ceil,
+            );
+        }
+        if let (Some(here), Some(base)) = (&report.pipeline, &baseline.pipeline) {
+            let batch_ceil = base.batch_rtt.p99_us * tol;
+            gate(
+                "pipelined batch p99 <= ceiling",
+                here.batch_rtt.p99_us <= batch_ceil,
+                here.batch_rtt.p99_us,
+                batch_ceil,
             );
         }
         if failed {

@@ -195,6 +195,86 @@ impl Client {
         }
     }
 
+    /// Sends a batch of requests back-to-back in one write, then reads the
+    /// responses in order — the client half of response batching: the
+    /// server's segmented write queue flushes all N replies with a single
+    /// `writev(2)` where the plain [`Client::call`] loop would pay one
+    /// round-trip (and one server-side write) per request.
+    ///
+    /// Responses come back in request order (the server processes one
+    /// connection's requests sequentially). Pushed alerts interleaved in
+    /// the stream are parked for [`Client::recv_alert`] exactly as in
+    /// [`Client::call`]. Any transport `Err` poisons the connection.
+    pub fn call_pipelined(&mut self, reqs: Vec<Request>) -> io::Result<Vec<Response>> {
+        if let Some(reason) = &self.poisoned {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                ClientPoisoned {
+                    reason: reason.clone(),
+                },
+            ));
+        }
+        let first_id = self.next_id;
+        self.next_id += reqs.len() as u64;
+        match self.exchange_pipelined(first_id, reqs) {
+            Ok(resps) => Ok(resps),
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible transport half of [`Client::call_pipelined`].
+    fn exchange_pipelined(
+        &mut self,
+        first_id: u64,
+        reqs: Vec<Request>,
+    ) -> io::Result<Vec<Response>> {
+        let n = reqs.len();
+        let mut wire = Vec::new();
+        for (i, req) in reqs.into_iter().enumerate() {
+            let id = first_id + i as u64;
+            match self.protocol {
+                PROTOCOL_V2 => {
+                    wire.extend_from_slice(&codec::encode_request_frame(&RequestEnvelope {
+                        v: PROTOCOL_V2,
+                        id,
+                        req,
+                    }));
+                }
+                _ => {
+                    let mut line = encode_request(&RequestEnvelope::new(id, req));
+                    line.push('\n');
+                    wire.extend_from_slice(line.as_bytes());
+                }
+            }
+        }
+        self.stream.write_all(&wire)?;
+        let mut resps = Vec::with_capacity(n);
+        for i in 0..n {
+            let want = first_id + i as u64;
+            loop {
+                let env = self.read_response()?;
+                if env.id == 0 {
+                    if let Response::Alert(alert) = env.resp {
+                        self.pending_alerts.push_back(alert);
+                        continue;
+                    }
+                }
+                if env.id != want && env.id != 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("response id {} does not match request id {want}", env.id),
+                    ));
+                }
+                resps.push(env.resp);
+                break;
+            }
+        }
+        Ok(resps)
+    }
+
     /// The fallible transport half of [`Client::call`] (any `Err` here
     /// poisons the connection).
     fn exchange(&mut self, id: u64, req: Request) -> io::Result<Response> {

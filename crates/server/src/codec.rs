@@ -288,10 +288,17 @@ impl<'a> Reader<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn str(&mut self) -> DecodeResult<String> {
+    /// Borrows a length-prefixed string straight out of the payload —
+    /// the zero-copy ingest path reads device ids this way, so a record's
+    /// decode allocates nothing.
+    fn str_ref(&mut self) -> DecodeResult<&'a str> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_string())
+        std::str::from_utf8(bytes).map_err(|_| "string is not UTF-8".to_string())
+    }
+
+    fn str(&mut self) -> DecodeResult<String> {
+        Ok(self.str_ref()?.to_string())
     }
 
     fn usize_count(&mut self) -> DecodeResult<usize> {
@@ -630,6 +637,152 @@ pub fn decode_request_frame(buf: &[u8]) -> Result<Option<(RequestEnvelope, usize
     check_crc(payload, crc)?;
     let env = decode_request_payload(payload, total)?;
     Ok(Some((env, total)))
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy ingest decode
+// ---------------------------------------------------------------------------
+
+/// One ingest record parsed *in place* from a v2 frame payload: the device
+/// id borrows the connection's read buffer instead of allocating a
+/// `String`, and the scalars are copied out of their fixed-width fields.
+///
+/// This is the borrowed twin of [`trips_data::RawRecord`]; the server
+/// resolves `device` against a per-connection intern table and only then
+/// materializes the owned record handed to the translator. Views never
+/// outlive one parse step — the buffer they borrow is consumed as soon as
+/// the frame is dispatched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawRecordRef<'a> {
+    /// Raw device id, borrowed from the frame payload (validated UTF-8).
+    pub device: &'a str,
+    /// X coordinate (meters, deployment frame).
+    pub x: f64,
+    /// Y coordinate (meters, deployment frame).
+    pub y: f64,
+    /// Floor number.
+    pub floor: i16,
+    /// Sample timestamp (the raw `i64` of a [`Timestamp`]).
+    pub ts: i64,
+}
+
+impl RawRecordRef<'_> {
+    /// Materializes the owned record (allocates the device id). The
+    /// serving path avoids this in favor of its intern table; tests use it
+    /// to check the borrowed decode against the owned one.
+    pub fn to_record(&self) -> RawRecord {
+        RawRecord::new(
+            DeviceId::new(self.device),
+            self.x,
+            self.y,
+            self.floor,
+            Timestamp(self.ts),
+        )
+    }
+}
+
+/// A v2 `Ingest` frame decoded zero-copy: the correlation id plus record
+/// views borrowing the frame payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestFrameRef<'a> {
+    /// Envelope correlation id.
+    pub id: u64,
+    /// The batch, parsed in place.
+    pub records: Vec<RawRecordRef<'a>>,
+}
+
+/// One decoded request frame, borrowed where it pays.
+///
+/// `Ingest` is the hot path — per-record strings dominate its decode cost,
+/// so it parses into [`RawRecordRef`] views. Every other request decodes
+/// through the owned path (they are rare, small, or both).
+#[derive(Debug, PartialEq)]
+pub enum RequestFrameRef<'a> {
+    /// A v2 `Ingest`, parsed in place.
+    Ingest(IngestFrameRef<'a>),
+    /// Any other request, decoded to its owned form.
+    Owned(RequestEnvelope),
+}
+
+/// Parses the body of an `INGEST` payload (tag already consumed) into
+/// borrowed views. The pre-allocation is clamped by the bytes actually
+/// remaining, so a lying record count cannot balloon memory.
+fn decode_ingest_records<'a>(r: &mut Reader<'a>) -> DecodeResult<Vec<RawRecordRef<'a>>> {
+    /// Minimum encoded record size: device len prefix + x + y + floor + ts.
+    const MIN_RECORD_BYTES: usize = 4 + 8 + 8 + 2 + 8;
+    let count = r.usize_count()?;
+    let remaining = r.data.len() - r.pos;
+    let mut records = Vec::with_capacity(count.min(remaining / MIN_RECORD_BYTES));
+    for _ in 0..count {
+        let device = r.str_ref()?;
+        let x = r.f64()?;
+        let y = r.f64()?;
+        let floor = r.i16()?;
+        let ts = r.i64()?;
+        records.push(RawRecordRef {
+            device,
+            x,
+            y,
+            floor,
+            ts,
+        });
+    }
+    r.done()?;
+    Ok(records)
+}
+
+/// The zero-copy twin of [`decode_request_frame`]: same contract, same
+/// [`FrameError`] taxonomy, same consumed count — but an `Ingest` frame
+/// comes back as borrowed [`RawRecordRef`] views instead of owned records.
+/// On every input, `Ingest(view)` here and `Request::Ingest { records }`
+/// from the owned decode describe the same records (the interop and
+/// property tests pin this).
+pub fn decode_request_frame_ref(
+    buf: &[u8],
+) -> Result<Option<(RequestFrameRef<'_>, usize)>, FrameError> {
+    let Some((len, crc)) = parse_header(buf)? else {
+        return Ok(None);
+    };
+    let total = HEADER_LEN + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = &buf[HEADER_LEN..total];
+    check_crc(payload, crc)?;
+    let mut r = Reader::new(payload);
+    let id = r.u64().map_err(|message| FrameError::Malformed {
+        id: 0,
+        consumed: total,
+        message,
+    })?;
+    if r.u8() == Ok(req_tag::INGEST) {
+        let records = decode_ingest_records(&mut r).map_err(|message| FrameError::Malformed {
+            id,
+            consumed: total,
+            message,
+        })?;
+        return Ok(Some((
+            RequestFrameRef::Ingest(IngestFrameRef { id, records }),
+            total,
+        )));
+    }
+    // Anything else (including a truncated tag byte): the owned decode
+    // handles every case and error path identically.
+    let env = decode_request_payload(payload, total)?;
+    Ok(Some((RequestFrameRef::Owned(env), total)))
+}
+
+/// Encodes a pushed alert (correlation id 0) as one complete v2 frame,
+/// straight from the borrowed alert — byte-identical to framing
+/// `Response::Alert(alert.clone())`, without the clone. The server's
+/// fan-out path encodes each alert once this way and refcounts the bytes
+/// across subscriber write queues.
+pub fn encode_alert_frame(alert: &Alert) -> Vec<u8> {
+    let mut b = Buf::new();
+    b.u64(0);
+    b.u8(resp_tag::ALERT);
+    b.str(&serde_json::to_string(alert).expect("alerts always serialize"));
+    frame(b.out)
 }
 
 // ---------------------------------------------------------------------------
@@ -1309,12 +1462,16 @@ mod tests {
                     connections: 1,
                     pending_completions: 0,
                     wakeups: 9,
+                    bytes_read: 2048,
+                    jobs: 4,
                 },
                 LoopShardMetrics {
                     shard: 1,
                     connections: 1,
                     pending_completions: 2,
                     wakeups: 11,
+                    bytes_read: 1024,
+                    jobs: 2,
                 },
             ],
             translator_shards: 4,
@@ -1345,6 +1502,8 @@ mod tests {
             store_lock_contention: 4,
             rule_evals: 40,
             rule_fires: 2,
+            connections_reaped: 1,
+            connections_rebalanced: 2,
         }));
         roundtrip_response(Response::MetricsProm {
             text: "# TYPE trips_requests_total counter\ntrips_requests_total 100\n".into(),
@@ -1611,5 +1770,155 @@ mod tests {
         let (second, rest) = decode_request_frame(&bytes[consumed..]).unwrap().unwrap();
         assert_eq!(second, b);
         assert_eq!(consumed + rest, bytes.len());
+    }
+
+    /// Decode `bytes` with both decoders and assert they agree exactly:
+    /// same progress (None/Some/Err), same consumed count, same envelope
+    /// once the borrowed records are materialized.
+    fn assert_ref_decode_agrees(bytes: &[u8]) {
+        let owned = decode_request_frame(bytes);
+        let borrowed = decode_request_frame_ref(bytes);
+        match (owned, borrowed) {
+            (Ok(None), Ok(None)) => {}
+            (Ok(Some((env, n))), Ok(Some((frame_ref, m)))) => {
+                assert_eq!(n, m, "consumed counts diverge");
+                match frame_ref {
+                    RequestFrameRef::Ingest(view) => {
+                        assert_eq!(view.id, env.id);
+                        let materialized: Vec<RawRecord> =
+                            view.records.iter().map(|r| r.to_record()).collect();
+                        match env.req {
+                            Request::Ingest { records } => assert_eq!(materialized, records),
+                            other => panic!("owned decode disagrees on tag: {other:?}"),
+                        }
+                    }
+                    RequestFrameRef::Owned(ref_env) => assert_eq!(ref_env, env),
+                }
+            }
+            (Err(a), Err(b)) => assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            (owned, borrowed) => {
+                panic!("decoders diverge: owned={owned:?} borrowed={borrowed:?}")
+            }
+        }
+    }
+
+    fn ingest_envelope(id: u64, records: Vec<RawRecord>) -> RequestEnvelope {
+        RequestEnvelope {
+            v: FRAME_VERSION as u32,
+            id,
+            req: Request::Ingest { records },
+        }
+    }
+
+    #[test]
+    fn zero_copy_ingest_decode_matches_owned() {
+        let cases = vec![
+            ingest_envelope(1, vec![]),
+            ingest_envelope(
+                2,
+                vec![RawRecord::new(
+                    DeviceId::new("tag-1"),
+                    1.5,
+                    -2.5,
+                    3,
+                    Timestamp(1000),
+                )],
+            ),
+            ingest_envelope(
+                3,
+                vec![
+                    RawRecord::new(
+                        DeviceId::new(""),
+                        f64::MIN,
+                        f64::MAX,
+                        i16::MIN,
+                        Timestamp(i64::MIN),
+                    ),
+                    RawRecord::new(DeviceId::new("repeat"), 0.0, -0.0, 0, Timestamp(0)),
+                    RawRecord::new(
+                        DeviceId::new("repeat"),
+                        f64::INFINITY,
+                        f64::NEG_INFINITY,
+                        i16::MAX,
+                        Timestamp(i64::MAX),
+                    ),
+                    RawRecord::new(DeviceId::new("unicode-τρίψ"), 9.25, 8.75, -1, Timestamp(42)),
+                ],
+            ),
+        ];
+        for env in cases {
+            let bytes = encode_request_frame(&env);
+            assert_ref_decode_agrees(&bytes);
+            // And every truncated prefix makes identical progress (Ok(None)).
+            for cut in 0..bytes.len() {
+                assert_ref_decode_agrees(&bytes[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_copy_decode_defers_non_ingest_to_owned_path() {
+        let env = RequestEnvelope {
+            v: FRAME_VERSION as u32,
+            id: 77,
+            req: Request::Ping,
+        };
+        let bytes = encode_request_frame(&env);
+        let (frame_ref, consumed) = decode_request_frame_ref(&bytes).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(frame_ref, RequestFrameRef::Owned(env));
+    }
+
+    #[test]
+    fn zero_copy_decode_malformed_parity() {
+        // A structurally valid frame whose ingest body lies about its record
+        // count: both decoders must report the same recoverable error.
+        let mut b = Buf::new();
+        b.u64(9);
+        b.u8(req_tag::INGEST);
+        b.u32(5); // claims 5 records, provides none
+        let bytes = frame(b.out);
+        assert_ref_decode_agrees(&bytes);
+        let err = decode_request_frame_ref(&bytes).unwrap_err();
+        assert!(err.is_recoverable(), "{err:?}");
+
+        // A corrupted checksum stays fatal on both paths.
+        let env = ingest_envelope(
+            4,
+            vec![RawRecord::new(
+                DeviceId::new("d"),
+                1.0,
+                2.0,
+                0,
+                Timestamp(7),
+            )],
+        );
+        let mut bytes = encode_request_frame(&env);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert_ref_decode_agrees(&bytes);
+        assert!(!decode_request_frame_ref(&bytes)
+            .unwrap_err()
+            .is_recoverable());
+    }
+
+    #[test]
+    fn alert_frame_matches_owned_encoding() {
+        let alert = Alert {
+            rule_id: 3,
+            rule_name: "overcrowded".to_string(),
+            device: Some("tag-9".to_string()),
+            region: Some(12),
+            region_name: Some("atrium".to_string()),
+            message: "occupancy over threshold".to_string(),
+            at_ms: 1_700_000_000_000,
+            seq: 41,
+        };
+        let owned = encode_response_frame(&ResponseEnvelope {
+            v: FRAME_VERSION as u32,
+            id: 0,
+            resp: Response::Alert(alert.clone()),
+        });
+        assert_eq!(encode_alert_frame(&alert), owned);
     }
 }

@@ -125,6 +125,71 @@ pub fn fd_of<T>(_sock: &T) -> i32 {
     -1
 }
 
+/// Upper bound on iovecs per [`writev_fd`] call — comfortably under every
+/// platform's `IOV_MAX` (1024 on Linux) while keeping the on-stack iovec
+/// array small. Callers with more segments just call again.
+pub const WRITEV_BATCH_MAX: usize = 64;
+
+#[cfg(unix)]
+mod writev_sys {
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+
+    /// Kernel `struct iovec`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct IoVec {
+        base: *const c_void,
+        len: usize,
+    }
+
+    extern "C" {
+        fn writev(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
+    }
+
+    /// Gather-writes up to [`WRITEV_BATCH_MAX`](super::WRITEV_BATCH_MAX)
+    /// buffers in one syscall, with EINTR retry. Returns total bytes
+    /// written (a short count spanning segment boundaries is normal);
+    /// `WouldBlock` surfaces as the usual `io::ErrorKind`.
+    pub fn writev_fd(fd: i32, bufs: &[&[u8]]) -> io::Result<usize> {
+        let mut iov = [IoVec {
+            base: std::ptr::null(),
+            len: 0,
+        }; super::WRITEV_BATCH_MAX];
+        let n = bufs.len().min(super::WRITEV_BATCH_MAX);
+        for (slot, buf) in iov.iter_mut().zip(&bufs[..n]) {
+            slot.base = buf.as_ptr().cast();
+            slot.len = buf.len();
+        }
+        loop {
+            // Safety: the first `n` iovecs point into slices that outlive
+            // the call; the kernel only reads them.
+            let rc = unsafe { writev(fd, iov.as_ptr(), n as c_int) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use writev_sys::writev_fd;
+
+/// Without unix fds there is nothing to gather-write into; the serve loop
+/// only selects the writev flush path on unix backends.
+#[cfg(not(unix))]
+pub fn writev_fd(_fd: i32, _bufs: &[&[u8]]) -> io::Result<usize> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "writev requires unix",
+    ))
+}
+
 #[cfg(target_os = "linux")]
 mod epoll_sys {
     use std::io;
@@ -142,6 +207,9 @@ mod epoll_sys {
     const EPOLL_CLOEXEC: c_int = 0o2000000;
     const EFD_CLOEXEC: c_int = 0o2000000;
     const EFD_NONBLOCK: c_int = 0o4000;
+    const TFD_CLOEXEC: c_int = 0o2000000;
+    const TFD_NONBLOCK: c_int = 0o4000;
+    const CLOCK_MONOTONIC: c_int = 1;
 
     /// Kernel `struct epoll_event`. Packed on x86-64 (the kernel ABI there
     /// has no padding between `events` and `data`); natural layout on
@@ -167,6 +235,29 @@ mod epoll_sys {
         fn close(fd: c_int) -> c_int;
         fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
         fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn timerfd_create(clockid: c_int, flags: c_int) -> c_int;
+        fn timerfd_settime(
+            fd: c_int,
+            flags: c_int,
+            new_value: *const Itimerspec,
+            old_value: *mut Itimerspec,
+        ) -> c_int;
+    }
+
+    /// Kernel `struct timespec` (64-bit time_t targets).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Timespec {
+        tv_sec: std::os::raw::c_long,
+        tv_nsec: std::os::raw::c_long,
+    }
+
+    /// Kernel `struct itimerspec`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Itimerspec {
+        it_interval: Timespec,
+        it_value: Timespec,
     }
 
     /// An owned epoll instance.
@@ -277,7 +368,65 @@ mod epoll_sys {
             unsafe { close(self.0) };
         }
     }
+
+    /// An owned nonblocking `timerfd(2)` armed with a repeating interval —
+    /// the idle-reap tick under epoll. Expirations accumulate in a kernel
+    /// u64 counter (an edge for EPOLLET); one [`TimerFd::drain`] clears
+    /// however many fired.
+    #[derive(Debug)]
+    pub struct TimerFd(c_int);
+
+    impl TimerFd {
+        /// Creates a monotonic timer firing every `period` (floored to
+        /// 1 ms — a zero `it_value` would disarm it entirely).
+        pub fn new_interval(period: std::time::Duration) -> io::Result<Self> {
+            // Safety: plain syscall, no pointers.
+            let fd = unsafe { timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let timer = TimerFd(fd);
+            let period = period.max(std::time::Duration::from_millis(1));
+            let spec = Timespec {
+                tv_sec: period.as_secs() as std::os::raw::c_long,
+                tv_nsec: period.subsec_nanos() as std::os::raw::c_long,
+            };
+            let its = Itimerspec {
+                it_interval: spec,
+                it_value: spec,
+            };
+            // Safety: `its` outlives the call; the kernel copies it.
+            let rc = unsafe { timerfd_settime(timer.0, 0, &its, std::ptr::null_mut()) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(timer)
+        }
+
+        pub fn fd(&self) -> i32 {
+            self.0
+        }
+
+        /// Reads and clears the expiration counter (EAGAIN when clear).
+        pub fn drain(&self) {
+            let mut buf: u64 = 0;
+            // Safety: 8 writable bytes at a valid pointer.
+            unsafe { read(self.0, (&mut buf as *mut u64).cast(), 8) };
+        }
+    }
+
+    impl Drop for TimerFd {
+        fn drop(&mut self) {
+            // Safety: fd is owned and closed exactly once.
+            unsafe { close(self.0) };
+        }
+    }
 }
+
+/// Re-export for the serve loop's timerfd-driven idle reaping (linux only;
+/// the poll backend reaps on its bounded wait laps instead).
+#[cfg(target_os = "linux")]
+pub use epoll_sys::TimerFd;
 
 /// Which readiness backend to run. `Auto` resolves to epoll on Linux and
 /// poll(2) everywhere else.
@@ -723,6 +872,37 @@ mod tests {
         assert_eq!(poller.backend_name(), "epoll");
         assert!(poller.edge_triggered());
         waker_roundtrip(poller);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn writev_fd_gathers_segments_into_one_stream() {
+        use std::io::Read as _;
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        let bufs: [&[u8]; 3] = [b"ab", b"", b"cdef"];
+        let n = writev_fd(fd_of(&tx), &bufs).unwrap();
+        assert_eq!(n, 6);
+        let mut got = [0u8; 6];
+        rx.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"abcdef");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn timerfd_fires_repeatedly_and_drains() {
+        let timer = TimerFd::new_interval(Duration::from_millis(5)).unwrap();
+        let mut poller = Poller::new(BackendChoice::Epoll).unwrap();
+        poller.register(timer.fd(), 3, true, false).unwrap();
+        let mut events = Vec::new();
+        poller.wait(1000, &mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
+        timer.drain();
+        // A fresh interval elapses: the drained timer fires again.
+        poller.wait(1000, &mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
     }
 
     #[test]

@@ -20,16 +20,22 @@
 //!   (the WAL's codec idiom applied to the wire), with a typed
 //!   [`FrameError`] split into fatal (desynchronized — close) and
 //!   recoverable (bad body in a well-delimited frame — answer and
-//!   continue) cases;
-//! * [`event`] — `poll(2)` readiness multiplexing and the worker→event-loop
-//!   [`event::Waker`];
-//! * [`server`] — [`TripsServer`]: a poll-based event loop driving every
-//!   connection on one thread, per-connection sessions with per-device
+//!   continue) cases, plus a **zero-copy ingest decode**
+//!   ([`decode_request_frame_ref`] / [`RawRecordRef`]) that parses v2
+//!   ingest batches as borrowed views straight out of the connection
+//!   read buffer;
+//! * [`event`] — `poll(2)`/`epoll(7)` readiness multiplexing, the
+//!   worker→event-loop [`event::Waker`], and raw `writev(2)` /
+//!   `timerfd` bindings for batched flushes and idle-timeout ticks;
+//! * [`server`] — [`TripsServer`]: sharded event loops driving every
+//!   connection, per-connection sessions with per-device
 //!   refcounts, a fixed worker pool behind a **bounded admission queue**
 //!   that sheds load ([`ServerError::Overloaded`]) instead of growing,
-//!   adaptive ingest micro-batching, connection limits, per-endpoint
-//!   latency metrics, snapshot save / snapshot boot, and graceful
-//!   drain-and-shutdown;
+//!   adaptive ingest micro-batching, segmented write queues flushed via
+//!   `writev`, least-loaded acceptor placement with optional idle
+//!   connection migration, idle-connection reaping, connection limits,
+//!   per-endpoint latency metrics, snapshot save / snapshot boot, and
+//!   graceful drain-and-shutdown;
 //! * [`client`] — a blocking [`Client`] speaking either protocol version,
 //!   for tests, tools and the `server_load` generator;
 //! * [`bootstrap`] — DSM + trained-editor assembly from a `trips-sim`
@@ -55,8 +61,9 @@ pub mod server;
 pub use bootstrap::{bootstrap_scenario, editor_from_truth, ServerBootstrap};
 pub use client::{Client, ClientPoisoned, SlowLogPayload};
 pub use codec::{
-    decode_request_frame, decode_response_frame, encode_request_frame, encode_response_frame,
-    FrameError, FRAME_MAGIC, MAX_FRAME_PAYLOAD,
+    decode_request_frame, decode_request_frame_ref, decode_response_frame, encode_alert_frame,
+    encode_request_frame, encode_response_frame, FrameError, IngestFrameRef, RawRecordRef,
+    RequestFrameRef, FRAME_MAGIC, MAX_FRAME_PAYLOAD,
 };
 pub use event::BackendChoice;
 pub use protocol::{

@@ -294,6 +294,14 @@ pub struct LoopShardMetrics {
     /// Times this shard's waker was signaled (worker completions +
     /// acceptor handoffs).
     pub wakeups: u64,
+    /// Bytes this shard's connections read off their sockets — one half
+    /// of the observed-load signal behind least-loaded placement.
+    #[serde(default)]
+    pub bytes_read: u64,
+    /// Work jobs this shard queued for the worker pool — the other half
+    /// of the observed-load signal.
+    #[serde(default)]
+    pub jobs: u64,
 }
 
 /// Metrics endpoint payload.
@@ -373,6 +381,13 @@ pub struct MetricsReport {
     /// Standing-rule fires across all rules.
     #[serde(default)]
     pub rule_fires: u64,
+    /// Connections closed for sitting idle past the configured
+    /// `--idle-timeout` (0 when reaping is off).
+    #[serde(default)]
+    pub connections_reaped: u64,
+    /// Idle connections migrated between loop shards by `--rebalance`.
+    #[serde(default)]
+    pub connections_rebalanced: u64,
 }
 
 /// A request plus version + correlation id — one line on the wire.
@@ -422,6 +437,33 @@ pub fn encode_request(env: &RequestEnvelope) -> String {
 /// Serializes an envelope to its wire line (no trailing newline).
 pub fn encode_response(env: &ResponseEnvelope) -> String {
     serde_json::to_string(env).expect("response envelopes always serialize")
+}
+
+/// Serializes a pushed alert to its v1 wire line (no trailing newline)
+/// straight from a borrowed [`Alert`] — byte-identical to
+/// `encode_response` of an id-0 `Response::Alert` envelope, without
+/// cloning the alert. The alert fan-out path encodes once per framing and
+/// shares the bytes across subscribers.
+pub fn encode_alert_line(alert: &Alert) -> String {
+    // The vendored serde derive has no `rename`; the field is named for
+    // the wire key it must produce (the externally-tagged `Alert` variant).
+    #[allow(non_snake_case)]
+    #[derive(Serialize)]
+    struct RespRef<'a> {
+        Alert: &'a Alert,
+    }
+    #[derive(Serialize)]
+    struct EnvRef<'a> {
+        v: u32,
+        id: u64,
+        resp: RespRef<'a>,
+    }
+    serde_json::to_string(&EnvRef {
+        v: PROTOCOL_VERSION,
+        id: 0,
+        resp: RespRef { Alert: alert },
+    })
+    .expect("alerts always serialize")
 }
 
 /// Parses one request line. `Err` carries the error response to write back
@@ -571,6 +613,8 @@ mod tests {
                     connections: 2,
                     pending_completions: 1,
                     wakeups: 42,
+                    bytes_read: 4096,
+                    jobs: 7,
                 }],
                 translator_shards: 8,
                 translator_lock_contention: 3,
@@ -607,6 +651,8 @@ mod tests {
                 store_lock_contention: 1,
                 rule_evals: 120,
                 rule_fires: 3,
+                connections_reaped: 1,
+                connections_rebalanced: 4,
             }),
             Response::SnapshotSaved {
                 path: "/tmp/snap.json".into(),
@@ -760,6 +806,8 @@ mod tests {
                 store_lock_contention: 0,
                 rule_evals: 0,
                 rule_fires: 0,
+                connections_reaped: 0,
+                connections_rebalanced: 0,
             }),
         );
         let line = encode_response(&env);
@@ -821,5 +869,21 @@ mod tests {
             .endpoint(),
             "query"
         );
+    }
+
+    #[test]
+    fn alert_line_matches_owned_envelope_encoding() {
+        let alert = Alert {
+            rule_id: 7,
+            rule_name: "crowding".to_string(),
+            device: Some("tag-3".to_string()),
+            region: Some(4),
+            region_name: None,
+            message: "threshold crossed".to_string(),
+            at_ms: 123_456,
+            seq: 2,
+        };
+        let owned = encode_response(&ResponseEnvelope::new(0, Response::Alert(alert.clone())));
+        assert_eq!(encode_alert_line(&alert), owned);
     }
 }

@@ -97,14 +97,17 @@
 //! become queryable; recovery therefore always reproduces exactly the
 //! queryable state.
 
-use crate::codec::{self, FrameError, FRAME_MAGIC, HEADER_LEN, MAX_FRAME_PAYLOAD};
-use crate::event::{fd_of, poll_fds, BackendChoice, Event, PollFd, Poller, Waker, POLLIN};
+use crate::codec::{self, FrameError, RequestFrameRef, FRAME_MAGIC, HEADER_LEN, MAX_FRAME_PAYLOAD};
+use crate::event::{
+    fd_of, poll_fds, writev_fd, BackendChoice, Event, PollFd, Poller, Waker, POLLIN,
+    WRITEV_BATCH_MAX,
+};
 use crate::protocol::{
     EndpointMetrics, HealthReport, LoopShardMetrics, MetricsReport, Request, RequestEnvelope,
     Response, ResponseEnvelope, ServerError,
 };
 use crate::queue::{BoundedQueue, PushError};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Component, Path, PathBuf};
@@ -113,7 +116,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use trips_annotate::EventEditor;
 use trips_core::stream::{StreamConfig, StreamingTranslator};
-use trips_data::DeviceId;
+use trips_data::{DeviceId, RawRecord, Timestamp};
 use trips_dsm::DigitalSpaceModel;
 use trips_obs::{stage, Histogram, Registry, SlowLog, SpanRecord, TraceRing, STAGE_COUNT};
 use trips_store::{boot_store, DurabilityConfig, QueryService, RecoveryReport, SemanticsStore};
@@ -181,6 +184,31 @@ const _: () = assert!(
 
 /// The registration token reserved for each shard's waker fd.
 const WAKER_TOKEN: u64 = u64::MAX;
+
+/// The registration token reserved for the idle-reap timerfd (epoll only;
+/// the poll backend's bounded wait laps pace the reap sweep instead).
+const TIMER_TOKEN: u64 = u64::MAX - 1;
+
+/// Most queued bytes the coalesced-write fallback copies into its scratch
+/// buffer per flush attempt (the poll backend's stand-in for `writev`).
+const COALESCE_WRITE_MAX: usize = 64 * 1024;
+
+/// Cap on per-connection interned device ids (zero-copy decode path) —
+/// bounds memory against a client that invents a new id per record.
+const INTERN_MAX: usize = 4096;
+
+/// Approximate byte-cost a queued work job contributes to a shard's
+/// observed load: queries and flushes carry few wire bytes but real
+/// execution cost, so the acceptor's placement signal weighs them as if
+/// they were a 4 KiB read.
+const JOB_LOAD_BYTES: u64 = 4096;
+
+/// How often the acceptor refreshes its per-shard load estimate, and how
+/// often a shard lap looks for a migratable idle connection.
+const REBALANCE_INTERVAL: Duration = Duration::from_millis(500);
+
+/// How often the acceptor decays its observed-load EWMA.
+const LOAD_REFRESH: Duration = Duration::from_millis(100);
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -252,6 +280,22 @@ pub struct ServerConfig {
     pub trace_ring: usize,
     /// Slow-log capacity (`0` = [`DEFAULT_SLOW_LOG`]).
     pub slow_log: usize,
+    /// Close connections idle (no reads, no in-flight work, nothing
+    /// buffered to write) longer than this. `None` (the default) never
+    /// reaps — device streams are expected to sit quiet between fixes.
+    /// Reaped connections count in `connections_reaped` and tear down
+    /// exactly like a client disconnect (sessions settle, rules die).
+    pub idle_timeout: Option<Duration>,
+    /// Let loop shards migrate idle connections toward the least-loaded
+    /// shard between laps (off by default — placement alone fixes most
+    /// skew; migration helps when long-lived firehose connections change
+    /// character mid-life).
+    pub rebalance: bool,
+    /// Flush per-connection response queues with one gather-write
+    /// (`writev(2)`) under the epoll backend (default). Off — or under
+    /// the poll backend — segments are coalesced into a bounded scratch
+    /// buffer and written with plain `write`.
+    pub writev_batch: bool,
 }
 
 impl Default for ServerConfig {
@@ -279,6 +323,9 @@ impl Default for ServerConfig {
             slow_threshold_us: DEFAULT_SLOW_THRESHOLD_US,
             trace_ring: 0,
             slow_log: 0,
+            idle_timeout: None,
+            rebalance: false,
+            writev_batch: true,
         }
     }
 }
@@ -333,6 +380,113 @@ fn encode_wire(wire: Wire, env: &ResponseEnvelope) -> Vec<u8> {
             line
         }
         Wire::V2 => codec::encode_response_frame(env),
+    }
+}
+
+/// How a loop shard flushes a connection's queued response segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteBatching {
+    /// One `writev(2)` per flush: every queued frame (replies + pushed
+    /// alerts) leaves in a single syscall, no copying (epoll backend).
+    Writev,
+    /// Coalesce small segments into a bounded scratch buffer and `write`
+    /// once (poll backend / `--no-writev-batch`).
+    Coalesce,
+}
+
+/// One queued response segment: bytes this connection owns, or alert
+/// bytes encoded once and shared (refcounted) across subscribers.
+enum Chunk {
+    Owned(Vec<u8>),
+    Shared(Arc<[u8]>),
+}
+
+impl Chunk {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Chunk::Owned(v) => v,
+            Chunk::Shared(b) => b,
+        }
+    }
+}
+
+/// A connection's pending output as a segmented queue of encoded frames.
+/// Keeping frames as segments (instead of copying each into one flat
+/// buffer) lets the flush path hand N frames to one `writev(2)` and lets
+/// alert fan-out enqueue shared bytes without copying them per subscriber.
+/// `head` tracks the partially-written prefix of the front segment.
+#[derive(Default)]
+struct WriteQueue {
+    segs: VecDeque<Chunk>,
+    head: usize,
+    len: usize,
+}
+
+impl WriteQueue {
+    /// Total unwritten bytes across all segments.
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, chunk: Chunk) {
+        let n = chunk.as_slice().len();
+        if n == 0 {
+            return;
+        }
+        self.len += n;
+        self.segs.push_back(chunk);
+    }
+
+    /// Fills `bufs` with up to [`WRITEV_BATCH_MAX`] readable slices (the
+    /// front segment minus its already-written prefix) and returns how
+    /// many were filled.
+    fn gather<'q>(&'q self, bufs: &mut [&'q [u8]; WRITEV_BATCH_MAX]) -> usize {
+        let mut n = 0;
+        for seg in self.segs.iter().take(WRITEV_BATCH_MAX) {
+            let s = seg.as_slice();
+            bufs[n] = if n == 0 { &s[self.head..] } else { s };
+            n += 1;
+        }
+        n
+    }
+
+    /// Copies up to [`COALESCE_WRITE_MAX`] queued bytes into `scratch`
+    /// (cleared first) — the write fallback when gather-write is off.
+    fn coalesce_into(&self, scratch: &mut Vec<u8>) {
+        scratch.clear();
+        let mut head = self.head;
+        for seg in &self.segs {
+            let s = &seg.as_slice()[head..];
+            head = 0;
+            let room = COALESCE_WRITE_MAX - scratch.len();
+            if room == 0 {
+                break;
+            }
+            scratch.extend_from_slice(&s[..s.len().min(room)]);
+        }
+    }
+
+    /// Marks `n` bytes written (`n` ≤ `len`), dropping flushed segments.
+    fn consume(&mut self, mut n: usize) {
+        self.len -= n;
+        while n > 0 {
+            let Some(front) = self.segs.front() else {
+                unreachable!("consume within len");
+            };
+            let left = front.as_slice().len() - self.head;
+            if n >= left {
+                n -= left;
+                self.segs.pop_front();
+                self.head = 0;
+            } else {
+                self.head += n;
+                n = 0;
+            }
+        }
     }
 }
 
@@ -391,7 +545,7 @@ struct PendingSpan {
 /// A finished job: pre-encoded response bytes headed for one connection.
 struct Done {
     token: u64,
-    bytes: Vec<u8>,
+    bytes: Chunk,
     /// Devices this job's executed ingest made the session responsible
     /// for (empty for everything else).
     ingested: Vec<DeviceId>,
@@ -457,6 +611,16 @@ struct ShardState {
     wakeups: AtomicU64,
     /// Connections currently owned by the shard (metrics gauge).
     connections: AtomicUsize,
+    /// Bytes this shard's connections read off their sockets (monotonic).
+    /// With `jobs`, the observed-load signal behind the acceptor's
+    /// least-loaded placement and `--rebalance` migration.
+    bytes_read: AtomicU64,
+    /// Work jobs this shard queued for the worker pool (monotonic).
+    jobs: AtomicU64,
+    /// Idle connections another shard migrated here (`--rebalance`),
+    /// paired with `waker` like `incoming` — the receiving loop
+    /// re-registers them under their existing tokens.
+    migrations: parking_lot::Mutex<Vec<(u64, Conn)>>,
 }
 
 impl ShardState {
@@ -516,6 +680,14 @@ struct Shared<'env> {
     /// Alert pushes a sink accepted but the loop shard then discarded
     /// (subscriber gone, or its write buffer over [`ALERT_BUF_MAX`]).
     alerts_dropped_late: AtomicU64,
+    /// Connections closed for exceeding [`ServerConfig::idle_timeout`].
+    conns_reaped: AtomicU64,
+    /// Idle connections migrated between loop shards (`--rebalance`).
+    conns_rebalanced: AtomicU64,
+    /// How loop shards flush their connections' write queues.
+    batching: WriteBatching,
+    idle_timeout: Option<Duration>,
+    rebalance: bool,
 }
 
 /// Validates a wire-supplied snapshot path against the configured root:
@@ -822,6 +994,16 @@ impl<'env> Shared<'env> {
             self.slow_requests.load(Ordering::Relaxed),
         );
         set(
+            "trips_connections_reaped_total",
+            "Connections closed for exceeding the idle timeout",
+            self.conns_reaped.load(Ordering::Relaxed),
+        );
+        set(
+            "trips_connections_rebalanced_total",
+            "Idle connections migrated between loop shards",
+            self.conns_rebalanced.load(Ordering::Relaxed),
+        );
+        set(
             "trips_slowlog_evicted_total",
             "Promoted spans evicted by the slow-log cap",
             self.slowlog.evicted(),
@@ -882,6 +1064,18 @@ impl<'env> Shared<'env> {
                 &labels,
             )
             .set(state.completions.lock().len() as i64);
+            r.counter(
+                "trips_loop_shard_bytes_read_total",
+                "Socket bytes read per event-loop shard",
+                &labels,
+            )
+            .set(state.bytes_read.load(Ordering::Relaxed));
+            r.counter(
+                "trips_loop_shard_jobs_total",
+                "Work jobs queued per event-loop shard",
+                &labels,
+            )
+            .set(state.jobs.load(Ordering::Relaxed));
         }
         r.render_prometheus()
     }
@@ -1095,6 +1289,8 @@ impl<'env> Shared<'env> {
                 connections: state.connections.load(Ordering::Relaxed),
                 pending_completions: state.completions.lock().len(),
                 wakeups: state.wakeups.load(Ordering::Relaxed),
+                bytes_read: state.bytes_read.load(Ordering::Relaxed),
+                jobs: state.jobs.load(Ordering::Relaxed),
             })
             .collect();
         Response::Metrics(MetricsReport {
@@ -1123,6 +1319,8 @@ impl<'env> Shared<'env> {
             store_lock_contention: self.store.shard_lock_contention(),
             rule_evals: self.store.rules().evals_total(),
             rule_fires: self.store.rules().fires_total(),
+            connections_reaped: self.conns_reaped.load(Ordering::Relaxed),
+            connections_rebalanced: self.conns_rebalanced.load(Ordering::Relaxed),
         })
     }
 
@@ -1267,7 +1465,7 @@ impl<'env> Shared<'env> {
         };
         Done {
             token,
-            bytes: encode_wire(wire, &env),
+            bytes: Chunk::Owned(encode_wire(wire, &env)),
             ingested,
             unsolicited: false,
             span,
@@ -1285,19 +1483,25 @@ struct ConnAlertSink {
     shard: Arc<ShardState>,
     token: u64,
     wire: Wire,
-    respond_v: u32,
 }
 
 impl trips_store::AlertSink for ConnAlertSink {
     fn deliver(&self, alert: &trips_store::Alert) -> bool {
-        let env = ResponseEnvelope {
-            v: self.respond_v,
-            id: 0,
-            resp: Response::Alert(alert.clone()),
+        // Encode straight from the borrowed alert — no `Alert` clone, no
+        // owned envelope. The bytes land in the write queue as a shared
+        // segment, so however many hops they take, they are serialized
+        // exactly once per framing.
+        let bytes: Arc<[u8]> = match self.wire {
+            Wire::V1 => {
+                let mut line = crate::protocol::encode_alert_line(alert).into_bytes();
+                line.push(b'\n');
+                line.into()
+            }
+            Wire::V2 => codec::encode_alert_frame(alert).into(),
         };
         self.shard.completions.lock().push(Done {
             token: self.token,
-            bytes: encode_wire(self.wire, &env),
+            bytes: Chunk::Shared(bytes),
             ingested: Vec::new(),
             unsolicited: true,
             span: None,
@@ -1311,7 +1515,17 @@ impl trips_store::AlertSink for ConnAlertSink {
 struct Conn {
     stream: TcpStream,
     read_buf: Vec<u8>,
-    write_buf: Vec<u8>,
+    write_q: WriteQueue,
+    /// Scratch for the coalesced-write fallback (reused across flushes).
+    scratch: Vec<u8>,
+    /// Device ids this connection has sent, interned so the zero-copy
+    /// ingest decode resolves repeat devices to cheap `Arc` clones
+    /// instead of allocating a fresh `Arc<str>` per record. Capped at
+    /// [`INTERN_MAX`]; overflowing ids still work, just un-interned.
+    interned: BTreeMap<String, DeviceId>,
+    /// Last time the connection read bytes or settled a completion — the
+    /// idle-reap clock.
+    last_activity: Instant,
     /// Cached readiness (the edge-triggered contract): assumed ready at
     /// registration, cleared only on `WouldBlock`/EOF, set again by the
     /// poller's events. Under level-triggered poll the same flags are
@@ -1348,7 +1562,10 @@ impl Conn {
         Conn {
             stream,
             read_buf: Vec::new(),
-            write_buf: Vec::new(),
+            write_q: WriteQueue::default(),
+            scratch: Vec::new(),
+            interned: BTreeMap::new(),
+            last_activity: Instant::now(),
             can_read: true,
             can_write: true,
             inflight: false,
@@ -1367,7 +1584,7 @@ impl Conn {
         if self.dead {
             return true;
         }
-        if self.inflight || !self.write_buf.is_empty() {
+        if self.inflight || !self.write_q.is_empty() {
             return false;
         }
         // `pump` ran to exhaustion before this check, so a non-empty
@@ -1389,24 +1606,39 @@ impl Conn {
         if self.dead {
             return false;
         }
-        (self.can_read && self.wants_read()) || (self.can_write && !self.write_buf.is_empty())
+        (self.can_read && self.wants_read()) || (self.can_write && !self.write_q.is_empty())
     }
 
     fn queue_response(&mut self, wire: Wire, env: &ResponseEnvelope) {
-        self.write_buf.extend_from_slice(&encode_wire(wire, env));
+        self.write_q.push(Chunk::Owned(encode_wire(wire, env)));
     }
 
-    /// Writes as much buffered output as the socket accepts right now.
-    fn flush_write(&mut self) {
-        while !self.write_buf.is_empty() {
-            match self.stream.write(&self.write_buf) {
+    /// Writes as much queued output as the socket accepts right now.
+    /// Under [`WriteBatching::Writev`] every queued segment (pipelined
+    /// replies + pushed alerts) goes out in one gather-write per loop
+    /// turn; the fallback coalesces segments into a bounded scratch copy.
+    fn flush_write(&mut self, batching: WriteBatching) {
+        while !self.write_q.is_empty() {
+            let wrote = match batching {
+                WriteBatching::Writev => {
+                    let mut bufs: [&[u8]; WRITEV_BATCH_MAX] = [&[]; WRITEV_BATCH_MAX];
+                    let n = self.write_q.gather(&mut bufs);
+                    writev_fd(fd_of(&self.stream), &bufs[..n])
+                }
+                WriteBatching::Coalesce => {
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    self.write_q.coalesce_into(&mut scratch);
+                    let res = self.stream.write(&scratch);
+                    self.scratch = scratch;
+                    res
+                }
+            };
+            match wrote {
                 Ok(0) => {
                     self.dead = true;
                     return;
                 }
-                Ok(n) => {
-                    self.write_buf.drain(..n);
-                }
+                Ok(n) => self.write_q.consume(n),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     self.can_write = false;
                     return;
@@ -1452,15 +1684,42 @@ impl Conn {
     }
 }
 
+/// Ingest routing computed on the parse path (zero-copy v2 decode): the
+/// translator-shard uniformity check and well-formed device list fall out
+/// of the same single pass that materializes the records, so `dispatch`
+/// does not walk the batch again.
+struct IngestRoute {
+    /// Well-formed devices (cheap interned clones) — attributed to the
+    /// session only if the ingest executes.
+    batch_devices: Vec<DeviceId>,
+    /// `Some(s)` when every record routes to translator shard `s`.
+    tshard: Option<usize>,
+}
+
 /// One parse step over a connection's read buffer.
 enum Parsed {
-    /// A complete message, ready to dispatch.
-    Msg(Wire, RequestEnvelope),
+    /// A complete message, ready to dispatch (with precomputed ingest
+    /// routing when the zero-copy path produced it).
+    Msg(Wire, RequestEnvelope, Option<IngestRoute>),
     /// An error was answered in-line (bad frame body / bad JSON); parsing
     /// may continue.
     Handled,
     /// Incomplete — wait for more bytes.
     NeedMore,
+}
+
+/// Resolves a raw device id against the connection's intern table: repeat
+/// devices (the firehose common case) cost one map probe and an `Arc`
+/// refcount bump instead of a fresh allocation per record.
+fn intern_device(table: &mut BTreeMap<String, DeviceId>, raw: &str) -> DeviceId {
+    if let Some(device) = table.get(raw) {
+        return device.clone();
+    }
+    let device = DeviceId::new(raw);
+    if table.len() < INTERN_MAX {
+        table.insert(raw.to_string(), device.clone());
+    }
+    device
 }
 
 /// One event-loop shard: owns a partition of the connection table and all
@@ -1488,10 +1747,52 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
             return Parsed::NeedMore;
         };
         if first == FRAME_MAGIC {
-            match codec::decode_request_frame(&conn.read_buf) {
-                Ok(Some((env, consumed))) => {
+            match codec::decode_request_frame_ref(&conn.read_buf) {
+                Ok(Some((RequestFrameRef::Ingest(view), consumed))) => {
+                    // The zero-copy hot path: records materialize straight
+                    // out of the read buffer — device ids resolve against
+                    // the intern table (no per-record String), and the
+                    // routing pass (well-formed devices + translator-shard
+                    // uniformity) rides along instead of re-walking the
+                    // batch in dispatch.
+                    let mut records = Vec::with_capacity(view.records.len());
+                    let mut batch_devices = Vec::with_capacity(view.records.len());
+                    let mut tshard: Option<Option<usize>> = None;
+                    for rec in &view.records {
+                        let device = intern_device(&mut conn.interned, rec.device);
+                        let s = shared.tshard(&device);
+                        tshard = Some(match tshard {
+                            None => Some(s),
+                            Some(Some(prev)) if prev == s => Some(s),
+                            Some(_) => None,
+                        });
+                        let record =
+                            RawRecord::new(device, rec.x, rec.y, rec.floor, Timestamp(rec.ts));
+                        if record.is_well_formed() {
+                            batch_devices.push(record.device.clone());
+                        }
+                        records.push(record);
+                    }
+                    let env = RequestEnvelope {
+                        v: crate::protocol::PROTOCOL_V2,
+                        id: view.id,
+                        req: Request::Ingest { records },
+                    };
                     conn.read_buf.drain(..consumed);
-                    Parsed::Msg(Wire::V2, env)
+                    Parsed::Msg(
+                        Wire::V2,
+                        env,
+                        Some(IngestRoute {
+                            batch_devices,
+                            // An empty batch routes to shard 0 trivially
+                            // (the coalescable fast path, same as owned).
+                            tshard: tshard.unwrap_or(Some(0)),
+                        }),
+                    )
+                }
+                Ok(Some((RequestFrameRef::Owned(env), consumed))) => {
+                    conn.read_buf.drain(..consumed);
+                    Parsed::Msg(Wire::V2, env, None)
                 }
                 Ok(None) => Parsed::NeedMore,
                 Err(FrameError::Malformed {
@@ -1556,7 +1857,7 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                 return Parsed::Handled;
             }
             match crate::protocol::decode_request(line) {
-                Ok(env) => Parsed::Msg(Wire::V1, env),
+                Ok(env) => Parsed::Msg(Wire::V1, env, None),
                 Err(error_env) => {
                     shared.bad_requests.fetch_add(1, Ordering::Relaxed);
                     conn.queue_response(Wire::V1, &error_env);
@@ -1579,12 +1880,18 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
             match Self::parse_next(self.shared, conn) {
                 Parsed::NeedMore => return,
                 Parsed::Handled => continue,
-                Parsed::Msg(wire, env) => self.dispatch(token, wire, env),
+                Parsed::Msg(wire, env, route) => self.dispatch(token, wire, env, route),
             }
         }
     }
 
-    fn dispatch(&mut self, token: u64, wire: Wire, env: RequestEnvelope) {
+    fn dispatch(
+        &mut self,
+        token: u64,
+        wire: Wire,
+        env: RequestEnvelope,
+        route: Option<IngestRoute>,
+    ) {
         let shared = self.shared;
         let seq = shared.requests.fetch_add(1, Ordering::Relaxed);
         let id = env.id;
@@ -1702,7 +2009,6 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                             shard: Arc::clone(&shared.shards[self.id]),
                             token,
                             wire,
-                            respond_v,
                         });
                         match shared.store.rules().register(spec, Some(sink)) {
                             Ok(rule_id) => {
@@ -1795,24 +2101,28 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                     inline(conn, Response::Error(ServerError::ShuttingDown));
                     return;
                 }
-                let (batch_devices, tshard) = if let Request::Ingest { records } = &req {
-                    let batch: Vec<DeviceId> = records
-                        .iter()
-                        .filter(|r| r.is_well_formed())
-                        .map(|r| r.device.clone())
-                        .collect();
-                    // Single-shard when every record (well-formed or not
-                    // — rejects are counted under the same lock) routes
-                    // to one translator shard. Empty batches take the
-                    // fast path trivially.
-                    let mut shards = records.iter().map(|r| shared.tshard(&r.device));
-                    let tshard = match shards.next() {
-                        None => Some(0),
-                        Some(first) => shards.all(|s| s == first).then_some(first),
-                    };
-                    (batch, tshard)
-                } else {
-                    (Vec::new(), None)
+                let (batch_devices, tshard) = match (route, &req) {
+                    // The zero-copy parse already routed the batch in its
+                    // single materialization pass.
+                    (Some(r), _) => (r.batch_devices, r.tshard),
+                    (None, Request::Ingest { records }) => {
+                        let batch: Vec<DeviceId> = records
+                            .iter()
+                            .filter(|r| r.is_well_formed())
+                            .map(|r| r.device.clone())
+                            .collect();
+                        // Single-shard when every record (well-formed or
+                        // not — rejects are counted under the same lock)
+                        // routes to one translator shard. Empty batches
+                        // take the fast path trivially.
+                        let mut shards = records.iter().map(|r| shared.tshard(&r.device));
+                        let tshard = match shards.next() {
+                            None => Some(0),
+                            Some(first) => shards.all(|s| s == first).then_some(first),
+                        };
+                        (batch, tshard)
+                    }
+                    (None, _) => (Vec::new(), None),
                 };
                 let session_devices: Vec<DeviceId> =
                     if matches!(req, Request::Flush { device: None }) {
@@ -1841,7 +2151,10 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                     session_devices,
                     span,
                 }) {
-                    Ok(()) => conn.inflight = true,
+                    Ok(()) => {
+                        conn.inflight = true;
+                        shared.shards[self.id].jobs.fetch_add(1, Ordering::Relaxed);
+                    }
                     Err(PushError::Full) => {
                         shared.shed.fetch_add(1, Ordering::Relaxed);
                         inline(
@@ -1889,6 +2202,92 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
         Ok(())
     }
 
+    /// Re-registers idle connections another shard migrated here
+    /// (`--rebalance`). The token travels with the connection, so workers'
+    /// completions and session accounting keep working unchanged; cached
+    /// readiness is reset to "assume ready" exactly like a fresh
+    /// registration (the next service pass probes the socket).
+    fn adopt_migrations(&mut self) -> io::Result<()> {
+        let migrated: Vec<(u64, Conn)> =
+            std::mem::take(&mut *self.shared.shards[self.id].migrations.lock());
+        for (token, mut conn) in migrated {
+            self.poller
+                .register(fd_of(&conn.stream), token, true, true)?;
+            conn.can_read = true;
+            conn.can_write = true;
+            self.conns.insert(token, conn);
+        }
+        self.shared.shards[self.id]
+            .connections
+            .store(self.conns.len(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Migrates one idle connection to the least-loaded shard when this
+    /// shard holds at least two more connections than it. Only fully
+    /// quiescent connections move — nothing in flight, nothing buffered
+    /// in either direction, no standing rules (their alert sinks pin the
+    /// owning shard) — so the hand-off is a pure ownership transfer.
+    fn try_migrate(&mut self) {
+        let my_count = self.conns.len();
+        let Some((target, target_count)) = self
+            .shared
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.id)
+            .map(|(i, s)| (i, s.connections.load(Ordering::Relaxed)))
+            .min_by_key(|&(_, n)| n)
+        else {
+            return;
+        };
+        if my_count < target_count + 2 {
+            return;
+        }
+        let Some(token) = self
+            .conns
+            .iter()
+            .find(|(_, c)| {
+                !c.inflight
+                    && !c.closing
+                    && !c.dead
+                    && !c.read_closed
+                    && c.write_q.is_empty()
+                    && c.read_buf.is_empty()
+                    && c.rule_ids.is_empty()
+            })
+            .map(|(&t, _)| t)
+        else {
+            return;
+        };
+        let conn = self.conns.remove(&token).expect("token just found");
+        self.poller.deregister(fd_of(&conn.stream), token);
+        self.shared.shards[self.id]
+            .connections
+            .store(self.conns.len(), Ordering::Relaxed);
+        self.shared.conns_rebalanced.fetch_add(1, Ordering::Relaxed);
+        let state = &self.shared.shards[target];
+        state.migrations.lock().push((token, conn));
+        state.wake();
+    }
+
+    /// Marks connections idle past the configured timeout for teardown.
+    /// Only truly quiescent connections qualify — in-flight work or
+    /// unflushed output means the peer is slow, not absent.
+    fn reap_idle(&mut self, timeout: Duration) {
+        for conn in self.conns.values_mut() {
+            if !conn.inflight
+                && !conn.closing
+                && !conn.dead
+                && conn.write_q.is_empty()
+                && conn.last_activity.elapsed() > timeout
+            {
+                conn.closing = true;
+                self.shared.conns_reaped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Applies finished work: response bytes, device attribution, renewed
     /// parsing.
     fn apply_completions(&mut self) {
@@ -1910,15 +2309,15 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
                 // subscriber that stopped reading gets alerts dropped
                 // rather than unbounded buffering (the rule's fire
                 // counters remain the ground truth).
-                if conn.write_buf.len() > ALERT_BUF_MAX {
+                if conn.write_q.len() > ALERT_BUF_MAX {
                     self.shared
                         .alerts_dropped_late
                         .fetch_add(1, Ordering::Relaxed);
                 } else {
-                    conn.write_buf.extend_from_slice(&d.bytes);
+                    conn.write_q.push(d.bytes);
                 }
                 if conn.can_write {
-                    conn.flush_write();
+                    conn.flush_write(self.shared.batching);
                 }
                 continue;
             }
@@ -1926,14 +2325,15 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
             // completion (clock read only when a span is riding along).
             let adopted = d.span.is_some().then(Instant::now);
             conn.inflight = false;
+            conn.last_activity = Instant::now();
             for device in d.ingested {
                 if conn.devices.insert(device.clone()) {
                     *self.shared.sessions.lock().entry(device).or_insert(0) += 1;
                 }
             }
-            conn.write_buf.extend_from_slice(&d.bytes);
+            conn.write_q.push(d.bytes);
             if conn.can_write {
-                conn.flush_write();
+                conn.flush_write(self.shared.batching);
             }
             if trips_obs::enabled() {
                 // The next buffered request's `loop_ready` epoch: this
@@ -1963,16 +2363,24 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
             // The epoch of the next parsed request's `loop_ready` stage.
             conn.ready_at = Some(Instant::now());
         }
-        if conn.can_write && !conn.write_buf.is_empty() {
-            conn.flush_write();
+        if conn.can_write && !conn.write_q.is_empty() {
+            conn.flush_write(self.shared.batching);
         }
         if conn.can_read && conn.wants_read() {
+            let before = conn.read_buf.len();
             conn.fill_read(self.shared.read_budget);
+            let gained = conn.read_buf.len() - before;
+            if gained > 0 {
+                conn.last_activity = Instant::now();
+                self.shared.shards[self.id]
+                    .bytes_read
+                    .fetch_add(gained as u64, Ordering::Relaxed);
+            }
         }
         self.pump(token);
         if let Some(conn) = self.conns.get_mut(&token) {
-            if conn.can_write && !conn.write_buf.is_empty() {
-                conn.flush_write();
+            if conn.can_write && !conn.write_q.is_empty() {
+                conn.flush_write(self.shared.batching);
             }
         }
     }
@@ -2045,6 +2453,29 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
         let state = &self.shared.shards[self.id];
         self.poller
             .register(state.waker.fd(), WAKER_TOKEN, true, false)?;
+        // Idle reaping cadence: a quarter of the timeout (floored) keeps
+        // the worst-case overshoot at ~25%. Under epoll the interval is
+        // additionally armed as a timerfd so a shard whose fds are all
+        // silent still wakes to reap; the poll backend's bounded waits
+        // already lap at least every `poll_ms`.
+        let reap_period = self
+            .shared
+            .idle_timeout
+            .map(|t| (t / 4).max(Duration::from_millis(100)));
+        #[cfg(target_os = "linux")]
+        let timer: Option<crate::event::TimerFd> = match (reap_period, &self.poller) {
+            (Some(period), Poller::Epoll(_)) => {
+                let t = crate::event::TimerFd::new_interval(period)?;
+                self.poller.register(t.fd(), TIMER_TOKEN, true, false)?;
+                Some(t)
+            }
+            _ => None,
+        };
+        let mut next_reap = reap_period.map(|p| Instant::now() + p);
+        let mut next_rebalance = self
+            .shared
+            .rebalance
+            .then(|| Instant::now() + REBALANCE_INTERVAL);
         let mut drain_deadline: Option<Instant> = None;
         let mut events: Vec<Event> = Vec::new();
         loop {
@@ -2053,11 +2484,24 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
             // than being swallowed.
             state.waker.drain();
             self.adopt_incoming()?;
+            self.adopt_migrations()?;
             self.apply_completions();
 
             let tokens: Vec<u64> = self.conns.keys().copied().collect();
             for token in tokens {
                 self.service(token);
+            }
+            if let (Some(timeout), Some(due)) = (self.shared.idle_timeout, next_reap) {
+                if Instant::now() >= due {
+                    next_reap = reap_period.map(|p| Instant::now() + p);
+                    self.reap_idle(timeout);
+                }
+            }
+            if let Some(due) = next_rebalance {
+                if Instant::now() >= due && !self.shared.draining() {
+                    next_rebalance = Some(Instant::now() + REBALANCE_INTERVAL);
+                    self.try_migrate();
+                }
             }
             let any_left = self.sweep();
 
@@ -2092,12 +2536,22 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
             // so a level-triggered poll cannot spin on known state.
             for (&token, conn) in &self.conns {
                 let read = conn.wants_read() && !conn.can_read;
-                let write = !conn.write_buf.is_empty() && !conn.can_write && !conn.dead;
+                let write = !conn.write_q.is_empty() && !conn.can_write && !conn.dead;
                 self.poller.set_interest(token, read, write);
             }
             self.poller.wait(timeout, &mut events)?;
             for ev in &events {
                 if ev.token == WAKER_TOKEN {
+                    continue;
+                }
+                if ev.token == TIMER_TOKEN {
+                    // The idle-reap tick: clear the expiration counter so
+                    // the edge re-arms; the sweep itself runs at the top
+                    // of the lap.
+                    #[cfg(target_os = "linux")]
+                    if let Some(t) = &timer {
+                        t.drain();
+                    }
                     continue;
                 }
                 if let Some(conn) = self.conns.get_mut(&ev.token) {
@@ -2115,18 +2569,40 @@ impl<'shared, 'env> LoopShard<'shared, 'env> {
 }
 
 /// The acceptor: runs on `serve`'s calling thread, owns the listener,
-/// enforces the global connection cap, and deals accepted sockets
-/// round-robin to the loop shards.
+/// enforces the global connection cap, and places accepted sockets on the
+/// least-loaded loop shard.
+///
+/// Load is an EWMA over each shard's observed byte/job deltas
+/// ([`ShardState::bytes_read`] + [`JOB_LOAD_BYTES`]·jobs, refreshed every
+/// [`LOAD_REFRESH`]), tie-broken by how many connections a shard already
+/// holds (owned + pending hand-offs). An idle burst therefore still deals
+/// round-robin — every shard's EWMA is zero and each placement bumps the
+/// tie-break — while a shard dragged down by firehose connections stops
+/// receiving new ones until its load decays.
 fn run_acceptor(
     shared: &Shared<'_>,
     listener: &TcpListener,
     max_connections: usize,
 ) -> io::Result<()> {
     let nshards = shared.shards.len();
-    let mut rr = 0usize;
+    let mut prev_load = vec![0u64; nshards];
+    let mut ewma = vec![0u64; nshards];
+    let mut last_refresh = Instant::now();
     while !shared.draining() {
         let mut fds = [PollFd::new(fd_of(listener), POLLIN)];
         poll_fds(&mut fds, ACCEPT_POLL_MS)?;
+        if last_refresh.elapsed() >= LOAD_REFRESH {
+            last_refresh = Instant::now();
+            for (i, state) in shared.shards.iter().enumerate() {
+                let cur = state.bytes_read.load(Ordering::Relaxed)
+                    + JOB_LOAD_BYTES * state.jobs.load(Ordering::Relaxed);
+                let delta = cur.saturating_sub(prev_load[i]);
+                prev_load[i] = cur;
+                // Half-life of one refresh: recent traffic dominates,
+                // history fades fast enough to follow shifting skew.
+                ewma[i] = ewma[i] / 2 + delta;
+            }
+        }
         loop {
             match listener.accept() {
                 Ok((mut stream, _peer)) => {
@@ -2155,8 +2631,15 @@ fn run_acceptor(
                     }
                     shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
                     shared.active.fetch_add(1, Ordering::Relaxed);
-                    let state = &shared.shards[rr % nshards];
-                    rr = rr.wrapping_add(1);
+                    let least_loaded = (0..nshards)
+                        .min_by_key(|&i| {
+                            let s = &shared.shards[i];
+                            let held =
+                                s.connections.load(Ordering::Relaxed) + s.incoming.lock().len();
+                            (ewma[i], held, i)
+                        })
+                        .unwrap_or(0);
+                    let state = &shared.shards[least_loaded];
                     state.incoming.lock().push((stream, Instant::now()));
                     state.wake();
                 }
@@ -2401,6 +2884,9 @@ impl TripsServer {
                 incoming: parking_lot::Mutex::new(Vec::new()),
                 wakeups: AtomicU64::new(0),
                 connections: AtomicUsize::new(0),
+                bytes_read: AtomicU64::new(0),
+                jobs: AtomicU64::new(0),
+                migrations: parking_lot::Mutex::new(Vec::new()),
             }));
         }
         let backend_name = pollers[0].backend_name();
@@ -2463,6 +2949,18 @@ impl TripsServer {
             conns_accepted: AtomicU64::new(0),
             conns_rejected: AtomicU64::new(0),
             alerts_dropped_late: AtomicU64::new(0),
+            conns_reaped: AtomicU64::new(0),
+            conns_rebalanced: AtomicU64::new(0),
+            // Gather-writes need raw unix fds and pair with the
+            // edge-triggered backend; the poll backend (and
+            // `--no-writev-batch`) coalesces into one plain write.
+            batching: if backend_name == "epoll" && self.config.writev_batch {
+                WriteBatching::Writev
+            } else {
+                WriteBatching::Coalesce
+            },
+            idle_timeout: self.config.idle_timeout,
+            rebalance: self.config.rebalance,
         };
         // Arm the rule engine for this serve run: the configured rule cap
         // and the DSM's region→floor map (so `floor N` selectors resolve).

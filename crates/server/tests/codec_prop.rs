@@ -1,0 +1,138 @@
+//! Property tests for the zero-copy v2 ingest decode
+//! (`decode_request_frame_ref`): on every valid frame the borrowed decode
+//! agrees byte-for-byte with the owned decode, and no truncation or
+//! bit-flip of a valid frame can make either decoder panic — corruption
+//! lands as `Ok(None)` (incomplete) or a typed `FrameError`, identically
+//! on both paths.
+
+use proptest::prelude::*;
+use trips_data::{DeviceId, RawRecord, Timestamp};
+use trips_server::codec::{decode_request_frame, decode_request_frame_ref, RequestFrameRef};
+use trips_server::{encode_request_frame, Request, RequestEnvelope, PROTOCOL_V2};
+
+/// Device-id palette: ASCII, empty-able, and multi-byte UTF-8 so borrowed
+/// `&str` slicing is exercised across char boundaries.
+const DEVICE_CHARS: [char; 8] = ['a', 'b', '0', '7', '.', '-', 'é', '雲'];
+
+fn arb_device() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..DEVICE_CHARS.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| DEVICE_CHARS[i]).collect())
+}
+
+/// Coordinates include the funny floats (NaN, infinities, subnormal-ish
+/// extremes) — the decoder must carry them bit-faithfully, well-formedness
+/// is the server's concern.
+fn arb_coord() -> impl Strategy<Value = f64> {
+    (0usize..12, -1e9f64..1e9).prop_map(|(k, v)| match k {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => f64::MAX,
+        4 => f64::MIN_POSITIVE,
+        5 => -0.0,
+        _ => v,
+    })
+}
+
+fn arb_record() -> impl Strategy<Value = RawRecord> {
+    (
+        arb_device(),
+        arb_coord(),
+        arb_coord(),
+        i16::MIN..i16::MAX,
+        i64::MIN..i64::MAX,
+    )
+        .prop_map(|(device, x, y, floor, ts)| {
+            RawRecord::new(DeviceId::new(&device), x, y, floor, Timestamp(ts))
+        })
+}
+
+fn arb_ingest_frame() -> impl Strategy<Value = Vec<u8>> {
+    (0u64..u64::MAX, prop::collection::vec(arb_record(), 0..20)).prop_map(|(id, records)| {
+        encode_request_frame(&RequestEnvelope {
+            v: PROTOCOL_V2,
+            id,
+            req: Request::Ingest { records },
+        })
+    })
+}
+
+/// Runs both decoders over `bytes` and asserts they tell the same story:
+/// same progress/consumed, same materialized envelope, or the same typed
+/// error (compared via `Debug`, which covers NaN coordinates too).
+/// Returns whether the input decoded cleanly.
+fn decoders_agree(bytes: &[u8]) -> Result<bool, TestCaseError> {
+    let owned = decode_request_frame(bytes);
+    let borrowed = decode_request_frame_ref(bytes);
+    match (owned, borrowed) {
+        (Ok(None), Ok(None)) => Ok(false),
+        (Ok(Some((env, consumed_o))), Ok(Some((frame, consumed_b)))) => {
+            prop_assert_eq!(consumed_o, consumed_b);
+            let materialized = match frame {
+                RequestFrameRef::Ingest(view) => RequestEnvelope {
+                    v: PROTOCOL_V2,
+                    id: view.id,
+                    req: Request::Ingest {
+                        records: view.records.iter().map(|r| r.to_record()).collect(),
+                    },
+                },
+                RequestFrameRef::Owned(env) => env,
+            };
+            prop_assert_eq!(format!("{env:?}"), format!("{materialized:?}"));
+            Ok(true)
+        }
+        (Err(eo), Err(eb)) => {
+            prop_assert_eq!(format!("{eo:?}"), format!("{eb:?}"));
+            Ok(false)
+        }
+        (o, b) => Err(TestCaseError::fail(format!(
+            "decoders disagree: owned {o:?} vs borrowed {b:?}"
+        ))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Valid frames always decode, identically on both paths, and the
+    /// ingest body takes the borrowed branch.
+    #[test]
+    fn valid_frames_decode_identically(bytes in arb_ingest_frame()) {
+        let decoded = decoders_agree(&bytes)?;
+        prop_assert!(decoded, "a complete valid frame must decode");
+        match decode_request_frame_ref(&bytes) {
+            Ok(Some((RequestFrameRef::Ingest(_), consumed))) => {
+                prop_assert_eq!(consumed, bytes.len());
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "ingest frame must take the borrowed branch, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Every truncation of a valid frame is incomplete — `Ok(None)` from
+    /// both decoders, never a panic, never a phantom parse.
+    #[test]
+    fn truncations_never_panic(bytes in arb_ingest_frame(), cut in 0.0f64..1.0) {
+        let cut = (bytes.len() as f64 * cut) as usize;
+        let prefix = &bytes[..cut.min(bytes.len().saturating_sub(1))];
+        let decoded = decoders_agree(prefix)?;
+        prop_assert!(!decoded, "a strict prefix must not decode to a frame");
+    }
+
+    /// A single flipped bit anywhere in a valid frame never panics either
+    /// decoder, and both report the same outcome (a CRC/magic error, an
+    /// incomplete read, or — for bits the codec does not checksum against
+    /// the same meaning, like a longer length prefix — the same parse).
+    #[test]
+    fn bit_flips_never_panic(
+        bytes in arb_ingest_frame(),
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut corrupt = bytes;
+        let idx = ((corrupt.len() as f64 * pos) as usize).min(corrupt.len() - 1);
+        corrupt[idx] ^= 1 << bit;
+        decoders_agree(&corrupt)?;
+    }
+}

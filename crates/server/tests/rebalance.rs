@@ -1,0 +1,102 @@
+//! Adaptive loop-shard placement and `--rebalance` migration: the
+//! acceptor places new connections on the least-loaded shard, and with
+//! rebalancing enabled a skewed shard migrates fully-idle connections
+//! toward the emptiest one between laps — counted in
+//! `connections_rebalanced`, with the migrated sockets staying live.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use trips_data::{DeviceId, RawRecord, Timestamp};
+use trips_server::{bootstrap_scenario, Client, Response, ServerConfig, TripsServer};
+use trips_sim::ScenarioConfig;
+
+#[test]
+fn idle_connections_migrate_off_a_skewed_shard() {
+    let boot = bootstrap_scenario(
+        1,
+        3,
+        &ScenarioConfig {
+            devices: 2,
+            days: 1,
+            seed: 0xBA1A,
+            ..ScenarioConfig::default()
+        },
+    );
+    let handle = TripsServer::new(
+        boot.dsm,
+        boot.editor,
+        ServerConfig {
+            loop_shards: 2,
+            rebalance: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn("127.0.0.1:0")
+    .unwrap();
+    let addr = handle.addr();
+
+    // One connection hammers ingest so its shard's observed load (bytes +
+    // jobs) dominates; while it is hot, every new connection is placed on
+    // the other shard — manufacturing a 1-vs-N connection skew.
+    let stop = AtomicBool::new(false);
+    let mut held: Vec<Client> = Vec::new();
+    std::thread::scope(|s| {
+        let stop = &stop;
+        s.spawn(move || {
+            let mut hot = Client::connect(addr).unwrap();
+            let records: Vec<RawRecord> = (0..50)
+                .map(|i| {
+                    RawRecord::new(
+                        DeviceId::new("3a.7f.00.01"),
+                        1.0 + i as f64 * 0.1,
+                        2.0,
+                        0,
+                        Timestamp::from_millis(i * 1000),
+                    )
+                })
+                .collect();
+            while !stop.load(Ordering::Relaxed) {
+                let _ = hot.ingest(records.clone());
+            }
+        });
+        // Held idle connections, opened while the hot shard is busy.
+        std::thread::sleep(Duration::from_millis(200));
+        for _ in 0..4 {
+            held.push(Client::connect(addr).unwrap());
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // With ingest stopped the skewed shard should migrate idle
+    // connections until the spread is within one; poll the metric.
+    let mut observer = Client::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(8);
+    let mut rebalanced = 0;
+    while Instant::now() < deadline {
+        match observer.metrics().unwrap() {
+            Response::Metrics(m) => {
+                rebalanced = m.connections_rebalanced;
+                if rebalanced >= 1 {
+                    break;
+                }
+            }
+            other => panic!("metrics failed: {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    assert!(
+        rebalanced >= 1,
+        "expected at least one idle connection to migrate between loop shards"
+    );
+
+    // Migrated connections must still be fully serviceable.
+    for client in &mut held {
+        match client.ping().unwrap() {
+            Response::Pong => {}
+            other => panic!("ping after migration failed: {other:?}"),
+        }
+    }
+    handle.shutdown().unwrap();
+}

@@ -18,11 +18,13 @@
 //!             [--fsync always|every=N|never] [--segment-bytes N]
 //!             [--metrics-addr HOST:PORT] [--no-obs]
 //!             [--slow-threshold-us N] [--trace-ring N] [--slow-log N]
+//!             [--idle-timeout SECS] [--rebalance] [--no-writev-batch]
 //! ```
 //!
 //! `--loop-shards` splits the event loop into N independent shards (one
-//! thread each, default `min(cores, 4)`); a single acceptor deals
-//! connections round-robin. `--translator-shards` partitions the
+//! thread each, default `min(cores, 4)`); a single acceptor places each
+//! new connection on the least-loaded shard (observed bytes + jobs,
+//! round-robin when idle). `--translator-shards` partitions the
 //! streaming-translator lock by device hash (rounded to a power of two).
 //! `--read-budget` bounds bytes read per readiness event per connection.
 //! `--event-backend` picks the readiness backend: `epoll`
@@ -51,6 +53,15 @@
 //! every request — the trace-everything switch); `--trace-ring` /
 //! `--slow-log` size the per-loop-shard trace rings and the slow-log.
 //! `--no-obs` turns span collection off entirely (metrics stay on).
+//!
+//! `--idle-timeout SECS` reaps connections with no traffic for that long
+//! (default off; epoll shards arm a `timerfd`, the poll backend checks on
+//! its timeout lap) — reaps count in the `connections_reaped` metric.
+//! `--rebalance` lets loop shards migrate fully-idle connections toward
+//! the least-loaded shard between laps (`connections_rebalanced`
+//! metric). `--no-writev-batch` disables the segmented `writev(2)` flush
+//! and coalesces queued responses into single `write` calls instead (the
+//! poll backend always coalesces).
 //!
 //! Clients replaying `generate_campus` traffic must use the same
 //! `--floors/--shops` layout (every campus building shares it); see the
@@ -86,7 +97,8 @@ fn usage_and_exit(message: &str) -> ! {
          [--floors N] [--shops N] [--devices N] [--days N] [--seed N] [--snapshot PATH] \
          [--snapshot-root DIR] [--wal-dir DIR] [--fsync always|every=N|never] \
          [--segment-bytes N] [--metrics-addr HOST:PORT] [--no-obs] \
-         [--slow-threshold-us N] [--trace-ring N] [--slow-log N]"
+         [--slow-threshold-us N] [--trace-ring N] [--slow-log N] \
+         [--idle-timeout SECS] [--rebalance] [--no-writev-batch]"
     );
     std::process::exit(2);
 }
@@ -172,6 +184,15 @@ fn parse_args() -> Options {
             }
             "--trace-ring" => opts.config.trace_ring = parse(&mut args, "--trace-ring"),
             "--slow-log" => opts.config.slow_log = parse(&mut args, "--slow-log"),
+            "--idle-timeout" => {
+                let secs: u64 = parse(&mut args, "--idle-timeout");
+                if secs == 0 {
+                    usage_and_exit("--idle-timeout must be at least 1 second");
+                }
+                opts.config.idle_timeout = Some(std::time::Duration::from_secs(secs));
+            }
+            "--rebalance" => opts.config.rebalance = true,
+            "--no-writev-batch" => opts.config.writev_batch = false,
             other => usage_and_exit(&format!("unknown argument: {other}")),
         }
     }
